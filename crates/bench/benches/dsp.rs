@@ -1,0 +1,62 @@
+//! Criterion benches for the DSP primitives: the 100-tap bandpass, the
+//! resampler, and both correlators (the innermost loops of the whole
+//! framework).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use emap_dsp::resample::Resampler;
+use emap_dsp::similarity::{RangeCorrelator, SlidingDotProduct};
+use emap_dsp::{emap_bandpass, SampleRate};
+
+fn signal(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|k| {
+            (k as f32 * 0.27).sin() * 30.0 + (k as f32 * 0.61).cos() * 10.0
+        })
+        .collect()
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let filter = emap_bandpass();
+    let input = signal(6144); // one 24 s recording
+    let mut group = c.benchmark_group("fir");
+    group.throughput(Throughput::Elements(input.len() as u64));
+    group.bench_function("bandpass_6144", |b| b.iter(|| filter.filter(&input)));
+    group.bench_function("bandpass_streaming_6144", |b| {
+        b.iter(|| {
+            let mut s = filter.stream();
+            s.push_block(&input)
+        })
+    });
+    group.finish();
+}
+
+fn bench_resample(c: &mut Criterion) {
+    let input = signal(5000); // 25 s at 200 Hz
+    let mut group = c.benchmark_group("resample");
+    group.throughput(Throughput::Elements(input.len() as u64));
+    for rate in [173.61, 200.0, 512.0] {
+        let r = Resampler::new(SampleRate::new(rate).expect("valid"), SampleRate::EEG_BASE)
+            .expect("valid resampler");
+        group.bench_function(format!("{rate}->256"), |b| b.iter(|| r.resample(&input)));
+    }
+    group.finish();
+}
+
+fn bench_correlators(c: &mut Criterion) {
+    let query = signal(256);
+    let host = signal(1000);
+    let range = RangeCorrelator::new(&query).expect("non-empty");
+    let ncc = SlidingDotProduct::new(&query).expect("non-empty");
+    let mut group = c.benchmark_group("correlate");
+    group.throughput(Throughput::Elements(745));
+    group.bench_function("range_scan_745", |b| {
+        b.iter(|| range.scan(&host, 1).expect("valid stride"))
+    });
+    group.bench_function("ncc_scan_745", |b| {
+        b.iter(|| ncc.scan(&host, 1).expect("valid stride"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter, bench_resample, bench_correlators);
+criterion_main!(benches);

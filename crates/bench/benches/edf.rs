@@ -1,0 +1,33 @@
+//! Criterion benches for the EDF-style codec: encode/decode throughput of a
+//! clinically-sized recording.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use emap_datasets::RecordingFactory;
+use emap_edf::Recording;
+
+fn bench_codec(c: &mut Criterion) {
+    let factory = RecordingFactory::new(1).with_channels(4);
+    let rec = factory.normal_recording("bench", 60.0); // 4 ch × 1 min
+    let mut encoded = Vec::new();
+    rec.write_to(&mut encoded).expect("encodes");
+
+    let mut group = c.benchmark_group("edf");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_4ch_60s", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(encoded.len());
+            rec.write_to(&mut out).expect("encodes");
+            out
+        })
+    });
+    group.bench_function("decode_4ch_60s", |b| {
+        b.iter(|| Recording::read_from(&mut encoded.as_slice()).expect("decodes"))
+    });
+    group.bench_function("peek_4ch_60s", |b| {
+        b.iter(|| Recording::peek(&mut encoded.as_slice()).expect("peeks"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

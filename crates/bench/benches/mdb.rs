@@ -1,0 +1,44 @@
+//! Criterion benches for mega-database construction and persistence — the
+//! cloud-side ingestion pipeline (§V-B).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use emap_bench::build_mdb;
+use emap_datasets::RecordingFactory;
+use emap_mdb::{Mdb, MdbBuilder};
+
+fn bench_ingest(c: &mut Criterion) {
+    let factory = RecordingFactory::new(1);
+    let rec = factory.normal_recording("bench", 24.0);
+    let mut group = c.benchmark_group("mdb");
+    group.throughput(Throughput::Elements(rec.channels()[0].len() as u64));
+    group.bench_function("ingest_24s_recording", |b| {
+        b.iter(|| {
+            let mut builder = MdbBuilder::new();
+            builder.add_recording("d", &rec).expect("valid recording");
+            builder.build()
+        })
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mdb = build_mdb(2);
+    let mut buf = Vec::new();
+    mdb.write_snapshot(&mut buf).expect("snapshot writes");
+    let mut group = c.benchmark_group("snapshot");
+    group.throughput(Throughput::Bytes(buf.len() as u64));
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            mdb.write_snapshot(&mut out).expect("snapshot writes");
+            out
+        })
+    });
+    group.bench_function("read", |b| {
+        b.iter(|| Mdb::read_snapshot(&mut buf.as_slice()).expect("snapshot reads"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for the cloud search (Fig. 7b's microscopic view):
+//! exhaustive vs Algorithm 1 vs the parallel scan, per MDB size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emap_bench::{build_mdb, input_factory};
+use emap_datasets::SignalClass;
+use emap_mdb::Mdb;
+use emap_search::{ExhaustiveSearch, ParallelSearch, Search, SearchConfig, SlidingSearch};
+
+fn bench_search(c: &mut Criterion) {
+    let full = build_mdb(4);
+    let factory = input_factory();
+    let query = emap_bench::query_for(&factory, SignalClass::Seizure, 0, 6.0);
+
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1000] {
+        if n > full.len() {
+            continue;
+        }
+        let mdb: Mdb = full.iter().take(n).cloned().collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &mdb, |b, mdb| {
+            let s = ExhaustiveSearch::new(SearchConfig::paper());
+            b.iter(|| s.search(&query, mdb).expect("search succeeds"));
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &mdb, |b, mdb| {
+            let s = SlidingSearch::new(SearchConfig::paper());
+            b.iter(|| s.search(&query, mdb).expect("search succeeds"));
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1-par4", n), &mdb, |b, mdb| {
+            let s = ParallelSearch::new(SearchConfig::paper(), 4);
+            b.iter(|| s.search(&query, mdb).expect("search succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

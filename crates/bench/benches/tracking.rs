@@ -1,0 +1,63 @@
+//! Criterion benches for the edge tracker (Fig. 8b's microscopic view):
+//! area-between-curves vs cross-correlation re-evaluation, per tracked-set
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emap_bench::{build_mdb, input_factory};
+use emap_datasets::SignalClass;
+use emap_edge::{EdgeConfig, EdgeMetric, EdgeTracker};
+use emap_search::{Search, SearchConfig, SlidingSearch};
+
+fn bench_tracking(c: &mut Criterion) {
+    let mdb = build_mdb(6);
+    let factory = input_factory();
+    let query = emap_bench::query_for(&factory, SignalClass::Seizure, 0, 6.0);
+    let follow = emap_bench::query_for(&factory, SignalClass::Seizure, 0, 7.0);
+
+    let mut group = c.benchmark_group("tracking");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let cfg = SearchConfig::paper()
+            .with_top_k(n)
+            .expect("K > 0")
+            .with_delta(0.0)
+            .expect("delta valid");
+        let t = SlidingSearch::new(cfg).search(&query, &mdb).expect("search succeeds");
+        if t.len() < n {
+            continue;
+        }
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("area", n), &t, |b, t| {
+            let cfg = EdgeConfig::default()
+                .with_metric(EdgeMetric::AreaBetweenCurves { delta_a: 1e15 })
+                .expect("valid metric");
+            b.iter_batched(
+                || {
+                    let mut tracker = EdgeTracker::new(cfg);
+                    tracker.load(t, &mdb).expect("hits resolve");
+                    tracker
+                },
+                |mut tracker| tracker.step(follow.samples()).expect("step succeeds"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("xcorr", n), &t, |b, t| {
+            let cfg = EdgeConfig::default()
+                .with_metric(EdgeMetric::CrossCorrelation { delta: 0.0 })
+                .expect("valid metric");
+            b.iter_batched(
+                || {
+                    let mut tracker = EdgeTracker::new(cfg);
+                    tracker.load(t, &mdb).expect("hits resolve");
+                    tracker
+                },
+                |mut tracker| tracker.step(follow.samples()).expect("step succeeds"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: size of the correlation set `T` (the paper fixes top-100).
+//!
+//! Larger `K` costs download time (Fig. 4b) and edge tracking time
+//! (Fig. 8b) but makes `P_A` a finer-grained estimate. This ablation
+//! quantifies the accuracy/latency trade-off around the paper's choice.
+
+use emap_bench::{banner, fmt_duration, scaled, BENCH_SEED};
+use emap_core::eval::EvalHarness;
+use emap_core::EmapConfig;
+use emap_datasets::SignalClass;
+use emap_net::{CommTech, Device, TrackingMetric};
+use emap_search::SearchConfig;
+
+fn main() {
+    banner(
+        "Ablation — correlation-set size K (paper: top-100)",
+        "accuracy vs download + tracking cost as K grows",
+    );
+    let per_batch = scaled(10, 3);
+
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>12} {:>14} {:>14}",
+        "K", "seizure", "enceph.", "stroke", "download", "tracking/iter"
+    );
+    for k in [25usize, 50, 100, 200] {
+        let config = EmapConfig::default().with_search(
+            SearchConfig::paper().with_top_k(k).expect("K > 0"),
+        );
+        let mut harness = EvalHarness::from_registry(config, BENCH_SEED, scaled(3, 1));
+        let mut accs = Vec::new();
+        for class in SignalClass::ANOMALIES {
+            let r = harness
+                .evaluate_anomaly_batch(class, &format!("topk-{k}"), per_batch, 30.0)
+                .expect("evaluation succeeds");
+            accs.push(r.accuracy());
+        }
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>12.2} {:>14} {:>14}",
+            k,
+            accs[0],
+            accs[1],
+            accs[2],
+            fmt_duration(CommTech::Lte.download_time(k as u64)),
+            fmt_duration(Device::EdgeRpi.tracking_time(k as u64, TrackingMetric::AreaBetweenCurves)),
+        );
+    }
+    println!(
+        "\nreading: K = 100 is the largest set that still tracks inside the 1 s\n\
+         edge budget and the 200 ms download budget — the paper's choice."
+    );
+}

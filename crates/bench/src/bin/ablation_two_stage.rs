@@ -1,0 +1,78 @@
+//! Ablation (extension): the two-stage coarse-to-fine search vs Algorithm 1
+//! and the exhaustive baseline — the "faster cloud search" future-work
+//! direction, quantified.
+
+use emap_bench::{banner, build_mdb, input_factory, scaled};
+use emap_datasets::SignalClass;
+use emap_search::{ExhaustiveSearch, Search, SearchConfig, SlidingSearch, TwoStageSearch};
+
+fn main() {
+    banner(
+        "Ablation — two-stage coarse-to-fine search (extension)",
+        "prescan at a coarse stride, refine only promising neighborhoods",
+    );
+    let mdb = build_mdb(scaled(3, 1));
+    let factory = input_factory();
+    let queries: Vec<_> = (0..scaled(16, 4))
+        .map(|i| emap_bench::query_for(&factory, SignalClass::ALL[i % 4], i, 6.0))
+        .collect();
+
+    let cfg = SearchConfig::paper();
+    let algorithms: Vec<(&str, Box<dyn Search>)> = vec![
+        ("exhaustive", Box::new(ExhaustiveSearch::new(cfg))),
+        ("algorithm1", Box::new(SlidingSearch::new(cfg))),
+        ("two-stage (default)", Box::new(TwoStageSearch::new(cfg))),
+        (
+            "two-stage (stride 16)",
+            Box::new(
+                TwoStageSearch::new(cfg)
+                    .with_coarse_stride(16)
+                    .expect("stride > 0"),
+            ),
+        ),
+        (
+            "two-stage (stride 64)",
+            Box::new(
+                TwoStageSearch::new(cfg)
+                    .with_coarse_stride(64)
+                    .expect("stride > 0"),
+            ),
+        ),
+    ];
+
+    println!(
+        "\n{:<22} {:>14} {:>10} {:>12} {:>14}",
+        "algorithm", "correlations", "hits", "avg top ω", "vs exhaustive"
+    );
+    let mut exhaustive_corr = 0u64;
+    for (name, algo) in &algorithms {
+        let mut corr = 0u64;
+        let mut hits = 0usize;
+        let mut omega = 0.0;
+        let mut found = 0usize;
+        for q in &queries {
+            let t = algo.search(q, &mdb).expect("search succeeds");
+            corr += t.work().correlations;
+            hits += t.len();
+            if !t.is_empty() {
+                omega += t.hits()[0].omega;
+                found += 1;
+            }
+        }
+        if *name == "exhaustive" {
+            exhaustive_corr = corr;
+        }
+        println!(
+            "{:<22} {:>14} {:>10} {:>12.4} {:>13.1}x",
+            name,
+            corr / queries.len() as u64,
+            hits / queries.len(),
+            omega / found.max(1) as f64,
+            exhaustive_corr as f64 / corr as f64
+        );
+    }
+    println!(
+        "\nreading: the two-stage prescan buys additional reduction over Algorithm 1\n\
+         at equal best-match quality; too coarse a stride starts missing envelopes."
+    );
+}

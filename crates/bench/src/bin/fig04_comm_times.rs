@@ -1,0 +1,62 @@
+//! Fig. 4: transmission times across communication platforms.
+//!
+//! (a) upload time (µs) for 20–400 samples — 256 samples must take ≲ 1 ms
+//!     on 4G-class links;
+//! (b) download time (ms) for 20–400 signal-sets — 100 signals must take
+//!     ≲ 200 ms.
+
+use emap_bench::banner;
+use emap_net::CommTech;
+
+fn main() {
+    banner(
+        "Fig. 4 — transmission time across communication platforms",
+        "256 samples upload < 1 ms; 100 signals download < 200 ms (4G era)",
+    );
+
+    println!("\n(a) upload time (µs) vs number of samples");
+    print!("{:>10}", "samples");
+    for t in CommTech::ALL {
+        print!("{:>10}", t.label());
+    }
+    println!();
+    for n in [20u64, 40, 60, 100, 200, 256, 300, 400] {
+        print!("{n:>10}");
+        for t in CommTech::ALL {
+            print!("{:>10.0}", t.upload_time(n).as_secs_f64() * 1e6);
+        }
+        if n == 256 {
+            print!("   <- one EEG second");
+        }
+        println!();
+    }
+
+    println!("\n(b) download time (ms) vs number of signals");
+    print!("{:>10}", "signals");
+    for t in CommTech::ALL {
+        print!("{:>10}", t.label());
+    }
+    println!();
+    for n in [20u64, 40, 60, 100, 150, 200, 300, 400] {
+        print!("{n:>10}");
+        for t in CommTech::ALL {
+            print!("{:>10.1}", t.download_time(n).as_secs_f64() * 1e3);
+        }
+        if n == 100 {
+            print!("   <- top-100 set");
+        }
+        println!();
+    }
+
+    println!("\nreal-time check at the paper's operating point:");
+    for t in CommTech::ALL {
+        let up_ok = t.upload_time(256).as_micros() < 1000;
+        let down_ok = t.download_time(100).as_millis() < 200;
+        println!(
+            "  {:<9} upload<1ms: {:<5} download<200ms: {}",
+            t.label(),
+            up_ok,
+            down_ok
+        );
+    }
+}

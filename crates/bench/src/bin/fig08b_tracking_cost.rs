@@ -1,0 +1,85 @@
+//! Fig. 8b: edge exploration time — re-evaluating cross-correlations vs the
+//! lightweight area-between-curves tracking, for a growing tracked set.
+//!
+//! Paper: the area method is ~4.3× faster; tracking 100 signals takes
+//! ~900 ms on the Raspberry Pi edge node (inside the 1 s real-time budget).
+
+use std::time::Instant;
+
+use emap_bench::{banner, build_mdb, fmt_duration, input_factory, scaled};
+use emap_datasets::SignalClass;
+use emap_edge::{EdgeConfig, EdgeMetric, EdgeTracker};
+use emap_net::{Device, TrackingMetric};
+use emap_search::{Search, SearchConfig, SlidingSearch};
+
+fn main() {
+    banner(
+        "Fig. 8b — tracking cost: cross-correlation vs area-between-curves",
+        "~4.3× reduction; 100 tracked signals ≈ 900 ms on the Pi",
+    );
+    let mdb = build_mdb(scaled(12, 2));
+    let factory = input_factory();
+    let query = emap_bench::query_for(&factory, SignalClass::Seizure, 0, 6.0);
+    let follow = emap_bench::query_for(&factory, SignalClass::Seizure, 0, 7.0);
+
+    println!(
+        "\n{:>8} {:>26} {:>26} {:>8}",
+        "tracked", "area (model / wall)", "xcorr (model / wall)", "ratio"
+    );
+    for &n in &[50usize, 100, 150, 200, 300, 400] {
+        let cfg = SearchConfig::paper()
+            .with_top_k(n)
+            .expect("top_k > 0")
+            .with_delta(0.0)
+            .expect("delta valid"); // fill the set regardless of quality
+        let t = SlidingSearch::new(cfg).search(&query, &mdb).expect("search succeeds");
+        if t.len() < n {
+            println!("{n:>8}  (corpus too small to track {n} signals — increase scale)");
+            continue;
+        }
+
+        // Area metric.
+        let mut tracker = EdgeTracker::new(
+            EdgeConfig::default()
+                .with_metric(EdgeMetric::AreaBetweenCurves { delta_a: 1e15 })
+                .expect("valid metric"),
+        );
+        tracker.load(&t, &mdb).expect("hits resolve");
+        let started = Instant::now();
+        let report = tracker.step(follow.samples()).expect("step succeeds");
+        let area_wall = started.elapsed();
+        let area_model = Device::EdgeRpi.tracking_time(n as u64, TrackingMetric::AreaBetweenCurves);
+        let _ = report;
+
+        // Cross-correlation metric.
+        let mut tracker = EdgeTracker::new(
+            EdgeConfig::default()
+                .with_metric(EdgeMetric::CrossCorrelation { delta: 0.0 })
+                .expect("valid metric"),
+        );
+        tracker.load(&t, &mdb).expect("hits resolve");
+        let started = Instant::now();
+        tracker.step(follow.samples()).expect("step succeeds");
+        let xc_wall = started.elapsed();
+        let xc_model = Device::EdgeRpi.tracking_time(n as u64, TrackingMetric::CrossCorrelation);
+
+        println!(
+            "{:>8} {:>13} / {:>10} {:>13} / {:>10} {:>7.1}x",
+            n,
+            fmt_duration(area_model),
+            fmt_duration(area_wall),
+            fmt_duration(xc_model),
+            fmt_duration(xc_wall),
+            xc_model.as_secs_f64() / area_model.as_secs_f64(),
+        );
+    }
+    println!(
+        "\nmodeled on the Raspberry Pi B+ running the authors' interpreted stack;\n\
+         wall-clock is this host's optimized Rust (with early-exit area scans),\n\
+         hence much faster in absolute terms — the ratio is the claim under test."
+    );
+    println!(
+        "real-time check: 100 tracked @ area = {} (budget 1 s)",
+        fmt_duration(Device::EdgeRpi.tracking_time(100, TrackingMetric::AreaBetweenCurves))
+    );
+}

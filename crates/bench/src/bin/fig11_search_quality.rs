@@ -1,0 +1,66 @@
+//! Fig. 11: average top-100 cross-correlation of Algorithm 1 vs the
+//! exhaustive search, for 100 normal and 100 anomalous inputs.
+//!
+//! Paper: the averages are nearly indistinguishable (loss ~0), but the
+//! sliding window occasionally returns a diverse set with low-correlation
+//! members ("worst set" outliers).
+
+use emap_bench::{banner, build_mdb, input_factory, scaled};
+use emap_datasets::SignalClass;
+use emap_search::{ExhaustiveSearch, Search, SearchConfig, SlidingSearch};
+
+fn main() {
+    banner(
+        "Fig. 11 — top-100 quality: Algorithm 1 vs exhaustive",
+        "average top-100 ω nearly identical; rare low-ω outliers from the sliding window",
+    );
+    let mdb = build_mdb(scaled(3, 1));
+    let factory = input_factory();
+    let n = scaled(100, 10);
+    let cfg = SearchConfig::paper();
+
+    for (group, class_pick) in [
+        ("normal inputs", None),
+        ("anomalous inputs", Some(())),
+    ] {
+        let mut ex_means = Vec::new();
+        let mut sl_means = Vec::new();
+        let mut sl_mins = Vec::new();
+        for i in 0..n {
+            let class = match class_pick {
+                None => SignalClass::Normal,
+                Some(()) => SignalClass::ANOMALIES[i % 3],
+            };
+            let q = emap_bench::query_for(&factory, class, i, 6.0);
+            let ex = ExhaustiveSearch::new(cfg).search(&q, &mdb).expect("search succeeds");
+            let sl = SlidingSearch::new(cfg).search(&q, &mdb).expect("search succeeds");
+            if ex.is_empty() || sl.is_empty() {
+                continue;
+            }
+            ex_means.push(ex.mean_omega());
+            sl_means.push(sl.mean_omega());
+            sl_mins.push(sl.min_omega());
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        println!("\n{group} ({} evaluated):", ex_means.len());
+        println!(
+            "  exhaustive: avg top-100 ω = {:.4}  (range {:.3}..{:.3})",
+            avg(&ex_means),
+            min(&ex_means),
+            ex_means.iter().copied().fold(0.0, f64::max)
+        );
+        println!(
+            "  algorithm1: avg top-100 ω = {:.4}  (range {:.3}..{:.3})",
+            avg(&sl_means),
+            min(&sl_means),
+            sl_means.iter().copied().fold(0.0, f64::max)
+        );
+        println!(
+            "  accuracy loss: {:+.4} (paper: ≈ 0); worst single hit in any set: {:.3}",
+            avg(&ex_means) - avg(&sl_means),
+            min(&sl_mins)
+        );
+    }
+    println!("\npaper's axis range is [0.82, 1.00] — both averages must sit high in it");
+}

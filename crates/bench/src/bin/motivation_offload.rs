@@ -1,0 +1,104 @@
+//! §I motivation, quantified: why the *hybrid* split — rather than cloud
+//! streaming or edge-only processing — is the right deployment for a
+//! battery-powered wearable handling private bio-signals.
+//!
+//! The paper argues (a) full cloud offload leaks the complete signal and
+//! wastes radio energy, while (b) edge-only processing cannot afford the
+//! mega-database search. This binary puts numbers on both, driven by the
+//! measured cloud-call cadence of an actual pipeline run.
+
+use std::time::Duration;
+
+use emap_bench::{banner, build_mdb, input_factory, scaled};
+use emap_core::{EmapConfig, EmapPipeline};
+use emap_net::energy::{DataExposure, EnergyModel};
+use emap_net::{CommTech, TrackingMetric};
+
+fn main() {
+    banner(
+        "Motivation (§I) — hybrid vs streaming vs edge-only deployment",
+        "the hybrid split minimizes both data exposure and edge energy",
+    );
+    // Measure the real cloud-call cadence and search cost on a pipeline run.
+    let mdb = build_mdb(scaled(6, 1));
+    let factory = input_factory();
+    let patient = factory.seizure_recording("motivation", 30.0, 10.0);
+    let mut pipeline = EmapPipeline::new(EmapConfig::default(), mdb);
+    let trace = pipeline
+        .run_on_samples(patient.channels()[0].samples())
+        .expect("pipeline run succeeds");
+    let monitored_s = trace.iterations.len() as f64;
+    let call_period_s = monitored_s / trace.cloud_calls.max(1) as f64;
+    let search_correlations = trace
+        .iterations
+        .iter()
+        .filter_map(|o| o.search_work)
+        .map(|w| w.correlations)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "\nmeasured: {} cloud calls over {monitored_s:.0} s (one per {call_period_s:.1} s); \
+         search = {search_correlations} window evaluations",
+        trace.cloud_calls
+    );
+
+    let window = Duration::from_secs(24 * 3600);
+    let model = EnergyModel::rpi_wearable(CommTech::Lte);
+    let metric = TrackingMetric::AreaBetweenCurves;
+
+    let hybrid = model.hybrid_budget(window, 100, call_period_s, metric);
+    let streaming = model.streaming_budget(window);
+    let edge_only =
+        model.edge_only_budget(window, 100, call_period_s, search_correlations, metric);
+
+    // A 1200 mAh / 3.7 V wearable battery ≈ 4440 mWh.
+    let battery_mwh = 4440.0;
+    println!("\n24 h monitoring on an LTE wearable (1200 mAh battery):");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "strategy", "compute [J]", "tx [J]", "rx [J]", "total [J]", "battery [h]", "exposure"
+    );
+    let windowed = model.windowed_hybrid_budget(window, 100, (call_period_s / 1.5).max(1.0), metric, 64);
+    for (name, budget, exposure) in [
+        (
+            "hybrid (EMAP)",
+            hybrid,
+            DataExposure::new(window.as_secs_f64() / call_period_s, window.as_secs_f64()),
+        ),
+        (
+            "hybrid+window",
+            windowed,
+            DataExposure::new(
+                window.as_secs_f64() / (call_period_s / 1.5).max(1.0),
+                window.as_secs_f64(),
+            ),
+        ),
+        (
+            "streaming",
+            streaming,
+            DataExposure::new(window.as_secs_f64(), window.as_secs_f64()),
+        ),
+        (
+            "edge-only",
+            edge_only,
+            DataExposure::new(0.0, window.as_secs_f64()),
+        ),
+    ] {
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>14.1} {:>11.1} %",
+            name,
+            budget.compute_mj / 1000.0,
+            budget.tx_mj / 1000.0,
+            budget.rx_mj / 1000.0,
+            budget.total_mj() / 1000.0,
+            budget.battery_life_hours(battery_mwh, window),
+            exposure.fraction() * 100.0
+        );
+    }
+    println!(
+        "\nreading: streaming exposes 100 % of the signal; edge-only cannot afford\n\
+         the search compute; the hybrid transmits only ~{:.0} % of the signal and\n\
+         keeps the edge workload at the lightweight tracker — the paper's §I case.",
+        100.0 / call_period_s
+    );
+}

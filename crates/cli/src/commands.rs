@@ -1,0 +1,368 @@
+//! Subcommand implementations.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use emap_core::{EmapConfig, EmapPipeline, SessionReport};
+use emap_datasets::{export, registry::standard_registry};
+use emap_edf::Recording;
+use emap_mdb::{Mdb, MdbBuilder};
+
+use crate::args::{Args, ArgsError};
+use crate::USAGE;
+
+/// Errors surfaced to the shell (message + suggested exit code 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Any runtime failure, already formatted for the user.
+    Runtime(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Runtime(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Usage(e.to_string())
+    }
+}
+
+fn runtime(e: impl fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+/// Dispatches a full argument vector (without the program name) to the
+/// matching subcommand, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed invocations and
+/// [`CliError::Runtime`] for execution failures.
+pub fn dispatch<W: Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(CliError::Usage("no command given".into()));
+    };
+    let rest = rest.to_vec();
+    match command.as_str() {
+        "generate" => generate(Args::parse(rest, &["out", "scale", "seed", "specs"])?, out),
+        "inspect" => inspect(Args::parse(rest, &[])?, out),
+        "build-mdb" => build_mdb(Args::parse(rest, &["out", "registry", "seed"])?, out),
+        "mdb-info" => mdb_info(Args::parse(rest, &[])?, out),
+        "monitor" => monitor(
+            Args::parse(rest, &["mdb", "input", "channel", "json"])?,
+            out,
+        ),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(runtime)?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn generate<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
+    let dir = args.require("out")?;
+    let scale = args.get_or("scale", 1usize, "an integer")?;
+    let seed = args.get_or("seed", 42u64, "an integer")?;
+    let specs = match args.get("specs") {
+        Some(path) => emap_datasets::registry::load_specs(path).map_err(runtime)?,
+        None => standard_registry(scale),
+    };
+    let mut total = 0;
+    for spec in specs {
+        let dataset = spec.generate(seed);
+        let sub = Path::new(dir).join(spec.id());
+        let paths = export::write_dataset_dir(&dataset, &sub).map_err(runtime)?;
+        writeln!(out, "{}: {} recordings -> {}", spec.id(), paths.len(), sub.display())
+            .map_err(runtime)?;
+        total += paths.len();
+    }
+    writeln!(out, "wrote {total} recordings (seed {seed}, scale {scale})").map_err(runtime)?;
+    Ok(())
+}
+
+fn inspect<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
+    if args.positional().is_empty() {
+        return Err(CliError::Usage("inspect needs at least one file".into()));
+    }
+    for path in args.positional() {
+        let file = File::open(path).map_err(runtime)?;
+        let info = Recording::peek(BufReader::new(file)).map_err(runtime)?;
+        writeln!(
+            out,
+            "{path}: patient `{}` recording `{}` — {:.1} s, {} annotations",
+            info.patient_id,
+            info.recording_id,
+            info.duration_s(),
+            info.n_annotations
+        )
+        .map_err(runtime)?;
+        for (label, rate, n) in &info.channels {
+            writeln!(out, "  channel {label:<12} {n:>8} samples @ {rate} Hz").map_err(runtime)?;
+        }
+    }
+    Ok(())
+}
+
+fn build_mdb<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
+    let out_path = args.require("out")?;
+    let seed = args.get_or("seed", 42u64, "an integer")?;
+    let mut builder = MdbBuilder::new();
+    if let Some(scale) = args.get("registry") {
+        let scale: usize = scale.parse().map_err(|_| ArgsError::BadValue {
+            option: "registry".into(),
+            value: scale.into(),
+            expected: "an integer scale",
+        })?;
+        for spec in standard_registry(scale) {
+            builder.add_dataset(&spec.generate(seed)).map_err(runtime)?;
+        }
+    } else if args.positional().is_empty() {
+        return Err(CliError::Usage(
+            "build-mdb needs --registry SCALE or at least one recording directory".into(),
+        ));
+    }
+    for dir in args.positional() {
+        let added = builder.add_edf_dir(dir).map_err(runtime)?;
+        writeln!(out, "{dir}: {added} signal-sets").map_err(runtime)?;
+    }
+    let mdb = builder.build();
+    mdb.write_snapshot(BufWriter::new(File::create(out_path).map_err(runtime)?))
+        .map_err(runtime)?;
+    let stats = mdb.stats();
+    writeln!(
+        out,
+        "mega-database: {} signal-sets ({} normal / {} anomalous) -> {out_path}",
+        stats.total, stats.normal, stats.anomalous
+    )
+    .map_err(runtime)?;
+    Ok(())
+}
+
+fn mdb_info<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
+    let [path] = args.positional() else {
+        return Err(CliError::Usage("mdb-info needs exactly one snapshot file".into()));
+    };
+    let mdb = Mdb::read_snapshot(BufReader::new(File::open(path).map_err(runtime)?))
+        .map_err(runtime)?;
+    let stats = mdb.stats();
+    writeln!(out, "{path}: {} signal-sets", stats.total).map_err(runtime)?;
+    writeln!(out, "  normal:    {}", stats.normal).map_err(runtime)?;
+    writeln!(out, "  anomalous: {}", stats.anomalous).map_err(runtime)?;
+    for (class, n) in &stats.per_class {
+        writeln!(out, "  class {:<16} {n}", class.label()).map_err(runtime)?;
+    }
+    for (ds, n) in &stats.per_dataset {
+        writeln!(out, "  dataset {:<20} {n}", ds).map_err(runtime)?;
+    }
+    Ok(())
+}
+
+fn monitor<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
+    let mdb_path = args.require("mdb")?;
+    let input_path = args.require("input")?;
+    let json = args.get_or("json", false, "true or false")?;
+
+    let mdb = Mdb::read_snapshot(BufReader::new(File::open(mdb_path).map_err(runtime)?))
+        .map_err(runtime)?;
+    let recording = Recording::read_from(BufReader::new(
+        File::open(input_path).map_err(runtime)?,
+    ))
+    .map_err(runtime)?;
+    let channel = match args.get("channel") {
+        Some(label) => recording
+            .channel(label)
+            .ok_or_else(|| CliError::Runtime(format!("no channel labeled `{label}`")))?,
+        None => &recording.channels()[0],
+    };
+
+    let config = EmapConfig::default();
+    let mut pipeline = EmapPipeline::new(config, mdb);
+    let trace = pipeline.run_on_samples(channel.samples()).map_err(runtime)?;
+    let report = SessionReport::from_trace(&config, &trace).map_err(runtime)?;
+
+    if json {
+        let record = serde_json::json!({
+            "input": input_path,
+            "channel": channel.label(),
+            "pa": trace.pa_history.values(),
+            "final_pa": trace.pa_history.last(),
+            "verdict": format!("{:?}", report.verdict),
+            "report": report,
+        });
+        writeln!(out, "{record:#}").map_err(runtime)?;
+    } else {
+        writeln!(out, "{input_path} ({}):", channel.label()).map_err(runtime)?;
+        let series: Vec<String> = trace
+            .pa_history
+            .values()
+            .iter()
+            .map(|p| format!("{p:.2}"))
+            .collect();
+        writeln!(out, "P_A: [{}]", series.join(", ")).map_err(runtime)?;
+        writeln!(out, "{report}").map_err(runtime)?;
+        // Keep the machine-greppable verdict line stable.
+        writeln!(out, "verdict: {:?}", report.verdict).map_err(runtime)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(line: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        dispatch(argv, &mut out)?;
+        Ok(String::from_utf8(out).expect("cli output is utf-8"))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("emap-cli-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help").unwrap();
+        assert!(out.contains("build-mdb"));
+        assert!(out.contains("monitor"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        assert!(matches!(run("frobnicate"), Err(CliError::Usage(_))));
+        assert!(matches!(run(""), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn full_workflow_generate_build_inspect_monitor() {
+        let dir = tmp("workflow");
+        let data = dir.join("data");
+        let mdb = dir.join("mdb.bin");
+
+        // generate
+        let out = run(&format!("generate --out {} --scale 1 --seed 9", data.display())).unwrap();
+        assert!(out.contains("physionet-mirror"));
+        assert!(out.contains("wrote"));
+
+        // inspect one file
+        let some_file = std::fs::read_dir(data.join("physionet-mirror"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let out = run(&format!("inspect {}", some_file.display())).unwrap();
+        assert!(out.contains("channel"));
+
+        // build-mdb from the generated directories
+        let dirs: Vec<String> = std::fs::read_dir(&data)
+            .unwrap()
+            .map(|e| e.unwrap().path().display().to_string())
+            .collect();
+        let out = run(&format!(
+            "build-mdb --out {} {}",
+            mdb.display(),
+            dirs.join(" ")
+        ))
+        .unwrap();
+        assert!(out.contains("mega-database"));
+
+        // mdb-info
+        let out = run(&format!("mdb-info {}", mdb.display())).unwrap();
+        assert!(out.contains("anomalous"));
+        assert!(out.contains("class"));
+
+        // monitor one of the generated recordings against the snapshot
+        let out = run(&format!(
+            "monitor --mdb {} --input {}",
+            mdb.display(),
+            some_file.display()
+        ))
+        .unwrap();
+        assert!(out.contains("verdict:"));
+
+        // and the JSON form parses
+        let out = run(&format!(
+            "monitor --mdb {} --input {} --json true",
+            mdb.display(),
+            some_file.display()
+        ))
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(parsed["final_pa"].is_number());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_accepts_custom_specs() {
+        let dir = tmp("specs");
+        let specs_path = dir.join("specs.json");
+        let specs = vec![emap_datasets::DatasetSpec::new("custom-ds", 256.0, 8.0)
+            .normal_recordings(2)];
+        emap_datasets::registry::save_specs(&specs, &specs_path).unwrap();
+        let out = run(&format!(
+            "generate --out {} --specs {}",
+            dir.join("data").display(),
+            specs_path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("custom-ds"));
+        assert!(out.contains("wrote 2 recordings"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_mdb_requires_a_source() {
+        let dir = tmp("nosource");
+        let err = run(&format!("build-mdb --out {}/m.bin", dir.display())).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monitor_reports_missing_channel() {
+        let dir = tmp("badchan");
+        let data = dir.join("data");
+        let mdb = dir.join("mdb.bin");
+        run(&format!("generate --out {} --scale 1", data.display())).unwrap();
+        run(&format!("build-mdb --out {} --registry 1", mdb.display())).unwrap();
+        let some_file = std::fs::read_dir(data.join("bnci-mirror"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let err = run(&format!(
+            "monitor --mdb {} --input {} --channel NOPE",
+            mdb.display(),
+            some_file.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("NOPE"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_requires_files() {
+        assert!(matches!(run("inspect"), Err(CliError::Usage(_))));
+    }
+}

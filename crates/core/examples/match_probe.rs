@@ -1,0 +1,126 @@
+//! Internal probe: where does correlation quality degrade along the
+//! ingestion chain?
+
+use emap_datasets::{synth, PatternLibrary, RecordingFactory, SignalClass};
+use emap_dsp::similarity::SlidingDotProduct;
+use emap_dsp::SampleRate;
+use emap_mdb::MdbBuilder;
+
+fn best_corr(query: &[f32], host: &[f32]) -> f64 {
+    let sdp = SlidingDotProduct::new(query).unwrap();
+    sdp.scan(host, 1)
+        .unwrap()
+        .into_iter()
+        .map(|(_, c)| c)
+        .fold(f64::MIN, f64::max)
+}
+
+fn main() {
+    abc_probe();
+    let seed = 42u64;
+    let filter = emap_dsp::emap_bandpass();
+
+    for class in SignalClass::ALL {
+        let lib = PatternLibrary::new(class, seed);
+        let p = lib.pattern(0);
+
+        // 1. Pure pattern, two noisy realizations at 256 Hz, no filtering.
+        let params = |n: usize, t0: f64, nf: f64| synth::SynthParams {
+            rate_hz: 256.0,
+            t0_s: t0,
+            n_samples: n,
+            noise_fraction: nf,
+            gain: 1.0,
+        };
+        let nf = synth::noise_fraction(class);
+        let a = synth::synthesize(p, params(256, 3.0, nf), 1);
+        let b = synth::synthesize(p, params(16 * 256, 0.0, nf), 2);
+        println!("{class:>16}: raw same-pattern best corr = {:.3}", best_corr(&a, &b));
+
+        // 2. After bandpass on both sides.
+        let fa = filter.filter(&synth::synthesize(p, params(4 * 256, 2.0, nf), 1));
+        let fb = filter.filter(&b);
+        println!(
+            "{class:>16}: filtered same-pattern      = {:.3}",
+            best_corr(&fa[3 * 256..4 * 256], &fb)
+        );
+
+        // 3. Through the real factory + MDB pipeline at a native rate.
+        let f256 = RecordingFactory::new(seed);
+        let f200 = RecordingFactory::with_rate(seed, SampleRate::new(200.0).unwrap());
+        let rec_a = match class {
+            SignalClass::Normal => f256.normal_recording_with_pattern("a", 16.0, 0),
+            c => f256.anomaly_recording_with_pattern(c, "a", 16.0, 0),
+        };
+        let rec_b = match class {
+            SignalClass::Normal => f200.normal_recording_with_pattern("b", 24.0, 0),
+            c => f200.anomaly_recording_with_pattern(c, "b", 24.0, 0),
+        };
+        let mut builder = MdbBuilder::new();
+        builder.add_recording("d", &rec_b).unwrap();
+        let mdb = builder.build();
+        let qa = filter.filter(rec_a.channels()[0].samples());
+        let best = mdb
+            .iter()
+            .map(|s| best_corr(&qa[2048..2304], s.samples()))
+            .fold(f64::MIN, f64::max);
+        println!("{class:>16}: via pipeline (200 Hz MDB)  = {best:.3}");
+
+        // 4. Same but MDB recording also at 256 Hz.
+        let rec_c = match class {
+            SignalClass::Normal => f256.normal_recording_with_pattern("c", 24.0, 0),
+            c => f256.anomaly_recording_with_pattern(c, "c", 24.0, 0),
+        };
+        let mut builder = MdbBuilder::new();
+        builder.add_recording("d", &rec_c).unwrap();
+        let mdb = builder.build();
+        let best = mdb
+            .iter()
+            .map(|s| best_corr(&qa[2048..2304], s.samples()))
+            .fold(f64::MIN, f64::max);
+        println!("{class:>16}: via pipeline (256 Hz MDB)  = {best:.3}");
+    }
+}
+
+
+fn best_offset(query: &[f32], host: &[f32]) -> usize {
+    let sdp = SlidingDotProduct::new(query).unwrap();
+    sdp.scan(host, 1)
+        .unwrap()
+        .into_iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(o, _)| o)
+        .unwrap_or(0)
+}
+
+fn abc(query: &[f32], host: &[f32], off: usize) -> f64 {
+    emap_dsp::similarity::area_between_curves(query, &host[off..off + query.len()]).unwrap()
+}
+
+fn abc_probe() {
+    let seed = 42u64;
+    let filter = emap_dsp::emap_bandpass();
+    let f256 = RecordingFactory::new(seed);
+    println!("--- ABC at best-match offsets ---");
+    for class in SignalClass::ALL {
+        let make = |id: &str, pat: usize| -> Vec<f32> {
+            let rec = match class {
+                SignalClass::Normal => f256.normal_recording_with_pattern(id, 20.0, pat),
+                c => f256.anomaly_recording_with_pattern(c, id, 20.0, pat),
+            };
+            filter.filter(rec.channels()[0].samples())
+        };
+        let qa = make("qa", 0);
+        let same = make("hb", 0);
+        let cross = make("hc", 1);
+        let q = &qa[2048..2304];
+        let off_same = best_offset(q, &same);
+        let off_cross = best_offset(q, &cross);
+        println!(
+            "{class:>16}: matched ABC = {:>7.0}  cross-pattern ABC = {:>7.0}",
+            abc(q, &same, off_same),
+            abc(q, &cross, off_cross)
+        );
+    }
+}
+

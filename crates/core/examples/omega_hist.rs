@@ -1,0 +1,36 @@
+//! Internal probe: distribution of ω at random offsets.
+use emap_datasets::RecordingFactory;
+use emap_mdb::MdbBuilder;
+use emap_search::Query;
+
+fn main() {
+    let seed = 42;
+    let mut builder = MdbBuilder::new();
+    for spec in emap_datasets::registry::standard_registry(1) {
+        builder.add_dataset(&spec.generate(seed)).unwrap();
+    }
+    let mdb = builder.build();
+    let factory = RecordingFactory::new(seed);
+    let filter = emap_dsp::emap_bandpass();
+    let rec = factory.normal_recording_with_pattern("q", 16.0, 0);
+    let filtered = filter.filter(rec.channels()[0].samples());
+    let query = Query::new(&filtered[2048..2304]).unwrap();
+    let rc = query.correlator();
+
+    let mut omegas = Vec::new();
+    for (i, s) in mdb.iter().enumerate() {
+        for k in 0..5 {
+            let off = (i * 131 + k * 149) % 744;
+            omegas.push(rc.correlation_at(s.samples(), off).unwrap());
+        }
+    }
+    omegas.sort_by(f64::total_cmp);
+    let q = |p: f64| omegas[(p * (omegas.len() - 1) as f64) as usize];
+    let mean = omegas.iter().sum::<f64>() / omegas.len() as f64;
+    println!("n={} mean={:.3}", omegas.len(), mean);
+    for p in [0.05, 0.25, 0.5, 0.75, 0.95] {
+        println!("  p{:.0} = {:.3}", p * 100.0, q(p));
+    }
+    let skips: f64 = omegas.iter().map(|&w| 0.004f64.powf(w.clamp(0.0,1.0) - 1.0)).sum::<f64>() / omegas.len() as f64;
+    println!("mean skip = {skips:.2} -> implied reduction ≈ {skips:.1}x");
+}

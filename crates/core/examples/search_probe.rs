@@ -1,0 +1,41 @@
+//! Internal probe: exhaustive vs sliding search quality on the registry MDB.
+
+use emap_datasets::{RecordingFactory, SignalClass};
+use emap_mdb::MdbBuilder;
+use emap_search::{ExhaustiveSearch, Query, Search, SearchConfig, SlidingSearch};
+
+fn main() {
+    let seed = 42;
+    let mut builder = MdbBuilder::new();
+    for spec in emap_datasets::registry::standard_registry(3) {
+        builder.add_dataset(&spec.generate(seed)).unwrap();
+    }
+    let mdb = builder.build();
+    let factory = RecordingFactory::new(seed);
+    let filter = emap_dsp::emap_bandpass();
+
+    for class in SignalClass::ALL {
+        for pat in 0..3usize {
+            let rec = match class {
+                SignalClass::Normal => {
+                    factory.normal_recording_with_pattern("probe", 16.0, pat)
+                }
+                c => factory.anomaly_recording_with_pattern(c, "probe", 16.0, pat),
+            };
+            let filtered = filter.filter(rec.channels()[0].samples());
+            let query = Query::new(&filtered[2048..2304]).unwrap();
+            let cfg = SearchConfig::paper().with_delta(0.5).unwrap();
+            let ex = ExhaustiveSearch::new(cfg).search(&query, &mdb).unwrap();
+            let sl = SlidingSearch::new(cfg).search(&query, &mdb).unwrap();
+            let exb = ex.hits().first().map(|h| h.omega).unwrap_or(0.0);
+            let slb = sl.hits().first().map(|h| h.omega).unwrap_or(0.0);
+            println!(
+                "{class:>16} pat{pat}: exhaustive best={exb:.3} hits={} | sliding best={slb:.3} hits={} | corr work {} vs {}",
+                ex.len(),
+                sl.len(),
+                ex.work().correlations,
+                sl.work().correlations,
+            );
+        }
+    }
+}

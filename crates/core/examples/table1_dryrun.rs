@@ -1,0 +1,27 @@
+//! Internal dry run of the Table I protocol at small scale.
+use emap_core::eval::EvalHarness;
+use emap_core::EmapConfig;
+use emap_datasets::SignalClass;
+
+fn main() {
+    let mut h = EvalHarness::from_registry(EmapConfig::default(), 42, 3);
+    for class in SignalClass::ANOMALIES {
+        let mut accs = Vec::new();
+        for b in 0..2 {
+            let r = h
+                .evaluate_anomaly_batch(class, &format!("B{b}"), 8, 30.0)
+                .unwrap();
+            accs.push(r.accuracy());
+        }
+        println!("{class:>16}: batch accuracies = {accs:?}");
+    }
+    let norm = h.evaluate_normal_batch("N", 10).unwrap();
+    println!("normal: accuracy {:.2} (FP rate {:.2})", norm.accuracy(), 1.0 - norm.accuracy());
+    // Fig 10 horizons
+    for hz in [15.0, 30.0, 45.0, 60.0, 120.0] {
+        let r = h
+            .evaluate_anomaly_batch(SignalClass::Seizure, &format!("H{hz}"), 8, hz)
+            .unwrap();
+        println!("seizure @ {hz:>5}s horizon: acc {:.2}", r.accuracy());
+    }
+}

@@ -1,0 +1,24 @@
+//! Internal probe: predictor high_probability sweep vs accuracy and FP.
+use emap_core::eval::EvalHarness;
+use emap_core::EmapConfig;
+use emap_datasets::SignalClass;
+use emap_edge::PredictorConfig;
+
+fn main() {
+    for hp in [0.45, 0.50, 0.55, 0.60] {
+        let config = EmapConfig::default().with_predictor(PredictorConfig {
+            high_probability: hp,
+            ..PredictorConfig::default()
+        });
+        let mut h = EvalHarness::from_registry(config, 42, 3);
+        let e = h.evaluate_anomaly_batch(SignalClass::Encephalopathy, "t", 15, 30.0).unwrap();
+        let s = h.evaluate_anomaly_batch(SignalClass::Stroke, "t", 15, 30.0).unwrap();
+        let n = h.evaluate_normal_batch("t", 20).unwrap();
+        println!(
+            "hp={hp:.2}: enceph {:.2} stroke {:.2} FP {:.2}",
+            e.accuracy(),
+            s.accuracy(),
+            1.0 - n.accuracy()
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The signal-acquisition stage (§V-A): 256 Hz sampling, streaming 100-tap
+//! bandpass filtering, one-second windowing.
+
+use emap_dsp::fir::FirState;
+use emap_dsp::SAMPLES_PER_SECOND;
+
+/// The edge sensor node's acquisition stage: a streaming bandpass filter
+/// producing the one-second windows `B_N` that are transmitted to the cloud
+/// and fed to the tracker.
+///
+/// The filter state persists across seconds, exactly like the "hard-coded
+/// accelerator" the paper envisions, so window boundaries introduce no
+/// filtering artifacts.
+///
+/// # Example
+///
+/// ```
+/// use emap_core::Acquisition;
+///
+/// let mut acq = Acquisition::new();
+/// let raw = vec![1.0f32; 256];
+/// let filtered = acq.process_second(&raw);
+/// assert_eq!(filtered.len(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    state: FirState,
+}
+
+impl Acquisition {
+    /// Creates the acquisition stage with the paper's 11–40 Hz filter.
+    #[must_use]
+    pub fn new() -> Self {
+        Acquisition {
+            state: emap_dsp::emap_bandpass().stream(),
+        }
+    }
+
+    /// Filters one second of raw samples into the transmitted window `B_N`.
+    ///
+    /// The caller is expected to supply exactly one second; shorter or
+    /// longer blocks are filtered as-is (the filter is streaming), so the
+    /// output length always equals the input length.
+    #[must_use]
+    pub fn process_second(&mut self, raw: &[f32]) -> Vec<f32> {
+        self.state.push_block(raw)
+    }
+
+    /// Resets the filter history (e.g. when the electrode re-attaches).
+    pub fn reset(&mut self) {
+        self.state.reset();
+    }
+}
+
+impl Default for Acquisition {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Splits a raw sample stream into complete one-second windows (256
+/// samples each); the trailing partial second is discarded, mirroring the
+/// per-time-step transmission of §V-A.
+///
+/// # Example
+///
+/// ```
+/// use emap_core::seconds_of;
+///
+/// let raw = vec![0.0f32; 600];
+/// let secs: Vec<&[f32]> = seconds_of(&raw).collect();
+/// assert_eq!(secs.len(), 2);
+/// assert_eq!(secs[0].len(), 256);
+/// ```
+pub fn seconds_of(raw: &[f32]) -> impl ExactSizeIterator<Item = &[f32]> {
+    raw.chunks_exact(SAMPLES_PER_SECOND)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtering_is_continuous_across_seconds() {
+        // Feeding two seconds in one block or as two blocks must agree.
+        let raw: Vec<f32> = (0..512)
+            .map(|n| (std::f32::consts::TAU * 20.0 * n as f32 / 256.0).sin())
+            .collect();
+        let mut one = Acquisition::new();
+        let whole = one.process_second(&raw);
+        let mut two = Acquisition::new();
+        let mut split = two.process_second(&raw[..256]);
+        split.extend(two.process_second(&raw[256..]));
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let raw: Vec<f32> = (0..256).map(|n| (n as f32 * 0.2).sin()).collect();
+        let mut acq = Acquisition::new();
+        let first = acq.process_second(&raw);
+        acq.reset();
+        let second = acq.process_second(&raw);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn seconds_of_discards_partial_tail() {
+        let raw = vec![0.0f32; 256 * 3 + 100];
+        assert_eq!(seconds_of(&raw).len(), 3);
+        assert!(seconds_of(&raw).all(|s| s.len() == 256));
+        assert_eq!(seconds_of(&[0.0; 10]).len(), 0);
+    }
+
+    #[test]
+    fn out_of_band_content_attenuated() {
+        let slow: Vec<f32> = (0..1024)
+            .map(|n| (std::f32::consts::TAU * 2.0 * n as f32 / 256.0).sin())
+            .collect();
+        let mut acq = Acquisition::new();
+        let filtered = acq.process_second(&slow);
+        let tail = &filtered[512..];
+        let rms = (tail.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
+            / tail.len() as f64)
+            .sqrt();
+        assert!(rms < 0.03, "2 Hz rms {rms}");
+    }
+}

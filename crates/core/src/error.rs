@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors from the framework orchestration layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EmapError {
+    /// The cloud search failed.
+    Search(emap_search::SearchError),
+    /// The edge tracker failed.
+    Edge(emap_edge::EdgeError),
+    /// A DSP primitive failed.
+    Dsp(emap_dsp::DspError),
+    /// The input signal is too short to run even one iteration.
+    InputTooShort {
+        /// Samples supplied.
+        got: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for EmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmapError::Search(e) => write!(f, "cloud search failed: {e}"),
+            EmapError::Edge(e) => write!(f, "edge tracking failed: {e}"),
+            EmapError::Dsp(e) => write!(f, "dsp failure: {e}"),
+            EmapError::InputTooShort { got, needed } => {
+                write!(f, "input of {got} samples is shorter than {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmapError::Search(e) => Some(e),
+            EmapError::Edge(e) => Some(e),
+            EmapError::Dsp(e) => Some(e),
+            EmapError::InputTooShort { .. } => None,
+        }
+    }
+}
+
+impl From<emap_search::SearchError> for EmapError {
+    fn from(e: emap_search::SearchError) -> Self {
+        EmapError::Search(e)
+    }
+}
+
+impl From<emap_edge::EdgeError> for EmapError {
+    fn from(e: emap_edge::EdgeError) -> Self {
+        EmapError::Edge(e)
+    }
+}
+
+impl From<emap_dsp::DspError> for EmapError {
+    fn from(e: emap_dsp::DspError) -> Self {
+        EmapError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<EmapError> = vec![
+            EmapError::Search(emap_search::SearchError::BadQueryLength { got: 1 }),
+            EmapError::Edge(emap_edge::EdgeError::BadInputLength { got: 1 }),
+            EmapError::Dsp(emap_dsp::DspError::EmptySignal),
+            EmapError::InputTooShort { got: 10, needed: 256 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<EmapError>();
+    }
+}

@@ -1,0 +1,169 @@
+//! Multi-patient cloud service.
+//!
+//! The paper's cloud hosts one mega-database that serves *many* wearables
+//! at once — slicing the MDB exists precisely so searches can run in
+//! parallel (§V-B). [`CloudService`] models that deployment: a shared,
+//! concurrently-ingestible store plus a thread-parallel search endpoint
+//! that multiple edge sessions call concurrently.
+
+use emap_mdb::{SharedMdb, SignalSet};
+use emap_search::{CorrelationSet, ParallelSearch, Query, Search, SearchConfig, SearchError};
+
+/// A cloud node serving concurrent search requests over a shared,
+/// still-growing mega-database.
+///
+/// Cloning the service is cheap (the store is shared); each clone can be
+/// moved to its own thread.
+///
+/// # Example
+///
+/// ```
+/// use emap_core::CloudService;
+/// use emap_datasets::RecordingFactory;
+/// use emap_mdb::MdbBuilder;
+/// use emap_search::{Query, SearchConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let factory = RecordingFactory::new(1);
+/// let mut builder = MdbBuilder::new();
+/// builder.add_recording("d", &factory.normal_recording("r", 24.0))?;
+/// let service = CloudService::new(SearchConfig::paper(), builder.build().into_shared(), 2);
+///
+/// let filtered = emap_dsp::emap_bandpass().filter(
+///     factory.normal_recording("r", 24.0).channels()[0].samples(),
+/// );
+/// let t = service.search(&Query::new(&filtered[1024..1280])?)?;
+/// assert!(!t.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CloudService {
+    mdb: SharedMdb,
+    search: ParallelSearch,
+}
+
+impl CloudService {
+    /// Creates a service over a shared store, fanning each search across
+    /// `workers` threads.
+    #[must_use]
+    pub fn new(config: SearchConfig, mdb: SharedMdb, workers: usize) -> Self {
+        CloudService {
+            mdb,
+            search: ParallelSearch::new(config, workers),
+        }
+    }
+
+    /// The shared mega-database handle.
+    #[must_use]
+    pub fn mdb(&self) -> &SharedMdb {
+        &self.mdb
+    }
+
+    /// Serves one search request against the current store contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SearchError`] from the underlying algorithm.
+    pub fn search(&self, query: &Query) -> Result<CorrelationSet, SearchError> {
+        self.mdb.with_read(|mdb| self.search.search(query, mdb))
+    }
+
+    /// Ingests a new signal-set while searches keep running (the paper's
+    /// "Insertion" arrow in Fig. 3).
+    pub fn ingest(&self, set: SignalSet) {
+        self.mdb.insert(set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emap_datasets::{RecordingFactory, SignalClass};
+    use emap_mdb::{MdbBuilder, Provenance};
+
+    fn service() -> (CloudService, RecordingFactory) {
+        let factory = RecordingFactory::new(8);
+        let mut builder = MdbBuilder::new();
+        for i in 0..3 {
+            builder
+                .add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+                .unwrap();
+            builder
+                .add_recording(
+                    "d",
+                    &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+                )
+                .unwrap();
+        }
+        (
+            CloudService::new(SearchConfig::paper(), builder.build().into_shared(), 4),
+            factory,
+        )
+    }
+
+    fn query_from(factory: &RecordingFactory, id: &str) -> Query {
+        let rec = factory.normal_recording(id, 8.0);
+        let filtered = emap_dsp::emap_bandpass().filter(rec.channels()[0].samples());
+        Query::new(&filtered[1024..1280]).unwrap()
+    }
+
+    #[test]
+    fn serves_concurrent_patients() {
+        let (service, factory) = service();
+        let queries: Vec<Query> = (0..6).map(|i| query_from(&factory, &format!("p{i}"))).collect();
+        std::thread::scope(|scope| {
+            for q in &queries {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let t = service.search(q).expect("search succeeds");
+                    assert!(t.work().sets_scanned > 0);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn ingestion_is_visible_to_subsequent_searches() {
+        let (service, factory) = service();
+        let before = service.mdb().len();
+        service.ingest(
+            SignalSet::new(
+                vec![0.5; emap_mdb::SIGNAL_SET_LEN],
+                SignalClass::Stroke,
+                Provenance {
+                    dataset_id: "live".into(),
+                    recording_id: "new".into(),
+                    channel: "c".into(),
+                    offset: 0,
+                },
+            )
+            .unwrap(),
+        );
+        assert_eq!(service.mdb().len(), before + 1);
+        // Search still works over the grown store.
+        let t = service.search(&query_from(&factory, "p0")).unwrap();
+        assert_eq!(t.work().sets_scanned, (before + 1) as u64);
+    }
+
+    #[test]
+    fn service_clones_share_the_store() {
+        let (service, _) = service();
+        let clone = service.clone();
+        let before = clone.mdb().len();
+        service.ingest(
+            SignalSet::new(
+                vec![0.0; emap_mdb::SIGNAL_SET_LEN],
+                SignalClass::Normal,
+                Provenance {
+                    dataset_id: "live".into(),
+                    recording_id: "x".into(),
+                    channel: "c".into(),
+                    offset: 0,
+                },
+            )
+            .unwrap(),
+        );
+        assert_eq!(clone.mdb().len(), before + 1);
+    }
+}

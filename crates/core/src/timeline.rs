@@ -1,0 +1,224 @@
+//! The timing analysis of Fig. 9: a wall-clock timeline of the framework's
+//! first seconds, built from an actual pipeline trace plus the
+//! communication and device models of [`emap_net`].
+
+use std::time::Duration;
+
+use emap_edge::EdgeMetric;
+use emap_net::{InitialLatency, TrackingMetric};
+use serde::{Deserialize, Serialize};
+
+use crate::{EmapConfig, RunTrace};
+
+/// One event on the modeled timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimelineEvent {
+    /// One second of samples finished acquiring (`t_k` boundaries).
+    SamplingComplete {
+        /// Iteration index.
+        iteration: usize,
+    },
+    /// The input second was transmitted to the cloud (a cloud call was
+    /// issued; instances *a* and *e* in Fig. 9).
+    CloudCallIssued {
+        /// Iteration whose second was transmitted.
+        iteration: usize,
+        /// Modeled upload duration (Δ_EC).
+        upload: Duration,
+    },
+    /// The cloud search completed and the correlation set was downloaded
+    /// (instances *c* and *h* in Fig. 9).
+    CorrelationSetInstalled {
+        /// Iteration at whose start the set was installed.
+        iteration: usize,
+        /// The modeled `Δ_initial` decomposition of this call.
+        latency: InitialLatency,
+    },
+    /// One edge-tracking iteration completed.
+    TrackingComplete {
+        /// Iteration index.
+        iteration: usize,
+        /// `P_A` after the iteration.
+        probability: f64,
+        /// Signals still tracked.
+        tracked: usize,
+        /// Modeled tracking duration on the edge device.
+        duration: Duration,
+    },
+}
+
+impl TimelineEvent {
+    /// The iteration this event belongs to.
+    #[must_use]
+    pub fn iteration(&self) -> usize {
+        match self {
+            TimelineEvent::SamplingComplete { iteration }
+            | TimelineEvent::CloudCallIssued { iteration, .. }
+            | TimelineEvent::CorrelationSetInstalled { iteration, .. }
+            | TimelineEvent::TrackingComplete { iteration, .. } => *iteration,
+        }
+    }
+}
+
+/// The modeled timeline of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Events in iteration order.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// Builds the timeline from a pipeline trace and the configured comm /
+    /// device models.
+    #[must_use]
+    pub fn from_trace(config: &EmapConfig, trace: &RunTrace) -> Self {
+        let metric = match config.edge().metric() {
+            EdgeMetric::AreaBetweenCurves { .. } => TrackingMetric::AreaBetweenCurves,
+            EdgeMetric::CrossCorrelation { .. } => TrackingMetric::CrossCorrelation,
+        };
+        let mut events = Vec::new();
+        for outcome in &trace.iterations {
+            events.push(TimelineEvent::SamplingComplete {
+                iteration: outcome.iteration,
+            });
+            if outcome.refresh_applied {
+                let work = outcome.search_work.unwrap_or_default();
+                events.push(TimelineEvent::CorrelationSetInstalled {
+                    iteration: outcome.iteration,
+                    latency: InitialLatency::compute(
+                        config.comm(),
+                        config.cloud_device(),
+                        work.correlations,
+                        config.search().top_k() as u64,
+                    ),
+                });
+            }
+            if let Some(pa) = outcome.probability {
+                events.push(TimelineEvent::TrackingComplete {
+                    iteration: outcome.iteration,
+                    probability: pa,
+                    tracked: outcome.tracked,
+                    duration: config
+                        .edge_device()
+                        .tracking_time((outcome.tracked + outcome.removed) as u64, metric),
+                });
+            }
+            if outcome.cloud_call_issued {
+                events.push(TimelineEvent::CloudCallIssued {
+                    iteration: outcome.iteration,
+                    upload: config.comm().upload_time(256),
+                });
+            }
+        }
+        Timeline { events }
+    }
+
+    /// The `Δ_initial` of the first completed cloud call, if any.
+    #[must_use]
+    pub fn initial_latency(&self) -> Option<InitialLatency> {
+        self.events.iter().find_map(|e| match e {
+            TimelineEvent::CorrelationSetInstalled { latency, .. } => Some(*latency),
+            _ => None,
+        })
+    }
+
+    /// Whether every tracking iteration fit inside the one-second real-time
+    /// budget (§III's constraint on subsequent time-steps).
+    #[must_use]
+    pub fn tracking_is_realtime(&self) -> bool {
+        self.events.iter().all(|e| match e {
+            TimelineEvent::TrackingComplete { duration, .. } => {
+                *duration < Duration::from_secs(1)
+            }
+            _ => true,
+        })
+    }
+
+    /// Iterations at which cloud calls were issued (the re-search cadence;
+    /// the paper lands at roughly every five iterations).
+    #[must_use]
+    pub fn cloud_call_iterations(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TimelineEvent::CloudCallIssued { iteration, .. } => Some(*iteration),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmapPipeline;
+    use emap_datasets::{RecordingFactory, SignalClass};
+    use emap_mdb::MdbBuilder;
+
+    fn trace_and_config() -> (EmapConfig, RunTrace) {
+        let factory = RecordingFactory::new(3);
+        let mut b = MdbBuilder::new();
+        for i in 0..3 {
+            b.add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+                .unwrap();
+            b.add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+            )
+            .unwrap();
+        }
+        let config = EmapConfig::default()
+            .with_edge(emap_edge::EdgeConfig::default().with_h(3).unwrap())
+            .with_cloud_latency_iterations(2);
+        let mut p = EmapPipeline::new(config, b.build());
+        let rec = factory.anomaly_recording(SignalClass::Seizure, "in", 14.0);
+        let trace = p.run_on_samples(rec.channels()[0].samples()).unwrap();
+        (config, trace)
+    }
+
+    #[test]
+    fn timeline_has_sampling_event_per_iteration() {
+        let (config, trace) = trace_and_config();
+        let tl = Timeline::from_trace(&config, &trace);
+        let samples = tl
+            .events
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::SamplingComplete { .. }))
+            .count();
+        assert_eq!(samples, trace.iterations.len());
+    }
+
+    #[test]
+    fn first_call_produces_initial_latency() {
+        let (config, trace) = trace_and_config();
+        let tl = Timeline::from_trace(&config, &trace);
+        let lat = tl.initial_latency().expect("a cloud call completed");
+        assert!(lat.total() > Duration::ZERO);
+        assert!(lat.meets_comm_budgets());
+    }
+
+    #[test]
+    fn tracking_fits_realtime_budget() {
+        let (config, trace) = trace_and_config();
+        let tl = Timeline::from_trace(&config, &trace);
+        assert!(tl.tracking_is_realtime());
+    }
+
+    #[test]
+    fn first_cloud_call_is_iteration_zero() {
+        let (config, trace) = trace_and_config();
+        let tl = Timeline::from_trace(&config, &trace);
+        assert_eq!(tl.cloud_call_iterations().first(), Some(&0));
+    }
+
+    #[test]
+    fn events_are_iteration_ordered() {
+        let (config, trace) = trace_and_config();
+        let tl = Timeline::from_trace(&config, &trace);
+        let mut prev = 0;
+        for e in &tl.events {
+            assert!(e.iteration() >= prev);
+            prev = e.iteration();
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! On-disk dataset export: write a generated [`Dataset`] as a directory of
+//! `.emapedf` files (one per recording), the layout a hospital integration
+//! would drop real exports into and the `emap_mdb` builder can ingest
+//! back (`MdbBuilder::add_edf_dir`).
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+use emap_edf::{EdfError, Recording};
+
+use crate::Dataset;
+
+/// File extension used by exported recordings.
+pub const EDF_EXTENSION: &str = "emapedf";
+
+/// Writes every recording of `dataset` into `dir` (created if missing) as
+/// `NNNN-<class>.emapedf`, returning the paths written in order.
+///
+/// # Errors
+///
+/// Returns [`EdfError::Io`] on filesystem failures and codec errors from
+/// the underlying writer.
+///
+/// # Example
+///
+/// ```
+/// use emap_datasets::{export, DatasetSpec, SignalClass};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join("emap-export-doc");
+/// let ds = DatasetSpec::new("doc", 256.0, 8.0)
+///     .normal_recordings(2)
+///     .generate(1);
+/// let paths = export::write_dataset_dir(&ds, &dir)?;
+/// assert_eq!(paths.len(), 2);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_dataset_dir(dataset: &Dataset, dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, EdfError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(dataset.recordings().len());
+    for (i, labeled) in dataset.recordings().iter().enumerate() {
+        let path = dir.join(format!("{i:04}-{}.{EDF_EXTENSION}", labeled.class.label()));
+        labeled
+            .recording
+            .write_to(BufWriter::new(File::create(&path)?))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Reads every `.emapedf` file in `dir` (sorted by file name), returning
+/// the decoded recordings with their paths.
+///
+/// # Errors
+///
+/// Returns [`EdfError::Io`] on filesystem failures and codec errors for
+/// damaged files. Files with other extensions are ignored.
+pub fn read_recording_dir(dir: impl AsRef<Path>) -> Result<Vec<(PathBuf, Recording)>, EdfError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir.as_ref())?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == EDF_EXTENSION))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rec = Recording::read_from(BufReader::new(File::open(&path)?))?;
+        out.push((path, rec));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetSpec, SignalClass};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("emap-export-test-{name}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn dataset() -> Dataset {
+        DatasetSpec::new("exp", 200.0, 12.0)
+            .normal_recordings(2)
+            .anomaly_recordings(SignalClass::Seizure, 1)
+            .generate(3)
+    }
+
+    #[test]
+    fn export_then_import_roundtrips() {
+        let dir = tmp("roundtrip");
+        let ds = dataset();
+        let paths = write_dataset_dir(&ds, &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!(paths[0].file_name().unwrap().to_str().unwrap().contains("normal"));
+        assert!(paths[2].file_name().unwrap().to_str().unwrap().contains("seizure"));
+
+        let loaded = read_recording_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 3);
+        for ((_, back), orig) in loaded.iter().zip(ds.recordings()) {
+            assert_eq!(back.patient_id(), orig.recording.patient_id());
+            assert_eq!(back.annotations().len(), orig.recording.annotations().len());
+            assert_eq!(back.channels().len(), orig.recording.channels().len());
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_edf_files_are_ignored() {
+        let dir = tmp("ignore");
+        write_dataset_dir(&dataset(), &dir).unwrap();
+        fs::write(dir.join("notes.txt"), "not a recording").unwrap();
+        let loaded = read_recording_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        let dir = tmp("missing"); // never created
+        assert!(matches!(
+            read_recording_dir(&dir),
+            Err(EdfError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn damaged_file_is_reported() {
+        let dir = tmp("damaged");
+        write_dataset_dir(&dataset(), &dir).unwrap();
+        fs::write(dir.join("0000-normal.emapedf"), b"garbage!").unwrap();
+        assert!(read_recording_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

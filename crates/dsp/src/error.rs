@@ -1,0 +1,112 @@
+use std::fmt;
+
+/// Error type for all fallible DSP operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A filter was requested with zero taps.
+    EmptyFilter,
+    /// A cutoff frequency is outside `(0, fs/2)` or the band is inverted.
+    InvalidCutoff {
+        /// Lower cutoff in Hz.
+        low_hz: f64,
+        /// Upper cutoff in Hz.
+        high_hz: f64,
+        /// Sampling rate the cutoffs were validated against, in Hz.
+        rate_hz: f64,
+    },
+    /// A sample rate of zero (or non-finite) Hz was supplied.
+    InvalidSampleRate {
+        /// The offending rate in Hz.
+        rate_hz: f64,
+    },
+    /// Two signals that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// An operation that requires a non-empty signal received an empty one.
+    EmptySignal,
+    /// A sliding operation was asked to read past the end of the host signal.
+    WindowOutOfBounds {
+        /// Requested start offset.
+        offset: usize,
+        /// Requested window length.
+        window: usize,
+        /// Length of the host signal.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::EmptyFilter => write!(f, "filter must have at least one tap"),
+            DspError::InvalidCutoff {
+                low_hz,
+                high_hz,
+                rate_hz,
+            } => write!(
+                f,
+                "invalid band [{low_hz}, {high_hz}] Hz for sample rate {rate_hz} Hz"
+            ),
+            DspError::InvalidSampleRate { rate_hz } => {
+                write!(f, "invalid sample rate {rate_hz} Hz")
+            }
+            DspError::LengthMismatch { left, right } => {
+                write!(f, "signal lengths differ: {left} vs {right}")
+            }
+            DspError::EmptySignal => write!(f, "signal must not be empty"),
+            DspError::WindowOutOfBounds {
+                offset,
+                window,
+                len,
+            } => write!(
+                f,
+                "window [{offset}, {}) exceeds signal length {len}",
+                offset + window
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            DspError::EmptyFilter,
+            DspError::InvalidCutoff {
+                low_hz: 40.0,
+                high_hz: 11.0,
+                rate_hz: 256.0,
+            },
+            DspError::InvalidSampleRate { rate_hz: 0.0 },
+            DspError::LengthMismatch { left: 3, right: 4 },
+            DspError::EmptySignal,
+            DspError::WindowOutOfBounds {
+                offset: 900,
+                window: 256,
+                len: 1000,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,99 @@
+//! DSP substrate for the EMAP framework.
+//!
+//! This crate implements, from scratch, every signal-processing primitive the
+//! EMAP paper relies on (the original implementation used `scipy`):
+//!
+//! - [`window`] — spectral window functions (Hamming, Hann, Blackman, …) used
+//!   by the windowed-sinc FIR designer.
+//! - [`fir`] — FIR filter design ([`fir::FirFilter::bandpass`] builds the
+//!   100-tap 11–40 Hz bandpass from §III of the paper) and both batch and
+//!   streaming application.
+//! - [`resample`] — sample-rate conversion used when building the
+//!   mega-database (all source datasets are brought to the 256 Hz base rate).
+//! - [`similarity`] — the two similarity metrics of the paper:
+//!   cross-correlation (Eq. 2, raw and normalized) and the
+//!   *area between curves* (Eq. 3).
+//! - [`spectrum`] — periodogram / Welch PSD estimation, used to verify band
+//!   content of filters and synthetic signals.
+//! - [`quality`] — acquisition-window quality gating (flatline / clipping /
+//!   non-finite detection).
+//! - [`stats`] — small numeric helpers shared by the other modules.
+//!
+//! # Example
+//!
+//! Designing the paper's bandpass filter and measuring the similarity of two
+//! filtered windows:
+//!
+//! ```
+//! use emap_dsp::fir::FirFilter;
+//! use emap_dsp::similarity::{normalized_cross_correlation, area_between_curves};
+//! use emap_dsp::SampleRate;
+//!
+//! # fn main() -> Result<(), emap_dsp::DspError> {
+//! let fs = SampleRate::EEG_BASE; // 256 Hz
+//! let filter = FirFilter::bandpass(100, 11.0, 40.0, fs)?;
+//!
+//! let raw: Vec<f32> = (0..256)
+//!     .map(|n| (2.0 * std::f32::consts::PI * 20.0 * n as f32 / 256.0).sin())
+//!     .collect();
+//! let filtered = filter.filter(&raw);
+//!
+//! let omega = normalized_cross_correlation(&filtered, &filtered)?;
+//! assert!((omega - 1.0).abs() < 1e-5);
+//! let area = area_between_curves(&filtered, &filtered)?;
+//! assert_eq!(area, 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fir;
+pub mod quality;
+pub mod resample;
+pub mod similarity;
+pub mod spectrum;
+pub mod stats;
+pub mod window;
+
+mod error;
+mod rate;
+
+pub use error::DspError;
+pub use rate::SampleRate;
+
+/// Number of samples in one second of EEG at the EMAP base rate (256 Hz).
+pub const SAMPLES_PER_SECOND: usize = 256;
+
+/// Number of taps in the EMAP bandpass filter (§III, Eq. 1).
+pub const EMAP_FILTER_TAPS: usize = 100;
+
+/// Lower cutoff of the EMAP bandpass filter in Hz (§III).
+pub const EMAP_BAND_LOW_HZ: f64 = 11.0;
+
+/// Upper cutoff of the EMAP bandpass filter in Hz (§III).
+pub const EMAP_BAND_HIGH_HZ: f64 = 40.0;
+
+/// Builds the exact bandpass filter the paper defines in §III: a 100-tap FIR
+/// passing 11–40 Hz at the 256 Hz base rate.
+///
+/// This is a convenience wrapper over [`fir::FirFilter::bandpass`] with the
+/// paper's constants.
+///
+/// # Example
+///
+/// ```
+/// let filter = emap_dsp::emap_bandpass();
+/// assert_eq!(filter.taps().len(), emap_dsp::EMAP_FILTER_TAPS);
+/// ```
+#[must_use]
+pub fn emap_bandpass() -> fir::FirFilter {
+    fir::FirFilter::bandpass(
+        EMAP_FILTER_TAPS,
+        EMAP_BAND_LOW_HZ,
+        EMAP_BAND_HIGH_HZ,
+        SampleRate::EEG_BASE,
+    )
+    .expect("the paper's filter parameters are statically valid")
+}

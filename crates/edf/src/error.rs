@@ -1,0 +1,150 @@
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, encoding, or decoding recordings.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EdfError {
+    /// Underlying I/O failure while reading or writing a stream.
+    Io(io::Error),
+    /// The stream does not begin with the expected magic bytes.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 8],
+    },
+    /// A fixed-width ASCII header field contains non-ASCII bytes or an
+    /// unparsable number.
+    MalformedHeader {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A recording must contain at least one channel.
+    NoChannels,
+    /// A channel was given an empty sample vector.
+    EmptyChannel {
+        /// Label of the offending channel.
+        label: String,
+    },
+    /// Channel calibration range is degenerate (`physical_min >= physical_max`
+    /// or `digital_min >= digital_max`).
+    BadCalibration {
+        /// Label of the offending channel.
+        label: String,
+    },
+    /// An annotation has a negative onset or duration, or a non-finite value.
+    BadAnnotation {
+        /// The offending onset in seconds.
+        onset_s: f64,
+        /// The offending duration in seconds.
+        duration_s: f64,
+    },
+    /// A string field exceeds the fixed-width slot the format allows for it.
+    FieldTooLong {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Maximum width in bytes.
+        max: usize,
+        /// Actual length in bytes.
+        len: usize,
+    },
+    /// A calendar start-time component is out of range.
+    BadStartTime,
+    /// The declared sizes in the header are inconsistent with the stream
+    /// length or with each other.
+    CorruptStream {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// An invalid sampling rate was declared for a channel.
+    Dsp(emap_dsp::DspError),
+}
+
+impl fmt::Display for EdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdfError::Io(e) => write!(f, "i/o failure: {e}"),
+            EdfError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:?}, not an EMAP EDF stream")
+            }
+            EdfError::MalformedHeader { field } => {
+                write!(f, "malformed header field `{field}`")
+            }
+            EdfError::NoChannels => write!(f, "recording has no channels"),
+            EdfError::EmptyChannel { label } => {
+                write!(f, "channel `{label}` has no samples")
+            }
+            EdfError::BadCalibration { label } => {
+                write!(f, "channel `{label}` has a degenerate calibration range")
+            }
+            EdfError::BadAnnotation { onset_s, duration_s } => write!(
+                f,
+                "annotation with onset {onset_s} s and duration {duration_s} s is invalid"
+            ),
+            EdfError::FieldTooLong { field, max, len } => {
+                write!(f, "field `{field}` is {len} bytes, maximum is {max}")
+            }
+            EdfError::BadStartTime => write!(f, "start time component out of range"),
+            EdfError::CorruptStream { detail } => write!(f, "corrupt stream: {detail}"),
+            EdfError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdfError::Io(e) => Some(e),
+            EdfError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdfError {
+    fn from(e: io::Error) -> Self {
+        EdfError::Io(e)
+    }
+}
+
+impl From<emap_dsp::DspError> for EdfError {
+    fn from(e: emap_dsp::DspError) -> Self {
+        EdfError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors: Vec<EdfError> = vec![
+            EdfError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
+            EdfError::BadMagic { found: *b"NOTEDF!!" },
+            EdfError::MalformedHeader { field: "n_records" },
+            EdfError::NoChannels,
+            EdfError::EmptyChannel { label: "C3".into() },
+            EdfError::BadCalibration { label: "C4".into() },
+            EdfError::BadAnnotation { onset_s: -1.0, duration_s: 0.0 },
+            EdfError::FieldTooLong { field: "patient", max: 80, len: 99 },
+            EdfError::BadStartTime,
+            EdfError::CorruptStream { detail: "truncated".into() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<EdfError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: EdfError = io::Error::other("boom").into();
+        assert!(matches!(e, EdfError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixed-width ASCII header field helpers.
+//!
+//! EDF encodes every header field as space-padded ASCII in a fixed-width
+//! slot. These helpers centralize the padding, trimming, and numeric parsing
+//! so the codec proper stays readable.
+
+use std::io::{Read, Write};
+
+use crate::EdfError;
+
+/// Writes `value` left-aligned and space-padded into a `width`-byte slot.
+///
+/// # Errors
+///
+/// Returns [`EdfError::FieldTooLong`] if the value does not fit, and
+/// [`EdfError::MalformedHeader`] if it contains non-ASCII bytes.
+pub(crate) fn write_str<W: Write>(
+    w: &mut W,
+    field: &'static str,
+    value: &str,
+    width: usize,
+) -> Result<(), EdfError> {
+    if !value.is_ascii() {
+        return Err(EdfError::MalformedHeader { field });
+    }
+    let bytes = value.as_bytes();
+    if bytes.len() > width {
+        return Err(EdfError::FieldTooLong {
+            field,
+            max: width,
+            len: bytes.len(),
+        });
+    }
+    w.write_all(bytes)?;
+    for _ in bytes.len()..width {
+        w.write_all(b" ")?;
+    }
+    Ok(())
+}
+
+/// Reads a `width`-byte slot and returns the trimmed string.
+///
+/// # Errors
+///
+/// Returns [`EdfError::Io`] on short reads and
+/// [`EdfError::MalformedHeader`] if the slot is not ASCII.
+pub(crate) fn read_str<R: Read>(
+    r: &mut R,
+    field: &'static str,
+    width: usize,
+) -> Result<String, EdfError> {
+    let mut buf = vec![0u8; width];
+    r.read_exact(&mut buf)?;
+    if !buf.is_ascii() {
+        return Err(EdfError::MalformedHeader { field });
+    }
+    Ok(String::from_utf8_lossy(&buf).trim_end().to_string())
+}
+
+/// Writes an integer in a fixed-width slot.
+pub(crate) fn write_int<W: Write>(
+    w: &mut W,
+    field: &'static str,
+    value: i64,
+    width: usize,
+) -> Result<(), EdfError> {
+    write_str(w, field, &value.to_string(), width)
+}
+
+/// Reads an integer from a fixed-width slot.
+pub(crate) fn read_int<R: Read>(
+    r: &mut R,
+    field: &'static str,
+    width: usize,
+) -> Result<i64, EdfError> {
+    read_str(r, field, width)?
+        .trim()
+        .parse()
+        .map_err(|_| EdfError::MalformedHeader { field })
+}
+
+/// Writes a float in a fixed-width slot (shortest representation that fits).
+pub(crate) fn write_float<W: Write>(
+    w: &mut W,
+    field: &'static str,
+    value: f64,
+    width: usize,
+) -> Result<(), EdfError> {
+    if !value.is_finite() {
+        return Err(EdfError::MalformedHeader { field });
+    }
+    // Try progressively shorter representations until one fits the slot.
+    for precision in (0..=10).rev() {
+        let s = format!("{value:.precision$}");
+        if s.len() <= width {
+            return write_str(w, field, &s, width);
+        }
+    }
+    Err(EdfError::FieldTooLong {
+        field,
+        max: width,
+        len: format!("{value}").len(),
+    })
+}
+
+/// Reads a float from a fixed-width slot.
+pub(crate) fn read_float<R: Read>(
+    r: &mut R,
+    field: &'static str,
+    width: usize,
+) -> Result<f64, EdfError> {
+    read_str(r, field, width)?
+        .trim()
+        .parse()
+        .map_err(|_| EdfError::MalformedHeader { field })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_str(value: &str, width: usize) -> String {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "t", value, width).unwrap();
+        assert_eq!(buf.len(), width);
+        read_str(&mut buf.as_slice(), "t", width).unwrap()
+    }
+
+    #[test]
+    fn str_roundtrip_pads_and_trims() {
+        assert_eq!(roundtrip_str("hello", 10), "hello");
+        assert_eq!(roundtrip_str("", 4), "");
+        assert_eq!(roundtrip_str("full", 4), "full");
+    }
+
+    #[test]
+    fn str_too_long_rejected() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_str(&mut buf, "t", "too-long", 4),
+            Err(EdfError::FieldTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn non_ascii_rejected_on_write() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_str(&mut buf, "t", "café", 10),
+            Err(EdfError::MalformedHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn non_ascii_rejected_on_read() {
+        let raw = [0xFFu8; 4];
+        assert!(matches!(
+            read_str(&mut raw.as_slice(), "t", 4),
+            Err(EdfError::MalformedHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn int_roundtrip() {
+        for v in [0i64, -5, 123456, i64::from(i32::MAX)] {
+            let mut buf = Vec::new();
+            write_int(&mut buf, "t", v, 12).unwrap();
+            assert_eq!(read_int(&mut buf.as_slice(), "t", 12).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn int_garbage_rejected() {
+        let mut raw = b"12ab        ".to_vec();
+        raw.truncate(8);
+        assert!(read_int(&mut raw.as_slice(), "t", 8).is_err());
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        for v in [0.0f64, -187.5, 3.14159, 1e6] {
+            let mut buf = Vec::new();
+            write_float(&mut buf, "t", v, 12).unwrap();
+            let back = read_float(&mut buf.as_slice(), "t", 12).unwrap();
+            assert!((back - v).abs() < 1e-6 * (1.0 + v.abs()), "{v} vs {back}");
+        }
+    }
+
+    #[test]
+    fn float_nan_rejected() {
+        let mut buf = Vec::new();
+        assert!(write_float(&mut buf, "t", f64::NAN, 8).is_err());
+    }
+
+    #[test]
+    fn float_shrinks_precision_to_fit() {
+        let mut buf = Vec::new();
+        write_float(&mut buf, "t", 123.456789, 6).unwrap();
+        let back = read_float(&mut buf.as_slice(), "t", 6).unwrap();
+        assert!((back - 123.456789).abs() < 0.01);
+    }
+
+    #[test]
+    fn short_read_is_io_error() {
+        let raw = b"ab".to_vec();
+        assert!(matches!(
+            read_str(&mut raw.as_slice(), "t", 10),
+            Err(EdfError::Io(_))
+        ));
+    }
+}

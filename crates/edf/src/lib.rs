@@ -1,0 +1,64 @@
+//! EDF-style EEG recording container and binary codec.
+//!
+//! The original EMAP implementation read its source datasets with
+//! `pyedflib`. This crate provides the equivalent substrate from scratch:
+//!
+//! - [`Recording`] — an in-memory multi-channel recording with per-channel
+//!   calibration metadata and event [`Annotation`]s (used to label seizures
+//!   and other anomalies).
+//! - A binary codec ([`Recording::write_to`] / [`Recording::read_from`])
+//!   closely modeled on the European Data Format: fixed-width ASCII headers,
+//!   a 256-byte main header plus 256 bytes per channel, and data records of
+//!   little-endian 16-bit samples with physical↔digital calibration. The one
+//!   deliberate divergence from EDF+ is that annotations live in a dedicated
+//!   trailing block instead of a TAL pseudo-channel (documented in
+//!   `DESIGN.md`), which keeps the record layout uniform.
+//!
+//! # Example
+//!
+//! ```
+//! use emap_edf::{Annotation, Channel, Recording, StartTime};
+//! use emap_dsp::SampleRate;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rate = SampleRate::new(256.0)?;
+//! let samples: Vec<f32> = (0..512).map(|n| (n as f32 * 0.1).sin() * 50.0).collect();
+//! let channel = Channel::new("EEG Fp1", rate, samples)?;
+//!
+//! let mut rec = Recording::builder("patient-001", "session-A")
+//!     .start_time(StartTime::new(2020, 4, 22, 10, 30, 0)?)
+//!     .channel(channel)
+//!     .build()?;
+//! rec.push_annotation(Annotation::new(1.0, 0.5, "seizure-onset")?);
+//!
+//! let mut buf = Vec::new();
+//! rec.write_to(&mut buf)?;
+//! let back = Recording::read_from(&mut buf.as_slice())?;
+//! assert_eq!(back.channels().len(), 1);
+//! assert_eq!(back.annotations().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annotation;
+mod channel;
+pub(crate) mod codec;
+mod error;
+mod header;
+mod recording;
+
+pub use annotation::Annotation;
+pub use channel::Channel;
+pub use codec::RecordingInfo;
+pub use error::EdfError;
+pub use recording::{Recording, RecordingBuilder, StartTime};
+
+/// Magic bytes identifying the codec version at the start of every file.
+pub const MAGIC: &[u8; 8] = b"EMAPEDF1";
+
+/// Duration of one data record in seconds. EDF permits arbitrary durations;
+/// we fix one second, which matches the EMAP time-step.
+pub const RECORD_SECONDS: f64 = 1.0;

@@ -1,0 +1,567 @@
+use emap_datasets::SignalClass;
+use emap_dsp::similarity::RangeCorrelator;
+use emap_dsp::SAMPLES_PER_SECOND;
+use emap_mdb::{Mdb, SetId};
+use emap_search::CorrelationSet;
+use serde::{Deserialize, Serialize};
+
+use crate::{EdgeConfig, EdgeError, EdgeMetric};
+
+/// One tracked entry `W = [S, ω, β]` plus the downloaded slice data and its
+/// label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackedSignal {
+    /// Which signal-set this is.
+    pub set_id: SetId,
+    /// The correlation the cloud search reported.
+    pub omega: f64,
+    /// Current best-match offset within the slice.
+    pub beta: usize,
+    /// The metric value at the current offset from the last iteration
+    /// (area or correlation depending on the configured metric).
+    pub last_score: f64,
+    /// Class label of the slice (drives `N(AS)` in Eq. 5).
+    pub class: SignalClass,
+    samples: Vec<f32>,
+}
+
+impl TrackedSignal {
+    /// The downloaded slice samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+}
+
+/// The outcome of one tracking iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Anomaly probability `P_A = N(AS)/N(F)` after pruning (Eq. 5);
+    /// `0.0` when nothing is tracked.
+    pub probability: f64,
+    /// Signals still tracked after this iteration, `N(F)`.
+    pub tracked: usize,
+    /// Of those, anomalous ones, `N(AS)`.
+    pub anomalous: usize,
+    /// Signals pruned this iteration.
+    pub removed: usize,
+    /// Whether `N(F)` dropped below the threshold `H`, i.e. the edge should
+    /// transmit the current second to the cloud for a fresh search.
+    pub needs_cloud_call: bool,
+    /// Window comparisons evaluated this iteration (feeds the Fig. 8b
+    /// timing model).
+    pub windows_evaluated: u64,
+}
+
+/// Algorithm 2: the lightweight signal tracker running on the edge device.
+///
+/// Per iteration ([`EdgeTracker::step`]), every tracked signal is scanned
+/// across all offsets of its slice; its `β` moves to the best-matching
+/// window, and the signal is pruned when even the best window violates the
+/// threshold (area above `δ_A`, or correlation below `δ`). See `DESIGN.md`
+/// §3 for why this is the consistent reading of the paper's pseudocode.
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct EdgeTracker {
+    config: EdgeConfig,
+    tracked: Vec<TrackedSignal>,
+}
+
+impl EdgeTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new(config: EdgeConfig) -> Self {
+        EdgeTracker {
+            config,
+            tracked: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &EdgeConfig {
+        &self.config
+    }
+
+    /// Replaces the tracked set with the hits of a fresh correlation set,
+    /// materializing slice data and labels from `mdb` (modeling the
+    /// cloud→edge download).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::MissingSet`] if a hit references an id not in
+    /// `mdb`.
+    pub fn load(&mut self, set: &CorrelationSet, mdb: &Mdb) -> Result<(), EdgeError> {
+        let mut tracked = Vec::with_capacity(set.len());
+        for hit in set.hits() {
+            let s = mdb.try_get(hit.set_id)?;
+            tracked.push(TrackedSignal {
+                set_id: hit.set_id,
+                omega: hit.omega,
+                beta: hit.beta,
+                last_score: 0.0,
+                class: s.class(),
+                samples: s.samples().to_vec(),
+            });
+        }
+        self.tracked = tracked;
+        Ok(())
+    }
+
+    /// The currently tracked signals.
+    #[must_use]
+    pub fn tracked(&self) -> &[TrackedSignal] {
+        &self.tracked
+    }
+
+    /// Number of tracked signals, `N(F)`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// Whether nothing is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty()
+    }
+
+    /// Current anomaly probability without advancing an iteration.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        probability_of(&self.tracked)
+    }
+
+    /// Serializes the tracked set (slices included) so a wearable can
+    /// persist its session across restarts without a fresh cloud call.
+    #[must_use]
+    pub fn save_state(&self) -> TrackerState {
+        TrackerState {
+            tracked: self.tracked.clone(),
+        }
+    }
+
+    /// Restores a tracked set previously captured with
+    /// [`EdgeTracker::save_state`]. The configuration stays as constructed.
+    pub fn restore_state(&mut self, state: TrackerState) {
+        self.tracked = state.tracked;
+    }
+
+    /// Runs one tracking iteration against the next one-second input
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::BadInputLength`] unless `input` holds exactly
+    /// 256 samples.
+    pub fn step(&mut self, input: &[f32]) -> Result<StepReport, EdgeError> {
+        if input.len() != SAMPLES_PER_SECOND {
+            return Err(EdgeError::BadInputLength { got: input.len() });
+        }
+        let before = self.tracked.len();
+        let mut windows = 0u64;
+
+        // Offset range to scan for a tracked signal: the full slice
+        // (Algorithm 2), or — with windowed tracking enabled — only the
+        // neighborhood of the predicted continuation β + 256. `None` means
+        // the slice is exhausted (predicted window past its end).
+        let range_for = |beta: usize, host_len: usize| -> Option<(usize, usize)> {
+            let last = host_len - SAMPLES_PER_SECOND;
+            match self.config.search_window() {
+                None => Some((0, last)),
+                Some(w) => {
+                    let center = beta + SAMPLES_PER_SECOND;
+                    if center > last + w {
+                        return None;
+                    }
+                    Some((center.saturating_sub(w), (center + w).min(last)))
+                }
+            }
+        };
+
+        match self.config.metric() {
+            EdgeMetric::AreaBetweenCurves { delta_a } => {
+                for w in &mut self.tracked {
+                    match range_for(w.beta, w.samples.len()) {
+                        Some((lo, hi)) => {
+                            let (beta, area) =
+                                best_area(input, &w.samples, lo, hi, &mut windows);
+                            w.beta = beta;
+                            w.last_score = area;
+                        }
+                        None => w.last_score = f64::INFINITY, // exhausted
+                    }
+                }
+                self.tracked.retain(|w| w.last_score <= delta_a);
+            }
+            EdgeMetric::CrossCorrelation { delta } => {
+                let sdp = RangeCorrelator::new(input)?;
+                for w in &mut self.tracked {
+                    match range_for(w.beta, w.samples.len()) {
+                        Some((lo, hi)) => {
+                            let (beta, omega) =
+                                best_correlation(&sdp, &w.samples, lo, hi, &mut windows)?;
+                            w.beta = beta;
+                            w.last_score = omega;
+                        }
+                        None => w.last_score = f64::NEG_INFINITY, // exhausted
+                    }
+                }
+                self.tracked.retain(|w| w.last_score >= delta);
+            }
+        }
+
+        let tracked = self.tracked.len();
+        let anomalous = self.tracked.iter().filter(|w| w.class.is_anomaly()).count();
+        Ok(StepReport {
+            probability: probability_of(&self.tracked),
+            tracked,
+            anomalous,
+            removed: before - tracked,
+            needs_cloud_call: tracked < self.config.h(),
+            windows_evaluated: windows,
+        })
+    }
+}
+
+/// A serializable snapshot of the tracked set (see
+/// [`EdgeTracker::save_state`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrackerState {
+    tracked: Vec<TrackedSignal>,
+}
+
+impl TrackerState {
+    /// Number of tracked signals in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty()
+    }
+}
+
+fn probability_of(tracked: &[TrackedSignal]) -> f64 {
+    if tracked.is_empty() {
+        return 0.0;
+    }
+    let anomalous = tracked.iter().filter(|w| w.class.is_anomaly()).count();
+    anomalous as f64 / tracked.len() as f64
+}
+
+/// Minimum area between curves over offsets `lo..=hi` of `host`, with the
+/// argmin.
+fn best_area(
+    input: &[f32],
+    host: &[f32],
+    lo: usize,
+    hi: usize,
+    windows: &mut u64,
+) -> (usize, f64) {
+    let w = input.len();
+    debug_assert!(host.len() >= w);
+    let mut best = (lo, f64::INFINITY);
+    for beta in lo..=hi.min(host.len() - w) {
+        *windows += 1;
+        let mut area = 0.0f64;
+        for (x, y) in input.iter().zip(&host[beta..beta + w]) {
+            area += f64::from(x - y).abs();
+            // Early exit once this offset cannot beat the best.
+            if area >= best.1 {
+                break;
+            }
+        }
+        if area < best.1 {
+            best = (beta, area);
+        }
+    }
+    best
+}
+
+/// Maximum normalized correlation over offsets `lo..=hi` of `host`, with
+/// the argmax.
+fn best_correlation(
+    sdp: &RangeCorrelator,
+    host: &[f32],
+    lo: usize,
+    hi: usize,
+    windows: &mut u64,
+) -> Result<(usize, f64), EdgeError> {
+    let w = sdp.window_len();
+    debug_assert!(host.len() >= w);
+    let mut best = (lo, f64::NEG_INFINITY);
+    for beta in lo..=hi.min(host.len() - w) {
+        *windows += 1;
+        let omega = sdp.correlation_at(host, beta)?;
+        if omega > best.1 {
+            best = (beta, omega);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emap_mdb::{Provenance, SignalSet, SIGNAL_SET_LEN};
+    use emap_search::{SearchHit, SearchWork};
+
+    fn mdb_with(sets: Vec<(SignalClass, Vec<f32>)>) -> Mdb {
+        let mut mdb = Mdb::new();
+        for (i, (class, samples)) in sets.into_iter().enumerate() {
+            mdb.insert(
+                SignalSet::new(
+                    samples,
+                    class,
+                    Provenance {
+                        dataset_id: "d".into(),
+                        recording_id: "r".into(),
+                        channel: "c".into(),
+                        offset: i as u64 * 1000,
+                    },
+                )
+                .unwrap(),
+            );
+        }
+        mdb
+    }
+
+    fn rhythm(freq: f32, phase: f32, n: usize) -> Vec<f32> {
+        (0..n).map(|k| (freq * k as f32 + phase).sin() * 20.0).collect()
+    }
+
+    fn correlation_set(ids: &[u64]) -> CorrelationSet {
+        CorrelationSet::from_candidates(
+            ids.iter()
+                .map(|&id| SearchHit {
+                    set_id: SetId(id),
+                    omega: 0.9,
+                    beta: 0,
+                })
+                .collect(),
+            100,
+            SearchWork::default(),
+        )
+    }
+
+    fn area_config(delta_a: f64) -> EdgeConfig {
+        EdgeConfig::default()
+            .with_metric(EdgeMetric::AreaBetweenCurves { delta_a })
+            .unwrap()
+    }
+
+    #[test]
+    fn load_materializes_labels_and_samples() {
+        let mdb = mdb_with(vec![
+            (SignalClass::Normal, rhythm(0.3, 0.0, SIGNAL_SET_LEN)),
+            (SignalClass::Seizure, rhythm(0.5, 1.0, SIGNAL_SET_LEN)),
+        ]);
+        let mut tr = EdgeTracker::new(EdgeConfig::default());
+        tr.load(&correlation_set(&[0, 1]), &mdb).unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.tracked()[1].class, SignalClass::Seizure);
+        assert_eq!(tr.tracked()[0].samples().len(), SIGNAL_SET_LEN);
+        assert!((tr.probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_rejects_unknown_ids() {
+        let mdb = mdb_with(vec![(SignalClass::Normal, rhythm(0.3, 0.0, SIGNAL_SET_LEN))]);
+        let mut tr = EdgeTracker::new(EdgeConfig::default());
+        assert!(tr.load(&correlation_set(&[5]), &mdb).is_err());
+    }
+
+    #[test]
+    fn step_rejects_wrong_input_length() {
+        let mut tr = EdgeTracker::new(EdgeConfig::default());
+        assert!(matches!(
+            tr.step(&[0.0; 100]),
+            Err(EdgeError::BadInputLength { got: 100 })
+        ));
+    }
+
+    #[test]
+    fn matching_signal_survives_dissimilar_pruned() {
+        let keep = rhythm(0.3, 0.2, SIGNAL_SET_LEN);
+        let drop = rhythm(0.71, 0.0, SIGNAL_SET_LEN);
+        let mdb = mdb_with(vec![
+            (SignalClass::Seizure, keep.clone()),
+            (SignalClass::Normal, drop),
+        ]);
+        // Input: a window of the kept signal → its best area is ~0.
+        let input = &keep[300..300 + 256];
+        let mut tr = EdgeTracker::new(area_config(500.0));
+        tr.load(&correlation_set(&[0, 1]), &mdb).unwrap();
+        let report = tr.step(input).unwrap();
+        assert_eq!(report.tracked, 1);
+        assert_eq!(report.removed, 1);
+        assert_eq!(tr.tracked()[0].set_id, SetId(0));
+        assert_eq!(tr.tracked()[0].beta, 300);
+        assert!((report.probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_counts_anomalous_fraction() {
+        let sets: Vec<(SignalClass, Vec<f32>)> = vec![
+            (SignalClass::Normal, rhythm(0.3, 0.0, SIGNAL_SET_LEN)),
+            (SignalClass::Seizure, rhythm(0.3, 0.1, SIGNAL_SET_LEN)),
+            (SignalClass::Stroke, rhythm(0.3, 0.2, SIGNAL_SET_LEN)),
+            (SignalClass::Normal, rhythm(0.3, 0.3, SIGNAL_SET_LEN)),
+        ];
+        let input = sets[0].1[0..256].to_vec();
+        let mdb = mdb_with(sets);
+        // Huge threshold: nothing is pruned. H = 2 ≤ 4 tracked → no call.
+        let mut tr = EdgeTracker::new(area_config(1e12).with_h(2).unwrap());
+        tr.load(&correlation_set(&[0, 1, 2, 3]), &mdb).unwrap();
+        let report = tr.step(&input).unwrap();
+        assert_eq!(report.tracked, 4);
+        assert_eq!(report.anomalous, 2);
+        assert!((report.probability - 0.5).abs() < 1e-12);
+        assert!(!report.needs_cloud_call);
+    }
+
+    #[test]
+    fn cloud_call_triggered_when_below_h() {
+        let sets = vec![(SignalClass::Normal, rhythm(0.3, 0.0, SIGNAL_SET_LEN))];
+        let input = sets[0].1[0..256].to_vec();
+        let mdb = mdb_with(sets);
+        let mut tr = EdgeTracker::new(area_config(1e12).with_h(2).unwrap());
+        tr.load(&correlation_set(&[0]), &mdb).unwrap();
+        let report = tr.step(&input).unwrap();
+        assert!(report.needs_cloud_call); // 1 tracked < H = 2
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero_probability() {
+        let mut tr = EdgeTracker::new(area_config(100.0).with_h(1).unwrap());
+        let report = tr.step(&[0.0; 256]).unwrap();
+        assert_eq!(report.probability, 0.0);
+        assert_eq!(report.tracked, 0);
+        assert!(report.needs_cloud_call);
+    }
+
+    #[test]
+    fn correlation_metric_prunes_by_delta() {
+        let keep = rhythm(0.3, 0.0, SIGNAL_SET_LEN);
+        let drop = rhythm(0.9, 0.0, SIGNAL_SET_LEN);
+        let input = keep[100..356].to_vec();
+        let mdb = mdb_with(vec![
+            (SignalClass::Seizure, keep),
+            (SignalClass::Normal, drop),
+        ]);
+        let cfg = EdgeConfig::default()
+            .with_metric(EdgeMetric::CrossCorrelation { delta: 0.9 })
+            .unwrap();
+        let mut tr = EdgeTracker::new(cfg);
+        tr.load(&correlation_set(&[0, 1]), &mdb).unwrap();
+        let report = tr.step(&input).unwrap();
+        assert_eq!(report.tracked, 1);
+        assert_eq!(tr.tracked()[0].set_id, SetId(0));
+        assert!(tr.tracked()[0].last_score > 0.99);
+    }
+
+    #[test]
+    fn windows_evaluated_counts_all_offsets() {
+        let sets = vec![
+            (SignalClass::Normal, rhythm(0.3, 0.0, SIGNAL_SET_LEN)),
+            (SignalClass::Seizure, rhythm(0.4, 0.0, SIGNAL_SET_LEN)),
+        ];
+        let input = sets[0].1[0..256].to_vec();
+        let mdb = mdb_with(sets);
+        let cfg = EdgeConfig::default()
+            .with_metric(EdgeMetric::CrossCorrelation { delta: 0.0 })
+            .unwrap();
+        let mut tr = EdgeTracker::new(cfg);
+        tr.load(&correlation_set(&[0, 1]), &mdb).unwrap();
+        let report = tr.step(&input).unwrap();
+        // 745 offsets × 2 signals (no early exit in the correlation path).
+        assert_eq!(report.windows_evaluated, 2 * 745);
+    }
+
+    #[test]
+    fn windowed_tracking_follows_and_exhausts() {
+        // With windowed tracking the scan follows β + 256 and prunes the
+        // slice once its end is reached.
+        let host = rhythm(0.37, 0.0, SIGNAL_SET_LEN);
+        let mdb = mdb_with(vec![(SignalClass::Seizure, host.clone())]);
+        let cfg = area_config(1e12).with_search_window(16).unwrap();
+        let mut tr = EdgeTracker::new(cfg);
+        tr.load(&correlation_set(&[0]), &mdb).unwrap();
+        // Start at β = 0; three seconds fit in a 1000-sample slice.
+        let r1 = tr.step(&host[256..512]).unwrap();
+        assert_eq!(tr.tracked()[0].beta, 256);
+        // Windowed scan evaluates at most 2·16 + 1 offsets.
+        assert!(r1.windows_evaluated <= 33, "{}", r1.windows_evaluated);
+        tr.step(&host[512..768]).unwrap();
+        assert_eq!(tr.tracked()[0].beta, 512);
+        // Predicted continuation at 768 exceeds the last offset (744) by
+        // more than the window → exhausted → pruned.
+        let r3 = tr.step(&host[512..768]).unwrap();
+        assert_eq!(r3.tracked, 0);
+        assert_eq!(r3.removed, 1);
+    }
+
+    #[test]
+    fn windowed_tracking_costs_less_than_full_scan() {
+        let host = rhythm(0.37, 0.0, SIGNAL_SET_LEN);
+        let input = host[256..512].to_vec();
+        let mdb = mdb_with(vec![(SignalClass::Seizure, host)]);
+        let full = {
+            let mut tr = EdgeTracker::new(area_config(1e12));
+            tr.load(&correlation_set(&[0]), &mdb).unwrap();
+            tr.step(&input).unwrap().windows_evaluated
+        };
+        let windowed = {
+            let cfg = area_config(1e12).with_search_window(32).unwrap();
+            let mut tr = EdgeTracker::new(cfg);
+            tr.load(&correlation_set(&[0]), &mdb).unwrap();
+            tr.step(&input).unwrap().windows_evaluated
+        };
+        assert!(windowed * 5 < full, "windowed {windowed} vs full {full}");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_tracking_identically() {
+        let host = rhythm(0.37, 0.0, SIGNAL_SET_LEN);
+        let mdb = mdb_with(vec![(SignalClass::Seizure, host.clone())]);
+        let mut a = EdgeTracker::new(area_config(1e12));
+        a.load(&correlation_set(&[0]), &mdb).unwrap();
+        a.step(&host[0..256]).unwrap();
+
+        // Persist, "reboot", restore, and continue: identical behavior.
+        let state = a.save_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let restored: TrackerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.len(), 1);
+        let mut b = EdgeTracker::new(area_config(1e12));
+        b.restore_state(restored);
+
+        let ra = a.step(&host[256..512]).unwrap();
+        let rb = b.step(&host[256..512]).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.tracked(), b.tracked());
+    }
+
+    #[test]
+    fn beta_follows_the_signal_across_iterations() {
+        // Input windows cut at successive seconds of the tracked slice must
+        // move β forward by ~256 per iteration.
+        let host = rhythm(0.37, 0.0, SIGNAL_SET_LEN);
+        let mdb = mdb_with(vec![(SignalClass::Seizure, host.clone())]);
+        let mut tr = EdgeTracker::new(area_config(1e12));
+        tr.load(&correlation_set(&[0]), &mdb).unwrap();
+        tr.step(&host[0..256]).unwrap();
+        assert_eq!(tr.tracked()[0].beta, 0);
+        tr.step(&host[256..512]).unwrap();
+        assert_eq!(tr.tracked()[0].beta, 256);
+        tr.step(&host[512..768]).unwrap();
+        assert_eq!(tr.tracked()[0].beta, 512);
+    }
+}

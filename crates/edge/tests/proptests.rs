@@ -1,0 +1,160 @@
+//! Property-based tests for the edge tracker and predictor.
+
+use emap_datasets::SignalClass;
+use emap_edge::{
+    AnomalyPredictor, EdgeConfig, EdgeMetric, EdgeTracker, PaHistory, Prediction,
+};
+use emap_mdb::{Mdb, Provenance, SignalSet, SIGNAL_SET_LEN};
+use emap_search::{CorrelationSet, SearchHit, SearchWork};
+use proptest::prelude::*;
+
+fn arb_signal(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    (0.05f32..0.6, prop::collection::vec(-5.0f32..5.0, len)).prop_map(move |(freq, noise)| {
+        noise
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (freq * i as f32).sin() * 25.0 + n)
+            .collect()
+    })
+}
+
+fn arb_mdb_and_set(max_sets: usize) -> impl Strategy<Value = (Mdb, CorrelationSet)> {
+    prop::collection::vec((arb_signal(SIGNAL_SET_LEN), prop::bool::ANY), 1..=max_sets).prop_map(
+        |entries| {
+            let mut mdb = Mdb::new();
+            let mut hits = Vec::new();
+            for (i, (samples, anomalous)) in entries.into_iter().enumerate() {
+                let class = if anomalous {
+                    SignalClass::Stroke
+                } else {
+                    SignalClass::Normal
+                };
+                let id = mdb.insert(
+                    SignalSet::new(
+                        samples,
+                        class,
+                        Provenance {
+                            dataset_id: "prop".into(),
+                            recording_id: format!("r{i}"),
+                            channel: "c".into(),
+                            offset: 0,
+                        },
+                    )
+                    .expect("fixed length"),
+                );
+                hits.push(SearchHit {
+                    set_id: id,
+                    omega: 0.9,
+                    beta: (i * 97) % 700,
+                });
+            }
+            let set = CorrelationSet::from_candidates(hits, 200, SearchWork::default());
+            (mdb, set)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A tracking step never increases the tracked count, reports a
+    /// probability in [0, 1], consistent counts, and β within bounds.
+    #[test]
+    fn step_invariants(
+        (mdb, set) in arb_mdb_and_set(8),
+        input in arb_signal(256),
+        delta_a in 100.0f64..20_000.0,
+        windowed in prop::option::of(8usize..200),
+    ) {
+        let mut cfg = EdgeConfig::default()
+            .with_metric(EdgeMetric::AreaBetweenCurves { delta_a })
+            .expect("valid")
+            .with_h(1)
+            .expect("valid");
+        if let Some(w) = windowed {
+            cfg = cfg.with_search_window(w).expect("valid");
+        }
+        let mut tracker = EdgeTracker::new(cfg);
+        tracker.load(&set, &mdb).expect("hits resolve");
+        let before = tracker.len();
+        let report = tracker.step(&input).expect("step succeeds");
+        prop_assert!(report.tracked <= before);
+        prop_assert_eq!(report.tracked + report.removed, before);
+        prop_assert!((0.0..=1.0).contains(&report.probability));
+        prop_assert!(report.anomalous <= report.tracked);
+        for w in tracker.tracked() {
+            prop_assert!(w.beta <= SIGNAL_SET_LEN - 256);
+            prop_assert!(w.last_score <= delta_a);
+        }
+    }
+
+    /// Tightening δ_A can only shrink the surviving set (monotonicity).
+    #[test]
+    fn pruning_is_monotone_in_delta_a(
+        (mdb, set) in arb_mdb_and_set(6),
+        input in arb_signal(256),
+    ) {
+        let survivors = |delta_a: f64| {
+            let cfg = EdgeConfig::default()
+                .with_metric(EdgeMetric::AreaBetweenCurves { delta_a })
+                .expect("valid")
+                .with_h(1)
+                .expect("valid");
+            let mut t = EdgeTracker::new(cfg);
+            t.load(&set, &mdb).expect("hits resolve");
+            t.step(&input).expect("step succeeds").tracked
+        };
+        let loose = survivors(10_000.0);
+        let tight = survivors(2_000.0);
+        let tighter = survivors(500.0);
+        prop_assert!(tight <= loose);
+        prop_assert!(tighter <= tight);
+    }
+
+    /// The windowed scan never beats the full scan's best area (the full
+    /// scan sees a superset of offsets).
+    #[test]
+    fn windowed_scan_is_a_restriction(
+        (mdb, set) in arb_mdb_and_set(4),
+        input in arb_signal(256),
+    ) {
+        let run = |cfg: EdgeConfig| {
+            let mut t = EdgeTracker::new(cfg);
+            t.load(&set, &mdb).expect("hits resolve");
+            t.step(&input).expect("step succeeds");
+            t.tracked()
+                .iter()
+                .map(|w| (w.set_id, w.last_score))
+                .collect::<Vec<_>>()
+        };
+        let base = EdgeConfig::default()
+            .with_metric(EdgeMetric::AreaBetweenCurves { delta_a: 1e12 })
+            .expect("valid")
+            .with_h(1)
+            .expect("valid");
+        let full = run(base);
+        let windowed = run(base.with_search_window(32).expect("valid"));
+        // Compare per-set: windowed best area >= full best area.
+        for (id, w_score) in &windowed {
+            if let Some((_, f_score)) = full.iter().find(|(fid, _)| fid == id) {
+                prop_assert!(w_score + 1e-6 >= *f_score, "windowed found a better area");
+            }
+        }
+    }
+
+    /// The predictor is total and consistent on arbitrary histories.
+    #[test]
+    fn predictor_total(values in prop::collection::vec(0.0f64..1.0, 0..40)) {
+        let h: PaHistory = values.iter().copied().collect();
+        let p = AnomalyPredictor::default();
+        let verdict = p.classify(&h);
+        if h.len() < 2 {
+            prop_assert_eq!(verdict, Prediction::Normal);
+        }
+        if h.last() >= p.config().high_probability && h.len() >= 2 {
+            prop_assert_eq!(verdict, Prediction::Anomaly);
+        }
+        // Deterministic.
+        prop_assert_eq!(verdict, p.classify(&h));
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt;
+use std::io;
+
+/// Errors from mega-database construction, access, and persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MdbError {
+    /// Underlying I/O failure while persisting or loading a snapshot.
+    Io(io::Error),
+    /// A DSP stage of the ingestion pipeline failed.
+    Dsp(emap_dsp::DspError),
+    /// A snapshot stream does not start with the expected magic bytes.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 8],
+    },
+    /// A snapshot stream declares impossible sizes or contains malformed
+    /// payloads.
+    CorruptSnapshot {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A signal-set was constructed with the wrong number of samples.
+    WrongSliceLength {
+        /// The number of samples supplied.
+        got: usize,
+    },
+    /// A set id is not present in the store.
+    UnknownSet {
+        /// The requested id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for MdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdbError::Io(e) => write!(f, "i/o failure: {e}"),
+            MdbError::Dsp(e) => write!(f, "dsp failure: {e}"),
+            MdbError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:?}, not an MDB snapshot")
+            }
+            MdbError::CorruptSnapshot { detail } => write!(f, "corrupt snapshot: {detail}"),
+            MdbError::WrongSliceLength { got } => write!(
+                f,
+                "signal-set must hold exactly {} samples, got {got}",
+                crate::SIGNAL_SET_LEN
+            ),
+            MdbError::UnknownSet { id } => write!(f, "unknown signal-set id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for MdbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MdbError::Io(e) => Some(e),
+            MdbError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MdbError {
+    fn from(e: io::Error) -> Self {
+        MdbError::Io(e)
+    }
+}
+
+impl From<emap_dsp::DspError> for MdbError {
+    fn from(e: emap_dsp::DspError) -> Self {
+        MdbError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<MdbError> = vec![
+            MdbError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
+            MdbError::Dsp(emap_dsp::DspError::EmptySignal),
+            MdbError::BadMagic { found: *b"12345678" },
+            MdbError::CorruptSnapshot { detail: "x".into() },
+            MdbError::WrongSliceLength { got: 3 },
+            MdbError::UnknownSet { id: 7 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<MdbError>();
+    }
+}

@@ -1,0 +1,168 @@
+use emap_datasets::SignalClass;
+use serde::{Deserialize, Serialize};
+
+use crate::{MdbError, SIGNAL_SET_LEN};
+
+/// Identifier of a [`SignalSet`] within one [`crate::Mdb`]. Assigned
+/// densely at insertion, so it doubles as the store index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SetId(pub u64);
+
+impl std::fmt::Display for SetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Where a signal-set came from: enough to trace any search hit back to a
+/// specific second of a specific channel of a specific recording.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Dataset identifier (e.g. `"physionet-mirror"`).
+    pub dataset_id: String,
+    /// Recording identifier within the dataset.
+    pub recording_id: String,
+    /// Channel label within the recording.
+    pub channel: String,
+    /// Offset of the slice's first sample in the resampled (256 Hz)
+    /// recording.
+    pub offset: u64,
+}
+
+impl Provenance {
+    /// Start time of the slice in seconds of the resampled recording.
+    #[must_use]
+    pub fn start_s(&self) -> f64 {
+        self.offset as f64 / 256.0
+    }
+}
+
+/// One labeled 1000-sample slice of the mega-database (§V-B).
+///
+/// Samples are at the 256 Hz base rate, already bandpass filtered. The
+/// attribute `A(S_P)` of the paper maps to [`SignalSet::is_anomalous`];
+/// the finer-grained class is kept so the evaluation can distinguish the
+/// three anomalies.
+///
+/// # Example
+///
+/// ```
+/// use emap_datasets::SignalClass;
+/// use emap_mdb::{Provenance, SignalSet};
+///
+/// # fn main() -> Result<(), emap_mdb::MdbError> {
+/// let set = SignalSet::new(
+///     vec![0.0; emap_mdb::SIGNAL_SET_LEN],
+///     SignalClass::Seizure,
+///     Provenance {
+///         dataset_id: "physionet-mirror".into(),
+///         recording_id: "rec-1".into(),
+///         channel: "EEG C3".into(),
+///         offset: 2000,
+///     },
+/// )?;
+/// assert!(set.is_anomalous());
+/// assert_eq!(set.samples().len(), 1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalSet {
+    samples: Vec<f32>,
+    class: SignalClass,
+    provenance: Provenance,
+}
+
+impl SignalSet {
+    /// Creates a signal-set, validating the slice length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdbError::WrongSliceLength`] unless `samples` holds exactly
+    /// [`SIGNAL_SET_LEN`] values.
+    pub fn new(
+        samples: Vec<f32>,
+        class: SignalClass,
+        provenance: Provenance,
+    ) -> Result<Self, MdbError> {
+        if samples.len() != SIGNAL_SET_LEN {
+            return Err(MdbError::WrongSliceLength { got: samples.len() });
+        }
+        Ok(SignalSet {
+            samples,
+            class,
+            provenance,
+        })
+    }
+
+    /// The slice samples (always [`SIGNAL_SET_LEN`] of them).
+    #[must_use]
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// The signal class this slice was labeled with.
+    #[must_use]
+    pub fn class(&self) -> SignalClass {
+        self.class
+    }
+
+    /// The paper's binary attribute `A(S_P)`: 1 for anomalous slices.
+    #[must_use]
+    pub fn is_anomalous(&self) -> bool {
+        self.class.is_anomaly()
+    }
+
+    /// Provenance of the slice.
+    #[must_use]
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prov() -> Provenance {
+        Provenance {
+            dataset_id: "d".into(),
+            recording_id: "r".into(),
+            channel: "c".into(),
+            offset: 512,
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(matches!(
+            SignalSet::new(vec![0.0; 999], SignalClass::Normal, prov()),
+            Err(MdbError::WrongSliceLength { got: 999 })
+        ));
+        assert!(SignalSet::new(vec![0.0; 1000], SignalClass::Normal, prov()).is_ok());
+    }
+
+    #[test]
+    fn anomaly_attribute_follows_class() {
+        let normal = SignalSet::new(vec![0.0; 1000], SignalClass::Normal, prov()).unwrap();
+        assert!(!normal.is_anomalous());
+        for class in SignalClass::ANOMALIES {
+            let s = SignalSet::new(vec![0.0; 1000], class, prov()).unwrap();
+            assert!(s.is_anomalous());
+            assert_eq!(s.class(), class);
+        }
+    }
+
+    #[test]
+    fn provenance_time_mapping() {
+        let p = prov();
+        assert!((p.start_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_id_display() {
+        assert_eq!(SetId(42).to_string(), "S42");
+    }
+}

@@ -1,0 +1,396 @@
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use emap_datasets::SignalClass;
+use parking_lot::RwLock;
+
+use crate::{snapshot, MdbError, SetId, SignalSet};
+
+/// Aggregate statistics of a mega-database.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MdbStats {
+    /// Total number of signal-sets.
+    pub total: usize,
+    /// Number of normal signal-sets.
+    pub normal: usize,
+    /// Number of anomalous signal-sets.
+    pub anomalous: usize,
+    /// Per-class counts (classes with zero slices omitted).
+    pub per_class: Vec<(SignalClass, usize)>,
+    /// Per-dataset counts (dataset id, slices).
+    pub per_dataset: Vec<(String, usize)>,
+}
+
+/// The mega-database store: a dense, indexable collection of
+/// [`SignalSet`]s.
+///
+/// The store is append-only (the paper's pipeline only ever inserts) and is
+/// `Sync`, so the parallel cloud search can scan `&Mdb` from many threads.
+/// For the serving scenario where the pipeline keeps ingesting while
+/// searches run, wrap it in a [`SharedMdb`].
+///
+/// # Example
+///
+/// See the crate-level example; typical construction goes through
+/// [`crate::MdbBuilder`].
+#[derive(Debug, Clone, Default)]
+pub struct Mdb {
+    sets: Vec<SignalSet>,
+}
+
+impl Mdb {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Mdb::default()
+    }
+
+    /// Creates a store from pre-built signal-sets.
+    #[must_use]
+    pub fn from_sets(sets: Vec<SignalSet>) -> Self {
+        Mdb { sets }
+    }
+
+    /// Number of signal-sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Appends a signal-set, returning its new id.
+    pub fn insert(&mut self, set: SignalSet) -> SetId {
+        self.sets.push(set);
+        SetId(self.sets.len() as u64 - 1)
+    }
+
+    /// Looks up a signal-set by id.
+    #[must_use]
+    pub fn get(&self, id: SetId) -> Option<&SignalSet> {
+        self.sets.get(id.0 as usize)
+    }
+
+    /// Looks up a signal-set by id, with a descriptive error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdbError::UnknownSet`] if `id` is out of range.
+    pub fn try_get(&self, id: SetId) -> Result<&SignalSet, MdbError> {
+        self.get(id).ok_or(MdbError::UnknownSet { id: id.0 })
+    }
+
+    /// Iterates over all signal-sets in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &SignalSet> {
+        self.sets.iter()
+    }
+
+    /// Iterates over `(id, set)` pairs.
+    pub fn iter_with_ids(&self) -> impl ExactSizeIterator<Item = (SetId, &SignalSet)> {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SetId(i as u64), s))
+    }
+
+    /// Splits the id space into `n` near-equal contiguous chunks for
+    /// parallel scanning. Returns `(start_id, slice)` pairs; empty chunks
+    /// are omitted.
+    #[must_use]
+    pub fn chunks(&self, n: usize) -> Vec<(SetId, &[SignalSet])> {
+        if self.sets.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let n = n.min(self.sets.len());
+        let per = self.sets.len().div_ceil(n);
+        self.sets
+            .chunks(per)
+            .enumerate()
+            .map(|(i, c)| (SetId((i * per) as u64), c))
+            .collect()
+    }
+
+    /// Iterates over the signal-sets of one class.
+    pub fn of_class(&self, class: SignalClass) -> impl Iterator<Item = (SetId, &SignalSet)> {
+        self.iter_with_ids().filter(move |(_, s)| s.class() == class)
+    }
+
+    /// Iterates over the signal-sets from one dataset.
+    pub fn of_dataset<'a>(
+        &'a self,
+        dataset_id: &'a str,
+    ) -> impl Iterator<Item = (SetId, &'a SignalSet)> + 'a {
+        self.iter_with_ids()
+            .filter(move |(_, s)| s.provenance().dataset_id == dataset_id)
+    }
+
+    /// Builds a new store containing only the sets selected by `keep` —
+    /// used for ablations that search class- or dataset-restricted corpora.
+    #[must_use]
+    pub fn filtered(&self, keep: impl Fn(&SignalSet) -> bool) -> Mdb {
+        Mdb {
+            sets: self.sets.iter().filter(|s| keep(s)).cloned().collect(),
+        }
+    }
+
+    /// Computes aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> MdbStats {
+        let mut stats = MdbStats {
+            total: self.sets.len(),
+            ..MdbStats::default()
+        };
+        for set in &self.sets {
+            if set.is_anomalous() {
+                stats.anomalous += 1;
+            } else {
+                stats.normal += 1;
+            }
+            match stats.per_class.iter_mut().find(|(c, _)| *c == set.class()) {
+                Some((_, n)) => *n += 1,
+                None => stats.per_class.push((set.class(), 1)),
+            }
+            let ds = &set.provenance().dataset_id;
+            match stats.per_dataset.iter_mut().find(|(d, _)| d == ds) {
+                Some((_, n)) => *n += 1,
+                None => stats.per_dataset.push((ds.clone(), 1)),
+            }
+        }
+        stats
+    }
+
+    /// Serializes the store to a binary snapshot (the stand-in for the
+    /// paper's MongoDB persistence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdbError::Io`] on write failures.
+    pub fn write_snapshot<W: Write>(&self, writer: W) -> Result<(), MdbError> {
+        snapshot::write(self, writer)
+    }
+
+    /// Restores a store from a snapshot produced by
+    /// [`Mdb::write_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdbError::BadMagic`] for foreign streams and
+    /// [`MdbError::CorruptSnapshot`] / [`MdbError::Io`] for damaged ones.
+    pub fn read_snapshot<R: Read>(reader: R) -> Result<Self, MdbError> {
+        snapshot::read(reader)
+    }
+
+    /// Wraps the store in a thread-safe, cheaply clonable handle.
+    #[must_use]
+    pub fn into_shared(self) -> SharedMdb {
+        SharedMdb {
+            inner: Arc::new(RwLock::new(self)),
+        }
+    }
+}
+
+impl FromIterator<SignalSet> for Mdb {
+    fn from_iter<I: IntoIterator<Item = SignalSet>>(iter: I) -> Self {
+        Mdb {
+            sets: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<SignalSet> for Mdb {
+    fn extend<I: IntoIterator<Item = SignalSet>>(&mut self, iter: I) {
+        self.sets.extend(iter);
+    }
+}
+
+/// Thread-safe handle over an [`Mdb`], for the cloud service scenario where
+/// ingestion and search run concurrently.
+///
+/// # Example
+///
+/// ```
+/// use emap_mdb::Mdb;
+///
+/// let shared = Mdb::new().into_shared();
+/// let clone = shared.clone();
+/// assert_eq!(clone.len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedMdb {
+    inner: Arc<RwLock<Mdb>>,
+}
+
+impl SharedMdb {
+    /// Number of signal-sets at this instant.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store is empty at this instant.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Appends a signal-set.
+    pub fn insert(&self, set: SignalSet) -> SetId {
+        self.inner.write().insert(set)
+    }
+
+    /// Runs `f` with read access to the store (used by searches).
+    pub fn with_read<T>(&self, f: impl FnOnce(&Mdb) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Takes a point-in-time copy of the store.
+    #[must_use]
+    pub fn snapshot(&self) -> Mdb {
+        self.inner.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Provenance;
+
+    fn set(class: SignalClass, ds: &str, offset: u64) -> SignalSet {
+        SignalSet::new(
+            vec![offset as f32; crate::SIGNAL_SET_LEN],
+            class,
+            Provenance {
+                dataset_id: ds.into(),
+                recording_id: "r".into(),
+                channel: "c".into(),
+                offset,
+            },
+        )
+        .unwrap()
+    }
+
+    fn sample_mdb() -> Mdb {
+        let mut mdb = Mdb::new();
+        mdb.insert(set(SignalClass::Normal, "a", 0));
+        mdb.insert(set(SignalClass::Seizure, "a", 1000));
+        mdb.insert(set(SignalClass::Normal, "b", 0));
+        mdb.insert(set(SignalClass::Stroke, "b", 1000));
+        mdb.insert(set(SignalClass::Normal, "b", 2000));
+        mdb
+    }
+
+    #[test]
+    fn insert_assigns_dense_ids() {
+        let mut mdb = Mdb::new();
+        assert_eq!(mdb.insert(set(SignalClass::Normal, "a", 0)), SetId(0));
+        assert_eq!(mdb.insert(set(SignalClass::Normal, "a", 1)), SetId(1));
+        assert_eq!(mdb.len(), 2);
+    }
+
+    #[test]
+    fn get_and_try_get() {
+        let mdb = sample_mdb();
+        assert!(mdb.get(SetId(4)).is_some());
+        assert!(mdb.get(SetId(5)).is_none());
+        assert!(mdb.try_get(SetId(5)).is_err());
+        assert_eq!(mdb.try_get(SetId(1)).unwrap().class(), SignalClass::Seizure);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let stats = sample_mdb().stats();
+        assert_eq!(stats.total, 5);
+        assert_eq!(stats.normal, 3);
+        assert_eq!(stats.anomalous, 2);
+        assert_eq!(
+            stats
+                .per_class
+                .iter()
+                .map(|&(_, n)| n)
+                .sum::<usize>(),
+            5
+        );
+        assert_eq!(stats.per_dataset.len(), 2);
+    }
+
+    #[test]
+    fn chunks_cover_everything_without_overlap() {
+        let mdb = sample_mdb();
+        for n in 1..=7 {
+            let chunks = mdb.chunks(n);
+            let covered: usize = chunks.iter().map(|(_, c)| c.len()).sum();
+            assert_eq!(covered, 5, "n = {n}");
+            // Start ids must be consistent with the concatenation order.
+            let mut expect = 0u64;
+            for (start, c) in &chunks {
+                assert_eq!(start.0, expect);
+                expect += c.len() as u64;
+            }
+        }
+        assert!(mdb.chunks(0).is_empty());
+        assert!(Mdb::new().chunks(4).is_empty());
+    }
+
+    #[test]
+    fn iter_with_ids_matches_get() {
+        let mdb = sample_mdb();
+        for (id, s) in mdb.iter_with_ids() {
+            assert_eq!(mdb.get(id).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let sets: Vec<SignalSet> = (0..3).map(|i| set(SignalClass::Normal, "x", i)).collect();
+        let mut mdb: Mdb = sets.clone().into_iter().collect();
+        assert_eq!(mdb.len(), 3);
+        mdb.extend(sets);
+        assert_eq!(mdb.len(), 6);
+    }
+
+    #[test]
+    fn class_and_dataset_views() {
+        let mdb = sample_mdb();
+        assert_eq!(mdb.of_class(SignalClass::Normal).count(), 3);
+        assert_eq!(mdb.of_class(SignalClass::Seizure).count(), 1);
+        assert_eq!(mdb.of_class(SignalClass::Encephalopathy).count(), 0);
+        assert_eq!(mdb.of_dataset("a").count(), 2);
+        assert_eq!(mdb.of_dataset("b").count(), 3);
+        assert_eq!(mdb.of_dataset("zzz").count(), 0);
+        // Views carry correct ids.
+        for (id, s) in mdb.of_class(SignalClass::Stroke) {
+            assert_eq!(mdb.get(id).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn filtered_builds_a_sub_corpus() {
+        let mdb = sample_mdb();
+        let normals = mdb.filtered(|s| !s.is_anomalous());
+        assert_eq!(normals.len(), 3);
+        assert!(normals.iter().all(|s| !s.is_anomalous()));
+        let empty = mdb.filtered(|_| false);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn shared_mdb_inserts_are_visible_to_clones() {
+        let shared = Mdb::new().into_shared();
+        let other = shared.clone();
+        shared.insert(set(SignalClass::Normal, "a", 0));
+        assert_eq!(other.len(), 1);
+        assert_eq!(other.with_read(|m| m.len()), 1);
+        assert_eq!(other.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn shared_mdb_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SharedMdb>();
+        check::<Mdb>();
+    }
+}

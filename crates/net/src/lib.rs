@@ -1,0 +1,58 @@
+//! Analytic communication and device timing models for EMAP.
+//!
+//! The paper's real-time argument rests on three timing claims:
+//!
+//! 1. Uploading one second of EEG (256 × 16-bit samples) takes ≲ 1 ms on a
+//!    4G-class link (Fig. 4a).
+//! 2. Downloading the top-100 correlation set takes ≲ 200 ms (Fig. 4b).
+//! 3. The initial cloud search costs ~3 s, and per-iteration edge tracking
+//!    of 100 signals costs ~900 ms on a Raspberry Pi (Figs. 7–9).
+//!
+//! Fig. 4 itself is "adapted from data presented in \[19\] \[20\]" — a model,
+//! not a testbed measurement — so this crate provides the equivalent
+//! analytic models (see `DESIGN.md` §4):
+//!
+//! - [`CommTech`] — six link technologies with per-message setup latency and
+//!   throughput, exposing [`CommTech::upload_time`] and
+//!   [`CommTech::download_time`].
+//! - [`Device`] — cost models for the paper's cloud (Core i7-7700HQ) and
+//!   edge (Raspberry Pi B+) nodes running the authors' Python stack,
+//!   mapping operation counts to wall-clock time.
+//! - [`InitialLatency`] — the Δ_initial = Δ_EC + Δ_CS + Δ_CE decomposition
+//!   (Eq. 4).
+//! - [`energy`] — edge energy budgets and data-exposure accounting for the
+//!   hybrid / streaming / edge-only deployment comparison of §I.
+//!
+//! # Example
+//!
+//! ```
+//! use emap_net::CommTech;
+//!
+//! let lte_a = CommTech::LteAdvanced;
+//! // One second of EEG uploads well under a millisecond on LTE-A.
+//! assert!(lte_a.upload_time(256).as_micros() < 1000);
+//! // The top-100 correlation set downloads well under 200 ms.
+//! assert!(lte_a.download_time(100).as_millis() < 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comm;
+mod device;
+pub mod energy;
+mod latency;
+
+pub use comm::CommTech;
+pub use device::{Device, TrackingMetric};
+pub use latency::InitialLatency;
+
+/// Bits per transmitted EEG sample (§V-A: 16-bit resolution).
+pub const BITS_PER_SAMPLE: u64 = 16;
+
+/// Samples per signal-set transmitted from the cloud to the edge.
+pub const SAMPLES_PER_SIGNAL: u64 = 1000;
+
+/// Per-signal metadata overhead in bits (set id, ω, β — the `[S, ω, β]`
+/// tuple the edge tracks).
+pub const SIGNAL_METADATA_BITS: u64 = 24 * 8;

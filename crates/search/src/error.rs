@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Errors from the cloud search.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SearchError {
+    /// The query window has the wrong length (must be
+    /// [`emap_dsp::SAMPLES_PER_SECOND`] samples).
+    BadQueryLength {
+        /// The supplied length.
+        got: usize,
+    },
+    /// The query contains a NaN or infinite sample (e.g. a disconnected
+    /// electrode or an upstream arithmetic fault).
+    NonFiniteSample {
+        /// Index of the first offending sample.
+        position: usize,
+    },
+    /// A configuration parameter is out of range.
+    BadConfig {
+        /// Which parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An underlying DSP primitive failed (indicates an internal bug —
+    /// surfaced rather than panicking).
+    Dsp(emap_dsp::DspError),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::BadQueryLength { got } => write!(
+                f,
+                "query must hold {} samples, got {got}",
+                emap_dsp::SAMPLES_PER_SECOND
+            ),
+            SearchError::NonFiniteSample { position } => {
+                write!(f, "query sample {position} is not finite")
+            }
+            SearchError::BadConfig { parameter, value } => {
+                write!(f, "search parameter `{parameter}` has invalid value {value}")
+            }
+            SearchError::Dsp(e) => write!(f, "dsp failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<emap_dsp::DspError> for SearchError {
+    fn from(e: emap_dsp::DspError) -> Self {
+        SearchError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SearchError::BadQueryLength { got: 3 },
+            SearchError::NonFiniteSample { position: 9 },
+            SearchError::BadConfig {
+                parameter: "alpha",
+                value: -1.0,
+            },
+            SearchError::Dsp(emap_dsp::DspError::EmptySignal),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<SearchError>();
+    }
+}

@@ -1,0 +1,221 @@
+use emap_mdb::{Mdb, SetId};
+
+use crate::{
+    CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork, SlidingSearch,
+};
+
+/// Algorithm 1 fanned out over worker threads.
+///
+/// §V-B: the MDB slicing exists "to enable the search algorithm to quickly
+/// search through the complete database in parallel". The store is split
+/// into contiguous chunks ([`Mdb::chunks`]) and each worker runs the
+/// sliding scan over its chunk; candidate lists and work counters are
+/// merged at the end, so the result is identical to the sequential
+/// [`SlidingSearch`] up to candidate ordering (and exactly identical after
+/// the final top-K sort).
+///
+/// # Example
+///
+/// ```
+/// use emap_search::{ParallelSearch, SearchConfig};
+///
+/// let s = ParallelSearch::new(SearchConfig::paper(), 4);
+/// assert_eq!(s.workers(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelSearch {
+    config: SearchConfig,
+    workers: usize,
+}
+
+impl ParallelSearch {
+    /// Creates a parallel search with `workers` threads (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(config: SearchConfig, workers: usize) -> Self {
+        ParallelSearch {
+            config,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+}
+
+impl Search for ParallelSearch {
+    fn name(&self) -> &'static str {
+        "algorithm1-parallel"
+    }
+
+    /// Batch entry point: queries are fanned out across the worker pool
+    /// (one whole search per worker), which beats splitting each search
+    /// when many patients arrive together.
+    fn search_batch(
+        &self,
+        queries: &[Query],
+        mdb: &Mdb,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        if queries.len() <= 1 {
+            return queries.iter().map(|q| self.search(q, mdb)).collect();
+        }
+        // Concurrency is bounded by the worker count: queries are taken in
+        // waves of `workers` so a large ward does not spawn a thread per
+        // patient.
+        let sequential = SlidingSearch::new(self.config);
+        let mut out = Vec::with_capacity(queries.len());
+        for wave in queries.chunks(self.workers) {
+            let results: Vec<Result<CorrelationSet, SearchError>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|q| {
+                            let sequential = &sequential;
+                            scope.spawn(move |_| sequential.search(q, mdb))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("batch worker panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope panicked");
+            for r in results {
+                out.push(r?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
+        let chunks = mdb.chunks(self.workers);
+        if chunks.len() <= 1 {
+            // Not worth spawning threads for a single chunk.
+            return SlidingSearch::new(self.config).search(query, mdb);
+        }
+        let config = self.config;
+        let results: Vec<Result<(Vec<SearchHit>, SearchWork), SearchError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|(start, sets)| {
+                        scope.spawn(move |_| {
+                            let mut candidates = Vec::new();
+                            let mut work = SearchWork::default();
+                            for (i, set) in sets.iter().enumerate() {
+                                SlidingSearch::scan_set(
+                                    query,
+                                    &config,
+                                    SetId(start.0 + i as u64),
+                                    set,
+                                    &mut candidates,
+                                    &mut work,
+                                )?;
+                            }
+                            Ok((candidates, work))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope panicked");
+
+        let mut candidates = Vec::new();
+        let mut work = SearchWork::default();
+        for r in results {
+            let (c, w) = r?;
+            candidates.extend(c);
+            work.merge(w);
+        }
+        Ok(CorrelationSet::from_candidates(
+            candidates,
+            self.config.top_k(),
+            work,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emap_datasets::{RecordingFactory, SignalClass};
+    use emap_mdb::MdbBuilder;
+
+    fn realistic_mdb() -> Mdb {
+        let factory = RecordingFactory::new(17);
+        let mut b = MdbBuilder::new();
+        for i in 0..3 {
+            b.add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+                .unwrap();
+            b.add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    fn realistic_query() -> Query {
+        let factory = RecordingFactory::new(17);
+        let rec = factory.anomaly_recording(SignalClass::Seizure, "s0", 24.0);
+        let filtered = emap_dsp::emap_bandpass().filter(rec.channels()[0].samples());
+        Query::new(&filtered[3000..3256]).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mdb = realistic_mdb();
+        let query = realistic_query();
+        let seq = SlidingSearch::new(SearchConfig::paper())
+            .search(&query, &mdb)
+            .unwrap();
+        for workers in [1usize, 2, 3, 8, 64] {
+            let par = ParallelSearch::new(SearchConfig::paper(), workers)
+                .search(&query, &mdb)
+                .unwrap();
+            assert_eq!(par.work(), seq.work(), "workers = {workers}");
+            assert_eq!(par.hits(), seq.hits(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_searches() {
+        let mdb = realistic_mdb();
+        let queries: Vec<Query> = (0..5).map(|_| realistic_query()).collect();
+        let search = ParallelSearch::new(SearchConfig::paper(), 3);
+        let batch = search.search_batch(&queries, &mdb).unwrap();
+        assert_eq!(batch.len(), 5);
+        for (q, b) in queries.iter().zip(&batch) {
+            let single = SlidingSearch::new(SearchConfig::paper())
+                .search(q, &mdb)
+                .unwrap();
+            assert_eq!(b.hits(), single.hits());
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(ParallelSearch::new(SearchConfig::paper(), 0).workers(), 1);
+    }
+
+    #[test]
+    fn empty_mdb_ok() {
+        let query = realistic_query();
+        let t = ParallelSearch::new(SearchConfig::paper(), 4)
+            .search(&query, &Mdb::new())
+            .unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+use emap_mdb::{Mdb, SetId, SignalSet};
+
+use crate::{
+    skip_for_omega, CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit,
+    SearchWork,
+};
+
+/// An extension beyond the paper: a two-stage coarse-to-fine search.
+///
+/// Stage 1 scans every signal-set at a fixed coarse stride and records
+/// offsets whose correlation clears a *prescreen* threshold (lower than
+/// `δ`). Stage 2 re-scans only the neighborhoods of those offsets with the
+/// exponential sliding window of Algorithm 1.
+///
+/// On rhythmic EEG the correlation landscape around a true match is wide
+/// (the match envelope spans tens of samples), so a coarse stride rarely
+/// steps over an entire envelope — stage 1 finds the neighborhoods at a
+/// fraction of Algorithm 1's cost, and stage 2's dense work is confined to
+/// them. The `ablation_two_stage` bench quantifies the trade-off.
+///
+/// # Example
+///
+/// ```
+/// use emap_search::{SearchConfig, TwoStageSearch, Search};
+///
+/// let s = TwoStageSearch::new(SearchConfig::paper());
+/// assert_eq!(s.name(), "two-stage");
+/// assert_eq!(s.coarse_stride(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoStageSearch {
+    config: SearchConfig,
+    coarse_stride: usize,
+    prescreen_margin: f64,
+}
+
+impl TwoStageSearch {
+    /// Default coarse stride in samples.
+    pub const DEFAULT_STRIDE: usize = 32;
+
+    /// Default prescreen margin below `δ`. Negative: on corpora with a high
+    /// correlation baseline the prescreen must sit *above* `δ` to be
+    /// selective — a true match's envelope still clears it within one
+    /// coarse stride of the peak.
+    pub const DEFAULT_MARGIN: f64 = -0.05;
+
+    /// Creates the search with default stage-1 parameters.
+    #[must_use]
+    pub fn new(config: SearchConfig) -> Self {
+        TwoStageSearch {
+            config,
+            coarse_stride: Self::DEFAULT_STRIDE,
+            prescreen_margin: Self::DEFAULT_MARGIN,
+        }
+    }
+
+    /// Overrides the coarse stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::BadConfig`] if `stride == 0`.
+    pub fn with_coarse_stride(mut self, stride: usize) -> Result<Self, SearchError> {
+        if stride == 0 {
+            return Err(SearchError::BadConfig {
+                parameter: "coarse_stride",
+                value: 0.0,
+            });
+        }
+        self.coarse_stride = stride;
+        Ok(self)
+    }
+
+    /// Overrides the prescreen margin (stage-1 threshold is `δ − margin`;
+    /// negative margins place the prescreen above `δ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::BadConfig`] if the margin is non-finite or
+    /// its magnitude is 0.5 or more (the prescreen would leave `[0, 1]`
+    /// for every sensible `δ`).
+    pub fn with_prescreen_margin(mut self, margin: f64) -> Result<Self, SearchError> {
+        if !(margin.is_finite() && margin.abs() < 0.5) {
+            return Err(SearchError::BadConfig {
+                parameter: "prescreen_margin",
+                value: margin,
+            });
+        }
+        self.prescreen_margin = margin;
+        Ok(self)
+    }
+
+    /// The stage-1 stride.
+    #[must_use]
+    pub fn coarse_stride(&self) -> usize {
+        self.coarse_stride
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    fn scan_set(
+        &self,
+        query: &Query,
+        id: SetId,
+        set: &SignalSet,
+        candidates: &mut Vec<SearchHit>,
+        work: &mut SearchWork,
+    ) -> Result<(), SearchError> {
+        let rc = query.correlator();
+        let host = set.samples();
+        let window = rc.window_len();
+        work.sets_scanned += 1;
+        if host.len() < window {
+            return Ok(());
+        }
+        let last = host.len() - window;
+        let prescreen = (self.config.delta() - self.prescreen_margin).clamp(0.0, 1.0);
+
+        // Stage 1: coarse scan.
+        let mut seeds = Vec::new();
+        let mut beta = 0usize;
+        while beta <= last {
+            let omega = rc.correlation_at(host, beta)?;
+            work.correlations += 1;
+            if omega >= prescreen {
+                seeds.push(beta);
+            }
+            beta += self.coarse_stride;
+        }
+
+        // Stage 2: dense exponential scan inside each seed neighborhood.
+        let mut best: Option<SearchHit> = None;
+        let mut scanned_until = 0usize; // avoid re-scanning overlapping neighborhoods
+        for seed in seeds {
+            let lo = seed.saturating_sub(self.coarse_stride).max(scanned_until);
+            let hi = (seed + self.coarse_stride).min(last);
+            let mut beta = lo;
+            while beta <= hi {
+                let omega = rc.correlation_at(host, beta)?;
+                work.correlations += 1;
+                if omega > self.config.delta() {
+                    work.matches += 1;
+                    let hit = SearchHit {
+                        set_id: id,
+                        omega,
+                        beta,
+                    };
+                    if self.config.dedup_per_set() {
+                        if best.is_none_or(|b| omega > b.omega) {
+                            best = Some(hit);
+                        }
+                    } else {
+                        candidates.push(hit);
+                    }
+                }
+                beta += skip_for_omega(omega, self.config.alpha());
+            }
+            scanned_until = hi + 1;
+        }
+        if let Some(b) = best {
+            candidates.push(b);
+        }
+        Ok(())
+    }
+}
+
+impl Search for TwoStageSearch {
+    fn name(&self) -> &'static str {
+        "two-stage"
+    }
+
+    fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
+        let mut candidates = Vec::new();
+        let mut work = SearchWork::default();
+        for (id, set) in mdb.iter_with_ids() {
+            self.scan_set(query, id, set, &mut candidates, &mut work)?;
+        }
+        Ok(CorrelationSet::from_candidates(
+            candidates,
+            self.config.top_k(),
+            work,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlidingSearch;
+    use emap_datasets::{RecordingFactory, SignalClass};
+    use emap_mdb::MdbBuilder;
+
+    fn setup() -> (Mdb, Query) {
+        let factory = RecordingFactory::new(23);
+        let mut b = MdbBuilder::new();
+        for i in 0..4 {
+            b.add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+                .expect("ingest");
+            b.add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+            )
+            .expect("ingest");
+        }
+        let mdb = b.build();
+        let rec = factory.anomaly_recording(SignalClass::Seizure, "s0", 24.0);
+        let filtered = emap_dsp::emap_bandpass().filter(rec.channels()[0].samples());
+        (mdb, Query::new(&filtered[2048..2304]).expect("window length 256"))
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(TwoStageSearch::new(SearchConfig::paper())
+            .with_coarse_stride(0)
+            .is_err());
+        assert!(TwoStageSearch::new(SearchConfig::paper())
+            .with_prescreen_margin(0.6)
+            .is_err());
+        assert!(TwoStageSearch::new(SearchConfig::paper())
+            .with_prescreen_margin(-0.1)
+            .is_ok());
+        assert!(TwoStageSearch::new(SearchConfig::paper())
+            .with_prescreen_margin(f64::NAN)
+            .is_err());
+        let s = TwoStageSearch::new(SearchConfig::paper())
+            .with_coarse_stride(32)
+            .expect("valid")
+            .with_prescreen_margin(0.1)
+            .expect("valid");
+        assert_eq!(s.coarse_stride(), 32);
+    }
+
+    #[test]
+    fn finds_the_same_strong_matches_as_algorithm1() {
+        let (mdb, query) = setup();
+        let two = TwoStageSearch::new(SearchConfig::paper())
+            .search(&query, &mdb)
+            .expect("search succeeds");
+        let one = SlidingSearch::new(SearchConfig::paper())
+            .search(&query, &mdb)
+            .expect("search succeeds");
+        assert!(!two.is_empty());
+        let best_two = two.hits()[0].omega;
+        let best_one = one.hits()[0].omega;
+        assert!(
+            (best_two - best_one).abs() < 0.02,
+            "best ω: two-stage {best_two} vs algorithm1 {best_one}"
+        );
+    }
+
+    #[test]
+    fn does_less_work_than_algorithm1() {
+        let (mdb, query) = setup();
+        let two = TwoStageSearch::new(SearchConfig::paper())
+            .search(&query, &mdb)
+            .expect("search succeeds");
+        let one = SlidingSearch::new(SearchConfig::paper())
+            .search(&query, &mdb)
+            .expect("search succeeds");
+        assert!(
+            two.work().correlations < one.work().correlations,
+            "two-stage {} vs algorithm1 {}",
+            two.work().correlations,
+            one.work().correlations
+        );
+    }
+
+    #[test]
+    fn empty_mdb_ok() {
+        let (_, query) = setup();
+        let t = TwoStageSearch::new(SearchConfig::paper())
+            .search(&query, &Mdb::new())
+            .expect("search succeeds");
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the cloud search: result invariants that must
+//! hold for arbitrary signal content and configurations.
+
+use emap_datasets::SignalClass;
+use emap_mdb::{Mdb, Provenance, SignalSet, SIGNAL_SET_LEN};
+use emap_search::{
+    skip_for_omega, ExhaustiveSearch, Query, Search, SearchConfig, SlidingSearch, TwoStageSearch,
+};
+use proptest::prelude::*;
+
+fn arb_signal(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    // Mix of a rhythm and noise, scaled like filtered EEG.
+    (
+        0.05f32..0.6,
+        0.0f32..std::f32::consts::TAU,
+        prop::collection::vec(-10.0f32..10.0, len),
+    )
+        .prop_map(move |(freq, phase, noise)| {
+            noise
+                .into_iter()
+                .enumerate()
+                .map(|(i, n)| (freq * i as f32 + phase).sin() * 30.0 + n)
+                .collect()
+        })
+}
+
+fn arb_mdb(sets: usize) -> impl Strategy<Value = Mdb> {
+    prop::collection::vec(
+        (arb_signal(SIGNAL_SET_LEN), prop::bool::ANY),
+        1..=sets,
+    )
+    .prop_map(|entries| {
+        let mut mdb = Mdb::new();
+        for (i, (samples, anomalous)) in entries.into_iter().enumerate() {
+            let class = if anomalous {
+                SignalClass::Seizure
+            } else {
+                SignalClass::Normal
+            };
+            mdb.insert(
+                SignalSet::new(
+                    samples,
+                    class,
+                    Provenance {
+                        dataset_id: "prop".into(),
+                        recording_id: format!("r{i}"),
+                        channel: "c".into(),
+                        offset: i as u64 * 1000,
+                    },
+                )
+                .expect("slice length fixed"),
+            );
+        }
+        mdb
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = SearchConfig> {
+    (0.001f64..0.05, 0.0f64..0.95, 1usize..150, prop::bool::ANY).prop_map(
+        |(alpha, delta, top_k, dedup)| {
+            SearchConfig::paper()
+                .with_alpha(alpha)
+                .expect("valid alpha")
+                .with_delta(delta)
+                .expect("valid delta")
+                .with_top_k(top_k)
+                .expect("valid top_k")
+                .with_dedup_per_set(dedup)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every search respects its invariants: sorted-descending hits, ω in
+    /// (δ, 1], at most top_k results, β within bounds.
+    #[test]
+    fn result_invariants(mdb in arb_mdb(6), query in arb_signal(256), cfg in arb_config()) {
+        let q = Query::new(&query).expect("window length 256");
+        for search in [
+            Box::new(ExhaustiveSearch::new(cfg)) as Box<dyn Search>,
+            Box::new(SlidingSearch::new(cfg)),
+            Box::new(TwoStageSearch::new(cfg)),
+        ] {
+            let t = search.search(&q, &mdb).expect("search succeeds");
+            prop_assert!(t.len() <= cfg.top_k());
+            let mut prev = f64::INFINITY;
+            for h in t.hits() {
+                prop_assert!(h.omega <= prev, "{}: not sorted", search.name());
+                prop_assert!(h.omega > cfg.delta(), "{}: below delta", search.name());
+                prop_assert!(h.omega <= 1.0 + 1e-9);
+                prop_assert!(h.beta <= SIGNAL_SET_LEN - 256);
+                prev = h.omega;
+            }
+            if cfg.dedup_per_set() {
+                let mut ids: Vec<_> = t.hits().iter().map(|h| h.set_id).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), t.len(), "{}: dup sets", search.name());
+            }
+        }
+    }
+
+    /// The exhaustive search dominates: its best hit is at least as good as
+    /// any other algorithm's best hit, and its work is an upper bound.
+    #[test]
+    fn exhaustive_dominates(mdb in arb_mdb(4), query in arb_signal(256)) {
+        let cfg = SearchConfig::paper();
+        let q = Query::new(&query).expect("window length 256");
+        let ex = ExhaustiveSearch::new(cfg).search(&q, &mdb).expect("search");
+        for other in [
+            Box::new(SlidingSearch::new(cfg)) as Box<dyn Search>,
+            Box::new(TwoStageSearch::new(cfg)),
+        ] {
+            let t = other.search(&q, &mdb).expect("search");
+            prop_assert!(t.work().correlations <= ex.work().correlations);
+            if let (Some(e), Some(o)) = (ex.hits().first(), t.hits().first()) {
+                prop_assert!(e.omega >= o.omega - 1e-9, "{} beat exhaustive", other.name());
+            }
+            // Anything another algorithm found, exhaustive found too (it
+            // cannot return empty when others have hits).
+            if !t.is_empty() {
+                prop_assert!(!ex.is_empty());
+            }
+        }
+    }
+
+    /// Search results are deterministic.
+    #[test]
+    fn search_is_deterministic(mdb in arb_mdb(4), query in arb_signal(256)) {
+        let cfg = SearchConfig::paper();
+        let q = Query::new(&query).expect("window length 256");
+        let a = SlidingSearch::new(cfg).search(&q, &mdb).expect("search");
+        let b = SlidingSearch::new(cfg).search(&q, &mdb).expect("search");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The skip law is total, bounded, and monotone for any α in range.
+    #[test]
+    fn skip_law_properties(omega in -2.0f64..2.0, alpha in 0.0005f64..0.5) {
+        let s = skip_for_omega(omega, alpha);
+        prop_assert!(s >= 1);
+        prop_assert!(s <= (1.0 / alpha).ceil() as usize + 1);
+        // Monotone: higher ω never skips farther.
+        let s2 = skip_for_omega((omega + 0.1).min(2.0), alpha);
+        prop_assert!(s2 <= s);
+    }
+}

@@ -1,0 +1,88 @@
+//! Cloud server: the deployment the paper's cloud side implies — one
+//! mega-database serving many wearables concurrently, with new clinical
+//! data being ingested while searches run.
+//!
+//! ```sh
+//! cargo run --release --example cloud_server
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use emap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+    let mut builder = MdbBuilder::new();
+    for spec in standard_registry(2) {
+        builder.add_dataset(&spec.generate(seed))?;
+    }
+    let service = CloudService::new(SearchConfig::paper(), builder.build().into_shared(), 4);
+    println!(
+        "cloud service up: {} signal-sets, 4 search workers",
+        service.mdb().len()
+    );
+
+    // Eight wearables, each sending a burst of search requests, while a
+    // clinical-ingestion thread keeps growing the database.
+    let factory = RecordingFactory::new(seed);
+    let filter = emap_bandpass();
+    let served = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        // Ingestion thread: a new recording arrives mid-serving.
+        let ingest_service = service.clone();
+        let ingest_factory = factory.clone();
+        scope.spawn(move || {
+            let rec = ingest_factory.anomaly_recording(SignalClass::Seizure, "fresh", 24.0);
+            let mut b = MdbBuilder::new();
+            b.add_recording("live-intake", &rec).expect("valid recording");
+            for set in b.build().iter() {
+                ingest_service.ingest(set.clone());
+            }
+        });
+
+        // Patient threads.
+        for p in 0..8 {
+            let service = service.clone();
+            let factory = factory.clone();
+            let filter = filter.clone();
+            let served = &served;
+            scope.spawn(move || {
+                let class = SignalClass::ALL[p % 4];
+                let id = format!("ward-patient-{p}");
+                let rec = match class {
+                    SignalClass::Normal => factory.normal_recording(&id, 12.0),
+                    c => factory.anomaly_recording(c, &id, 12.0),
+                };
+                let filtered = filter.filter(rec.channels()[0].samples());
+                for second in 4..10 {
+                    let query = Query::new(&filtered[second * 256..(second + 1) * 256])
+                        .expect("window length 256");
+                    let t = service.search(&query).expect("search succeeds");
+                    served.fetch_add(1, Ordering::Relaxed);
+                    if second == 9 {
+                        println!(
+                            "patient {p} ({:>16}): top hit ω = {:.3}, {} hits, {} sets scanned",
+                            class.label(),
+                            t.hits().first().map_or(0.0, |h| h.omega),
+                            t.len(),
+                            t.work().sets_scanned
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let total = served.load(Ordering::Relaxed);
+    println!(
+        "\nserved {total} searches in {:.2} s ({:.1} searches/s) — final store: {} sets",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
+        service.mdb().len()
+    );
+    println!("(the store grew mid-run: ingestion and search share one SharedMdb)");
+    Ok(())
+}

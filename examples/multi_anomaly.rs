@@ -1,0 +1,50 @@
+//! Multi-anomaly prediction: the paper's headline claim is that one
+//! framework predicts *multiple different* neurological anomalies — not
+//! just seizures — by swapping nothing but the contents of the
+//! mega-database. This example runs one patient of each class (plus a
+//! healthy control) through the identical pipeline.
+//!
+//! ```sh
+//! cargo run --release --example multi_anomaly
+//! ```
+
+use emap::core::eval::EvalHarness;
+use emap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 7;
+    let mut harness = EvalHarness::from_registry(EmapConfig::default(), seed, 2);
+
+    println!("class            verdict   final P_A  rise    cloud calls");
+    for class in SignalClass::ANOMALIES {
+        let raw = harness.anomaly_input(class, "demo", 0, 20.0);
+        let case = harness.classify(class, &raw)?;
+        println!(
+            "{:<16} {:<9?} {:>8.2} {:>+7.2} {:>8}",
+            class.label(),
+            case.prediction,
+            case.final_pa,
+            case.pa_rise,
+            case.cloud_calls
+        );
+    }
+
+    // Healthy control through the same pipeline.
+    let factory = RecordingFactory::new(seed);
+    let control = factory.normal_recording("control", 16.0);
+    let case = harness.classify(SignalClass::Normal, control.channels()[0].samples())?;
+    println!(
+        "{:<16} {:<9?} {:>8.2} {:>+7.2} {:>8}",
+        "normal (control)",
+        case.prediction,
+        case.final_pa,
+        case.pa_rise,
+        case.cloud_calls
+    );
+
+    println!(
+        "\nThe same binary, configuration, and thresholds served all four cases —\n\
+         only the mega-database content determines which anomalies are predictable."
+    );
+    Ok(())
+}

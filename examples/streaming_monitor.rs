@@ -1,0 +1,63 @@
+//! Streaming monitor: the deployment-shaped API. Acquisition hardware
+//! pushes sample bursts of whatever size it produces; the monitor re-chunks
+//! them into the framework's one-second windows and emits edge-triggered
+//! alarms when the verdict flips.
+//!
+//! ```sh
+//! cargo run --release --example streaming_monitor
+//! ```
+
+use emap::core::MonitorEvent;
+use emap::core::StreamingMonitor;
+use emap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+    let mut builder = MdbBuilder::new();
+    for spec in standard_registry(2) {
+        builder.add_dataset(&spec.generate(seed))?;
+    }
+    let mut monitor = StreamingMonitor::new(EmapConfig::default(), builder.build())?;
+
+    // A patient whose background EEG transitions into a seizure: 20 s of
+    // normal activity followed by 12 s of ictal discharge.
+    let factory = RecordingFactory::new(seed);
+    let normal = factory.normal_recording("stream-pre", 20.0);
+    let ictal = factory.anomaly_recording(SignalClass::Seizure, "stream-ictal", 12.0);
+    let mut feed = normal.channels()[0].samples().to_vec();
+    feed.extend_from_slice(ictal.channels()[0].samples());
+
+    // The "hardware" delivers 64-sample bursts (250 ms at 256 Hz).
+    println!("streaming {} seconds in 64-sample bursts…\n", feed.len() / 256);
+    for burst in feed.chunks(64) {
+        for event in monitor.push(burst)? {
+            match event {
+                MonitorEvent::Iteration(o) => {
+                    if let Some(p) = o.probability {
+                        let bar: String =
+                            std::iter::repeat_n('#', (p * 30.0) as usize).collect();
+                        println!("t={:>3}s  P_A {p:>5.2} |{bar:<30}|", o.iteration + 1);
+                    }
+                }
+                MonitorEvent::AlarmRaised {
+                    iteration,
+                    probability,
+                } => {
+                    println!(
+                        "t={:>3}s  *** ALARM RAISED (P_A = {probability:.2}) ***",
+                        iteration + 1
+                    );
+                }
+                MonitorEvent::AlarmCleared { iteration } => {
+                    println!("t={:>3}s  (alarm cleared)", iteration + 1);
+                }
+            }
+        }
+    }
+    println!(
+        "\nfinal state: alarm {}, {} samples awaiting the next window",
+        if monitor.alarm_active() { "ACTIVE" } else { "off" },
+        monitor.buffered()
+    );
+    Ok(())
+}

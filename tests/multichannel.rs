@@ -1,0 +1,78 @@
+//! Multi-channel end-to-end: montage recordings flow through the EDF
+//! container, the mega-database (which ingests every channel), and the
+//! pipeline (which monitors one electrode).
+
+use emap::prelude::*;
+
+#[test]
+fn montage_recordings_multiply_mdb_slices() {
+    let mono = RecordingFactory::new(6);
+    let quad = RecordingFactory::new(6).with_channels(4);
+
+    let mut b1 = MdbBuilder::new();
+    b1.add_recording("d", &mono.normal_recording("r", 24.0))
+        .expect("ingest mono");
+    let mut b4 = MdbBuilder::new();
+    b4.add_recording("d", &quad.normal_recording("r", 24.0))
+        .expect("ingest quad");
+
+    let m1 = b1.build();
+    let m4 = b4.build();
+    assert_eq!(m4.len(), 4 * m1.len());
+    // Provenance distinguishes the channels.
+    let channels: std::collections::HashSet<String> = m4
+        .iter()
+        .map(|s| s.provenance().channel.clone())
+        .collect();
+    assert_eq!(channels.len(), 4);
+}
+
+#[test]
+fn montage_survives_the_edf_container() {
+    let factory = RecordingFactory::new(6).with_channels(3);
+    let rec = factory.anomaly_recording(SignalClass::Seizure, "mc", 16.0);
+    let mut buf = Vec::new();
+    rec.write_to(&mut buf).expect("encodes");
+    let back = Recording::read_from(&mut buf.as_slice()).expect("decodes");
+    assert_eq!(back.channels().len(), 3);
+    for (a, b) in rec.channels().iter().zip(back.channels()) {
+        assert_eq!(a.label(), b.label());
+        assert_eq!(a.len(), b.len());
+    }
+}
+
+#[test]
+fn pipeline_monitors_one_electrode_of_a_montage_corpus() {
+    let factory = RecordingFactory::new(6).with_channels(2);
+    let mut builder = MdbBuilder::new();
+    for i in 0..2 {
+        builder
+            .add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+            .expect("ingest");
+        builder
+            .add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+            )
+            .expect("ingest");
+    }
+    let mdb = builder.build();
+
+    let patient = factory.anomaly_recording(SignalClass::Seizure, "s0", 12.0);
+    // Monitor the second electrode — the MDB contains its slices too.
+    let electrode = patient.channel("EEG C4").expect("montage has C4");
+    let config = EmapConfig::default()
+        .with_edge(EdgeConfig::default().with_h(3).expect("H > 0"))
+        .with_cloud_latency_iterations(1);
+    let mut pipeline = EmapPipeline::new(config, mdb);
+    let trace = pipeline
+        .run_on_samples(electrode.samples())
+        .expect("pipeline runs");
+    let peak_pa = trace
+        .iterations
+        .iter()
+        .filter(|o| o.tracked > 0)
+        .filter_map(|o| o.probability)
+        .fold(0.0f64, f64::max);
+    assert!(peak_pa > 0.5, "peak P_A {peak_pa} on the C4 electrode");
+}

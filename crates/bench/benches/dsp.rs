@@ -9,9 +9,7 @@ use emap_dsp::{emap_bandpass, SampleRate};
 
 fn signal(n: usize) -> Vec<f32> {
     (0..n)
-        .map(|k| {
-            (k as f32 * 0.27).sin() * 30.0 + (k as f32 * 0.61).cos() * 10.0
-        })
+        .map(|k| (k as f32 * 0.27).sin() * 30.0 + (k as f32 * 0.61).cos() * 10.0)
         .collect()
 }
 

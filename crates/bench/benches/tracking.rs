@@ -22,7 +22,9 @@ fn bench_tracking(c: &mut Criterion) {
             .expect("K > 0")
             .with_delta(0.0)
             .expect("delta valid");
-        let t = SlidingSearch::new(cfg).search(&query, &mdb).expect("search succeeds");
+        let t = SlidingSearch::new(cfg)
+            .search(&query, &mdb)
+            .expect("search succeeds");
         if t.len() < n {
             continue;
         }

@@ -65,7 +65,10 @@ fn main() {
     }
 
     let n = queries.len();
-    println!("\n{:<22} {:>14} {:>18} {:>14}", "normalization", "correlations", "queries w/ match", "avg best ω");
+    println!(
+        "\n{:<22} {:>14} {:>18} {:>14}",
+        "normalization", "correlations", "queries w/ match", "avg best ω"
+    );
     println!(
         "{:<22} {:>14} {:>15}/{n} {:>14.4}",
         "min–max (paper-read)",

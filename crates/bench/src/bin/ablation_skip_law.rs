@@ -46,8 +46,11 @@ fn main() {
         "\n{:<16} {:>14} {:>12} {:>14} {:>12}",
         "law", "correlations", "matches", "best ω (avg)", "vs exhaustive"
     );
-    let exhaustive_corr: u64 =
-        queries.len() as u64 * mdb.iter().map(|s| (s.samples().len() - 255) as u64).sum::<u64>();
+    let exhaustive_corr: u64 = queries.len() as u64
+        * mdb
+            .iter()
+            .map(|s| (s.samples().len() - 255) as u64)
+            .sum::<u64>();
 
     for law in [
         SkipLaw::Exponential,

@@ -23,9 +23,8 @@ fn main() {
         "K", "seizure", "enceph.", "stroke", "download", "tracking/iter"
     );
     for k in [25usize, 50, 100, 200] {
-        let config = EmapConfig::default().with_search(
-            SearchConfig::paper().with_top_k(k).expect("K > 0"),
-        );
+        let config =
+            EmapConfig::default().with_search(SearchConfig::paper().with_top_k(k).expect("K > 0"));
         let mut harness = EvalHarness::from_registry(config, BENCH_SEED, scaled(3, 1));
         let mut accs = Vec::new();
         for class in SignalClass::ANOMALIES {
@@ -41,7 +40,9 @@ fn main() {
             accs[1],
             accs[2],
             fmt_duration(CommTech::Lte.download_time(k as u64)),
-            fmt_duration(Device::EdgeRpi.tracking_time(k as u64, TrackingMetric::AreaBetweenCurves)),
+            fmt_duration(
+                Device::EdgeRpi.tracking_time(k as u64, TrackingMetric::AreaBetweenCurves)
+            ),
         );
     }
     println!(

@@ -20,10 +20,16 @@ fn main() {
 
     // --- Fig. 5: the explosion -------------------------------------------
     println!("\nFig. 5 — exhaustive offsets per corpus size:");
-    println!("{:>12} {:>18} {:>22}", "signal-sets", "offsets/set", "total correlations");
+    println!(
+        "{:>12} {:>18} {:>22}",
+        "signal-sets", "offsets/set", "total correlations"
+    );
     for sets in [1usize, 100, 1000, 8000, 100_000] {
         let per_set = 1000 - 256 + 1;
-        println!("{sets:>12} {per_set:>18} {:>22}", sets as u64 * per_set as u64);
+        println!(
+            "{sets:>12} {per_set:>18} {:>22}",
+            sets as u64 * per_set as u64
+        );
     }
 
     // --- Fig. 6: one actual walk ------------------------------------------

@@ -81,6 +81,15 @@ fn main() {
         );
     }
     let avg = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
-    println!("\naverage reduction: {avg:.2}x (paper: ~6.8x — see EXPERIMENTS.md for the gap analysis)");
-    println!("who wins: {}", if avg > 1.0 { "Algorithm 1 (as in the paper)" } else { "exhaustive (!)" });
+    println!(
+        "\naverage reduction: {avg:.2}x (paper: ~6.8x — see EXPERIMENTS.md for the gap analysis)"
+    );
+    println!(
+        "who wins: {}",
+        if avg > 1.0 {
+            "Algorithm 1 (as in the paper)"
+        } else {
+            "exhaustive (!)"
+        }
+    );
 }

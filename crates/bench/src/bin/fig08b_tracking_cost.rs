@@ -32,7 +32,9 @@ fn main() {
             .expect("top_k > 0")
             .with_delta(0.0)
             .expect("delta valid"); // fill the set regardless of quality
-        let t = SlidingSearch::new(cfg).search(&query, &mdb).expect("search succeeds");
+        let t = SlidingSearch::new(cfg)
+            .search(&query, &mdb)
+            .expect("search succeeds");
         if t.len() < n {
             println!("{n:>8}  (corpus too small to track {n} signals — increase scale)");
             continue;

@@ -14,7 +14,7 @@ fn main() {
     // Δ_CS scales with the MDB; the paper's ~3 s corresponds to its full
     // mega-database, so this figure runs at a paper-scale corpus.
     let mdb = build_mdb(scaled(25, 1));
-    
+
     let factory = input_factory();
     let patient = factory.seizure_recording("fig9-patient", 25.0, 8.0);
 
@@ -29,7 +29,11 @@ fn main() {
     for event in &timeline.events {
         match event {
             TimelineEvent::SamplingComplete { iteration } => {
-                println!("{:>5}  sampling window t{} complete", iteration + 1, iteration);
+                println!(
+                    "{:>5}  sampling window t{} complete",
+                    iteration + 1,
+                    iteration
+                );
             }
             TimelineEvent::CloudCallIssued { iteration, upload } => {
                 println!(

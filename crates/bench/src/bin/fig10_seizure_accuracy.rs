@@ -18,11 +18,7 @@ fn main() {
         "Fig. 10 — seizure prediction accuracy by horizon and batch",
         "EMAP ≈ 94 % average (max 97 %) vs ~93 % for the IoT baseline [13]",
     );
-    let mut harness = EvalHarness::from_registry(
-        EmapConfig::default(),
-        BENCH_SEED,
-        scaled(3, 1),
-    );
+    let mut harness = EvalHarness::from_registry(EmapConfig::default(), BENCH_SEED, scaled(3, 1));
     let per_batch = scaled(20, 4);
     let batches = scaled(5, 2);
     let horizons = [15.0, 30.0, 45.0, 60.0, 120.0];
@@ -57,7 +53,11 @@ fn main() {
 
     let avg = grand.iter().sum::<f64>() / grand.len() as f64;
     let max = grand.iter().copied().fold(0.0, f64::max);
-    println!("\nEMAP average: {:.1} % (paper ~94 %), max {:.1} % (paper 97 %)", avg * 100.0, max * 100.0);
+    println!(
+        "\nEMAP average: {:.1} % (paper ~94 %), max {:.1} % (paper 97 %)",
+        avg * 100.0,
+        max * 100.0
+    );
     println!("state-of-the-art [13]: {:.1} %", SOA_SAMIE_ACCURACY * 100.0);
     println!(
         "EMAP beats the specialised baseline: {} — and, unlike it, also handles\n\

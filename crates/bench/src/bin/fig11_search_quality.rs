@@ -19,10 +19,7 @@ fn main() {
     let n = scaled(100, 10);
     let cfg = SearchConfig::paper();
 
-    for (group, class_pick) in [
-        ("normal inputs", None),
-        ("anomalous inputs", Some(())),
-    ] {
+    for (group, class_pick) in [("normal inputs", None), ("anomalous inputs", Some(()))] {
         let mut ex_means = Vec::new();
         let mut sl_means = Vec::new();
         let mut sl_mins = Vec::new();
@@ -32,8 +29,12 @@ fn main() {
                 Some(()) => SignalClass::ANOMALIES[i % 3],
             };
             let q = emap_bench::query_for(&factory, class, i, 6.0);
-            let ex = ExhaustiveSearch::new(cfg).search(&q, &mdb).expect("search succeeds");
-            let sl = SlidingSearch::new(cfg).search(&q, &mdb).expect("search succeeds");
+            let ex = ExhaustiveSearch::new(cfg)
+                .search(&q, &mdb)
+                .expect("search succeeds");
+            let sl = SlidingSearch::new(cfg)
+                .search(&q, &mdb)
+                .expect("search succeeds");
             if ex.is_empty() || sl.is_empty() {
                 continue;
             }

@@ -48,8 +48,7 @@ fn main() {
 
     let hybrid = model.hybrid_budget(window, 100, call_period_s, metric);
     let streaming = model.streaming_budget(window);
-    let edge_only =
-        model.edge_only_budget(window, 100, call_period_s, search_correlations, metric);
+    let edge_only = model.edge_only_budget(window, 100, call_period_s, search_correlations, metric);
 
     // A 1200 mAh / 3.7 V wearable battery ≈ 4440 mWh.
     let battery_mwh = 4440.0;
@@ -58,7 +57,8 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>12} {:>12} {:>14} {:>12}",
         "strategy", "compute [J]", "tx [J]", "rx [J]", "total [J]", "battery [h]", "exposure"
     );
-    let windowed = model.windowed_hybrid_budget(window, 100, (call_period_s / 1.5).max(1.0), metric, 64);
+    let windowed =
+        model.windowed_hybrid_budget(window, 100, (call_period_s / 1.5).max(1.0), metric, 64);
     for (name, budget, exposure) in [
         (
             "hybrid (EMAP)",

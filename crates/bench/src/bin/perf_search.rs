@@ -1,0 +1,147 @@
+//! Performance trajectory harness: measures the correlation-kernel and
+//! search-stack throughput and emits `results/BENCH_search.json` so future
+//! changes have a baseline to compare against.
+//!
+//! Reported series:
+//! - per-offset throughput of the naive vs kernel correlator (offsets/sec)
+//! - end-to-end single-query latency of the exhaustive / sliding / parallel
+//!   searches
+//! - multi-query batch throughput of the work-stealing batch path
+//!
+//! `EMAP_BENCH_QUICK=1` shrinks the workload.
+
+use std::time::{Duration, Instant};
+
+use emap_bench::{banner, build_mdb, fmt_duration, input_factory, quick_mode, scaled};
+use emap_datasets::SignalClass;
+use emap_dsp::kernel::KernelCorrelator;
+use emap_search::{ExhaustiveSearch, ParallelSearch, Query, Search, SearchConfig, SlidingSearch};
+
+/// Times `f` over `reps` repetitions and returns the mean wall time.
+fn time_mean(reps: usize, mut f: impl FnMut()) -> Duration {
+    let started = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    started.elapsed() / reps.max(1) as u32
+}
+
+fn main() {
+    banner(
+        "BENCH_search — kernel and search-stack performance trajectory",
+        "cloud search must keep up with real-time re-calls (§V-B, Fig. 7)",
+    );
+    let mdb = build_mdb(scaled(8, 1));
+    let factory = input_factory();
+    let queries: Vec<Query> = (0..scaled(8, 2))
+        .map(|i| emap_bench::query_for(&factory, SignalClass::ALL[i % 4], i, 6.0))
+        .collect();
+    let query = &queries[0];
+    println!(
+        "corpus: {} signal-sets, {} queries",
+        mdb.len(),
+        queries.len()
+    );
+
+    // --- Per-offset correlator throughput, naive vs kernel. -------------
+    let rc = query.correlator();
+    let kc = KernelCorrelator::from_range(rc);
+    let probe_sets = scaled(32, 8).min(mdb.len());
+    let reps = scaled(5, 2);
+    let mut offsets = 0u64;
+    let naive_t = time_mean(reps, || {
+        let mut acc = 0.0f64;
+        offsets = 0;
+        for set in mdb.iter().take(probe_sets) {
+            let host = set.samples();
+            for beta in 0..=(host.len() - rc.window_len()) {
+                acc += rc.correlation_at(host, beta).expect("in bounds");
+                offsets += 1;
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let kernel_t = time_mean(reps, || {
+        let mut acc = 0.0f64;
+        for set in mdb.iter().take(probe_sets) {
+            let host = set.samples();
+            let stats = set.stats();
+            for beta in 0..=(host.len() - kc.window_len()) {
+                acc += kc.correlation_at(host, stats, beta).expect("in bounds");
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let naive_ops = offsets as f64 / naive_t.as_secs_f64();
+    let kernel_ops = offsets as f64 / kernel_t.as_secs_f64();
+    let speedup = naive_ops.max(1.0) / kernel_ops.max(1.0);
+    println!(
+        "\nper-offset ω: naive {:.2} Mops/s, kernel {:.2} Mops/s ({:.2}x)",
+        naive_ops / 1e6,
+        kernel_ops / 1e6,
+        1.0 / speedup
+    );
+
+    // --- End-to-end single-query latency. --------------------------------
+    let cfg = SearchConfig::paper();
+    let exhaustive_t = time_mean(reps, || {
+        ExhaustiveSearch::new(cfg)
+            .search(query, &mdb)
+            .expect("search succeeds");
+    });
+    let sliding_t = time_mean(reps, || {
+        SlidingSearch::new(cfg)
+            .search(query, &mdb)
+            .expect("search succeeds");
+    });
+    let workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(8);
+    let parallel = ParallelSearch::new(cfg, workers);
+    let parallel_t = time_mean(reps, || {
+        parallel.search(query, &mdb).expect("search succeeds");
+    });
+    println!(
+        "search latency: exhaustive {}, algorithm1 {}, parallel×{workers} {}",
+        fmt_duration(exhaustive_t),
+        fmt_duration(sliding_t),
+        fmt_duration(parallel_t)
+    );
+
+    // --- Batch throughput (the work-stealing path). ----------------------
+    let batch_t = time_mean(reps, || {
+        parallel
+            .search_batch(&queries, &mdb)
+            .expect("batch succeeds");
+    });
+    let batch_qps = queries.len() as f64 / batch_t.as_secs_f64();
+    println!(
+        "batch: {} queries in {} ({batch_qps:.1} queries/s)",
+        queries.len(),
+        fmt_duration(batch_t)
+    );
+
+    // Hand-formatted JSON keeps this bin free of serialization deps; the
+    // keys form the stable contract future runs diff against.
+    let report = format!(
+        "{{\n  \"bench\": \"BENCH_search\",\n  \"quick_mode\": {},\n  \"corpus_sets\": {},\n  \"queries\": {},\n  \"workers\": {},\n  \"per_offset\": {{\n    \"offsets_measured\": {},\n    \"naive_offsets_per_sec\": {:.1},\n    \"kernel_offsets_per_sec\": {:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"search_latency_us\": {{\n    \"exhaustive\": {:.1},\n    \"algorithm1_sliding\": {:.1},\n    \"algorithm1_parallel\": {:.1}\n  }},\n  \"batch\": {{\n    \"queries\": {},\n    \"wall_us\": {:.1},\n    \"queries_per_sec\": {:.1}\n  }}\n}}\n",
+        quick_mode(),
+        mdb.len(),
+        queries.len(),
+        workers,
+        offsets,
+        naive_ops,
+        kernel_ops,
+        kernel_ops / naive_ops.max(1.0),
+        exhaustive_t.as_secs_f64() * 1e6,
+        sliding_t.as_secs_f64() * 1e6,
+        parallel_t.as_secs_f64() * 1e6,
+        queries.len(),
+        batch_t.as_secs_f64() * 1e6,
+        batch_qps,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_search.json";
+    std::fs::write(path, report).expect("write BENCH_search.json");
+    println!("\nwrote {path}");
+}

@@ -33,11 +33,7 @@ fn main() {
         "Table I — prediction accuracy for seizure / encephalopathy / stroke",
         "averages 0.94 / 0.73 / 0.79 over five batches of 20 inputs each",
     );
-    let mut harness = EvalHarness::from_registry(
-        EmapConfig::default(),
-        BENCH_SEED,
-        scaled(3, 1),
-    );
+    let mut harness = EvalHarness::from_registry(EmapConfig::default(), BENCH_SEED, scaled(3, 1));
     let per_batch = scaled(20, 4);
     let batches = scaled(5, 2);
     // Mid-range horizon for the seizure inputs (Fig. 10 sweeps it in detail).

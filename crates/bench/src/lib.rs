@@ -64,7 +64,12 @@ pub fn input_factory() -> RecordingFactory {
 /// Panics if the recording is too short for the requested offset (callers
 /// pass compatible constants).
 #[must_use]
-pub fn query_for(factory: &RecordingFactory, class: SignalClass, index: usize, offset_s: f64) -> Query {
+pub fn query_for(
+    factory: &RecordingFactory,
+    class: SignalClass,
+    index: usize,
+    offset_s: f64,
+) -> Query {
     let seconds = offset_s + 4.0;
     let id = format!("bench-input/{}/{index}", class.label());
     let rec = match class {

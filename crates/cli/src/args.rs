@@ -69,7 +69,9 @@ impl Args {
                 if !allowed.contains(&flag) {
                     return Err(ArgsError::UnknownOption(flag.to_string()));
                 }
-                let value = it.next().ok_or_else(|| ArgsError::MissingValue(flag.to_string()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgsError::MissingValue(flag.to_string()))?;
                 named.insert(flag.to_string(), value);
             } else {
                 positional.push(tok);
@@ -159,9 +161,7 @@ mod tests {
         let a = Args::parse(toks("--scale 3"), &["scale", "seed"]).unwrap();
         assert_eq!(a.get_or("scale", 1usize, "an integer").unwrap(), 3);
         assert_eq!(a.get_or("seed", 42u64, "an integer").unwrap(), 42);
-        assert!(a
-            .get_or("scale", 0.0f64, "a number")
-            .is_ok());
+        assert!(a.get_or("scale", 0.0f64, "a number").is_ok());
     }
 
     #[test]

@@ -85,8 +85,14 @@ fn generate<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
         let dataset = spec.generate(seed);
         let sub = Path::new(dir).join(spec.id());
         let paths = export::write_dataset_dir(&dataset, &sub).map_err(runtime)?;
-        writeln!(out, "{}: {} recordings -> {}", spec.id(), paths.len(), sub.display())
-            .map_err(runtime)?;
+        writeln!(
+            out,
+            "{}: {} recordings -> {}",
+            spec.id(),
+            paths.len(),
+            sub.display()
+        )
+        .map_err(runtime)?;
         total += paths.len();
     }
     writeln!(out, "wrote {total} recordings (seed {seed}, scale {scale})").map_err(runtime)?;
@@ -153,10 +159,12 @@ fn build_mdb<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
 
 fn mdb_info<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
     let [path] = args.positional() else {
-        return Err(CliError::Usage("mdb-info needs exactly one snapshot file".into()));
+        return Err(CliError::Usage(
+            "mdb-info needs exactly one snapshot file".into(),
+        ));
     };
-    let mdb = Mdb::read_snapshot(BufReader::new(File::open(path).map_err(runtime)?))
-        .map_err(runtime)?;
+    let mdb =
+        Mdb::read_snapshot(BufReader::new(File::open(path).map_err(runtime)?)).map_err(runtime)?;
     let stats = mdb.stats();
     writeln!(out, "{path}: {} signal-sets", stats.total).map_err(runtime)?;
     writeln!(out, "  normal:    {}", stats.normal).map_err(runtime)?;
@@ -177,10 +185,8 @@ fn monitor<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
 
     let mdb = Mdb::read_snapshot(BufReader::new(File::open(mdb_path).map_err(runtime)?))
         .map_err(runtime)?;
-    let recording = Recording::read_from(BufReader::new(
-        File::open(input_path).map_err(runtime)?,
-    ))
-    .map_err(runtime)?;
+    let recording = Recording::read_from(BufReader::new(File::open(input_path).map_err(runtime)?))
+        .map_err(runtime)?;
     let channel = match args.get("channel") {
         Some(label) => recording
             .channel(label)
@@ -190,7 +196,9 @@ fn monitor<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
 
     let config = EmapConfig::default();
     let mut pipeline = EmapPipeline::new(config, mdb);
-    let trace = pipeline.run_on_samples(channel.samples()).map_err(runtime)?;
+    let trace = pipeline
+        .run_on_samples(channel.samples())
+        .map_err(runtime)?;
     let report = SessionReport::from_trace(&config, &trace).map_err(runtime)?;
 
     if json {
@@ -258,7 +266,11 @@ mod tests {
         let mdb = dir.join("mdb.bin");
 
         // generate
-        let out = run(&format!("generate --out {} --scale 1 --seed 9", data.display())).unwrap();
+        let out = run(&format!(
+            "generate --out {} --scale 1 --seed 9",
+            data.display()
+        ))
+        .unwrap();
         assert!(out.contains("physionet-mirror"));
         assert!(out.contains("wrote"));
 
@@ -316,8 +328,8 @@ mod tests {
     fn generate_accepts_custom_specs() {
         let dir = tmp("specs");
         let specs_path = dir.join("specs.json");
-        let specs = vec![emap_datasets::DatasetSpec::new("custom-ds", 256.0, 8.0)
-            .normal_recordings(2)];
+        let specs =
+            vec![emap_datasets::DatasetSpec::new("custom-ds", 256.0, 8.0).normal_recordings(2)];
         emap_datasets::registry::save_specs(&specs, &specs_path).unwrap();
         let out = run(&format!(
             "generate --out {} --specs {}",

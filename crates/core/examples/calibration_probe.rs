@@ -58,8 +58,7 @@ fn main() {
     let mut matched = Vec::new();
     for h in t.hits().iter().take(30) {
         let s = mdb.get(h.set_id).unwrap();
-        let a =
-            area_between_curves(query.samples(), &s.samples()[h.beta..h.beta + 256]).unwrap();
+        let a = area_between_curves(query.samples(), &s.samples()[h.beta..h.beta + 256]).unwrap();
         matched.push(a);
     }
     matched.sort_by(f64::total_cmp);
@@ -73,8 +72,7 @@ fn main() {
     let mut mism = Vec::new();
     for (i, s) in mdb.iter().enumerate().step_by(7).take(30) {
         let beta = (i * 37) % 700;
-        let a =
-            area_between_curves(query.samples(), &s.samples()[beta..beta + 256]).unwrap();
+        let a = area_between_curves(query.samples(), &s.samples()[beta..beta + 256]).unwrap();
         mism.push(a);
     }
     mism.sort_by(f64::total_cmp);
@@ -92,21 +90,15 @@ fn main() {
     let mut pipeline = EmapPipeline::new(config, mdb);
     for class in SignalClass::ALL {
         let raw: Vec<f32> = match class {
-            SignalClass::Normal => factory
-                .normal_recording("traj-n", 14.0)
-                .channels()[0]
+            SignalClass::Normal => factory.normal_recording("traj-n", 14.0).channels()[0]
                 .samples()
                 .to_vec(),
             SignalClass::Seizure => {
                 let rec = factory.seizure_recording("traj-s", 200.0, 10.0);
                 let end = (200.0 - 15.0) * 256.0;
-                rec.channels()[0].samples()
-                    [(end as usize - 14 * 256)..end as usize]
-                    .to_vec()
+                rec.channels()[0].samples()[(end as usize - 14 * 256)..end as usize].to_vec()
             }
-            c => factory
-                .anomaly_recording(c, "traj-a", 14.0)
-                .channels()[0]
+            c => factory.anomaly_recording(c, "traj-a", 14.0).channels()[0]
                 .samples()
                 .to_vec(),
         };
@@ -120,6 +112,10 @@ fn main() {
                 None => "-".into(),
             })
             .collect();
-        println!("{class:>16}: PA = [{}] calls={}", pas.join(" "), trace.cloud_calls);
+        println!(
+            "{class:>16}: PA = [{}] calls={}",
+            pas.join(" "),
+            trace.cloud_calls
+        );
     }
 }

@@ -35,7 +35,10 @@ fn main() {
         let nf = synth::noise_fraction(class);
         let a = synth::synthesize(p, params(256, 3.0, nf), 1);
         let b = synth::synthesize(p, params(16 * 256, 0.0, nf), 2);
-        println!("{class:>16}: raw same-pattern best corr = {:.3}", best_corr(&a, &b));
+        println!(
+            "{class:>16}: raw same-pattern best corr = {:.3}",
+            best_corr(&a, &b)
+        );
 
         // 2. After bandpass on both sides.
         let fa = filter.filter(&synth::synthesize(p, params(4 * 256, 2.0, nf), 1));
@@ -82,7 +85,6 @@ fn main() {
     }
 }
 
-
 fn best_offset(query: &[f32], host: &[f32]) -> usize {
     let sdp = SlidingDotProduct::new(query).unwrap();
     sdp.scan(host, 1)
@@ -123,4 +125,3 @@ fn abc_probe() {
         );
     }
 }
-

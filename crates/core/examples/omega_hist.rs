@@ -31,6 +31,10 @@ fn main() {
     for p in [0.05, 0.25, 0.5, 0.75, 0.95] {
         println!("  p{:.0} = {:.3}", p * 100.0, q(p));
     }
-    let skips: f64 = omegas.iter().map(|&w| 0.004f64.powf(w.clamp(0.0,1.0) - 1.0)).sum::<f64>() / omegas.len() as f64;
+    let skips: f64 = omegas
+        .iter()
+        .map(|&w| 0.004f64.powf(w.clamp(0.0, 1.0) - 1.0))
+        .sum::<f64>()
+        / omegas.len() as f64;
     println!("mean skip = {skips:.2} -> implied reduction ≈ {skips:.1}x");
 }

@@ -17,9 +17,7 @@ fn main() {
     for class in SignalClass::ALL {
         for pat in 0..3usize {
             let rec = match class {
-                SignalClass::Normal => {
-                    factory.normal_recording_with_pattern("probe", 16.0, pat)
-                }
+                SignalClass::Normal => factory.normal_recording_with_pattern("probe", 16.0, pat),
                 c => factory.anomaly_recording_with_pattern(c, "probe", 16.0, pat),
             };
             let filtered = filter.filter(rec.channels()[0].samples());

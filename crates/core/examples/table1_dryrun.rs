@@ -16,7 +16,11 @@ fn main() {
         println!("{class:>16}: batch accuracies = {accs:?}");
     }
     let norm = h.evaluate_normal_batch("N", 10).unwrap();
-    println!("normal: accuracy {:.2} (FP rate {:.2})", norm.accuracy(), 1.0 - norm.accuracy());
+    println!(
+        "normal: accuracy {:.2} (FP rate {:.2})",
+        norm.accuracy(),
+        1.0 - norm.accuracy()
+    );
     // Fig 10 horizons
     for hz in [15.0, 30.0, 45.0, 60.0, 120.0] {
         let r = h

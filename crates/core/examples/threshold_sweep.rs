@@ -11,8 +11,12 @@ fn main() {
             ..PredictorConfig::default()
         });
         let mut h = EvalHarness::from_registry(config, 42, 3);
-        let e = h.evaluate_anomaly_batch(SignalClass::Encephalopathy, "t", 15, 30.0).unwrap();
-        let s = h.evaluate_anomaly_batch(SignalClass::Stroke, "t", 15, 30.0).unwrap();
+        let e = h
+            .evaluate_anomaly_batch(SignalClass::Encephalopathy, "t", 15, 30.0)
+            .unwrap();
+        let s = h
+            .evaluate_anomaly_batch(SignalClass::Stroke, "t", 15, 30.0)
+            .unwrap();
         let n = h.evaluate_normal_batch("t", 20).unwrap();
         println!(
             "hp={hp:.2}: enceph {:.2} stroke {:.2} FP {:.2}",

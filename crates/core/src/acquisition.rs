@@ -120,7 +120,10 @@ mod tests {
         let mut acq = Acquisition::new();
         let filtered = acq.process_second(&slow);
         let tail = &filtered[512..];
-        let rms = (tail.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
+        let rms = (tail
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
             / tail.len() as f64)
             .sqrt();
         assert!(rms < 0.03, "2 Hz rms {rms}");

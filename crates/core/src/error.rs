@@ -71,7 +71,10 @@ mod tests {
             EmapError::Search(emap_search::SearchError::BadQueryLength { got: 1 }),
             EmapError::Edge(emap_edge::EdgeError::BadInputLength { got: 1 }),
             EmapError::Dsp(emap_dsp::DspError::EmptySignal),
-            EmapError::InputTooShort { got: 10, needed: 256 },
+            EmapError::InputTooShort {
+                got: 10,
+                needed: 256,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

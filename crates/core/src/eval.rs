@@ -115,20 +115,29 @@ impl ConfusionMatrix {
     /// TP / (TP + FN); `0.0` with no anomalous cases.
     #[must_use]
     pub fn sensitivity(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// TN / (TN + FP); `0.0` with no normal cases.
     #[must_use]
     pub fn specificity(&self) -> f64 {
-        ratio(self.true_negatives, self.true_negatives + self.false_positives)
+        ratio(
+            self.true_negatives,
+            self.true_negatives + self.false_positives,
+        )
     }
 
     /// FP / (FP + TN) — the §VI-B false-positive rate; `0.0` with no
     /// normal cases.
     #[must_use]
     pub fn false_positive_rate(&self) -> f64 {
-        ratio(self.false_positives, self.false_positives + self.true_negatives)
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
     }
 
     /// (TP + TN) / total; `0.0` when empty.
@@ -140,7 +149,10 @@ impl ConfusionMatrix {
     /// TP / (TP + FP); `0.0` with no positive predictions.
     #[must_use]
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 }
 

@@ -60,6 +60,6 @@ pub use acquisition::{seconds_of, Acquisition};
 pub use config::EmapConfig;
 pub use error::EmapError;
 pub use monitor::{MonitorEvent, StreamingMonitor};
-pub use service::CloudService;
 pub use pipeline::{EmapPipeline, IterationOutcome, RunTrace};
 pub use report::SessionReport;
+pub use service::CloudService;

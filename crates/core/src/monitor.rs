@@ -111,10 +111,7 @@ impl StreamingMonitor {
         let mut events = Vec::new();
         self.buffer.extend_from_slice(samples);
         while self.buffer.len() >= emap_dsp::SAMPLES_PER_SECOND {
-            let second: Vec<f32> = self
-                .buffer
-                .drain(..emap_dsp::SAMPLES_PER_SECOND)
-                .collect();
+            let second: Vec<f32> = self.buffer.drain(..emap_dsp::SAMPLES_PER_SECOND).collect();
             let outcome = self.pipeline.process_second(&second)?;
             let iteration = outcome.iteration;
             events.push(MonitorEvent::Iteration(outcome));

@@ -139,7 +139,11 @@ impl fmt::Display for SessionReport {
         )?;
         match (self.verdict, self.first_alarm_iteration) {
             (Prediction::Anomaly, Some(at)) => {
-                write!(f, "verdict: ANOMALY (alarm first raised at t = {}s)", at + 1)
+                write!(
+                    f,
+                    "verdict: ANOMALY (alarm first raised at t = {}s)",
+                    at + 1
+                )
             }
             (Prediction::Anomaly, None) => write!(f, "verdict: ANOMALY"),
             (Prediction::Normal, _) => write!(f, "verdict: normal"),

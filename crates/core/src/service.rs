@@ -111,7 +111,9 @@ mod tests {
     #[test]
     fn serves_concurrent_patients() {
         let (service, factory) = service();
-        let queries: Vec<Query> = (0..6).map(|i| query_from(&factory, &format!("p{i}"))).collect();
+        let queries: Vec<Query> = (0..6)
+            .map(|i| query_from(&factory, &format!("p{i}")))
+            .collect();
         std::thread::scope(|scope| {
             for q in &queries {
                 let service = service.clone();

@@ -127,9 +127,7 @@ impl Timeline {
     #[must_use]
     pub fn tracking_is_realtime(&self) -> bool {
         self.events.iter().all(|e| match e {
-            TimelineEvent::TrackingComplete { duration, .. } => {
-                *duration < Duration::from_secs(1)
-            }
+            TimelineEvent::TrackingComplete { duration, .. } => *duration < Duration::from_secs(1),
             _ => true,
         })
     }

@@ -103,7 +103,15 @@ pub fn inject(
         let duration_s = rng.gen_range(config.duration_range_s.0..=config.duration_range_s.1);
         let max_onset = (seconds - duration_s).max(0.0);
         let onset_s = rng.gen_range(0.0..=max_onset);
-        apply(&mut out, rate_hz, kind, onset_s, duration_s, config.amplitude, &mut rng);
+        apply(
+            &mut out,
+            rate_hz,
+            kind,
+            onset_s,
+            duration_s,
+            config.amplitude,
+            &mut rng,
+        );
         spans.push(ArtifactSpan {
             kind,
             onset_s,
@@ -133,9 +141,7 @@ fn apply(
         let x = i as f64 / len as f64; // position in [0, 1)
         let value = match kind {
             // Raised-cosine lobe.
-            ArtifactKind::EyeBlink => {
-                amplitude * 0.5 * (1.0 - (std::f64::consts::TAU * x).cos())
-            }
+            ArtifactKind::EyeBlink => amplitude * 0.5 * (1.0 - (std::f64::consts::TAU * x).cos()),
             // Band-limited-ish noise burst with a cosine envelope.
             ArtifactKind::MuscleBurst => {
                 let env = 0.5 * (1.0 - (std::f64::consts::TAU * x).cos());
@@ -179,7 +185,11 @@ mod tests {
             ..ArtifactConfig::default()
         };
         let (_, spans) = inject(&c, 256.0, 600.0, &cfg, 1);
-        assert!((55..=65).contains(&spans.len()), "{} artifacts", spans.len());
+        assert!(
+            (55..=65).contains(&spans.len()),
+            "{} artifacts",
+            spans.len()
+        );
     }
 
     #[test]
@@ -236,7 +246,7 @@ mod tests {
         use emap_dsp::stats::rms;
         let filter = emap_dsp::emap_bandpass();
         let n = 256 * 8;
-        let mut rng_cfg = ArtifactConfig {
+        let rng_cfg = ArtifactConfig {
             rate_per_minute: 60.0, // dense, for measurable energy
             amplitude: 100.0,
             duration_range_s: (0.3, 0.5),
@@ -264,7 +274,6 @@ mod tests {
                 &mut rng,
             );
         }
-        rng_cfg.rate_per_minute = 0.0; // silence unused-field lint paths
         let blink_out = rms(&filter.filter(&blink_only)[256..]);
         let blink_in = rms(&blink_only[256..]);
         let muscle_out = rms(&filter.filter(&muscle_only)[256..]);

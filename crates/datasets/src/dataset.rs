@@ -107,10 +107,9 @@ impl DatasetSpec {
         // so that a registry with ≥ PATTERNS_PER_CLASS recordings of a class
         // represents every pattern — the redundancy the paper's search
         // relies on.
-        let phase = self
-            .id
-            .bytes()
-            .fold(0usize, |acc, b| acc.wrapping_mul(31).wrapping_add(b as usize));
+        let phase = self.id.bytes().fold(0usize, |acc, b| {
+            acc.wrapping_mul(31).wrapping_add(b as usize)
+        });
         let mut recordings = Vec::with_capacity(self.total_recordings());
         for i in 0..self.n_normal {
             let id = format!("{}/normal-{i:04}", self.id);

@@ -38,7 +38,10 @@ pub const EDF_EXTENSION: &str = "emapedf";
 /// # Ok(())
 /// # }
 /// ```
-pub fn write_dataset_dir(dataset: &Dataset, dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, EdfError> {
+pub fn write_dataset_dir(
+    dataset: &Dataset,
+    dir: impl AsRef<Path>,
+) -> Result<Vec<PathBuf>, EdfError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
     let mut paths = Vec::with_capacity(dataset.recordings().len());
@@ -81,7 +84,8 @@ mod tests {
     use crate::{DatasetSpec, SignalClass};
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("emap-export-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("emap-export-test-{name}-{}", std::process::id()));
         fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -99,8 +103,18 @@ mod tests {
         let ds = dataset();
         let paths = write_dataset_dir(&ds, &dir).unwrap();
         assert_eq!(paths.len(), 3);
-        assert!(paths[0].file_name().unwrap().to_str().unwrap().contains("normal"));
-        assert!(paths[2].file_name().unwrap().to_str().unwrap().contains("seizure"));
+        assert!(paths[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("normal"));
+        assert!(paths[2]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("seizure"));
 
         let loaded = read_recording_dir(&dir).unwrap();
         assert_eq!(loaded.len(), 3);
@@ -125,10 +139,7 @@ mod tests {
     #[test]
     fn missing_dir_is_io_error() {
         let dir = tmp("missing"); // never created
-        assert!(matches!(
-            read_recording_dir(&dir),
-            Err(EdfError::Io(_))
-        ));
+        assert!(matches!(read_recording_dir(&dir), Err(EdfError::Io(_))));
     }
 
     #[test]

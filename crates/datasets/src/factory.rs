@@ -284,7 +284,10 @@ impl RecordingFactory {
     /// Panics if `onset_s` or `ictal_s` is not positive.
     #[must_use]
     pub fn seizure_recording(&self, id: &str, onset_s: f64, ictal_s: f64) -> Recording {
-        assert!(onset_s > 0.0 && ictal_s > 0.0, "onset and ictal durations must be positive");
+        assert!(
+            onset_s > 0.0 && ictal_s > 0.0,
+            "onset and ictal durations must be positive"
+        );
         let mut rng = self.rng_for(id, 0x5a5a_1111);
         let normal_lib = self.library(SignalClass::Normal);
         let seizure_lib = self.library(SignalClass::Seizure);
@@ -309,8 +312,8 @@ impl RecordingFactory {
             rng.gen(),
         );
         let (samples, artifact_anns) = self.contaminate(samples, seconds, rng.gen());
-        let channel = Channel::new("EEG C3", self.rate, samples)
-            .expect("generated recordings are non-empty");
+        let channel =
+            Channel::new("EEG C3", self.rate, samples).expect("generated recordings are non-empty");
         let preictal_len = PREICTAL_SECONDS.min(onset_s);
         let mut builder = Recording::builder(id, "seizure-transition-synthetic")
             .channel(channel)

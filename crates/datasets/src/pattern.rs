@@ -38,7 +38,8 @@ pub struct Component {
 impl Component {
     fn value(&self, t: f64) -> f64 {
         let tau = std::f64::consts::TAU;
-        let am = 1.0 - self.am_depth * (0.5 + 0.5 * (tau * self.am_freq_hz * t + self.am_phase).sin());
+        let am =
+            1.0 - self.am_depth * (0.5 + 0.5 * (tau * self.am_freq_hz * t + self.am_phase).sin());
         let wander = self.fm_depth * (tau * self.fm_freq_hz * t + self.fm_phase).sin();
         self.amp * am * (tau * self.freq_hz * t + self.phase + wander).sin()
     }
@@ -100,7 +101,8 @@ pub struct BurstGate {
 impl BurstGate {
     fn value(&self, t: f64) -> f64 {
         let tau = std::f64::consts::TAU;
-        0.5 * (1.0 + (self.steepness * (tau * self.gate_freq_hz * t + self.gate_phase).sin()).tanh())
+        0.5 * (1.0
+            + (self.steepness * (tau * self.gate_freq_hz * t + self.gate_phase).sin()).tanh())
     }
 }
 
@@ -407,10 +409,7 @@ mod tests {
         };
         let n_peak = peak(normal.pattern(0));
         let s_peak = peak(seizure.pattern(0));
-        assert!(
-            s_peak > 1.5 * n_peak,
-            "seizure {s_peak} vs normal {n_peak}"
-        );
+        assert!(s_peak > 1.5 * n_peak, "seizure {s_peak} vs normal {n_peak}");
     }
 
     #[test]

@@ -97,13 +97,9 @@ mod tests {
     fn covers_all_anomaly_classes() {
         let specs = standard_registry(1);
         for class in SignalClass::ANOMALIES {
-            let covered = specs.iter().any(|s| {
-                s.clone()
-                    .generate(1)
-                    .of_class(class)
-                    .next()
-                    .is_some()
-            });
+            let covered = specs
+                .iter()
+                .any(|s| s.clone().generate(1).of_class(class).next().is_some());
             assert!(covered, "{class:?} missing from registry");
         }
     }
@@ -123,10 +119,7 @@ mod tests {
 
     #[test]
     fn specs_roundtrip_through_json_file() {
-        let path = std::env::temp_dir().join(format!(
-            "emap-registry-{}.json",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("emap-registry-{}.json", std::process::id()));
         let specs = standard_registry(2);
         save_specs(&specs, &path).unwrap();
         let loaded = load_specs(&path).unwrap();
@@ -140,10 +133,8 @@ mod tests {
 
     #[test]
     fn load_specs_reports_malformed_json() {
-        let path = std::env::temp_dir().join(format!(
-            "emap-registry-bad-{}.json",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("emap-registry-bad-{}.json", std::process::id()));
         std::fs::write(&path, "{not json").unwrap();
         assert!(load_specs(&path).is_err());
         assert!(load_specs("/nonexistent/specs.json").is_err());

@@ -137,8 +137,7 @@ pub fn synthesize_seizure_transition(
                     .clamp(0.0, 1.0)
                     .cbrt()
             };
-            let v = params.gain
-                * ((1.0 - blend) * normal.value(t) + blend * seizure.value(t));
+            let v = params.gain * ((1.0 - blend) * normal.value(t) + blend * seizure.value(t));
             let noise = n_noise * (rng.gen::<f64>() * 2.0 - 1.0) * (3.0f64).sqrt();
             (v + noise) as f32
         })
@@ -234,18 +233,18 @@ mod tests {
         prm.noise_fraction = 0.0;
         let s = synthesize_seizure_transition(nl.pattern(0), sl.pattern(0), prm, 30.0, 10.0, 1);
         // Before onset − preictal: identical to the normal pattern.
-        for k in 0..(256 * 18) {
+        for (k, &v) in s.iter().enumerate().take(256 * 18) {
             let t = k as f64 / 256.0;
             assert!(
-                (f64::from(s[k]) - nl.pattern(0).value(t)).abs() < 1e-4,
+                (f64::from(v) - nl.pattern(0).value(t)).abs() < 1e-4,
                 "early mismatch at {t}"
             );
         }
         // After onset: identical to the seizure pattern.
-        for k in (256 * 31)..(256 * 39) {
+        for (k, &v) in s.iter().enumerate().take(256 * 39).skip(256 * 31) {
             let t = k as f64 / 256.0;
             assert!(
-                (f64::from(s[k]) - sl.pattern(0).value(t)).abs() < 1e-3,
+                (f64::from(v) - sl.pattern(0).value(t)).abs() < 1e-3,
                 "late mismatch at {t}"
             );
         }

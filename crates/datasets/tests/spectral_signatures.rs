@@ -33,7 +33,10 @@ fn normal_class_is_alpha_dominated() {
         // Alpha band beats the beta band for a healthy background.
         let alpha = psd.band_power(7.0, 14.0);
         let beta = psd.band_power(14.0, 30.0);
-        assert!(alpha > beta, "pattern {pattern}: alpha {alpha} vs beta {beta}");
+        assert!(
+            alpha > beta,
+            "pattern {pattern}: alpha {alpha} vs beta {beta}"
+        );
     }
 }
 
@@ -131,8 +134,7 @@ fn bandpassed_recordings_concentrate_in_the_analysis_band() {
             c => factory.anomaly_recording(c, "bp", 32.0),
         };
         let filtered = filter.filter(rec.channels()[0].samples());
-        let psd = Psd::welch(&filtered[512..], SampleRate::EEG_BASE, 1024)
-            .expect("long enough");
+        let psd = Psd::welch(&filtered[512..], SampleRate::EEG_BASE, 1024).expect("long enough");
         let in_band = psd.band_fraction(10.0, 41.0);
         assert!(
             in_band > 0.95,

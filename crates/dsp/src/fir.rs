@@ -191,7 +191,11 @@ impl FirFilter {
         if num_taps == 0 {
             return Err(DspError::EmptyFilter);
         }
-        let num_taps = if num_taps.is_multiple_of(2) { num_taps + 1 } else { num_taps };
+        let num_taps = if num_taps.is_multiple_of(2) {
+            num_taps + 1
+        } else {
+            num_taps
+        };
         let low = Self::lowpass(num_taps, cutoff_hz, rate)?;
         // Spectral inversion: δ[n − center] − h_lp[n].
         let center = (num_taps - 1) / 2;
@@ -220,7 +224,11 @@ impl FirFilter {
         if num_taps == 0 {
             return Err(DspError::EmptyFilter);
         }
-        let num_taps = if num_taps.is_multiple_of(2) { num_taps + 1 } else { num_taps };
+        let num_taps = if num_taps.is_multiple_of(2) {
+            num_taps + 1
+        } else {
+            num_taps
+        };
         // Bandstop = lowpass(low) + highpass(high).
         let lp = Self::lowpass(num_taps, low_hz, rate)?;
         let hp = Self::highpass(num_taps, high_hz, rate)?;
@@ -231,12 +239,7 @@ impl FirFilter {
                 rate_hz: rate.hz(),
             });
         }
-        let taps = lp
-            .taps
-            .iter()
-            .zip(&hp.taps)
-            .map(|(a, b)| a + b)
-            .collect();
+        let taps = lp.taps.iter().zip(&hp.taps).map(|(a, b)| a + b).collect();
         Ok(FirFilter { taps })
     }
 
@@ -408,7 +411,12 @@ mod tests {
     /// RMS of the steady-state tail (skips the transient).
     fn tail_rms(signal: &[f32], skip: usize) -> f64 {
         let tail = &signal[skip..];
-        (tail.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>() / tail.len() as f64).sqrt()
+        (tail
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            / tail.len() as f64)
+            .sqrt()
     }
 
     #[test]
@@ -556,7 +564,11 @@ mod tests {
         let fs = SampleRate::new(512.0).unwrap();
         // A 50 Hz powerline notch.
         let f = FirFilter::bandstop(201, 45.0, 55.0, fs).unwrap();
-        assert!(f.magnitude_at(50.0, fs) < 0.05, "{}", f.magnitude_at(50.0, fs));
+        assert!(
+            f.magnitude_at(50.0, fs) < 0.05,
+            "{}",
+            f.magnitude_at(50.0, fs)
+        );
         assert!((f.magnitude_at(20.0, fs) - 1.0).abs() < 0.05);
         assert!((f.magnitude_at(100.0, fs) - 1.0).abs() < 0.05);
     }

@@ -1,0 +1,682 @@
+//! The O(1)-statistics correlation kernel.
+//!
+//! The cloud search evaluates the paper's `ω` at many offsets of the same
+//! 1000-sample host. The naive path ([`crate::similarity::RangeCorrelator`])
+//! re-scans the full window at every offset to recompute `min`, `max`,
+//! `Σw`, and `Σw²` — O(window) of pure statistics gathering before the one
+//! O(window) operation that actually involves the query, the dot product.
+//! This module precomputes host-side statistics **once** so every later
+//! offset pays O(1) for all four:
+//!
+//! - **Prefix sums** over the host give any window's `Σw` and `Σw²` as two
+//!   subtractions.
+//! - A **sparse-table RMQ** (one row per power-of-two span) gives any
+//!   window's `min`/`max` as two comparisons. The exponential skip of
+//!   Algorithm 1 lands on *arbitrary* offsets, so a monotone-deque sliding
+//!   minimum (which requires uniform strides) does not apply.
+//! - The query-constant `Σq̂` is hoisted into the correlator constructor.
+//!
+//! Equivalence with the naive path:
+//!
+//! - `min`/`max` from the sparse table are **bit-identical** to the naive
+//!   sequential fold for NaN-free hosts (`f32::min`/`f32::max` are
+//!   associative and commutative on ordered values; `±0.0` ties can differ
+//!   in sign but never in value).
+//! - `Σw`/`Σw²` from prefix differences agree with the naive in-window
+//!   accumulation to within a few ULPs of the *prefix* magnitude. For
+//!   healthy windows this keeps `ω` within ~1e-9 of the naive value; for
+//!   windows where the identity `Σw² − 2·lo·Σw + n·lo²` would
+//!   catastrophically cancel (nearly constant windows far from zero, or
+//!   quiet windows inside loud hosts) the kernel detects the hazard and
+//!   falls back to the bit-identical scalar path.
+//! - The final arithmetic is shared with the naive path (one finisher
+//!   function), so identical inputs produce bit-identical `ω`.
+//!
+//! # Example
+//!
+//! ```
+//! use emap_dsp::kernel::{HostStats, KernelCorrelator};
+//! use emap_dsp::similarity::RangeCorrelator;
+//!
+//! # fn main() -> Result<(), emap_dsp::DspError> {
+//! let query: Vec<f32> = (0..64).map(|n| (n as f32 * 0.31).sin()).collect();
+//! let host: Vec<f32> = (0..400).map(|n| (n as f32 * 0.17).cos()).collect();
+//!
+//! let naive = RangeCorrelator::new(&query)?;
+//! let kernel = KernelCorrelator::new(&query)?;
+//! let stats = HostStats::new(&host);
+//! for offset in [0, 37, 200, 336] {
+//!     let fast = kernel.correlation_at(&host, &stats, offset)?;
+//!     let slow = naive.correlation_at(&host, offset)?;
+//!     assert!((fast - slow).abs() < 1e-9);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::similarity::{range_omega_from_stats, range_window_omega, RangeCorrelator};
+use crate::DspError;
+
+/// Below this window length the kernel always uses the scalar path: the
+/// O(1)-statistics machinery saves nothing on tiny windows, and the scalar
+/// path is bit-identical to the naive correlator.
+pub const SMALL_WINDOW_FALLBACK: usize = 16;
+
+/// Relative cancellation guard: when the centered-energy identity retains
+/// less than this fraction of the magnitudes feeding it, prefix-sum ULP
+/// noise could be amplified past ~1e-9 in `ω`, so the kernel falls back to
+/// the scalar path for that window.
+const CANCELLATION_GUARD: f64 = 1e-4;
+
+/// Precomputed per-host statistics: prefix sums for O(1) window sum and
+/// energy, and a sparse-table RMQ for O(1) window min/max at arbitrary
+/// offsets.
+///
+/// Built once per host (the mega-database caches one per signal-set at
+/// insert time — the store is append-only, so the cost is amortized over
+/// every query that ever scans the set). For a 1000-sample host the tables
+/// occupy ~96 KiB.
+///
+/// # Example
+///
+/// ```
+/// use emap_dsp::kernel::HostStats;
+///
+/// let host = vec![3.0f32, -1.0, 4.0, 1.0, -5.0, 9.0];
+/// let stats = HostStats::new(&host);
+/// assert_eq!(stats.len(), 6);
+/// assert_eq!(stats.window_sum(1, 3), -1.0 + 4.0 + 1.0);
+/// assert_eq!(stats.window_min(2, 4), -5.0);
+/// assert_eq!(stats.window_max(0, 5), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostStats {
+    /// `prefix_sum[i]` = Σ host[..i]; length `n + 1`.
+    prefix_sum: Vec<f64>,
+    /// `prefix_energy[i]` = Σ host[..i]²; length `n + 1`.
+    prefix_energy: Vec<f64>,
+    /// Sparse table rows: `mins[k][i]` = min of `host[i .. i + 2^k]`.
+    mins: Vec<Vec<f32>>,
+    /// Sparse table rows: `maxs[k][i]` = max of `host[i .. i + 2^k]`.
+    maxs: Vec<Vec<f32>>,
+    /// Largest `|prefix_sum|` value — scale for ULP-error bounds.
+    sum_scale: f64,
+    /// Largest prefix energy (the final entry) — scale for ULP-error bounds.
+    energy_scale: f64,
+}
+
+impl HostStats {
+    /// Builds the statistics tables for `host` in O(n log n) time.
+    #[must_use]
+    pub fn new(host: &[f32]) -> Self {
+        let n = host.len();
+        let mut prefix_sum = Vec::with_capacity(n + 1);
+        let mut prefix_energy = Vec::with_capacity(n + 1);
+        prefix_sum.push(0.0);
+        prefix_energy.push(0.0);
+        let (mut s, mut e) = (0.0f64, 0.0f64);
+        let mut sum_scale = 0.0f64;
+        for &x in host {
+            let xf = f64::from(x);
+            s += xf;
+            e += xf * xf;
+            prefix_sum.push(s);
+            prefix_energy.push(e);
+            sum_scale = sum_scale.max(s.abs());
+        }
+        let energy_scale = e;
+
+        let mut mins: Vec<Vec<f32>> = Vec::new();
+        let mut maxs: Vec<Vec<f32>> = Vec::new();
+        if n > 0 {
+            mins.push(host.to_vec());
+            maxs.push(host.to_vec());
+            let mut k = 0usize;
+            while (1usize << (k + 1)) <= n {
+                let half = 1usize << k;
+                let rows = n - (1usize << (k + 1)) + 1;
+                let mut row_min = Vec::with_capacity(rows);
+                let mut row_max = Vec::with_capacity(rows);
+                for i in 0..rows {
+                    row_min.push(mins[k][i].min(mins[k][i + half]));
+                    row_max.push(maxs[k][i].max(maxs[k][i + half]));
+                }
+                mins.push(row_min);
+                maxs.push(row_max);
+                k += 1;
+            }
+        }
+        HostStats {
+            prefix_sum,
+            prefix_energy,
+            mins,
+            maxs,
+            sum_scale,
+            energy_scale,
+        }
+    }
+
+    /// Length of the host signal the tables were built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prefix_sum.len() - 1
+    }
+
+    /// Whether the host was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `Σ host[offset .. offset + w]` in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + w > len()`.
+    #[must_use]
+    pub fn window_sum(&self, offset: usize, w: usize) -> f64 {
+        self.prefix_sum[offset + w] - self.prefix_sum[offset]
+    }
+
+    /// `Σ host[offset .. offset + w]²` in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + w > len()`.
+    #[must_use]
+    pub fn window_energy(&self, offset: usize, w: usize) -> f64 {
+        self.prefix_energy[offset + w] - self.prefix_energy[offset]
+    }
+
+    /// `min(host[offset .. offset + w])` in O(1) via two overlapping
+    /// power-of-two blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0` or `offset + w > len()`.
+    #[must_use]
+    pub fn window_min(&self, offset: usize, w: usize) -> f32 {
+        let k = level_for(w);
+        let row = &self.mins[k];
+        row[offset].min(row[offset + w - (1usize << k)])
+    }
+
+    /// `max(host[offset .. offset + w])` in O(1) via two overlapping
+    /// power-of-two blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0` or `offset + w > len()`.
+    #[must_use]
+    pub fn window_max(&self, offset: usize, w: usize) -> f32 {
+        let k = level_for(w);
+        let row = &self.maxs[k];
+        row[offset].max(row[offset + w - (1usize << k)])
+    }
+}
+
+/// Sparse-table level for a window of length `w`: `⌊log₂ w⌋`.
+fn level_for(w: usize) -> usize {
+    debug_assert!(w >= 1);
+    (usize::BITS - 1 - w.leading_zeros()) as usize
+}
+
+/// Eight-lane multi-accumulator dot product in f64.
+///
+/// Splitting the accumulation across independent lanes breaks the serial
+/// dependency chain of a single accumulator, letting the CPU pipeline (and
+/// auto-vectorize) the multiply-adds. The lanes are reduced pairwise at the
+/// end. The result differs from a single sequential accumulator only by
+/// ULP-level reassociation.
+///
+/// Trailing elements beyond the longest common multiple-of-8 prefix are
+/// folded into the low lanes; if the slices differ in length the extra
+/// elements of the longer one are ignored (callers pass equal lengths).
+///
+/// # Example
+///
+/// ```
+/// let a = [1.0f32, 2.0, 3.0];
+/// let b = [4.0f32, 5.0, 6.0];
+/// assert_eq!(emap_dsp::kernel::dot8(&a, &b), 32.0);
+/// ```
+#[must_use]
+pub fn dot8(a: &[f32], b: &[f32]) -> f64 {
+    let mut lanes = [0.0f64; 8];
+    let ac = a.chunks_exact(8);
+    let bc = b.chunks_exact(8);
+    let ar = ac.remainder();
+    let br = bc.remainder();
+    for (xs, ys) in ac.zip(bc) {
+        for i in 0..8 {
+            lanes[i] += f64::from(xs[i]) * f64::from(ys[i]);
+        }
+    }
+    for (i, (&x, &y)) in ar.iter().zip(br).enumerate() {
+        lanes[i] += f64::from(x) * f64::from(y);
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+/// The range-correlation (`ω`) evaluator backed by [`HostStats`]: per
+/// offset, `min`/`max`/`Σw`/`Σw²` cost O(1) and only the dot product
+/// remains O(window).
+///
+/// Constructed from the same normalization as
+/// [`crate::similarity::RangeCorrelator`] (min–max to `[0, 1]`, then unit
+/// energy), so the two evaluate the same `ω`. Windows shorter than
+/// [`SMALL_WINDOW_FALLBACK`] and numerically hazardous windows take the
+/// scalar path, which is bit-identical to the naive correlator.
+///
+/// # Example
+///
+/// ```
+/// use emap_dsp::kernel::{HostStats, KernelCorrelator};
+///
+/// # fn main() -> Result<(), emap_dsp::DspError> {
+/// let query: Vec<f32> = (0..64).map(|n| (n as f32 * 0.31).sin()).collect();
+/// let mut host = vec![0.0f32; 400];
+/// for (i, v) in host.iter_mut().enumerate() {
+///     *v = ((i as f32) * 0.17).cos();
+/// }
+/// host[100..164].copy_from_slice(&query);
+///
+/// let kc = KernelCorrelator::new(&query)?;
+/// let stats = HostStats::new(&host);
+/// assert!(kc.correlation_at(&host, &stats, 100)? > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelCorrelator {
+    /// Min–max normalized, unit-energy query (identical to the naive
+    /// correlator's).
+    query: Vec<f32>,
+    /// Query-constant `Σq̂`, hoisted out of the per-offset loop.
+    qsum: f64,
+}
+
+impl KernelCorrelator {
+    /// Normalizes and stores the query window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptySignal`] if the query is empty.
+    pub fn new(query: &[f32]) -> Result<Self, DspError> {
+        Ok(Self::from_range(&RangeCorrelator::new(query)?))
+    }
+
+    /// Builds the kernel from an already-normalized naive correlator,
+    /// guaranteeing both hold bit-identical query representations.
+    #[must_use]
+    pub fn from_range(rc: &RangeCorrelator) -> Self {
+        KernelCorrelator {
+            query: rc.normalized_query().to_vec(),
+            qsum: rc.query_sum(),
+        }
+    }
+
+    /// Length of the query window in samples.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// The query-constant `Σq̂`.
+    #[must_use]
+    pub fn query_sum(&self) -> f64 {
+        self.qsum
+    }
+
+    /// The paper's `ω` for the query against
+    /// `host[offset .. offset + window_len]`, using `stats` for O(1) window
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `stats` was built for a host
+    /// of a different length, or [`DspError::WindowOutOfBounds`] if the
+    /// window does not fit in `host` at `offset`.
+    pub fn correlation_at(
+        &self,
+        host: &[f32],
+        stats: &HostStats,
+        offset: usize,
+    ) -> Result<f64, DspError> {
+        let w = self.query.len();
+        if stats.len() != host.len() {
+            return Err(DspError::LengthMismatch {
+                left: stats.len(),
+                right: host.len(),
+            });
+        }
+        if offset.checked_add(w).is_none_or(|end| end > host.len()) {
+            return Err(DspError::WindowOutOfBounds {
+                offset,
+                window: w,
+                len: host.len(),
+            });
+        }
+        let win = &host[offset..offset + w];
+        if w < SMALL_WINDOW_FALLBACK {
+            return Ok(range_window_omega(&self.query, self.qsum, win));
+        }
+
+        let lo = stats.window_min(offset, w);
+        let hi = stats.window_max(offset, w);
+        let span = f64::from(hi) - f64::from(lo);
+        if span <= 0.0 || !span.is_finite() {
+            // Constant (or non-finite) window: ω is 0 with no dot product.
+            return Ok(0.0);
+        }
+        let sum = stats.window_sum(offset, w);
+        let sumsq = stats.window_energy(offset, w);
+        let lo_f = f64::from(lo);
+        let centered = sumsq - 2.0 * lo_f * sum + w as f64 * lo_f * lo_f;
+        // Cancellation hazard: the identity above subtracts quantities whose
+        // magnitude can dwarf the result (nearly constant windows far from
+        // zero), and the prefix differences carry ULP noise proportional to
+        // the *whole-host* scale (quiet windows inside loud hosts). Either
+        // way precision is gone — take the scalar path, which is
+        // bit-identical to the naive correlator.
+        let scale = sumsq
+            .abs()
+            .max((2.0 * lo_f * sum).abs())
+            .max(w as f64 * lo_f * lo_f)
+            .max(stats.energy_scale + 2.0 * lo_f.abs() * stats.sum_scale);
+        // `!(a > b)` rather than `a <= b`: NaN must fail the comparison and
+        // take the exact fallback path.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(centered > CANCELLATION_GUARD * scale) {
+            return Ok(range_window_omega(&self.query, self.qsum, win));
+        }
+        let qdot = dot8(&self.query, win);
+        Ok(range_omega_from_stats(
+            w, lo, hi, sum, sumsq, self.qsum, qdot,
+        ))
+    }
+
+    /// The scalar reference path: identical arithmetic to
+    /// [`crate::similarity::RangeCorrelator::correlation_at`]. Exposed so
+    /// equivalence tests and benches can compare like for like.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::WindowOutOfBounds`] if the window does not fit.
+    pub fn correlation_naive(&self, host: &[f32], offset: usize) -> Result<f64, DspError> {
+        let w = self.query.len();
+        if offset.checked_add(w).is_none_or(|end| end > host.len()) {
+            return Err(DspError::WindowOutOfBounds {
+                offset,
+                window: w,
+                len: host.len(),
+            });
+        }
+        Ok(range_window_omega(
+            &self.query,
+            self.qsum,
+            &host[offset..offset + w],
+        ))
+    }
+
+    /// Correlations at every offset `0, stride, 2·stride, …` that fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptySignal`] if `stride == 0`, or the errors of
+    /// [`KernelCorrelator::correlation_at`].
+    pub fn scan(
+        &self,
+        host: &[f32],
+        stats: &HostStats,
+        stride: usize,
+    ) -> Result<Vec<(usize, f64)>, DspError> {
+        if stride == 0 {
+            return Err(DspError::EmptySignal);
+        }
+        let w = self.query.len();
+        let mut out = Vec::new();
+        if host.len() < w {
+            return Ok(out);
+        }
+        let mut offset = 0usize;
+        while offset + w <= host.len() {
+            out.push((offset, self.correlation_at(host, stats, offset)?));
+            offset += stride;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave_host(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32) * 0.23).sin() * 2.0 + ((i as f32) * 0.071).cos() * 0.7)
+            .collect()
+    }
+
+    fn wave_query(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.31).sin()).collect()
+    }
+
+    #[test]
+    fn prefix_sums_match_direct_loops() {
+        let host = wave_host(257);
+        let stats = HostStats::new(&host);
+        for &(off, w) in &[(0usize, 257usize), (0, 1), (256, 1), (13, 100), (200, 57)] {
+            let direct_sum: f64 = host[off..off + w].iter().map(|&x| f64::from(x)).sum();
+            let direct_energy: f64 = host[off..off + w]
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum();
+            assert!((stats.window_sum(off, w) - direct_sum).abs() < 1e-9);
+            assert!((stats.window_energy(off, w) - direct_energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rmq_matches_sequential_fold_exactly() {
+        let host = wave_host(300);
+        let stats = HostStats::new(&host);
+        for &(off, w) in &[
+            (0usize, 300usize),
+            (0, 1),
+            (299, 1),
+            (17, 64),
+            (100, 133),
+            (5, 2),
+        ] {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &x in &host[off..off + w] {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            assert_eq!(stats.window_min(off, w), lo, "min at ({off}, {w})");
+            assert_eq!(stats.window_max(off, w), hi, "max at ({off}, {w})");
+        }
+    }
+
+    #[test]
+    fn dot8_matches_sequential_dot() {
+        for n in [0usize, 1, 7, 8, 9, 16, 255, 256] {
+            let a = wave_host(n);
+            let b = wave_query(n);
+            let seq: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| f64::from(x) * f64::from(y))
+                .sum();
+            assert!(
+                (dot8(&a, &b) - seq).abs() < 1e-12,
+                "n = {n}: {} vs {seq}",
+                dot8(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_matches_naive_on_realistic_content() {
+        let host = wave_host(1000);
+        let query = wave_query(256);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        for offset in (0..=744).step_by(7) {
+            let fast = kc.correlation_at(&host, &stats, offset).unwrap();
+            let slow = kc.correlation_naive(&host, offset).unwrap();
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "offset {offset}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_agrees_with_range_correlator() {
+        let host = wave_host(500);
+        let query = wave_query(64);
+        let rc = RangeCorrelator::new(&query).unwrap();
+        let kc = KernelCorrelator::from_range(&rc);
+        let stats = HostStats::new(&host);
+        for offset in [0usize, 1, 99, 250, 436] {
+            let fast = kc.correlation_at(&host, &stats, offset).unwrap();
+            let slow = rc.correlation_at(&host, offset).unwrap();
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "offset {offset}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_window_is_exactly_zero_on_both_paths() {
+        let mut host = wave_host(400);
+        for v in &mut host[100..200] {
+            *v = 3.25;
+        }
+        let query = wave_query(64);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        assert_eq!(kc.correlation_at(&host, &stats, 118).unwrap(), 0.0);
+        assert_eq!(kc.correlation_naive(&host, 118).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nearly_constant_window_falls_back_and_agrees_exactly() {
+        // Amplitude 1e-3 around a baseline of 5: the centered-energy
+        // identity cancels catastrophically, which must trigger the scalar
+        // fallback — the two paths then agree bit for bit.
+        let host: Vec<f32> = (0..600)
+            .map(|i| 5.0 + ((i as f32) * 0.37).sin() * 1e-3)
+            .collect();
+        let query = wave_query(256);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        for offset in [0usize, 100, 344] {
+            let fast = kc.correlation_at(&host, &stats, offset).unwrap();
+            let slow = kc.correlation_naive(&host, offset).unwrap();
+            assert_eq!(fast, slow, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn quiet_window_inside_loud_host_agrees() {
+        let mut host = wave_host(1000);
+        for (i, v) in host[300..700].iter_mut().enumerate() {
+            *v = ((i as f32) * 0.29).sin() * 1e-5;
+        }
+        let query = wave_query(256);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        for offset in [350usize, 400, 444] {
+            let fast = kc.correlation_at(&host, &stats, offset).unwrap();
+            let slow = kc.correlation_naive(&host, offset).unwrap();
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "offset {offset}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_equal_to_host_length() {
+        let host = wave_host(256);
+        let query = wave_query(256);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        let fast = kc.correlation_at(&host, &stats, 0).unwrap();
+        let slow = kc.correlation_naive(&host, 0).unwrap();
+        assert!((fast - slow).abs() < 1e-9);
+        assert!(kc.correlation_at(&host, &stats, 1).is_err());
+    }
+
+    #[test]
+    fn small_windows_take_the_exact_scalar_path() {
+        let host = wave_host(100);
+        let query = wave_query(SMALL_WINDOW_FALLBACK - 1);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        for offset in 0..=(host.len() - query.len()) {
+            assert_eq!(
+                kc.correlation_at(&host, &stats, offset).unwrap(),
+                kc.correlation_naive(&host, offset).unwrap(),
+                "offset {offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_stats_rejected() {
+        let host = wave_host(300);
+        let query = wave_query(64);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host[..200]);
+        assert!(matches!(
+            kc.correlation_at(&host, &stats, 0),
+            Err(DspError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let host = wave_host(100);
+        let query = wave_query(64);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        assert!(kc.correlation_at(&host, &stats, 37).is_err());
+        assert!(kc.correlation_at(&host, &stats, usize::MAX).is_err());
+        assert!(kc.correlation_at(&host, &stats, 36).is_ok());
+        assert!(KernelCorrelator::new(&[]).is_err());
+    }
+
+    #[test]
+    fn scan_matches_naive_scan() {
+        let host = wave_host(500);
+        let query = wave_query(128);
+        let rc = RangeCorrelator::new(&query).unwrap();
+        let kc = KernelCorrelator::from_range(&rc);
+        let stats = HostStats::new(&host);
+        let fast = kc.scan(&host, &stats, 3).unwrap();
+        let slow = rc.scan(&host, 3).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for ((fo, fv), (so, sv)) in fast.iter().zip(&slow) {
+            assert_eq!(fo, so);
+            assert!((fv - sv).abs() < 1e-9);
+        }
+        assert!(kc.scan(&host, &stats, 0).is_err());
+        assert!(kc
+            .scan(&host[..64], &HostStats::new(&host[..64]), 1)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_host_stats() {
+        let stats = HostStats::new(&[]);
+        assert!(stats.is_empty());
+        assert_eq!(stats.len(), 0);
+    }
+}

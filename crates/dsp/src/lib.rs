@@ -13,6 +13,9 @@
 //! - [`similarity`] — the two similarity metrics of the paper:
 //!   cross-correlation (Eq. 2, raw and normalized) and the
 //!   *area between curves* (Eq. 3).
+//! - [`kernel`] — the O(1)-statistics correlation kernel: precomputed
+//!   per-host prefix sums and sparse-table min/max so the search stack pays
+//!   O(1) for window statistics at any offset.
 //! - [`spectrum`] — periodogram / Welch PSD estimation, used to verify band
 //!   content of filters and synthetic signals.
 //! - [`quality`] — acquisition-window quality gating (flatline / clipping /
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod fir;
+pub mod kernel;
 pub mod quality;
 pub mod resample;
 pub mod similarity;

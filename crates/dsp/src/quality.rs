@@ -7,7 +7,6 @@
 
 use serde::{Deserialize, Serialize};
 
-
 /// Verdict for one acquisition window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SignalQuality {

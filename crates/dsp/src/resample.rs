@@ -63,15 +63,9 @@ pub struct Resampler {
 #[derive(Debug, Clone)]
 enum IntegerMode {
     /// `from = factor × to`: filter then keep every `factor`-th sample.
-    Decimate {
-        factor: usize,
-        filter: FirFilter,
-    },
+    Decimate { factor: usize, filter: FirFilter },
     /// `to = factor × from`: zero-stuff then filter with gain `factor`.
-    Interpolate {
-        factor: usize,
-        filter: FirFilter,
-    },
+    Interpolate { factor: usize, filter: FirFilter },
 }
 
 impl Resampler {
@@ -232,8 +226,7 @@ impl IntegerMode {
         match self {
             IntegerMode::Decimate { factor, filter } => {
                 let filtered = filter.filter_compensated(input);
-                let mut out: Vec<f32> =
-                    filtered.iter().step_by(*factor).copied().collect();
+                let mut out: Vec<f32> = filtered.iter().step_by(*factor).copied().collect();
                 out.truncate(out_len);
                 while out.len() < out_len {
                     out.push(0.0);
@@ -317,12 +310,10 @@ mod tests {
 
     #[test]
     fn zero_half_width_rejected() {
-        assert!(Resampler::with_quality(
-            SampleRate::new(200.0).unwrap(),
-            SampleRate::EEG_BASE,
-            0
-        )
-        .is_err());
+        assert!(
+            Resampler::with_quality(SampleRate::new(200.0).unwrap(), SampleRate::EEG_BASE, 0)
+                .is_err()
+        );
     }
 
     /// A pure tone survives downsampling with the right frequency: its
@@ -427,7 +418,9 @@ mod tests {
     fn integer_decimation_preserves_a_tone() {
         let from = SampleRate::new(512.0).unwrap();
         let x = sine(20.0, from, 4096);
-        let y = Resampler::new(from, SampleRate::EEG_BASE).unwrap().resample(&x);
+        let y = Resampler::new(from, SampleRate::EEG_BASE)
+            .unwrap()
+            .resample(&x);
         assert_eq!(y.len(), 2048);
         let interior = &y[256..y.len() - 256];
         let amp = rms(interior) * std::f64::consts::SQRT_2;
@@ -444,7 +437,9 @@ mod tests {
     fn integer_decimation_rejects_aliases() {
         let from = SampleRate::new(512.0).unwrap();
         let x = sine(200.0, from, 4096); // above the 128 Hz output Nyquist
-        let y = Resampler::new(from, SampleRate::EEG_BASE).unwrap().resample(&x);
+        let y = Resampler::new(from, SampleRate::EEG_BASE)
+            .unwrap()
+            .resample(&x);
         let interior = &y[256..y.len() - 256];
         assert!(rms(interior) < 0.02, "alias rms {}", rms(interior));
     }
@@ -453,7 +448,9 @@ mod tests {
     fn integer_interpolation_preserves_a_tone() {
         let from = SampleRate::new(128.0).unwrap();
         let x = sine(13.0, from, 2048);
-        let y = Resampler::new(from, SampleRate::EEG_BASE).unwrap().resample(&x);
+        let y = Resampler::new(from, SampleRate::EEG_BASE)
+            .unwrap()
+            .resample(&x);
         assert_eq!(y.len(), 4096);
         let interior = &y[512..y.len() - 512];
         let amp = rms(interior) * std::f64::consts::SQRT_2;

@@ -136,6 +136,8 @@ fn dot(a: &[f32], b: &[f32]) -> f64 {
 #[derive(Debug, Clone)]
 pub struct SlidingDotProduct {
     query: Vec<f32>,
+    /// Query-constant `Σq̂`, hoisted out of the per-offset loop.
+    qsum: f64,
 }
 
 impl SlidingDotProduct {
@@ -148,15 +150,27 @@ impl SlidingDotProduct {
         if query.is_empty() {
             return Err(DspError::EmptySignal);
         }
-        Ok(SlidingDotProduct {
-            query: normalize_energy(query),
-        })
+        let query = normalize_energy(query);
+        let qsum = query.iter().map(|&q| f64::from(q)).sum();
+        Ok(SlidingDotProduct { query, qsum })
     }
 
     /// Length of the query window in samples.
     #[must_use]
     pub fn window_len(&self) -> usize {
         self.query.len()
+    }
+
+    /// The normalized (zero-mean, unit-energy) query samples.
+    #[must_use]
+    pub fn normalized_query(&self) -> &[f32] {
+        &self.query
+    }
+
+    /// The query-constant `Σq̂` used by the correlation finisher.
+    #[must_use]
+    pub fn query_sum(&self) -> f64 {
+        self.qsum
     }
 
     /// Normalized cross-correlation of the query against
@@ -177,21 +191,60 @@ impl SlidingDotProduct {
         }
         let win = &host[offset..offset + w];
         let m = mean(win);
-        let centered_energy = energy(win) - (w as f64) * m * m;
-        if centered_energy <= f64::EPSILON {
+        let e = energy(win);
+        // Degenerate (constant) windows short-circuit before the dot.
+        if e - (w as f64) * m * m <= f64::EPSILON {
             return Ok(0.0);
         }
-        let inv_norm = centered_energy.sqrt().recip();
         // dot(query_normalized, (win - m)/||win - m||); the query is
         // zero-mean so the `m` term contributes Σq · m = 0 exactly in math,
         // but we keep it for numeric faithfulness.
         let mut acc = 0.0f64;
-        let mut qsum = 0.0f64;
         for (q, &x) in self.query.iter().zip(win.iter()) {
             acc += f64::from(*q) * f64::from(x);
-            qsum += f64::from(*q);
         }
-        Ok(((acc - qsum * m) * inv_norm).clamp(-1.0, 1.0))
+        Ok(ncc_from_stats(w, m, e, self.qsum, acc))
+    }
+
+    /// Like [`SlidingDotProduct::correlation_at`], but sources the window
+    /// mean and energy from precomputed [`crate::kernel::HostStats`] prefix
+    /// sums (O(1) instead of O(window)), leaving only the dot product as
+    /// per-offset work. Agrees with the naive path to within ~1e-9 (the
+    /// prefix-sum accumulation order differs by ULPs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `stats` was built for a host
+    /// of a different length, or [`DspError::WindowOutOfBounds`] if the
+    /// window does not fit in `host` at `offset`.
+    pub fn correlation_at_cached(
+        &self,
+        host: &[f32],
+        stats: &crate::kernel::HostStats,
+        offset: usize,
+    ) -> Result<f64, DspError> {
+        let w = self.query.len();
+        if stats.len() != host.len() {
+            return Err(DspError::LengthMismatch {
+                left: stats.len(),
+                right: host.len(),
+            });
+        }
+        if offset.checked_add(w).is_none_or(|end| end > host.len()) {
+            return Err(DspError::WindowOutOfBounds {
+                offset,
+                window: w,
+                len: host.len(),
+            });
+        }
+        let win = &host[offset..offset + w];
+        let m = stats.window_sum(offset, w) / w as f64;
+        let e = stats.window_energy(offset, w);
+        if e - (w as f64) * m * m <= f64::EPSILON {
+            return Ok(0.0);
+        }
+        let acc = crate::kernel::dot8(&self.query, win);
+        Ok(ncc_from_stats(w, m, e, self.qsum, acc))
     }
 
     /// Correlations of the query at every offset `0, stride, 2·stride, …`
@@ -306,6 +359,8 @@ pub fn range_normalized_correlation(a: &[f32], b: &[f32]) -> Result<f64, DspErro
 pub struct RangeCorrelator {
     /// Min–max normalized, unit-energy query.
     query: Vec<f32>,
+    /// Query-constant `Σq̂`, hoisted out of the per-offset loop.
+    qsum: f64,
 }
 
 impl RangeCorrelator {
@@ -320,18 +375,31 @@ impl RangeCorrelator {
         }
         let mm = minmax_normalize(query);
         let e = energy(&mm).sqrt();
-        let query = if e <= f64::EPSILON {
+        let query: Vec<f32> = if e <= f64::EPSILON {
             mm
         } else {
             mm.iter().map(|&v| (f64::from(v) / e) as f32).collect()
         };
-        Ok(RangeCorrelator { query })
+        let qsum = query.iter().map(|&q| f64::from(q)).sum();
+        Ok(RangeCorrelator { query, qsum })
     }
 
     /// Length of the query window in samples.
     #[must_use]
     pub fn window_len(&self) -> usize {
         self.query.len()
+    }
+
+    /// The normalized (`[0, 1]`-range, unit-energy) query samples.
+    #[must_use]
+    pub fn normalized_query(&self) -> &[f32] {
+        &self.query
+    }
+
+    /// The query-constant `Σq̂` used by the correlation finisher.
+    #[must_use]
+    pub fn query_sum(&self) -> f64 {
+        self.qsum
     }
 
     /// The paper's `ω` for the query against
@@ -350,33 +418,7 @@ impl RangeCorrelator {
             });
         }
         let win = &host[offset..offset + w];
-        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
-        let mut sum = 0.0f64;
-        let mut sumsq = 0.0f64;
-        let mut qdot = 0.0f64;
-        let mut qsum = 0.0f64;
-        for (&q, &x) in self.query.iter().zip(win) {
-            lo = lo.min(x);
-            hi = hi.max(x);
-            let xf = f64::from(x);
-            sum += xf;
-            sumsq += xf * xf;
-            qdot += f64::from(q) * xf;
-            qsum += f64::from(q);
-        }
-        let span = f64::from(hi) - f64::from(lo);
-        if span <= 0.0 || !span.is_finite() {
-            return Ok(0.0);
-        }
-        // ||(w − lo)/span||² = (Σw² − 2·lo·Σw + n·lo²)/span².
-        let lo = f64::from(lo);
-        let norm_sq = (sumsq - 2.0 * lo * sum + w as f64 * lo * lo) / (span * span);
-        if norm_sq <= f64::EPSILON {
-            return Ok(0.0);
-        }
-        // dot(q̂, (w − lo)/span) = (dot(q̂, w) − lo·Σq̂)/span.
-        let num = (qdot - lo * qsum) / span;
-        Ok((num / norm_sq.sqrt()).clamp(0.0, 1.0))
+        Ok(range_window_omega(&self.query, self.qsum, win))
     }
 
     /// Correlations at every offset `0, stride, 2·stride, …` that fits.
@@ -400,6 +442,69 @@ impl RangeCorrelator {
         }
         Ok(out)
     }
+}
+
+/// The scalar (naive) range-correlation of one window: a single pass over
+/// the window gathering `min`/`max`/`Σw`/`Σw²`/`Σq̂·w`, then the shared
+/// finisher. This is the reference path the O(1)-statistics kernel
+/// ([`crate::kernel::KernelCorrelator`]) must agree with, and the fallback
+/// it uses for small or numerically hazardous windows.
+///
+/// `query` and `win` must have equal lengths; `qsum` must be `Σ query`.
+pub(crate) fn range_window_omega(query: &[f32], qsum: f64, win: &[f32]) -> f64 {
+    let w = query.len();
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    let mut sum = 0.0f64;
+    let mut sumsq = 0.0f64;
+    let mut qdot = 0.0f64;
+    for (&q, &x) in query.iter().zip(win) {
+        lo = lo.min(x);
+        hi = hi.max(x);
+        let xf = f64::from(x);
+        sum += xf;
+        sumsq += xf * xf;
+        qdot += f64::from(q) * xf;
+    }
+    range_omega_from_stats(w, lo, hi, sum, sumsq, qsum, qdot)
+}
+
+/// The range-correlation finisher: turns window statistics (however they
+/// were obtained — scalar loop or prefix sums/RMQ) into the paper's `ω`.
+/// Keeping this in one place guarantees the kernel and the naive path run
+/// bit-identical final arithmetic.
+pub(crate) fn range_omega_from_stats(
+    w: usize,
+    lo: f32,
+    hi: f32,
+    sum: f64,
+    sumsq: f64,
+    qsum: f64,
+    qdot: f64,
+) -> f64 {
+    let span = f64::from(hi) - f64::from(lo);
+    if span <= 0.0 || !span.is_finite() {
+        return 0.0;
+    }
+    // ||(w − lo)/span||² = (Σw² − 2·lo·Σw + n·lo²)/span².
+    let lo = f64::from(lo);
+    let norm_sq = (sumsq - 2.0 * lo * sum + w as f64 * lo * lo) / (span * span);
+    if norm_sq <= f64::EPSILON {
+        return 0.0;
+    }
+    // dot(q̂, (w − lo)/span) = (dot(q̂, w) − lo·Σq̂)/span.
+    let num = (qdot - lo * qsum) / span;
+    (num / norm_sq.sqrt()).clamp(0.0, 1.0)
+}
+
+/// The zero-mean NCC finisher shared by [`SlidingDotProduct`]'s naive and
+/// prefix-stat paths. `m` is the window mean, `e` its raw energy `Σw²`.
+pub(crate) fn ncc_from_stats(w: usize, m: f64, e: f64, qsum: f64, qdot: f64) -> f64 {
+    let centered_energy = e - (w as f64) * m * m;
+    if centered_energy <= f64::EPSILON {
+        return 0.0;
+    }
+    let inv_norm = centered_energy.sqrt().recip();
+    ((qdot - qsum * m) * inv_norm).clamp(-1.0, 1.0)
 }
 
 #[cfg(test)]
@@ -552,12 +657,13 @@ mod tests {
     #[test]
     fn sliding_matches_direct_normalized_xcorr() {
         let query: Vec<f32> = (0..32).map(|n| ((n * n) as f32 * 0.01).sin()).collect();
-        let host: Vec<f32> = (0..200).map(|n| (n as f32 * 0.13).cos() * 2.0 + 0.5).collect();
+        let host: Vec<f32> = (0..200)
+            .map(|n| (n as f32 * 0.13).cos() * 2.0 + 0.5)
+            .collect();
         let sdp = SlidingDotProduct::new(&query).unwrap();
         for offset in [0usize, 17, 99, 168] {
             let fast = sdp.correlation_at(&host, offset).unwrap();
-            let direct =
-                normalized_cross_correlation(&query, &host[offset..offset + 32]).unwrap();
+            let direct = normalized_cross_correlation(&query, &host[offset..offset + 32]).unwrap();
             assert!(
                 (fast - direct).abs() < 1e-6,
                 "offset {offset}: {fast} vs {direct}"
@@ -614,12 +720,13 @@ mod tests {
     #[test]
     fn range_correlator_matches_direct_form() {
         let query: Vec<f32> = (0..32).map(|n| ((n * 3) as f32 * 0.11).sin()).collect();
-        let host: Vec<f32> = (0..300).map(|n| (n as f32 * 0.23).cos() * 3.0 - 1.0).collect();
+        let host: Vec<f32> = (0..300)
+            .map(|n| (n as f32 * 0.23).cos() * 3.0 - 1.0)
+            .collect();
         let rc = RangeCorrelator::new(&query).unwrap();
         for offset in [0usize, 13, 100, 268] {
             let fast = rc.correlation_at(&host, offset).unwrap();
-            let direct =
-                range_normalized_correlation(&query, &host[offset..offset + 32]).unwrap();
+            let direct = range_normalized_correlation(&query, &host[offset..offset + 32]).unwrap();
             assert!(
                 (fast - direct).abs() < 1e-6,
                 "offset {offset}: {fast} vs {direct}"
@@ -636,10 +743,7 @@ mod tests {
         }
         let rc = RangeCorrelator::new(&query).unwrap();
         let scan = rc.scan(&host, 1).unwrap();
-        let (best_off, best) = scan
-            .into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let (best_off, best) = scan.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(best_off, 150);
         assert!(best > 0.999);
     }

@@ -82,7 +82,10 @@ pub fn normalize_energy(signal: &[f32]) -> Vec<f32> {
     if e <= f64::EPSILON {
         return vec![0.0; signal.len()];
     }
-    centered.iter().map(|&v| (f64::from(v) / e) as f32).collect()
+    centered
+        .iter()
+        .map(|&v| (f64::from(v) / e) as f32)
+        .collect()
 }
 
 /// Rescales a signal to a target peak amplitude. A silent signal stays

@@ -160,7 +160,10 @@ mod tests {
     fn windows_are_bounded_by_one() {
         for w in ALL {
             for &c in &w.coefficients(64) {
-                assert!((-1e-12..=1.0 + 1e-12).contains(&c), "{w:?} out of range: {c}");
+                assert!(
+                    (-1e-12..=1.0 + 1e-12).contains(&c),
+                    "{w:?} out of range: {c}"
+                );
             }
         }
     }
@@ -184,8 +187,7 @@ mod tests {
         use crate::fir::FirFilter;
         use crate::SampleRate;
         let fs = SampleRate::EEG_BASE;
-        let hamming =
-            FirFilter::lowpass_with_window(129, 30.0, fs, Window::Hamming).unwrap();
+        let hamming = FirFilter::lowpass_with_window(129, 30.0, fs, Window::Hamming).unwrap();
         let kaiser = FirFilter::lowpass_with_window(129, 30.0, fs, Window::Kaiser).unwrap();
         // Deep in the stop band the Kaiser design is markedly quieter.
         let h = hamming.magnitude_at(70.0, fs);
@@ -195,7 +197,13 @@ mod tests {
 
     #[test]
     fn odd_length_windows_peak_at_center() {
-        for w in [Window::Hamming, Window::Hann, Window::Blackman, Window::Bartlett, Window::Kaiser] {
+        for w in [
+            Window::Hamming,
+            Window::Hann,
+            Window::Blackman,
+            Window::Bartlett,
+            Window::Kaiser,
+        ] {
             let c = w.coefficients(65);
             let peak = c[32];
             assert!((peak - 1.0).abs() < 1e-12, "{w:?} center {peak}");
@@ -210,13 +218,11 @@ mod tests {
     #[test]
     fn attenuation_ordering_matches_theory() {
         assert!(
-            Window::Rectangular.stopband_attenuation_db()
-                < Window::Hann.stopband_attenuation_db()
+            Window::Rectangular.stopband_attenuation_db() < Window::Hann.stopband_attenuation_db()
         );
         assert!(Window::Hann.stopband_attenuation_db() < Window::Hamming.stopband_attenuation_db());
         assert!(
-            Window::Hamming.stopband_attenuation_db()
-                < Window::Blackman.stopband_attenuation_db()
+            Window::Hamming.stopband_attenuation_db() < Window::Blackman.stopband_attenuation_db()
         );
     }
 }

@@ -1,0 +1,168 @@
+//! Property-based equivalence tests for the O(1)-statistics correlation
+//! kernel: the kernel path must match the naive [`RangeCorrelator`] /
+//! [`SlidingDotProduct`] paths within 1e-9 over random signals, random
+//! offsets, and degenerate windows.
+
+use emap_dsp::kernel::{dot8, HostStats, KernelCorrelator};
+use emap_dsp::similarity::{RangeCorrelator, SlidingDotProduct};
+use proptest::prelude::*;
+
+fn signal(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-8.0f32..8.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The kernel ω matches the naive RangeCorrelator ω within 1e-9 at
+    /// every offset, for random queries and hosts.
+    #[test]
+    fn kernel_matches_range_correlator(
+        host in signal(64..600),
+        query in signal(8..64),
+        seed in 0usize..1000,
+    ) {
+        prop_assume!(query.len() <= host.len());
+        let rc = RangeCorrelator::new(&query).unwrap();
+        let kc = KernelCorrelator::from_range(&rc);
+        let stats = HostStats::new(&host);
+        let last = host.len() - query.len();
+        for offset in [0, last, seed % (last + 1), (seed * 7) % (last + 1)] {
+            let fast = kc.correlation_at(&host, &stats, offset).unwrap();
+            let slow = rc.correlation_at(&host, offset).unwrap();
+            prop_assert!(
+                (fast - slow).abs() < 1e-9,
+                "offset {offset}: kernel {fast} vs naive {slow}"
+            );
+        }
+    }
+
+    /// The paper-sized case: 256-sample query against 1000-sample hosts.
+    #[test]
+    fn kernel_matches_naive_at_paper_sizes(
+        host in signal(1000..1001),
+        seed in 0usize..745,
+    ) {
+        let query = &host[seed % 700..seed % 700 + 256];
+        let kc = KernelCorrelator::new(query).unwrap();
+        let stats = HostStats::new(&host);
+        for offset in [0usize, seed, 744] {
+            let fast = kc.correlation_at(&host, &stats, offset).unwrap();
+            let slow = kc.correlation_naive(&host, offset).unwrap();
+            prop_assert!(
+                (fast - slow).abs() < 1e-9,
+                "offset {offset}: kernel {fast} vs naive {slow}"
+            );
+        }
+    }
+
+    /// The cached-stats NCC path matches the naive SlidingDotProduct.
+    #[test]
+    fn cached_ncc_matches_sliding_dot_product(
+        host in signal(64..400),
+        query in signal(16..64),
+        seed in 0usize..1000,
+    ) {
+        prop_assume!(query.len() <= host.len());
+        let sdp = SlidingDotProduct::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        let last = host.len() - query.len();
+        for offset in [0, last, seed % (last + 1)] {
+            let fast = sdp.correlation_at_cached(&host, &stats, offset).unwrap();
+            let slow = sdp.correlation_at(&host, offset).unwrap();
+            prop_assert!(
+                (fast - slow).abs() < 1e-9,
+                "offset {offset}: cached {fast} vs naive {slow}"
+            );
+        }
+    }
+
+    /// Sparse-table min/max is exactly the sequential fold at every
+    /// (offset, width).
+    #[test]
+    fn rmq_is_exact(host in signal(1..300), seed in 0usize..10_000) {
+        let stats = HostStats::new(&host);
+        let n = host.len();
+        let w = 1 + seed % n;
+        let offset = (seed / n) % (n - w + 1);
+        let win = &host[offset..offset + w];
+        let lo = win.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = win.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(stats.window_min(offset, w), lo);
+        prop_assert_eq!(stats.window_max(offset, w), hi);
+    }
+
+    /// Prefix-difference window sums agree with direct accumulation.
+    #[test]
+    fn prefix_sums_are_accurate(host in signal(1..300), seed in 0usize..10_000) {
+        let stats = HostStats::new(&host);
+        let n = host.len();
+        let w = 1 + seed % n;
+        let offset = (seed / n) % (n - w + 1);
+        let win = &host[offset..offset + w];
+        let sum: f64 = win.iter().map(|&x| f64::from(x)).sum();
+        let energy: f64 = win.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        // Absolute prefix error is bounded by n·ε·(running magnitude); with
+        // |x| ≤ 8 and n < 300 that is far below 1e-7.
+        prop_assert!((stats.window_sum(offset, w) - sum).abs() < 1e-7);
+        prop_assert!((stats.window_energy(offset, w) - energy).abs() < 1e-7);
+    }
+
+    /// dot8's lane-split reassociation stays within ULP-noise of the
+    /// sequential dot product.
+    #[test]
+    fn dot8_matches_sequential(a in signal(1..500)) {
+        let b: Vec<f32> = a.iter().rev().copied().collect();
+        let seq: f64 = a.iter().zip(&b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
+        prop_assert!((dot8(&a, &b) - seq).abs() < 1e-7);
+    }
+
+    /// Degenerate host: every window constant. Both paths return exactly 0.
+    #[test]
+    fn constant_windows_give_zero(level in -1000.0f32..1000.0, query in signal(16..64)) {
+        let host = vec![level; 200];
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        for offset in [0usize, 50, 200 - query.len()] {
+            prop_assert_eq!(kc.correlation_at(&host, &stats, offset).unwrap(), 0.0);
+            prop_assert_eq!(kc.correlation_naive(&host, offset).unwrap(), 0.0);
+        }
+    }
+
+    /// Degenerate window: the query spans the whole host.
+    #[test]
+    fn window_equals_host(host in signal(32..200)) {
+        let kc = KernelCorrelator::new(&host).unwrap();
+        let stats = HostStats::new(&host);
+        let fast = kc.correlation_at(&host, &stats, 0).unwrap();
+        let slow = kc.correlation_naive(&host, 0).unwrap();
+        prop_assert!((fast - slow).abs() < 1e-9, "kernel {fast} vs naive {slow}");
+        // A self-match is a perfect correlation unless the host is constant.
+        if fast != 0.0 {
+            prop_assert!(fast > 1.0 - 1e-6);
+        }
+    }
+
+    /// NaN-free extremes: huge spikes next to tiny values must not break
+    /// the 1e-9 equivalence (the cancellation guard falls back where the
+    /// prefix identities lose precision).
+    #[test]
+    fn extreme_dynamic_range(
+        spike in prop::sample::select(vec![1e10f32, -1e10, 3e7, -3e7]),
+        query in signal(16..64),
+        pos in 0usize..200,
+    ) {
+        let mut host: Vec<f32> = (0..260).map(|i| ((i as f32) * 0.13).sin() * 1e-3).collect();
+        host[pos] = spike;
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        for offset in [0usize, pos.min(260 - query.len()), 260 - query.len()] {
+            let fast = kc.correlation_at(&host, &stats, offset).unwrap();
+            let slow = kc.correlation_naive(&host, offset).unwrap();
+            prop_assert!(
+                (fast - slow).abs() < 1e-9,
+                "offset {offset}: kernel {fast} vs naive {slow}"
+            );
+        }
+    }
+}

@@ -39,11 +39,7 @@ impl Annotation {
     ///
     /// Returns [`EdfError::BadAnnotation`] if onset or duration is negative
     /// or non-finite.
-    pub fn new(
-        onset_s: f64,
-        duration_s: f64,
-        label: impl Into<String>,
-    ) -> Result<Self, EdfError> {
+    pub fn new(onset_s: f64, duration_s: f64, label: impl Into<String>) -> Result<Self, EdfError> {
         if !onset_s.is_finite() || !duration_s.is_finite() || onset_s < 0.0 || duration_s < 0.0 {
             return Err(EdfError::BadAnnotation {
                 onset_s,

@@ -70,10 +70,7 @@ impl Channel {
         if samples.is_empty() {
             return Err(EdfError::EmptyChannel { label });
         }
-        if physical_min >= physical_max
-            || !physical_min.is_finite()
-            || !physical_max.is_finite()
-        {
+        if physical_min >= physical_max || !physical_min.is_finite() || !physical_max.is_finite() {
             return Err(EdfError::BadCalibration { label });
         }
         Ok(Channel {
@@ -246,9 +243,7 @@ mod tests {
     fn degenerate_calibration_rejected() {
         assert!(Channel::with_calibration("X", rate(), vec![0.0], 5.0, 5.0, "uV").is_err());
         assert!(Channel::with_calibration("X", rate(), vec![0.0], 10.0, -10.0, "uV").is_err());
-        assert!(
-            Channel::with_calibration("X", rate(), vec![0.0], f64::NAN, 10.0, "uV").is_err()
-        );
+        assert!(Channel::with_calibration("X", rate(), vec![0.0], f64::NAN, 10.0, "uV").is_err());
     }
 
     #[test]

@@ -351,14 +351,18 @@ mod tests {
         let c1 = Channel::new(
             "EEG Fp1",
             rate(),
-            (0..512).map(|n| ((n as f32) * 0.11).sin() * 120.0).collect(),
+            (0..512)
+                .map(|n| ((n as f32) * 0.11).sin() * 120.0)
+                .collect(),
         )
         .unwrap()
         .with_prefiltering("HP:0.5Hz");
         let c2 = Channel::with_calibration(
             "EEG O2",
             SampleRate::new(512.0).unwrap(),
-            (0..1024).map(|n| ((n as f32) * 0.07).cos() * 80.0).collect(),
+            (0..1024)
+                .map(|n| ((n as f32) * 0.07).cos() * 80.0)
+                .collect(),
             -200.0,
             200.0,
             "uV",
@@ -389,7 +393,8 @@ mod tests {
         assert_eq!(info.channels[1].1, 512.0);
         assert!((info.duration_s() - 2.0).abs() < 1e-9);
         // Peek succeeds even when the sample payload is truncated.
-        let header_len = 8 + 80 + 80 + 10 + 8 + 8 + 8 + 2 * (16 + 8 + 12 + 12 + 8 + 8 + 40 + 12 + 12);
+        let header_len =
+            8 + 80 + 80 + 10 + 8 + 8 + 8 + 2 * (16 + 8 + 12 + 12 + 8 + 8 + 40 + 12 + 12);
         assert!(crate::Recording::peek(&mut buf[..header_len].as_ref()).is_ok());
         assert!(crate::Recording::read_from(&mut buf[..header_len].as_ref()).is_err());
     }

@@ -76,7 +76,10 @@ impl fmt::Display for EdfError {
             EdfError::BadCalibration { label } => {
                 write!(f, "channel `{label}` has a degenerate calibration range")
             }
-            EdfError::BadAnnotation { onset_s, duration_s } => write!(
+            EdfError::BadAnnotation {
+                onset_s,
+                duration_s,
+            } => write!(
                 f,
                 "annotation with onset {onset_s} s and duration {duration_s} s is invalid"
             ),
@@ -120,15 +123,26 @@ mod tests {
     fn display_nonempty() {
         let errors: Vec<EdfError> = vec![
             EdfError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
-            EdfError::BadMagic { found: *b"NOTEDF!!" },
+            EdfError::BadMagic {
+                found: *b"NOTEDF!!",
+            },
             EdfError::MalformedHeader { field: "n_records" },
             EdfError::NoChannels,
             EdfError::EmptyChannel { label: "C3".into() },
             EdfError::BadCalibration { label: "C4".into() },
-            EdfError::BadAnnotation { onset_s: -1.0, duration_s: 0.0 },
-            EdfError::FieldTooLong { field: "patient", max: 80, len: 99 },
+            EdfError::BadAnnotation {
+                onset_s: -1.0,
+                duration_s: 0.0,
+            },
+            EdfError::FieldTooLong {
+                field: "patient",
+                max: 80,
+                len: 99,
+            },
             EdfError::BadStartTime,
-            EdfError::CorruptStream { detail: "truncated".into() },
+            EdfError::CorruptStream {
+                detail: "truncated".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn float_roundtrip() {
-        for v in [0.0f64, -187.5, 3.14159, 1e6] {
+        for v in [0.0f64, -187.5, std::f64::consts::PI, 1e6] {
             let mut buf = Vec::new();
             write_float(&mut buf, "t", v, 12).unwrap();
             let back = read_float(&mut buf.as_slice(), "t", 12).unwrap();

@@ -386,7 +386,14 @@ mod tests {
     #[test]
     fn default_start_time_is_valid() {
         let t = StartTime::default();
-        assert!(StartTime::new(t.year(), t.month(), t.day(), t.hour(), t.minute(), t.second())
-            .is_ok());
+        assert!(StartTime::new(
+            t.year(),
+            t.month(),
+            t.day(),
+            t.hour(),
+            t.minute(),
+            t.second()
+        )
+        .is_ok());
     }
 }

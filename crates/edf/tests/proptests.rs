@@ -17,7 +17,13 @@ fn arb_channel() -> impl Strategy<Value = Channel> {
         // so labels are generated pre-trimmed.
         "[a-zA-Z0-9][a-zA-Z0-9 ]{0,13}[a-zA-Z0-9]",
         prop::collection::vec(-480.0f32..480.0, 1..600),
-        prop_oneof![Just(128.0f64), Just(173.61), Just(200.0), Just(256.0), Just(512.0)],
+        prop_oneof![
+            Just(128.0f64),
+            Just(173.61),
+            Just(200.0),
+            Just(256.0),
+            Just(512.0)
+        ],
     )
         .prop_map(|(label, samples, rate_hz)| {
             Channel::new(label, SampleRate::new(rate_hz).unwrap(), samples).unwrap()
@@ -38,7 +44,9 @@ fn arb_recording() -> impl Strategy<Value = Recording> {
         prop::collection::vec(arb_annotation(), 0..6),
     )
         .prop_map(|(pid, rid, t, channels, annotations)| {
-            let mut b = Recording::builder(pid, rid).start_time(t).channels(channels);
+            let mut b = Recording::builder(pid, rid)
+                .start_time(t)
+                .channels(channels);
             for a in annotations {
                 b = b.annotation(a);
             }

@@ -231,14 +231,8 @@ mod tests {
         // A tracked set that is anomalous from the first iteration has no
         // rise, but P_A ≥ high_probability decides on its own.
         let p = AnomalyPredictor::default();
-        assert_eq!(
-            p.classify(&history(&[1.0, 1.0, 1.0])),
-            Prediction::Anomaly
-        );
-        assert_eq!(
-            p.classify(&history(&[0.9, 0.85, 0.8])),
-            Prediction::Anomaly
-        );
+        assert_eq!(p.classify(&history(&[1.0, 1.0, 1.0])), Prediction::Anomaly);
+        assert_eq!(p.classify(&history(&[0.9, 0.85, 0.8])), Prediction::Anomaly);
     }
 
     #[test]

@@ -73,11 +73,7 @@ impl PaHistory {
         if self.values.len() < 2 {
             return 0.0;
         }
-        let rising = self
-            .values
-            .windows(2)
-            .filter(|w| w[1] > w[0])
-            .count();
+        let rising = self.values.windows(2).filter(|w| w[1] > w[0]).count();
         rising as f64 / (self.values.len() - 1) as f64
     }
 

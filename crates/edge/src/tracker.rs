@@ -187,8 +187,7 @@ impl EdgeTracker {
                 for w in &mut self.tracked {
                     match range_for(w.beta, w.samples.len()) {
                         Some((lo, hi)) => {
-                            let (beta, area) =
-                                best_area(input, &w.samples, lo, hi, &mut windows);
+                            let (beta, area) = best_area(input, &w.samples, lo, hi, &mut windows);
                             w.beta = beta;
                             w.last_score = area;
                         }
@@ -258,13 +257,7 @@ fn probability_of(tracked: &[TrackedSignal]) -> f64 {
 
 /// Minimum area between curves over offsets `lo..=hi` of `host`, with the
 /// argmin.
-fn best_area(
-    input: &[f32],
-    host: &[f32],
-    lo: usize,
-    hi: usize,
-    windows: &mut u64,
-) -> (usize, f64) {
+fn best_area(input: &[f32], host: &[f32], lo: usize, hi: usize, windows: &mut u64) -> (usize, f64) {
     let w = input.len();
     debug_assert!(host.len() >= w);
     let mut best = (lo, f64::INFINITY);
@@ -334,7 +327,9 @@ mod tests {
     }
 
     fn rhythm(freq: f32, phase: f32, n: usize) -> Vec<f32> {
-        (0..n).map(|k| (freq * k as f32 + phase).sin() * 20.0).collect()
+        (0..n)
+            .map(|k| (freq * k as f32 + phase).sin() * 20.0)
+            .collect()
     }
 
     fn correlation_set(ids: &[u64]) -> CorrelationSet {
@@ -373,7 +368,10 @@ mod tests {
 
     #[test]
     fn load_rejects_unknown_ids() {
-        let mdb = mdb_with(vec![(SignalClass::Normal, rhythm(0.3, 0.0, SIGNAL_SET_LEN))]);
+        let mdb = mdb_with(vec![(
+            SignalClass::Normal,
+            rhythm(0.3, 0.0, SIGNAL_SET_LEN),
+        )]);
         let mut tr = EdgeTracker::new(EdgeConfig::default());
         assert!(tr.load(&correlation_set(&[5]), &mdb).is_err());
     }

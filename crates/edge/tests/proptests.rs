@@ -1,9 +1,7 @@
 //! Property-based tests for the edge tracker and predictor.
 
 use emap_datasets::SignalClass;
-use emap_edge::{
-    AnomalyPredictor, EdgeConfig, EdgeMetric, EdgeTracker, PaHistory, Prediction,
-};
+use emap_edge::{AnomalyPredictor, EdgeConfig, EdgeMetric, EdgeTracker, PaHistory, Prediction};
 use emap_mdb::{Mdb, Provenance, SignalSet, SIGNAL_SET_LEN};
 use emap_search::{CorrelationSet, SearchHit, SearchWork};
 use proptest::prelude::*;

@@ -138,11 +138,10 @@ impl MdbBuilder {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| "edf-dir".to_string());
-        let recordings = emap_datasets::export::read_recording_dir(dir)
-            .map_err(|e| match e {
-                emap_edf::EdfError::Io(io) => MdbError::Io(io),
-                other => MdbError::Io(std::io::Error::other(other)),
-            })?;
+        let recordings = emap_datasets::export::read_recording_dir(dir).map_err(|e| match e {
+            emap_edf::EdfError::Io(io) => MdbError::Io(io),
+            other => MdbError::Io(std::io::Error::other(other)),
+        })?;
         let mut added = 0;
         for (_, rec) in recordings {
             added += self.add_recording(&dataset_id, &rec)?;
@@ -308,8 +307,7 @@ mod tests {
 
     #[test]
     fn ingests_an_exported_directory() {
-        let dir = std::env::temp_dir()
-            .join(format!("emap-mdb-edfdir-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("emap-mdb-edfdir-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let ds = emap_datasets::DatasetSpec::new("dirtest", 256.0, 12.0)
             .normal_recordings(1)

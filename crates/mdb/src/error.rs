@@ -82,7 +82,9 @@ mod tests {
         let errs: Vec<MdbError> = vec![
             MdbError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
             MdbError::Dsp(emap_dsp::DspError::EmptySignal),
-            MdbError::BadMagic { found: *b"12345678" },
+            MdbError::BadMagic {
+                found: *b"12345678",
+            },
             MdbError::CorruptSnapshot { detail: "x".into() },
             MdbError::WrongSliceLength { got: 3 },
             MdbError::UnknownSet { id: 7 },

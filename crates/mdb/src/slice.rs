@@ -1,4 +1,7 @@
+use std::sync::OnceLock;
+
 use emap_datasets::SignalClass;
+use emap_dsp::kernel::HostStats;
 use serde::{Deserialize, Serialize};
 
 use crate::{MdbError, SIGNAL_SET_LEN};
@@ -68,11 +71,27 @@ impl Provenance {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SignalSet {
     samples: Vec<f32>,
     class: SignalClass,
     provenance: Provenance,
+    /// Lazily built (and [`crate::Mdb`]-prewarmed) O(1)-statistics tables
+    /// for the kernel correlator. Derived from `samples`, which are
+    /// immutable after construction, so no invalidation is ever needed.
+    /// Skipped by serde: snapshots stay compact and stats are rebuilt on
+    /// load.
+    #[serde(skip)]
+    stats: OnceLock<HostStats>,
+}
+
+impl PartialEq for SignalSet {
+    fn eq(&self, other: &Self) -> bool {
+        // `stats` is derived from `samples`, so it carries no identity.
+        self.samples == other.samples
+            && self.class == other.class
+            && self.provenance == other.provenance
+    }
 }
 
 impl SignalSet {
@@ -94,6 +113,7 @@ impl SignalSet {
             samples,
             class,
             provenance,
+            stats: OnceLock::new(),
         })
     }
 
@@ -119,6 +139,21 @@ impl SignalSet {
     #[must_use]
     pub fn provenance(&self) -> &Provenance {
         &self.provenance
+    }
+
+    /// The O(1)-statistics tables for this slice, built on first access and
+    /// cached for the set's lifetime. [`crate::Mdb`] prewarms this at
+    /// insert/load time so searches never pay the build cost on the hot
+    /// path.
+    #[must_use]
+    pub fn stats(&self) -> &HostStats {
+        self.stats.get_or_init(|| HostStats::new(&self.samples))
+    }
+
+    /// Whether the statistics tables have already been built.
+    #[must_use]
+    pub fn stats_ready(&self) -> bool {
+        self.stats.get().is_some()
     }
 }
 
@@ -164,5 +199,28 @@ mod tests {
     #[test]
     fn set_id_display() {
         assert_eq!(SetId(42).to_string(), "S42");
+    }
+
+    #[test]
+    fn stats_are_lazy_cached_and_consistent() {
+        let samples: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.11).sin()).collect();
+        let set = SignalSet::new(samples.clone(), SignalClass::Normal, prov()).unwrap();
+        assert!(!set.stats_ready());
+        let stats = set.stats();
+        assert_eq!(stats.len(), 1000);
+        assert!(set.stats_ready());
+        let direct: f64 = samples[100..300].iter().map(|&x| f64::from(x)).sum();
+        assert!((stats.window_sum(100, 200) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_ignores_stats_cache() {
+        let samples = vec![0.5f32; 1000];
+        let a = SignalSet::new(samples.clone(), SignalClass::Normal, prov()).unwrap();
+        let b = SignalSet::new(samples, SignalClass::Normal, prov()).unwrap();
+        let _ = a.stats();
+        assert_eq!(a, b);
+        assert!(a.stats_ready());
+        assert!(!b.stats_ready());
     }
 }

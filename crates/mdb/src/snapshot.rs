@@ -54,7 +54,10 @@ fn put_string(buf: &mut BytesMut, s: &str) -> Result<(), MdbError> {
     let bytes = s.as_bytes();
     if bytes.len() > usize::from(u16::MAX) {
         return Err(MdbError::CorruptSnapshot {
-            detail: format!("string of {} bytes exceeds the u16 length prefix", bytes.len()),
+            detail: format!(
+                "string of {} bytes exceeds the u16 length prefix",
+                bytes.len()
+            ),
         });
     }
     buf.put_u16_le(bytes.len() as u16);
@@ -78,8 +81,9 @@ pub(crate) fn write<W: Write>(mdb: &Mdb, mut w: W) -> Result<(), MdbError> {
     w.write_all(&(mdb.len() as u64).to_le_bytes())?;
     for set in mdb.iter() {
         let p = set.provenance();
-        let mut buf =
-            BytesMut::with_capacity(16 + p.dataset_id.len() + p.recording_id.len() + p.channel.len() + SIGNAL_SET_LEN * 4);
+        let mut buf = BytesMut::with_capacity(
+            16 + p.dataset_id.len() + p.recording_id.len() + p.channel.len() + SIGNAL_SET_LEN * 4,
+        );
         buf.put_u8(class_code(set.class()));
         buf.put_u64_le(p.offset);
         put_string(&mut buf, &p.dataset_id)?;
@@ -150,7 +154,9 @@ mod tests {
 
     fn set(class: SignalClass, offset: u64) -> SignalSet {
         SignalSet::new(
-            (0..SIGNAL_SET_LEN).map(|i| (i as f32 * 0.01).sin()).collect(),
+            (0..SIGNAL_SET_LEN)
+                .map(|i| (i as f32 * 0.01).sin())
+                .collect(),
             class,
             Provenance {
                 dataset_id: "dataset-α".into(), // non-ascii ok: utf-8 strings

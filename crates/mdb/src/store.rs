@@ -45,9 +45,14 @@ impl Mdb {
         Mdb::default()
     }
 
-    /// Creates a store from pre-built signal-sets.
+    /// Creates a store from pre-built signal-sets, prewarming each set's
+    /// O(1)-statistics tables so the first search never pays the build
+    /// cost.
     #[must_use]
     pub fn from_sets(sets: Vec<SignalSet>) -> Self {
+        for set in &sets {
+            let _ = set.stats();
+        }
         Mdb { sets }
     }
 
@@ -63,8 +68,12 @@ impl Mdb {
         self.sets.is_empty()
     }
 
-    /// Appends a signal-set, returning its new id.
+    /// Appends a signal-set, returning its new id. The set's
+    /// O(1)-statistics tables are built here (the store is append-only, so
+    /// the one-time cost is amortized across every query that ever scans
+    /// the set).
     pub fn insert(&mut self, set: SignalSet) -> SetId {
+        let _ = set.stats();
         self.sets.push(set);
         SetId(self.sets.len() as u64 - 1)
     }
@@ -116,7 +125,8 @@ impl Mdb {
 
     /// Iterates over the signal-sets of one class.
     pub fn of_class(&self, class: SignalClass) -> impl Iterator<Item = (SetId, &SignalSet)> {
-        self.iter_with_ids().filter(move |(_, s)| s.class() == class)
+        self.iter_with_ids()
+            .filter(move |(_, s)| s.class() == class)
     }
 
     /// Iterates over the signal-sets from one dataset.
@@ -195,15 +205,16 @@ impl Mdb {
 
 impl FromIterator<SignalSet> for Mdb {
     fn from_iter<I: IntoIterator<Item = SignalSet>>(iter: I) -> Self {
-        Mdb {
-            sets: iter.into_iter().collect(),
-        }
+        Mdb::from_sets(iter.into_iter().collect())
     }
 }
 
 impl Extend<SignalSet> for Mdb {
     fn extend<I: IntoIterator<Item = SignalSet>>(&mut self, iter: I) {
-        self.sets.extend(iter);
+        for set in iter {
+            let _ = set.stats();
+            self.sets.push(set);
+        }
     }
 }
 
@@ -306,14 +317,7 @@ mod tests {
         assert_eq!(stats.total, 5);
         assert_eq!(stats.normal, 3);
         assert_eq!(stats.anomalous, 2);
-        assert_eq!(
-            stats
-                .per_class
-                .iter()
-                .map(|&(_, n)| n)
-                .sum::<usize>(),
-            5
-        );
+        assert_eq!(stats.per_class.iter().map(|&(_, n)| n).sum::<usize>(), 5);
         assert_eq!(stats.per_dataset.len(), 2);
     }
 
@@ -385,6 +389,30 @@ mod tests {
         assert_eq!(other.len(), 1);
         assert_eq!(other.with_read(|m| m.len()), 1);
         assert_eq!(other.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn stats_prewarmed_on_every_construction_path() {
+        let fresh = || set(SignalClass::Normal, "a", 7);
+        assert!(!fresh().stats_ready());
+
+        let mut mdb = Mdb::new();
+        let id = mdb.insert(fresh());
+        assert!(mdb.get(id).unwrap().stats_ready());
+
+        let built = Mdb::from_sets(vec![fresh(), fresh()]);
+        assert!(built.iter().all(SignalSet::stats_ready));
+
+        let collected: Mdb = (0..2).map(|_| fresh()).collect();
+        assert!(collected.iter().all(SignalSet::stats_ready));
+
+        let mut extended = Mdb::new();
+        extended.extend(std::iter::once(fresh()));
+        assert!(extended.iter().all(SignalSet::stats_ready));
+
+        // Clones (and therefore `filtered` sub-corpora) carry warm stats.
+        let filtered = built.filtered(|_| true);
+        assert!(filtered.iter().all(SignalSet::stats_ready));
     }
 
     #[test]

@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn hspa_400_samples_within_figure_range() {
         let t = CommTech::Hspa.upload_time(400);
-        assert!(t > Duration::from_micros(1500) && t < Duration::from_micros(3500), "{t:?}");
+        assert!(
+            t > Duration::from_micros(1500) && t < Duration::from_micros(3500),
+            "{t:?}"
+        );
     }
 
     #[test]

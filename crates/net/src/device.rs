@@ -82,7 +82,8 @@ impl Device {
     /// 256-sample correlation windows (Fig. 7 exploration time).
     #[must_use]
     pub fn search_time(self, correlations: u64) -> Duration {
-        let ns = correlations as f64 * (self.correlation_overhead_ns() + WINDOW * self.xcorr_sample_ns());
+        let ns = correlations as f64
+            * (self.correlation_overhead_ns() + WINDOW * self.xcorr_sample_ns());
         Duration::from_nanos(ns.round() as u64)
     }
 
@@ -147,10 +148,7 @@ mod tests {
     #[test]
     fn edge_tracking_scale_matches_paper() {
         let t = Device::EdgeRpi.tracking_time(100, TrackingMetric::AreaBetweenCurves);
-        assert!(
-            t.as_millis() > 600 && t.as_millis() < 1200,
-            "modeled {t:?}"
-        );
+        assert!(t.as_millis() > 600 && t.as_millis() < 1200, "modeled {t:?}");
     }
 
     /// Fig. 8b anchor: cross-correlation tracking is ~4.3× slower.
@@ -170,11 +168,14 @@ mod tests {
 
     #[test]
     fn edge_is_slower_than_cloud() {
-        assert!(
-            Device::EdgeRpi.search_time(1000) > Device::CloudServer.search_time(1000)
-        );
-        for m in [TrackingMetric::CrossCorrelation, TrackingMetric::AreaBetweenCurves] {
-            assert!(Device::EdgeRpi.tracking_time(100, m) > Device::CloudServer.tracking_time(100, m));
+        assert!(Device::EdgeRpi.search_time(1000) > Device::CloudServer.search_time(1000));
+        for m in [
+            TrackingMetric::CrossCorrelation,
+            TrackingMetric::AreaBetweenCurves,
+        ] {
+            assert!(
+                Device::EdgeRpi.tracking_time(100, m) > Device::CloudServer.tracking_time(100, m)
+            );
         }
     }
 

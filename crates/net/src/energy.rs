@@ -121,10 +121,7 @@ impl EnergyModel {
     /// Energy of one edge-tracking iteration over `tracked` signals.
     #[must_use]
     pub fn tracking_energy_mj(&self, tracked: u64, metric: TrackingMetric) -> f64 {
-        self.cpu_power_mw
-            * Device::EdgeRpi
-                .tracking_time(tracked, metric)
-                .as_secs_f64()
+        self.cpu_power_mw * Device::EdgeRpi.tracking_time(tracked, metric).as_secs_f64()
     }
 
     /// Budget for the EMAP hybrid over `window`: one tracking iteration per
@@ -199,7 +196,9 @@ impl EnergyModel {
         let seconds = window.as_secs_f64();
         let calls = (seconds / call_period_s.max(1.0)).ceil();
         let search_mj = self.cpu_power_mw
-            * Device::EdgeRpi.search_time(search_correlations).as_secs_f64();
+            * Device::EdgeRpi
+                .search_time(search_correlations)
+                .as_secs_f64();
         EnergyBudget {
             compute_mj: seconds * self.tracking_energy_mj(top_k, metric) + calls * search_mj,
             tx_mj: 0.0,
@@ -315,10 +314,11 @@ mod tests {
             ..EnergyBudget::default()
         };
         let cap = 5000.0;
-        assert!((small.battery_life_hours(cap, window) / big.battery_life_hours(cap, window)
-            - 2.0)
-            .abs()
-            < 1e-9);
+        assert!(
+            (small.battery_life_hours(cap, window) / big.battery_life_hours(cap, window) - 2.0)
+                .abs()
+                < 1e-9
+        );
         assert!(EnergyBudget::default()
             .battery_life_hours(cap, window)
             .is_infinite());

@@ -210,7 +210,9 @@ mod tests {
 
     #[test]
     fn dedup_toggle() {
-        assert!(!SearchConfig::paper().with_dedup_per_set(false).dedup_per_set());
+        assert!(!SearchConfig::paper()
+            .with_dedup_per_set(false)
+            .dedup_per_set());
     }
 
     #[test]

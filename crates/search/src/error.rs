@@ -40,7 +40,10 @@ impl fmt::Display for SearchError {
                 write!(f, "query sample {position} is not finite")
             }
             SearchError::BadConfig { parameter, value } => {
-                write!(f, "search parameter `{parameter}` has invalid value {value}")
+                write!(
+                    f,
+                    "search parameter `{parameter}` has invalid value {value}"
+                )
             }
             SearchError::Dsp(e) => write!(f, "dsp failure: {e}"),
         }

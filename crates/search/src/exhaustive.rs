@@ -38,16 +38,17 @@ impl ExhaustiveSearch {
         candidates: &mut Vec<SearchHit>,
         work: &mut SearchWork,
     ) -> Result<(), SearchError> {
-        let sdp = query.correlator();
+        let kernel = query.kernel();
         let host = set.samples();
-        let window = sdp.window_len();
+        let stats = set.stats();
+        let window = kernel.window_len();
         work.sets_scanned += 1;
         if host.len() < window {
             return Ok(());
         }
         let mut best: Option<SearchHit> = None;
         for beta in 0..=(host.len() - window) {
-            let omega = sdp.correlation_at(host, beta)?;
+            let omega = kernel.correlation_at(host, stats, beta)?;
             work.correlations += 1;
             if omega > config.delta() {
                 work.matches += 1;
@@ -205,6 +206,9 @@ mod tests {
 
     #[test]
     fn name_is_stable() {
-        assert_eq!(ExhaustiveSearch::new(SearchConfig::paper()).name(), "exhaustive");
+        assert_eq!(
+            ExhaustiveSearch::new(SearchConfig::paper()).name(),
+            "exhaustive"
+        );
     }
 }

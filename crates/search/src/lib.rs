@@ -51,6 +51,7 @@ mod exhaustive;
 mod parallel;
 mod query;
 mod result;
+mod skip;
 mod sliding;
 mod two_stage;
 
@@ -60,6 +61,7 @@ pub use exhaustive::ExhaustiveSearch;
 pub use parallel::ParallelSearch;
 pub use query::Query;
 pub use result::{CorrelationSet, SearchHit, SearchWork};
+pub use skip::SkipTable;
 pub use sliding::{skip_for_omega, SlidingSearch};
 pub use two_stage::TwoStageSearch;
 

@@ -1,18 +1,34 @@
-use emap_mdb::{Mdb, SetId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use emap_mdb::{Mdb, SetId, SignalSet};
 
 use crate::{
-    CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork, SlidingSearch,
+    CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable,
+    SlidingSearch,
 };
 
-/// Algorithm 1 fanned out over worker threads.
+/// Oversubscription factor for the shared work queue: the store is split
+/// into `workers × TASKS_PER_WORKER` chunks so a worker that drew easy
+/// chunks (high-`ω` regions skip in single-sample steps; low-`ω` regions
+/// leap ~250 samples, so chunk costs vary widely) steals the remaining ones
+/// instead of idling at a barrier.
+const TASKS_PER_WORKER: usize = 4;
+
+/// Algorithm 1 fanned out over worker threads through a shared work queue.
 ///
 /// §V-B: the MDB slicing exists "to enable the search algorithm to quickly
 /// search through the complete database in parallel". The store is split
-/// into contiguous chunks ([`Mdb::chunks`]) and each worker runs the
-/// sliding scan over its chunk; candidate lists and work counters are
-/// merged at the end, so the result is identical to the sequential
-/// [`SlidingSearch`] up to candidate ordering (and exactly identical after
-/// the final top-K sort).
+/// into contiguous chunks ([`Mdb::chunks`]) — several per worker — and
+/// workers pull chunks from a shared atomic queue until it is drained, so
+/// no thread waits on the slowest one. Candidates are tagged with their
+/// chunk index and merged back in chunk order, which restores the exact
+/// sequential candidate order; the result is therefore identical to the
+/// sequential [`SlidingSearch`], hits and work counters both.
+///
+/// [`SearchConfig::max_correlations`] is enforced across workers through a
+/// shared spent-counter, with the same set-granularity overshoot as the
+/// sequential path: each worker checks the global count before starting a
+/// set, so the overshoot is bounded by one in-flight set per worker.
 ///
 /// # Example
 ///
@@ -25,6 +41,7 @@ use crate::{
 #[derive(Debug, Clone)]
 pub struct ParallelSearch {
     config: SearchConfig,
+    skips: SkipTable,
     workers: usize,
 }
 
@@ -33,6 +50,7 @@ impl ParallelSearch {
     #[must_use]
     pub fn new(config: SearchConfig, workers: usize) -> Self {
         ParallelSearch {
+            skips: SkipTable::new(config.alpha()),
             config,
             workers: workers.max(1),
         }
@@ -49,6 +67,44 @@ impl ParallelSearch {
     pub fn config(&self) -> &SearchConfig {
         &self.config
     }
+
+    /// Scans one contiguous chunk of sets, charging correlations to the
+    /// shared budget counter. The budget is checked *before* each set (the
+    /// sequential search's set-granularity rule), so a worker never starts
+    /// a set once the global count has reached the limit.
+    fn scan_chunk(
+        query: &Query,
+        config: &SearchConfig,
+        skips: &SkipTable,
+        start: SetId,
+        sets: &[SignalSet],
+        spent: &AtomicU64,
+        limit: u64,
+    ) -> Result<(Vec<SearchHit>, SearchWork), SearchError> {
+        let mut candidates = Vec::new();
+        let mut work = SearchWork::default();
+        for (i, set) in sets.iter().enumerate() {
+            if spent.load(Ordering::Relaxed) >= limit {
+                work.truncated = true;
+                break;
+            }
+            let before = work.correlations;
+            SlidingSearch::scan_set(
+                query,
+                config,
+                skips,
+                SetId(start.0 + i as u64),
+                set,
+                &mut candidates,
+                &mut work,
+            )?;
+            let delta = work.correlations - before;
+            if delta > 0 {
+                spent.fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+        Ok((candidates, work))
+    }
 }
 
 impl Search for ParallelSearch {
@@ -56,87 +112,148 @@ impl Search for ParallelSearch {
         "algorithm1-parallel"
     }
 
-    /// Batch entry point: queries are fanned out across the worker pool
-    /// (one whole search per worker), which beats splitting each search
-    /// when many patients arrive together.
+    /// Batch entry point: one shared work queue over *query × chunk* tasks.
+    ///
+    /// The previous design took queries in waves of `workers`, so the
+    /// slowest search in a wave stalled the whole wave. Here every
+    /// (query, chunk) pair is an independent task pulled from the same
+    /// queue: a worker that finishes its part of an easy query immediately
+    /// helps with the hard ones. Per-query candidates are merged in chunk
+    /// order, so each returned [`CorrelationSet`] is identical to a
+    /// sequential [`SlidingSearch`] of that query.
     fn search_batch(
         &self,
         queries: &[Query],
         mdb: &Mdb,
     ) -> Result<Vec<CorrelationSet>, SearchError> {
-        if queries.len() <= 1 {
+        let chunks = mdb.chunks(self.workers * TASKS_PER_WORKER);
+        if queries.len() <= 1 || self.workers == 1 || chunks.len() <= 1 {
             return queries.iter().map(|q| self.search(q, mdb)).collect();
         }
-        // Concurrency is bounded by the worker count: queries are taken in
-        // waves of `workers` so a large ward does not spawn a thread per
-        // patient.
-        let sequential = SlidingSearch::new(self.config);
-        let mut out = Vec::with_capacity(queries.len());
-        for wave in queries.chunks(self.workers) {
-            let results: Vec<Result<CorrelationSet, SearchError>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .map(|q| {
-                            let sequential = &sequential;
-                            scope.spawn(move |_| sequential.search(q, mdb))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("batch worker panicked"))
-                        .collect()
+        let n_tasks = queries.len() * chunks.len();
+        let limit = self.config.max_correlations().unwrap_or(u64::MAX);
+        let spent: Vec<AtomicU64> = (0..queries.len()).map(|_| AtomicU64::new(0)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(n_tasks);
+
+        type TaggedResult = Result<Vec<(usize, Vec<SearchHit>, SearchWork)>, SearchError>;
+        let results: Vec<TaggedResult> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (chunks, spent, next) = (&chunks, &spent, &next);
+                    let (config, skips) = (&self.config, &self.skips);
+                    scope.spawn(move |_| {
+                        let mut done = Vec::new();
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            if t >= n_tasks {
+                                break;
+                            }
+                            let (qi, ci) = (t / chunks.len(), t % chunks.len());
+                            let (start, sets) = chunks[ci];
+                            let (c, w) = Self::scan_chunk(
+                                &queries[qi],
+                                config,
+                                skips,
+                                start,
+                                sets,
+                                &spent[qi],
+                                limit,
+                            )?;
+                            done.push((t, c, w));
+                        }
+                        Ok(done)
+                    })
                 })
-                .expect("crossbeam scope panicked");
-            for r in results {
-                out.push(r?);
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope panicked");
+
+        let mut per_query: Vec<Vec<(usize, Vec<SearchHit>)>> =
+            (0..queries.len()).map(|_| Vec::new()).collect();
+        let mut per_work: Vec<SearchWork> = vec![SearchWork::default(); queries.len()];
+        for r in results {
+            for (t, c, w) in r? {
+                let qi = t / chunks.len();
+                per_query[qi].push((t, c));
+                per_work[qi].merge(w);
             }
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        for (tagged, work) in per_query.iter_mut().zip(per_work) {
+            tagged.sort_unstable_by_key(|&(t, _)| t);
+            let mut candidates = Vec::new();
+            for (_, c) in tagged.drain(..) {
+                candidates.extend(c);
+            }
+            out.push(CorrelationSet::from_candidates(
+                candidates,
+                self.config.top_k(),
+                work,
+            ));
         }
         Ok(out)
     }
 
     fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
-        let chunks = mdb.chunks(self.workers);
-        if chunks.len() <= 1 {
+        let chunks = mdb.chunks(self.workers * TASKS_PER_WORKER);
+        if self.workers == 1 || chunks.len() <= 1 {
             // Not worth spawning threads for a single chunk.
             return SlidingSearch::new(self.config).search(query, mdb);
         }
-        let config = self.config;
-        let results: Vec<Result<(Vec<SearchHit>, SearchWork), SearchError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|(start, sets)| {
-                        scope.spawn(move |_| {
-                            let mut candidates = Vec::new();
-                            let mut work = SearchWork::default();
-                            for (i, set) in sets.iter().enumerate() {
-                                SlidingSearch::scan_set(
-                                    query,
-                                    &config,
-                                    SetId(start.0 + i as u64),
-                                    set,
-                                    &mut candidates,
-                                    &mut work,
-                                )?;
-                            }
-                            Ok((candidates, work))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("search worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope panicked");
+        let limit = self.config.max_correlations().unwrap_or(u64::MAX);
+        let spent = AtomicU64::new(0);
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(chunks.len());
 
-        let mut candidates = Vec::new();
+        type TaggedResult = Result<Vec<(usize, Vec<SearchHit>, SearchWork)>, SearchError>;
+        let results: Vec<TaggedResult> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (chunks, spent, next) = (&chunks, &spent, &next);
+                    let (config, skips) = (&self.config, &self.skips);
+                    scope.spawn(move |_| {
+                        let mut done = Vec::new();
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            if t >= chunks.len() {
+                                break;
+                            }
+                            let (start, sets) = chunks[t];
+                            let (c, w) =
+                                Self::scan_chunk(query, config, skips, start, sets, spent, limit)?;
+                            done.push((t, c, w));
+                        }
+                        Ok(done)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope panicked");
+
+        let mut tagged = Vec::new();
         let mut work = SearchWork::default();
         for r in results {
-            let (c, w) = r?;
+            for (t, c, w) in r? {
+                tagged.push((t, c));
+                work.merge(w);
+            }
+        }
+        // Chunks are contiguous in id order, so merging in chunk order
+        // reproduces the sequential candidate order exactly — ties in the
+        // final stable top-K sort break identically.
+        tagged.sort_unstable_by_key(|&(t, _)| t);
+        let mut candidates = Vec::new();
+        for (_, c) in tagged {
             candidates.extend(c);
-            work.merge(w);
         }
         Ok(CorrelationSet::from_candidates(
             candidates,
@@ -206,6 +323,62 @@ mod tests {
     }
 
     #[test]
+    fn budget_enforced_across_workers() {
+        let mdb = realistic_mdb();
+        let query = realistic_query();
+        let unbounded = ParallelSearch::new(SearchConfig::paper(), 4)
+            .search(&query, &mdb)
+            .unwrap();
+        assert!(!unbounded.work().truncated);
+        let total = unbounded.work().correlations;
+        // A budget small enough that most of the corpus must go unscanned
+        // no matter how the workers interleave.
+        let budget = (total / 20).max(1);
+        let cfg = SearchConfig::paper().with_max_correlations(budget).unwrap();
+        for workers in [2usize, 4, 8] {
+            let bounded = ParallelSearch::new(cfg, workers)
+                .search(&query, &mdb)
+                .unwrap();
+            assert!(bounded.work().truncated, "workers = {workers}");
+            assert!(
+                bounded.work().correlations < total,
+                "workers = {workers}: bounded scan did all the work"
+            );
+            // Set-granularity overshoot: every worker may have one set in
+            // flight when the budget trips, plus the set that tripped it.
+            let bound = budget + (workers as u64 + 1) * 746;
+            assert!(
+                bounded.work().correlations < bound,
+                "workers = {workers}: {} ≥ {bound}",
+                bounded.work().correlations
+            );
+        }
+    }
+
+    #[test]
+    fn batch_honors_budget_per_query() {
+        let mdb = realistic_mdb();
+        let queries: Vec<Query> = (0..3).map(|_| realistic_query()).collect();
+        let unbounded = ParallelSearch::new(SearchConfig::paper(), 4)
+            .search(&queries[0], &mdb)
+            .unwrap();
+        let total = unbounded.work().correlations;
+        let budget = (total / 20).max(1);
+        let cfg = SearchConfig::paper().with_max_correlations(budget).unwrap();
+        let batch = ParallelSearch::new(cfg, 4)
+            .search_batch(&queries, &mdb)
+            .unwrap();
+        for (i, b) in batch.iter().enumerate() {
+            assert!(b.work().truncated, "query {i}");
+            assert!(
+                b.work().correlations < budget + 5 * 746,
+                "query {i}: {}",
+                b.work().correlations
+            );
+        }
+    }
+
+    #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(ParallelSearch::new(SearchConfig::paper(), 0).workers(), 1);
     }
@@ -217,5 +390,9 @@ mod tests {
             .search(&query, &Mdb::new())
             .unwrap();
         assert!(t.is_empty());
+        let batch = ParallelSearch::new(SearchConfig::paper(), 4)
+            .search_batch(&[realistic_query(), realistic_query()], &Mdb::new())
+            .unwrap();
+        assert!(batch.iter().all(CorrelationSet::is_empty));
     }
 }

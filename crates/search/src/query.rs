@@ -1,3 +1,4 @@
+use emap_dsp::kernel::KernelCorrelator;
 use emap_dsp::similarity::RangeCorrelator;
 use emap_dsp::SAMPLES_PER_SECOND;
 
@@ -27,6 +28,7 @@ use crate::SearchError;
 pub struct Query {
     samples: Vec<f32>,
     correlator: RangeCorrelator,
+    kernel: KernelCorrelator,
 }
 
 impl Query {
@@ -45,9 +47,12 @@ impl Query {
         if let Some(pos) = samples.iter().position(|v| !v.is_finite()) {
             return Err(SearchError::NonFiniteSample { position: pos });
         }
+        let correlator = RangeCorrelator::new(samples)?;
+        let kernel = KernelCorrelator::from_range(&correlator);
         Ok(Query {
             samples: samples.to_vec(),
-            correlator: RangeCorrelator::new(samples)?,
+            correlator,
+            kernel,
         })
     }
 
@@ -57,10 +62,19 @@ impl Query {
         &self.samples
     }
 
-    /// The pre-normalized correlator shared by all search algorithms.
+    /// The pre-normalized naive correlator (the scalar reference path,
+    /// still used by figure harnesses and ablations).
     #[must_use]
     pub fn correlator(&self) -> &RangeCorrelator {
         &self.correlator
+    }
+
+    /// The O(1)-statistics kernel correlator the search algorithms use.
+    /// Built from the same normalized query as [`Query::correlator`], so
+    /// the two evaluate the same `ω`.
+    #[must_use]
+    pub fn kernel(&self) -> &KernelCorrelator {
+        &self.kernel
     }
 }
 

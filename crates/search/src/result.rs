@@ -73,11 +73,7 @@ impl CorrelationSet {
     /// entries 0–99; taking the **top** 100 requires descending order — we
     /// treat the printed direction as a typo, as `DESIGN.md` §3 notes.)
     #[must_use]
-    pub fn from_candidates(
-        mut candidates: Vec<SearchHit>,
-        top_k: usize,
-        work: SearchWork,
-    ) -> Self {
+    pub fn from_candidates(mut candidates: Vec<SearchHit>, top_k: usize, work: SearchWork) -> Self {
         candidates.sort_by(|a, b| b.omega.total_cmp(&a.omega));
         candidates.truncate(top_k);
         CorrelationSet {
@@ -130,7 +126,11 @@ impl CorrelationSet {
     /// outliers); `0.0` when empty.
     #[must_use]
     pub fn min_omega(&self) -> f64 {
-        self.hits.iter().map(|h| h.omega).fold(f64::NAN, f64::min).min(f64::INFINITY)
+        self.hits
+            .iter()
+            .map(|h| h.omega)
+            .fold(f64::NAN, f64::min)
+            .min(f64::INFINITY)
     }
 }
 

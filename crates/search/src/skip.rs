@@ -1,0 +1,173 @@
+//! Quantized lookup table for Algorithm 1's skip law.
+//!
+//! [`crate::skip_for_omega`] calls `alpha.powf` — dozens of nanoseconds —
+//! on every offset of every scanned set. The skip is an *integer*, and over
+//! the whole `ω ∈ [0, 1]` range the paper's `α = 0.004` produces only ~250
+//! distinct values, so almost every fine bin of a quantized table maps to a
+//! single integer. The table answers those bins with one array load; the
+//! rare bin whose interval straddles a rounding boundary (or comes within
+//! 1e-9 of one) is left unresolved and falls back to the exact `powf` path.
+//! The result is therefore **exactly** [`crate::skip_for_omega`] for every
+//! input, including out-of-range and NaN `ω`.
+//!
+//! Bin indexing is exact: the bin count is a power of two, so
+//! `ω · 2048` is a pure exponent shift with no rounding, and bin `i` covers
+//! precisely `[i/2048, (i+1)/2048)`. Within a bin, `powf`'s monotonicity
+//! (up to ULP error, absorbed by the 1e-9 margin) pins every interior value
+//! to the same rounded integer as the two edges.
+
+use crate::skip_for_omega;
+
+/// Number of quantization bins; must be a power of two so the `ω · BINS`
+/// indexing multiply is exact in binary floating point.
+const BINS: usize = 2048;
+
+/// Margin (in step units) an edge value must keep from the nearest rounding
+/// boundary for its bin to be resolved by the table. Far larger than
+/// `powf`'s ULP-level error, far smaller than any observable step change.
+const EDGE_MARGIN: f64 = 1e-9;
+
+/// Precomputed, exactness-preserving quantization of the skip law
+/// `β = α^(ω−1)` for one fixed `α`.
+///
+/// Built once per search (it depends only on `α`), consulted once per
+/// offset. Every lookup returns exactly what [`crate::skip_for_omega`]
+/// would.
+///
+/// # Example
+///
+/// ```
+/// use emap_search::{skip_for_omega, SkipTable};
+///
+/// let table = SkipTable::new(0.004);
+/// assert_eq!(table.skip(1.0), 1);
+/// assert_eq!(table.skip(0.8), 3);
+/// assert_eq!(table.skip(0.0), 250);
+/// for i in 0..=1000 {
+///     let omega = f64::from(i) / 1000.0;
+///     assert_eq!(table.skip(omega), skip_for_omega(omega, 0.004));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipTable {
+    alpha: f64,
+    /// `bins[i]` is the skip for every `ω` in bin `i`, or `0` (never a
+    /// legal skip) when the bin is unresolved and must use the exact path.
+    /// The final entry serves the single point `ω = 1`.
+    bins: Vec<usize>,
+}
+
+impl SkipTable {
+    /// Builds the table for one `α` (as validated by
+    /// [`crate::SearchConfig::with_alpha`]: finite, in `(0, 1)`).
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        let mut bins = vec![0usize; BINS + 1];
+        for (i, slot) in bins.iter_mut().enumerate() {
+            if i == BINS {
+                *slot = skip_for_omega(1.0, alpha);
+                continue;
+            }
+            let lo = i as f64 / BINS as f64;
+            let hi = (i + 1) as f64 / BINS as f64;
+            let step_lo = alpha.powf(lo - 1.0);
+            let step_hi = alpha.powf(hi - 1.0);
+            let clears_boundary = |s: f64| (s - s.round()).abs() < 0.5 - EDGE_MARGIN;
+            if step_lo.round() == step_hi.round()
+                && clears_boundary(step_lo)
+                && clears_boundary(step_hi)
+            {
+                *slot = skip_for_omega(lo, alpha);
+            }
+        }
+        SkipTable { alpha, bins }
+    }
+
+    /// The `α` this table was built for.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The skip in samples for `omega` — exactly
+    /// [`crate::skip_for_omega`]`(omega, self.alpha())`, computed with one
+    /// array load on the hot path.
+    #[must_use]
+    pub fn skip(&self, omega: f64) -> usize {
+        if omega.is_nan() {
+            // `(NaN * BINS) as usize` saturates to 0, which is the wrong
+            // bin; the exact path handles NaN (clamp and round keep it NaN,
+            // the cast gives 0, `.max(1)` gives 1).
+            return skip_for_omega(omega, self.alpha);
+        }
+        let idx = ((omega.clamp(0.0, 1.0) * BINS as f64) as usize).min(BINS);
+        match self.bins[idx] {
+            0 => skip_for_omega(omega, self.alpha),
+            skip => skip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_path_on_dense_grid() {
+        for alpha in [0.004, 0.001, 0.01, 0.05, 0.37] {
+            let table = SkipTable::new(alpha);
+            for i in 0..=200_000u32 {
+                // Sweep ω over [-0.5, 1.5] to cover both clamp branches.
+                let omega = f64::from(i) / 100_000.0 - 0.5;
+                assert_eq!(
+                    table.skip(omega),
+                    skip_for_omega(omega, alpha),
+                    "α = {alpha}, ω = {omega}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_path_at_bin_edges() {
+        let alpha = 0.004;
+        let table = SkipTable::new(alpha);
+        for i in 0..=BINS {
+            let omega = i as f64 / BINS as f64;
+            assert_eq!(table.skip(omega), skip_for_omega(omega, alpha));
+            // Nudge just inside the neighboring bins too.
+            for nudged in [omega - 1e-12, omega + 1e-12] {
+                assert_eq!(table.skip(nudged), skip_for_omega(nudged, alpha));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_values() {
+        let table = SkipTable::new(0.004);
+        assert_eq!(table.skip(1.0), 1);
+        assert_eq!(table.skip(0.8), 3);
+        assert_eq!(table.skip(0.0), 250);
+        assert_eq!(table.skip(-5.0), 250);
+        assert_eq!(table.skip(2.0), 1);
+    }
+
+    #[test]
+    fn nan_omega_matches_exact_path() {
+        let table = SkipTable::new(0.004);
+        assert_eq!(table.skip(f64::NAN), skip_for_omega(f64::NAN, 0.004));
+        assert_eq!(table.skip(f64::NAN), 1);
+    }
+
+    #[test]
+    fn most_bins_are_resolved() {
+        // The table only pays off if the fallback is rare.
+        let table = SkipTable::new(0.004);
+        let unresolved = table.bins.iter().filter(|&&b| b == 0).count();
+        assert!(
+            unresolved * 4 < table.bins.len(),
+            "{unresolved} of {} bins unresolved",
+            table.bins.len()
+        );
+    }
+}

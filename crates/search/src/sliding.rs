@@ -1,6 +1,8 @@
 use emap_mdb::{Mdb, SetId, SignalSet};
 
-use crate::{CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork};
+use crate::{
+    CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable,
+};
 
 /// Computes the skip window `β = α^(ω−1)` of Algorithm 1, in samples.
 ///
@@ -46,13 +48,17 @@ pub fn skip_for_omega(omega: f64, alpha: f64) -> usize {
 #[derive(Debug, Clone)]
 pub struct SlidingSearch {
     config: SearchConfig,
+    skips: SkipTable,
 }
 
 impl SlidingSearch {
     /// Creates the search with the given configuration.
     #[must_use]
     pub fn new(config: SearchConfig) -> Self {
-        SlidingSearch { config }
+        SlidingSearch {
+            skips: SkipTable::new(config.alpha()),
+            config,
+        }
     }
 
     /// The active configuration.
@@ -64,14 +70,16 @@ impl SlidingSearch {
     pub(crate) fn scan_set(
         query: &Query,
         config: &SearchConfig,
+        skips: &SkipTable,
         id: SetId,
         set: &SignalSet,
         candidates: &mut Vec<SearchHit>,
         work: &mut SearchWork,
     ) -> Result<(), SearchError> {
-        let sdp = query.correlator();
+        let kernel = query.kernel();
         let host = set.samples();
-        let window = sdp.window_len();
+        let stats = set.stats();
+        let window = kernel.window_len();
         work.sets_scanned += 1;
         if host.len() < window {
             return Ok(());
@@ -82,7 +90,7 @@ impl SlidingSearch {
         // the final aligned offset as well (`<=`), so an embedding at the
         // very end of a set is not missed.
         while beta <= host.len() - window {
-            let omega = sdp.correlation_at(host, beta)?;
+            let omega = kernel.correlation_at(host, stats, beta)?;
             work.correlations += 1;
             if omega > config.delta() {
                 work.matches += 1;
@@ -99,7 +107,7 @@ impl SlidingSearch {
                     candidates.push(hit);
                 }
             }
-            beta += skip_for_omega(omega, config.alpha());
+            beta += skips.skip(omega);
         }
         if let Some(b) = best {
             candidates.push(b);
@@ -123,7 +131,15 @@ impl Search for SlidingSearch {
                     break;
                 }
             }
-            Self::scan_set(query, &self.config, id, set, &mut candidates, &mut work)?;
+            Self::scan_set(
+                query,
+                &self.config,
+                &self.skips,
+                id,
+                set,
+                &mut candidates,
+                &mut work,
+            )?;
         }
         Ok(CorrelationSet::from_candidates(
             candidates,
@@ -137,9 +153,9 @@ impl Search for SlidingSearch {
 mod tests {
     use super::*;
     use crate::ExhaustiveSearch;
+    use emap_datasets::RecordingFactory;
     use emap_datasets::{synth, PatternLibrary, SignalClass};
     use emap_mdb::{MdbBuilder, Provenance, SignalSet, SIGNAL_SET_LEN};
-    use emap_datasets::RecordingFactory;
 
     #[test]
     fn skip_window_extremes() {
@@ -331,8 +347,8 @@ mod tests {
                 .unwrap();
         }
         let mdb = b.build();
-        let filtered =
-            emap_dsp::emap_bandpass().filter(factory.normal_recording("n0", 24.0).channels()[0].samples());
+        let filtered = emap_dsp::emap_bandpass()
+            .filter(factory.normal_recording("n0", 24.0).channels()[0].samples());
         let query = Query::new(&filtered[1024..1280]).unwrap();
 
         let unbounded = SlidingSearch::new(SearchConfig::paper())

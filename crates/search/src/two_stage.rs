@@ -1,8 +1,7 @@
 use emap_mdb::{Mdb, SetId, SignalSet};
 
 use crate::{
-    skip_for_omega, CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit,
-    SearchWork,
+    CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable,
 };
 
 /// An extension beyond the paper: a two-stage coarse-to-fine search.
@@ -30,6 +29,7 @@ use crate::{
 #[derive(Debug, Clone)]
 pub struct TwoStageSearch {
     config: SearchConfig,
+    skips: SkipTable,
     coarse_stride: usize,
     prescreen_margin: f64,
 }
@@ -48,6 +48,7 @@ impl TwoStageSearch {
     #[must_use]
     pub fn new(config: SearchConfig) -> Self {
         TwoStageSearch {
+            skips: SkipTable::new(config.alpha()),
             config,
             coarse_stride: Self::DEFAULT_STRIDE,
             prescreen_margin: Self::DEFAULT_MARGIN,
@@ -109,9 +110,10 @@ impl TwoStageSearch {
         candidates: &mut Vec<SearchHit>,
         work: &mut SearchWork,
     ) -> Result<(), SearchError> {
-        let rc = query.correlator();
+        let kernel = query.kernel();
         let host = set.samples();
-        let window = rc.window_len();
+        let stats = set.stats();
+        let window = kernel.window_len();
         work.sets_scanned += 1;
         if host.len() < window {
             return Ok(());
@@ -123,7 +125,7 @@ impl TwoStageSearch {
         let mut seeds = Vec::new();
         let mut beta = 0usize;
         while beta <= last {
-            let omega = rc.correlation_at(host, beta)?;
+            let omega = kernel.correlation_at(host, stats, beta)?;
             work.correlations += 1;
             if omega >= prescreen {
                 seeds.push(beta);
@@ -139,7 +141,7 @@ impl TwoStageSearch {
             let hi = (seed + self.coarse_stride).min(last);
             let mut beta = lo;
             while beta <= hi {
-                let omega = rc.correlation_at(host, beta)?;
+                let omega = kernel.correlation_at(host, stats, beta)?;
                 work.correlations += 1;
                 if omega > self.config.delta() {
                     work.matches += 1;
@@ -156,7 +158,7 @@ impl TwoStageSearch {
                         candidates.push(hit);
                     }
                 }
-                beta += skip_for_omega(omega, self.config.alpha());
+                beta += self.skips.skip(omega);
             }
             scanned_until = hi + 1;
         }
@@ -208,7 +210,10 @@ mod tests {
         let mdb = b.build();
         let rec = factory.anomaly_recording(SignalClass::Seizure, "s0", 24.0);
         let filtered = emap_dsp::emap_bandpass().filter(rec.channels()[0].samples());
-        (mdb, Query::new(&filtered[2048..2304]).expect("window length 256"))
+        (
+            mdb,
+            Query::new(&filtered[2048..2304]).expect("window length 256"),
+        )
     }
 
     #[test]

@@ -25,34 +25,32 @@ fn arb_signal(len: usize) -> impl Strategy<Value = Vec<f32>> {
 }
 
 fn arb_mdb(sets: usize) -> impl Strategy<Value = Mdb> {
-    prop::collection::vec(
-        (arb_signal(SIGNAL_SET_LEN), prop::bool::ANY),
-        1..=sets,
+    prop::collection::vec((arb_signal(SIGNAL_SET_LEN), prop::bool::ANY), 1..=sets).prop_map(
+        |entries| {
+            let mut mdb = Mdb::new();
+            for (i, (samples, anomalous)) in entries.into_iter().enumerate() {
+                let class = if anomalous {
+                    SignalClass::Seizure
+                } else {
+                    SignalClass::Normal
+                };
+                mdb.insert(
+                    SignalSet::new(
+                        samples,
+                        class,
+                        Provenance {
+                            dataset_id: "prop".into(),
+                            recording_id: format!("r{i}"),
+                            channel: "c".into(),
+                            offset: i as u64 * 1000,
+                        },
+                    )
+                    .expect("slice length fixed"),
+                );
+            }
+            mdb
+        },
     )
-    .prop_map(|entries| {
-        let mut mdb = Mdb::new();
-        for (i, (samples, anomalous)) in entries.into_iter().enumerate() {
-            let class = if anomalous {
-                SignalClass::Seizure
-            } else {
-                SignalClass::Normal
-            };
-            mdb.insert(
-                SignalSet::new(
-                    samples,
-                    class,
-                    Provenance {
-                        dataset_id: "prop".into(),
-                        recording_id: format!("r{i}"),
-                        channel: "c".into(),
-                        offset: i as u64 * 1000,
-                    },
-                )
-                .expect("slice length fixed"),
-            );
-        }
-        mdb
-    })
 }
 
 fn arb_config() -> impl Strategy<Value = SearchConfig> {

@@ -36,7 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scope.spawn(move || {
             let rec = ingest_factory.anomaly_recording(SignalClass::Seizure, "fresh", 24.0);
             let mut b = MdbBuilder::new();
-            b.add_recording("live-intake", &rec).expect("valid recording");
+            b.add_recording("live-intake", &rec)
+                .expect("valid recording");
             for set in b.build().iter() {
                 ingest_service.ingest(set.clone());
             }

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             comm.upload_time(256).as_secs_f64() * 1e3,
             comm.download_time(100).as_secs_f64() * 1e3,
             latency.total().as_secs_f64(),
-            if latency.meets_comm_budgets() { "yes" } else { "NO" },
+            if latency.meets_comm_budgets() {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
 

@@ -35,11 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let case = harness.classify(SignalClass::Normal, control.channels()[0].samples())?;
     println!(
         "{:<16} {:<9?} {:>8.2} {:>+7.2} {:>8}",
-        "normal (control)",
-        case.prediction,
-        case.final_pa,
-        case.pa_rise,
-        case.cloud_calls
+        "normal (control)", case.prediction, case.final_pa, case.pa_rise, case.cloud_calls
     );
 
     println!(

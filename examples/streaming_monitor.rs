@@ -28,14 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     feed.extend_from_slice(ictal.channels()[0].samples());
 
     // The "hardware" delivers 64-sample bursts (250 ms at 256 Hz).
-    println!("streaming {} seconds in 64-sample bursts…\n", feed.len() / 256);
+    println!(
+        "streaming {} seconds in 64-sample bursts…\n",
+        feed.len() / 256
+    );
     for burst in feed.chunks(64) {
         for event in monitor.push(burst)? {
             match event {
                 MonitorEvent::Iteration(o) => {
                     if let Some(p) = o.probability {
-                        let bar: String =
-                            std::iter::repeat_n('#', (p * 30.0) as usize).collect();
+                        let bar: String = std::iter::repeat_n('#', (p * 30.0) as usize).collect();
                         println!("t={:>3}s  P_A {p:>5.2} |{bar:<30}|", o.iteration + 1);
                     }
                 }
@@ -56,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\nfinal state: alarm {}, {} samples awaiting the next window",
-        if monitor.alarm_active() { "ACTIVE" } else { "off" },
+        if monitor.alarm_active() {
+            "ACTIVE"
+        } else {
+            "off"
+        },
         monitor.buffered()
     );
     Ok(())

@@ -87,7 +87,10 @@ fn hospital_deployment_flow() {
         lead > 0.0,
         "the whole point of EMAP: predict before the event (lead {lead} s)"
     );
-    assert!(report.data_exposure < 0.5, "most of the signal stayed private");
+    assert!(
+        report.data_exposure < 0.5,
+        "most of the signal stayed private"
+    );
 
     fs::remove_dir_all(&base).ok();
 }

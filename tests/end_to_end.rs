@@ -73,7 +73,9 @@ fn eval_harness_separates_anomalous_from_normal() {
     let seizure = harness
         .evaluate_anomaly_batch(SignalClass::Seizure, "it", 3, 20.0)
         .expect("evaluation succeeds");
-    let normal = harness.evaluate_normal_batch("it", 3).expect("evaluation succeeds");
+    let normal = harness
+        .evaluate_normal_batch("it", 3)
+        .expect("evaluation succeeds");
 
     let hits = seizure
         .cases
@@ -110,7 +112,11 @@ fn pipeline_issues_background_refreshes() {
         "expected a re-search after the signal changed; calls = {}",
         trace.cloud_calls
     );
-    let refreshes = trace.iterations.iter().filter(|o| o.refresh_applied).count();
+    let refreshes = trace
+        .iterations
+        .iter()
+        .filter(|o| o.refresh_applied)
+        .count();
     assert!(refreshes >= 2, "refreshes = {refreshes}");
 }
 

@@ -51,10 +51,7 @@ fn nan_input_is_rejected_with_position() {
 fn flatline_input_matches_nothing() {
     let mut builder = MdbBuilder::new();
     builder
-        .add_recording(
-            "d",
-            &RecordingFactory::new(2).normal_recording("r", 24.0),
-        )
+        .add_recording("d", &RecordingFactory::new(2).normal_recording("r", 24.0))
         .expect("ingest succeeds");
     let mdb = builder.build();
     let flat = Query::new(&[5.0f32; 256]).expect("constant input is structurally valid");
@@ -70,10 +67,7 @@ fn flatline_input_matches_nothing() {
 fn truncated_snapshot_is_detected() {
     let mut builder = MdbBuilder::new();
     builder
-        .add_recording(
-            "d",
-            &RecordingFactory::new(3).normal_recording("r", 24.0),
-        )
+        .add_recording("d", &RecordingFactory::new(3).normal_recording("r", 24.0))
         .expect("ingest succeeds");
     let mdb = builder.build();
     let mut snapshot = Vec::new();
@@ -90,8 +84,8 @@ fn truncated_snapshot_is_detected() {
 /// after a store rebuild) fails loading the tracker, leaving it empty.
 #[test]
 fn stale_correlation_set_fails_closed() {
-    use emap::search::{SearchHit, SearchWork};
     use emap::mdb::SetId;
+    use emap::search::{SearchHit, SearchWork};
     let stale = emap::search::CorrelationSet::from_candidates(
         vec![SearchHit {
             set_id: SetId(999),
@@ -103,7 +97,10 @@ fn stale_correlation_set_fails_closed() {
     );
     let mut tracker = EdgeTracker::new(EdgeConfig::default());
     assert!(tracker.load(&stale, &Mdb::new()).is_err());
-    assert!(tracker.is_empty(), "failed load must not leave partial state");
+    assert!(
+        tracker.is_empty(),
+        "failed load must not leave partial state"
+    );
 }
 
 /// Out-of-calibration-range samples survive the EDF round trip by clamping
@@ -134,10 +131,7 @@ fn monitor_buffer_survives_rejected_input() {
     use emap::core::StreamingMonitor;
     let mut builder = MdbBuilder::new();
     builder
-        .add_recording(
-            "d",
-            &RecordingFactory::new(4).normal_recording("r", 24.0),
-        )
+        .add_recording("d", &RecordingFactory::new(4).normal_recording("r", 24.0))
         .expect("ingest succeeds");
     let mut monitor =
         StreamingMonitor::new(EmapConfig::default(), builder.build()).expect("valid config");
@@ -147,6 +141,8 @@ fn monitor_buffer_survives_rejected_input() {
     assert_eq!(monitor.buffered(), 200);
     // …then a burst that completes the second: processed normally even
     // though the values are extreme (they are finite).
-    let events = monitor.push(&[1e30f32; 56]).expect("finite extremes are processed");
+    let events = monitor
+        .push(&[1e30f32; 56])
+        .expect("finite extremes are processed");
     assert_eq!(events.len(), 1);
 }

@@ -20,10 +20,8 @@ fn montage_recordings_multiply_mdb_slices() {
     let m4 = b4.build();
     assert_eq!(m4.len(), 4 * m1.len());
     // Provenance distinguishes the channels.
-    let channels: std::collections::HashSet<String> = m4
-        .iter()
-        .map(|s| s.provenance().channel.clone())
-        .collect();
+    let channels: std::collections::HashSet<String> =
+        m4.iter().map(|s| s.provenance().channel.clone()).collect();
     assert_eq!(channels.len(), 4);
 }
 

@@ -65,7 +65,10 @@ fn full_config_json_is_humanly_editable() {
     // and editable.
     let json = serde_json::to_string_pretty(&EmapConfig::default()).expect("serializes");
     for needle in ["alpha", "0.004", "delta", "0.8", "top_k", "100", "Lte"] {
-        assert!(json.contains(needle), "config JSON lacks `{needle}`:\n{json}");
+        assert!(
+            json.contains(needle),
+            "config JSON lacks `{needle}`:\n{json}"
+        );
     }
     let back: EmapConfig = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(back, EmapConfig::default());
@@ -81,9 +84,8 @@ fn search_results_serialize_for_the_wire() {
         .add_recording("d", &factory.normal_recording("r", 24.0))
         .expect("ingest");
     let mdb = builder.build();
-    let filtered = emap_bandpass().filter(
-        factory.normal_recording("r", 24.0).channels()[0].samples(),
-    );
+    let filtered =
+        emap_bandpass().filter(factory.normal_recording("r", 24.0).channels()[0].samples());
     let t = SlidingSearch::new(SearchConfig::paper())
         .search(&Query::new(&filtered[1024..1280]).expect("window"), &mdb)
         .expect("search");

@@ -1,0 +1,156 @@
+//! Criterion benches for the bound-pruned area kernel.
+//!
+//! Two groups:
+//! - `area`: naive full scan vs [`BoundedAreaScan::best_in_range`] over a
+//!   paper-sized host (1000 samples, 256-sample window, 745 offsets),
+//!   across match qualities. The bound's payoff depends on how early a
+//!   good match tightens the cutoff: an exact match collapses the scan
+//!   almost immediately, a loose match prunes most of the tail, and an
+//!   unrelated query leaves little to prune beyond the block early-exit.
+//! - `tracked_set`: naive vs [`BoundedAreaScan::best_below`] seeded with
+//!   the retention threshold δ_A, over a 100-signal tracked set one second
+//!   after load: 15 hosts still track the input, 45 have drifted in gain
+//!   and phase, and 40 carry high-amplitude artifact segments (EMG and
+//!   motion artifacts run 10-30x scalp-EEG amplitude). Artifact hosts are
+//!   rejected by the O(1) energy leg without touching samples; drifted
+//!   hosts abandon against δ_A within a block or two; only genuine
+//!   survivors pay for a full scan. This is the per-step workload the
+//!   edge tracker runs every second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emap_dsp::area::{naive_best_area, BoundedAreaScan, ScanCounters};
+use emap_dsp::kernel::HostStats;
+
+/// Retention threshold matching `EdgeConfig::default()`.
+const DELTA_A: f64 = 3800.0;
+
+fn host_signal() -> Vec<f32> {
+    (0..1000)
+        .map(|i| {
+            let t = i as f32;
+            (t * 0.11).sin() * 30.0 + (t * 0.037).cos() * 12.0
+        })
+        .collect()
+}
+
+/// (label, query) pairs of decreasing match quality against [`host_signal`].
+fn queries(host: &[f32]) -> Vec<(&'static str, Vec<f32>)> {
+    let exact = host[300..556].to_vec();
+    let noisy: Vec<f32> = host[300..556]
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| x + ((i as f32) * 0.71).sin() * 6.0)
+        .collect();
+    let unrelated: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.29).cos() * 25.0).collect();
+    vec![("exact", exact), ("noisy", noisy), ("unrelated", unrelated)]
+}
+
+/// Shared generator for the tracked-set hosts: a two-tone EEG-like wave.
+fn wave(n: usize, phase: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let t = i as f32 + phase;
+            (t * 0.11).sin() * 30.0 + (t * 0.037).cos() * 12.0
+        })
+        .collect()
+}
+
+/// A 100-host tracked set in three regimes: still-matching, drifted, and
+/// artifact-contaminated. Deterministic so runs are comparable.
+fn tracked_set(n: usize) -> Vec<Vec<f32>> {
+    let mut hosts = Vec::with_capacity(100);
+    for h in 0..15 {
+        let scale = 0.9 + 0.014 * h as f32;
+        hosts.push(wave(n, h as f32 * 7.3).iter().map(|&v| v * scale).collect());
+    }
+    for h in 0..45 {
+        let scale = 1.5 + 0.033 * h as f32;
+        hosts.push(
+            wave(n, 13.0 + h as f32 * 5.1)
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * scale + (i as f32 * (0.23 + 0.002 * h as f32)).sin() * 14.0)
+                .collect(),
+        );
+    }
+    for h in 0..40 {
+        let scale = 10.0 + 0.5 * h as f32;
+        hosts.push(
+            wave(n, 29.0 + h as f32 * 3.7)
+                .iter()
+                .map(|&v| v * scale)
+                .collect(),
+        );
+    }
+    hosts
+}
+
+fn bench_tracked_set(c: &mut Criterion) {
+    let n = 1000usize;
+    let w = 256usize;
+    let hosts = tracked_set(n);
+    let stats: Vec<HostStats> = hosts.iter().map(|h| HostStats::new(h)).collect();
+    let clean = wave(n, 0.0);
+    let input: Vec<f32> = clean[300..300 + w]
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| x + (i as f32 * 0.71).sin() * 2.0)
+        .collect();
+
+    let mut group = c.benchmark_group("tracked_set");
+    group.throughput(Throughput::Elements((hosts.len() * (n - w + 1)) as u64));
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for host in &hosts {
+                acc += naive_best_area(&input, host, 0, n - w)
+                    .expect("in bounds")
+                    .1;
+            }
+            acc
+        });
+    });
+    group.bench_function("pruned", |b| {
+        let scan = BoundedAreaScan::new(&input).expect("non-empty");
+        b.iter(|| {
+            let mut counters = ScanCounters::default();
+            let mut acc = 0.0;
+            for (host, st) in hosts.iter().zip(&stats) {
+                let (_, area) = scan
+                    .best_below(host, st, 0, n - w, DELTA_A, &mut counters)
+                    .expect("in bounds");
+                if area.is_finite() {
+                    acc += area;
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_area(c: &mut Criterion) {
+    let host = host_signal();
+    let stats = HostStats::new(&host);
+    let last = host.len() - 256;
+
+    let mut group = c.benchmark_group("area");
+    group.throughput(Throughput::Elements((last + 1) as u64));
+    for (label, query) in queries(&host) {
+        group.bench_with_input(BenchmarkId::new("naive", label), &query, |b, q| {
+            b.iter(|| naive_best_area(q, &host, 0, last).expect("in bounds"));
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", label), &query, |b, q| {
+            let scan = BoundedAreaScan::new(q).expect("non-empty");
+            b.iter(|| {
+                let mut counters = ScanCounters::default();
+                scan.best_in_range(&host, &stats, 0, last, &mut counters)
+                    .expect("in bounds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_area, bench_tracked_set);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Edge-tracking performance harness: measures the bound-pruned kernel
+//! engine against the scalar reference engine and a naive full-scan
+//! baseline on a paper-sized tracked set, plus multi-patient fleet
+//! throughput, then emits `results/BENCH_tracking.json` so future changes
+//! have a baseline.
+//!
+//! Reported series:
+//! - per-step latency of one tracker holding ~100 tracked signals, naive
+//!   full scan vs scalar engine vs kernel engine, with the windows
+//!   scored/pruned accounting. Every measured step starts from the
+//!   pristine post-search tracked set so the signal count is constant.
+//! - fleet throughput: patient-seconds of tracking per wall-clock second
+//!   across parallel workers, including the tracked-set shrinkage that
+//!   the retention threshold produces over consecutive seconds.
+//!
+//! The tracker runs `EdgeConfig::default()` — the same δ_A the edge
+//! deploys with — so the kernel numbers include the threshold-seeded
+//! cutoff, not an artificially loose scan.
+//!
+//! `EMAP_BENCH_QUICK=1` shrinks the workload.
+
+use std::time::{Duration, Instant};
+
+use emap_bench::{banner, build_mdb, fmt_duration, input_factory, quick_mode, scaled};
+use emap_core::EdgeFleet;
+use emap_datasets::SignalClass;
+use emap_dsp::area::naive_best_area;
+use emap_edge::{EdgeConfig, EdgeTracker};
+use emap_search::{Search, SearchConfig, SlidingSearch};
+
+fn main() {
+    banner(
+        "BENCH_tracking — edge tracking engine performance trajectory",
+        "per-second re-evaluation must finish well inside the one-second \
+         budget on wearable-class hardware (§V-C, Fig. 8b)",
+    );
+    let mdb = build_mdb(scaled(6, 1));
+    let factory = input_factory();
+    let query = emap_bench::query_for(&factory, SignalClass::Seizure, 0, 6.0);
+    let follows: Vec<Vec<f32>> = (0..scaled(4, 2))
+        .map(|s| {
+            emap_bench::query_for(&factory, SignalClass::Seizure, 0, 7.0 + s as f64)
+                .samples()
+                .to_vec()
+        })
+        .collect();
+
+    // A full-strength tracked set: top-100, no ω floor. The tracker keeps
+    // the deployment-default δ_A so the scan cutoff is realistic.
+    let target = 100usize.min(mdb.len());
+    let search_cfg = SearchConfig::paper()
+        .with_top_k(target)
+        .expect("K > 0")
+        .with_delta(0.0)
+        .expect("delta valid");
+    let t = SlidingSearch::new(search_cfg)
+        .search(&query, &mdb)
+        .expect("search succeeds");
+    let mut pristine = EdgeTracker::new(EdgeConfig::default());
+    pristine.load(&t, &mdb).expect("hits resolve");
+    println!(
+        "corpus: {} signal-sets, tracked set: {} signals, {} steps/rep",
+        mdb.len(),
+        pristine.len(),
+        follows.len()
+    );
+
+    // --- Per-step latency at constant signal count. ----------------------
+    // Each measured step clones the pristine tracker (cheap: Arc-shared
+    // slices) so the retention threshold never shrinks the measured set.
+    let reps = scaled(20, 3);
+    let steps = (reps * follows.len()) as u32;
+    let mut scored = 0u64;
+    let mut pruned = 0u64;
+    let mut scalar_windows = 0u64;
+    let run = |scalar: bool, scored: &mut u64, pruned: &mut u64| -> Duration {
+        let started = Instant::now();
+        for _ in 0..reps {
+            *scored = 0;
+            *pruned = 0;
+            for second in &follows {
+                let mut tracker = pristine.clone();
+                let report = if scalar {
+                    tracker.step_scalar(second).expect("step succeeds")
+                } else {
+                    tracker.step(second).expect("step succeeds")
+                };
+                *scored += report.windows_evaluated;
+                *pruned += report.windows_pruned;
+            }
+        }
+        started.elapsed() / steps
+    };
+    let started = Instant::now();
+    for _ in 0..reps {
+        for second in &follows {
+            let mut acc = 0.0;
+            for w in pristine.tracked() {
+                let host = w.samples();
+                let (_, area) =
+                    naive_best_area(second, host, 0, host.len() - second.len()).expect("in bounds");
+                acc += area;
+            }
+            std::hint::black_box(acc);
+        }
+    }
+    let naive_t = started.elapsed() / steps;
+    let mut zero = 0u64;
+    let scalar_t = run(true, &mut scalar_windows, &mut zero);
+    let kernel_t = run(false, &mut scored, &mut pruned);
+    let naive_speedup = naive_t.as_secs_f64() / kernel_t.as_secs_f64().max(1e-12);
+    let speedup = scalar_t.as_secs_f64() / kernel_t.as_secs_f64().max(1e-12);
+    let prune_fraction = pruned as f64 / (scored + pruned).max(1) as f64;
+    println!(
+        "\nper-step @{} signals: naive {}, scalar {}, kernel {} ({naive_speedup:.2}x vs naive, {speedup:.2}x vs scalar)",
+        pristine.len(),
+        fmt_duration(naive_t),
+        fmt_duration(scalar_t),
+        fmt_duration(kernel_t),
+    );
+    println!(
+        "offsets per rep: scalar scored {scalar_windows}, kernel scored {scored} + pruned {pruned} ({:.1}% pruned)",
+        prune_fraction * 100.0
+    );
+
+    // --- Fleet throughput: many patients stepped per tick. ---------------
+    // Rebuilt each rep so every trajectory starts from the full tracked
+    // set; consecutive seconds then shrink it exactly as deployment would.
+    let patients = scaled(32, 4);
+    let workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(8);
+    let fleet_reps = scaled(5, 2);
+    let started = Instant::now();
+    let mut fleet_windows = 0u64;
+    for _ in 0..fleet_reps {
+        let mut fleet = EdgeFleet::new(workers);
+        for p in 0..patients {
+            fleet.add_session(format!("patient-{p}"), pristine.clone());
+        }
+        for second in &follows {
+            let inputs: Vec<&[f32]> = (0..patients).map(|_| second.as_slice()).collect();
+            let tick = fleet.tick(&inputs).expect("tick succeeds");
+            fleet_windows += tick.windows_evaluated();
+        }
+    }
+    let fleet_wall = started.elapsed();
+    let patient_seconds = (patients * fleet_reps * follows.len()) as f64;
+    let patients_per_sec = patient_seconds / fleet_wall.as_secs_f64();
+    println!(
+        "fleet: {patients} patients x {workers} workers, {} patient-seconds in {} ({patients_per_sec:.0} patient-sec/s)",
+        patient_seconds as u64,
+        fmt_duration(fleet_wall)
+    );
+
+    // Hand-formatted JSON keeps this bin free of serialization deps; the
+    // keys form the stable contract future runs diff against.
+    let report = format!(
+        "{{\n  \"bench\": \"BENCH_tracking\",\n  \"quick_mode\": {},\n  \"corpus_sets\": {},\n  \"tracked_signals\": {},\n  \"steps_per_rep\": {},\n  \"per_step\": {{\n    \"naive_us\": {:.1},\n    \"scalar_us\": {:.1},\n    \"kernel_us\": {:.1},\n    \"naive_speedup\": {:.3},\n    \"kernel_speedup\": {:.3},\n    \"scalar_windows_scored\": {},\n    \"kernel_windows_scored\": {},\n    \"kernel_windows_pruned\": {},\n    \"prune_fraction\": {:.4}\n  }},\n  \"fleet\": {{\n    \"patients\": {},\n    \"workers\": {},\n    \"patient_seconds\": {},\n    \"wall_us\": {:.1},\n    \"patients_per_sec\": {:.1},\n    \"windows_evaluated\": {}\n  }}\n}}\n",
+        quick_mode(),
+        mdb.len(),
+        pristine.len(),
+        follows.len(),
+        naive_t.as_secs_f64() * 1e6,
+        scalar_t.as_secs_f64() * 1e6,
+        kernel_t.as_secs_f64() * 1e6,
+        naive_speedup,
+        speedup,
+        scalar_windows,
+        scored,
+        pruned,
+        prune_fraction,
+        patients,
+        workers,
+        patient_seconds as u64,
+        fleet_wall.as_secs_f64() * 1e6,
+        patients_per_sec,
+        fleet_windows,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_tracking.json";
+    std::fs::write(path, report).expect("write BENCH_tracking.json");
+    println!("\nwrote {path}");
+}

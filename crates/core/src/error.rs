@@ -17,6 +17,14 @@ pub enum EmapError {
         /// Minimum required.
         needed: usize,
     },
+    /// A fleet tick was fed a different number of input windows than it has
+    /// patient sessions.
+    FleetSizeMismatch {
+        /// Sessions in the fleet.
+        sessions: usize,
+        /// Input windows supplied.
+        inputs: usize,
+    },
 }
 
 impl fmt::Display for EmapError {
@@ -28,6 +36,9 @@ impl fmt::Display for EmapError {
             EmapError::InputTooShort { got, needed } => {
                 write!(f, "input of {got} samples is shorter than {needed}")
             }
+            EmapError::FleetSizeMismatch { sessions, inputs } => {
+                write!(f, "fleet of {sessions} sessions fed {inputs} input windows")
+            }
         }
     }
 }
@@ -38,7 +49,7 @@ impl std::error::Error for EmapError {
             EmapError::Search(e) => Some(e),
             EmapError::Edge(e) => Some(e),
             EmapError::Dsp(e) => Some(e),
-            EmapError::InputTooShort { .. } => None,
+            EmapError::InputTooShort { .. } | EmapError::FleetSizeMismatch { .. } => None,
         }
     }
 }
@@ -74,6 +85,10 @@ mod tests {
             EmapError::InputTooShort {
                 got: 10,
                 needed: 256,
+            },
+            EmapError::FleetSizeMismatch {
+                sessions: 3,
+                inputs: 2,
             },
         ];
         for e in errs {

@@ -1,0 +1,379 @@
+//! Multi-patient edge fleet.
+//!
+//! The paper's deployment (Fig. 3) is one cloud serving *many* wearables,
+//! each running Algorithm 2 on its own one-second stream. [`EdgeFleet`]
+//! models the device side of that fan-out: it owns one tracking session per
+//! patient and steps all of them per tick over chunked worker threads —
+//! the edge-side counterpart of [`CloudService`]'s concurrent search
+//! endpoint. [`EdgeFleet::serve`] closes the loop, re-calling the cloud
+//! for every session whose tracked set fell below `H`.
+
+use emap_edge::{EdgeTracker, StepReport};
+use emap_search::Query;
+
+use crate::{CloudService, EmapError};
+
+/// One patient's tracking session within an [`EdgeFleet`].
+#[derive(Debug, Clone)]
+pub struct FleetSession {
+    patient: String,
+    tracker: EdgeTracker,
+}
+
+impl FleetSession {
+    /// The patient identifier this session tracks.
+    #[must_use]
+    pub fn patient(&self) -> &str {
+        &self.patient
+    }
+
+    /// The session's tracker.
+    #[must_use]
+    pub fn tracker(&self) -> &EdgeTracker {
+        &self.tracker
+    }
+
+    /// Mutable access to the session's tracker (e.g. to load a fresh
+    /// correlation set outside of [`EdgeFleet::serve`]).
+    pub fn tracker_mut(&mut self) -> &mut EdgeTracker {
+        &mut self.tracker
+    }
+}
+
+/// The outcome of stepping every session of the fleet one second forward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTick {
+    /// Per-session step reports, in session order.
+    pub reports: Vec<StepReport>,
+    /// Indices of sessions whose correlation set was refreshed from the
+    /// cloud during this tick (only [`EdgeFleet::serve`] fills this;
+    /// [`EdgeFleet::tick`] leaves it empty).
+    pub refreshed: Vec<usize>,
+}
+
+impl FleetTick {
+    /// Window comparisons scored across all sessions this tick.
+    #[must_use]
+    pub fn windows_evaluated(&self) -> u64 {
+        self.reports.iter().map(|r| r.windows_evaluated).sum()
+    }
+
+    /// Offsets rejected by the area lower bound across all sessions.
+    #[must_use]
+    pub fn windows_pruned(&self) -> u64 {
+        self.reports.iter().map(|r| r.windows_pruned).sum()
+    }
+
+    /// Indices of sessions that need (or needed) a cloud re-call.
+    #[must_use]
+    pub fn needing_cloud(&self) -> Vec<usize> {
+        self.reports
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.needs_cloud_call)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Mean anomaly probability across the fleet (0 when empty).
+    #[must_use]
+    pub fn mean_probability(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().map(|r| r.probability).sum::<f64>() / self.reports.len() as f64
+    }
+}
+
+/// Many per-patient [`EdgeTracker`] sessions stepped in lockstep over
+/// chunked worker threads.
+///
+/// # Example
+///
+/// ```
+/// use emap_core::{CloudService, EdgeFleet};
+/// use emap_datasets::RecordingFactory;
+/// use emap_edge::{EdgeConfig, EdgeTracker};
+/// use emap_mdb::MdbBuilder;
+/// use emap_search::SearchConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let factory = RecordingFactory::new(3);
+/// let mut builder = MdbBuilder::new();
+/// builder.add_recording("d", &factory.normal_recording("r", 24.0))?;
+/// let cloud = CloudService::new(SearchConfig::paper(), builder.build().into_shared(), 2);
+///
+/// let mut fleet = EdgeFleet::new(2);
+/// for p in 0..3 {
+///     fleet.add_session(format!("patient-{p}"), EdgeTracker::new(EdgeConfig::default()));
+/// }
+///
+/// let second = emap_dsp::emap_bandpass()
+///     .filter(factory.normal_recording("r", 24.0).channels()[0].samples());
+/// let inputs = vec![&second[1024..1280]; 3];
+/// let tick = fleet.serve(&cloud, &inputs)?;
+/// assert_eq!(tick.reports.len(), 3);
+/// assert_eq!(tick.refreshed, vec![0, 1, 2]); // empty trackers re-call the cloud
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeFleet {
+    sessions: Vec<FleetSession>,
+    workers: usize,
+}
+
+impl EdgeFleet {
+    /// Creates an empty fleet stepping sessions across `workers` threads
+    /// (values below 1 are treated as 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        EdgeFleet {
+            sessions: Vec::new(),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Adds a patient session and returns its index.
+    pub fn add_session(&mut self, patient: impl Into<String>, tracker: EdgeTracker) -> usize {
+        self.sessions.push(FleetSession {
+            patient: patient.into(),
+            tracker,
+        });
+        self.sessions.len() - 1
+    }
+
+    /// The sessions, in insertion order.
+    #[must_use]
+    pub fn sessions(&self) -> &[FleetSession] {
+        &self.sessions
+    }
+
+    /// Mutable access to one session.
+    pub fn session_mut(&mut self, index: usize) -> Option<&mut FleetSession> {
+        self.sessions.get_mut(index)
+    }
+
+    /// Number of patient sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the fleet has no sessions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Steps every session against its patient's next one-second window
+    /// (`inputs[i]` feeds session `i`), fanning the sessions across the
+    /// fleet's worker threads in contiguous chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmapError::FleetSizeMismatch`] unless `inputs` has exactly
+    /// one window per session, or the first per-session
+    /// [`emap_edge::EdgeError`] encountered (in session order).
+    pub fn tick(&mut self, inputs: &[&[f32]]) -> Result<FleetTick, EmapError> {
+        if inputs.len() != self.sessions.len() {
+            return Err(EmapError::FleetSizeMismatch {
+                sessions: self.sessions.len(),
+                inputs: inputs.len(),
+            });
+        }
+        if self.sessions.is_empty() {
+            return Ok(FleetTick {
+                reports: Vec::new(),
+                refreshed: Vec::new(),
+            });
+        }
+        let chunk = self.sessions.len().div_ceil(self.workers);
+        let results: Vec<Result<StepReport, emap_edge::EdgeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .sessions
+                .chunks_mut(chunk)
+                .zip(inputs.chunks(chunk))
+                .map(|(sessions, windows)| {
+                    scope.spawn(move || {
+                        sessions
+                            .iter_mut()
+                            .zip(windows)
+                            .map(|(s, input)| s.tracker.step(input))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        });
+        let mut reports = Vec::with_capacity(results.len());
+        for r in results {
+            reports.push(r.map_err(EmapError::Edge)?);
+        }
+        Ok(FleetTick {
+            reports,
+            refreshed: Vec::new(),
+        })
+    }
+
+    /// [`EdgeFleet::tick`], then a cloud re-call for every session whose
+    /// tracked set fell below `H`: the current second is sent to `cloud`
+    /// as a fresh search and the session's correlation set replaced with
+    /// the result (the Fig. 9 refresh, fleet-wide).
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`EdgeFleet::tick`], plus search and load failures
+    /// from the refresh.
+    pub fn serve(
+        &mut self,
+        cloud: &CloudService,
+        inputs: &[&[f32]],
+    ) -> Result<FleetTick, EmapError> {
+        let mut tick = self.tick(inputs)?;
+        for i in tick.needing_cloud() {
+            let set = cloud.search(&Query::new(inputs[i])?)?;
+            cloud
+                .mdb()
+                .with_read(|mdb| self.sessions[i].tracker.load(&set, mdb))?;
+            tick.refreshed.push(i);
+        }
+        Ok(tick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emap_datasets::{RecordingFactory, SignalClass};
+    use emap_edge::EdgeConfig;
+    use emap_mdb::MdbBuilder;
+    use emap_search::SearchConfig;
+
+    fn cloud() -> (CloudService, RecordingFactory) {
+        let factory = RecordingFactory::new(21);
+        let mut builder = MdbBuilder::new();
+        for i in 0..2 {
+            builder
+                .add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+                .unwrap();
+            builder
+                .add_recording(
+                    "d",
+                    &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+                )
+                .unwrap();
+        }
+        (
+            CloudService::new(SearchConfig::paper(), builder.build().into_shared(), 2),
+            factory,
+        )
+    }
+
+    fn patient_seconds(factory: &RecordingFactory, id: &str) -> Vec<f32> {
+        emap_dsp::emap_bandpass().filter(factory.normal_recording(id, 16.0).channels()[0].samples())
+    }
+
+    #[test]
+    fn tick_matches_serial_stepping() {
+        let (cloud, factory) = cloud();
+        let streams: Vec<Vec<f32>> = (0..5)
+            .map(|i| patient_seconds(&factory, &format!("p{i}")))
+            .collect();
+
+        // Fleet of 5 sessions over 3 workers vs the same sessions stepped
+        // serially: identical reports in session order.
+        let mut fleet = EdgeFleet::new(3);
+        let mut serial = Vec::new();
+        for (i, stream) in streams.iter().enumerate() {
+            let mut tracker = EdgeTracker::new(EdgeConfig::default());
+            let set = cloud
+                .search(&Query::new(&stream[1024..1280]).unwrap())
+                .unwrap();
+            cloud
+                .mdb()
+                .with_read(|mdb| tracker.load(&set, mdb))
+                .unwrap();
+            fleet.add_session(format!("p{i}"), tracker.clone());
+            serial.push(tracker);
+        }
+        for second in 5..8 {
+            let inputs: Vec<&[f32]> = streams
+                .iter()
+                .map(|s| &s[second * 256..(second + 1) * 256])
+                .collect();
+            let tick = fleet.tick(&inputs).unwrap();
+            assert_eq!(tick.reports.len(), 5);
+            for (i, tracker) in serial.iter_mut().enumerate() {
+                let expected = tracker.step(inputs[i]).unwrap();
+                assert_eq!(tick.reports[i], expected, "session {i} second {second}");
+            }
+            assert!(tick.refreshed.is_empty());
+        }
+        for (session, tracker) in fleet.sessions().iter().zip(&serial) {
+            assert_eq!(session.tracker().tracked(), tracker.tracked());
+        }
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let mut fleet = EdgeFleet::new(2);
+        fleet.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+        let second = vec![0.0f32; 256];
+        let inputs: Vec<&[f32]> = vec![&second, &second];
+        assert!(matches!(
+            fleet.tick(&inputs),
+            Err(EmapError::FleetSizeMismatch {
+                sessions: 1,
+                inputs: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_fleet_ticks_to_nothing() {
+        let mut fleet = EdgeFleet::new(4);
+        let tick = fleet.tick(&[]).unwrap();
+        assert!(tick.reports.is_empty());
+        assert_eq!(tick.mean_probability(), 0.0);
+        assert_eq!(tick.windows_evaluated(), 0);
+    }
+
+    #[test]
+    fn serve_refreshes_sessions_below_h() {
+        let (cloud, factory) = cloud();
+        let stream = patient_seconds(&factory, "p0");
+        // Empty trackers are below any H ≥ 1 → serve must re-call the
+        // cloud for both sessions and install fresh correlation sets.
+        let mut fleet = EdgeFleet::new(2);
+        fleet.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+        fleet.add_session("p1", EdgeTracker::new(EdgeConfig::default()));
+        let inputs: Vec<&[f32]> = vec![&stream[1024..1280], &stream[1280..1536]];
+        let tick = fleet.serve(&cloud, &inputs).unwrap();
+        assert_eq!(tick.refreshed, vec![0, 1]);
+        for session in fleet.sessions() {
+            assert!(!session.tracker().is_empty());
+        }
+        // A loaded fleet that stays above H is not refreshed again.
+        let tick2 = fleet.serve(&cloud, &inputs).unwrap();
+        for (i, report) in tick2.reports.iter().enumerate() {
+            assert_eq!(report.needs_cloud_call, tick2.refreshed.contains(&i));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_sessions_is_fine() {
+        let (cloud, factory) = cloud();
+        let stream = patient_seconds(&factory, "solo");
+        let mut fleet = EdgeFleet::new(64);
+        fleet.add_session("solo", EdgeTracker::new(EdgeConfig::default()));
+        let tick = fleet.serve(&cloud, &[&stream[1024..1280]]).unwrap();
+        assert_eq!(tick.reports.len(), 1);
+        assert_eq!(fleet.len(), 1);
+        assert!(!fleet.is_empty());
+        assert_eq!(fleet.sessions()[0].patient(), "solo");
+    }
+}

@@ -50,6 +50,7 @@ mod acquisition;
 mod config;
 mod error;
 pub mod eval;
+mod fleet;
 mod monitor;
 mod pipeline;
 mod report;
@@ -59,6 +60,7 @@ pub mod timeline;
 pub use acquisition::{seconds_of, Acquisition};
 pub use config::EmapConfig;
 pub use error::EmapError;
+pub use fleet::{EdgeFleet, FleetSession, FleetTick};
 pub use monitor::{MonitorEvent, StreamingMonitor};
 pub use pipeline::{EmapPipeline, IterationOutcome, RunTrace};
 pub use report::SessionReport;

@@ -1,0 +1,578 @@
+//! The bound-pruned area-between-curves kernel.
+//!
+//! The edge tracker re-scores every tracked slice against each one-second
+//! input window (Algorithm 2), and under the area metric (Eq. 3) that means
+//! evaluating `Σ |x_i − y_{β+i}|` at hundreds of offsets `β` per slice per
+//! second. The naive scan touches every sample of every window. This module
+//! rejects most windows without touching any sample at all:
+//!
+//! - **An O(1) admissible lower bound, two legs.** For any offset `β`, the
+//!   triangle inequality gives
+//!   `Σ |x_i − y_{β+i}|  ≥  |Σ (x_i − y_{β+i})|  =  |Σx − Σy[β..β+w]|`,
+//!   and with the per-host prefix sums of [`HostStats`] the right-hand side
+//!   costs two subtractions. The sum leg is blind on bandpassed EEG (every
+//!   window sums to ≈0), so a second leg covers it: with `d = x − y[β..]`,
+//!   `Σ |d_i| = ‖d‖₁ ≥ ‖d‖₂ ≥ |‖x‖₂ − ‖y[β..]‖₂|` (norm monotonicity, then
+//!   the reverse triangle inequality), and the window norm is O(1) from the
+//!   prefix *energies*. The larger leg wins; a whole offset is skipped when
+//!   its bound already exceeds the best area found so far.
+//! - **A multi-accumulator sum with block-level early exit.** Offsets that
+//!   survive the bound run an 8-lane `|x − y|` accumulation
+//!   ([`abs_diff_sum`]); the terms are non-negative, so the running total is
+//!   monotone and the scan can abandon a window as soon as a partial sum
+//!   passes the cutoff ([`bounded_abs_diff_sum`]).
+//! - **A best-first scan.** [`BoundedAreaScan::best_in_range`] threads the
+//!   current best through both mechanisms and returns the exact argmin the
+//!   naive full scan would: pruning only fires on a *strict* bound
+//!   violation and ties keep the earliest offset, matching the in-order
+//!   naive reference [`naive_best_area`] decision for decision.
+//!
+//! Unlike [`crate::similarity::area_between_curves`] (which subtracts in
+//! `f32`, exactly as Eq. 3 is scored elsewhere in the workspace), this
+//! kernel subtracts in `f64` so each term is computed exactly for
+//! same-scale inputs — the bound and the sum then live on the same error
+//! scale and the bound stays admissible in floating point, not just on
+//! paper. See `DESIGN.md` §10.
+//!
+//! # Example
+//!
+//! ```
+//! use emap_dsp::area::{BoundedAreaScan, ScanCounters};
+//! use emap_dsp::kernel::HostStats;
+//!
+//! # fn main() -> Result<(), emap_dsp::DspError> {
+//! let host: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 20.0).collect();
+//! let input = &host[300..556]; // an exact match at β = 300
+//!
+//! let scan = BoundedAreaScan::new(input)?;
+//! let stats = HostStats::new(&host);
+//! let mut counters = ScanCounters::default();
+//! let (beta, area) = scan.best_in_range(&host, &stats, 0, 744, &mut counters)?;
+//! assert_eq!(beta, 300);
+//! assert_eq!(area, 0.0);
+//! // Once the exact match is found, the bound rejects offsets wholesale.
+//! assert!(counters.pruned > 0);
+//! assert_eq!(counters.scored + counters.pruned, 745);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::kernel::HostStats;
+use crate::DspError;
+
+/// Samples per early-exit block of [`bounded_abs_diff_sum`]: the running
+/// total is compared against the cutoff only at block boundaries, keeping
+/// the check cost negligible next to the accumulation itself.
+pub const AREA_BLOCK: usize = 32;
+
+/// Tally of how [`BoundedAreaScan::best_in_range`] spent its offsets:
+/// `scored` windows had samples touched (possibly abandoned mid-window by
+/// the early exit), `pruned` windows were rejected by the O(1) bound alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCounters {
+    /// Offsets whose window was actually scored against the input.
+    pub scored: u64,
+    /// Offsets rejected by the prefix-sum lower bound without touching
+    /// samples.
+    pub pruned: u64,
+}
+
+impl ScanCounters {
+    /// Total offsets considered, scored and pruned alike.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.scored + self.pruned
+    }
+}
+
+/// Pairwise lane reduction shared by the partial and final sums, so the
+/// early-exit check sees exactly the value the full sum would return.
+fn reduce(lanes: &[f64; 8]) -> f64 {
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+/// Eight-lane area between curves: `Σ |x_i − y_i|` with the subtraction in
+/// `f64`.
+///
+/// Splitting the accumulation across independent lanes breaks the serial
+/// dependency chain so the loop pipelines (and auto-vectorizes); the lanes
+/// are reduced pairwise at the end. If the slices differ in length the
+/// extra elements of the longer one are ignored (callers pass equal
+/// lengths).
+///
+/// # Example
+///
+/// ```
+/// let a = [1.0f32, 5.0, -2.0];
+/// let b = [2.0f32, 3.0, -2.0];
+/// assert_eq!(emap_dsp::area::abs_diff_sum(&a, &b), 3.0);
+/// ```
+#[must_use]
+pub fn abs_diff_sum(x: &[f32], y: &[f32]) -> f64 {
+    bounded_abs_diff_sum(x, y, f64::INFINITY).expect("an infinite cutoff never exits early")
+}
+
+/// [`abs_diff_sum`] with a block-level early exit: returns `None` as soon
+/// as a partial sum *strictly* exceeds `cutoff`, which proves the full sum
+/// would too (the terms are non-negative, so the running total is monotone
+/// under IEEE-754 addition).
+///
+/// When it completes, the result is bit-identical to [`abs_diff_sum`] —
+/// both run the same lane pattern and the same pairwise reduction — so
+/// threading a current-best cutoff through a scan cannot change which
+/// offset wins, only how fast losers are abandoned.
+///
+/// # Example
+///
+/// ```
+/// use emap_dsp::area::bounded_abs_diff_sum;
+///
+/// let x = [0.0f32; 64];
+/// let y = [1.0f32; 64];
+/// assert_eq!(bounded_abs_diff_sum(&x, &y, 1e9), Some(64.0));
+/// assert_eq!(bounded_abs_diff_sum(&x, &y, 10.0), None); // exits after one block
+/// ```
+#[must_use]
+pub fn bounded_abs_diff_sum(x: &[f32], y: &[f32], cutoff: f64) -> Option<f64> {
+    let mut lanes = [0.0f64; 8];
+    let xb = x.chunks_exact(AREA_BLOCK);
+    let yb = y.chunks_exact(AREA_BLOCK);
+    let xr = xb.remainder();
+    let yr = yb.remainder();
+    for (xs, ys) in xb.zip(yb) {
+        for (cx, cy) in xs.chunks_exact(8).zip(ys.chunks_exact(8)) {
+            for i in 0..8 {
+                lanes[i] += (f64::from(cx[i]) - f64::from(cy[i])).abs();
+            }
+        }
+        if reduce(&lanes) > cutoff {
+            return None;
+        }
+    }
+    let xc = xr.chunks_exact(8);
+    let yc = yr.chunks_exact(8);
+    let (xt, yt) = (xc.remainder(), yc.remainder());
+    for (cx, cy) in xc.zip(yc) {
+        for i in 0..8 {
+            lanes[i] += (f64::from(cx[i]) - f64::from(cy[i])).abs();
+        }
+    }
+    for (i, (&a, &b)) in xt.iter().zip(yt).enumerate() {
+        lanes[i] += (f64::from(a) - f64::from(b)).abs();
+    }
+    Some(reduce(&lanes))
+}
+
+/// The bound-pruned argmin scan for the area metric: holds the input window
+/// and its precomputed sum, and finds the offset of a host slice with the
+/// minimal area between curves while rejecting hopeless offsets in O(1)
+/// via [`HostStats`] prefix sums.
+///
+/// # Example
+///
+/// See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct BoundedAreaScan {
+    query: Vec<f32>,
+    /// `Σx` over the input window, hoisted out of the per-offset bound.
+    qsum: f64,
+    /// `‖x‖₂` over the input window, for the energy leg of the bound.
+    qnorm: f64,
+}
+
+impl BoundedAreaScan {
+    /// Stores the input window and precomputes its sum and L2 norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptySignal`] if `input` is empty.
+    pub fn new(input: &[f32]) -> Result<Self, DspError> {
+        if input.is_empty() {
+            return Err(DspError::EmptySignal);
+        }
+        let qsum = input.iter().map(|&x| f64::from(x)).sum();
+        let qenergy: f64 = input.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        Ok(BoundedAreaScan {
+            query: input.to_vec(),
+            qsum,
+            qnorm: qenergy.sqrt(),
+        })
+    }
+
+    /// Length of the input window in samples.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// The precomputed `Σx` over the input window.
+    #[must_use]
+    pub fn query_sum(&self) -> f64 {
+        self.qsum
+    }
+
+    /// The O(1) lower bound on the area at `offset`: the larger of the sum
+    /// leg `|Σx − Σy[offset..offset+w]|` and the energy leg
+    /// `|‖x‖₂ − ‖y[offset..offset+w]‖₂|`.
+    ///
+    /// The energy leg is *certified*: the prefix-difference window energy
+    /// carries cancellation error, so it is padded by a slack covering the
+    /// worst-case rounding of the prefix tables before the norm gap is
+    /// taken. The returned value therefore never exceeds the true area,
+    /// in floating point and not just on paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit in the host `stats` was built for.
+    #[must_use]
+    pub fn lower_bound(&self, stats: &HostStats, offset: usize) -> f64 {
+        let w = self.query.len();
+        let sum_gap = (self.qsum - stats.window_sum(offset, w)).abs();
+        // Worst-case prefix rounding is ~len·ε relative to the *total*
+        // energy (cancellation can make it large relative to one window's);
+        // 1e-9 of the total is a >1000× safety factor at MDB slice lengths.
+        let ew = stats.window_energy(offset, w);
+        let slack = stats.window_energy(0, stats.len()) * 1e-9 + 1e-12;
+        let below = self.qnorm - (ew + slack).max(0.0).sqrt();
+        let above = (ew - slack).max(0.0).sqrt() - self.qnorm;
+        sum_gap.max(below.max(above))
+    }
+
+    /// The exact area between curves at `offset`, via [`abs_diff_sum`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::WindowOutOfBounds`] if the window does not fit
+    /// in `host` at `offset`.
+    pub fn area_at(&self, host: &[f32], offset: usize) -> Result<f64, DspError> {
+        let w = self.query.len();
+        if offset.checked_add(w).is_none_or(|end| end > host.len()) {
+            return Err(DspError::WindowOutOfBounds {
+                offset,
+                window: w,
+                len: host.len(),
+            });
+        }
+        Ok(abs_diff_sum(&self.query, &host[offset..offset + w]))
+    }
+
+    /// Minimum area between curves over offsets `lo..=hi` of `host`, with
+    /// the argmin — the exact `(β, area)` that [`naive_best_area`] returns,
+    /// found while skipping offsets whose lower bound already exceeds the
+    /// best and abandoning windows whose partial sum does.
+    ///
+    /// Equivalence holds because every reject is strict: an offset is
+    /// pruned only when `bound > best` (an admissible bound, so its true
+    /// area cannot win and cannot tie-break an earlier equal offset), a
+    /// window is abandoned only when a monotone partial sum exceeds `best`,
+    /// and the scan visits offsets in order so ties keep the earliest `β`
+    /// exactly like the naive strict-improvement update.
+    ///
+    /// An empty range (`lo > hi` after clamping `hi` to the last fitting
+    /// offset) returns `(lo, f64::INFINITY)`, mirroring the naive scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `stats` was built for a host
+    /// of a different length, or [`DspError::WindowOutOfBounds`] if the
+    /// window does not fit in `host` at all.
+    pub fn best_in_range(
+        &self,
+        host: &[f32],
+        stats: &HostStats,
+        lo: usize,
+        hi: usize,
+        counters: &mut ScanCounters,
+    ) -> Result<(usize, f64), DspError> {
+        self.best_below(host, stats, lo, hi, f64::INFINITY, counters)
+    }
+
+    /// [`BoundedAreaScan::best_in_range`] with an acceptance threshold
+    /// seeding the cutoff: callers that will *discard* any result above
+    /// `threshold` (the tracker's δ_A retention rule) let the scan abandon
+    /// hopeless hosts against `threshold` instead of against the running
+    /// best, which on a host with no acceptable window means every offset
+    /// exits within a block or two.
+    ///
+    /// The contract is exact where it matters: if the true minimum over
+    /// `lo..=hi` is `≤ threshold`, the returned `(β, area)` is bitwise the
+    /// [`naive_best_area`] argmin (the effective cutoff
+    /// `min(threshold, best)` never drops below the final best, so no
+    /// winning or tying offset is ever skipped — the argument of
+    /// [`BoundedAreaScan::best_in_range`] verbatim). If the true minimum
+    /// exceeds `threshold`, no offset can complete its sum under the
+    /// cutoff, and the scan returns `(lo, f64::INFINITY)` — a certificate
+    /// of rejection, not an estimate of the minimum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `stats` was built for a host
+    /// of a different length, or [`DspError::WindowOutOfBounds`] if the
+    /// window does not fit in `host` at all.
+    pub fn best_below(
+        &self,
+        host: &[f32],
+        stats: &HostStats,
+        lo: usize,
+        hi: usize,
+        threshold: f64,
+        counters: &mut ScanCounters,
+    ) -> Result<(usize, f64), DspError> {
+        let w = self.query.len();
+        if stats.len() != host.len() {
+            return Err(DspError::LengthMismatch {
+                left: stats.len(),
+                right: host.len(),
+            });
+        }
+        if w > host.len() {
+            return Err(DspError::WindowOutOfBounds {
+                offset: lo,
+                window: w,
+                len: host.len(),
+            });
+        }
+        let hi = hi.min(host.len() - w);
+        let mut best = (lo, f64::INFINITY);
+        for beta in lo..=hi {
+            let cutoff = threshold.min(best.1);
+            if self.lower_bound(stats, beta) > cutoff {
+                counters.pruned += 1;
+                continue;
+            }
+            counters.scored += 1;
+            if let Some(area) = bounded_abs_diff_sum(&self.query, &host[beta..beta + w], cutoff) {
+                if area < best.1 {
+                    best = (beta, area);
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// The unpruned reference scan: scores every offset in `lo..=hi` with
+/// [`abs_diff_sum`] and keeps the first strict minimum. This is the oracle
+/// [`BoundedAreaScan::best_in_range`] is property-tested against, and the
+/// baseline its benches compare to.
+///
+/// An empty range returns `(lo, f64::INFINITY)`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptySignal`] if `input` is empty, or
+/// [`DspError::WindowOutOfBounds`] if the window does not fit in `host`.
+pub fn naive_best_area(
+    input: &[f32],
+    host: &[f32],
+    lo: usize,
+    hi: usize,
+) -> Result<(usize, f64), DspError> {
+    let w = input.len();
+    if w == 0 {
+        return Err(DspError::EmptySignal);
+    }
+    if w > host.len() {
+        return Err(DspError::WindowOutOfBounds {
+            offset: lo,
+            window: w,
+            len: host.len(),
+        });
+    }
+    let hi = hi.min(host.len() - w);
+    let mut best = (lo, f64::INFINITY);
+    for beta in lo..=hi {
+        let area = abs_diff_sum(input, &host[beta..beta + w]);
+        if area < best.1 {
+            best = (beta, area);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::area_between_curves;
+
+    fn wave(n: usize, freq: f32, amp: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * freq).sin() * amp).collect()
+    }
+
+    /// Integer-valued samples: every sum below is exact in f64, so the
+    /// bound relation and tie behavior hold exactly, not just within ULPs.
+    fn int_wave(n: usize, step: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * step % 17) as f32) - 8.0).collect()
+    }
+
+    #[test]
+    fn abs_diff_sum_matches_eq3_metric() {
+        for n in [0usize, 1, 7, 8, 31, 32, 33, 256, 1000] {
+            let a = wave(n, 0.31, 2.0);
+            let b = wave(n, 0.17, 1.5);
+            let reference = if n == 0 {
+                0.0
+            } else {
+                area_between_curves(&a, &b).unwrap()
+            };
+            // Eq. 3 subtracts in f32, this kernel in f64 — agreement is to
+            // f32-rounding precision, not bitwise.
+            assert!(
+                (abs_diff_sum(&a, &b) - reference).abs() <= reference.abs() * 1e-5 + 1e-9,
+                "n = {n}: {} vs {reference}",
+                abs_diff_sum(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_sum_is_bit_identical_when_it_completes() {
+        for n in [1usize, 9, 32, 100, 256] {
+            let a = wave(n, 0.23, 3.0);
+            let b = wave(n, 0.41, 2.0);
+            let full = abs_diff_sum(&a, &b);
+            assert_eq!(bounded_abs_diff_sum(&a, &b, full), Some(full), "n = {n}");
+            assert_eq!(
+                bounded_abs_diff_sum(&a, &b, f64::INFINITY),
+                Some(full),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_sum_exits_early_only_on_strict_violation() {
+        let x = [0.0f32; 64];
+        let y = [1.0f32; 64];
+        // Total is 64; a cutoff at the first block's partial (32) must not
+        // abort that block (strict >), one just below must.
+        assert_eq!(bounded_abs_diff_sum(&x, &y, 64.0), Some(64.0));
+        assert_eq!(bounded_abs_diff_sum(&x, &y, 32.0), None);
+        assert_eq!(bounded_abs_diff_sum(&x, &y, 31.5), None);
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_on_exact_sums() {
+        let host = int_wave(500, 3);
+        let input = int_wave(64, 5);
+        let scan = BoundedAreaScan::new(&input).unwrap();
+        let stats = HostStats::new(&host);
+        for beta in 0..=host.len() - input.len() {
+            let bound = scan.lower_bound(&stats, beta);
+            let area = scan.area_at(&host, beta).unwrap();
+            assert!(bound <= area, "β = {beta}: bound {bound} > area {area}");
+        }
+    }
+
+    #[test]
+    fn best_in_range_matches_naive_exactly() {
+        let host = wave(1000, 0.29, 10.0);
+        let input = host[600..856].to_vec(); // a perfect match at β = 600 only
+        let scan = BoundedAreaScan::new(&input).unwrap();
+        let stats = HostStats::new(&host);
+        let mut counters = ScanCounters::default();
+        let fast = scan
+            .best_in_range(&host, &stats, 0, 744, &mut counters)
+            .unwrap();
+        let slow = naive_best_area(&input, &host, 0, 744).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.0, 600);
+        assert_eq!(fast.1, 0.0);
+        assert!(counters.pruned > 0, "{counters:?}");
+        assert_eq!(counters.total(), 745);
+    }
+
+    #[test]
+    fn ties_keep_the_earliest_offset() {
+        // A periodic integer host: the input window recurs exactly, so the
+        // minimum area (0) is tied at several offsets.
+        let host = int_wave(500, 1);
+        let input = host[17 + 2 * 17..17 + 2 * 17 + 34].to_vec(); // period 17
+        let scan = BoundedAreaScan::new(&input).unwrap();
+        let stats = HostStats::new(&host);
+        let mut counters = ScanCounters::default();
+        let last = host.len() - input.len();
+        let fast = scan
+            .best_in_range(&host, &stats, 0, last, &mut counters)
+            .unwrap();
+        let slow = naive_best_area(&input, &host, 0, last).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.1, 0.0);
+        assert_eq!(fast.0, 0, "earliest of the tied zero-area offsets");
+    }
+
+    #[test]
+    fn empty_range_returns_lo_and_infinity() {
+        let host = wave(300, 0.3, 1.0);
+        let input = wave(256, 0.3, 1.0);
+        let scan = BoundedAreaScan::new(&input).unwrap();
+        let stats = HostStats::new(&host);
+        let mut counters = ScanCounters::default();
+        // lo beyond the last fitting offset (44) → empty scan.
+        let out = scan
+            .best_in_range(&host, &stats, 100, 200, &mut counters)
+            .unwrap();
+        assert_eq!(out, (100, f64::INFINITY));
+        assert_eq!(counters, ScanCounters::default());
+        assert_eq!(
+            naive_best_area(&input, &host, 100, 200).unwrap(),
+            (100, f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let input = wave(64, 0.2, 1.0);
+        let host = wave(32, 0.2, 1.0);
+        assert!(matches!(
+            BoundedAreaScan::new(&[]),
+            Err(DspError::EmptySignal)
+        ));
+        let scan = BoundedAreaScan::new(&input).unwrap();
+        let mut counters = ScanCounters::default();
+        assert!(matches!(
+            scan.best_in_range(&host, &HostStats::new(&host), 0, 10, &mut counters),
+            Err(DspError::WindowOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            scan.best_in_range(&host, &HostStats::new(&input), 0, 10, &mut counters),
+            Err(DspError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            scan.area_at(&host, 0),
+            Err(DspError::WindowOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            naive_best_area(&[], &host, 0, 10),
+            Err(DspError::EmptySignal)
+        ));
+        assert!(matches!(
+            naive_best_area(&input, &host, 0, 10),
+            Err(DspError::WindowOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn pruning_rejects_most_offsets_after_a_match() {
+        let host = int_wave(1000, 7);
+        let input = host[512..768].to_vec();
+        let scan = BoundedAreaScan::new(&input).unwrap();
+        let stats = HostStats::new(&host);
+        let mut counters = ScanCounters::default();
+        let (beta, area) = scan
+            .best_in_range(&host, &stats, 0, 744, &mut counters)
+            .unwrap();
+        assert_eq!(area, 0.0);
+        assert_eq!(
+            (beta, area),
+            naive_best_area(&input, &host, 0, 744).unwrap()
+        );
+        // After the zero-area match every non-tied later offset is pruned
+        // by the bound alone.
+        assert!(
+            counters.pruned as usize > (744 - beta) / 2,
+            "β = {beta}, {counters:?}"
+        );
+    }
+}

@@ -16,6 +16,10 @@
 //! - [`kernel`] — the O(1)-statistics correlation kernel: precomputed
 //!   per-host prefix sums and sparse-table min/max so the search stack pays
 //!   O(1) for window statistics at any offset.
+//! - [`area`] — the bound-pruned area-between-curves kernel: prefix-sum
+//!   lower bounds reject whole offsets before any sample is touched, and
+//!   the survivors run an 8-lane early-exit scan (the edge tracker's hot
+//!   loop).
 //! - [`spectrum`] — periodogram / Welch PSD estimation, used to verify band
 //!   content of filters and synthetic signals.
 //! - [`quality`] — acquisition-window quality gating (flatline / clipping /
@@ -52,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod area;
 pub mod fir;
 pub mod kernel;
 pub mod quality;

@@ -1,0 +1,136 @@
+//! Property-based equivalence tests for the bound-pruned area kernel: over
+//! random signals the pruned scan must return *exactly* the `(β, area)`
+//! argmin of the naive full scan — same offset, bitwise-same area — because
+//! pruning only ever skips offsets whose admissible lower bound already
+//! exceeds the running best.
+
+use emap_dsp::area::{
+    abs_diff_sum, bounded_abs_diff_sum, naive_best_area, BoundedAreaScan, ScanCounters,
+};
+use emap_dsp::kernel::HostStats;
+use proptest::prelude::*;
+
+fn signal(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-8.0f32..8.0, len)
+}
+
+/// Integer-valued signals: every abs-diff term and every prefix sum is
+/// exact in f64, so ties between offsets are real ties, not ULP artifacts.
+fn integer_signal(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-6i8..=6, len).prop_map(|v| v.into_iter().map(f32::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pruned scan's `(β, area)` equals the naive full scan's argmin
+    /// exactly — same offset, bitwise-identical area.
+    #[test]
+    fn pruned_scan_matches_naive_argmin(
+        host in signal(64..600),
+        query in signal(8..64),
+        seed in 0usize..1000,
+    ) {
+        prop_assume!(query.len() <= host.len());
+        let scan = BoundedAreaScan::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        let last = host.len() - query.len();
+        let lo = seed % (last + 1);
+        let hi = last.min(lo + seed % 97);
+        let mut counters = ScanCounters::default();
+        let fast = scan.best_in_range(&host, &stats, lo, hi, &mut counters).unwrap();
+        let slow = naive_best_area(&query, &host, lo, hi).unwrap();
+        prop_assert_eq!(fast.0, slow.0, "argmin offset diverged");
+        prop_assert_eq!(fast.1.to_bits(), slow.1.to_bits(), "area diverged: {} vs {}", fast.1, slow.1);
+        prop_assert_eq!(counters.total(), (hi - lo + 1) as u64);
+    }
+
+    /// Ties are real with integer samples; both scans must keep the
+    /// earliest tied offset.
+    #[test]
+    fn ties_keep_earliest_offset(
+        pattern in integer_signal(8..24),
+        repeats in 3usize..8,
+        lo_frac in 0usize..1000,
+    ) {
+        let mut host = Vec::new();
+        for _ in 0..repeats {
+            host.extend_from_slice(&pattern); // periodic → exact repeated areas
+        }
+        let query = pattern.clone();
+        let last = host.len() - query.len();
+        let lo = (lo_frac * last) / 1000;
+        let scan = BoundedAreaScan::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        let mut counters = ScanCounters::default();
+        let fast = scan.best_in_range(&host, &stats, lo, last, &mut counters).unwrap();
+        let slow = naive_best_area(&query, &host, lo, last).unwrap();
+        prop_assert_eq!(fast.0, slow.0);
+        prop_assert_eq!(fast.1.to_bits(), slow.1.to_bits());
+        // An exact periodic match exists at the first aligned offset ≥ lo,
+        // so the minimum is exactly zero and must be found no later than
+        // there (earlier if the pattern has an internal period).
+        let aligned = lo.div_ceil(pattern.len()) * pattern.len();
+        if aligned <= last {
+            prop_assert_eq!(fast.1, 0.0);
+            prop_assert!(fast.0 <= aligned);
+        }
+    }
+
+    /// Empty ranges (`lo > hi`) return the sentinel from both scans.
+    #[test]
+    fn empty_range_is_identity(
+        host in signal(300..301),
+        query in signal(16..32),
+        lo in 270usize..500,
+    ) {
+        let scan = BoundedAreaScan::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        let mut counters = ScanCounters::default();
+        let fast = scan.best_in_range(&host, &stats, lo, 0, &mut counters).unwrap();
+        let slow = naive_best_area(&query, &host, lo, 0).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(fast, (lo, f64::INFINITY));
+        prop_assert_eq!(counters.total(), 0);
+    }
+
+    /// Admissibility: the O(1) lower bound never exceeds the exact area at
+    /// any offset (this is what makes pruning lossless).
+    #[test]
+    fn lower_bound_is_admissible(
+        host in signal(64..400),
+        query in signal(8..64),
+        seed in 0usize..10_000,
+    ) {
+        prop_assume!(query.len() <= host.len());
+        let scan = BoundedAreaScan::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        let last = host.len() - query.len();
+        for offset in [0, last, seed % (last + 1), (seed * 13) % (last + 1)] {
+            let bound = scan.lower_bound(&stats, offset);
+            let area = scan.area_at(&host, offset).unwrap();
+            prop_assert!(
+                bound <= area + 1e-9,
+                "offset {offset}: bound {bound} exceeds area {area}"
+            );
+        }
+    }
+
+    /// `bounded_abs_diff_sum` is bitwise-identical to `abs_diff_sum` when
+    /// it completes, and only cuts off when the partial sum truly exceeded
+    /// the cutoff (so `None` implies the full sum does too, since terms are
+    /// non-negative).
+    #[test]
+    fn bounded_sum_is_exact_or_truly_over(
+        x in signal(1..300),
+        cutoff_frac in 0.0f64..2.0,
+    ) {
+        let y: Vec<f32> = x.iter().rev().copied().collect();
+        let full = abs_diff_sum(&x, &y);
+        let cutoff = full * cutoff_frac;
+        match bounded_abs_diff_sum(&x, &y, cutoff) {
+            Some(s) => prop_assert_eq!(s.to_bits(), full.to_bits()),
+            None => prop_assert!(full > cutoff, "cut off below cutoff: {full} <= {cutoff}"),
+        }
+    }
+}

@@ -1,7 +1,11 @@
+use std::sync::Arc;
+
 use emap_datasets::SignalClass;
+use emap_dsp::area::{BoundedAreaScan, ScanCounters};
+use emap_dsp::kernel::{HostStats, KernelCorrelator};
 use emap_dsp::similarity::RangeCorrelator;
 use emap_dsp::SAMPLES_PER_SECOND;
-use emap_mdb::{Mdb, SetId};
+use emap_mdb::{Mdb, SetId, SharedSamples};
 use emap_search::CorrelationSet;
 use serde::{Deserialize, Serialize};
 
@@ -9,7 +13,13 @@ use crate::{EdgeConfig, EdgeError, EdgeMetric};
 
 /// One tracked entry `W = [S, ω, β]` plus the downloaded slice data and its
 /// label.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The slice samples are [`SharedSamples`] aliasing the mega-database's
+/// storage (the cloud→edge "download" is a refcount bump, not a copy), and
+/// the per-slice [`HostStats`] tables ride along from the store, so every
+/// tracking iteration gets O(1) window statistics without ever rebuilding
+/// them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrackedSignal {
     /// Which signal-set this is.
     pub set_id: SetId,
@@ -22,7 +32,22 @@ pub struct TrackedSignal {
     pub last_score: f64,
     /// Class label of the slice (drives `N(AS)` in Eq. 5).
     pub class: SignalClass,
-    samples: Vec<f32>,
+    samples: SharedSamples,
+    /// Derived from `samples`; excluded from serde (rebuilt on
+    /// [`EdgeTracker::restore_state`]) and from equality.
+    #[serde(skip)]
+    stats: Arc<HostStats>,
+}
+
+impl PartialEq for TrackedSignal {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_id == other.set_id
+            && self.omega == other.omega
+            && self.beta == other.beta
+            && self.last_score == other.last_score
+            && self.class == other.class
+            && self.samples == other.samples
+    }
 }
 
 impl TrackedSignal {
@@ -30,6 +55,20 @@ impl TrackedSignal {
     #[must_use]
     pub fn samples(&self) -> &[f32] {
         &self.samples
+    }
+
+    /// The slice samples behind their shared handle — `ptr_eq` against the
+    /// store's [`emap_mdb::SignalSet::samples_shared`] proves the download
+    /// copied nothing.
+    #[must_use]
+    pub fn samples_shared(&self) -> &SharedSamples {
+        &self.samples
+    }
+
+    /// The cached O(1)-statistics tables for this slice.
+    #[must_use]
+    pub fn stats(&self) -> &HostStats {
+        &self.stats
     }
 }
 
@@ -48,9 +87,15 @@ pub struct StepReport {
     /// Whether `N(F)` dropped below the threshold `H`, i.e. the edge should
     /// transmit the current second to the cloud for a fresh search.
     pub needs_cloud_call: bool,
-    /// Window comparisons evaluated this iteration (feeds the Fig. 8b
-    /// timing model).
+    /// Window comparisons actually scored this iteration — offsets whose
+    /// samples were touched (feeds the Fig. 8b timing model). Offsets
+    /// rejected wholesale by the area lower bound are *not* counted here;
+    /// see [`StepReport::windows_pruned`].
     pub windows_evaluated: u64,
+    /// Offsets rejected by the O(1) area lower bound without touching any
+    /// sample. Always zero for the correlation metric (which has no bound)
+    /// and for [`EdgeTracker::step_scalar`].
+    pub windows_pruned: u64,
 }
 
 /// Algorithm 2: the lightweight signal tracker running on the edge device.
@@ -104,7 +149,10 @@ impl EdgeTracker {
                 beta: hit.beta,
                 last_score: 0.0,
                 class: s.class(),
-                samples: s.samples().to_vec(),
+                // Alias the store's allocation and its prewarmed stats:
+                // the "download" costs two refcount bumps per hit.
+                samples: s.samples_shared().clone(),
+                stats: s.stats_arc(),
             });
         }
         self.tracked = tracked;
@@ -146,23 +194,67 @@ impl EdgeTracker {
 
     /// Restores a tracked set previously captured with
     /// [`EdgeTracker::save_state`]. The configuration stays as constructed.
+    ///
+    /// Serialized state carries samples but not the derived statistics
+    /// tables, so any stale (deserialized-empty) tables are rebuilt here,
+    /// off the per-second hot path.
     pub fn restore_state(&mut self, state: TrackerState) {
         self.tracked = state.tracked;
+        for w in &mut self.tracked {
+            if w.stats.len() != w.samples.len() {
+                w.stats = Arc::new(HostStats::new(&w.samples));
+            }
+        }
     }
 
     /// Runs one tracking iteration against the next one-second input
-    /// window.
+    /// window, on the kernel-backed engine: the area metric scans through
+    /// [`BoundedAreaScan`] (O(1) lower-bound pruning plus 8-lane early-exit
+    /// sums) and the correlation metric through [`KernelCorrelator`] (O(1)
+    /// window statistics from the cached [`HostStats`]).
+    ///
+    /// A degenerate (flat-line) input second — sensor dropout, a railed
+    /// electrode — matches nothing: no scores move, nothing is pruned, and
+    /// the tracked set survives untouched until real signal returns.
     ///
     /// # Errors
     ///
     /// Returns [`EdgeError::BadInputLength`] unless `input` holds exactly
     /// 256 samples.
     pub fn step(&mut self, input: &[f32]) -> Result<StepReport, EdgeError> {
+        self.step_with(input, Engine::Kernel)
+    }
+
+    /// [`EdgeTracker::step`] on the scalar reference engine: the per-sample
+    /// loops the seed implementation used, kept as the like-for-like
+    /// baseline for equivalence tests and the tracking bench. Identical
+    /// semantics (including the degenerate-input guard), none of the
+    /// kernel machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::BadInputLength`] unless `input` holds exactly
+    /// 256 samples.
+    pub fn step_scalar(&mut self, input: &[f32]) -> Result<StepReport, EdgeError> {
+        self.step_with(input, Engine::Scalar)
+    }
+
+    fn step_with(&mut self, input: &[f32], engine: Engine) -> Result<StepReport, EdgeError> {
         if input.len() != SAMPLES_PER_SECOND {
             return Err(EdgeError::BadInputLength { got: input.len() });
         }
         let before = self.tracked.len();
-        let mut windows = 0u64;
+        let mut counters = ScanCounters::default();
+
+        // A flat-line second carries no shape to match: under the area
+        // metric it would prune everything dissimilar to a constant, and
+        // under the correlation metric it normalizes to a zero query whose
+        // ω is 0 against every window — one bad second of sensor dropout
+        // would destroy the whole session either way. Treat it as matching
+        // nothing instead: β and scores stay put, nothing is pruned.
+        if is_degenerate(input) {
+            return Ok(self.report(before, counters));
+        }
 
         // Offset range to scan for a tracked signal: the full slice
         // (Algorithm 2), or — with windowed tracking enabled — only the
@@ -184,10 +276,29 @@ impl EdgeTracker {
 
         match self.config.metric() {
             EdgeMetric::AreaBetweenCurves { delta_a } => {
+                let scan = match engine {
+                    Engine::Kernel => Some(BoundedAreaScan::new(input)?),
+                    Engine::Scalar => None,
+                };
                 for w in &mut self.tracked {
                     match range_for(w.beta, w.samples.len()) {
                         Some((lo, hi)) => {
-                            let (beta, area) = best_area(input, &w.samples, lo, hi, &mut windows);
+                            // δ_A seeds the cutoff: any best above it is
+                            // dropped by the retain below regardless of its
+                            // value, so the scan may reject hopeless slices
+                            // against δ_A instead of their (large) running
+                            // best. Survivors still get the exact argmin.
+                            let (beta, area) = match &scan {
+                                Some(scan) => scan.best_below(
+                                    &w.samples,
+                                    &w.stats,
+                                    lo,
+                                    hi,
+                                    delta_a,
+                                    &mut counters,
+                                )?,
+                                None => scalar_best_area(input, &w.samples, lo, hi, &mut counters),
+                            };
                             w.beta = beta;
                             w.last_score = area;
                         }
@@ -198,11 +309,30 @@ impl EdgeTracker {
             }
             EdgeMetric::CrossCorrelation { delta } => {
                 let sdp = RangeCorrelator::new(input)?;
+                let kernel = match engine {
+                    Engine::Kernel => Some(KernelCorrelator::from_range(&sdp)),
+                    Engine::Scalar => None,
+                };
                 for w in &mut self.tracked {
                     match range_for(w.beta, w.samples.len()) {
                         Some((lo, hi)) => {
-                            let (beta, omega) =
-                                best_correlation(&sdp, &w.samples, lo, hi, &mut windows)?;
+                            let (beta, omega) = match &kernel {
+                                Some(kc) => kernel_best_correlation(
+                                    kc,
+                                    &w.samples,
+                                    &w.stats,
+                                    lo,
+                                    hi,
+                                    &mut counters,
+                                )?,
+                                None => scalar_best_correlation(
+                                    &sdp,
+                                    &w.samples,
+                                    lo,
+                                    hi,
+                                    &mut counters,
+                                )?,
+                            };
                             w.beta = beta;
                             w.last_score = omega;
                         }
@@ -213,16 +343,53 @@ impl EdgeTracker {
             }
         }
 
+        Ok(self.report(before, counters))
+    }
+
+    fn report(&self, before: usize, counters: ScanCounters) -> StepReport {
         let tracked = self.tracked.len();
+        // `N(AS)` and `N(F)` are counted exactly once per iteration; the
+        // probability (Eq. 5) is derived from the same counts.
         let anomalous = self.tracked.iter().filter(|w| w.class.is_anomaly()).count();
-        Ok(StepReport {
-            probability: probability_of(&self.tracked),
+        let probability = if tracked == 0 {
+            0.0
+        } else {
+            anomalous as f64 / tracked as f64
+        };
+        StepReport {
+            probability,
             tracked,
             anomalous,
             removed: before - tracked,
             needs_cloud_call: tracked < self.config.h(),
-            windows_evaluated: windows,
-        })
+            windows_evaluated: counters.scored,
+            windows_pruned: counters.pruned,
+        }
+    }
+}
+
+/// Which scan implementation [`EdgeTracker::step_with`] runs.
+#[derive(Debug, Clone, Copy)]
+enum Engine {
+    /// The bound-pruned / O(1)-statistics kernels ([`EdgeTracker::step`]).
+    Kernel,
+    /// The seed's per-sample scalar loops ([`EdgeTracker::step_scalar`]).
+    Scalar,
+}
+
+/// A flat-line input second: no variation at all (constant, all-zero, or
+/// NaN-poisoned to the point of having no ordered span).
+fn is_degenerate(input: &[f32]) -> bool {
+    let (lo, hi) = input
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
+    // `!(span > 0)` rather than `span <= 0`: a NaN span must count as
+    // degenerate too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    {
+        !(f64::from(hi) - f64::from(lo) > 0.0)
     }
 }
 
@@ -256,13 +423,20 @@ fn probability_of(tracked: &[TrackedSignal]) -> f64 {
 }
 
 /// Minimum area between curves over offsets `lo..=hi` of `host`, with the
-/// argmin.
-fn best_area(input: &[f32], host: &[f32], lo: usize, hi: usize, windows: &mut u64) -> (usize, f64) {
+/// argmin — the seed's per-sample scalar loop, kept as the reference
+/// engine.
+fn scalar_best_area(
+    input: &[f32],
+    host: &[f32],
+    lo: usize,
+    hi: usize,
+    counters: &mut ScanCounters,
+) -> (usize, f64) {
     let w = input.len();
     debug_assert!(host.len() >= w);
     let mut best = (lo, f64::INFINITY);
     for beta in lo..=hi.min(host.len() - w) {
-        *windows += 1;
+        counters.scored += 1;
         let mut area = 0.0f64;
         for (x, y) in input.iter().zip(&host[beta..beta + w]) {
             area += f64::from(x - y).abs();
@@ -279,20 +453,46 @@ fn best_area(input: &[f32], host: &[f32], lo: usize, hi: usize, windows: &mut u6
 }
 
 /// Maximum normalized correlation over offsets `lo..=hi` of `host`, with
-/// the argmax.
-fn best_correlation(
+/// the argmax — the seed's naive per-offset correlator, kept as the
+/// reference engine.
+fn scalar_best_correlation(
     sdp: &RangeCorrelator,
     host: &[f32],
     lo: usize,
     hi: usize,
-    windows: &mut u64,
+    counters: &mut ScanCounters,
 ) -> Result<(usize, f64), EdgeError> {
     let w = sdp.window_len();
     debug_assert!(host.len() >= w);
     let mut best = (lo, f64::NEG_INFINITY);
     for beta in lo..=hi.min(host.len() - w) {
-        *windows += 1;
+        counters.scored += 1;
         let omega = sdp.correlation_at(host, beta)?;
+        if omega > best.1 {
+            best = (beta, omega);
+        }
+    }
+    Ok(best)
+}
+
+/// Maximum normalized correlation via the O(1)-statistics kernel: the same
+/// argmax decision rule as [`scalar_best_correlation`], with the per-offset
+/// window statistics read from the cached [`HostStats`] instead of
+/// re-scanned.
+fn kernel_best_correlation(
+    kc: &KernelCorrelator,
+    host: &[f32],
+    stats: &HostStats,
+    lo: usize,
+    hi: usize,
+    counters: &mut ScanCounters,
+) -> Result<(usize, f64), EdgeError> {
+    let w = kc.window_len();
+    debug_assert!(host.len() >= w);
+    let mut best = (lo, f64::NEG_INFINITY);
+    for beta in lo..=hi.min(host.len() - w) {
+        counters.scored += 1;
+        let omega = kc.correlation_at(host, stats, beta)?;
         if omega > best.1 {
             best = (beta, omega);
         }
@@ -561,5 +761,121 @@ mod tests {
         assert_eq!(tr.tracked()[0].beta, 256);
         tr.step(&host[512..768]).unwrap();
         assert_eq!(tr.tracked()[0].beta, 512);
+    }
+
+    #[test]
+    fn load_shares_mdb_storage_without_copying() {
+        let mdb = mdb_with(vec![
+            (SignalClass::Normal, rhythm(0.3, 0.0, SIGNAL_SET_LEN)),
+            (SignalClass::Seizure, rhythm(0.5, 1.0, SIGNAL_SET_LEN)),
+        ]);
+        let mut tr = EdgeTracker::new(EdgeConfig::default());
+        tr.load(&correlation_set(&[0, 1]), &mdb).unwrap();
+        for (i, w) in tr.tracked().iter().enumerate() {
+            let set = mdb.try_get(SetId(i as u64)).unwrap();
+            // Same allocation as the store — the download copied nothing.
+            assert!(w.samples_shared().ptr_eq(set.samples_shared()));
+            // And the prewarmed statistics tables ride along, not rebuilt.
+            assert!(std::ptr::eq(w.stats(), set.stats()));
+        }
+    }
+
+    #[test]
+    fn flat_line_input_keeps_session_intact_on_both_metrics() {
+        let host = rhythm(0.37, 0.0, SIGNAL_SET_LEN);
+        let configs = [
+            area_config(500.0),
+            EdgeConfig::default()
+                .with_metric(EdgeMetric::CrossCorrelation { delta: 0.9 })
+                .unwrap(),
+        ];
+        let dropouts: [Vec<f32>; 2] = [vec![3.3; 256], vec![0.0; 256]];
+        for cfg in configs {
+            for dropout in &dropouts {
+                let mdb = mdb_with(vec![(SignalClass::Seizure, host.clone())]);
+                let mut tr = EdgeTracker::new(cfg);
+                tr.load(&correlation_set(&[0]), &mdb).unwrap();
+                tr.step(&host[0..256]).unwrap();
+                let (beta, score) = (tr.tracked()[0].beta, tr.tracked()[0].last_score);
+
+                // One second of sensor dropout: nothing scored, nothing
+                // pruned, nothing moved — on both engines.
+                for report in [tr.step(dropout).unwrap(), tr.step_scalar(dropout).unwrap()] {
+                    assert_eq!(report.tracked, 1, "{cfg:?}");
+                    assert_eq!(report.removed, 0);
+                    assert_eq!(report.windows_evaluated, 0);
+                    assert_eq!(report.windows_pruned, 0);
+                }
+                assert_eq!(tr.tracked()[0].beta, beta);
+                assert_eq!(tr.tracked()[0].last_score, score);
+
+                // Real signal afterwards resumes tracking normally.
+                let report = tr.step(&host[256..512]).unwrap();
+                assert_eq!(report.tracked, 1);
+                assert_eq!(tr.tracked()[0].beta, 256);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_engine_matches_scalar_reference_decisions() {
+        // Two trackers over the same multi-second session, one per engine:
+        // identical pruning decisions, β trajectories, and probabilities.
+        // (`windows_evaluated` legitimately shrinks on the kernel engine.)
+        let sets: Vec<(SignalClass, Vec<f32>)> = vec![
+            (SignalClass::Seizure, rhythm(0.37, 0.0, SIGNAL_SET_LEN)),
+            (SignalClass::Normal, rhythm(0.52, 0.4, SIGNAL_SET_LEN)),
+            (SignalClass::Stroke, rhythm(0.37, 0.05, SIGNAL_SET_LEN)),
+        ];
+        let follow = sets[0].1.clone();
+        let mdb = mdb_with(sets);
+        for cfg in [
+            area_config(3800.0),
+            EdgeConfig::default()
+                .with_metric(EdgeMetric::CrossCorrelation { delta: 0.8 })
+                .unwrap(),
+        ] {
+            let mut kernel = EdgeTracker::new(cfg);
+            let mut scalar = EdgeTracker::new(cfg);
+            kernel.load(&correlation_set(&[0, 1, 2]), &mdb).unwrap();
+            scalar.load(&correlation_set(&[0, 1, 2]), &mdb).unwrap();
+            for second in 0..3 {
+                let input = &follow[second * 256..(second + 1) * 256];
+                let rk = kernel.step(input).unwrap();
+                let rs = scalar.step_scalar(input).unwrap();
+                assert_eq!(rk.probability, rs.probability, "{cfg:?} s{second}");
+                assert_eq!(rk.tracked, rs.tracked);
+                assert_eq!(rk.anomalous, rs.anomalous);
+                assert_eq!(rk.removed, rs.removed);
+                assert_eq!(rk.needs_cloud_call, rs.needs_cloud_call);
+                assert!(rk.windows_evaluated <= rs.windows_evaluated);
+                assert_eq!(rs.windows_pruned, 0);
+                let betas_k: Vec<_> = kernel
+                    .tracked()
+                    .iter()
+                    .map(|w| (w.set_id, w.beta))
+                    .collect();
+                let betas_s: Vec<_> = scalar
+                    .tracked()
+                    .iter()
+                    .map(|w| (w.set_id, w.beta))
+                    .collect();
+                assert_eq!(betas_k, betas_s, "{cfg:?} s{second}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_pruning_shrinks_scored_windows_on_exact_match() {
+        let host = rhythm(0.37, 0.0, SIGNAL_SET_LEN);
+        let mdb = mdb_with(vec![(SignalClass::Seizure, host.clone())]);
+        let mut tr = EdgeTracker::new(area_config(1e12));
+        tr.load(&correlation_set(&[0]), &mdb).unwrap();
+        let report = tr.step(&host[256..512]).unwrap();
+        assert_eq!(tr.tracked()[0].beta, 256);
+        // Every offset is either scored or bound-pruned, and the zero-area
+        // match makes the bound reject a large share outright.
+        assert_eq!(report.windows_evaluated + report.windows_pruned, 745);
+        assert!(report.windows_pruned > 300, "{report:?}");
     }
 }

@@ -16,40 +16,57 @@ fn arb_signal(len: usize) -> impl Strategy<Value = Vec<f32>> {
     })
 }
 
+/// Integer-valued signals (magnitudes small enough that every f32
+/// subtraction and every f64 sum is exact): on these, the area metric's
+/// kernel and scalar paths must agree *bitwise*, because reassociating a
+/// sum of exactly-representable integers cannot change its value.
+fn arb_integer_signal(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-30i8..=30, len).prop_map(|v| v.into_iter().map(f32::from).collect())
+}
+
+fn build_mdb_and_set(entries: Vec<(Vec<f32>, bool)>) -> (Mdb, CorrelationSet) {
+    let mut mdb = Mdb::new();
+    let mut hits = Vec::new();
+    for (i, (samples, anomalous)) in entries.into_iter().enumerate() {
+        let class = if anomalous {
+            SignalClass::Stroke
+        } else {
+            SignalClass::Normal
+        };
+        let id = mdb.insert(
+            SignalSet::new(
+                samples,
+                class,
+                Provenance {
+                    dataset_id: "prop".into(),
+                    recording_id: format!("r{i}"),
+                    channel: "c".into(),
+                    offset: 0,
+                },
+            )
+            .expect("fixed length"),
+        );
+        hits.push(SearchHit {
+            set_id: id,
+            omega: 0.9,
+            beta: (i * 97) % 700,
+        });
+    }
+    let set = CorrelationSet::from_candidates(hits, 200, SearchWork::default());
+    (mdb, set)
+}
+
 fn arb_mdb_and_set(max_sets: usize) -> impl Strategy<Value = (Mdb, CorrelationSet)> {
-    prop::collection::vec((arb_signal(SIGNAL_SET_LEN), prop::bool::ANY), 1..=max_sets).prop_map(
-        |entries| {
-            let mut mdb = Mdb::new();
-            let mut hits = Vec::new();
-            for (i, (samples, anomalous)) in entries.into_iter().enumerate() {
-                let class = if anomalous {
-                    SignalClass::Stroke
-                } else {
-                    SignalClass::Normal
-                };
-                let id = mdb.insert(
-                    SignalSet::new(
-                        samples,
-                        class,
-                        Provenance {
-                            dataset_id: "prop".into(),
-                            recording_id: format!("r{i}"),
-                            channel: "c".into(),
-                            offset: 0,
-                        },
-                    )
-                    .expect("fixed length"),
-                );
-                hits.push(SearchHit {
-                    set_id: id,
-                    omega: 0.9,
-                    beta: (i * 97) % 700,
-                });
-            }
-            let set = CorrelationSet::from_candidates(hits, 200, SearchWork::default());
-            (mdb, set)
-        },
+    prop::collection::vec((arb_signal(SIGNAL_SET_LEN), prop::bool::ANY), 1..=max_sets)
+        .prop_map(build_mdb_and_set)
+}
+
+fn arb_integer_mdb_and_set(max_sets: usize) -> impl Strategy<Value = (Mdb, CorrelationSet)> {
+    prop::collection::vec(
+        (arb_integer_signal(SIGNAL_SET_LEN), prop::bool::ANY),
+        1..=max_sets,
     )
+    .prop_map(build_mdb_and_set)
 }
 
 proptest! {
@@ -136,6 +153,97 @@ proptest! {
         for (id, w_score) in &windowed {
             if let Some((_, f_score)) = full.iter().find(|(fid, _)| fid == id) {
                 prop_assert!(w_score + 1e-6 >= *f_score, "windowed found a better area");
+            }
+        }
+    }
+
+    /// Multi-iteration area sessions: the bound-pruned kernel engine and
+    /// the seed scalar engine produce *bitwise-identical* reports and
+    /// tracked sets on integer-valued signals, where every sum is exact
+    /// and so reassociation cannot hide behind ULP noise. Only the work
+    /// counters may differ (the kernel scores fewer windows).
+    #[test]
+    fn kernel_area_session_is_bitwise_scalar_session(
+        (mdb, set) in arb_integer_mdb_and_set(6),
+        inputs in prop::collection::vec(arb_integer_signal(256), 1..4),
+        delta_a in 500.0f64..20_000.0,
+        windowed in prop::option::of(8usize..200),
+    ) {
+        let mut cfg = EdgeConfig::default()
+            .with_metric(EdgeMetric::AreaBetweenCurves { delta_a })
+            .expect("valid")
+            .with_h(1)
+            .expect("valid");
+        if let Some(w) = windowed {
+            cfg = cfg.with_search_window(w).expect("valid");
+        }
+        let mut kernel = EdgeTracker::new(cfg);
+        kernel.load(&set, &mdb).expect("hits resolve");
+        let mut scalar = kernel.clone();
+        for (second, input) in inputs.iter().enumerate() {
+            let rk = kernel.step(input).expect("kernel step");
+            let rs = scalar.step_scalar(input).expect("scalar step");
+            prop_assert_eq!(rk.tracked, rs.tracked, "second {}", second);
+            prop_assert_eq!(rk.removed, rs.removed);
+            prop_assert_eq!(rk.anomalous, rs.anomalous);
+            prop_assert_eq!(rk.probability.to_bits(), rs.probability.to_bits());
+            prop_assert_eq!(rk.needs_cloud_call, rs.needs_cloud_call);
+            prop_assert!(rk.windows_evaluated <= rs.windows_evaluated);
+            prop_assert_eq!(
+                rk.windows_evaluated + rk.windows_pruned,
+                rs.windows_evaluated + rs.windows_pruned
+            );
+            for (wk, ws) in kernel.tracked().iter().zip(scalar.tracked()) {
+                prop_assert_eq!(wk.set_id, ws.set_id);
+                prop_assert_eq!(wk.beta, ws.beta, "β diverged on {}", wk.set_id);
+                prop_assert_eq!(
+                    wk.last_score.to_bits(),
+                    ws.last_score.to_bits(),
+                    "area diverged on {}: {} vs {}", wk.set_id, wk.last_score, ws.last_score
+                );
+            }
+        }
+    }
+
+    /// Multi-iteration correlation sessions: the kernel engine makes the
+    /// same *decisions* as the scalar engine (same β trajectory, tracked
+    /// set, probability, cloud-call flag); scores agree to 1e-9 (the
+    /// 8-lane dot product reassociates, so bitwise equality is not the
+    /// contract there).
+    #[test]
+    fn kernel_correlation_session_matches_scalar_decisions(
+        (mdb, set) in arb_mdb_and_set(6),
+        inputs in prop::collection::vec(arb_signal(256), 1..4),
+        delta in 0.0f64..0.9,
+        windowed in prop::option::of(8usize..200),
+    ) {
+        let mut cfg = EdgeConfig::default()
+            .with_metric(EdgeMetric::CrossCorrelation { delta })
+            .expect("valid")
+            .with_h(1)
+            .expect("valid");
+        if let Some(w) = windowed {
+            cfg = cfg.with_search_window(w).expect("valid");
+        }
+        let mut kernel = EdgeTracker::new(cfg);
+        kernel.load(&set, &mdb).expect("hits resolve");
+        let mut scalar = kernel.clone();
+        for input in &inputs {
+            let rk = kernel.step(input).expect("kernel step");
+            let rs = scalar.step_scalar(input).expect("scalar step");
+            prop_assert_eq!(rk.tracked, rs.tracked);
+            prop_assert_eq!(rk.removed, rs.removed);
+            prop_assert_eq!(rk.anomalous, rs.anomalous);
+            prop_assert_eq!(rk.probability.to_bits(), rs.probability.to_bits());
+            prop_assert_eq!(rk.needs_cloud_call, rs.needs_cloud_call);
+            prop_assert_eq!(rk.windows_evaluated, rs.windows_evaluated);
+            for (wk, ws) in kernel.tracked().iter().zip(scalar.tracked()) {
+                prop_assert_eq!(wk.set_id, ws.set_id);
+                prop_assert_eq!(wk.beta, ws.beta, "β diverged on {}", wk.set_id);
+                prop_assert!(
+                    (wk.last_score - ws.last_score).abs() < 1e-9,
+                    "ω diverged on {}: {} vs {}", wk.set_id, wk.last_score, ws.last_score
+                );
             }
         }
     }

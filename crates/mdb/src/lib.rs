@@ -45,7 +45,7 @@ mod store;
 
 pub use builder::MdbBuilder;
 pub use error::MdbError;
-pub use slice::{Provenance, SetId, SignalSet};
+pub use slice::{Provenance, SetId, SharedSamples, SignalSet};
 pub use store::{Mdb, MdbStats, SharedMdb};
 
 /// Number of samples per signal-set (§V-B: "sliced into signal-sets of 1000

@@ -1,10 +1,80 @@
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use emap_datasets::SignalClass;
 use emap_dsp::kernel::HostStats;
 use serde::{Deserialize, Serialize};
 
 use crate::{MdbError, SIGNAL_SET_LEN};
+
+/// Reference-counted, immutable sample storage shared between the
+/// mega-database, its snapshots, and every edge tracker that downloads a
+/// slice — cloning a [`SharedSamples`] bumps a refcount instead of copying
+/// 1000 floats.
+///
+/// Serialization round-trips through `Vec<f32>`, so snapshots and JSON
+/// state files see a plain array; sharing is a process-local property and
+/// is (correctly) not preserved across the wire.
+///
+/// # Example
+///
+/// ```
+/// use emap_mdb::SharedSamples;
+///
+/// let a = SharedSamples::new(vec![1.0, 2.0, 3.0]);
+/// let b = a.clone();
+/// assert!(a.ptr_eq(&b)); // same allocation, not a copy
+/// assert_eq!(&a[..], &[1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "Vec<f32>", into = "Vec<f32>")]
+pub struct SharedSamples(Arc<[f32]>);
+
+impl SharedSamples {
+    /// Moves `samples` into shared storage.
+    #[must_use]
+    pub fn new(samples: Vec<f32>) -> Self {
+        SharedSamples(samples.into())
+    }
+
+    /// Whether `self` and `other` share the same allocation (i.e. one is a
+    /// clone of the other, not a deep copy).
+    #[must_use]
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl From<Vec<f32>> for SharedSamples {
+    fn from(samples: Vec<f32>) -> Self {
+        SharedSamples::new(samples)
+    }
+}
+
+impl From<SharedSamples> for Vec<f32> {
+    fn from(samples: SharedSamples) -> Self {
+        samples.0.to_vec()
+    }
+}
+
+impl std::ops::Deref for SharedSamples {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl AsRef<[f32]> for SharedSamples {
+    fn as_ref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl PartialEq for SharedSamples {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || self.0 == other.0
+    }
+}
 
 /// Identifier of a [`SignalSet`] within one [`crate::Mdb`]. Assigned
 /// densely at insertion, so it doubles as the store index.
@@ -73,16 +143,17 @@ impl Provenance {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SignalSet {
-    samples: Vec<f32>,
+    samples: SharedSamples,
     class: SignalClass,
     provenance: Provenance,
     /// Lazily built (and [`crate::Mdb`]-prewarmed) O(1)-statistics tables
-    /// for the kernel correlator. Derived from `samples`, which are
-    /// immutable after construction, so no invalidation is ever needed.
-    /// Skipped by serde: snapshots stay compact and stats are rebuilt on
-    /// load.
+    /// for the kernel correlator, behind an `Arc` so edge trackers that
+    /// download this slice reuse the exact tables instead of rebuilding.
+    /// Derived from `samples`, which are immutable after construction, so
+    /// no invalidation is ever needed. Skipped by serde: snapshots stay
+    /// compact and stats are rebuilt on load.
     #[serde(skip)]
-    stats: OnceLock<HostStats>,
+    stats: OnceLock<Arc<HostStats>>,
 }
 
 impl PartialEq for SignalSet {
@@ -110,7 +181,7 @@ impl SignalSet {
             return Err(MdbError::WrongSliceLength { got: samples.len() });
         }
         Ok(SignalSet {
-            samples,
+            samples: SharedSamples::new(samples),
             class,
             provenance,
             stats: OnceLock::new(),
@@ -120,6 +191,14 @@ impl SignalSet {
     /// The slice samples (always [`SIGNAL_SET_LEN`] of them).
     #[must_use]
     pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// The slice samples as shared storage: cloning the result is a
+    /// refcount bump, so edge downloads alias the store's allocation
+    /// instead of copying it.
+    #[must_use]
+    pub fn samples_shared(&self) -> &SharedSamples {
         &self.samples
     }
 
@@ -147,7 +226,19 @@ impl SignalSet {
     /// path.
     #[must_use]
     pub fn stats(&self) -> &HostStats {
-        self.stats.get_or_init(|| HostStats::new(&self.samples))
+        self.stats_arc_ref()
+    }
+
+    /// The statistics tables behind their shared handle, for consumers
+    /// (edge trackers) that keep them alive past a borrow of the set.
+    #[must_use]
+    pub fn stats_arc(&self) -> Arc<HostStats> {
+        Arc::clone(self.stats_arc_ref())
+    }
+
+    fn stats_arc_ref(&self) -> &Arc<HostStats> {
+        self.stats
+            .get_or_init(|| Arc::new(HostStats::new(&self.samples)))
     }
 
     /// Whether the statistics tables have already been built.
@@ -211,6 +302,33 @@ mod tests {
         assert!(set.stats_ready());
         let direct: f64 = samples[100..300].iter().map(|&x| f64::from(x)).sum();
         assert!((stats.window_sum(100, 200) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_are_shared_not_copied() {
+        let set = SignalSet::new(vec![0.25; 1000], SignalClass::Normal, prov()).unwrap();
+        let a = set.samples_shared().clone();
+        let b = set.samples_shared().clone();
+        assert!(a.ptr_eq(&b));
+        assert!(a.ptr_eq(set.samples_shared()));
+        // A value-equal but separately-allocated copy is equal, not aliased.
+        let copy = SharedSamples::new(set.samples().to_vec());
+        assert_eq!(a, copy);
+        assert!(!a.ptr_eq(&copy));
+        // Cloning the whole set shares the storage too.
+        let cloned = set.clone();
+        assert!(cloned.samples_shared().ptr_eq(set.samples_shared()));
+    }
+
+    #[test]
+    fn stats_handle_is_shared() {
+        let samples: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.07).cos()).collect();
+        let set = SignalSet::new(samples, SignalClass::Normal, prov()).unwrap();
+        let a = set.stats_arc();
+        let b = set.stats_arc();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 1000);
+        assert!(set.stats_ready());
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Criterion benches for the TCP transport layer: frame codec throughput
+//! and full loopback round-trips against a live [`CloudServer`].
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use emap_bench::{build_mdb, input_factory};
+use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
+use emap_core::CloudService;
+use emap_datasets::SignalClass;
+use emap_search::SearchConfig;
+use emap_wire::{frame_bytes, read_frame, Message, DEFAULT_MAX_PAYLOAD};
+
+fn bench_codec(c: &mut Criterion) {
+    let factory = input_factory();
+    let second = emap_bench::query_for(&factory, SignalClass::Normal, 0, 6.0)
+        .samples()
+        .to_vec();
+    let msg = Message::SearchRequest { second };
+    let encoded = frame_bytes(&msg);
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_search_request", |b| b.iter(|| frame_bytes(&msg)));
+    group.bench_function("decode_search_request", |b| {
+        b.iter(|| read_frame(&mut encoded.as_slice(), DEFAULT_MAX_PAYLOAD).expect("valid frame"))
+    });
+    group.finish();
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let mdb = build_mdb(1);
+    let service = CloudService::new(SearchConfig::paper(), mdb.into_shared(), 4);
+    let server =
+        CloudServer::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind loopback");
+    let client = RemoteCloud::new(
+        server.local_addr().to_string(),
+        RemoteCloudConfig::default(),
+    );
+    let factory = input_factory();
+    let second = emap_bench::query_for(&factory, SignalClass::Normal, 0, 6.0)
+        .samples()
+        .to_vec();
+
+    let mut group = c.benchmark_group("service");
+    group.bench_function("ping_roundtrip", |b| {
+        b.iter(|| client.ping().expect("ping"))
+    });
+    group.bench_function("search_roundtrip", |b| {
+        b.iter(|| client.search(&second).expect("search"))
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_codec, bench_loopback);
+criterion_main!(benches);

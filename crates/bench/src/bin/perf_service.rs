@@ -1,0 +1,183 @@
+//! Service-layer performance harness: drives the TCP cloud server over the
+//! loopback interface and emits `results/BENCH_service.json` — requests/s
+//! and latency percentiles at 1, 4, and 16 concurrent edge sessions, plus
+//! the wire cost (bytes/request) of a search exchange.
+//!
+//! `EMAP_BENCH_QUICK=1` shrinks the workload.
+
+use std::time::{Duration, Instant};
+
+use emap_bench::{banner, build_mdb, fmt_duration, input_factory, quick_mode, scaled};
+use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
+use emap_core::CloudService;
+use emap_datasets::SignalClass;
+use emap_search::SearchConfig;
+use emap_wire::{frame_bytes, Message};
+
+/// Latency percentile over a sorted sample set.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct LoadPoint {
+    sessions: usize,
+    requests: usize,
+    wall: Duration,
+    p50: Duration,
+    p99: Duration,
+}
+
+/// Runs `per_session` search requests from each of `sessions` concurrent
+/// clients and gathers per-request latencies.
+fn drive(addr: &str, seconds: &[Vec<f32>], sessions: usize, per_session: usize) -> LoadPoint {
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                scope.spawn(move || {
+                    let client = RemoteCloud::new(
+                        addr,
+                        RemoteCloudConfig {
+                            attempts: 10,
+                            backoff_base: Duration::from_millis(2),
+                            backoff_cap: Duration::from_millis(50),
+                            ..RemoteCloudConfig::default()
+                        },
+                    );
+                    let mut lats = Vec::with_capacity(per_session);
+                    for r in 0..per_session {
+                        let second = &seconds[(s + r) % seconds.len()];
+                        let t0 = Instant::now();
+                        let (work, slices) = client.search(second).expect("search under load");
+                        lats.push(t0.elapsed());
+                        assert!(work.sets_scanned > 0);
+                        std::hint::black_box(slices);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    LoadPoint {
+        sessions,
+        requests: latencies.len(),
+        wall,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    banner(
+        "BENCH_service — TCP transport throughput and latency",
+        "one cloud serves many wearables concurrently (Fig. 3 deployment)",
+    );
+    let mdb = build_mdb(scaled(4, 1));
+    let corpus_sets = mdb.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(8);
+    let service = CloudService::new(SearchConfig::paper(), mdb.into_shared(), workers);
+    let server = CloudServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            workers: 16,
+            pending_sessions: 32,
+            max_inflight_searches: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    println!("server: {addr}, {corpus_sets} signal-sets, {workers} search workers");
+
+    let factory = input_factory();
+    let seconds: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            emap_bench::query_for(&factory, SignalClass::ALL[i % 4], i, 6.0)
+                .samples()
+                .to_vec()
+        })
+        .collect();
+
+    // --- Wire cost of one search exchange. ------------------------------
+    let probe = RemoteCloud::new(addr.clone(), RemoteCloudConfig::default());
+    let (work, slices) = probe.search(&seconds[0]).expect("probe search");
+    let n_slices = slices.len();
+    let request_bytes = frame_bytes(&Message::SearchRequest {
+        second: seconds[0].clone(),
+    })
+    .len();
+    let response_bytes = frame_bytes(&Message::SearchResponse { work, slices }).len();
+    println!(
+        "wire: request {request_bytes} B, response {response_bytes} B ({n_slices} slices of 1000 samples)"
+    );
+
+    // --- Throughput/latency at growing concurrency. ---------------------
+    let per_session = scaled(24, 4);
+    let mut points = Vec::new();
+    for sessions in [1usize, 4, 16] {
+        let point = drive(&addr, &seconds, sessions, per_session);
+        let rps = point.requests as f64 / point.wall.as_secs_f64();
+        println!(
+            "{:>2} sessions: {:>3} reqs in {} — {rps:.1} req/s, p50 {}, p99 {}",
+            point.sessions,
+            point.requests,
+            fmt_duration(point.wall),
+            fmt_duration(point.p50),
+            fmt_duration(point.p99)
+        );
+        points.push(point);
+    }
+
+    let stats = server.shutdown();
+    println!(
+        "server counters: {} searches, {} busy rejections, {} protocol errors",
+        stats.searches, stats.busy_rejections, stats.protocol_errors
+    );
+
+    // Hand-formatted JSON (same contract style as the sibling BENCH bins).
+    let mut load = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            load.push_str(",\n");
+        }
+        load.push_str(&format!(
+            "    {{\n      \"sessions\": {},\n      \"requests\": {},\n      \"wall_us\": {:.1},\n      \"requests_per_sec\": {:.1},\n      \"p50_us\": {:.1},\n      \"p99_us\": {:.1}\n    }}",
+            p.sessions,
+            p.requests,
+            p.wall.as_secs_f64() * 1e6,
+            p.requests as f64 / p.wall.as_secs_f64(),
+            p.p50.as_secs_f64() * 1e6,
+            p.p99.as_secs_f64() * 1e6,
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"BENCH_service\",\n  \"quick_mode\": {},\n  \"corpus_sets\": {},\n  \"search_workers\": {},\n  \"wire\": {{\n    \"search_request_bytes\": {},\n    \"search_response_bytes\": {},\n    \"bytes_per_request\": {}\n  }},\n  \"load\": [\n{}\n  ],\n  \"server\": {{\n    \"searches\": {},\n    \"busy_rejections\": {},\n    \"protocol_errors\": {}\n  }}\n}}\n",
+        quick_mode(),
+        corpus_sets,
+        workers,
+        request_bytes,
+        response_bytes,
+        request_bytes + response_bytes,
+        load,
+        stats.searches,
+        stats.busy_rejections,
+        stats.protocol_errors,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_service.json";
+    std::fs::write(path, report).expect("write BENCH_service.json");
+    println!("\nwrote {path}");
+}

@@ -5,9 +5,13 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
-use emap_core::{EmapConfig, EmapPipeline, SessionReport};
+use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
+use emap_core::{
+    seconds_of, Acquisition, CloudService, EdgeFleet, EmapConfig, EmapPipeline, SessionReport,
+};
 use emap_datasets::{export, registry::standard_registry};
 use emap_edf::Recording;
+use emap_edge::{AnomalyPredictor, EdgeTracker, PaHistory};
 use emap_mdb::{Mdb, MdbBuilder};
 
 use crate::args::{Args, ArgsError};
@@ -61,9 +65,17 @@ pub fn dispatch<W: Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliError
         "build-mdb" => build_mdb(Args::parse(rest, &["out", "registry", "seed"])?, out),
         "mdb-info" => mdb_info(Args::parse(rest, &[])?, out),
         "monitor" => monitor(
-            Args::parse(rest, &["mdb", "input", "channel", "json"])?,
+            Args::parse(rest, &["mdb", "cloud", "input", "channel", "json"])?,
             out,
         ),
+        "serve" => serve(
+            Args::parse(
+                rest,
+                &["addr", "mdb", "registry", "seed", "workers", "seconds"],
+            )?,
+            out,
+        ),
+        "ping" => ping(Args::parse(rest, &["addr"])?, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(runtime)?;
             Ok(())
@@ -179,12 +191,25 @@ fn mdb_info<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
 }
 
 fn monitor<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
-    let mdb_path = args.require("mdb")?;
     let input_path = args.require("input")?;
     let json = args.get_or("json", false, "true or false")?;
 
-    let mdb = Mdb::read_snapshot(BufReader::new(File::open(mdb_path).map_err(runtime)?))
-        .map_err(runtime)?;
+    // Exactly one backend must be named; check before touching the input
+    // file so flag mistakes surface as usage errors.
+    let backend = match (args.get("mdb"), args.get("cloud")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "monitor takes --mdb FILE or --cloud HOST:PORT, not both".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "monitor needs --mdb FILE or --cloud HOST:PORT".into(),
+            ))
+        }
+        (backend, cloud) => (backend, cloud),
+    };
+
     let recording = Recording::read_from(BufReader::new(File::open(input_path).map_err(runtime)?))
         .map_err(runtime)?;
     let channel = match args.get("channel") {
@@ -194,6 +219,16 @@ fn monitor<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
         None => &recording.channels()[0],
     };
 
+    let mdb_path = match backend {
+        (None, Some(addr)) => {
+            return monitor_remote(addr, input_path, channel, json, out);
+        }
+        (Some(path), _) => path,
+        (None, None) => unreachable!("backend validated above"),
+    };
+
+    let mdb = Mdb::read_snapshot(BufReader::new(File::open(mdb_path).map_err(runtime)?))
+        .map_err(runtime)?;
     let config = EmapConfig::default();
     let mut pipeline = EmapPipeline::new(config, mdb);
     let trace = pipeline
@@ -224,6 +259,151 @@ fn monitor<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
         // Keep the machine-greppable verdict line stable.
         writeln!(out, "verdict: {:?}", report.verdict).map_err(runtime)?;
     }
+    Ok(())
+}
+
+/// `monitor --cloud`: the wearable half of the two-process deployment. One
+/// [`EdgeFleet`] session tracks locally and refreshes over TCP; if the
+/// cloud drops out mid-session the fleet degrades to local-only tracking
+/// (counted and reported) instead of aborting the session.
+fn monitor_remote<W: Write>(
+    addr: &str,
+    input_path: &str,
+    channel: &emap_edf::Channel,
+    json: bool,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let config = EmapConfig::default();
+    let client = RemoteCloud::new(addr, RemoteCloudConfig::default());
+    let mut fleet = EdgeFleet::new(1);
+    fleet.add_session("wearable", EdgeTracker::new(config.edge()));
+
+    let mut acq = Acquisition::new();
+    let mut history = PaHistory::new();
+    let mut degraded_ticks = 0usize;
+    let mut refreshes = 0usize;
+    for second in seconds_of(channel.samples()) {
+        let filtered = acq.process_second(second);
+        let inputs: [&[f32]; 1] = [&filtered];
+        let tick = fleet.serve_with(&client, &inputs).map_err(runtime)?;
+        history.push(tick.reports[0].probability);
+        degraded_ticks += tick.degraded.len();
+        refreshes += tick.refreshed.len();
+    }
+
+    let predictor = AnomalyPredictor::new(config.predictor()).map_err(runtime)?;
+    let verdict = predictor.classify(&history);
+
+    if json {
+        let record = serde_json::json!({
+            "input": input_path,
+            "channel": channel.label(),
+            "cloud": addr,
+            "pa": history.values(),
+            "final_pa": history.last(),
+            "refreshes": refreshes,
+            "degraded_ticks": degraded_ticks,
+            "verdict": format!("{verdict:?}"),
+        });
+        writeln!(out, "{record:#}").map_err(runtime)?;
+    } else {
+        writeln!(out, "{input_path} ({}) via {addr}:", channel.label()).map_err(runtime)?;
+        let series: Vec<String> = history.values().iter().map(|p| format!("{p:.2}")).collect();
+        writeln!(out, "P_A: [{}]", series.join(", ")).map_err(runtime)?;
+        writeln!(
+            out,
+            "cloud refreshes: {refreshes}, degraded ticks: {degraded_ticks}"
+        )
+        .map_err(runtime)?;
+        // Keep the machine-greppable verdict line stable.
+        writeln!(out, "verdict: {verdict:?}").map_err(runtime)?;
+    }
+    Ok(())
+}
+
+fn serve<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
+    let addr = args.require("addr")?;
+    let seed = args.get_or("seed", 42u64, "an integer")?;
+    let workers = args.get_or("workers", 4usize, "an integer")?;
+    let seconds: Option<u64> = match args.get("seconds") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| ArgsError::BadValue {
+            option: "seconds".into(),
+            value: v.into(),
+            expected: "an integer",
+        })?),
+    };
+
+    let mdb = match (args.get("mdb"), args.get("registry")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "serve takes --mdb FILE or --registry SCALE, not both".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "serve needs --mdb FILE or --registry SCALE".into(),
+            ))
+        }
+        (Some(path), None) => {
+            Mdb::read_snapshot(BufReader::new(File::open(path).map_err(runtime)?))
+                .map_err(runtime)?
+        }
+        (None, Some(scale)) => {
+            let scale: usize = scale.parse().map_err(|_| ArgsError::BadValue {
+                option: "registry".into(),
+                value: scale.into(),
+                expected: "an integer scale",
+            })?;
+            let mut builder = MdbBuilder::new();
+            for spec in standard_registry(scale) {
+                builder.add_dataset(&spec.generate(seed)).map_err(runtime)?;
+            }
+            builder.build()
+        }
+    };
+
+    let total = mdb.len();
+    let service = CloudService::new(EmapConfig::default().search(), mdb.into_shared(), workers);
+    let server_config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = CloudServer::bind(addr, service, server_config).map_err(runtime)?;
+    writeln!(
+        out,
+        "listening on {} ({total} signal-sets, {workers} workers)",
+        server.local_addr()
+    )
+    .map_err(runtime)?;
+
+    match seconds {
+        Some(s) => {
+            std::thread::sleep(std::time::Duration::from_secs(s));
+            let stats = server.shutdown();
+            writeln!(
+                out,
+                "served {} requests ({} searches, {} ingests, {} busy, {} protocol errors)",
+                stats.served,
+                stats.searches,
+                stats.ingested,
+                stats.busy_rejections,
+                stats.protocol_errors
+            )
+            .map_err(runtime)?;
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}
+
+fn ping<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
+    let addr = args.require("addr")?;
+    let client = RemoteCloud::new(addr, RemoteCloudConfig::default());
+    let total = client.ping().map_err(runtime)?;
+    writeln!(out, "pong: {total} signal-sets @ {addr}").map_err(runtime)?;
     Ok(())
 }
 
@@ -376,5 +556,93 @@ mod tests {
     #[test]
     fn inspect_requires_files() {
         assert!(matches!(run("inspect"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn monitor_requires_exactly_one_backend() {
+        assert!(matches!(
+            run("monitor --input x.emapedf"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run("monitor --input x.emapedf --mdb m.bin --cloud 127.0.0.1:1"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_requires_exactly_one_source() {
+        assert!(matches!(
+            run("serve --addr 127.0.0.1:0"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run("serve --addr 127.0.0.1:0 --mdb m.bin --registry 1"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn ping_unreachable_is_runtime_error() {
+        // TEST-NET-1: no server will ever answer here.
+        let err = run("ping --addr 192.0.2.1:9").unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn serve_ping_and_remote_monitor_roundtrip() {
+        let dir = tmp("serve");
+        let data = dir.join("data");
+        run(&format!(
+            "generate --out {} --scale 1 --seed 7",
+            data.display()
+        ))
+        .unwrap();
+        let some_file = std::fs::read_dir(data.join("physionet-mirror"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+
+        // A per-process port keeps parallel test binaries from colliding.
+        let port = 20000 + (std::process::id() % 20000) as u16;
+        let addr = format!("127.0.0.1:{port}");
+        let server_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            run(&format!(
+                "serve --addr {server_addr} --registry 1 --seed 7 --workers 2 --seconds 6"
+            ))
+        });
+
+        // Wait for the server to finish building its store and bind.
+        let mut pong = Err(CliError::Runtime("never pinged".into()));
+        for _ in 0..60 {
+            pong = run(&format!("ping --addr {addr}"));
+            if pong.is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        let out = pong.unwrap();
+        assert!(out.contains("pong:"), "{out}");
+
+        // The wearable side: remote monitor over the same server. Even if
+        // the bounded server exits mid-run the fleet degrades instead of
+        // failing, so this must always produce a verdict.
+        let out = run(&format!(
+            "monitor --cloud {addr} --input {}",
+            some_file.display()
+        ))
+        .unwrap();
+        assert!(out.contains("P_A:"), "{out}");
+        assert!(out.contains("degraded ticks:"), "{out}");
+        assert!(out.contains("verdict:"), "{out}");
+
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("listening on"), "{served}");
+        assert!(served.contains("served"), "{served}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

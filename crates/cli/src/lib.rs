@@ -11,6 +11,8 @@
 //! | `build-mdb` | build a mega-database (from directories or the registry) and snapshot it |
 //! | `mdb-info` | print statistics of a snapshot |
 //! | `monitor` | run the full framework over a recording and report the verdict |
+//! | `serve` | expose a mega-database as a TCP cloud server (`emap-cloud`) |
+//! | `ping` | health-check a running cloud server |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,8 +36,17 @@ USAGE:
       Build a mega-database and write a binary snapshot.
   emap mdb-info  FILE
       Print statistics of a mega-database snapshot.
-  emap monitor   --mdb FILE --input FILE [--channel LABEL] [--json true]
-      Run the EMAP pipeline over a recording and report the prediction.
+  emap monitor   (--mdb FILE | --cloud HOST:PORT) --input FILE
+                 [--channel LABEL] [--json true]
+      Run the EMAP pipeline over a recording and report the prediction —
+      against a local snapshot, or against a remote cloud server (the
+      edge keeps tracking in degraded mode if the cloud drops out).
+  emap serve     --addr HOST:PORT (--mdb FILE | --registry SCALE)
+                 [--seed N] [--workers N] [--seconds N]
+      Serve a mega-database over TCP for remote monitors; with
+      --seconds the server exits after that long (for scripting).
+  emap ping      --addr HOST:PORT
+      Health-check a running server and print its store size.
   emap help
       Show this message.
 ";

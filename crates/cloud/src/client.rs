@@ -1,0 +1,366 @@
+//! The edge-side transport client: [`RemoteCloud`] speaks the
+//! [`emap_wire`] protocol to a [`crate::CloudServer`] and plugs into the
+//! same [`CloudEndpoint`] seam the in-process service implements — the
+//! tracking code cannot tell which one it is talking to.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use emap_core::{CloudEndpoint, EmapError};
+use emap_edge::{EdgeTracker, SliceDownload};
+use emap_mdb::Provenance;
+use emap_search::{Query, SearchWork};
+use emap_wire::{error_code, frame_bytes, read_frame, Message, WireError, DEFAULT_MAX_PAYLOAD};
+
+/// Tuning knobs for [`RemoteCloud`].
+#[derive(Debug, Clone)]
+pub struct RemoteCloudConfig {
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for reading a full response frame.
+    pub read_timeout: Duration,
+    /// Deadline for writing a request frame.
+    pub write_timeout: Duration,
+    /// Attempts per request (first try included). Connect failures, send
+    /// and receive failures, and [`Message::Busy`] replies consume one
+    /// attempt each.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Largest response payload accepted.
+    pub max_payload: usize,
+}
+
+impl Default for RemoteCloudConfig {
+    fn default() -> Self {
+        RemoteCloudConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            attempts: 3,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(400),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// Errors from the remote transport.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// All attempts failed to move a request/response pair; carries the
+    /// last underlying failure.
+    Unreachable {
+        /// Attempts made.
+        attempts: u32,
+        /// The last failure, rendered.
+        last: String,
+    },
+    /// The server answered with a typed error reply.
+    Remote {
+        /// The [`error_code`] value.
+        code: u16,
+        /// The server's description.
+        detail: String,
+    },
+    /// The server answered with a message type that does not answer the
+    /// request (protocol violation).
+    Unexpected {
+        /// The reply actually received, rendered.
+        got: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Unreachable { attempts, last } => {
+                write!(f, "cloud unreachable after {attempts} attempts: {last}")
+            }
+            ClientError::Remote { code, detail } => {
+                write!(f, "cloud replied error {code}: {detail}")
+            }
+            ClientError::Unexpected { got } => {
+                write!(f, "cloud sent an unexpected reply: {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// An edge-resident client for a remote EMAP cloud server.
+///
+/// One TCP connection is kept alive across requests and re-established on
+/// demand; every request retries with capped exponential backoff (plus
+/// deterministic jitter) before giving up. A failed request never panics
+/// and never poisons the client — the next call simply reconnects.
+///
+/// As a [`CloudEndpoint`], an unreachable server surfaces as
+/// [`EmapError::Transport`], which [`emap_core::EdgeFleet::serve_with`]
+/// converts into degraded (local-only) tracking rather than a failure.
+pub struct RemoteCloud {
+    addr: String,
+    config: RemoteCloudConfig,
+    conn: Mutex<Option<TcpStream>>,
+    /// xorshift state for backoff jitter — deterministic, no clock seed.
+    jitter: AtomicU64,
+}
+
+impl fmt::Debug for RemoteCloud {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteCloud")
+            .field("addr", &self.addr)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteCloud {
+    /// Creates a client for the server at `addr` (`host:port`). No I/O
+    /// happens until the first request.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, config: RemoteCloudConfig) -> Self {
+        let addr = addr.into();
+        // Seed the jitter stream from the address so two clients do not
+        // retry in lockstep; any nonzero seed works.
+        let seed = addr.bytes().fold(0x9e37_79b9_7f4a_7c15u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        }) | 1;
+        RemoteCloud {
+            addr,
+            config,
+            conn: Mutex::new(None),
+            jitter: AtomicU64::new(seed),
+        }
+    }
+
+    /// The server address this client targets.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Health check: sends [`Message::Ping`], returns the server's current
+    /// store size.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the server is unreachable or misbehaves.
+    pub fn ping(&self) -> Result<u64, ClientError> {
+        match self.request(&Message::Ping)? {
+            Message::Pong { total_sets } => Ok(total_sets),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs a remote search for one 256-sample second and returns the
+    /// server's work summary plus the materialized top-K slices.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the server is unreachable or misbehaves.
+    pub fn search(&self, second: &[f32]) -> Result<(SearchWork, Vec<SliceDownload>), ClientError> {
+        let msg = Message::SearchRequest {
+            second: second.to_vec(),
+        };
+        match self.request(&msg)? {
+            Message::SearchResponse { work, slices } => Ok((work, slices)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ingests one labeled signal-set into the remote store; returns the
+    /// store's new size.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the server is unreachable or misbehaves.
+    pub fn ingest(
+        &self,
+        class: emap_datasets::SignalClass,
+        provenance: Provenance,
+        samples: Vec<f32>,
+    ) -> Result<u64, ClientError> {
+        let msg = Message::Ingest {
+            class,
+            provenance,
+            samples,
+        };
+        match self.request(&msg)? {
+            Message::IngestAck { total_sets } => Ok(total_sets),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One request/response exchange with retries.
+    fn request(&self, msg: &Message) -> Result<Message, ClientError> {
+        let frame = frame_bytes(msg);
+        let attempts = self.config.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt));
+            }
+            match self.try_once(&frame) {
+                Ok(Message::Busy) => {
+                    // Typed backpressure: retryable, with backoff.
+                    last = "server busy".into();
+                    // A Busy from the acceptor closes the connection; a
+                    // Busy from a worker keeps it. Reconnect either way to
+                    // rejoin the accept queue.
+                    self.disconnect();
+                }
+                Ok(Message::ErrorReply { code, detail }) if code == error_code::SHUTTING_DOWN => {
+                    // The server is going away; treat like unreachable so
+                    // callers degrade instead of erroring.
+                    last = format!("server shutting down: {detail}");
+                    self.disconnect();
+                }
+                Ok(Message::ErrorReply { code, detail }) => {
+                    return Err(ClientError::Remote { code, detail });
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    last = e.to_string();
+                    self.disconnect();
+                }
+            }
+        }
+        Err(ClientError::Unreachable { attempts, last })
+    }
+
+    /// Sends `frame` and reads one reply over the cached connection,
+    /// establishing it first if needed.
+    fn try_once(&self, frame: &[u8]) -> Result<Message, WireError> {
+        let mut guard = self.conn.lock().expect("client connection lock poisoned");
+        if guard.is_none() {
+            *guard = Some(self.connect()?);
+        }
+        let conn = guard.as_mut().expect("connection just installed");
+        conn.write_all(frame)?;
+        read_frame(conn, self.config.max_payload)
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let mut last = io::Error::new(io::ErrorKind::InvalidInput, "no socket addresses");
+        for addr in std::net::ToSocketAddrs::to_socket_addrs(&self.addr.as_str())? {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(conn) => {
+                    conn.set_read_timeout(Some(self.config.read_timeout))?;
+                    conn.set_write_timeout(Some(self.config.write_timeout))?;
+                    conn.set_nodelay(true)?;
+                    return Ok(conn);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn disconnect(&self) {
+        *self.conn.lock().expect("client connection lock poisoned") = None;
+    }
+
+    /// Capped exponential backoff with ±25% deterministic jitter.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.config.backoff_cap);
+        // xorshift64* step; derive a factor in [0.75, 1.25).
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(0.75 + unit / 2.0)
+    }
+}
+
+fn unexpected(got: &Message) -> ClientError {
+    ClientError::Unexpected {
+        got: format!("{got:?}")
+            .split_whitespace()
+            .next()
+            .unwrap_or("?")
+            .trim_end_matches('{')
+            .to_string(),
+    }
+}
+
+impl CloudEndpoint for RemoteCloud {
+    /// Remote refresh: ship the query second, install the downloaded
+    /// slices. Decision-equal to the in-process
+    /// [`emap_core::CloudService`] endpoint against the same store: floats
+    /// travel as bit patterns and the tracker rebuilds identical state
+    /// from the slices.
+    ///
+    /// Every [`ClientError`] maps to [`EmapError::Transport`]: from the
+    /// edge's point of view a misbehaving cloud and an absent cloud call
+    /// for the same response — keep tracking locally and retry later.
+    fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError> {
+        let (_work, slices) = self
+            .search(query.samples())
+            .map_err(|e| EmapError::Transport {
+                detail: e.to_string(),
+            })?;
+        tracker.load_remote(slices).map_err(EmapError::Edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let client = RemoteCloud::new("127.0.0.1:1", RemoteCloudConfig::default());
+        let cap = client.config.backoff_cap.mul_f64(1.25);
+        let mut seen = Vec::new();
+        for attempt in 1..6 {
+            let d = client.backoff(attempt);
+            assert!(d <= cap, "attempt {attempt}: {d:?} above cap");
+            assert!(d >= client.config.backoff_base.mul_f64(0.74));
+            seen.push(d);
+        }
+        // Jitter: not all equal once the cap is reached.
+        assert!(seen.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn unreachable_server_is_a_typed_error() {
+        // TEST-NET-1 address with a tiny timeout: connect cannot succeed.
+        let config = RemoteCloudConfig {
+            connect_timeout: Duration::from_millis(30),
+            attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..RemoteCloudConfig::default()
+        };
+        let client = RemoteCloud::new("192.0.2.1:9", config);
+        match client.ping() {
+            Err(ClientError::Unreachable { attempts: 2, .. }) => {}
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jitter_streams_differ_per_address() {
+        let a = RemoteCloud::new("10.0.0.1:80", RemoteCloudConfig::default());
+        let b = RemoteCloud::new("10.0.0.2:80", RemoteCloudConfig::default());
+        assert_ne!(
+            a.jitter.load(Ordering::Relaxed),
+            b.jitter.load(Ordering::Relaxed)
+        );
+    }
+}

@@ -1,0 +1,730 @@
+//! The cloud-side TCP endpoint: a fixed worker pool serving framed EMAP
+//! requests over persistent, pipelined connections.
+//!
+//! The server wraps an in-process [`CloudService`] — every decision
+//! (search, ingest) is delegated to it, so a remote client sees exactly
+//! the answers an in-process caller would. The transport layer adds only
+//! what a network needs: deadlines, backpressure, and a graceful way down.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use emap_core::CloudService;
+use emap_edge::SliceDownload;
+use emap_search::Query;
+use emap_wire::{error_code, read_frame, write_frame, Message, DEFAULT_MAX_PAYLOAD};
+
+/// Tuning knobs for [`CloudServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads, each owning one connection at a time.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// server answers new arrivals with [`Message::Busy`].
+    pub pending_sessions: usize,
+    /// Searches allowed in flight across all connections; requests beyond
+    /// this get [`Message::Busy`] instead of queueing unboundedly.
+    pub max_inflight_searches: usize,
+    /// Deadline for reading the remainder of a frame once its first byte
+    /// arrived, and for any mid-stream read.
+    pub read_timeout: Duration,
+    /// Deadline for writing a response frame.
+    pub write_timeout: Duration,
+    /// Largest payload accepted from a client (see
+    /// [`emap_wire::DEFAULT_MAX_PAYLOAD`]).
+    pub max_payload: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            pending_sessions: 16,
+            max_inflight_searches: 8,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// Monotonic counters the server maintains; cheap to read at any time via
+/// [`CloudServer::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered with a non-error reply.
+    pub served: u64,
+    /// Searches executed.
+    pub searches: u64,
+    /// Requests rejected with [`Message::Busy`] (either no worker slot or
+    /// no search permit).
+    pub busy_rejections: u64,
+    /// Signal-sets ingested.
+    pub ingested: u64,
+    /// Malformed frames or client-illegal messages.
+    pub protocol_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    served: AtomicU64,
+    searches: AtomicU64,
+    busy_rejections: AtomicU64,
+    ingested: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            searches: self.searches.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A counting permit for globally bounded in-flight searches.
+struct Permits {
+    inflight: AtomicUsize,
+    max: usize,
+}
+
+impl Permits {
+    fn try_acquire(self: &Arc<Self>) -> Option<PermitGuard> {
+        self.inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.max).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| PermitGuard(Arc::clone(self)))
+    }
+}
+
+struct PermitGuard(Arc<Permits>);
+
+impl Drop for PermitGuard {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Everything the accept loop and the workers share.
+struct Shared {
+    service: CloudService,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    permits: Arc<Permits>,
+    counters: Counters,
+}
+
+/// A threaded TCP server exposing a [`CloudService`] over the
+/// [`emap_wire`] protocol.
+///
+/// Architecture: one accept thread hands connections to a bounded queue; a
+/// fixed pool of workers each serves one connection at a time, answering
+/// pipelined requests in order. When the queue is full the acceptor
+/// answers [`Message::Busy`] and closes — clients treat that as a
+/// retryable condition, so overload degrades into backoff instead of
+/// unbounded queueing. [`CloudServer::shutdown`] stops accepting, lets
+/// every in-flight request finish and flush, then joins all threads.
+pub struct CloudServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CloudServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudServer")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.worker_handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CloudServer {
+    /// Binds `addr` and starts serving `service` in background threads.
+    ///
+    /// Bind to port 0 to let the OS pick a free port; read it back with
+    /// [`CloudServer::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: CloudService,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers = config.workers.max(1);
+        let pending = config.pending_sessions.max(1);
+        let shared = Arc::new(Shared {
+            permits: Arc::new(Permits {
+                inflight: AtomicUsize::new(0),
+                max: config.max_inflight_searches.max(1),
+            }),
+            service,
+            config,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(pending);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+
+        Ok(CloudServer {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The address the server actually listens on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Stops accepting, drains in-flight requests, and joins all threads.
+    ///
+    /// Sessions parked between requests are closed; a request already being
+    /// served completes and its response is flushed before the connection
+    /// drops. Queued-but-unserved connections get
+    /// [`error_code::SHUTTING_DOWN`].
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.counters.snapshot()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for CloudServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How long the acceptor and idle sessions sleep between shutdown checks.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut conn)) => {
+                        // No worker slot and the wait queue is full: tell
+                        // the client to back off rather than park it.
+                        shared
+                            .counters
+                            .busy_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
+                        let _ = write_frame(&mut conn, &Message::Busy);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    // Dropping `tx` (by returning) wakes workers blocked on recv.
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the lock only for the dequeue, never while serving.
+        let conn = {
+            let guard = rx.lock().expect("session queue lock poisoned");
+            guard.recv_timeout(POLL_INTERVAL)
+        };
+        match conn {
+            Ok(mut conn) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
+                    let _ = write_frame(
+                        &mut conn,
+                        &Message::ErrorReply {
+                            code: error_code::SHUTTING_DOWN,
+                            detail: "server shutting down".into(),
+                        },
+                    );
+                    continue;
+                }
+                serve_connection(shared, conn);
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Keep draining whatever is still queued; exit once
+                    // the acceptor dropped the sender and the queue is dry.
+                    continue;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// [`Read`] adapter that yields one already-read byte before the stream —
+/// lets the idle-probe byte rejoin the frame it heads.
+struct Prepend<'a, R> {
+    first: Option<u8>,
+    inner: &'a mut R,
+}
+
+impl<R: Read> Read for Prepend<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(b) = self.first.take() {
+            if buf.is_empty() {
+                self.first = Some(b);
+                return Ok(0);
+            }
+            buf[0] = b;
+            return Ok(1);
+        }
+        self.inner.read(buf)
+    }
+}
+
+fn serve_connection(shared: &Shared, mut conn: TcpStream) {
+    if conn
+        .set_write_timeout(Some(shared.config.write_timeout))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        // Idle probe: wait for the first byte of the next frame under a
+        // short deadline so the session notices shutdown promptly, without
+        // tearing down connections that are merely quiet between seconds.
+        if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+        let mut first = [0u8; 1];
+        let first = match conn.read(&mut first) {
+            Ok(0) => return, // peer closed
+            Ok(_) => first[0],
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        // A frame has started: the rest must arrive within the real
+        // deadline or the peer is considered gone.
+        if conn
+            .set_read_timeout(Some(shared.config.read_timeout))
+            .is_err()
+        {
+            return;
+        }
+        let mut reader = Prepend {
+            first: Some(first),
+            inner: &mut conn,
+        };
+        let msg = match read_frame(&mut reader, shared.config.max_payload) {
+            Ok(msg) => msg,
+            Err(e) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                // Best effort: name the violation, then drop the framing —
+                // after a malformed frame the stream cannot be resynced.
+                let _ = write_frame(
+                    &mut conn,
+                    &Message::ErrorReply {
+                        code: error_code::BAD_REQUEST,
+                        detail: format!("malformed frame: {e}"),
+                    },
+                );
+                // Closing with unread bytes still queued would turn the
+                // close into an RST, racing the reply out of the peer's
+                // receive buffer. Drain briefly so the close is a clean
+                // FIN and the typed error actually arrives.
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+                let mut sink = [0u8; 1024];
+                while matches!(conn.read(&mut sink), Ok(n) if n > 0) {}
+                return;
+            }
+        };
+        let (reply, close) = handle_request(shared, msg);
+        if write_frame(&mut conn, &reply).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Computes the reply for one decoded request. The bool asks the session
+/// loop to close the connection after sending it.
+fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
+    match msg {
+        Message::SearchRequest { second } => {
+            let Some(_permit) = shared.permits.try_acquire() else {
+                shared
+                    .counters
+                    .busy_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return (Message::Busy, false);
+            };
+            shared.counters.searches.fetch_add(1, Ordering::Relaxed);
+            (search_reply(shared, &second), false)
+        }
+        Message::Ingest {
+            class,
+            provenance,
+            samples,
+        } => {
+            // Frame decode already pinned the slice length, so this
+            // constructor cannot fail on length; map defensively anyway.
+            match emap_mdb::SignalSet::new(samples, class, provenance) {
+                Ok(set) => {
+                    shared.service.ingest(set);
+                    shared.counters.ingested.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                    (
+                        Message::IngestAck {
+                            total_sets: shared.service.mdb().len() as u64,
+                        },
+                        false,
+                    )
+                }
+                Err(e) => (
+                    Message::ErrorReply {
+                        code: error_code::BAD_REQUEST,
+                        detail: e.to_string(),
+                    },
+                    false,
+                ),
+            }
+        }
+        Message::Ping => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            (
+                Message::Pong {
+                    total_sets: shared.service.mdb().len() as u64,
+                },
+                false,
+            )
+        }
+        // Server-to-client message types arriving at the server are a
+        // protocol violation; answer once, then close.
+        Message::SearchResponse { .. }
+        | Message::IngestAck { .. }
+        | Message::Pong { .. }
+        | Message::Busy
+        | Message::ErrorReply { .. } => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            (
+                Message::ErrorReply {
+                    code: error_code::BAD_REQUEST,
+                    detail: "client sent a server-side message type".into(),
+                },
+                true,
+            )
+        }
+    }
+}
+
+fn search_reply(shared: &Shared, second: &[f32]) -> Message {
+    let query = match Query::new(second) {
+        Ok(q) => q,
+        Err(e) => {
+            return Message::ErrorReply {
+                code: error_code::BAD_REQUEST,
+                detail: e.to_string(),
+            }
+        }
+    };
+    let set = match shared.service.search(&query) {
+        Ok(set) => set,
+        Err(e) => {
+            return Message::ErrorReply {
+                code: error_code::INTERNAL,
+                detail: e.to_string(),
+            }
+        }
+    };
+    // Materialize each hit's slice for transport. Hits reference sets that
+    // were present during the search; the store only grows, so the lookup
+    // cannot miss — but a miss still maps to a typed error, not a panic.
+    let slices: Result<Vec<SliceDownload>, emap_mdb::MdbError> =
+        shared.service.mdb().with_read(|mdb| {
+            set.hits()
+                .iter()
+                .map(|hit| {
+                    let s = mdb.try_get(hit.set_id)?;
+                    Ok(SliceDownload {
+                        set_id: hit.set_id,
+                        omega: hit.omega,
+                        beta: hit.beta,
+                        class: s.class(),
+                        samples: s.samples().to_vec(),
+                    })
+                })
+                .collect()
+        });
+    match slices {
+        Ok(slices) => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            Message::SearchResponse {
+                work: set.work(),
+                slices,
+            }
+        }
+        Err(e) => Message::ErrorReply {
+            code: error_code::INTERNAL,
+            detail: e.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emap_datasets::RecordingFactory;
+    use emap_mdb::MdbBuilder;
+    use emap_search::SearchConfig;
+    use std::io::Write;
+
+    fn service() -> (CloudService, Vec<f32>) {
+        let factory = RecordingFactory::new(5);
+        let mut builder = MdbBuilder::new();
+        builder
+            .add_recording("d", &factory.normal_recording("r", 24.0))
+            .unwrap();
+        let stream = emap_dsp::emap_bandpass()
+            .filter(factory.normal_recording("p", 8.0).channels()[0].samples());
+        (
+            CloudService::new(SearchConfig::paper(), builder.build().into_shared(), 2),
+            stream,
+        )
+    }
+
+    fn quick_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            pending_sessions: 2,
+            max_inflight_searches: 2,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+
+    fn request(conn: &mut TcpStream, msg: &Message) -> Message {
+        write_frame(conn, msg).unwrap();
+        read_frame(conn, DEFAULT_MAX_PAYLOAD).unwrap()
+    }
+
+    #[test]
+    fn ping_pong_reports_store_size() {
+        let (service, _) = service();
+        let expected = service.mdb().len() as u64;
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = request(&mut conn, &Message::Ping);
+        assert_eq!(
+            reply,
+            Message::Pong {
+                total_sets: expected
+            }
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn search_over_loopback_returns_slices() {
+        let (service, stream) = service();
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = request(
+            &mut conn,
+            &Message::SearchRequest {
+                second: stream[1024..1280].to_vec(),
+            },
+        );
+        match reply {
+            Message::SearchResponse { work, slices } => {
+                assert!(work.sets_scanned > 0);
+                assert!(!slices.is_empty());
+                assert!(slices
+                    .iter()
+                    .all(|s| s.samples.len() == emap_mdb::SIGNAL_SET_LEN));
+            }
+            other => panic!("expected SearchResponse, got {other:?}"),
+        }
+        drop(conn);
+        let stats = server.shutdown();
+        assert_eq!(stats.searches, 1);
+    }
+
+    #[test]
+    fn pipelined_requests_answered_in_order() {
+        let (service, _) = service();
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        // Write three pings back-to-back before reading anything.
+        for _ in 0..3 {
+            write_frame(&mut conn, &Message::Ping).unwrap();
+        }
+        for _ in 0..3 {
+            assert!(matches!(
+                read_frame(&mut conn, DEFAULT_MAX_PAYLOAD).unwrap(),
+                Message::Pong { .. }
+            ));
+        }
+        drop(conn);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_gets_typed_error_and_close() {
+        let (service, _) = service();
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.write_all(b"NOT A FRAME AT ALL").unwrap();
+        let reply = read_frame(&mut conn, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert!(matches!(
+            reply,
+            Message::ErrorReply {
+                code: error_code::BAD_REQUEST,
+                ..
+            }
+        ));
+        // The connection is closed afterwards.
+        let mut byte = [0u8; 1];
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(conn.read(&mut byte).unwrap(), 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.protocol_errors, 1);
+    }
+
+    #[test]
+    fn client_illegal_message_type_is_rejected() {
+        let (service, _) = service();
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = request(&mut conn, &Message::Busy);
+        assert!(matches!(reply, Message::ErrorReply { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn ingest_grows_the_store_and_acks_with_total() {
+        let (service, _) = service();
+        let before = service.mdb().len() as u64;
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = request(
+            &mut conn,
+            &Message::Ingest {
+                class: emap_datasets::SignalClass::Stroke,
+                provenance: emap_mdb::Provenance {
+                    dataset_id: "live".into(),
+                    recording_id: "w1".into(),
+                    channel: "c".into(),
+                    offset: 0,
+                },
+                samples: vec![0.25; emap_mdb::SIGNAL_SET_LEN],
+            },
+        );
+        assert_eq!(
+            reply,
+            Message::IngestAck {
+                total_sets: before + 1
+            }
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.ingested, 1);
+    }
+
+    #[test]
+    fn shutdown_with_idle_connection_completes() {
+        let (service, _) = service();
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let addr = server.local_addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        assert!(matches!(
+            request(&mut conn, &Message::Ping),
+            Message::Pong { .. }
+        ));
+        // The connection idles; shutdown must not hang on it.
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 1);
+        // And the port is released for a successor.
+        let revived = CloudServer::bind(addr, service_like(), quick_config());
+        assert!(revived.is_ok());
+    }
+
+    fn service_like() -> CloudService {
+        let (service, _) = service();
+        service
+    }
+}

@@ -25,6 +25,24 @@ pub enum EmapError {
         /// Input windows supplied.
         inputs: usize,
     },
+    /// A remote cloud endpoint could not be reached (connect, send, or
+    /// receive failed after retries). Transport failures are *recoverable*:
+    /// [`crate::EdgeFleet::serve_with`] degrades the affected session to
+    /// local-only tracking instead of propagating this.
+    Transport {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+}
+
+impl EmapError {
+    /// Whether this error is a remote-transport failure — the one class the
+    /// fleet survives by degrading to local-only tracking rather than
+    /// aborting the tick.
+    #[must_use]
+    pub fn is_transport(&self) -> bool {
+        matches!(self, EmapError::Transport { .. })
+    }
 }
 
 impl fmt::Display for EmapError {
@@ -39,6 +57,7 @@ impl fmt::Display for EmapError {
             EmapError::FleetSizeMismatch { sessions, inputs } => {
                 write!(f, "fleet of {sessions} sessions fed {inputs} input windows")
             }
+            EmapError::Transport { detail } => write!(f, "cloud transport failed: {detail}"),
         }
     }
 }
@@ -49,7 +68,9 @@ impl std::error::Error for EmapError {
             EmapError::Search(e) => Some(e),
             EmapError::Edge(e) => Some(e),
             EmapError::Dsp(e) => Some(e),
-            EmapError::InputTooShort { .. } | EmapError::FleetSizeMismatch { .. } => None,
+            EmapError::InputTooShort { .. }
+            | EmapError::FleetSizeMismatch { .. }
+            | EmapError::Transport { .. } => None,
         }
     }
 }
@@ -90,10 +111,26 @@ mod tests {
                 sessions: 3,
                 inputs: 2,
             },
+            EmapError::Transport {
+                detail: "connection refused".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn only_transport_is_transport() {
+        assert!(EmapError::Transport { detail: "x".into() }.is_transport());
+        assert!(!EmapError::InputTooShort {
+            got: 10,
+            needed: 256
+        }
+        .is_transport());
+        assert!(
+            !EmapError::Search(emap_search::SearchError::BadQueryLength { got: 1 }).is_transport()
+        );
     }
 
     #[test]

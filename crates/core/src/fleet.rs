@@ -11,7 +11,7 @@
 use emap_edge::{EdgeTracker, StepReport};
 use emap_search::Query;
 
-use crate::{CloudService, EmapError};
+use crate::{CloudEndpoint, CloudService, EmapError};
 
 /// One patient's tracking session within an [`EdgeFleet`].
 #[derive(Debug, Clone)]
@@ -49,6 +49,11 @@ pub struct FleetTick {
     /// cloud during this tick (only [`EdgeFleet::serve`] fills this;
     /// [`EdgeFleet::tick`] leaves it empty).
     pub refreshed: Vec<usize>,
+    /// Indices of sessions that needed a cloud refresh but could not reach
+    /// it (transport failure): they keep tracking their shrinking local
+    /// set until a later refresh succeeds. Only [`EdgeFleet::serve_with`]
+    /// fills this; an in-process cloud never degrades.
+    pub degraded: Vec<usize>,
 }
 
 impl FleetTick {
@@ -186,6 +191,7 @@ impl EdgeFleet {
             return Ok(FleetTick {
                 reports: Vec::new(),
                 refreshed: Vec::new(),
+                degraded: Vec::new(),
             });
         }
         let chunk = self.sessions.len().div_ceil(self.workers);
@@ -216,6 +222,7 @@ impl EdgeFleet {
         Ok(FleetTick {
             reports,
             refreshed: Vec::new(),
+            degraded: Vec::new(),
         })
     }
 
@@ -227,19 +234,40 @@ impl EdgeFleet {
     /// # Errors
     ///
     /// The errors of [`EdgeFleet::tick`], plus search and load failures
-    /// from the refresh.
+    /// from the refresh. (An in-process [`CloudService`] never raises
+    /// transport failures, so `degraded` stays empty here.)
     pub fn serve(
         &mut self,
         cloud: &CloudService,
         inputs: &[&[f32]],
     ) -> Result<FleetTick, EmapError> {
+        self.serve_with(cloud, inputs)
+    }
+
+    /// [`EdgeFleet::serve`] over any [`CloudEndpoint`] — in-process or
+    /// remote — with graceful degradation: a session whose refresh fails
+    /// with [`EmapError::Transport`] is *not* an error. It keeps tracking
+    /// its current (shrinking) set, its index is recorded in
+    /// [`FleetTick::degraded`], and the next tick below `H` simply retries.
+    /// Non-transport refresh failures still abort the call.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`EdgeFleet::tick`], plus non-transport refresh
+    /// failures (bad query, search error, malformed response).
+    pub fn serve_with<C: CloudEndpoint + ?Sized>(
+        &mut self,
+        cloud: &C,
+        inputs: &[&[f32]],
+    ) -> Result<FleetTick, EmapError> {
         let mut tick = self.tick(inputs)?;
         for i in tick.needing_cloud() {
-            let set = cloud.search(&Query::new(inputs[i])?)?;
-            cloud
-                .mdb()
-                .with_read(|mdb| self.sessions[i].tracker.load(&set, mdb))?;
-            tick.refreshed.push(i);
+            let query = Query::new(inputs[i])?;
+            match cloud.refresh(&query, &mut self.sessions[i].tracker) {
+                Ok(()) => tick.refreshed.push(i),
+                Err(e) if e.is_transport() => tick.degraded.push(i),
+                Err(e) => return Err(e),
+            }
         }
         Ok(tick)
     }
@@ -362,6 +390,98 @@ mod tests {
         for (i, report) in tick2.reports.iter().enumerate() {
             assert_eq!(report.needs_cloud_call, tick2.refreshed.contains(&i));
         }
+    }
+
+    /// A cloud endpoint whose transport is down: every refresh fails with
+    /// [`EmapError::Transport`].
+    struct DeadCloud;
+
+    impl CloudEndpoint for DeadCloud {
+        fn refresh(&self, _query: &Query, _tracker: &mut EdgeTracker) -> Result<(), EmapError> {
+            Err(EmapError::Transport {
+                detail: "connection refused".into(),
+            })
+        }
+    }
+
+    /// A cloud endpoint that fails with a *non*-transport error.
+    struct BrokenCloud;
+
+    impl CloudEndpoint for BrokenCloud {
+        fn refresh(&self, _query: &Query, _tracker: &mut EdgeTracker) -> Result<(), EmapError> {
+            Err(EmapError::Search(
+                emap_search::SearchError::BadQueryLength { got: 1 },
+            ))
+        }
+    }
+
+    #[test]
+    fn serve_with_in_process_cloud_matches_serve() {
+        let (cloud, factory) = cloud();
+        let stream = patient_seconds(&factory, "p0");
+        let inputs: Vec<&[f32]> = vec![&stream[1024..1280]];
+
+        let mut a = EdgeFleet::new(2);
+        a.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+        let mut b = a.clone();
+
+        let ta = a.serve(&cloud, &inputs).unwrap();
+        let tb = b.serve_with(&cloud, &inputs).unwrap();
+        assert_eq!(ta, tb);
+        assert!(ta.degraded.is_empty());
+        assert_eq!(
+            a.sessions()[0].tracker().tracked(),
+            b.sessions()[0].tracker().tracked()
+        );
+    }
+
+    #[test]
+    fn unreachable_cloud_degrades_instead_of_failing() {
+        let (cloud, factory) = cloud();
+        let stream = patient_seconds(&factory, "p0");
+
+        // Load a real session first, then cut the cloud: the session must
+        // keep tracking its local set through degraded ticks.
+        let mut fleet = EdgeFleet::new(2);
+        fleet.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+        // An empty second session stays below H forever → needs the cloud
+        // every tick.
+        fleet.add_session("p1", EdgeTracker::new(EdgeConfig::default()));
+        let inputs: Vec<&[f32]> = vec![&stream[1024..1280], &stream[1024..1280]];
+        let tick = fleet.serve(&cloud, &inputs).unwrap();
+        assert_eq!(tick.refreshed, vec![0, 1]);
+        let tracked_before = fleet.sessions()[0].tracker().len();
+        assert!(tracked_before > 0);
+
+        let inputs2: Vec<&[f32]> = vec![&stream[1280..1536], &stream[1280..1536]];
+        let tick2 = fleet.serve_with(&DeadCloud, &inputs2).unwrap();
+        // No error, full per-session reports, and every session that needed
+        // the cloud is flagged degraded rather than refreshed.
+        assert_eq!(tick2.reports.len(), 2);
+        assert!(tick2.refreshed.is_empty());
+        assert_eq!(tick2.degraded, tick2.needing_cloud());
+        // Session 0 kept its (possibly shrunk) local set and still tracks.
+        assert!(fleet.sessions()[0].tracker().len() <= tracked_before);
+
+        // The cloud comes back: the next serve refreshes the starved
+        // sessions and the fleet exits degraded mode.
+        let tick3 = fleet.serve_with(&cloud, &inputs2).unwrap();
+        assert!(tick3.degraded.is_empty());
+        assert_eq!(tick3.refreshed, tick3.needing_cloud());
+        assert!(!fleet.sessions()[1].tracker().is_empty());
+    }
+
+    #[test]
+    fn non_transport_refresh_failure_still_aborts() {
+        let mut fleet = EdgeFleet::new(2);
+        fleet.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+        let second = vec![1.0f32; 255]
+            .into_iter()
+            .chain([2.0])
+            .collect::<Vec<_>>();
+        let inputs: Vec<&[f32]> = vec![&second];
+        let err = fleet.serve_with(&BrokenCloud, &inputs).unwrap_err();
+        assert!(matches!(err, EmapError::Search(_)));
     }
 
     #[test]

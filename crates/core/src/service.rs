@@ -6,8 +6,33 @@
 //! concurrently-ingestible store plus a thread-parallel search endpoint
 //! that multiple edge sessions call concurrently.
 
+use emap_edge::EdgeTracker;
 use emap_mdb::{SharedMdb, SignalSet};
 use emap_search::{CorrelationSet, ParallelSearch, Query, Search, SearchConfig, SearchError};
+
+use crate::EmapError;
+
+/// Anything an edge session can ask for a fresh correlation set: the
+/// in-process [`CloudService`] or a remote server reached over a transport
+/// (e.g. `emap_cloud::RemoteCloud`).
+///
+/// The contract is *decision equality*: given the same query against the
+/// same store contents, every implementation must leave `tracker` in an
+/// identical state — the transport may move bytes, but it must not move
+/// decisions. Implementations signal an unreachable backend with
+/// [`EmapError::Transport`] so callers ([`crate::EdgeFleet::serve_with`])
+/// can degrade to local-only tracking instead of aborting.
+pub trait CloudEndpoint {
+    /// Runs a fresh search for `query` and replaces `tracker`'s correlation
+    /// set with the result.
+    ///
+    /// # Errors
+    ///
+    /// [`EmapError::Transport`] when the backend is unreachable; other
+    /// variants for non-recoverable failures (bad query, search error,
+    /// malformed response).
+    fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError>;
+}
 
 /// A cloud node serving concurrent search requests over a shared,
 /// still-growing mega-database.
@@ -73,6 +98,14 @@ impl CloudService {
     /// "Insertion" arrow in Fig. 3).
     pub fn ingest(&self, set: SignalSet) {
         self.mdb.insert(set);
+    }
+}
+
+impl CloudEndpoint for CloudService {
+    fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError> {
+        let set = self.search(query)?;
+        self.mdb.with_read(|mdb| tracker.load(&set, mdb))?;
+        Ok(())
     }
 }
 

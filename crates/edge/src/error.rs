@@ -18,6 +18,12 @@ pub enum EdgeError {
     },
     /// A correlation-set hit references a signal-set missing from the MDB.
     MissingSet(emap_mdb::MdbError),
+    /// A downloaded slice does not hold exactly
+    /// [`emap_mdb::SIGNAL_SET_LEN`] samples.
+    BadSliceLength {
+        /// The supplied length.
+        got: usize,
+    },
     /// An underlying DSP primitive failed.
     Dsp(emap_dsp::DspError),
 }
@@ -32,6 +38,11 @@ impl fmt::Display for EdgeError {
                 write!(f, "edge parameter `{parameter}` has invalid value {value}")
             }
             EdgeError::MissingSet(e) => write!(f, "correlation set references missing data: {e}"),
+            EdgeError::BadSliceLength { got } => write!(
+                f,
+                "downloaded slice must hold {} samples, got {got}",
+                emap_mdb::SIGNAL_SET_LEN
+            ),
             EdgeError::Dsp(e) => write!(f, "dsp failure: {e}"),
         }
     }
@@ -72,6 +83,7 @@ mod tests {
                 value: -1.0,
             },
             EdgeError::MissingSet(emap_mdb::MdbError::UnknownSet { id: 5 }),
+            EdgeError::BadSliceLength { got: 999 },
             EdgeError::Dsp(emap_dsp::DspError::EmptySignal),
         ];
         for e in errs {

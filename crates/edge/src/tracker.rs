@@ -98,6 +98,27 @@ pub struct StepReport {
     pub windows_pruned: u64,
 }
 
+/// One correlation-set hit materialized for transport: the `W = [S, ω, β]`
+/// tuple plus the slice's label and its full 1000 samples.
+///
+/// This is the unit the cloud serializes onto the wire when the edge device
+/// is a *remote* process and cannot alias the store's allocation (contrast
+/// [`EdgeTracker::load`], where the download is a refcount bump). The edge
+/// rebuilds the tracked set from these via [`EdgeTracker::load_remote`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceDownload {
+    /// Which signal-set this is.
+    pub set_id: SetId,
+    /// The correlation the cloud search reported.
+    pub omega: f64,
+    /// Best-match offset the cloud search reported.
+    pub beta: usize,
+    /// Class label of the slice.
+    pub class: SignalClass,
+    /// The full slice samples (must hold [`emap_mdb::SIGNAL_SET_LEN`]).
+    pub samples: Vec<f32>,
+}
+
 /// Algorithm 2: the lightweight signal tracker running on the edge device.
 ///
 /// Per iteration ([`EdgeTracker::step`]), every tracked signal is scanned
@@ -156,6 +177,48 @@ impl EdgeTracker {
             });
         }
         self.tracked = tracked;
+        Ok(())
+    }
+
+    /// Replaces the tracked set with slices downloaded over a transport
+    /// ([`SliceDownload`]s decoded from a cloud response), rebuilding the
+    /// per-slice statistics tables locally.
+    ///
+    /// Loading the same correlation set through here and through
+    /// [`EdgeTracker::load`] yields byte-identical tracking state: the
+    /// statistics tables are a pure function of the samples, and every
+    /// other field travels bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::BadSliceLength`] if any slice does not hold
+    /// exactly [`emap_mdb::SIGNAL_SET_LEN`] samples. The tracked set is
+    /// left unchanged on error.
+    pub fn load_remote(&mut self, slices: Vec<SliceDownload>) -> Result<(), EdgeError> {
+        if let Some(bad) = slices
+            .iter()
+            .find(|s| s.samples.len() != emap_mdb::SIGNAL_SET_LEN)
+        {
+            return Err(EdgeError::BadSliceLength {
+                got: bad.samples.len(),
+            });
+        }
+        self.tracked = slices
+            .into_iter()
+            .map(|s| {
+                let samples = SharedSamples::new(s.samples);
+                let stats = Arc::new(HostStats::new(&samples));
+                TrackedSignal {
+                    set_id: s.set_id,
+                    omega: s.omega,
+                    beta: s.beta,
+                    last_score: 0.0,
+                    class: s.class,
+                    samples,
+                    stats,
+                }
+            })
+            .collect();
         Ok(())
     }
 
@@ -815,6 +878,72 @@ mod tests {
                 assert_eq!(tr.tracked()[0].beta, 256);
             }
         }
+    }
+
+    #[test]
+    fn load_remote_matches_local_load_exactly() {
+        // Loading the same correlation set via the MDB alias path and via
+        // materialized SliceDownloads must produce identical tracking
+        // state and identical subsequent decisions.
+        let sets: Vec<(SignalClass, Vec<f32>)> = vec![
+            (SignalClass::Seizure, rhythm(0.37, 0.0, SIGNAL_SET_LEN)),
+            (SignalClass::Normal, rhythm(0.52, 0.4, SIGNAL_SET_LEN)),
+        ];
+        let follow = sets[0].1.clone();
+        let mdb = mdb_with(sets);
+        let set = correlation_set(&[0, 1]);
+
+        let mut local = EdgeTracker::new(area_config(3800.0));
+        local.load(&set, &mdb).unwrap();
+
+        let downloads: Vec<SliceDownload> = set
+            .hits()
+            .iter()
+            .map(|hit| {
+                let s = mdb.try_get(hit.set_id).unwrap();
+                SliceDownload {
+                    set_id: hit.set_id,
+                    omega: hit.omega,
+                    beta: hit.beta,
+                    class: s.class(),
+                    samples: s.samples().to_vec(),
+                }
+            })
+            .collect();
+        let mut remote = EdgeTracker::new(area_config(3800.0));
+        remote.load_remote(downloads).unwrap();
+
+        assert_eq!(local.tracked(), remote.tracked());
+        for second in 0..3 {
+            let input = &follow[second * 256..(second + 1) * 256];
+            let rl = local.step(input).unwrap();
+            let rr = remote.step(input).unwrap();
+            assert_eq!(rl, rr, "second {second}");
+        }
+        assert_eq!(local.tracked(), remote.tracked());
+    }
+
+    #[test]
+    fn load_remote_rejects_short_slice_and_keeps_state() {
+        let host = rhythm(0.37, 0.0, SIGNAL_SET_LEN);
+        let mdb = mdb_with(vec![(SignalClass::Seizure, host.clone())]);
+        let mut tr = EdgeTracker::new(area_config(1e12));
+        tr.load(&correlation_set(&[0]), &mdb).unwrap();
+
+        let bad = vec![SliceDownload {
+            set_id: SetId(9),
+            omega: 0.5,
+            beta: 0,
+            class: SignalClass::Normal,
+            samples: vec![0.0; 999],
+        }];
+        assert!(matches!(
+            tr.load_remote(bad),
+            Err(EdgeError::BadSliceLength { got: 999 })
+        ));
+        // The failed load left the previous session untouched.
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.tracked()[0].set_id, SetId(0));
     }
 
     #[test]

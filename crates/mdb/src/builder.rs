@@ -162,6 +162,34 @@ impl Default for MdbBuilder {
     }
 }
 
+/// Maps an ingestion label to its [`SignalClass`], the validation every
+/// label-carrying ingest path (CLI directories, the `emap-wire` `Ingest`
+/// message an ingesting server decodes) funnels through.
+///
+/// # Errors
+///
+/// Returns [`MdbError::UnknownClassLabel`] for labels outside
+/// [`SignalClass::from_label`]'s vocabulary — a typed rejection, never a
+/// panic, so one malformed recording label cannot take down a server.
+///
+/// # Example
+///
+/// ```
+/// use emap_datasets::SignalClass;
+/// use emap_mdb::{class_from_label, MdbError};
+///
+/// assert_eq!(class_from_label("seizure").unwrap(), SignalClass::Seizure);
+/// assert!(matches!(
+///     class_from_label("sz-episode"),
+///     Err(MdbError::UnknownClassLabel { .. })
+/// ));
+/// ```
+pub fn class_from_label(label: &str) -> Result<SignalClass, MdbError> {
+    SignalClass::from_label(label).ok_or_else(|| MdbError::UnknownClassLabel {
+        label: label.to_string(),
+    })
+}
+
 /// Labels the slice window `[from_s, to_s)` by the anomaly annotation that
 /// overlaps it, if any. The preictal window is *not* an anomaly label: the
 /// tracker is supposed to discover the buildup via correlation with ictal
@@ -233,14 +261,19 @@ mod tests {
         let mut seen_seizure = 0;
         for set in mdb.iter() {
             let from_s = set.provenance().start_s();
-            match set.class() {
-                SignalClass::Seizure => {
-                    seen_seizure += 1;
-                    // Slice [from, from+3.90625) must overlap [200, 215).
-                    assert!(from_s + 1000.0 / 256.0 > 200.0 && from_s < 215.0);
-                }
-                SignalClass::Normal => seen_normal += 1,
-                other => panic!("unexpected class {other:?}"),
+            // Only the annotated classes may appear; assert instead of a
+            // `panic!` arm so a labeling bug reads as a test failure.
+            assert!(
+                matches!(set.class(), SignalClass::Seizure | SignalClass::Normal),
+                "unexpected class {:?}",
+                set.class()
+            );
+            if set.class() == SignalClass::Seizure {
+                seen_seizure += 1;
+                // Slice [from, from+3.90625) must overlap [200, 215).
+                assert!(from_s + 1000.0 / 256.0 > 200.0 && from_s < 215.0);
+            } else {
+                seen_normal += 1;
             }
         }
         assert!(seen_normal > 0 && seen_seizure > 0);
@@ -333,6 +366,19 @@ mod tests {
             b.add_edf_dir("/nonexistent/emap/dir"),
             Err(MdbError::Io(_))
         ));
+    }
+
+    #[test]
+    fn class_labels_validate_as_typed_errors() {
+        for class in SignalClass::ALL {
+            assert_eq!(class_from_label(class.label()).unwrap(), class);
+        }
+        for bad in ["", "sz", "Seizure", "seizure "] {
+            assert!(matches!(
+                class_from_label(bad),
+                Err(MdbError::UnknownClassLabel { ref label }) if label == bad
+            ));
+        }
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub enum MdbError {
         /// The requested id.
         id: u64,
     },
+    /// A recording or ingest request carries a class label no
+    /// [`emap_datasets::SignalClass`] uses — a malformed label must surface
+    /// as a typed error to an ingesting server, never as a panic.
+    UnknownClassLabel {
+        /// The offending label.
+        label: String,
+    },
 }
 
 impl fmt::Display for MdbError {
@@ -47,6 +54,9 @@ impl fmt::Display for MdbError {
                 crate::SIGNAL_SET_LEN
             ),
             MdbError::UnknownSet { id } => write!(f, "unknown signal-set id {id}"),
+            MdbError::UnknownClassLabel { label } => {
+                write!(f, "unknown signal-class label `{label}`")
+            }
         }
     }
 }
@@ -88,6 +98,7 @@ mod tests {
             MdbError::CorruptSnapshot { detail: "x".into() },
             MdbError::WrongSliceLength { got: 3 },
             MdbError::UnknownSet { id: 7 },
+            MdbError::UnknownClassLabel { label: "sz".into() },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

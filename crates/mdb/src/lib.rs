@@ -43,7 +43,7 @@ mod slice;
 mod snapshot;
 mod store;
 
-pub use builder::MdbBuilder;
+pub use builder::{class_from_label, MdbBuilder};
 pub use error::MdbError;
 pub use slice::{Provenance, SetId, SharedSamples, SignalSet};
 pub use store::{Mdb, MdbStats, SharedMdb};

@@ -1,0 +1,299 @@
+//! Little-endian payload (de)serialization helpers.
+//!
+//! [`PayloadWriter`] appends typed fields to a byte buffer;
+//! [`PayloadReader`] consumes them back, returning
+//! [`WireError::BadPayload`] on any shortfall instead of panicking.
+//! Floating-point values travel as raw IEEE-754 bit patterns, so a value
+//! round-trips bit-exactly — the loopback pipeline's decision-equality
+//! guarantee depends on that.
+
+use crate::WireError;
+
+/// Longest string field accepted on the wire (labels, provenance ids).
+pub const MAX_STRING_LEN: usize = 4096;
+
+/// Appends little-endian fields to a growing payload buffer.
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Creates an empty writer with some capacity preallocated.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        PayloadWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Finishes, returning the payload bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string (`u32` length + bytes).
+    pub fn put_str(&mut self, s: &str) {
+        debug_assert!(s.len() <= MAX_STRING_LEN, "string field exceeds wire cap");
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice (`u32` count + bit patterns).
+    pub fn put_f32_slice(&mut self, samples: &[f32]) {
+        self.put_u32(samples.len() as u32);
+        self.buf.reserve(samples.len() * 4);
+        for &s in samples {
+            self.buf.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+}
+
+/// Consumes little-endian fields from a payload slice.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every payload byte was consumed — trailing garbage is
+    /// as malformed as a shortfall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] when bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::BadPayload {
+                detail: format!("{} trailing bytes after message", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::BadPayload {
+                detail: format!(
+                    "payload truncated reading {what}: need {n} bytes, {} left",
+                    self.remaining()
+                ),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall.
+    pub fn get_u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall.
+    pub fn get_u16(&mut self, what: &str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall.
+    pub fn get_u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall.
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall.
+    pub fn get_f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string, enforcing [`MAX_STRING_LEN`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall, an oversized length
+    /// prefix, or invalid UTF-8.
+    pub fn get_str(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.get_u32(what)? as usize;
+        if len > MAX_STRING_LEN {
+            return Err(WireError::BadPayload {
+                detail: format!("string field {what} declares {len} bytes (cap {MAX_STRING_LEN})"),
+            });
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload {
+            detail: format!("string field {what} is not valid UTF-8"),
+        })
+    }
+
+    /// Reads a length-prefixed `f32` slice whose count must equal
+    /// `expected`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall or a count mismatch.
+    pub fn get_f32_slice(&mut self, expected: usize, what: &str) -> Result<Vec<f32>, WireError> {
+        let n = self.get_u32(what)? as usize;
+        if n != expected {
+            return Err(WireError::BadPayload {
+                detail: format!("{what} declares {n} samples, expected {expected}"),
+            });
+        }
+        let bytes = self.take(n * 4, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = PayloadWriter::default();
+        w.put_u8(7);
+        w.put_u16(513);
+        w.put_u32(1 << 20);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.125);
+        w.put_str("emap");
+        w.put_f32_slice(&[1.5, -2.25, f32::MIN_POSITIVE]);
+        let bytes = w.into_bytes();
+
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u16("b").unwrap(), 513);
+        assert_eq!(r.get_u32("c").unwrap(), 1 << 20);
+        assert_eq!(r.get_u64("d").unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64("e").unwrap(), -0.125);
+        assert_eq!(r.get_str("f").unwrap(), "emap");
+        assert_eq!(
+            r.get_f32_slice(3, "g").unwrap(),
+            vec![1.5, -2.25, f32::MIN_POSITIVE]
+        );
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn shortfall_is_typed() {
+        let mut r = PayloadReader::new(&[1, 2]);
+        assert!(matches!(
+            r.get_u32("field"),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let r = PayloadReader::new(&[0]);
+        assert!(matches!(r.finish(), Err(WireError::BadPayload { .. })));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = PayloadWriter::default();
+        w.put_u32(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = PayloadReader::new(&bytes);
+        assert!(matches!(r.get_str("s"), Err(WireError::BadPayload { .. })));
+    }
+
+    #[test]
+    fn huge_string_length_rejected_without_allocation() {
+        let mut w = PayloadWriter::default();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert!(matches!(r.get_str("s"), Err(WireError::BadPayload { .. })));
+    }
+
+    #[test]
+    fn sample_count_mismatch_rejected() {
+        let mut w = PayloadWriter::default();
+        w.put_f32_slice(&[0.0; 4]);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert!(matches!(
+            r.get_f32_slice(5, "samples"),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_and_infinity_round_trip_bit_exactly() {
+        let mut w = PayloadWriter::default();
+        w.put_f64(f64::NAN);
+        w.put_f32_slice(&[f32::INFINITY, f32::NEG_INFINITY]);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert!(r.get_f64("nan").unwrap().is_nan());
+        let s = r.get_f32_slice(2, "inf").unwrap();
+        assert_eq!(s, vec![f32::INFINITY, f32::NEG_INFINITY]);
+    }
+}

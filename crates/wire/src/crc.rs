@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, the zlib/`cksum -o 3` polynomial), table-driven.
+//!
+//! Frames carry a checksum over their payload so a flipped bit on the link
+//! surfaces as a typed [`crate::WireError::BadCrc`] instead of a garbage
+//! correlation set silently steering a tracker.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// 256-entry lookup table, built at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (initial value `!0`, final xor `!0` — the standard
+/// zlib convention).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"EMAP"), crc32(b"EMAP"));
+    }
+
+    #[test]
+    fn sensitive_to_any_flip() {
+        let base = crc32(b"correlation set payload");
+        let mut corrupted = b"correlation set payload".to_vec();
+        corrupted[5] ^= 0x01;
+        assert_ne!(crc32(&corrupted), base);
+    }
+}

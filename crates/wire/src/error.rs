@@ -1,0 +1,165 @@
+use std::fmt;
+use std::io;
+
+/// Errors from encoding, framing, and decoding wire messages.
+///
+/// Decoding is total: any byte stream — truncated, corrupted, oversized,
+/// or adversarial — maps to one of these variants, never to a panic.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The underlying stream failed (includes read/write deadline expiry,
+    /// which surfaces as [`io::ErrorKind::WouldBlock`] or
+    /// [`io::ErrorKind::TimedOut`]).
+    Io(io::Error),
+    /// The frame does not start with [`crate::MAGIC`].
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The frame declares a protocol version this build does not speak.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The frame declares an unknown message type.
+    UnknownType {
+        /// The type byte found.
+        found: u8,
+    },
+    /// The frame declares a payload larger than the negotiated cap — a
+    /// corrupt length field or a memory-exhaustion attempt; either way the
+    /// connection must not allocate it.
+    Oversized {
+        /// Declared payload length.
+        len: u64,
+        /// The enforced cap.
+        max: u64,
+    },
+    /// The payload checksum does not match the header's CRC-32.
+    BadCrc {
+        /// CRC declared in the header.
+        declared: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+    /// The payload is structurally malformed (short field, count/length
+    /// mismatch, bad UTF-8, trailing bytes, …).
+    BadPayload {
+        /// Human-readable description of the first inconsistency.
+        detail: String,
+    },
+    /// A signal-class label that no [`emap_datasets::SignalClass`] carries.
+    UnknownClass {
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o failure: {e}"),
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:?}, not an EMAP wire frame")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported wire protocol version {found}")
+            }
+            WireError::UnknownType { found } => write!(f, "unknown message type 0x{found:02x}"),
+            WireError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "declared payload of {len} bytes exceeds the {max}-byte cap"
+                )
+            }
+            WireError::BadCrc { declared, computed } => write!(
+                f,
+                "payload crc mismatch: header declares {declared:#010x}, computed {computed:#010x}"
+            ),
+            WireError::BadPayload { detail } => write!(f, "malformed payload: {detail}"),
+            WireError::UnknownClass { label } => {
+                write!(f, "unknown signal-class label `{label}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether this is a stream-level failure (disconnect, deadline) rather
+    /// than a malformed frame: callers retry the former and reject the
+    /// connection on the latter.
+    #[must_use]
+    pub fn is_io(&self) -> bool {
+        matches!(self, WireError::Io(_))
+    }
+
+    /// Whether the underlying I/O failure was a read/write deadline expiry.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<WireError> = vec![
+            WireError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
+            WireError::BadMagic { found: *b"HTTP" },
+            WireError::UnsupportedVersion { found: 9 },
+            WireError::UnknownType { found: 0xff },
+            WireError::Oversized {
+                len: 1 << 40,
+                max: 1 << 23,
+            },
+            WireError::BadCrc {
+                declared: 1,
+                computed: 2,
+            },
+            WireError::BadPayload { detail: "x".into() },
+            WireError::UnknownClass { label: "sz".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_and_timeout_classification() {
+        let timeout = WireError::Io(io::Error::new(io::ErrorKind::WouldBlock, "deadline"));
+        assert!(timeout.is_io());
+        assert!(timeout.is_timeout());
+        let eof = WireError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(eof.is_io());
+        assert!(!eof.is_timeout());
+        assert!(!WireError::UnknownType { found: 0 }.is_io());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<WireError>();
+    }
+}

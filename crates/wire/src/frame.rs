@@ -1,0 +1,232 @@
+//! Frame layer: a fixed 16-byte header in front of every message payload.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "EMW1"
+//! 4       1     protocol version (currently 1)
+//! 5       1     message type byte
+//! 6       2     reserved (written 0, ignored on read)
+//! 8       4     payload length, u32 LE
+//! 12      4     CRC-32 (IEEE) of the payload, u32 LE
+//! 16      len   payload
+//! ```
+//!
+//! The length field is validated against a caller-supplied cap *before*
+//! any payload allocation, so a corrupt or hostile length can neither
+//! panic nor exhaust memory; the CRC is validated before the payload is
+//! parsed, so a flipped link bit surfaces as [`WireError::BadCrc`].
+
+use std::io::{Read, Write};
+
+use crate::crc::crc32;
+use crate::{Message, WireError};
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"EMW1";
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 16;
+
+/// Default cap on payload length (8 MiB) — an order of magnitude above the
+/// largest legitimate message (a top-100 search response with slice
+/// payloads is ≈ 420 KiB), far below anything that could exhaust memory.
+pub const DEFAULT_MAX_PAYLOAD: usize = 8 << 20;
+
+/// Encodes `msg` as a complete frame (header + payload).
+#[must_use]
+pub fn frame_bytes(msg: &Message) -> Vec<u8> {
+    let payload = msg.encode_payload();
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(msg.type_byte());
+    frame.extend_from_slice(&[0, 0]);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Writes `msg` as one frame, returning the bytes put on the wire.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on stream failure (including a write
+/// deadline expiring).
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<usize, WireError> {
+    let frame = frame_bytes(msg);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Reads exactly one frame and decodes its message.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on stream failure or EOF, and the typed
+/// decode errors ([`WireError::BadMagic`], [`WireError::UnsupportedVersion`],
+/// [`WireError::Oversized`], [`WireError::BadCrc`], …) on malformed
+/// frames. Never panics and never allocates beyond `max_payload`.
+pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> Result<Message, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let declared_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    let declared_crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    check_header(&header, declared_len, max_payload)?;
+
+    let mut payload = vec![0u8; declared_len];
+    r.read_exact(&mut payload)?;
+    let computed = crc32(&payload);
+    if computed != declared_crc {
+        return Err(WireError::BadCrc {
+            declared: declared_crc,
+            computed,
+        });
+    }
+    Message::decode_payload(header[5], &payload)
+}
+
+/// Validates everything the header states before any payload I/O.
+fn check_header(
+    header: &[u8; HEADER_LEN],
+    len: usize,
+    max_payload: usize,
+) -> Result<(), WireError> {
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic {
+            found: header[0..4].try_into().unwrap(),
+        });
+    }
+    if header[4] != VERSION {
+        return Err(WireError::UnsupportedVersion { found: header[4] });
+    }
+    if len > max_payload {
+        return Err(WireError::Oversized {
+            len: len as u64,
+            max: max_payload as u64,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn ping_frame() -> Vec<u8> {
+        frame_bytes(&Message::Ping)
+    }
+
+    #[test]
+    fn roundtrip_through_a_stream() {
+        let msg = Message::SearchRequest {
+            second: (0..256).map(|i| i as f32 * 0.01).collect(),
+        };
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, &msg).unwrap();
+        assert_eq!(n, buf.len());
+        let back = read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn pipelined_frames_read_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Ping).unwrap();
+        write_frame(&mut buf, &Message::Pong { total_sets: 5 }).unwrap();
+        write_frame(&mut buf, &Message::Busy).unwrap();
+        let mut cursor = Cursor::new(&buf);
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap(),
+            Message::Ping
+        );
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap(),
+            Message::Pong { total_sets: 5 }
+        );
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap(),
+            Message::Busy
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = ping_frame();
+        frame[0..4].copy_from_slice(b"HTTP");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadMagic { found }) if &found == b"HTTP"
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut frame = ping_frame();
+        frame[4] = 2;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnsupportedVersion { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = ping_frame();
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let msg = Message::ErrorReply {
+            code: 7,
+            detail: "something".into(),
+        };
+        let mut frame = frame_bytes(&msg);
+        *frame.last_mut().unwrap() ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let frame = frame_bytes(&Message::Pong { total_sets: 3 });
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 2] {
+            let err = read_frame(&mut Cursor::new(&frame[..cut]), DEFAULT_MAX_PAYLOAD).unwrap_err();
+            assert!(err.is_io(), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn reserved_bytes_are_ignored_on_read() {
+        let mut frame = ping_frame();
+        frame[6] = 0xaa;
+        frame[7] = 0x55;
+        assert_eq!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD).unwrap(),
+            Message::Ping
+        );
+    }
+
+    #[test]
+    fn per_connection_cap_is_enforced() {
+        let frame = frame_bytes(&Message::SearchRequest {
+            second: vec![0.0; 256],
+        });
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), 64),
+            Err(WireError::Oversized { len: _, max: 64 })
+        ));
+    }
+}

@@ -1,0 +1,51 @@
+//! # emap-wire — the EMAP cloud-edge wire protocol
+//!
+//! The paper's deployment (Fig. 3) is a cloud search service talking to
+//! wearable edge devices over a real link; Figs. 4 and 9 budget the
+//! upload/download times of exactly that traffic. This crate defines the
+//! transport those figures assume: a versioned, length-prefixed binary
+//! protocol for the four EMAP conversations (search, slice download,
+//! ingest, health), built on `std` alone.
+//!
+//! Layering:
+//!
+//! * [`codec`] — little-endian field (de)serialization that returns typed
+//!   errors on any shortfall,
+//! * [`Message`] — the typed messages and their payload encodings,
+//! * [`frame`] — the `magic + version + type + length + crc32` frame
+//!   header, with a hard payload cap enforced before allocation,
+//! * [`crc`] — the CRC-32 the frame layer seals payloads with.
+//!
+//! Decoding is **total**: truncated, corrupt, oversized, or adversarial
+//! input produces a [`WireError`], never a panic — the proptests in
+//! `tests/proptests.rs` hammer exactly that contract. `emap-cloud` builds
+//! the threaded TCP server and the retrying edge client on top.
+//!
+//! # Example
+//!
+//! ```
+//! use emap_wire::{frame_bytes, read_frame, Message, DEFAULT_MAX_PAYLOAD};
+//!
+//! let request = Message::SearchRequest {
+//!     second: (0..256).map(|i| (i as f32 * 0.1).sin()).collect(),
+//! };
+//! let bytes = frame_bytes(&request);
+//! let decoded = read_frame(&mut &bytes[..], DEFAULT_MAX_PAYLOAD)?;
+//! assert_eq!(decoded, request);
+//! # Ok::<(), emap_wire::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+mod error;
+pub mod frame;
+mod message;
+
+pub use error::WireError;
+pub use frame::{
+    frame_bytes, read_frame, write_frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION,
+};
+pub use message::{error_code, Message};

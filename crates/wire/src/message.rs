@@ -1,0 +1,361 @@
+//! The four EMAP conversations as typed messages.
+//!
+//! | direction | request | response |
+//! |---|---|---|
+//! | edge → cloud | [`Message::SearchRequest`] | [`Message::SearchResponse`] / [`Message::Busy`] / [`Message::ErrorReply`] |
+//! | edge → cloud | [`Message::Ingest`] | [`Message::IngestAck`] / [`Message::Busy`] / [`Message::ErrorReply`] |
+//! | edge → cloud | [`Message::Ping`] | [`Message::Pong`] |
+//!
+//! A [`Message::SearchResponse`] carries the full download of the paper's
+//! cloud→edge arrow: every hit ships its 1000-sample MDB slice plus the
+//! class label, exactly what [`emap_edge::EdgeTracker::load_remote`] needs
+//! to start tracking without any shared memory.
+
+use emap_dsp::SAMPLES_PER_SECOND;
+use emap_edge::SliceDownload;
+use emap_mdb::{class_from_label, Provenance, SetId, SIGNAL_SET_LEN};
+use emap_search::SearchWork;
+
+use crate::codec::{PayloadReader, PayloadWriter};
+use crate::WireError;
+
+/// Application error codes carried by [`Message::ErrorReply`].
+pub mod error_code {
+    /// The request was understood but invalid (bad query, bad slice).
+    pub const BAD_REQUEST: u16 = 1;
+    /// The server failed while executing a valid request.
+    pub const INTERNAL: u16 = 2;
+    /// The server is shutting down and no longer accepts work.
+    pub const SHUTTING_DOWN: u16 = 3;
+}
+
+/// One message of the EMAP wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// One second (256 bandpass-filtered samples) to search the MDB for.
+    SearchRequest {
+        /// The query window `I_N`, exactly [`SAMPLES_PER_SECOND`] samples.
+        second: Vec<f32>,
+    },
+    /// The top-K correlation set, each hit bundled with its slice download.
+    SearchResponse {
+        /// Work counters of the search run.
+        work: SearchWork,
+        /// The hits in descending-ω order, slices included.
+        slices: Vec<SliceDownload>,
+    },
+    /// A new 1000-sample signal-set for the growing MDB.
+    Ingest {
+        /// The class label of the slice (validated at decode).
+        class: emap_datasets::SignalClass,
+        /// Where the slice came from.
+        provenance: Provenance,
+        /// Exactly [`SIGNAL_SET_LEN`] samples.
+        samples: Vec<f32>,
+    },
+    /// Ingest acknowledged; reports the store size after insertion.
+    IngestAck {
+        /// Signal-sets now in the MDB.
+        total_sets: u64,
+    },
+    /// Health probe.
+    Ping,
+    /// Health answer.
+    Pong {
+        /// Signal-sets currently in the MDB.
+        total_sets: u64,
+    },
+    /// Typed backpressure: the server is at its in-flight limit and sheds
+    /// this request instead of queueing it unboundedly. Retry later.
+    Busy,
+    /// Typed application failure (see [`error_code`]).
+    ErrorReply {
+        /// Machine-readable code.
+        code: u16,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl Message {
+    /// The message-type byte written into the frame header.
+    #[must_use]
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Message::SearchRequest { .. } => 0x01,
+            Message::SearchResponse { .. } => 0x02,
+            Message::Ingest { .. } => 0x03,
+            Message::IngestAck { .. } => 0x04,
+            Message::Ping => 0x05,
+            Message::Pong { .. } => 0x06,
+            Message::Busy => 0x07,
+            Message::ErrorReply { .. } => 0x08,
+        }
+    }
+
+    /// Serializes the payload (everything after the frame header).
+    #[must_use]
+    pub fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            Message::SearchRequest { second } => {
+                let mut w = PayloadWriter::with_capacity(4 + second.len() * 4);
+                w.put_f32_slice(second);
+                w.into_bytes()
+            }
+            Message::SearchResponse { work, slices } => {
+                let mut w = PayloadWriter::with_capacity(64 + slices.len() * (40 + 4 * 1000));
+                w.put_u64(work.correlations);
+                w.put_u64(work.sets_scanned);
+                w.put_u64(work.matches);
+                w.put_u8(u8::from(work.truncated));
+                w.put_u32(slices.len() as u32);
+                for s in slices {
+                    w.put_u64(s.set_id.0);
+                    w.put_f64(s.omega);
+                    w.put_u64(s.beta as u64);
+                    w.put_str(s.class.label());
+                    w.put_f32_slice(&s.samples);
+                }
+                w.into_bytes()
+            }
+            Message::Ingest {
+                class,
+                provenance,
+                samples,
+            } => {
+                let mut w = PayloadWriter::with_capacity(64 + samples.len() * 4);
+                w.put_str(class.label());
+                w.put_str(&provenance.dataset_id);
+                w.put_str(&provenance.recording_id);
+                w.put_str(&provenance.channel);
+                w.put_u64(provenance.offset);
+                w.put_f32_slice(samples);
+                w.into_bytes()
+            }
+            Message::IngestAck { total_sets } | Message::Pong { total_sets } => {
+                let mut w = PayloadWriter::with_capacity(8);
+                w.put_u64(*total_sets);
+                w.into_bytes()
+            }
+            Message::Ping | Message::Busy => Vec::new(),
+            Message::ErrorReply { code, detail } => {
+                let mut w = PayloadWriter::with_capacity(8 + detail.len());
+                w.put_u16(*code);
+                w.put_str(detail);
+                w.into_bytes()
+            }
+        }
+    }
+
+    /// Deserializes a payload for the given type byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnknownType`] for unassigned type bytes and
+    /// [`WireError::BadPayload`] / [`WireError::UnknownClass`] for
+    /// malformed contents. Never panics.
+    pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let msg = match type_byte {
+            0x01 => Message::SearchRequest {
+                second: r.get_f32_slice(SAMPLES_PER_SECOND, "query second")?,
+            },
+            0x02 => {
+                let work = SearchWork {
+                    correlations: r.get_u64("work.correlations")?,
+                    sets_scanned: r.get_u64("work.sets_scanned")?,
+                    matches: r.get_u64("work.matches")?,
+                    truncated: r.get_u8("work.truncated")? != 0,
+                };
+                let n = r.get_u32("hit count")?;
+                let mut slices = Vec::new();
+                for i in 0..n {
+                    let set_id = SetId(r.get_u64("hit.set_id")?);
+                    let omega = r.get_f64("hit.omega")?;
+                    let beta = usize::try_from(r.get_u64("hit.beta")?).map_err(|_| {
+                        WireError::BadPayload {
+                            detail: format!("hit {i} beta exceeds the address space"),
+                        }
+                    })?;
+                    let label = r.get_str("hit.class")?;
+                    let class =
+                        class_from_label(&label).map_err(|_| WireError::UnknownClass { label })?;
+                    let samples = r.get_f32_slice(SIGNAL_SET_LEN, "hit.samples")?;
+                    slices.push(SliceDownload {
+                        set_id,
+                        omega,
+                        beta,
+                        class,
+                        samples,
+                    });
+                }
+                Message::SearchResponse { work, slices }
+            }
+            0x03 => {
+                let label = r.get_str("ingest.class")?;
+                let class =
+                    class_from_label(&label).map_err(|_| WireError::UnknownClass { label })?;
+                let provenance = Provenance {
+                    dataset_id: r.get_str("ingest.dataset_id")?,
+                    recording_id: r.get_str("ingest.recording_id")?,
+                    channel: r.get_str("ingest.channel")?,
+                    offset: r.get_u64("ingest.offset")?,
+                };
+                let samples = r.get_f32_slice(SIGNAL_SET_LEN, "ingest.samples")?;
+                Message::Ingest {
+                    class,
+                    provenance,
+                    samples,
+                }
+            }
+            0x04 => Message::IngestAck {
+                total_sets: r.get_u64("ack.total_sets")?,
+            },
+            0x05 => Message::Ping,
+            0x06 => Message::Pong {
+                total_sets: r.get_u64("pong.total_sets")?,
+            },
+            0x07 => Message::Busy,
+            0x08 => Message::ErrorReply {
+                code: r.get_u16("error.code")?,
+                detail: r.get_str("error.detail")?,
+            },
+            found => return Err(WireError::UnknownType { found }),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emap_datasets::SignalClass;
+
+    fn prov() -> Provenance {
+        Provenance {
+            dataset_id: "live".into(),
+            recording_id: "p-7".into(),
+            channel: "C3".into(),
+            offset: 4000,
+        }
+    }
+
+    fn roundtrip(msg: &Message) -> Message {
+        Message::decode_payload(msg.type_byte(), &msg.encode_payload()).unwrap()
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let messages = vec![
+            Message::SearchRequest {
+                second: (0..256).map(|i| (i as f32 * 0.17).sin()).collect(),
+            },
+            Message::SearchResponse {
+                work: SearchWork {
+                    correlations: 12345,
+                    sets_scanned: 60,
+                    matches: 7,
+                    truncated: true,
+                },
+                slices: vec![SliceDownload {
+                    set_id: SetId(41),
+                    omega: 0.9375,
+                    beta: 512,
+                    class: SignalClass::Seizure,
+                    samples: (0..1000).map(|i| (i as f32 * 0.05).cos()).collect(),
+                }],
+            },
+            Message::Ingest {
+                class: SignalClass::Stroke,
+                provenance: prov(),
+                samples: vec![0.25; 1000],
+            },
+            Message::IngestAck { total_sets: 99 },
+            Message::Ping,
+            Message::Pong { total_sets: 1234 },
+            Message::Busy,
+            Message::ErrorReply {
+                code: error_code::BAD_REQUEST,
+                detail: "bad query".into(),
+            },
+        ];
+        for msg in &messages {
+            assert_eq!(&roundtrip(msg), msg, "{:#04x}", msg.type_byte());
+        }
+    }
+
+    #[test]
+    fn type_bytes_are_distinct() {
+        let bytes = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08];
+        let mut sorted = bytes.to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), bytes.len());
+    }
+
+    #[test]
+    fn unknown_type_is_typed() {
+        assert!(matches!(
+            Message::decode_payload(0x7f, &[]),
+            Err(WireError::UnknownType { found: 0x7f })
+        ));
+    }
+
+    #[test]
+    fn wrong_query_length_rejected() {
+        let msg = Message::SearchRequest {
+            second: vec![0.0; 255],
+        };
+        assert!(matches!(
+            Message::decode_payload(0x01, &msg.encode_payload()),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_class_label_rejected() {
+        let msg = Message::Ingest {
+            class: SignalClass::Seizure,
+            provenance: prov(),
+            samples: vec![0.0; 1000],
+        };
+        let mut payload = msg.encode_payload();
+        // The label "seizure" starts after its u32 length prefix; corrupt it.
+        payload[4] = b'x';
+        assert!(matches!(
+            Message::decode_payload(0x03, &payload),
+            Err(WireError::UnknownClass { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_rejected_at_every_cut() {
+        let msg = Message::SearchResponse {
+            work: SearchWork::default(),
+            slices: vec![SliceDownload {
+                set_id: SetId(0),
+                omega: 0.5,
+                beta: 3,
+                class: SignalClass::Normal,
+                samples: vec![0.0; 1000],
+            }],
+        };
+        let payload = msg.encode_payload();
+        for cut in [0, 1, 8, 24, 29, 37, 45, 52, payload.len() - 1] {
+            assert!(
+                Message::decode_payload(0x02, &payload[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = Message::Ping.encode_payload();
+        payload.push(0);
+        assert!(matches!(
+            Message::decode_payload(0x05, &payload),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+}

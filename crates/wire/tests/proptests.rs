@@ -1,0 +1,153 @@
+//! Property-based tests for the wire codec: every message type round-trips
+//! bit-exactly through a frame, and *no* byte stream — truncated, bit-flipped,
+//! or fully random — can make the decoder panic.
+
+use emap_datasets::SignalClass;
+use emap_edge::SliceDownload;
+use emap_mdb::{Provenance, SetId, SIGNAL_SET_LEN};
+use emap_search::SearchWork;
+use emap_wire::{frame_bytes, read_frame, Message, WireError, DEFAULT_MAX_PAYLOAD};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = SignalClass> {
+    prop_oneof![
+        Just(SignalClass::Normal),
+        Just(SignalClass::Seizure),
+        Just(SignalClass::Encephalopathy),
+        Just(SignalClass::Stroke),
+    ]
+}
+
+fn arb_provenance() -> impl Strategy<Value = Provenance> {
+    (
+        "[a-z-]{1,16}",
+        "[a-z0-9/]{1,16}",
+        "[A-Z0-9 ]{1,8}",
+        0u64..1 << 40,
+    )
+        .prop_map(|(dataset_id, recording_id, channel, offset)| Provenance {
+            dataset_id,
+            recording_id,
+            channel,
+            offset,
+        })
+}
+
+fn arb_slice() -> impl Strategy<Value = SliceDownload> {
+    (
+        0u64..1 << 48,
+        -1.0f64..=1.0,
+        0usize..SIGNAL_SET_LEN,
+        arb_class(),
+        prop::collection::vec(-500.0f32..500.0, SIGNAL_SET_LEN),
+    )
+        .prop_map(|(id, omega, beta, class, samples)| SliceDownload {
+            set_id: SetId(id),
+            omega,
+            beta,
+            class,
+            samples,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        prop::collection::vec(-100.0f32..100.0, 256)
+            .prop_map(|second| Message::SearchRequest { second }),
+        (
+            (0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20, any::<bool>()),
+            prop::collection::vec(arb_slice(), 0..4),
+        )
+            .prop_map(
+                |((correlations, sets_scanned, matches, truncated), slices)| {
+                    Message::SearchResponse {
+                        work: SearchWork {
+                            correlations,
+                            sets_scanned,
+                            matches,
+                            truncated,
+                        },
+                        slices,
+                    }
+                }
+            ),
+        (
+            arb_class(),
+            arb_provenance(),
+            prop::collection::vec(-500.0f32..500.0, SIGNAL_SET_LEN),
+        )
+            .prop_map(|(class, provenance, samples)| Message::Ingest {
+                class,
+                provenance,
+                samples,
+            }),
+        any::<u64>().prop_map(|total_sets| Message::IngestAck { total_sets }),
+        Just(Message::Ping),
+        any::<u64>().prop_map(|total_sets| Message::Pong { total_sets }),
+        Just(Message::Busy),
+        (any::<u16>(), "[ -~]{0,64}")
+            .prop_map(|(code, detail)| Message::ErrorReply { code, detail }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Frame encode → decode is the identity for every message type.
+    #[test]
+    fn frame_roundtrip_is_identity(msg in arb_message()) {
+        let bytes = frame_bytes(&msg);
+        let back = read_frame(&mut &bytes[..], DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Every strict prefix of a valid frame yields a typed error, not a
+    /// panic — the truncation can land in the header or the payload.
+    #[test]
+    fn any_truncation_is_a_typed_error(msg in arb_message(), frac in 0.0f64..1.0) {
+        let bytes = frame_bytes(&msg);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(read_frame(&mut &bytes[..cut], DEFAULT_MAX_PAYLOAD).is_err());
+    }
+
+    /// Flipping any single bit of a frame either still decodes to a valid
+    /// message (flips inside the reserved bytes) or yields a typed error;
+    /// flips inside the payload are always caught by the CRC.
+    #[test]
+    fn any_bit_flip_is_caught_or_harmless(msg in arb_message(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = frame_bytes(&msg);
+        let i = pos.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        match read_frame(&mut &bytes[..], DEFAULT_MAX_PAYLOAD) {
+            // Reserved header bytes (6..8) are the only mutable region that
+            // must decode unchanged.
+            Ok(back) => {
+                prop_assert!((6..8).contains(&i));
+                prop_assert_eq!(back, msg);
+            }
+            Err(e) => {
+                if i >= emap_wire::HEADER_LEN {
+                    prop_assert!(matches!(e, WireError::BadCrc { .. }));
+                }
+            }
+        }
+    }
+
+    /// Fully random byte soup never panics the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_frame(&mut &bytes[..], DEFAULT_MAX_PAYLOAD);
+    }
+
+    /// Random bytes behind a *valid* header (correct magic/version/length/
+    /// CRC) still decode without panicking: the payload parser itself is
+    /// total.
+    #[test]
+    fn random_payload_behind_valid_header_never_panics(
+        type_byte in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Message::decode_payload(type_byte, &payload);
+    }
+}

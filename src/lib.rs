@@ -16,6 +16,8 @@
 //! | [`net`] | `emap-net` | communication & device timing models |
 //! | [`edge`] | `emap-edge` | Algorithm 2 tracking, `P_A`, prediction |
 //! | [`core`] | `emap-core` | the assembled pipeline, timeline, evaluation |
+//! | [`wire`] | `emap-wire` | versioned CRC-framed binary wire protocol |
+//! | [`cloud`] | `emap-cloud` | TCP cloud server + fault-tolerant edge client |
 //!
 //! # Quickstart
 //!
@@ -53,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use emap_cloud as cloud;
 pub use emap_core as core;
 pub use emap_datasets as datasets;
 pub use emap_dsp as dsp;
@@ -61,12 +64,14 @@ pub use emap_edge as edge;
 pub use emap_mdb as mdb;
 pub use emap_net as net;
 pub use emap_search as search;
+pub use emap_wire as wire;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
     pub use emap_core::{
-        Acquisition, CloudService, EmapConfig, EmapPipeline, MonitorEvent, RunTrace,
-        StreamingMonitor,
+        Acquisition, CloudEndpoint, CloudService, EdgeFleet, EmapConfig, EmapPipeline,
+        MonitorEvent, RunTrace, StreamingMonitor,
     };
     pub use emap_datasets::{
         registry::standard_registry, DatasetSpec, RecordingFactory, SignalClass,

@@ -46,6 +46,19 @@ fn bench_loopback(c: &mut Criterion) {
     group.bench_function("search_roundtrip", |b| {
         b.iter(|| client.search(&second).expect("search"))
     });
+    // One fleet tick of 8 sessions as a single batched exchange: one
+    // frame, one shared sweep — against 8 search_roundtrip iterations.
+    let seconds: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            emap_bench::query_for(&factory, SignalClass::ALL[i % 4], i, 6.0)
+                .samples()
+                .to_vec()
+        })
+        .collect();
+    let tick: Vec<&[f32]> = seconds.iter().map(Vec::as_slice).collect();
+    group.bench_function("search_batch_8", |b| {
+        b.iter(|| client.search_batch(&tick).expect("batched search"))
+    });
     group.finish();
     server.shutdown();
 }

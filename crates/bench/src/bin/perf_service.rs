@@ -1,7 +1,9 @@
 //! Service-layer performance harness: drives the TCP cloud server over the
 //! loopback interface and emits `results/BENCH_service.json` — requests/s
 //! and latency percentiles at 1, 4, and 16 concurrent edge sessions, plus
-//! the wire cost (bytes/request) of a search exchange.
+//! the wire cost (bytes/request) of a search exchange — and
+//! `results/BENCH_batch.json`, comparing per-request fleet refreshes
+//! against batched shared sweeps at 1/4/16/64 concurrent sessions.
 //!
 //! `EMAP_BENCH_QUICK=1` shrinks the workload.
 
@@ -9,9 +11,11 @@ use std::time::{Duration, Instant};
 
 use emap_bench::{banner, build_mdb, fmt_duration, input_factory, quick_mode, scaled};
 use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
-use emap_core::CloudService;
-use emap_datasets::SignalClass;
-use emap_search::SearchConfig;
+use emap_core::{CloudEndpoint, CloudService};
+use emap_datasets::{RecordingFactory, SignalClass};
+use emap_edge::{EdgeConfig, EdgeTracker};
+use emap_mdb::{Mdb, MdbBuilder};
+use emap_search::{Query, SearchConfig};
 use emap_wire::{frame_bytes, Message};
 
 /// Latency percentile over a sorted sample set.
@@ -75,6 +79,86 @@ fn drive(addr: &str, seconds: &[Vec<f32>], sessions: usize, per_session: usize) 
         p50: percentile(&latencies, 0.50),
         p99: percentile(&latencies, 0.99),
     }
+}
+
+struct BatchPoint {
+    sessions: usize,
+    requests: usize,
+    per_request_wall: Duration,
+    batched_wall: Duration,
+}
+
+/// The fleet-scale corpus for BENCH_batch: a purpose-built store kept
+/// small enough that transport and materialization — the costs batching
+/// attacks — are a visible share of each refresh, as in the paper's
+/// per-hospital deployments.
+fn batch_mdb(factory: &RecordingFactory, recordings: usize, secs: f64) -> Mdb {
+    let mut builder = MdbBuilder::new();
+    for i in 0..recordings {
+        builder
+            .add_recording("d", &factory.normal_recording(&format!("bn{i}"), secs))
+            .expect("normal recording");
+        builder
+            .add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("bs{i}"), secs),
+            )
+            .expect("seizure recording");
+    }
+    builder.build()
+}
+
+/// Per-request mode: every session thread owns an [`EdgeTracker`] and
+/// refreshes it with its own `SearchRequest` per round — `sessions ×
+/// rounds` sweeps, each shipping its full download set.
+fn drive_per_request(addr: &str, seconds: &[Vec<f32>], sessions: usize, rounds: usize) -> Duration {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..sessions {
+            scope.spawn(move || {
+                let client = RemoteCloud::new(
+                    addr,
+                    RemoteCloudConfig {
+                        attempts: 20,
+                        backoff_base: Duration::from_millis(2),
+                        backoff_cap: Duration::from_millis(50),
+                        ..RemoteCloudConfig::default()
+                    },
+                );
+                let mut tracker = EdgeTracker::new(EdgeConfig::default());
+                for r in 0..rounds {
+                    let query =
+                        Query::new(&seconds[(s + r) % seconds.len()]).expect("query length");
+                    client
+                        .refresh(&query, &mut tracker)
+                        .expect("refresh under load");
+                    assert!(!tracker.tracked().is_empty());
+                }
+            });
+        }
+    });
+    started.elapsed()
+}
+
+/// Batched mode: a fleet gateway holds every session's tracker, collects
+/// the whole tick, and refreshes them all through one
+/// `SearchBatchRequest` — one sweep and one shared slice table per round.
+fn drive_batched(addr: &str, seconds: &[Vec<f32>], sessions: usize, rounds: usize) -> Duration {
+    let client = RemoteCloud::new(addr, RemoteCloudConfig::default());
+    let mut trackers: Vec<EdgeTracker> = (0..sessions)
+        .map(|_| EdgeTracker::new(EdgeConfig::default()))
+        .collect();
+    let started = Instant::now();
+    for r in 0..rounds {
+        let queries: Vec<Query> = (0..sessions)
+            .map(|s| Query::new(&seconds[(s + r) % seconds.len()]).expect("query length"))
+            .collect();
+        let mut refs: Vec<&mut EdgeTracker> = trackers.iter_mut().collect();
+        for outcome in client.refresh_batch(&queries, &mut refs) {
+            outcome.expect("batched refresh under load");
+        }
+    }
+    started.elapsed()
 }
 
 fn main() {
@@ -179,5 +263,102 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     let path = "results/BENCH_service.json";
     std::fs::write(path, report).expect("write BENCH_service.json");
+    println!("\nwrote {path}");
+
+    // --- Batched vs per-request fleet refresh. --------------------------
+    // A fresh server with micro-batching disabled: the per-request side is
+    // a true one-sweep-per-query baseline, and the batched side goes
+    // through the explicit SearchBatchRequest path (one sweep per tick).
+    // Enough workers that every per-request session owns a connection.
+    banner(
+        "BENCH_batch — shared-sweep batching vs per-request fleet refresh",
+        "one fleet tick as one SearchBatchRequest against its per-request equivalent",
+    );
+    let batch_mdb = batch_mdb(&factory, scaled(8, 2), 24.0);
+    let batch_corpus_sets = batch_mdb.len();
+    let service = CloudService::new(SearchConfig::paper(), batch_mdb.into_shared(), workers);
+    let batch_server = CloudServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            workers: 64,
+            pending_sessions: 64,
+            max_inflight_searches: 64,
+            max_batch: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = batch_server.local_addr().to_string();
+    println!("server: {addr}, {batch_corpus_sets} signal-sets, {workers} search workers");
+
+    // One distinct patient second per session slot, so no query in a tick
+    // duplicates another and slice sharing comes only from genuinely
+    // overlapping hit sets.
+    let seconds: Vec<Vec<f32>> = (0..16)
+        .map(|i| {
+            emap_bench::query_for(&factory, SignalClass::ALL[i % 4], i, 6.0)
+                .samples()
+                .to_vec()
+        })
+        .collect();
+
+    let rounds = scaled(12, 2);
+    let mut batch_points = Vec::new();
+    drive_per_request(&addr, &seconds, 4, 1); // connection + cache warmup
+    for sessions in [1usize, 4, 16, 64] {
+        let per_request_wall = drive_per_request(&addr, &seconds, sessions, rounds);
+        let batched_wall = drive_batched(&addr, &seconds, sessions, rounds);
+        let point = BatchPoint {
+            sessions,
+            requests: sessions * rounds,
+            per_request_wall,
+            batched_wall,
+        };
+        let rps_single = point.requests as f64 / per_request_wall.as_secs_f64();
+        let rps_batched = point.requests as f64 / batched_wall.as_secs_f64();
+        println!(
+            "{:>2} sessions: per-request {:.1} req/s, batched {:.1} req/s ({:.2}x)",
+            sessions,
+            rps_single,
+            rps_batched,
+            rps_batched / rps_single
+        );
+        batch_points.push(point);
+    }
+    let stats = batch_server.shutdown();
+
+    let mut load = String::new();
+    for (i, p) in batch_points.iter().enumerate() {
+        if i > 0 {
+            load.push_str(",\n");
+        }
+        let rps_single = p.requests as f64 / p.per_request_wall.as_secs_f64();
+        let rps_batched = p.requests as f64 / p.batched_wall.as_secs_f64();
+        load.push_str(&format!(
+            "    {{\n      \"sessions\": {},\n      \"requests\": {},\n      \"per_request_wall_us\": {:.1},\n      \"batched_wall_us\": {:.1},\n      \"per_request_rps\": {:.1},\n      \"batched_rps\": {:.1},\n      \"speedup\": {:.3}\n    }}",
+            p.sessions,
+            p.requests,
+            p.per_request_wall.as_secs_f64() * 1e6,
+            p.batched_wall.as_secs_f64() * 1e6,
+            rps_single,
+            rps_batched,
+            rps_batched / rps_single,
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"BENCH_batch\",\n  \"quick_mode\": {},\n  \"corpus_sets\": {},\n  \"search_workers\": {},\n  \"rounds_per_point\": {},\n  \"load\": [\n{}\n  ],\n  \"server\": {{\n    \"searches\": {},\n    \"sweeps\": {},\n    \"coalesced\": {},\n    \"busy_rejections\": {}\n  }}\n}}\n",
+        quick_mode(),
+        batch_corpus_sets,
+        workers,
+        rounds,
+        load,
+        stats.searches,
+        stats.sweeps,
+        stats.coalesced,
+        stats.busy_rejections,
+    );
+    let path = "results/BENCH_batch.json";
+    std::fs::write(path, report).expect("write BENCH_batch.json");
     println!("\nwrote {path}");
 }

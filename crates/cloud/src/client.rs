@@ -11,10 +11,13 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use emap_core::{CloudEndpoint, EmapError};
-use emap_edge::{EdgeTracker, SliceDownload};
+use emap_edge::{EdgeTracker, SharedDownload, SharedSlice, SliceDownload};
 use emap_mdb::Provenance;
 use emap_search::{Query, SearchWork};
-use emap_wire::{error_code, frame_bytes, read_frame, Message, WireError, DEFAULT_MAX_PAYLOAD};
+use emap_wire::{
+    error_code, frame_bytes, read_frame, BatchHit, Message, WireError, DEFAULT_MAX_PAYLOAD,
+    MAX_BATCH_QUERIES,
+};
 
 /// Tuning knobs for [`RemoteCloud`].
 #[derive(Debug, Clone)]
@@ -96,12 +99,112 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// A decoded batch response: the distinct slices of the whole tick,
+/// prepared once as shared handles, plus per-query work counters and hit
+/// references.
+///
+/// This is the client-side face of the wire's slice table (see
+/// [`emap_wire::Message::SearchBatchResponse`]): every
+/// [`SharedSlice`] was built — one sample copy, one statistics build —
+/// when the response was decoded, so handing a query's hits to its
+/// tracker via [`BatchDownload::shared`] costs refcount bumps however
+/// many sessions hit the same sets. [`BatchDownload::materialize`]
+/// rebuilds the owned per-query downloads a standalone
+/// [`RemoteCloud::search`] would have returned, bit for bit.
+#[derive(Debug)]
+pub struct BatchDownload {
+    slices: Vec<SharedSlice>,
+    results: Vec<(SearchWork, Vec<BatchHit>)>,
+}
+
+impl BatchDownload {
+    /// Number of queries answered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the batch was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Distinct slices across the whole batch.
+    #[must_use]
+    pub fn distinct_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Work counters of query `i`'s share of the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn work(&self, i: usize) -> SearchWork {
+        self.results[i].0
+    }
+
+    /// Query `i`'s hits as shared downloads — refcount bumps on the
+    /// batch's slice table, no sample copies, no statistics rebuilds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn shared(&self, i: usize) -> Vec<SharedDownload> {
+        self.results[i]
+            .1
+            .iter()
+            .map(|hit| SharedDownload {
+                omega: hit.omega,
+                beta: hit.beta,
+                slice: self.slices[hit.slice as usize].clone(),
+            })
+            .collect()
+    }
+
+    /// Query `i`'s hits as owned [`SliceDownload`]s — bit-identical to
+    /// what [`RemoteCloud::search`] would have returned for the same
+    /// second (copies the samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn materialize(&self, i: usize) -> Vec<SliceDownload> {
+        self.results[i]
+            .1
+            .iter()
+            .map(|hit| {
+                let s = &self.slices[hit.slice as usize];
+                SliceDownload {
+                    set_id: s.set_id(),
+                    omega: hit.omega,
+                    beta: hit.beta,
+                    class: s.class(),
+                    samples: s.samples().to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
 /// An edge-resident client for a remote EMAP cloud server.
 ///
 /// One TCP connection is kept alive across requests and re-established on
 /// demand; every request retries with capped exponential backoff (plus
 /// deterministic jitter) before giving up. A failed request never panics
 /// and never poisons the client — the next call simply reconnects.
+///
+/// [`Message::Busy`] is **typed backpressure, not an error**: a saturated
+/// server (no worker slot, or no search permit) answers Busy instead of
+/// queueing unboundedly, and this client burns one attempt, backs off,
+/// reconnects, and tries again. Only after `attempts` consecutive
+/// rejections does the request surface as [`ClientError::Unreachable`]
+/// (with the busy reason as `last`), which the [`CloudEndpoint`] seam
+/// maps to degraded local-only tracking rather than a hard failure.
 ///
 /// As a [`CloudEndpoint`], an unreachable server surfaces as
 /// [`EmapError::Transport`], which [`emap_core::EdgeFleet::serve_with`]
@@ -175,6 +278,70 @@ impl RemoteCloud {
             Message::SearchResponse { work, slices } => Ok((work, slices)),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Runs several remote searches as shared sweeps: the seconds travel
+    /// in [`Message::SearchBatchRequest`] frames (chunked at the wire cap
+    /// of [`MAX_BATCH_QUERIES`] per frame) and the server walks its store
+    /// once per frame instead of once per query. Results come back in
+    /// query order and are bitwise identical to calling
+    /// [`RemoteCloud::search`] once per second — but each distinct slice
+    /// travelled, and had its statistics built, only once for the whole
+    /// batch (see [`BatchDownload`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the server is unreachable or misbehaves —
+    /// including a batch response whose length does not match the request.
+    pub fn search_batch(&self, seconds: &[&[f32]]) -> Result<BatchDownload, ClientError> {
+        let mut out = BatchDownload {
+            slices: Vec::new(),
+            results: Vec::with_capacity(seconds.len()),
+        };
+        for chunk in seconds.chunks(MAX_BATCH_QUERIES) {
+            let msg = Message::SearchBatchRequest {
+                seconds: chunk.iter().map(|s| s.to_vec()).collect(),
+            };
+            match self.request(&msg)? {
+                Message::SearchBatchResponse { slices, results } => {
+                    if results.len() != chunk.len() {
+                        return Err(ClientError::Unexpected {
+                            got: format!(
+                                "batch response with {} results for {} queries",
+                                results.len(),
+                                chunk.len()
+                            ),
+                        });
+                    }
+                    // Decode validated every hit index against this
+                    // chunk's table; offset them past the slices of the
+                    // chunks already merged.
+                    let base = u32::try_from(out.slices.len()).expect("table fits in u32");
+                    for s in slices {
+                        let shared =
+                            SharedSlice::new(s.set_id, s.class, s.samples).map_err(|e| {
+                                ClientError::Unexpected {
+                                    got: format!("bad slice in batch response: {e}"),
+                                }
+                            })?;
+                        out.slices.push(shared);
+                    }
+                    out.results.extend(results.into_iter().map(|r| {
+                        let hits = r
+                            .hits
+                            .into_iter()
+                            .map(|mut hit| {
+                                hit.slice += base;
+                                hit
+                            })
+                            .collect();
+                        (r.work, hits)
+                    }));
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+        Ok(out)
     }
 
     /// Ingests one labeled signal-set into the remote store; returns the
@@ -315,6 +482,52 @@ impl CloudEndpoint for RemoteCloud {
                 detail: e.to_string(),
             })?;
         tracker.load_remote(slices).map_err(EmapError::Edge)
+    }
+
+    /// Batched remote refresh: every session's second travels in one
+    /// [`Message::SearchBatchRequest`] and the server answers with one
+    /// shared sweep — one round-trip for the whole fleet tick instead of
+    /// one per session, and one shared slice table for all of them: each
+    /// tracker's install is refcount bumps via
+    /// [`EdgeTracker::load_shared`], byte-identical in tracking state to
+    /// the per-session download path.
+    ///
+    /// Transport failure is all-or-nothing at this layer (the batch is a
+    /// single exchange), so on [`ClientError`] every slot reports
+    /// [`EmapError::Transport`] and the fleet degrades all of those
+    /// sessions to local-only tracking for the tick.
+    fn refresh_batch(
+        &self,
+        queries: &[Query],
+        trackers: &mut [&mut EdgeTracker],
+    ) -> Vec<Result<(), EmapError>> {
+        assert_eq!(
+            queries.len(),
+            trackers.len(),
+            "one tracker per query required"
+        );
+        let seconds: Vec<&[f32]> = queries.iter().map(Query::samples).collect();
+        match self.search_batch(&seconds) {
+            Ok(batch) => trackers
+                .iter_mut()
+                .enumerate()
+                .map(|(i, tracker)| {
+                    tracker.load_shared(batch.shared(i));
+                    Ok(())
+                })
+                .collect(),
+            Err(e) => {
+                let detail = e.to_string();
+                queries
+                    .iter()
+                    .map(|_| {
+                        Err(EmapError::Transport {
+                            detail: detail.clone(),
+                        })
+                    })
+                    .collect()
+            }
+        }
     }
 }
 

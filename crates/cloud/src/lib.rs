@@ -41,5 +41,5 @@
 mod client;
 mod server;
 
-pub use client::{ClientError, RemoteCloud, RemoteCloudConfig};
+pub use client::{BatchDownload, ClientError, RemoteCloud, RemoteCloudConfig};
 pub use server::{CloudServer, ServerConfig, ServerStats};

@@ -6,18 +6,23 @@
 //! the answers an in-process caller would. The transport layer adds only
 //! what a network needs: deadlines, backpressure, and a graceful way down.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use emap_core::CloudService;
 use emap_edge::SliceDownload;
-use emap_search::Query;
-use emap_wire::{error_code, read_frame, write_frame, Message, DEFAULT_MAX_PAYLOAD};
+use emap_mdb::SetId;
+use emap_search::{CorrelationSet, Query, SearchError};
+use emap_wire::{
+    error_code, read_frame, write_frame, BatchHit, BatchSearchResult, BatchSlice, Message,
+    DEFAULT_MAX_PAYLOAD,
+};
 
 /// Tuning knobs for [`CloudServer`].
 #[derive(Debug, Clone)]
@@ -38,6 +43,12 @@ pub struct ServerConfig {
     /// Largest payload accepted from a client (see
     /// [`emap_wire::DEFAULT_MAX_PAYLOAD`]).
     pub max_payload: usize,
+    /// Most single-query [`Message::SearchRequest`]s coalesced into one
+    /// shared sweep by the micro-batcher. `1` (or `0`) disables
+    /// coalescing and serves every request with its own store walk.
+    /// Replies are bitwise identical either way; only the number of
+    /// passes over the cached statistics changes.
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +60,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_payload: DEFAULT_MAX_PAYLOAD,
+            max_batch: 8,
         }
     }
 }
@@ -70,6 +82,14 @@ pub struct ServerStats {
     pub ingested: u64,
     /// Malformed frames or client-illegal messages.
     pub protocol_errors: u64,
+    /// Shared sweeps executed — one per [`CloudService::search_batch`]
+    /// call the server made, whether for an explicit batch request or a
+    /// micro-batched group of single requests.
+    pub sweeps: u64,
+    /// Searches that shared a sweep with at least one other query
+    /// (`batch size − 1`, summed over all sweeps). Zero means every
+    /// search walked the store alone.
+    pub coalesced: u64,
 }
 
 #[derive(Debug, Default)]
@@ -80,6 +100,8 @@ struct Counters {
     busy_rejections: AtomicU64,
     ingested: AtomicU64,
     protocol_errors: AtomicU64,
+    sweeps: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl Counters {
@@ -91,6 +113,8 @@ impl Counters {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             ingested: self.ingested.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +144,24 @@ impl Drop for PermitGuard {
     }
 }
 
+/// One single-query search parked in the micro-batcher: the query plus
+/// the channel its result travels back on.
+type PendingSearch = (
+    Query,
+    std::sync::mpsc::Sender<Result<CorrelationSet, SearchError>>,
+);
+
+/// The micro-batcher's shared queue. Group-commit style: the first
+/// worker to find the queue unattended elects itself leader, drains up
+/// to `max_batch` entries, runs them as one shared sweep, and hands each
+/// waiter its result; workers arriving mid-sweep enqueue and wait, so
+/// their requests ride the *next* sweep together.
+#[derive(Default)]
+struct BatchState {
+    pending: VecDeque<PendingSearch>,
+    sweeping: bool,
+}
+
 /// Everything the accept loop and the workers share.
 struct Shared {
     service: CloudService,
@@ -127,6 +169,8 @@ struct Shared {
     shutdown: AtomicBool,
     permits: Arc<Permits>,
     counters: Counters,
+    batch: Mutex<BatchState>,
+    batch_cv: Condvar,
 }
 
 /// A threaded TCP server exposing a [`CloudService`] over the
@@ -139,6 +183,14 @@ struct Shared {
 /// retryable condition, so overload degrades into backoff instead of
 /// unbounded queueing. [`CloudServer::shutdown`] stops accepting, lets
 /// every in-flight request finish and flush, then joins all threads.
+///
+/// Single-query searches from different connections that land in the
+/// same scheduling window are **micro-batched**: they queue briefly, one
+/// worker sweeps the store once for up to [`ServerConfig::max_batch`] of
+/// them, and each connection gets exactly the reply it would have gotten
+/// alone (the engine's batched sweep is bitwise identical to per-query
+/// search). [`Message::SearchBatchRequest`] skips the queue — it already
+/// names a whole batch and is served as one sweep directly.
 pub struct CloudServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
@@ -184,6 +236,8 @@ impl CloudServer {
             config,
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
+            batch: Mutex::new(BatchState::default()),
+            batch_cv: Condvar::new(),
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(pending);
@@ -431,6 +485,22 @@ fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
             shared.counters.searches.fetch_add(1, Ordering::Relaxed);
             (search_reply(shared, &second), false)
         }
+        Message::SearchBatchRequest { seconds } => {
+            // One permit covers the whole batch: it is one sweep's worth
+            // of store work, regardless of how many queries ride it.
+            let Some(_permit) = shared.permits.try_acquire() else {
+                shared
+                    .counters
+                    .busy_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return (Message::Busy, false);
+            };
+            shared
+                .counters
+                .searches
+                .fetch_add(seconds.len() as u64, Ordering::Relaxed);
+            (batch_reply(shared, &seconds), false)
+        }
         Message::Ingest {
             class,
             provenance,
@@ -471,6 +541,7 @@ fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
         // Server-to-client message types arriving at the server are a
         // protocol violation; answer once, then close.
         Message::SearchResponse { .. }
+        | Message::SearchBatchResponse { .. }
         | Message::IngestAck { .. }
         | Message::Pong { .. }
         | Message::Busy
@@ -490,6 +561,105 @@ fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
     }
 }
 
+/// How long a parked search waits on the batch condvar before re-checking
+/// its result channel — a safety net; the leader's notify normally wakes
+/// waiters well before this.
+const BATCH_WAIT: Duration = Duration::from_millis(50);
+
+/// Runs one query through the micro-batcher: enqueue, then either ride a
+/// leader's sweep or become the leader and sweep for everyone queued.
+///
+/// With `max_batch <= 1` this degenerates to a direct per-query search.
+fn batched_search(shared: &Shared, query: Query) -> Result<CorrelationSet, SearchError> {
+    if shared.config.max_batch <= 1 {
+        return shared.service.search(&query);
+    }
+    let (tx, rx) = std::sync::mpsc::channel();
+    shared
+        .batch
+        .lock()
+        .expect("batch queue lock poisoned")
+        .pending
+        .push_back((query, tx));
+    loop {
+        let state = shared.batch.lock().expect("batch queue lock poisoned");
+        // Check for our result while holding the lock: a leader that sends
+        // it after this check cannot flip `sweeping` and notify until we
+        // release the lock inside `wait_timeout`, so the wakeup is never
+        // lost.
+        if let Ok(result) = rx.try_recv() {
+            return result;
+        }
+        if state.sweeping || state.pending.is_empty() {
+            let (guard, _) = shared
+                .batch_cv
+                .wait_timeout(state, BATCH_WAIT)
+                .expect("batch queue lock poisoned");
+            drop(guard);
+            continue;
+        }
+        // Leader: take up to max_batch queued searches (ours is among them
+        // unless the queue runs deeper than one batch) and sweep the store
+        // once for all of them, outside the lock.
+        let mut state = state;
+        state.sweeping = true;
+        let take = state.pending.len().min(shared.config.max_batch);
+        let drained: Vec<PendingSearch> = state.pending.drain(..take).collect();
+        drop(state);
+
+        shared.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+        if drained.len() > 1 {
+            shared
+                .counters
+                .coalesced
+                .fetch_add(drained.len() as u64 - 1, Ordering::Relaxed);
+        }
+        let (queries, senders): (Vec<Query>, Vec<_>) = drained.into_iter().unzip();
+        match shared.service.search_batch(&queries) {
+            Ok(sets) => {
+                for (tx, set) in senders.iter().zip(sets) {
+                    let _ = tx.send(Ok(set));
+                }
+            }
+            Err(_) => {
+                // The shared sweep failed as a whole; retry each query on
+                // its own so one bad batch-mate cannot fail the others.
+                for (q, tx) in queries.iter().zip(&senders) {
+                    let _ = tx.send(shared.service.search(q));
+                }
+            }
+        }
+        shared
+            .batch
+            .lock()
+            .expect("batch queue lock poisoned")
+            .sweeping = false;
+        shared.batch_cv.notify_all();
+    }
+}
+
+/// Materializes each hit's slice for transport. Hits reference sets that
+/// were present during the search; the store only grows, so the lookup
+/// cannot miss — but a miss still maps to a typed error, not a panic.
+fn materialize(
+    mdb: &emap_mdb::Mdb,
+    set: &CorrelationSet,
+) -> Result<Vec<SliceDownload>, emap_mdb::MdbError> {
+    set.hits()
+        .iter()
+        .map(|hit| {
+            let s = mdb.try_get(hit.set_id)?;
+            Ok(SliceDownload {
+                set_id: hit.set_id,
+                omega: hit.omega,
+                beta: hit.beta,
+                class: s.class(),
+                samples: s.samples().to_vec(),
+            })
+        })
+        .collect()
+}
+
 fn search_reply(shared: &Shared, second: &[f32]) -> Message {
     let query = match Query::new(second) {
         Ok(q) => q,
@@ -500,7 +670,7 @@ fn search_reply(shared: &Shared, second: &[f32]) -> Message {
             }
         }
     };
-    let set = match shared.service.search(&query) {
+    let set = match batched_search(shared, query) {
         Ok(set) => set,
         Err(e) => {
             return Message::ErrorReply {
@@ -509,25 +679,7 @@ fn search_reply(shared: &Shared, second: &[f32]) -> Message {
             }
         }
     };
-    // Materialize each hit's slice for transport. Hits reference sets that
-    // were present during the search; the store only grows, so the lookup
-    // cannot miss — but a miss still maps to a typed error, not a panic.
-    let slices: Result<Vec<SliceDownload>, emap_mdb::MdbError> =
-        shared.service.mdb().with_read(|mdb| {
-            set.hits()
-                .iter()
-                .map(|hit| {
-                    let s = mdb.try_get(hit.set_id)?;
-                    Ok(SliceDownload {
-                        set_id: hit.set_id,
-                        omega: hit.omega,
-                        beta: hit.beta,
-                        class: s.class(),
-                        samples: s.samples().to_vec(),
-                    })
-                })
-                .collect()
-        });
+    let slices = shared.service.mdb().with_read(|mdb| materialize(mdb, &set));
     match slices {
         Ok(slices) => {
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
@@ -535,6 +687,87 @@ fn search_reply(shared: &Shared, second: &[f32]) -> Message {
                 work: set.work(),
                 slices,
             }
+        }
+        Err(e) => Message::ErrorReply {
+            code: error_code::INTERNAL,
+            detail: e.to_string(),
+        },
+    }
+}
+
+/// Serves an explicit batch request: parse every second, run one shared
+/// sweep, materialize all slices under a single store read.
+fn batch_reply(shared: &Shared, seconds: &[Vec<f32>]) -> Message {
+    let queries: Result<Vec<Query>, SearchError> = seconds.iter().map(|s| Query::new(s)).collect();
+    let queries = match queries {
+        Ok(q) => q,
+        Err(e) => {
+            return Message::ErrorReply {
+                code: error_code::BAD_REQUEST,
+                detail: e.to_string(),
+            }
+        }
+    };
+    shared.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+    if queries.len() > 1 {
+        shared
+            .counters
+            .coalesced
+            .fetch_add(queries.len() as u64 - 1, Ordering::Relaxed);
+    }
+    let sets = match shared.service.search_batch(&queries) {
+        Ok(sets) => sets,
+        Err(e) => {
+            return Message::ErrorReply {
+                code: error_code::INTERNAL,
+                detail: e.to_string(),
+            }
+        }
+    };
+    // Build the frame's slice table under one store read: each distinct
+    // set is fetched and copied once however many queries hit it, and the
+    // per-query results shrink to work counters plus table references.
+    // One read guard also means one snapshot — a set_id maps to the same
+    // samples for every query in the batch.
+    let assembled: Result<(Vec<BatchSlice>, Vec<BatchSearchResult>), emap_mdb::MdbError> =
+        shared.service.mdb().with_read(|mdb| {
+            let mut slices: Vec<BatchSlice> = Vec::new();
+            let mut index: HashMap<SetId, u32> = HashMap::new();
+            let mut results = Vec::with_capacity(sets.len());
+            for set in &sets {
+                let mut hits = Vec::with_capacity(set.len());
+                for hit in set.hits() {
+                    let slice = match index.get(&hit.set_id) {
+                        Some(&i) => i,
+                        None => {
+                            let s = mdb.try_get(hit.set_id)?;
+                            let i = u32::try_from(slices.len()).expect("table fits in u32");
+                            slices.push(BatchSlice {
+                                set_id: hit.set_id,
+                                class: s.class(),
+                                samples: s.samples().to_vec(),
+                            });
+                            index.insert(hit.set_id, i);
+                            i
+                        }
+                    };
+                    hits.push(BatchHit {
+                        slice,
+                        omega: hit.omega,
+                        beta: hit.beta,
+                    });
+                }
+                results.push(BatchSearchResult {
+                    work: set.work(),
+                    hits,
+                });
+            }
+            Ok((slices, results))
+        });
+    match assembled {
+        Ok((slices, results)) => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            Message::SearchBatchResponse { slices, results }
         }
         Err(e) => Message::ErrorReply {
             code: error_code::INTERNAL,
@@ -573,6 +806,7 @@ mod tests {
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
             max_payload: DEFAULT_MAX_PAYLOAD,
+            max_batch: 8,
         }
     }
 
@@ -623,6 +857,78 @@ mod tests {
         drop(conn);
         let stats = server.shutdown();
         assert_eq!(stats.searches, 1);
+    }
+
+    #[test]
+    fn batch_request_matches_single_requests() {
+        let (service, stream) = service();
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let seconds: Vec<Vec<f32>> = (0..3)
+            .map(|i| stream[i * 256..(i + 1) * 256].to_vec())
+            .collect();
+        // Ask one at a time, then as a batch: the batch must return the
+        // exact per-query responses, in order.
+        let singles: Vec<Message> = seconds
+            .iter()
+            .map(|s| request(&mut conn, &Message::SearchRequest { second: s.clone() }))
+            .collect();
+        let reply = request(
+            &mut conn,
+            &Message::SearchBatchRequest {
+                seconds: seconds.clone(),
+            },
+        );
+        let Message::SearchBatchResponse {
+            slices: table,
+            results,
+        } = reply
+        else {
+            panic!("expected SearchBatchResponse");
+        };
+        assert_eq!(results.len(), seconds.len());
+        for (single, batched) in singles.iter().zip(&results) {
+            let Message::SearchResponse { work, slices } = single else {
+                panic!("expected SearchResponse, got {single:?}");
+            };
+            assert_eq!(*work, batched.work);
+            assert_eq!(
+                *slices,
+                batched.materialize(&table).expect("indices in table")
+            );
+        }
+        // Three near-identical queries hit overlapping sets: the table
+        // holds each distinct slice once, fewer than the total hit count.
+        let total_hits: usize = results.iter().map(|r| r.hits.len()).sum();
+        assert!(
+            table.len() < total_hits,
+            "no table sharing: {} entries for {total_hits} hits",
+            table.len()
+        );
+        drop(conn);
+        let stats = server.shutdown();
+        // 3 singles + 3 queries in the batch; the batch ran as one sweep
+        // with 2 coalesced riders.
+        assert_eq!(stats.searches, 6);
+        assert!(stats.sweeps >= 4);
+        assert!(stats.coalesced >= 2);
+    }
+
+    #[test]
+    fn empty_batch_request_is_served() {
+        let (service, _) = service();
+        let server = CloudServer::bind("127.0.0.1:0", service, quick_config()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = request(&mut conn, &Message::SearchBatchRequest { seconds: vec![] });
+        assert_eq!(
+            reply,
+            Message::SearchBatchResponse {
+                slices: vec![],
+                results: vec![]
+            }
+        );
+        drop(conn);
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Loopback integration tests for the batched search path: one fleet
+//! tick travels as one [`emap_wire::Message::SearchBatchRequest`], the
+//! server sweeps its store once for the whole batch, and every layer of
+//! the stack must stay bitwise decision-equal to the per-query path —
+//! in process, per-request over TCP, and batched over TCP.
+
+use std::time::Duration;
+
+use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
+use emap_core::{CloudEndpoint, CloudService, EdgeFleet, EmapError};
+use emap_datasets::{RecordingFactory, SignalClass};
+use emap_edge::{EdgeConfig, EdgeTracker};
+use emap_mdb::MdbBuilder;
+use emap_search::{Query, SearchConfig};
+use emap_wire::{read_frame, write_frame, Message, DEFAULT_MAX_PAYLOAD};
+
+fn seeded_service(workers: usize) -> (CloudService, RecordingFactory) {
+    let factory = RecordingFactory::new(77);
+    let mut builder = MdbBuilder::new();
+    for i in 0..2 {
+        builder
+            .add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+            .unwrap();
+        builder
+            .add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+            )
+            .unwrap();
+    }
+    (
+        CloudService::new(
+            SearchConfig::paper(),
+            builder.build().into_shared(),
+            workers,
+        ),
+        factory,
+    )
+}
+
+fn patient_stream(factory: &RecordingFactory, id: &str) -> Vec<f32> {
+    emap_dsp::emap_bandpass().filter(factory.normal_recording(id, 16.0).channels()[0].samples())
+}
+
+/// Forces the per-query wire path: delegates `refresh` to the remote
+/// client but hides its `refresh_batch` override, so the trait's default
+/// (one `SearchRequest` per session) is what runs.
+struct PerQuery<'a>(&'a RemoteCloud);
+
+impl CloudEndpoint for PerQuery<'_> {
+    fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError> {
+        self.0.refresh(query, tracker)
+    }
+}
+
+/// Three fleets — in-process, per-request TCP, batched TCP — fed the same
+/// streams make bit-identical decisions every second, and the batched
+/// fleet actually coalesced its refreshes into shared sweeps.
+#[test]
+fn batched_fleet_is_decision_equal_over_tcp() {
+    let (service, factory) = seeded_service(2);
+    let server = CloudServer::bind("127.0.0.1:0", service.clone(), ServerConfig::default())
+        .expect("bind loopback");
+    let client = RemoteCloud::new(
+        server.local_addr().to_string(),
+        RemoteCloudConfig::default(),
+    );
+
+    let streams: Vec<Vec<f32>> = (0..3)
+        .map(|i| patient_stream(&factory, &format!("p{i}")))
+        .collect();
+
+    let mut local = EdgeFleet::new(2);
+    let mut per_query = EdgeFleet::new(2);
+    let mut batched = EdgeFleet::new(2);
+    for i in 0..streams.len() {
+        local.add_session(format!("p{i}"), EdgeTracker::new(EdgeConfig::default()));
+        per_query.add_session(format!("p{i}"), EdgeTracker::new(EdgeConfig::default()));
+        batched.add_session(format!("p{i}"), EdgeTracker::new(EdgeConfig::default()));
+    }
+
+    for second in 4..9 {
+        let inputs: Vec<&[f32]> = streams
+            .iter()
+            .map(|s| &s[second * 256..(second + 1) * 256])
+            .collect();
+        let tl = local.serve_with(&service, &inputs).expect("local serve");
+        let tq = per_query
+            .serve_with(&PerQuery(&client), &inputs)
+            .expect("per-query serve");
+        let tb = batched.serve_with(&client, &inputs).expect("batched serve");
+        assert_eq!(tl, tq, "per-query tick diverged at second {second}");
+        assert_eq!(tl, tb, "batched tick diverged at second {second}");
+        for ((sl, sq), sb) in local
+            .sessions()
+            .iter()
+            .zip(per_query.sessions())
+            .zip(batched.sessions())
+        {
+            assert_eq!(sl.tracker().tracked(), sq.tracker().tracked());
+            assert_eq!(sl.tracker().tracked(), sb.tracker().tracked());
+        }
+    }
+    let stats = server.shutdown();
+    // The first tick refreshed all three empty sessions in one batch
+    // frame, so at least two searches rode another query's sweep.
+    assert!(stats.coalesced >= 2, "no coalescing observed: {stats:?}");
+    assert!(stats.sweeps >= 1);
+}
+
+/// An explicit batch request answers exactly what per-second searches
+/// would: same work counters, same slices, in query order.
+#[test]
+fn explicit_batch_equals_per_second_searches() {
+    let (service, factory) = seeded_service(2);
+    let server =
+        CloudServer::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind loopback");
+    let client = RemoteCloud::new(
+        server.local_addr().to_string(),
+        RemoteCloudConfig::default(),
+    );
+    let stream = patient_stream(&factory, "p0");
+    let seconds: Vec<&[f32]> = (4..8).map(|s| &stream[s * 256..(s + 1) * 256]).collect();
+
+    let singles: Vec<_> = seconds
+        .iter()
+        .map(|s| client.search(s).expect("single search"))
+        .collect();
+    let batch = client.search_batch(&seconds).expect("batch search");
+    assert_eq!(batch.len(), singles.len());
+    let mut total_hits = 0;
+    for (i, (sw, ss)) in singles.iter().enumerate() {
+        assert_eq!(*sw, batch.work(i), "work counters diverged");
+        assert_eq!(*ss, batch.materialize(i), "slices diverged");
+        total_hits += ss.len();
+    }
+    // Consecutive seconds of one patient hit overlapping sets: the batch
+    // carried each distinct slice once, not once per hit.
+    assert!(
+        batch.distinct_slices() < total_hits,
+        "no slice sharing: {} distinct for {total_hits} hits",
+        batch.distinct_slices()
+    );
+    server.shutdown();
+}
+
+/// Satellite: a saturated server answers [`Message::Busy`], the client
+/// treats it as retryable backpressure under its capped backoff, and the
+/// request succeeds once capacity frees up — no error ever escapes.
+#[test]
+fn busy_saturation_is_retryable_backpressure() {
+    let (service, factory) = seeded_service(1);
+    let config = ServerConfig {
+        workers: 1,
+        pending_sessions: 1,
+        ..ServerConfig::default()
+    };
+    let server = CloudServer::bind("127.0.0.1:0", service, config).expect("bind loopback");
+    let addr = server.local_addr();
+    let stream = patient_stream(&factory, "p0");
+
+    // Pin the only worker with a connection that stays open (a served
+    // ping proves the worker owns it), then park a second connection in
+    // the one-slot wait queue.
+    let mut pin = std::net::TcpStream::connect(addr).expect("pin connect");
+    write_frame(&mut pin, &Message::Ping).expect("pin ping");
+    assert!(matches!(
+        read_frame(&mut pin, DEFAULT_MAX_PAYLOAD).expect("pin pong"),
+        Message::Pong { .. }
+    ));
+    let parked = std::net::TcpStream::connect(addr).expect("parked connect");
+
+    // A single-attempt client now hits the acceptor's Busy and gives up:
+    // saturation surfaces as Unreachable with the busy reason attached.
+    let impatient = RemoteCloud::new(
+        addr.to_string(),
+        RemoteCloudConfig {
+            attempts: 1,
+            ..RemoteCloudConfig::default()
+        },
+    );
+    match impatient.search(&stream[1024..1280]) {
+        Err(emap_cloud::ClientError::Unreachable { attempts: 1, last }) => {
+            assert!(last.contains("busy"), "unexpected reason: {last}");
+        }
+        other => panic!("expected Unreachable from saturation, got {other:?}"),
+    }
+
+    // A patient client keeps backing off while another thread releases
+    // the capacity; the same request then succeeds without the caller
+    // ever seeing the Busy replies it absorbed.
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(80));
+        drop(pin);
+        drop(parked);
+    });
+    let patient = RemoteCloud::new(
+        addr.to_string(),
+        RemoteCloudConfig {
+            attempts: 20,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(50),
+            ..RemoteCloudConfig::default()
+        },
+    );
+    let (work, slices) = patient
+        .search(&stream[1024..1280])
+        .expect("search must succeed after capacity frees");
+    assert!(work.sets_scanned > 0);
+    assert!(!slices.is_empty());
+    release.join().unwrap();
+
+    let stats = server.shutdown();
+    assert!(
+        stats.busy_rejections >= 1,
+        "saturation never produced a Busy: {stats:?}"
+    );
+}
+
+/// Concurrent single-query clients against a micro-batching server: every
+/// reply is bitwise identical to an in-process search, while the server
+/// serves the load in fewer sweeps than searches whenever any coalescing
+/// happened.
+#[test]
+fn micro_batched_replies_match_in_process() {
+    let (service, factory) = seeded_service(2);
+    let config = ServerConfig {
+        workers: 4,
+        max_batch: 8,
+        ..ServerConfig::default()
+    };
+    let server = CloudServer::bind("127.0.0.1:0", service.clone(), config).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let streams: Vec<Vec<f32>> = (0..6)
+        .map(|i| patient_stream(&factory, &format!("q{i}")))
+        .collect();
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            let addr = addr.clone();
+            let service = &service;
+            scope.spawn(move || {
+                let client = RemoteCloud::new(addr, RemoteCloudConfig::default());
+                for second in 4..7 {
+                    let window = &stream[second * 256..(second + 1) * 256];
+                    let (work, slices) = client.search(window).expect("search under load");
+                    let expected = service
+                        .search(&Query::new(window).expect("window length"))
+                        .expect("in-process search");
+                    assert_eq!(work, expected.work(), "work diverged under batching");
+                    assert_eq!(slices.len(), expected.hits().len());
+                    for (slice, hit) in slices.iter().zip(expected.hits()) {
+                        assert_eq!(slice.set_id, hit.set_id);
+                        assert_eq!(slice.omega.to_bits(), hit.omega.to_bits());
+                        assert_eq!(slice.beta, hit.beta);
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.searches, 6 * 3);
+    // Every search ran through the batcher: sweeps + coalesced always
+    // account for all of them, however the timing grouped the arrivals.
+    assert_eq!(stats.sweeps + stats.coalesced, stats.searches);
+}

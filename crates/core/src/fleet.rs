@@ -251,19 +251,49 @@ impl EdgeFleet {
     /// [`FleetTick::degraded`], and the next tick below `H` simply retries.
     /// Non-transport refresh failures still abort the call.
     ///
+    /// All sessions needing the cloud this tick are collected into **one**
+    /// [`CloudEndpoint::refresh_batch`] call, so a batching endpoint serves
+    /// them through one shared sweep (and, remotely, one wire exchange).
+    /// The default `refresh_batch` loops `refresh` per session, so the
+    /// observable outcome is identical either way.
+    ///
     /// # Errors
     ///
     /// The errors of [`EdgeFleet::tick`], plus non-transport refresh
-    /// failures (bad query, search error, malformed response).
+    /// failures (bad query, search error, malformed response); of the
+    /// batch's failures the first in session order is returned.
     pub fn serve_with<C: CloudEndpoint + ?Sized>(
         &mut self,
         cloud: &C,
         inputs: &[&[f32]],
     ) -> Result<FleetTick, EmapError> {
         let mut tick = self.tick(inputs)?;
-        for i in tick.needing_cloud() {
-            let query = Query::new(inputs[i])?;
-            match cloud.refresh(&query, &mut self.sessions[i].tracker) {
+        let needing = tick.needing_cloud();
+        if needing.is_empty() {
+            return Ok(tick);
+        }
+        let queries = needing
+            .iter()
+            .map(|&i| Query::new(inputs[i]))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Disjoint mutable borrows of the needing sessions' trackers, in
+        // ascending session order (needing_cloud() is ascending by
+        // construction).
+        let mut trackers: Vec<&mut EdgeTracker> = Vec::with_capacity(needing.len());
+        let mut rest: &mut [FleetSession] = &mut self.sessions;
+        let mut consumed = 0usize;
+        for &i in &needing {
+            let (_, tail) = rest.split_at_mut(i - consumed);
+            let (session, tail) = tail.split_first_mut().expect("index within fleet");
+            trackers.push(&mut session.tracker);
+            rest = tail;
+            consumed = i + 1;
+        }
+        for (&i, outcome) in needing
+            .iter()
+            .zip(cloud.refresh_batch(&queries, &mut trackers))
+        {
+            match outcome {
                 Ok(()) => tick.refreshed.push(i),
                 Err(e) if e.is_transport() => tick.degraded.push(i),
                 Err(e) => return Err(e),
@@ -469,6 +499,45 @@ mod tests {
         assert!(tick3.degraded.is_empty());
         assert_eq!(tick3.refreshed, tick3.needing_cloud());
         assert!(!fleet.sessions()[1].tracker().is_empty());
+    }
+
+    /// Forwards `refresh` to an inner [`CloudService`] but keeps the
+    /// trait's *default* `refresh_batch` (the per-session loop), pinning
+    /// that the batched serve path changes no decisions.
+    struct OneByOne(CloudService);
+
+    impl CloudEndpoint for OneByOne {
+        fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError> {
+            self.0.refresh(query, tracker)
+        }
+    }
+
+    #[test]
+    fn batched_serve_matches_per_session_refresh() {
+        let (cloud, factory) = cloud();
+        let streams: Vec<Vec<f32>> = (0..4)
+            .map(|i| patient_seconds(&factory, &format!("p{i}")))
+            .collect();
+
+        let mut batched = EdgeFleet::new(2);
+        for i in 0..4 {
+            batched.add_session(format!("p{i}"), EdgeTracker::new(EdgeConfig::default()));
+        }
+        let mut looped = batched.clone();
+        let one_by_one = OneByOne(cloud.clone());
+
+        for second in 4..8 {
+            let inputs: Vec<&[f32]> = streams
+                .iter()
+                .map(|s| &s[second * 256..(second + 1) * 256])
+                .collect();
+            let ta = batched.serve_with(&cloud, &inputs).unwrap();
+            let tb = looped.serve_with(&one_by_one, &inputs).unwrap();
+            assert_eq!(ta, tb, "second {second}");
+        }
+        for (a, b) in batched.sessions().iter().zip(looped.sessions()) {
+            assert_eq!(a.tracker().tracked(), b.tracker().tracked());
+        }
     }
 
     #[test]

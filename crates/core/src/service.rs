@@ -4,7 +4,10 @@
 //! at once — slicing the MDB exists precisely so searches can run in
 //! parallel (§V-B). [`CloudService`] models that deployment: a shared,
 //! concurrently-ingestible store plus a thread-parallel search endpoint
-//! that multiple edge sessions call concurrently.
+//! that multiple edge sessions call concurrently. Batches of sessions are
+//! served through one shared sweep over the store
+//! ([`CloudService::search_batch`]), so memory traffic is amortized across
+//! the in-flight queries.
 
 use emap_edge::EdgeTracker;
 use emap_mdb::{SharedMdb, SignalSet};
@@ -32,6 +35,30 @@ pub trait CloudEndpoint {
     /// variants for non-recoverable failures (bad query, search error,
     /// malformed response).
     fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError>;
+
+    /// Refreshes several sessions in one round-trip to the backend,
+    /// returning one outcome per `(query, tracker)` pair in order.
+    ///
+    /// The default loops [`CloudEndpoint::refresh`], so every
+    /// implementation is batch-decision-equal by construction; endpoints
+    /// that can amortize work across the batch (one shared sweep, one wire
+    /// exchange) override it. Every pair is attempted — a failure on one
+    /// session is reported in its slot and does not short-circuit the rest.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `queries.len() != trackers.len()`.
+    fn refresh_batch(
+        &self,
+        queries: &[Query],
+        trackers: &mut [&mut EdgeTracker],
+    ) -> Vec<Result<(), EmapError>> {
+        queries
+            .iter()
+            .zip(trackers.iter_mut())
+            .map(|(query, tracker)| self.refresh(query, tracker))
+            .collect()
+    }
 }
 
 /// A cloud node serving concurrent search requests over a shared,
@@ -94,6 +121,20 @@ impl CloudService {
         self.mdb.with_read(|mdb| self.search.search(query, mdb))
     }
 
+    /// Serves a batch of search requests through **one shared sweep** over
+    /// one consistent store snapshot: each signal-set's samples and cached
+    /// statistics are walked once for all queries, and results come back in
+    /// query order, bitwise identical to per-query [`CloudService::search`]
+    /// against the same snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SearchError`] from the underlying algorithm.
+    pub fn search_batch(&self, queries: &[Query]) -> Result<Vec<CorrelationSet>, SearchError> {
+        self.mdb
+            .with_read(|mdb| self.search.search_batch(queries, mdb))
+    }
+
     /// Ingests a new signal-set while searches keep running (the paper's
     /// "Insertion" arrow in Fig. 3).
     pub fn ingest(&self, set: SignalSet) {
@@ -102,10 +143,50 @@ impl CloudService {
 }
 
 impl CloudEndpoint for CloudService {
+    /// Search and tracker load run under **one** read guard: a concurrent
+    /// [`CloudService::ingest`] cannot land between them, so the slices the
+    /// tracker loads come from exactly the MDB snapshot the search ranked.
     fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError> {
-        let set = self.search(query)?;
-        self.mdb.with_read(|mdb| tracker.load(&set, mdb))?;
-        Ok(())
+        self.mdb.with_read(|mdb| {
+            let set = self.search.search(query, mdb)?;
+            tracker.load(&set, mdb)?;
+            Ok(())
+        })
+    }
+
+    /// One shared sweep, one snapshot: all queries are searched through
+    /// [`emap_search::Search::search_batch`] and every tracker is loaded
+    /// from the same MDB snapshot under the same read guard.
+    fn refresh_batch(
+        &self,
+        queries: &[Query],
+        trackers: &mut [&mut EdgeTracker],
+    ) -> Vec<Result<(), EmapError>> {
+        assert_eq!(
+            queries.len(),
+            trackers.len(),
+            "query/tracker count mismatch"
+        );
+        self.mdb.with_read(|mdb| {
+            let sets = match self.search.search_batch(queries, mdb) {
+                Ok(sets) => sets,
+                // A search error is per-batch here; report it in every slot
+                // (SearchError is Clone) so no session silently succeeds.
+                Err(e) => {
+                    return queries
+                        .iter()
+                        .map(|_| Err(EmapError::Search(e.clone())))
+                        .collect()
+                }
+            };
+            sets.iter()
+                .zip(trackers.iter_mut())
+                .map(|(set, tracker)| {
+                    tracker.load(set, mdb)?;
+                    Ok(())
+                })
+                .collect()
+        })
     }
 }
 
@@ -139,6 +220,20 @@ mod tests {
         let rec = factory.normal_recording(id, 8.0);
         let filtered = emap_dsp::emap_bandpass().filter(rec.channels()[0].samples());
         Query::new(&filtered[1024..1280]).unwrap()
+    }
+
+    fn filler_set(i: u64) -> SignalSet {
+        SignalSet::new(
+            vec![0.25; emap_mdb::SIGNAL_SET_LEN],
+            SignalClass::Normal,
+            Provenance {
+                dataset_id: "live".into(),
+                recording_id: format!("fill{i}"),
+                channel: "c".into(),
+                offset: 0,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -200,5 +295,78 @@ mod tests {
             .unwrap(),
         );
         assert_eq!(clone.mdb().len(), before + 1);
+    }
+
+    #[test]
+    fn batch_search_matches_per_query_search() {
+        let (service, factory) = service();
+        let queries: Vec<Query> = (0..4)
+            .map(|i| query_from(&factory, &format!("p{i}")))
+            .collect();
+        let batch = service.search_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(b, &service.search(q).unwrap());
+        }
+    }
+
+    /// Search and tracker load see the same snapshot even while another
+    /// thread ingests continuously: every slice the tracker holds must be
+    /// internally consistent with the search that selected it, which
+    /// `EdgeTracker::load` verifies by resolving each hit's `set_id`
+    /// against the store it is given. Under the old two-guard refresh an
+    /// interleaved ingest could reallocate the store between search and
+    /// load; with one guard the pairing is airtight by construction.
+    #[test]
+    fn refresh_is_atomic_under_concurrent_ingest() {
+        let (service, factory) = service();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = service.clone();
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                    writer.ingest(filler_set(i));
+                    i += 1;
+                    std::thread::yield_now();
+                }
+            });
+            for round in 0..20 {
+                let query = query_from(&factory, &format!("p{round}"));
+                let mut tracker = EdgeTracker::new(emap_edge::EdgeConfig::default());
+                service
+                    .refresh(&query, &mut tracker)
+                    .expect("refresh stays consistent under concurrent ingest");
+                assert!(!tracker.tracked().is_empty());
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn batched_refresh_matches_sequential_refresh() {
+        let (service, factory) = service();
+        let queries: Vec<Query> = (0..3)
+            .map(|i| query_from(&factory, &format!("p{i}")))
+            .collect();
+
+        let mut sequential: Vec<EdgeTracker> = (0..queries.len())
+            .map(|_| EdgeTracker::new(emap_edge::EdgeConfig::default()))
+            .collect();
+        for (q, t) in queries.iter().zip(sequential.iter_mut()) {
+            service.refresh(q, t).unwrap();
+        }
+
+        let mut batched: Vec<EdgeTracker> = (0..queries.len())
+            .map(|_| EdgeTracker::new(emap_edge::EdgeConfig::default()))
+            .collect();
+        let mut refs: Vec<&mut EdgeTracker> = batched.iter_mut().collect();
+        let outcomes = service.refresh_batch(&queries, &mut refs);
+        assert!(outcomes.iter().all(Result::is_ok));
+
+        for (seq, bat) in sequential.iter().zip(&batched) {
+            assert_eq!(seq.tracked(), bat.tracked());
+        }
     }
 }

@@ -55,4 +55,7 @@ pub use config::{EdgeConfig, EdgeMetric};
 pub use error::EdgeError;
 pub use predictor::{AnomalyPredictor, Prediction, PredictorConfig};
 pub use probability::PaHistory;
-pub use tracker::{EdgeTracker, SliceDownload, StepReport, TrackedSignal, TrackerState};
+pub use tracker::{
+    EdgeTracker, SharedDownload, SharedSlice, SliceDownload, StepReport, TrackedSignal,
+    TrackerState,
+};

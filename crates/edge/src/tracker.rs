@@ -119,6 +119,76 @@ pub struct SliceDownload {
     pub samples: Vec<f32>,
 }
 
+/// One downloaded slice prepared for sharing: the samples behind a shared
+/// handle and the statistics tables built exactly once.
+///
+/// This is the batched counterpart of [`SliceDownload`]'s owned samples.
+/// A batch response ships each distinct slice once; converting it into a
+/// `SharedSlice` pays the statistics build once, and every tracker that
+/// hits the same slice then loads it for two refcount bumps via
+/// [`EdgeTracker::load_shared`] — with byte-identical tracking state to
+/// [`EdgeTracker::load_remote`] on an owned copy, because the tables are a
+/// pure function of the samples.
+#[derive(Debug, Clone)]
+pub struct SharedSlice {
+    set_id: SetId,
+    class: SignalClass,
+    samples: SharedSamples,
+    stats: Arc<HostStats>,
+}
+
+impl SharedSlice {
+    /// Wraps downloaded samples, building the per-slice statistics tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::BadSliceLength`] unless `samples` holds
+    /// exactly [`emap_mdb::SIGNAL_SET_LEN`] samples.
+    pub fn new(set_id: SetId, class: SignalClass, samples: Vec<f32>) -> Result<Self, EdgeError> {
+        if samples.len() != emap_mdb::SIGNAL_SET_LEN {
+            return Err(EdgeError::BadSliceLength { got: samples.len() });
+        }
+        let samples = SharedSamples::new(samples);
+        let stats = Arc::new(HostStats::new(&samples));
+        Ok(SharedSlice {
+            set_id,
+            class,
+            samples,
+            stats,
+        })
+    }
+
+    /// Which signal-set this is.
+    #[must_use]
+    pub fn set_id(&self) -> SetId {
+        self.set_id
+    }
+
+    /// Class label of the slice.
+    #[must_use]
+    pub fn class(&self) -> SignalClass {
+        self.class
+    }
+
+    /// The slice samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+}
+
+/// One correlation hit referencing a [`SharedSlice`]: the per-query `ω`
+/// and `β` plus a cheap handle on the slice data.
+#[derive(Debug, Clone)]
+pub struct SharedDownload {
+    /// The correlation the cloud search reported.
+    pub omega: f64,
+    /// Best-match offset the cloud search reported.
+    pub beta: usize,
+    /// The hit's slice — cloning this is two refcount bumps.
+    pub slice: SharedSlice,
+}
+
 /// Algorithm 2: the lightweight signal tracker running on the edge device.
 ///
 /// Per iteration ([`EdgeTracker::step`]), every tracked signal is scanned
@@ -220,6 +290,34 @@ impl EdgeTracker {
             })
             .collect();
         Ok(())
+    }
+
+    /// Replaces the tracked set with hits on pre-shared slices: where
+    /// [`EdgeTracker::load_remote`] copies every hit's samples and
+    /// rebuilds its statistics tables, this aliases the
+    /// [`SharedSlice`]'s allocations — two refcount bumps per hit, no
+    /// sample copy, no statistics rebuild.
+    ///
+    /// Loading the same hits through here and through
+    /// [`EdgeTracker::load_remote`] yields byte-identical tracking state
+    /// (the tables are a pure function of the samples), so a batched
+    /// fleet refresh sharing one slice table across its trackers stays
+    /// decision-equal to per-session downloads. Slice lengths were
+    /// validated when each [`SharedSlice`] was built, so unlike
+    /// `load_remote` this cannot fail.
+    pub fn load_shared(&mut self, hits: Vec<SharedDownload>) {
+        self.tracked = hits
+            .into_iter()
+            .map(|h| TrackedSignal {
+                set_id: h.slice.set_id,
+                omega: h.omega,
+                beta: h.beta,
+                last_score: 0.0,
+                class: h.slice.class,
+                samples: h.slice.samples,
+                stats: h.slice.stats,
+            })
+            .collect();
     }
 
     /// The currently tracked signals.
@@ -921,6 +1019,84 @@ mod tests {
             assert_eq!(rl, rr, "second {second}");
         }
         assert_eq!(local.tracked(), remote.tracked());
+    }
+
+    #[test]
+    fn load_shared_matches_load_remote_and_shares_allocations() {
+        let sets: Vec<(SignalClass, Vec<f32>)> = vec![
+            (SignalClass::Seizure, rhythm(0.37, 0.0, SIGNAL_SET_LEN)),
+            (SignalClass::Normal, rhythm(0.52, 0.4, SIGNAL_SET_LEN)),
+        ];
+        let follow = sets[0].1.clone();
+        let mdb = mdb_with(sets);
+        let set = correlation_set(&[0, 1]);
+
+        // One shared slice per distinct set — the batch download shape.
+        let table: Vec<SharedSlice> = (0..2)
+            .map(|i| {
+                let s = mdb.try_get(SetId(i)).unwrap();
+                SharedSlice::new(SetId(i), s.class(), s.samples().to_vec()).unwrap()
+            })
+            .collect();
+        let shared_hits = |set: &CorrelationSet| {
+            set.hits()
+                .iter()
+                .map(|hit| SharedDownload {
+                    omega: hit.omega,
+                    beta: hit.beta,
+                    slice: table[hit.set_id.0 as usize].clone(),
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut remote = EdgeTracker::new(area_config(3800.0));
+        remote
+            .load_remote(
+                set.hits()
+                    .iter()
+                    .map(|hit| {
+                        let s = mdb.try_get(hit.set_id).unwrap();
+                        SliceDownload {
+                            set_id: hit.set_id,
+                            omega: hit.omega,
+                            beta: hit.beta,
+                            class: s.class(),
+                            samples: s.samples().to_vec(),
+                        }
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        let mut shared_a = EdgeTracker::new(area_config(3800.0));
+        let mut shared_b = EdgeTracker::new(area_config(3800.0));
+        shared_a.load_shared(shared_hits(&set));
+        shared_b.load_shared(shared_hits(&set));
+
+        // Identical state, and both shared trackers alias the same slice
+        // allocation: the per-tracker download was a refcount bump, not a
+        // copy.
+        assert_eq!(remote.tracked(), shared_a.tracked());
+        assert!(shared_a.tracked()[0]
+            .samples_shared()
+            .ptr_eq(shared_b.tracked()[0].samples_shared()));
+
+        // Identical subsequent decisions too.
+        for second in 0..3 {
+            let input = &follow[second * 256..(second + 1) * 256];
+            let rr = remote.step(input).unwrap();
+            let ra = shared_a.step(input).unwrap();
+            let rb = shared_b.step(input).unwrap();
+            assert_eq!(rr, ra, "second {second}");
+            assert_eq!(rr, rb, "second {second}");
+        }
+    }
+
+    #[test]
+    fn shared_slice_rejects_short_samples() {
+        assert!(matches!(
+            SharedSlice::new(SetId(0), SignalClass::Normal, vec![0.0; 999]),
+            Err(EdgeError::BadSliceLength { got: 999 })
+        ));
     }
 
     #[test]

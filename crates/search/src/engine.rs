@@ -1,0 +1,635 @@
+//! The staged **plan → sweep → score → select** engine behind every search
+//! algorithm.
+//!
+//! The cloud exists to serve *many* wearables against one mega-database
+//! (§V-B slices the MDB precisely so searches can run in parallel), and
+//! server throughput is dominated by memory traffic over the store, not by
+//! per-query arithmetic. The engine therefore inverts the classic
+//! per-query loop:
+//!
+//! 1. **plan** — [`ScanPlan::build`] partitions the MDB snapshot into
+//!    contiguous host chunks, once per sweep;
+//! 2. **sweep** — [`BatchExecutor::sweep`] walks each host's cached
+//!    statistics and prefix tables **once** while evaluating *all*
+//!    in-flight queries against it (per-query skip state, per-query
+//!    candidate lists), so memory traffic is amortized across the batch;
+//! 3. **score** — the per-offset correlation and threshold test of the
+//!    active [`ScanKernel`];
+//! 4. **select** — the per-query top-K selection of
+//!    [`CorrelationSet::from_candidates`].
+//!
+//! [`BatchExecutor::sweep_parallel`] fans the same sweep across worker
+//! threads by partitioning **hosts** (not queries): every worker evaluates
+//! the whole batch against its chunks, and per-query candidates are merged
+//! back in chunk order.
+//!
+//! The load-bearing invariant, pinned by the crate's property tests: for
+//! every kernel and every batch size, a batched sweep is **bitwise
+//! identical** to running the queries sequentially — batching moves bytes
+//! and cache lines, never decisions. Three rules enforce it:
+//!
+//! - hosts are visited in set-id order and per-query candidates accumulate
+//!   in that order, so the stable top-K sort breaks ties exactly like the
+//!   sequential scan;
+//! - the work budget is checked per query *before* each set (the
+//!   sequential set-granularity rule), and an exhausted query simply skips
+//!   the remaining hosts of the sweep;
+//! - the kernel scan of one `(query, host)` pair is the same code the
+//!   sequential algorithms ran, moved here verbatim.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use emap_mdb::{Mdb, SetId, SignalSet};
+
+use crate::{CorrelationSet, Query, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable};
+
+/// The per-(query, host) scan strategy — the "score" stage of the engine.
+///
+/// Each variant holds exactly the state its scan needs, so one kernel can
+/// be shared across every query of a sweep.
+#[derive(Debug, Clone)]
+pub enum ScanKernel {
+    /// Stride-1 evaluation of every offset (the Fig. 5 baseline). Ignores
+    /// the work budget, like the sequential baseline always has.
+    Exhaustive,
+    /// Algorithm 1: after evaluating `ω` at an offset, skip
+    /// `β = α^(ω−1)` samples (the exponential sliding window of Fig. 6).
+    Sliding(
+        /// Precomputed `ω → skip` table for the configured `α`.
+        SkipTable,
+    ),
+    /// Coarse prescan at a fixed stride, then dense exponential refinement
+    /// inside the neighborhoods that cleared the prescreen threshold.
+    TwoStage {
+        /// Precomputed `ω → skip` table for the stage-2 refinement.
+        skips: SkipTable,
+        /// Stage-1 stride in samples.
+        coarse_stride: usize,
+        /// Stage-1 threshold is `δ − margin` (clamped to `[0, 1]`).
+        prescreen_margin: f64,
+    },
+}
+
+impl ScanKernel {
+    /// The exhaustive stride-1 kernel.
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        ScanKernel::Exhaustive
+    }
+
+    /// The Algorithm 1 kernel for the given `α`.
+    #[must_use]
+    pub fn sliding(alpha: f64) -> Self {
+        ScanKernel::Sliding(SkipTable::new(alpha))
+    }
+
+    /// The two-stage kernel for the given `α` and stage-1 parameters.
+    #[must_use]
+    pub fn two_stage(alpha: f64, coarse_stride: usize, prescreen_margin: f64) -> Self {
+        ScanKernel::TwoStage {
+            skips: SkipTable::new(alpha),
+            coarse_stride,
+            prescreen_margin,
+        }
+    }
+
+    /// Whether this kernel honors [`SearchConfig::max_correlations`].
+    ///
+    /// Only Algorithm 1 enforces the budget — the exhaustive baseline
+    /// deliberately measures the full-scan cost and the two-stage prescan
+    /// bounds its own work structurally, exactly as their sequential
+    /// implementations always behaved.
+    #[must_use]
+    pub fn enforces_budget(&self) -> bool {
+        matches!(self, ScanKernel::Sliding(_))
+    }
+
+    /// Scans one `(query, host)` pair, appending threshold-clearing offsets
+    /// to `candidates` and charging `work`.
+    pub(crate) fn scan_set(
+        &self,
+        query: &Query,
+        config: &SearchConfig,
+        id: SetId,
+        set: &SignalSet,
+        candidates: &mut Vec<SearchHit>,
+        work: &mut SearchWork,
+    ) -> Result<(), SearchError> {
+        let kernel = query.kernel();
+        let host = set.samples();
+        let stats = set.stats();
+        let window = kernel.window_len();
+        work.sets_scanned += 1;
+        if host.len() < window {
+            return Ok(());
+        }
+        let last = host.len() - window;
+        let mut best: Option<SearchHit> = None;
+        match self {
+            ScanKernel::Exhaustive => {
+                for beta in 0..=last {
+                    let omega = kernel.correlation_at(host, stats, beta)?;
+                    work.correlations += 1;
+                    if omega > config.delta() {
+                        work.matches += 1;
+                        let hit = SearchHit {
+                            set_id: id,
+                            omega,
+                            beta,
+                        };
+                        if config.dedup_per_set() {
+                            if best.is_none_or(|b| omega > b.omega) {
+                                best = Some(hit);
+                            }
+                        } else {
+                            candidates.push(hit);
+                        }
+                    }
+                }
+            }
+            ScanKernel::Sliding(skips) => {
+                // Algorithm 1 line 4: while β < Length(S) − Length(I_N). We
+                // include the final aligned offset as well (`<=`), so an
+                // embedding at the very end of a set is not missed.
+                let mut beta = 0usize;
+                while beta <= last {
+                    let omega = kernel.correlation_at(host, stats, beta)?;
+                    work.correlations += 1;
+                    if omega > config.delta() {
+                        work.matches += 1;
+                        let hit = SearchHit {
+                            set_id: id,
+                            omega,
+                            beta,
+                        };
+                        if config.dedup_per_set() {
+                            if best.is_none_or(|b| omega > b.omega) {
+                                best = Some(hit);
+                            }
+                        } else {
+                            candidates.push(hit);
+                        }
+                    }
+                    beta += skips.skip(omega);
+                }
+            }
+            ScanKernel::TwoStage {
+                skips,
+                coarse_stride,
+                prescreen_margin,
+            } => {
+                let prescreen = (config.delta() - prescreen_margin).clamp(0.0, 1.0);
+
+                // Stage 1: coarse scan.
+                let mut seeds = Vec::new();
+                let mut beta = 0usize;
+                while beta <= last {
+                    let omega = kernel.correlation_at(host, stats, beta)?;
+                    work.correlations += 1;
+                    if omega >= prescreen {
+                        seeds.push(beta);
+                    }
+                    beta += coarse_stride;
+                }
+
+                // Stage 2: dense exponential scan inside each seed
+                // neighborhood, deduplicating overlapping neighborhoods.
+                let mut scanned_until = 0usize;
+                for seed in seeds {
+                    let lo = seed.saturating_sub(*coarse_stride).max(scanned_until);
+                    let hi = (seed + coarse_stride).min(last);
+                    let mut beta = lo;
+                    while beta <= hi {
+                        let omega = kernel.correlation_at(host, stats, beta)?;
+                        work.correlations += 1;
+                        if omega > config.delta() {
+                            work.matches += 1;
+                            let hit = SearchHit {
+                                set_id: id,
+                                omega,
+                                beta,
+                            };
+                            if config.dedup_per_set() {
+                                if best.is_none_or(|b| omega > b.omega) {
+                                    best = Some(hit);
+                                }
+                            } else {
+                                candidates.push(hit);
+                            }
+                        }
+                        beta += skips.skip(omega);
+                    }
+                    scanned_until = hi + 1;
+                }
+            }
+        }
+        if let Some(b) = best {
+            candidates.push(b);
+        }
+        Ok(())
+    }
+}
+
+/// The partitioned view of one MDB snapshot a sweep runs over — the "plan"
+/// stage of the engine.
+///
+/// Built once per sweep from [`Mdb::chunks`]: contiguous, near-equal host
+/// chunks in set-id order. A plan with one partition is the sequential
+/// scan order; a plan with many partitions is the unit of work
+/// distribution for [`BatchExecutor::sweep_parallel`].
+#[derive(Debug, Clone)]
+pub struct ScanPlan<'a> {
+    chunks: Vec<(SetId, &'a [SignalSet])>,
+}
+
+impl<'a> ScanPlan<'a> {
+    /// Partitions `mdb` into at most `partitions` contiguous host chunks
+    /// (`partitions` is clamped to ≥ 1; an empty store yields no chunks).
+    #[must_use]
+    pub fn build(mdb: &'a Mdb, partitions: usize) -> Self {
+        ScanPlan {
+            chunks: mdb.chunks(partitions.max(1)),
+        }
+    }
+
+    /// The host chunks, contiguous and in set-id order.
+    #[must_use]
+    pub fn chunks(&self) -> &[(SetId, &'a [SignalSet])] {
+        &self.chunks
+    }
+
+    /// Number of partitions actually produced.
+    #[must_use]
+    pub fn partitions(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total signal-sets covered by the plan.
+    #[must_use]
+    pub fn total_sets(&self) -> usize {
+        self.chunks.iter().map(|(_, sets)| sets.len()).sum()
+    }
+
+    /// Whether the plan covers no hosts (empty store).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+}
+
+/// Per-query accumulation state of one sweep: the candidate list, the work
+/// counters, and whether the query's budget ran out.
+#[derive(Debug, Clone, Default)]
+struct QueryState {
+    candidates: Vec<SearchHit>,
+    work: SearchWork,
+    exhausted: bool,
+}
+
+/// The batch executor: one [`ScanKernel`] applied to all in-flight queries
+/// while each host is walked exactly once — the "sweep" and "select"
+/// stages of the engine.
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    kernel: ScanKernel,
+    config: SearchConfig,
+}
+
+impl BatchExecutor {
+    /// Creates an executor scanning with `kernel` under `config`.
+    #[must_use]
+    pub fn new(kernel: ScanKernel, config: SearchConfig) -> Self {
+        BatchExecutor { kernel, config }
+    }
+
+    /// The active kernel.
+    #[must_use]
+    pub fn kernel(&self) -> &ScanKernel {
+        &self.kernel
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The per-query correlation budget this executor enforces, if any
+    /// (see [`ScanKernel::enforces_budget`]).
+    fn budget(&self) -> Option<u64> {
+        if self.kernel.enforces_budget() {
+            self.config.max_correlations()
+        } else {
+            None
+        }
+    }
+
+    /// Runs one shared sweep on the calling thread: hosts in set-id order,
+    /// every query evaluated against each host before moving on.
+    ///
+    /// Returns one [`CorrelationSet`] per query, in query order — bitwise
+    /// identical to scanning each query sequentially on its own.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SearchError`] any scan raises.
+    pub fn sweep(
+        &self,
+        queries: &[Query],
+        plan: &ScanPlan<'_>,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        let budget = self.budget();
+        let mut states: Vec<QueryState> = vec![QueryState::default(); queries.len()];
+        for &(start, sets) in plan.chunks() {
+            for (i, set) in sets.iter().enumerate() {
+                let id = SetId(start.0 + i as u64);
+                for (query, state) in queries.iter().zip(states.iter_mut()) {
+                    if state.exhausted {
+                        continue;
+                    }
+                    if let Some(limit) = budget {
+                        // The sequential set-granularity rule: the budget is
+                        // checked before each set, so truncation can only be
+                        // observed when a further set actually existed.
+                        if state.work.correlations >= limit {
+                            state.work.truncated = true;
+                            state.exhausted = true;
+                            continue;
+                        }
+                    }
+                    self.kernel.scan_set(
+                        query,
+                        &self.config,
+                        id,
+                        set,
+                        &mut state.candidates,
+                        &mut state.work,
+                    )?;
+                }
+            }
+        }
+        Ok(self.select(states))
+    }
+
+    /// Runs one shared sweep with the plan's host chunks distributed
+    /// across up to `workers` threads through a shared work queue —
+    /// **hosts** are partitioned, not queries, so every worker amortizes
+    /// its chunk's memory traffic over the whole batch.
+    ///
+    /// Per-query budgets are charged through shared atomic counters (the
+    /// same set-granularity overshoot bound as the sequential rule, one
+    /// in-flight set per worker). Candidates are merged per query in chunk
+    /// order, which restores the exact sequential candidate order.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SearchError`] any worker raises.
+    pub fn sweep_parallel(
+        &self,
+        queries: &[Query],
+        plan: &ScanPlan<'_>,
+        workers: usize,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = workers.max(1).min(plan.partitions());
+        if workers <= 1 || plan.partitions() <= 1 {
+            return self.sweep(queries, plan);
+        }
+        let limit = self.budget().unwrap_or(u64::MAX);
+        let spent: Vec<AtomicU64> = (0..queries.len()).map(|_| AtomicU64::new(0)).collect();
+        let next = AtomicUsize::new(0);
+
+        type TaggedResult = Result<Vec<(usize, Vec<QueryState>)>, SearchError>;
+        let results: Vec<TaggedResult> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (spent, next) = (&spent, &next);
+                    scope.spawn(move |_| {
+                        let mut done = Vec::new();
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            if t >= plan.partitions() {
+                                break;
+                            }
+                            let (start, sets) = plan.chunks()[t];
+                            done.push((t, self.scan_chunk(queries, start, sets, spent, limit)?));
+                        }
+                        Ok(done)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope panicked");
+
+        let mut tagged = Vec::new();
+        for r in results {
+            tagged.extend(r?);
+        }
+        // Chunks are contiguous in id order, so merging in chunk order
+        // reproduces the sequential candidate order exactly — ties in the
+        // final stable top-K sort break identically.
+        tagged.sort_unstable_by_key(|&(t, _)| t);
+        let mut merged: Vec<QueryState> = vec![QueryState::default(); queries.len()];
+        for (_, chunk_states) in tagged {
+            for (into, from) in merged.iter_mut().zip(chunk_states) {
+                into.candidates.extend(from.candidates);
+                into.work.merge(from.work);
+            }
+        }
+        Ok(self.select(merged))
+    }
+
+    /// Scans one host chunk for the whole batch, charging each query's
+    /// correlations to its shared budget counter. The budget is checked
+    /// *before* each set, so a worker never starts a set for a query whose
+    /// global count has reached the limit.
+    fn scan_chunk(
+        &self,
+        queries: &[Query],
+        start: SetId,
+        sets: &[SignalSet],
+        spent: &[AtomicU64],
+        limit: u64,
+    ) -> Result<Vec<QueryState>, SearchError> {
+        let mut states: Vec<QueryState> = vec![QueryState::default(); queries.len()];
+        for (i, set) in sets.iter().enumerate() {
+            let id = SetId(start.0 + i as u64);
+            for ((query, state), spent_q) in queries.iter().zip(states.iter_mut()).zip(spent) {
+                // The shared counter only grows, so a tripped query stays
+                // tripped — `exhausted` just skips the redundant loads.
+                if state.exhausted {
+                    continue;
+                }
+                if spent_q.load(Ordering::Relaxed) >= limit {
+                    state.work.truncated = true;
+                    state.exhausted = true;
+                    continue;
+                }
+                let before = state.work.correlations;
+                self.kernel.scan_set(
+                    query,
+                    &self.config,
+                    id,
+                    set,
+                    &mut state.candidates,
+                    &mut state.work,
+                )?;
+                let delta = state.work.correlations - before;
+                if delta > 0 {
+                    spent_q.fetch_add(delta, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(states)
+    }
+
+    /// The "select" stage: per-query stable top-K over the accumulated
+    /// candidates.
+    fn select(&self, states: Vec<QueryState>) -> Vec<CorrelationSet> {
+        states
+            .into_iter()
+            .map(|s| CorrelationSet::from_candidates(s.candidates, self.config.top_k(), s.work))
+            .collect()
+    }
+
+    /// [`BatchExecutor::sweep`] for exactly one query.
+    pub(crate) fn sweep_one(
+        &self,
+        query: &Query,
+        plan: &ScanPlan<'_>,
+    ) -> Result<CorrelationSet, SearchError> {
+        let mut out = self.sweep(std::slice::from_ref(query), plan)?;
+        Ok(out.pop().expect("sweep returns one result per query"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emap_datasets::{RecordingFactory, SignalClass};
+    use emap_mdb::MdbBuilder;
+
+    fn mdb() -> Mdb {
+        let factory = RecordingFactory::new(29);
+        let mut b = MdbBuilder::new();
+        for i in 0..3 {
+            b.add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+                .unwrap();
+            b.add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    fn queries(n: usize) -> Vec<Query> {
+        let factory = RecordingFactory::new(29);
+        (0..n)
+            .map(|i| {
+                let rec = factory.normal_recording(&format!("q{i}"), 8.0);
+                let filtered = emap_dsp::emap_bandpass().filter(rec.channels()[0].samples());
+                Query::new(&filtered[1024..1280]).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_partitions_cover_the_store() {
+        let mdb = mdb();
+        for partitions in [1usize, 2, 5, 100] {
+            let plan = ScanPlan::build(&mdb, partitions);
+            assert_eq!(plan.total_sets(), mdb.len(), "partitions = {partitions}");
+            assert!(plan.partitions() <= partitions.max(1));
+            // Chunks are contiguous in id order.
+            let mut expect = 0u64;
+            for (start, sets) in plan.chunks() {
+                assert_eq!(start.0, expect);
+                expect += sets.len() as u64;
+            }
+        }
+        assert!(ScanPlan::build(&Mdb::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn batched_sweep_equals_query_at_a_time() {
+        let mdb = mdb();
+        let queries = queries(4);
+        for kernel in [
+            ScanKernel::exhaustive(),
+            ScanKernel::sliding(0.004),
+            ScanKernel::two_stage(0.004, 32, -0.05),
+        ] {
+            let exec = BatchExecutor::new(kernel, SearchConfig::paper());
+            let plan = ScanPlan::build(&mdb, 1);
+            let batched = exec.sweep(&queries, &plan).unwrap();
+            for (q, b) in queries.iter().zip(&batched) {
+                let solo = exec.sweep_one(q, &plan).unwrap();
+                assert_eq!(b, &solo);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential_sweep() {
+        let mdb = mdb();
+        let queries = queries(3);
+        let exec = BatchExecutor::new(ScanKernel::sliding(0.004), SearchConfig::paper());
+        let sequential = exec.sweep(&queries, &ScanPlan::build(&mdb, 1)).unwrap();
+        for workers in [2usize, 4, 16] {
+            let plan = ScanPlan::build(&mdb, workers * 4);
+            let parallel = exec.sweep_parallel(&queries, &plan, workers).unwrap();
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn budget_exhausts_queries_independently() {
+        let mdb = mdb();
+        let queries = queries(2);
+        let probe = BatchExecutor::new(ScanKernel::sliding(0.004), SearchConfig::paper());
+        let plan = ScanPlan::build(&mdb, 1);
+        let full = probe.sweep_one(&queries[0], &plan).unwrap();
+        let budget = full.work().correlations / 3;
+        let cfg = SearchConfig::paper().with_max_correlations(budget).unwrap();
+        let exec = BatchExecutor::new(ScanKernel::sliding(0.004), cfg);
+        let batched = exec.sweep(&queries, &plan).unwrap();
+        for (q, b) in queries.iter().zip(&batched) {
+            assert!(b.work().truncated);
+            let solo = exec.sweep_one(q, &plan).unwrap();
+            assert_eq!(b, &solo, "budgeted batch diverged from solo scan");
+        }
+    }
+
+    #[test]
+    fn exhaustive_kernel_ignores_the_budget() {
+        let mdb = mdb();
+        let cfg = SearchConfig::paper().with_max_correlations(1).unwrap();
+        let exec = BatchExecutor::new(ScanKernel::exhaustive(), cfg);
+        let out = exec.sweep(&queries(1), &ScanPlan::build(&mdb, 1)).unwrap();
+        assert!(!out[0].work().truncated);
+        assert_eq!(out[0].work().sets_scanned, mdb.len() as u64);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_store_are_fine() {
+        let exec = BatchExecutor::new(ScanKernel::sliding(0.004), SearchConfig::paper());
+        assert!(exec
+            .sweep(&[], &ScanPlan::build(&mdb(), 1))
+            .unwrap()
+            .is_empty());
+        let empty = Mdb::new();
+        let out = exec
+            .sweep_parallel(&queries(2), &ScanPlan::build(&empty, 8), 4)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(CorrelationSet::is_empty));
+    }
+}

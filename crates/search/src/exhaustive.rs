@@ -1,12 +1,16 @@
-use emap_mdb::{Mdb, SetId, SignalSet};
+use emap_mdb::Mdb;
 
-use crate::{CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork};
+use crate::{
+    BatchExecutor, CorrelationSet, Query, ScanKernel, ScanPlan, Search, SearchConfig, SearchError,
+};
 
 /// The exhaustive baseline: evaluates the correlation at **every** offset of
 /// every signal-set (stride 1 — the 744-slices-per-set explosion of
 /// Fig. 5), keeping offsets with `ω > δ`.
 ///
-/// This is the comparison baseline for Figs. 7b and 11.
+/// This is the comparison baseline for Figs. 7b and 11. Built on the
+/// [`BatchExecutor`] engine with the [`ScanKernel::Exhaustive`] kernel, so
+/// `search_batch` shares one sweep over the store across all queries.
 ///
 /// # Example
 ///
@@ -14,62 +18,22 @@ use crate::{CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit,
 /// from the caller's perspective.
 #[derive(Debug, Clone)]
 pub struct ExhaustiveSearch {
-    config: SearchConfig,
+    engine: BatchExecutor,
 }
 
 impl ExhaustiveSearch {
     /// Creates the baseline with the given thresholds (`α` is unused).
     #[must_use]
     pub fn new(config: SearchConfig) -> Self {
-        ExhaustiveSearch { config }
+        ExhaustiveSearch {
+            engine: BatchExecutor::new(ScanKernel::exhaustive(), config),
+        }
     }
 
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &SearchConfig {
-        &self.config
-    }
-
-    pub(crate) fn scan_set(
-        query: &Query,
-        config: &SearchConfig,
-        id: SetId,
-        set: &SignalSet,
-        candidates: &mut Vec<SearchHit>,
-        work: &mut SearchWork,
-    ) -> Result<(), SearchError> {
-        let kernel = query.kernel();
-        let host = set.samples();
-        let stats = set.stats();
-        let window = kernel.window_len();
-        work.sets_scanned += 1;
-        if host.len() < window {
-            return Ok(());
-        }
-        let mut best: Option<SearchHit> = None;
-        for beta in 0..=(host.len() - window) {
-            let omega = kernel.correlation_at(host, stats, beta)?;
-            work.correlations += 1;
-            if omega > config.delta() {
-                work.matches += 1;
-                let hit = SearchHit {
-                    set_id: id,
-                    omega,
-                    beta,
-                };
-                if config.dedup_per_set() {
-                    if best.is_none_or(|b| omega > b.omega) {
-                        best = Some(hit);
-                    }
-                } else {
-                    candidates.push(hit);
-                }
-            }
-        }
-        if let Some(b) = best {
-            candidates.push(b);
-        }
-        Ok(())
+        self.engine.config()
     }
 }
 
@@ -79,16 +43,18 @@ impl Search for ExhaustiveSearch {
     }
 
     fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
-        let mut candidates = Vec::new();
-        let mut work = SearchWork::default();
-        for (id, set) in mdb.iter_with_ids() {
-            Self::scan_set(query, &self.config, id, set, &mut candidates, &mut work)?;
-        }
-        Ok(CorrelationSet::from_candidates(
-            candidates,
-            self.config.top_k(),
-            work,
-        ))
+        self.engine.sweep_one(query, &ScanPlan::build(mdb, 1))
+    }
+
+    /// One shared sweep: every host's samples and statistics are walked
+    /// once while all queries are evaluated against it. Bitwise identical
+    /// to per-query [`Search::search`].
+    fn search_batch(
+        &self,
+        queries: &[Query],
+        mdb: &Mdb,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        self.engine.sweep(queries, &ScanPlan::build(mdb, 1))
     }
 }
 
@@ -96,7 +62,7 @@ impl Search for ExhaustiveSearch {
 mod tests {
     use super::*;
     use emap_datasets::SignalClass;
-    use emap_mdb::{Provenance, SignalSet, SIGNAL_SET_LEN};
+    use emap_mdb::{Provenance, SetId, SignalSet, SIGNAL_SET_LEN};
 
     fn prov(offset: u64) -> Provenance {
         Provenance {
@@ -202,6 +168,18 @@ mod tests {
             .unwrap();
         assert!(t.is_empty());
         assert_eq!(t.work().sets_scanned, 0);
+    }
+
+    #[test]
+    fn batch_matches_per_query_search() {
+        let q = query();
+        let mdb = tiny_mdb(&q);
+        let search = ExhaustiveSearch::new(SearchConfig::paper());
+        let queries = vec![Query::new(&q).unwrap(); 3];
+        let batch = search.search_batch(&queries, &mdb).unwrap();
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(b, &search.search(q, &mdb).unwrap());
+        }
     }
 
     #[test]

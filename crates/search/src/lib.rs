@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod engine;
 mod error;
 mod exhaustive;
 mod parallel;
@@ -56,6 +57,7 @@ mod sliding;
 mod two_stage;
 
 pub use config::SearchConfig;
+pub use engine::{BatchExecutor, ScanKernel, ScanPlan};
 pub use error::SearchError;
 pub use exhaustive::ExhaustiveSearch;
 pub use parallel::ParallelSearch;

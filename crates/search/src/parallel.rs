@@ -1,10 +1,7 @@
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-use emap_mdb::{Mdb, SetId, SignalSet};
+use emap_mdb::Mdb;
 
 use crate::{
-    CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable,
-    SlidingSearch,
+    BatchExecutor, CorrelationSet, Query, ScanKernel, ScanPlan, Search, SearchConfig, SearchError,
 };
 
 /// Oversubscription factor for the shared work queue: the store is split
@@ -17,18 +14,22 @@ const TASKS_PER_WORKER: usize = 4;
 /// Algorithm 1 fanned out over worker threads through a shared work queue.
 ///
 /// §V-B: the MDB slicing exists "to enable the search algorithm to quickly
-/// search through the complete database in parallel". The store is split
-/// into contiguous chunks ([`Mdb::chunks`]) — several per worker — and
-/// workers pull chunks from a shared atomic queue until it is drained, so
-/// no thread waits on the slowest one. Candidates are tagged with their
-/// chunk index and merged back in chunk order, which restores the exact
-/// sequential candidate order; the result is therefore identical to the
-/// sequential [`SlidingSearch`], hits and work counters both.
+/// search through the complete database in parallel". The [`ScanPlan`]
+/// splits the store into contiguous **host** chunks — several per worker —
+/// and [`BatchExecutor::sweep_parallel`] has workers pull chunks from a
+/// shared atomic queue until it is drained, so no thread waits on the
+/// slowest one. Each worker evaluates *every* in-flight query against its
+/// chunk (queries are never partitioned), so one pass over the chunk's
+/// samples and cached statistics serves the whole batch. Candidates are
+/// merged back in chunk order, which restores the exact sequential
+/// candidate order; the result is therefore identical to the sequential
+/// [`crate::SlidingSearch`], hits and work counters both.
 ///
-/// [`SearchConfig::max_correlations`] is enforced across workers through a
-/// shared spent-counter, with the same set-granularity overshoot as the
-/// sequential path: each worker checks the global count before starting a
-/// set, so the overshoot is bounded by one in-flight set per worker.
+/// [`SearchConfig::max_correlations`] is enforced per query across workers
+/// through shared spent-counters, with the same set-granularity overshoot
+/// as the sequential path: each worker checks the query's global count
+/// before starting a set, so the overshoot is bounded by one in-flight set
+/// per worker.
 ///
 /// # Example
 ///
@@ -40,8 +41,7 @@ const TASKS_PER_WORKER: usize = 4;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ParallelSearch {
-    config: SearchConfig,
-    skips: SkipTable,
+    engine: BatchExecutor,
     workers: usize,
 }
 
@@ -50,8 +50,7 @@ impl ParallelSearch {
     #[must_use]
     pub fn new(config: SearchConfig, workers: usize) -> Self {
         ParallelSearch {
-            skips: SkipTable::new(config.alpha()),
-            config,
+            engine: BatchExecutor::new(ScanKernel::sliding(config.alpha()), config),
             workers: workers.max(1),
         }
     }
@@ -65,45 +64,11 @@ impl ParallelSearch {
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &SearchConfig {
-        &self.config
+        self.engine.config()
     }
 
-    /// Scans one contiguous chunk of sets, charging correlations to the
-    /// shared budget counter. The budget is checked *before* each set (the
-    /// sequential search's set-granularity rule), so a worker never starts
-    /// a set once the global count has reached the limit.
-    fn scan_chunk(
-        query: &Query,
-        config: &SearchConfig,
-        skips: &SkipTable,
-        start: SetId,
-        sets: &[SignalSet],
-        spent: &AtomicU64,
-        limit: u64,
-    ) -> Result<(Vec<SearchHit>, SearchWork), SearchError> {
-        let mut candidates = Vec::new();
-        let mut work = SearchWork::default();
-        for (i, set) in sets.iter().enumerate() {
-            if spent.load(Ordering::Relaxed) >= limit {
-                work.truncated = true;
-                break;
-            }
-            let before = work.correlations;
-            SlidingSearch::scan_set(
-                query,
-                config,
-                skips,
-                SetId(start.0 + i as u64),
-                set,
-                &mut candidates,
-                &mut work,
-            )?;
-            let delta = work.correlations - before;
-            if delta > 0 {
-                spent.fetch_add(delta, Ordering::Relaxed);
-            }
-        }
-        Ok((candidates, work))
+    fn plan<'a>(&self, mdb: &'a Mdb) -> ScanPlan<'a> {
+        ScanPlan::build(mdb, self.workers * TASKS_PER_WORKER)
     }
 }
 
@@ -112,160 +77,39 @@ impl Search for ParallelSearch {
         "algorithm1-parallel"
     }
 
-    /// Batch entry point: one shared work queue over *query × chunk* tasks.
+    /// Batch entry point: one host-partitioned shared sweep.
     ///
-    /// The previous design took queries in waves of `workers`, so the
-    /// slowest search in a wave stalled the whole wave. Here every
-    /// (query, chunk) pair is an independent task pulled from the same
-    /// queue: a worker that finishes its part of an easy query immediately
-    /// helps with the hard ones. Per-query candidates are merged in chunk
-    /// order, so each returned [`CorrelationSet`] is identical to a
-    /// sequential [`SlidingSearch`] of that query.
+    /// The previous design made every (query, chunk) pair an independent
+    /// task, so a chunk's samples were re-walked once per query. Here the
+    /// chunk is the task and the worker that owns it evaluates the whole
+    /// batch against it in one pass — memory traffic is amortized across
+    /// the batch while the work queue still load-balances the uneven chunk
+    /// costs. Per-query candidates are merged in chunk order, so each
+    /// returned [`CorrelationSet`] is identical to a sequential
+    /// [`crate::SlidingSearch`] of that query.
     fn search_batch(
         &self,
         queries: &[Query],
         mdb: &Mdb,
     ) -> Result<Vec<CorrelationSet>, SearchError> {
-        let chunks = mdb.chunks(self.workers * TASKS_PER_WORKER);
-        if queries.len() <= 1 || self.workers == 1 || chunks.len() <= 1 {
-            return queries.iter().map(|q| self.search(q, mdb)).collect();
-        }
-        let n_tasks = queries.len() * chunks.len();
-        let limit = self.config.max_correlations().unwrap_or(u64::MAX);
-        let spent: Vec<AtomicU64> = (0..queries.len()).map(|_| AtomicU64::new(0)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.workers.min(n_tasks);
-
-        type TaggedResult = Result<Vec<(usize, Vec<SearchHit>, SearchWork)>, SearchError>;
-        let results: Vec<TaggedResult> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let (chunks, spent, next) = (&chunks, &spent, &next);
-                    let (config, skips) = (&self.config, &self.skips);
-                    scope.spawn(move |_| {
-                        let mut done = Vec::new();
-                        loop {
-                            let t = next.fetch_add(1, Ordering::Relaxed);
-                            if t >= n_tasks {
-                                break;
-                            }
-                            let (qi, ci) = (t / chunks.len(), t % chunks.len());
-                            let (start, sets) = chunks[ci];
-                            let (c, w) = Self::scan_chunk(
-                                &queries[qi],
-                                config,
-                                skips,
-                                start,
-                                sets,
-                                &spent[qi],
-                                limit,
-                            )?;
-                            done.push((t, c, w));
-                        }
-                        Ok(done)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope panicked");
-
-        let mut per_query: Vec<Vec<(usize, Vec<SearchHit>)>> =
-            (0..queries.len()).map(|_| Vec::new()).collect();
-        let mut per_work: Vec<SearchWork> = vec![SearchWork::default(); queries.len()];
-        for r in results {
-            for (t, c, w) in r? {
-                let qi = t / chunks.len();
-                per_query[qi].push((t, c));
-                per_work[qi].merge(w);
-            }
-        }
-        let mut out = Vec::with_capacity(queries.len());
-        for (tagged, work) in per_query.iter_mut().zip(per_work) {
-            tagged.sort_unstable_by_key(|&(t, _)| t);
-            let mut candidates = Vec::new();
-            for (_, c) in tagged.drain(..) {
-                candidates.extend(c);
-            }
-            out.push(CorrelationSet::from_candidates(
-                candidates,
-                self.config.top_k(),
-                work,
-            ));
-        }
-        Ok(out)
+        self.engine
+            .sweep_parallel(queries, &self.plan(mdb), self.workers)
     }
 
     fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
-        let chunks = mdb.chunks(self.workers * TASKS_PER_WORKER);
-        if self.workers == 1 || chunks.len() <= 1 {
-            // Not worth spawning threads for a single chunk.
-            return SlidingSearch::new(self.config).search(query, mdb);
-        }
-        let limit = self.config.max_correlations().unwrap_or(u64::MAX);
-        let spent = AtomicU64::new(0);
-        let next = AtomicUsize::new(0);
-        let workers = self.workers.min(chunks.len());
-
-        type TaggedResult = Result<Vec<(usize, Vec<SearchHit>, SearchWork)>, SearchError>;
-        let results: Vec<TaggedResult> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let (chunks, spent, next) = (&chunks, &spent, &next);
-                    let (config, skips) = (&self.config, &self.skips);
-                    scope.spawn(move |_| {
-                        let mut done = Vec::new();
-                        loop {
-                            let t = next.fetch_add(1, Ordering::Relaxed);
-                            if t >= chunks.len() {
-                                break;
-                            }
-                            let (start, sets) = chunks[t];
-                            let (c, w) =
-                                Self::scan_chunk(query, config, skips, start, sets, spent, limit)?;
-                            done.push((t, c, w));
-                        }
-                        Ok(done)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope panicked");
-
-        let mut tagged = Vec::new();
-        let mut work = SearchWork::default();
-        for r in results {
-            for (t, c, w) in r? {
-                tagged.push((t, c));
-                work.merge(w);
-            }
-        }
-        // Chunks are contiguous in id order, so merging in chunk order
-        // reproduces the sequential candidate order exactly — ties in the
-        // final stable top-K sort break identically.
-        tagged.sort_unstable_by_key(|&(t, _)| t);
-        let mut candidates = Vec::new();
-        for (_, c) in tagged {
-            candidates.extend(c);
-        }
-        Ok(CorrelationSet::from_candidates(
-            candidates,
-            self.config.top_k(),
-            work,
-        ))
+        let mut out = self.engine.sweep_parallel(
+            std::slice::from_ref(query),
+            &self.plan(mdb),
+            self.workers,
+        )?;
+        Ok(out.pop().expect("one result per query"))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SlidingSearch;
     use emap_datasets::{RecordingFactory, SignalClass};
     use emap_mdb::MdbBuilder;
 

@@ -1,7 +1,7 @@
-use emap_mdb::{Mdb, SetId, SignalSet};
+use emap_mdb::Mdb;
 
 use crate::{
-    CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable,
+    BatchExecutor, CorrelationSet, Query, ScanKernel, ScanPlan, Search, SearchConfig, SearchError,
 };
 
 /// Computes the skip window `β = α^(ω−1)` of Algorithm 1, in samples.
@@ -37,6 +37,11 @@ pub fn skip_for_omega(omega: f64, alpha: f64) -> usize {
 /// (Fig. 7b) at negligible loss in the quality of the returned top-100
 /// (Fig. 11).
 ///
+/// Built on the [`BatchExecutor`] engine with the [`ScanKernel::Sliding`]
+/// kernel: `search_batch` walks each host once for all queries, with
+/// per-query skip state and per-query budgets, and is bitwise identical to
+/// per-query [`Search::search`].
+///
 /// # Example
 ///
 /// ```
@@ -47,8 +52,7 @@ pub fn skip_for_omega(omega: f64, alpha: f64) -> usize {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SlidingSearch {
-    config: SearchConfig,
-    skips: SkipTable,
+    engine: BatchExecutor,
 }
 
 impl SlidingSearch {
@@ -56,63 +60,14 @@ impl SlidingSearch {
     #[must_use]
     pub fn new(config: SearchConfig) -> Self {
         SlidingSearch {
-            skips: SkipTable::new(config.alpha()),
-            config,
+            engine: BatchExecutor::new(ScanKernel::sliding(config.alpha()), config),
         }
     }
 
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &SearchConfig {
-        &self.config
-    }
-
-    pub(crate) fn scan_set(
-        query: &Query,
-        config: &SearchConfig,
-        skips: &SkipTable,
-        id: SetId,
-        set: &SignalSet,
-        candidates: &mut Vec<SearchHit>,
-        work: &mut SearchWork,
-    ) -> Result<(), SearchError> {
-        let kernel = query.kernel();
-        let host = set.samples();
-        let stats = set.stats();
-        let window = kernel.window_len();
-        work.sets_scanned += 1;
-        if host.len() < window {
-            return Ok(());
-        }
-        let mut best: Option<SearchHit> = None;
-        let mut beta = 0usize;
-        // Algorithm 1 line 4: while β < Length(S) − Length(I_N). We include
-        // the final aligned offset as well (`<=`), so an embedding at the
-        // very end of a set is not missed.
-        while beta <= host.len() - window {
-            let omega = kernel.correlation_at(host, stats, beta)?;
-            work.correlations += 1;
-            if omega > config.delta() {
-                work.matches += 1;
-                let hit = SearchHit {
-                    set_id: id,
-                    omega,
-                    beta,
-                };
-                if config.dedup_per_set() {
-                    if best.is_none_or(|b| omega > b.omega) {
-                        best = Some(hit);
-                    }
-                } else {
-                    candidates.push(hit);
-                }
-            }
-            beta += skips.skip(omega);
-        }
-        if let Some(b) = best {
-            candidates.push(b);
-        }
-        Ok(())
+        self.engine.config()
     }
 }
 
@@ -122,30 +77,18 @@ impl Search for SlidingSearch {
     }
 
     fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
-        let mut candidates = Vec::new();
-        let mut work = SearchWork::default();
-        for (id, set) in mdb.iter_with_ids() {
-            if let Some(budget) = self.config.max_correlations() {
-                if work.correlations >= budget {
-                    work.truncated = true;
-                    break;
-                }
-            }
-            Self::scan_set(
-                query,
-                &self.config,
-                &self.skips,
-                id,
-                set,
-                &mut candidates,
-                &mut work,
-            )?;
-        }
-        Ok(CorrelationSet::from_candidates(
-            candidates,
-            self.config.top_k(),
-            work,
-        ))
+        self.engine.sweep_one(query, &ScanPlan::build(mdb, 1))
+    }
+
+    /// One shared sweep over the store for the whole batch. Bitwise
+    /// identical to per-query [`Search::search`], including per-query
+    /// [`SearchConfig::max_correlations`] truncation.
+    fn search_batch(
+        &self,
+        queries: &[Query],
+        mdb: &Mdb,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        self.engine.sweep(queries, &ScanPlan::build(mdb, 1))
     }
 }
 
@@ -366,6 +309,29 @@ mod tests {
         // The query's own recording sits early in the scan order, so the
         // truncated search still found something.
         assert!(!bounded.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_per_query_search() {
+        let factory = RecordingFactory::new(37);
+        let mut b = MdbBuilder::new();
+        for i in 0..3 {
+            b.add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+                .unwrap();
+        }
+        let mdb = b.build();
+        let search = SlidingSearch::new(SearchConfig::paper());
+        let queries: Vec<Query> = (0..3)
+            .map(|i| {
+                let rec = factory.normal_recording(&format!("n{i}"), 24.0);
+                let filtered = emap_dsp::emap_bandpass().filter(rec.channels()[0].samples());
+                Query::new(&filtered[1024..1280]).unwrap()
+            })
+            .collect();
+        let batch = search.search_batch(&queries, &mdb).unwrap();
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(b, &search.search(q, &mdb).unwrap());
+        }
     }
 
     #[test]

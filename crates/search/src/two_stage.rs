@@ -1,7 +1,7 @@
-use emap_mdb::{Mdb, SetId, SignalSet};
+use emap_mdb::Mdb;
 
 use crate::{
-    CorrelationSet, Query, Search, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable,
+    BatchExecutor, CorrelationSet, Query, ScanKernel, ScanPlan, Search, SearchConfig, SearchError,
 };
 
 /// An extension beyond the paper: a two-stage coarse-to-fine search.
@@ -17,6 +17,10 @@ use crate::{
 /// fraction of Algorithm 1's cost, and stage 2's dense work is confined to
 /// them. The `ablation_two_stage` bench quantifies the trade-off.
 ///
+/// Built on the [`BatchExecutor`] engine with the [`ScanKernel::TwoStage`]
+/// kernel, so `search_batch` shares one sweep over the store across all
+/// queries.
+///
 /// # Example
 ///
 /// ```
@@ -28,8 +32,7 @@ use crate::{
 /// ```
 #[derive(Debug, Clone)]
 pub struct TwoStageSearch {
-    config: SearchConfig,
-    skips: SkipTable,
+    engine: BatchExecutor,
     coarse_stride: usize,
     prescreen_margin: f64,
 }
@@ -47,11 +50,17 @@ impl TwoStageSearch {
     /// Creates the search with default stage-1 parameters.
     #[must_use]
     pub fn new(config: SearchConfig) -> Self {
+        Self::build(config, Self::DEFAULT_STRIDE, Self::DEFAULT_MARGIN)
+    }
+
+    fn build(config: SearchConfig, coarse_stride: usize, prescreen_margin: f64) -> Self {
         TwoStageSearch {
-            skips: SkipTable::new(config.alpha()),
-            config,
-            coarse_stride: Self::DEFAULT_STRIDE,
-            prescreen_margin: Self::DEFAULT_MARGIN,
+            engine: BatchExecutor::new(
+                ScanKernel::two_stage(config.alpha(), coarse_stride, prescreen_margin),
+                config,
+            ),
+            coarse_stride,
+            prescreen_margin,
         }
     }
 
@@ -60,15 +69,18 @@ impl TwoStageSearch {
     /// # Errors
     ///
     /// Returns [`SearchError::BadConfig`] if `stride == 0`.
-    pub fn with_coarse_stride(mut self, stride: usize) -> Result<Self, SearchError> {
+    pub fn with_coarse_stride(self, stride: usize) -> Result<Self, SearchError> {
         if stride == 0 {
             return Err(SearchError::BadConfig {
                 parameter: "coarse_stride",
                 value: 0.0,
             });
         }
-        self.coarse_stride = stride;
-        Ok(self)
+        Ok(Self::build(
+            *self.engine.config(),
+            stride,
+            self.prescreen_margin,
+        ))
     }
 
     /// Overrides the prescreen margin (stage-1 threshold is `δ − margin`;
@@ -79,15 +91,18 @@ impl TwoStageSearch {
     /// Returns [`SearchError::BadConfig`] if the margin is non-finite or
     /// its magnitude is 0.5 or more (the prescreen would leave `[0, 1]`
     /// for every sensible `δ`).
-    pub fn with_prescreen_margin(mut self, margin: f64) -> Result<Self, SearchError> {
+    pub fn with_prescreen_margin(self, margin: f64) -> Result<Self, SearchError> {
         if !(margin.is_finite() && margin.abs() < 0.5) {
             return Err(SearchError::BadConfig {
                 parameter: "prescreen_margin",
                 value: margin,
             });
         }
-        self.prescreen_margin = margin;
-        Ok(self)
+        Ok(Self::build(
+            *self.engine.config(),
+            self.coarse_stride,
+            margin,
+        ))
     }
 
     /// The stage-1 stride.
@@ -99,73 +114,7 @@ impl TwoStageSearch {
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &SearchConfig {
-        &self.config
-    }
-
-    fn scan_set(
-        &self,
-        query: &Query,
-        id: SetId,
-        set: &SignalSet,
-        candidates: &mut Vec<SearchHit>,
-        work: &mut SearchWork,
-    ) -> Result<(), SearchError> {
-        let kernel = query.kernel();
-        let host = set.samples();
-        let stats = set.stats();
-        let window = kernel.window_len();
-        work.sets_scanned += 1;
-        if host.len() < window {
-            return Ok(());
-        }
-        let last = host.len() - window;
-        let prescreen = (self.config.delta() - self.prescreen_margin).clamp(0.0, 1.0);
-
-        // Stage 1: coarse scan.
-        let mut seeds = Vec::new();
-        let mut beta = 0usize;
-        while beta <= last {
-            let omega = kernel.correlation_at(host, stats, beta)?;
-            work.correlations += 1;
-            if omega >= prescreen {
-                seeds.push(beta);
-            }
-            beta += self.coarse_stride;
-        }
-
-        // Stage 2: dense exponential scan inside each seed neighborhood.
-        let mut best: Option<SearchHit> = None;
-        let mut scanned_until = 0usize; // avoid re-scanning overlapping neighborhoods
-        for seed in seeds {
-            let lo = seed.saturating_sub(self.coarse_stride).max(scanned_until);
-            let hi = (seed + self.coarse_stride).min(last);
-            let mut beta = lo;
-            while beta <= hi {
-                let omega = kernel.correlation_at(host, stats, beta)?;
-                work.correlations += 1;
-                if omega > self.config.delta() {
-                    work.matches += 1;
-                    let hit = SearchHit {
-                        set_id: id,
-                        omega,
-                        beta,
-                    };
-                    if self.config.dedup_per_set() {
-                        if best.is_none_or(|b| omega > b.omega) {
-                            best = Some(hit);
-                        }
-                    } else {
-                        candidates.push(hit);
-                    }
-                }
-                beta += self.skips.skip(omega);
-            }
-            scanned_until = hi + 1;
-        }
-        if let Some(b) = best {
-            candidates.push(b);
-        }
-        Ok(())
+        self.engine.config()
     }
 }
 
@@ -175,16 +124,18 @@ impl Search for TwoStageSearch {
     }
 
     fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
-        let mut candidates = Vec::new();
-        let mut work = SearchWork::default();
-        for (id, set) in mdb.iter_with_ids() {
-            self.scan_set(query, id, set, &mut candidates, &mut work)?;
-        }
-        Ok(CorrelationSet::from_candidates(
-            candidates,
-            self.config.top_k(),
-            work,
-        ))
+        self.engine.sweep_one(query, &ScanPlan::build(mdb, 1))
+    }
+
+    /// One shared sweep over the store for the whole batch (per-query
+    /// stage-1 seeds, per-query stage-2 refinement). Bitwise identical to
+    /// per-query [`Search::search`].
+    fn search_batch(
+        &self,
+        queries: &[Query],
+        mdb: &Mdb,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        self.engine.sweep(queries, &ScanPlan::build(mdb, 1))
     }
 }
 
@@ -271,6 +222,17 @@ mod tests {
             two.work().correlations,
             one.work().correlations
         );
+    }
+
+    #[test]
+    fn batch_matches_per_query_search() {
+        let (mdb, query) = setup();
+        let search = TwoStageSearch::new(SearchConfig::paper());
+        let queries = vec![query; 4];
+        let batch = search.search_batch(&queries, &mdb).expect("batch succeeds");
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(b, &search.search(q, &mdb).expect("search succeeds"));
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use emap_datasets::SignalClass;
 use emap_mdb::{Mdb, Provenance, SignalSet, SIGNAL_SET_LEN};
 use emap_search::{
-    skip_for_omega, ExhaustiveSearch, Query, Search, SearchConfig, SlidingSearch, TwoStageSearch,
+    skip_for_omega, ExhaustiveSearch, ParallelSearch, Query, Search, SearchConfig, SlidingSearch,
+    TwoStageSearch,
 };
 use proptest::prelude::*;
 
@@ -132,6 +133,65 @@ proptest! {
         let a = SlidingSearch::new(cfg).search(&q, &mdb).expect("search");
         let b = SlidingSearch::new(cfg).search(&q, &mdb).expect("search");
         prop_assert_eq!(a, b);
+    }
+
+    /// The load-bearing batching invariant: for every algorithm and every
+    /// batch size, `search_batch` returns **bitwise identical** hits and
+    /// work counters to calling `search` once per query. The whole
+    /// plan/executor engine — and the cloud's micro-batcher above it —
+    /// rests on this equality.
+    #[test]
+    fn batched_search_is_bitwise_equal_to_sequential(
+        mdb in arb_mdb(6),
+        queries in prop::collection::vec(arb_signal(256), 1..=8),
+        cfg in arb_config(),
+    ) {
+        let qs: Vec<Query> = queries
+            .iter()
+            .map(|s| Query::new(s).expect("window length 256"))
+            .collect();
+        for search in [
+            Box::new(ExhaustiveSearch::new(cfg)) as Box<dyn Search>,
+            Box::new(SlidingSearch::new(cfg)),
+            Box::new(TwoStageSearch::new(cfg)),
+            Box::new(ParallelSearch::new(cfg, 3)),
+        ] {
+            let batched = search.search_batch(&qs, &mdb).expect("batch succeeds");
+            prop_assert_eq!(batched.len(), qs.len());
+            for (q, b) in qs.iter().zip(&batched) {
+                let single = search.search(q, &mdb).expect("search succeeds");
+                prop_assert_eq!(
+                    &single, b,
+                    "{}: batched result diverged from per-query search",
+                    search.name()
+                );
+            }
+        }
+    }
+
+    /// The same equality under a correlation budget: per-query exhaustion
+    /// is independent inside a batch, so truncated work counters match the
+    /// sequential path exactly too.
+    #[test]
+    fn batched_search_matches_sequential_under_budget(
+        mdb in arb_mdb(5),
+        queries in prop::collection::vec(arb_signal(256), 1..=6),
+        budget in 100u64..3000,
+    ) {
+        let cfg = SearchConfig::paper()
+            .with_max_correlations(budget)
+            .expect("valid budget");
+        let qs: Vec<Query> = queries
+            .iter()
+            .map(|s| Query::new(s).expect("window length 256"))
+            .collect();
+        let sliding = SlidingSearch::new(cfg);
+        let batched = sliding.search_batch(&qs, &mdb).expect("batch succeeds");
+        for (q, b) in qs.iter().zip(&batched) {
+            let single = sliding.search(q, &mdb).expect("search succeeds");
+            prop_assert_eq!(&single, b);
+            prop_assert_eq!(single.work().truncated, b.work().truncated);
+        }
     }
 
     /// The skip law is total, bounded, and monotone for any α in range.

@@ -3,13 +3,19 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "EMW1"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (currently 2; ≥ MIN_VERSION accepted)
 //! 5       1     message type byte
 //! 6       2     reserved (written 0, ignored on read)
 //! 8       4     payload length, u32 LE
 //! 12      4     CRC-32 (IEEE) of the payload, u32 LE
 //! 16      len   payload
 //! ```
+//!
+//! Version 2 added the batch search messages
+//! ([`crate::Message::SearchBatchRequest`] /
+//! [`crate::Message::SearchBatchResponse`]) as new type bytes; every
+//! version-1 message encodes identically under version 2, so frames from
+//! version-1 peers still decode ([`MIN_VERSION`] is 1).
 //!
 //! The length field is validated against a caller-supplied cap *before*
 //! any payload allocation, so a corrupt or hostile length can neither
@@ -24,16 +30,22 @@ use crate::{Message, WireError};
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"EMW1";
 
-/// The protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// The protocol version this build speaks (and writes into every frame).
+pub const VERSION: u8 = 2;
+
+/// The oldest protocol version this build still accepts. Version 1 frames
+/// carry only message types that are bit-identical under version 2, so
+/// they decode unchanged.
+pub const MIN_VERSION: u8 = 1;
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 16;
 
-/// Default cap on payload length (8 MiB) — an order of magnitude above the
-/// largest legitimate message (a top-100 search response with slice
-/// payloads is ≈ 420 KiB), far below anything that could exhaust memory.
-pub const DEFAULT_MAX_PAYLOAD: usize = 8 << 20;
+/// Default cap on payload length (32 MiB) — comfortably above the largest
+/// legitimate message (a 64-query batch response of top-100 slice
+/// downloads is ≈ 27 MiB; a single top-100 search response is ≈ 420 KiB),
+/// far below anything that could exhaust memory.
+pub const DEFAULT_MAX_PAYLOAD: usize = 32 << 20;
 
 /// Encodes `msg` as a complete frame (header + payload).
 #[must_use]
@@ -101,7 +113,7 @@ fn check_header(
             found: header[0..4].try_into().unwrap(),
         });
     }
-    if header[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header[4]) {
         return Err(WireError::UnsupportedVersion { found: header[4] });
     }
     if len > max_payload {
@@ -167,12 +179,37 @@ mod tests {
 
     #[test]
     fn version_mismatch_rejected() {
-        let mut frame = ping_frame();
-        frame[4] = 2;
-        assert!(matches!(
-            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
-            Err(WireError::UnsupportedVersion { found: 2 })
-        ));
+        for bad in [0u8, VERSION + 1, 0x7f] {
+            let mut frame = ping_frame();
+            frame[4] = bad;
+            assert!(
+                matches!(
+                    read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
+                    Err(WireError::UnsupportedVersion { found }) if found == bad
+                ),
+                "version {bad} was not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_1_frames_still_decode() {
+        // A version-1 peer sends the same bytes with the old version byte;
+        // every pre-batch message must decode unchanged.
+        for msg in [
+            Message::Ping,
+            Message::Pong { total_sets: 7 },
+            Message::SearchRequest {
+                second: vec![0.5; 256],
+            },
+        ] {
+            let mut frame = frame_bytes(&msg);
+            frame[4] = MIN_VERSION;
+            assert_eq!(
+                read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD).unwrap(),
+                msg
+            );
+        }
     }
 
     #[test]

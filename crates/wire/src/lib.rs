@@ -4,8 +4,9 @@
 //! wearable edge devices over a real link; Figs. 4 and 9 budget the
 //! upload/download times of exactly that traffic. This crate defines the
 //! transport those figures assume: a versioned, length-prefixed binary
-//! protocol for the four EMAP conversations (search, slice download,
-//! ingest, health), built on `std` alone.
+//! protocol for the EMAP conversations (search — single or batched into
+//! one shared sweep —, slice download, ingest, health), built on `std`
+//! alone.
 //!
 //! Layering:
 //!
@@ -46,6 +47,9 @@ mod message;
 
 pub use error::WireError;
 pub use frame::{
-    frame_bytes, read_frame, write_frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION,
+    frame_bytes, read_frame, write_frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, MIN_VERSION,
+    VERSION,
 };
-pub use message::{error_code, Message};
+pub use message::{
+    error_code, BatchHit, BatchSearchResult, BatchSlice, Message, MAX_BATCH_QUERIES,
+};

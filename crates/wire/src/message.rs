@@ -1,15 +1,35 @@
-//! The four EMAP conversations as typed messages.
+//! The EMAP conversations as typed messages.
 //!
 //! | direction | request | response |
 //! |---|---|---|
 //! | edge → cloud | [`Message::SearchRequest`] | [`Message::SearchResponse`] / [`Message::Busy`] / [`Message::ErrorReply`] |
+//! | edge → cloud | [`Message::SearchBatchRequest`] | [`Message::SearchBatchResponse`] / [`Message::Busy`] / [`Message::ErrorReply`] |
 //! | edge → cloud | [`Message::Ingest`] | [`Message::IngestAck`] / [`Message::Busy`] / [`Message::ErrorReply`] |
 //! | edge → cloud | [`Message::Ping`] | [`Message::Pong`] |
 //!
 //! A [`Message::SearchResponse`] carries the full download of the paper's
 //! cloud→edge arrow: every hit ships its 1000-sample MDB slice plus the
 //! class label, exactly what [`emap_edge::EdgeTracker::load_remote`] needs
-//! to start tracking without any shared memory.
+//! to start tracking without any shared memory. The batch pair (protocol
+//! version 2) moves several sessions' seconds in one frame and brings back
+//! one [`BatchSearchResult`] per query, in query order, so a gateway
+//! serving a fleet pays one round-trip — and the server one shared sweep —
+//! per scheduling window instead of one per session.
+//!
+//! # The batch slice table
+//!
+//! Queries in one tick search the same store, so their top-K hits overlap
+//! heavily — shipping every hit's 1000-sample slice per query would resend
+//! the same sets over and over. A [`Message::SearchBatchResponse`]
+//! therefore carries a *slice table*: each distinct slice travels once as
+//! a [`BatchSlice`], and each query's hits are [`BatchHit`]s — the
+//! per-query `ω` and `β` next to a table index. The sender builds the
+//! table, the receiver shares each entry across every query (and tracker)
+//! that references it, and [`BatchSearchResult::materialize`] reconstructs
+//! full per-query [`SliceDownload`]s bit-for-bit whenever owned copies are
+//! wanted. Against one [`Message::SearchResponse`] per query this carries
+//! a fraction of the bytes — and of the checksum, copy, and statistics
+//! work on both ends.
 
 use emap_dsp::SAMPLES_PER_SECOND;
 use emap_edge::SliceDownload;
@@ -27,6 +47,86 @@ pub mod error_code {
     pub const INTERNAL: u16 = 2;
     /// The server is shutting down and no longer accepts work.
     pub const SHUTTING_DOWN: u16 = 3;
+}
+
+/// Cap on queries per [`Message::SearchBatchRequest`], enforced at decode.
+///
+/// Bounds the decoded allocation and keeps a worst-case batch response
+/// (≈ 27 MiB when top-100 hit sets never overlap between queries) under
+/// the default payload cap; with the usual hit overlap the slice table
+/// keeps real frames far smaller.
+pub const MAX_BATCH_QUERIES: usize = 64;
+
+/// One distinct slice in a batch response's slice table: shipped once per
+/// frame however many queries (and hits) reference it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSlice {
+    /// Which signal-set this is.
+    pub set_id: SetId,
+    /// Class label of the slice.
+    pub class: emap_datasets::SignalClass,
+    /// The full slice samples, exactly [`SIGNAL_SET_LEN`] of them
+    /// (enforced at decode).
+    pub samples: Vec<f32>,
+}
+
+/// One hit of one batched query: the per-query `ω` and `β` plus the index
+/// of the hit's slice in the frame's table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchHit {
+    /// Index into [`Message::SearchBatchResponse`]'s slice table. Decode
+    /// rejects indices outside the table.
+    pub slice: u32,
+    /// The correlation the search reported for this query.
+    pub omega: f64,
+    /// Best-match offset for this query.
+    pub beta: usize,
+}
+
+/// One query's outcome within a [`Message::SearchBatchResponse`]: the work
+/// counters of its share of the sweep plus its hits as references into the
+/// shared slice table (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSearchResult {
+    /// Work counters of this query's share of the sweep.
+    pub work: SearchWork,
+    /// The hits in descending-ω order, referencing the slice table.
+    pub hits: Vec<BatchHit>,
+}
+
+impl BatchSearchResult {
+    /// Rebuilds this query's owned [`SliceDownload`]s from the response's
+    /// slice table — bit-for-bit what a standalone
+    /// [`Message::SearchResponse`] for the same query would have carried.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadPayload`] if a hit references an index outside
+    /// `slices`. Cannot happen for a decoded message (decode validates
+    /// every index); guards hand-built values.
+    pub fn materialize(&self, slices: &[BatchSlice]) -> Result<Vec<SliceDownload>, WireError> {
+        self.hits
+            .iter()
+            .map(|hit| {
+                let s = slices
+                    .get(hit.slice as usize)
+                    .ok_or_else(|| WireError::BadPayload {
+                        detail: format!(
+                            "hit references slice {} outside the {}-entry table",
+                            hit.slice,
+                            slices.len()
+                        ),
+                    })?;
+                Ok(SliceDownload {
+                    set_id: s.set_id,
+                    omega: hit.omega,
+                    beta: hit.beta,
+                    class: s.class,
+                    samples: s.samples.clone(),
+                })
+            })
+            .collect()
+    }
 }
 
 /// One message of the EMAP wire protocol.
@@ -65,8 +165,27 @@ pub enum Message {
         /// Signal-sets currently in the MDB.
         total_sets: u64,
     },
+    /// Several sessions' seconds to search in one shared sweep (protocol
+    /// version 2).
+    SearchBatchRequest {
+        /// One query window per session, each exactly
+        /// [`SAMPLES_PER_SECOND`] samples; at most [`MAX_BATCH_QUERIES`]
+        /// entries.
+        seconds: Vec<Vec<f32>>,
+    },
+    /// One result per batched query, in query order (protocol version 2).
+    /// Slices shared between queries travel once in the slice table (see
+    /// the module docs).
+    SearchBatchResponse {
+        /// The distinct slices hit by any query in the batch.
+        slices: Vec<BatchSlice>,
+        /// Per-query work counters and hit references into `slices`.
+        results: Vec<BatchSearchResult>,
+    },
     /// Typed backpressure: the server is at its in-flight limit and sheds
-    /// this request instead of queueing it unboundedly. Retry later.
+    /// this request instead of queueing it unboundedly. Retry later —
+    /// clients treat this as a retryable condition under backoff, not a
+    /// failure.
     Busy,
     /// Typed application failure (see [`error_code`]).
     ErrorReply {
@@ -90,6 +209,8 @@ impl Message {
             Message::Pong { .. } => 0x06,
             Message::Busy => 0x07,
             Message::ErrorReply { .. } => 0x08,
+            Message::SearchBatchRequest { .. } => 0x09,
+            Message::SearchBatchResponse { .. } => 0x0a,
         }
     }
 
@@ -104,18 +225,7 @@ impl Message {
             }
             Message::SearchResponse { work, slices } => {
                 let mut w = PayloadWriter::with_capacity(64 + slices.len() * (40 + 4 * 1000));
-                w.put_u64(work.correlations);
-                w.put_u64(work.sets_scanned);
-                w.put_u64(work.matches);
-                w.put_u8(u8::from(work.truncated));
-                w.put_u32(slices.len() as u32);
-                for s in slices {
-                    w.put_u64(s.set_id.0);
-                    w.put_f64(s.omega);
-                    w.put_u64(s.beta as u64);
-                    w.put_str(s.class.label());
-                    w.put_f32_slice(&s.samples);
-                }
+                encode_search_body(&mut w, work, slices);
                 w.into_bytes()
             }
             Message::Ingest {
@@ -144,6 +254,36 @@ impl Message {
                 w.put_str(detail);
                 w.into_bytes()
             }
+            Message::SearchBatchRequest { seconds } => {
+                let mut w = PayloadWriter::with_capacity(4 + seconds.len() * (4 + 256 * 4));
+                w.put_u32(seconds.len() as u32);
+                for second in seconds {
+                    w.put_f32_slice(second);
+                }
+                w.into_bytes()
+            }
+            Message::SearchBatchResponse { slices, results } => {
+                let mut w = PayloadWriter::with_capacity(
+                    8 + slices.len() * (24 + 4 * SIGNAL_SET_LEN) + results.len() * 32,
+                );
+                w.put_u32(slices.len() as u32);
+                for s in slices {
+                    w.put_u64(s.set_id.0);
+                    w.put_str(s.class.label());
+                    w.put_f32_slice(&s.samples);
+                }
+                w.put_u32(results.len() as u32);
+                for result in results {
+                    encode_work(&mut w, &result.work);
+                    w.put_u32(result.hits.len() as u32);
+                    for hit in &result.hits {
+                        w.put_u32(hit.slice);
+                        w.put_f64(hit.omega);
+                        w.put_u64(hit.beta as u64);
+                    }
+                }
+                w.into_bytes()
+            }
         }
     }
 
@@ -161,34 +301,7 @@ impl Message {
                 second: r.get_f32_slice(SAMPLES_PER_SECOND, "query second")?,
             },
             0x02 => {
-                let work = SearchWork {
-                    correlations: r.get_u64("work.correlations")?,
-                    sets_scanned: r.get_u64("work.sets_scanned")?,
-                    matches: r.get_u64("work.matches")?,
-                    truncated: r.get_u8("work.truncated")? != 0,
-                };
-                let n = r.get_u32("hit count")?;
-                let mut slices = Vec::new();
-                for i in 0..n {
-                    let set_id = SetId(r.get_u64("hit.set_id")?);
-                    let omega = r.get_f64("hit.omega")?;
-                    let beta = usize::try_from(r.get_u64("hit.beta")?).map_err(|_| {
-                        WireError::BadPayload {
-                            detail: format!("hit {i} beta exceeds the address space"),
-                        }
-                    })?;
-                    let label = r.get_str("hit.class")?;
-                    let class =
-                        class_from_label(&label).map_err(|_| WireError::UnknownClass { label })?;
-                    let samples = r.get_f32_slice(SIGNAL_SET_LEN, "hit.samples")?;
-                    slices.push(SliceDownload {
-                        set_id,
-                        omega,
-                        beta,
-                        class,
-                        samples,
-                    });
-                }
+                let (work, slices) = decode_search_body(&mut r)?;
                 Message::SearchResponse { work, slices }
             }
             0x03 => {
@@ -220,11 +333,134 @@ impl Message {
                 code: r.get_u16("error.code")?,
                 detail: r.get_str("error.detail")?,
             },
+            0x09 => {
+                let n = r.get_u32("batch query count")? as usize;
+                if n > MAX_BATCH_QUERIES {
+                    return Err(WireError::BadPayload {
+                        detail: format!(
+                            "batch of {n} queries exceeds the cap of {MAX_BATCH_QUERIES}"
+                        ),
+                    });
+                }
+                let mut seconds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    seconds.push(r.get_f32_slice(SAMPLES_PER_SECOND, "batch query second")?);
+                }
+                Message::SearchBatchRequest { seconds }
+            }
+            0x0a => {
+                let n_sets = r.get_u32("slice table size")? as usize;
+                let mut slices = Vec::new();
+                for _ in 0..n_sets {
+                    let set_id = SetId(r.get_u64("table.set_id")?);
+                    let label = r.get_str("table.class")?;
+                    let class =
+                        class_from_label(&label).map_err(|_| WireError::UnknownClass { label })?;
+                    let samples = r.get_f32_slice(SIGNAL_SET_LEN, "table.samples")?;
+                    slices.push(BatchSlice {
+                        set_id,
+                        class,
+                        samples,
+                    });
+                }
+                let n = r.get_u32("batch result count")? as usize;
+                if n > MAX_BATCH_QUERIES {
+                    return Err(WireError::BadPayload {
+                        detail: format!(
+                            "batch of {n} results exceeds the cap of {MAX_BATCH_QUERIES}"
+                        ),
+                    });
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let work = decode_work(&mut r)?;
+                    let n_hits = r.get_u32("hit count")?;
+                    let mut hits = Vec::new();
+                    for _ in 0..n_hits {
+                        let slice = r.get_u32("hit.slice_index")?;
+                        let omega = r.get_f64("hit.omega")?;
+                        let beta = usize::try_from(r.get_u64("hit.beta")?).map_err(|_| {
+                            WireError::BadPayload {
+                                detail: "hit beta exceeds the address space".into(),
+                            }
+                        })?;
+                        if slice as usize >= n_sets {
+                            return Err(WireError::BadPayload {
+                                detail: format!(
+                                    "hit references slice {slice} outside the {n_sets}-entry table"
+                                ),
+                            });
+                        }
+                        hits.push(BatchHit { slice, omega, beta });
+                    }
+                    results.push(BatchSearchResult { work, hits });
+                }
+                Message::SearchBatchResponse { slices, results }
+            }
             found => return Err(WireError::UnknownType { found }),
         };
         r.finish()?;
         Ok(msg)
     }
+}
+
+/// Writes the four work counters shared by every search-result encoding.
+fn encode_work(w: &mut PayloadWriter, work: &SearchWork) {
+    w.put_u64(work.correlations);
+    w.put_u64(work.sets_scanned);
+    w.put_u64(work.matches);
+    w.put_u8(u8::from(work.truncated));
+}
+
+/// Reads the work counters written by [`encode_work`].
+fn decode_work(r: &mut PayloadReader<'_>) -> Result<SearchWork, WireError> {
+    Ok(SearchWork {
+        correlations: r.get_u64("work.correlations")?,
+        sets_scanned: r.get_u64("work.sets_scanned")?,
+        matches: r.get_u64("work.matches")?,
+        truncated: r.get_u8("work.truncated")? != 0,
+    })
+}
+
+/// Writes one search outcome (work counters + slice downloads) — the body
+/// of a standalone [`Message::SearchResponse`].
+fn encode_search_body(w: &mut PayloadWriter, work: &SearchWork, slices: &[SliceDownload]) {
+    encode_work(w, work);
+    w.put_u32(slices.len() as u32);
+    for s in slices {
+        w.put_u64(s.set_id.0);
+        w.put_f64(s.omega);
+        w.put_u64(s.beta as u64);
+        w.put_str(s.class.label());
+        w.put_f32_slice(&s.samples);
+    }
+}
+
+/// Reads one search outcome written by [`encode_search_body`].
+fn decode_search_body(
+    r: &mut PayloadReader<'_>,
+) -> Result<(SearchWork, Vec<SliceDownload>), WireError> {
+    let work = decode_work(r)?;
+    let n = r.get_u32("hit count")?;
+    let mut slices = Vec::new();
+    for i in 0..n {
+        let set_id = SetId(r.get_u64("hit.set_id")?);
+        let omega = r.get_f64("hit.omega")?;
+        let beta = usize::try_from(r.get_u64("hit.beta")?).map_err(|_| WireError::BadPayload {
+            detail: format!("hit {i} beta exceeds the address space"),
+        })?;
+        let label = r.get_str("hit.class")?;
+        let class = class_from_label(&label).map_err(|_| WireError::UnknownClass { label })?;
+        let samples = r.get_f32_slice(SIGNAL_SET_LEN, "hit.samples")?;
+        slices.push(SliceDownload {
+            set_id,
+            omega,
+            beta,
+            class,
+            samples,
+        });
+    }
+    Ok((work, slices))
 }
 
 #[cfg(test)]
@@ -279,6 +515,48 @@ mod tests {
                 code: error_code::BAD_REQUEST,
                 detail: "bad query".into(),
             },
+            Message::SearchBatchRequest {
+                seconds: (0..3)
+                    .map(|q| {
+                        (0..256)
+                            .map(|i| ((q * 256 + i) as f32 * 0.11).sin())
+                            .collect()
+                    })
+                    .collect(),
+            },
+            Message::SearchBatchResponse {
+                slices: (0..2)
+                    .map(|s| BatchSlice {
+                        set_id: SetId(s),
+                        class: SignalClass::Normal,
+                        samples: (0..1000)
+                            .map(|i| ((s * 7 + i) as f32 * 0.03).sin())
+                            .collect(),
+                    })
+                    .collect(),
+                results: (0..2)
+                    .map(|q| BatchSearchResult {
+                        work: SearchWork {
+                            correlations: 100 + q,
+                            sets_scanned: 4,
+                            matches: q,
+                            truncated: q == 1,
+                        },
+                        hits: vec![
+                            BatchHit {
+                                slice: q as u32,
+                                omega: 0.875,
+                                beta: 17,
+                            },
+                            BatchHit {
+                                slice: 0,
+                                omega: 0.861,
+                                beta: 511,
+                            },
+                        ],
+                    })
+                    .collect(),
+            },
         ];
         for msg in &messages {
             assert_eq!(&roundtrip(msg), msg, "{:#04x}", msg.type_byte());
@@ -287,10 +565,174 @@ mod tests {
 
     #[test]
     fn type_bytes_are_distinct() {
-        let bytes = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08];
+        let bytes = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a];
         let mut sorted = bytes.to_vec();
         sorted.dedup();
         assert_eq!(sorted.len(), bytes.len());
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        assert_eq!(
+            roundtrip(&Message::SearchBatchRequest { seconds: vec![] }),
+            Message::SearchBatchRequest { seconds: vec![] }
+        );
+        assert_eq!(
+            roundtrip(&Message::SearchBatchResponse {
+                slices: vec![],
+                results: vec![]
+            }),
+            Message::SearchBatchResponse {
+                slices: vec![],
+                results: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn batch_response_ships_shared_slices_once() {
+        let table: Vec<BatchSlice> = (1..=2)
+            .map(|set| BatchSlice {
+                set_id: SetId(set),
+                class: SignalClass::Normal,
+                samples: (0..1000)
+                    .map(|i| (i as f32 * 0.02 + set as f32).sin())
+                    .collect(),
+            })
+            .collect();
+        // Four queries all hitting the same two sets: the batched frame
+        // carries the two slices once, not eight times.
+        let results: Vec<BatchSearchResult> = (0..4)
+            .map(|q| BatchSearchResult {
+                work: SearchWork {
+                    correlations: q,
+                    ..SearchWork::default()
+                },
+                hits: vec![
+                    BatchHit {
+                        slice: 0,
+                        omega: 0.95,
+                        beta: 12,
+                    },
+                    BatchHit {
+                        slice: 1,
+                        omega: 0.91 - q as f64 * 0.01,
+                        beta: 12,
+                    },
+                ],
+            })
+            .collect();
+        let batched = Message::SearchBatchResponse {
+            slices: table.clone(),
+            results: results.clone(),
+        };
+        let naive: usize = results
+            .iter()
+            .map(|r| {
+                Message::SearchResponse {
+                    work: r.work,
+                    slices: r.materialize(&table).expect("indices in range"),
+                }
+                .encode_payload()
+                .len()
+            })
+            .sum();
+        let encoded = batched.encode_payload();
+        assert!(
+            encoded.len() * 3 < naive,
+            "table did not shrink the frame: {} B batched vs {naive} B naive",
+            encoded.len()
+        );
+        assert_eq!(roundtrip(&batched), batched);
+    }
+
+    #[test]
+    fn materialize_rebuilds_per_query_downloads() {
+        let table = vec![BatchSlice {
+            set_id: SetId(9),
+            class: SignalClass::Encephalopathy,
+            samples: (0..1000).map(|i| i as f32 * 0.5).collect(),
+        }];
+        let result = BatchSearchResult {
+            work: SearchWork::default(),
+            hits: vec![BatchHit {
+                slice: 0,
+                omega: 0.9,
+                beta: 44,
+            }],
+        };
+        let downloads = result.materialize(&table).expect("index in range");
+        assert_eq!(
+            downloads,
+            vec![SliceDownload {
+                set_id: SetId(9),
+                omega: 0.9,
+                beta: 44,
+                class: SignalClass::Encephalopathy,
+                samples: table[0].samples.clone(),
+            }]
+        );
+        // An out-of-table hit is a typed error, not a panic.
+        let bad = BatchSearchResult {
+            work: SearchWork::default(),
+            hits: vec![BatchHit {
+                slice: 1,
+                omega: 0.9,
+                beta: 0,
+            }],
+        };
+        assert!(matches!(
+            bad.materialize(&table),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_hit_referencing_missing_table_entry_rejected() {
+        // Hand-built payload: an empty slice table, one result whose only
+        // hit points at table entry 0 — which does not exist.
+        let mut w = crate::codec::PayloadWriter::with_capacity(64);
+        w.put_u32(0); // empty slice table
+        w.put_u32(1); // one result
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u8(0); // work counters
+        w.put_u32(1); // one hit
+        w.put_u32(0); // slice index 0 — out of table
+        w.put_f64(0.9);
+        w.put_u64(3);
+        assert!(matches!(
+            Message::decode_payload(0x0a, &w.into_bytes()),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_batch_rejected_at_decode() {
+        let msg = Message::SearchBatchRequest {
+            seconds: vec![vec![0.0; 256]; MAX_BATCH_QUERIES + 1],
+        };
+        assert!(matches!(
+            Message::decode_payload(0x09, &msg.encode_payload()),
+            Err(WireError::BadPayload { .. })
+        ));
+        // At the cap is fine.
+        let msg = Message::SearchBatchRequest {
+            seconds: vec![vec![0.0; 256]; MAX_BATCH_QUERIES],
+        };
+        assert!(Message::decode_payload(0x09, &msg.encode_payload()).is_ok());
+    }
+
+    #[test]
+    fn batch_query_with_wrong_length_rejected() {
+        let msg = Message::SearchBatchRequest {
+            seconds: vec![vec![0.0; 256], vec![0.0; 100]],
+        };
+        assert!(matches!(
+            Message::decode_payload(0x09, &msg.encode_payload()),
+            Err(WireError::BadPayload { .. })
+        ));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! and latency percentiles at 1, 4, and 16 concurrent edge sessions, plus
 //! the wire cost (bytes/request) of a search exchange — and
 //! `results/BENCH_batch.json`, comparing per-request fleet refreshes
-//! against batched shared sweeps at 1/4/16/64 concurrent sessions.
+//! against batched shared sweeps at 1/4/16/64 concurrent sessions, and
+//! `results/BENCH_telemetry.json`, the telemetry overhead guardrail: the
+//! same batched load against a server with a recording registry and one
+//! with a disabled registry, proving instrumentation costs under 2%.
 //!
 //! `EMAP_BENCH_QUICK=1` shrinks the workload.
 
@@ -16,6 +19,7 @@ use emap_datasets::{RecordingFactory, SignalClass};
 use emap_edge::{EdgeConfig, EdgeTracker};
 use emap_mdb::{Mdb, MdbBuilder};
 use emap_search::{Query, SearchConfig};
+use emap_telemetry::Registry;
 use emap_wire::{frame_bytes, Message};
 
 /// Latency percentile over a sorted sample set.
@@ -360,5 +364,116 @@ fn main() {
     );
     let path = "results/BENCH_batch.json";
     std::fs::write(path, report).expect("write BENCH_batch.json");
+    println!("\nwrote {path}");
+
+    // --- Telemetry overhead guardrail. ----------------------------------
+    // Two servers over the same store: one records into a live registry
+    // (request counters, latency histograms, sweep telemetry), one runs
+    // with the registry disabled — the stripped configuration, where
+    // counters stay live but no timer ever reads the clock. Reps are
+    // interleaved and each mode keeps its best wall time, so slow outliers
+    // (scheduler noise, a GC'd page cache) cannot masquerade as overhead.
+    banner(
+        "BENCH_telemetry — instrumented vs stripped registry overhead",
+        "identical batched load; the difference is pure instrumentation cost",
+    );
+    let tel_mdb = crate::batch_mdb(&factory, scaled(8, 2), 24.0);
+    let tel_corpus_sets = tel_mdb.len();
+    let tel_service = CloudService::new(SearchConfig::paper(), tel_mdb.into_shared(), workers);
+    let tel_config = ServerConfig {
+        workers: 64,
+        pending_sessions: 64,
+        max_inflight_searches: 64,
+        ..ServerConfig::default()
+    };
+    let stripped = CloudServer::bind_with_telemetry(
+        "127.0.0.1:0",
+        tel_service.clone(),
+        tel_config.clone(),
+        Registry::disabled(),
+    )
+    .expect("bind stripped server");
+    let instrumented =
+        CloudServer::bind_with_telemetry("127.0.0.1:0", tel_service, tel_config, Registry::new())
+            .expect("bind instrumented server");
+    let stripped_addr = stripped.local_addr().to_string();
+    let instrumented_addr = instrumented.local_addr().to_string();
+
+    let reps = scaled(5, 2);
+    drive_batched(&stripped_addr, &seconds, 4, 1); // warmup both paths
+    drive_batched(&instrumented_addr, &seconds, 4, 1);
+    let mut tel_points = Vec::new();
+    for sessions in [16usize, 64] {
+        let mut best_stripped = Duration::MAX;
+        let mut best_instrumented = Duration::MAX;
+        for _ in 0..reps {
+            best_stripped =
+                best_stripped.min(drive_batched(&stripped_addr, &seconds, sessions, rounds));
+            best_instrumented = best_instrumented.min(drive_batched(
+                &instrumented_addr,
+                &seconds,
+                sessions,
+                rounds,
+            ));
+        }
+        let overhead_pct = (best_instrumented.as_secs_f64() - best_stripped.as_secs_f64())
+            / best_stripped.as_secs_f64()
+            * 100.0;
+        println!(
+            "{sessions:>2} sessions: stripped {}, instrumented {} — overhead {overhead_pct:+.2}%",
+            fmt_duration(best_stripped),
+            fmt_duration(best_instrumented),
+        );
+        tel_points.push((
+            sessions,
+            sessions * rounds,
+            best_stripped,
+            best_instrumented,
+        ));
+    }
+
+    // The instrumented server really recorded: pull a few totals for the
+    // report before shutting both down.
+    let registry = instrumented.telemetry().clone();
+    let recorded_sweeps = registry.counter("cloud_sweeps_total").get();
+    let recorded_timings = registry
+        .histogram("cloud_request_batch_nanos")
+        .snapshot()
+        .count();
+    stripped.shutdown();
+    instrumented.shutdown();
+
+    let mut load = String::new();
+    for (i, &(sessions, requests, stripped_wall, instrumented_wall)) in
+        tel_points.iter().enumerate()
+    {
+        if i > 0 {
+            load.push_str(",\n");
+        }
+        let overhead_pct = (instrumented_wall.as_secs_f64() - stripped_wall.as_secs_f64())
+            / stripped_wall.as_secs_f64()
+            * 100.0;
+        load.push_str(&format!(
+            "    {{\n      \"sessions\": {},\n      \"requests\": {},\n      \"stripped_wall_us\": {:.1},\n      \"instrumented_wall_us\": {:.1},\n      \"overhead_pct\": {:.3}\n    }}",
+            sessions,
+            requests,
+            stripped_wall.as_secs_f64() * 1e6,
+            instrumented_wall.as_secs_f64() * 1e6,
+            overhead_pct,
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"BENCH_telemetry\",\n  \"quick_mode\": {},\n  \"corpus_sets\": {},\n  \"search_workers\": {},\n  \"rounds_per_point\": {},\n  \"reps\": {},\n  \"load\": [\n{}\n  ],\n  \"instrumented_registry\": {{\n    \"cloud_sweeps_total\": {},\n    \"cloud_request_batch_nanos_count\": {}\n  }}\n}}\n",
+        quick_mode(),
+        tel_corpus_sets,
+        workers,
+        rounds,
+        reps,
+        load,
+        recorded_sweeps,
+        recorded_timings,
+    );
+    let path = "results/BENCH_telemetry.json";
+    std::fs::write(path, report).expect("write BENCH_telemetry.json");
     println!("\nwrote {path}");
 }

@@ -13,6 +13,7 @@ use emap_datasets::{export, registry::standard_registry};
 use emap_edf::Recording;
 use emap_edge::{AnomalyPredictor, EdgeTracker, PaHistory};
 use emap_mdb::{Mdb, MdbBuilder};
+use emap_wire::StatsValue;
 
 use crate::args::{Args, ArgsError};
 use crate::USAGE;
@@ -76,6 +77,7 @@ pub fn dispatch<W: Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliError
             out,
         ),
         "ping" => ping(Args::parse(rest, &["addr"])?, out),
+        "stats" => stats(Args::parse(rest, &["addr"])?, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(runtime)?;
             Ok(())
@@ -407,6 +409,46 @@ fn ping<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+fn stats<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
+    let addr = args.require("addr")?;
+    let client = RemoteCloud::new(addr, RemoteCloudConfig::default());
+    let health = client.health().map_err(runtime)?;
+    let stats = client.stats().map_err(runtime)?;
+    writeln!(
+        out,
+        "cloud @ {addr}: up {}s, {} in flight, {} sets hosted, {} ingested over the wire",
+        health.uptime_seconds, health.in_flight, health.store_sets, health.ingested
+    )
+    .map_err(runtime)?;
+    for m in &stats.metrics {
+        match m.value {
+            StatsValue::Counter(v) => writeln!(out, "{} {v}", m.name),
+            StatsValue::Gauge(v) => writeln!(out, "{} {v}", m.name),
+            StatsValue::Summary {
+                count,
+                sum_nanos,
+                p50_nanos,
+                p90_nanos,
+                p99_nanos,
+            } => {
+                let mean = if count == 0 {
+                    0.0
+                } else {
+                    sum_nanos as f64 / count as f64
+                };
+                writeln!(
+                    out,
+                    "{} count={count} mean={mean:.0}ns p50={p50_nanos}ns \
+                     p90={p90_nanos}ns p99={p99_nanos}ns",
+                    m.name
+                )
+            }
+        }
+        .map_err(runtime)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +669,15 @@ mod tests {
         }
         let out = pong.unwrap();
         assert!(out.contains("pong:"), "{out}");
+
+        // Live telemetry over the wire: health header plus the registry
+        // snapshot, including the ping just served and the latency
+        // summaries the registry keeps for every request kind.
+        let out = run(&format!("stats --addr {addr}")).unwrap();
+        assert!(out.contains("sets hosted"), "{out}");
+        assert!(out.contains("cloud_request_ping_total 1"), "{out}");
+        assert!(out.contains("cloud_request_ping_nanos count=1"), "{out}");
+        assert!(out.contains("cloud_connections_total"), "{out}");
 
         // The wearable side: remote monitor over the same server. Even if
         // the bounded server exits mid-run the fleet degrades instead of

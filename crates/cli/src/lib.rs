@@ -13,6 +13,7 @@
 //! | `monitor` | run the full framework over a recording and report the verdict |
 //! | `serve` | expose a mega-database as a TCP cloud server (`emap-cloud`) |
 //! | `ping` | health-check a running cloud server |
+//! | `stats` | print a running server's live telemetry snapshot |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +48,10 @@ USAGE:
       --seconds the server exits after that long (for scripting).
   emap ping      --addr HOST:PORT
       Health-check a running server and print its store size.
+  emap stats     --addr HOST:PORT
+      Print a running server's health figures and full telemetry
+      snapshot: request counters, latency percentiles, sweep and
+      search-work totals.
   emap help
       Show this message.
 ";

@@ -15,8 +15,8 @@ use emap_edge::{EdgeTracker, SharedDownload, SharedSlice, SliceDownload};
 use emap_mdb::Provenance;
 use emap_search::{Query, SearchWork};
 use emap_wire::{
-    error_code, frame_bytes, read_frame, BatchHit, Message, WireError, DEFAULT_MAX_PAYLOAD,
-    MAX_BATCH_QUERIES,
+    error_code, frame_bytes, read_frame, BatchHit, Message, StatsMetric, WireError,
+    DEFAULT_MAX_PAYLOAD, MAX_BATCH_QUERIES,
 };
 
 /// Tuning knobs for [`RemoteCloud`].
@@ -98,6 +98,40 @@ impl fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+/// The live figures a [`Message::HealthResponse`] carries, decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CloudHealth {
+    /// Whole seconds since the server started.
+    pub uptime_seconds: u64,
+    /// Requests holding an in-flight search permit right now.
+    pub in_flight: u64,
+    /// Signal-set slices currently hosted by the server's store.
+    pub store_sets: u64,
+    /// Slices ingested over the wire since the server started.
+    pub ingested: u64,
+}
+
+/// A decoded [`Message::StatsResponse`]: the server's uptime plus every
+/// registered instrument's reading, sorted by name.
+#[derive(Debug, Clone)]
+pub struct CloudStats {
+    /// Whole seconds since the server started.
+    pub uptime_seconds: u64,
+    /// One entry per instrument in the server's telemetry registry.
+    pub metrics: Vec<StatsMetric>,
+}
+
+impl CloudStats {
+    /// The value of the counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|m| match &m.value {
+            emap_wire::StatsValue::Counter(v) if m.name == name => Some(*v),
+            _ => None,
+        })
+    }
+}
 
 /// A decoded batch response: the distinct slices of the whole tick,
 /// prepared once as shared handles, plus per-query work counters and hit
@@ -260,6 +294,48 @@ impl RemoteCloud {
     pub fn ping(&self) -> Result<u64, ClientError> {
         match self.request(&Message::Ping)? {
             Message::Pong { total_sets } => Ok(total_sets),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's full telemetry snapshot
+    /// ([`Message::StatsRequest`], protocol version 2).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the server is unreachable or misbehaves.
+    pub fn stats(&self) -> Result<CloudStats, ClientError> {
+        match self.request(&Message::StatsRequest)? {
+            Message::StatsResponse {
+                uptime_seconds,
+                metrics,
+            } => Ok(CloudStats {
+                uptime_seconds,
+                metrics,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Extended health probe ([`Message::HealthRequest`], protocol
+    /// version 2): live uptime, in-flight load, and store figures.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the server is unreachable or misbehaves.
+    pub fn health(&self) -> Result<CloudHealth, ClientError> {
+        match self.request(&Message::HealthRequest)? {
+            Message::HealthResponse {
+                uptime_seconds,
+                in_flight,
+                store_sets,
+                ingested,
+            } => Ok(CloudHealth {
+                uptime_seconds,
+                in_flight,
+                store_sets,
+                ingested,
+            }),
             other => Err(unexpected(&other)),
         }
     }

@@ -41,5 +41,7 @@
 mod client;
 mod server;
 
-pub use client::{BatchDownload, ClientError, RemoteCloud, RemoteCloudConfig};
+pub use client::{
+    BatchDownload, ClientError, CloudHealth, CloudStats, RemoteCloud, RemoteCloudConfig,
+};
 pub use server::{CloudServer, ServerConfig, ServerStats};

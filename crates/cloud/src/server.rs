@@ -7,9 +7,9 @@
 //! what a network needs: deadlines, backpressure, and a graceful way down.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -19,9 +19,10 @@ use emap_core::CloudService;
 use emap_edge::SliceDownload;
 use emap_mdb::SetId;
 use emap_search::{CorrelationSet, Query, SearchError};
+use emap_telemetry::{Counter, Gauge, Histogram, MetricValue, Registry};
 use emap_wire::{
     error_code, read_frame, write_frame, BatchHit, BatchSearchResult, BatchSlice, Message,
-    DEFAULT_MAX_PAYLOAD,
+    StatsMetric, StatsValue, WireError, DEFAULT_MAX_PAYLOAD, MAX_STATS_METRICS,
 };
 
 /// Tuning knobs for [`CloudServer`].
@@ -92,37 +93,104 @@ pub struct ServerStats {
     pub coalesced: u64,
 }
 
-#[derive(Debug, Default)]
+/// The request kinds a client may legally send, indexing the per-type
+/// telemetry in [`Counters::requests`].
+#[derive(Debug, Clone, Copy)]
+enum RequestKind {
+    Search,
+    Batch,
+    Ingest,
+    Ping,
+    Stats,
+    Health,
+}
+
+/// Metric-name suffixes, indexed by [`RequestKind`].
+const REQUEST_KIND_NAMES: [&str; 6] = ["search", "batch", "ingest", "ping", "stats", "health"];
+
+/// Per-request-kind telemetry: arrivals and handling latency.
+#[derive(Debug)]
+struct RequestMetrics {
+    count: Counter,
+    latency: Histogram,
+}
+
+/// Registry-backed counter handles, looked up once at bind time so the
+/// hot path touches only the handles' atomics, never the registry's map
+/// lock. [`CloudServer::stats`] reads the same cells back, so the legacy
+/// [`ServerStats`] figures and the wire-exposed telemetry snapshot can
+/// never disagree.
+#[derive(Debug)]
 struct Counters {
-    connections: AtomicU64,
-    served: AtomicU64,
-    searches: AtomicU64,
-    busy_rejections: AtomicU64,
-    ingested: AtomicU64,
-    protocol_errors: AtomicU64,
-    sweeps: AtomicU64,
-    coalesced: AtomicU64,
+    connections: Counter,
+    served: Counter,
+    searches: Counter,
+    busy_rejections: Counter,
+    ingested: Counter,
+    protocol_errors: Counter,
+    sweeps: Counter,
+    coalesced: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    requests: [RequestMetrics; REQUEST_KIND_NAMES.len()],
 }
 
 impl Counters {
+    fn register(registry: &Registry) -> Self {
+        Counters {
+            connections: registry.counter("cloud_connections_total"),
+            served: registry.counter("cloud_served_total"),
+            searches: registry.counter("cloud_searches_total"),
+            busy_rejections: registry.counter("cloud_busy_total"),
+            ingested: registry.counter("cloud_ingested_total"),
+            protocol_errors: registry.counter("cloud_protocol_errors_total"),
+            sweeps: registry.counter("cloud_sweeps_total"),
+            coalesced: registry.counter("cloud_coalesced_total"),
+            bytes_in: registry.counter("cloud_bytes_in_total"),
+            bytes_out: registry.counter("cloud_bytes_out_total"),
+            requests: std::array::from_fn(|i| RequestMetrics {
+                count: registry.counter(&format!("cloud_request_{}_total", REQUEST_KIND_NAMES[i])),
+                latency: registry
+                    .histogram(&format!("cloud_request_{}_nanos", REQUEST_KIND_NAMES[i])),
+            }),
+        }
+    }
+
+    /// The per-kind telemetry for a client request, or `None` for message
+    /// types a client may not send.
+    fn request(&self, msg: &Message) -> Option<&RequestMetrics> {
+        let kind = match msg {
+            Message::SearchRequest { .. } => RequestKind::Search,
+            Message::SearchBatchRequest { .. } => RequestKind::Batch,
+            Message::Ingest { .. } => RequestKind::Ingest,
+            Message::Ping => RequestKind::Ping,
+            Message::StatsRequest => RequestKind::Stats,
+            Message::HealthRequest => RequestKind::Health,
+            _ => return None,
+        };
+        Some(&self.requests[kind as usize])
+    }
+
     fn snapshot(&self) -> ServerStats {
         ServerStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            served: self.served.load(Ordering::Relaxed),
-            searches: self.searches.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            ingested: self.ingested.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            sweeps: self.sweeps.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            served: self.served.get(),
+            searches: self.searches.get(),
+            busy_rejections: self.busy_rejections.get(),
+            ingested: self.ingested.get(),
+            protocol_errors: self.protocol_errors.get(),
+            sweeps: self.sweeps.get(),
+            coalesced: self.coalesced.get(),
         }
     }
 }
 
-/// A counting permit for globally bounded in-flight searches.
+/// A counting permit for globally bounded in-flight searches. The gauge
+/// mirrors `inflight` into the telemetry registry.
 struct Permits {
     inflight: AtomicUsize,
     max: usize,
+    gauge: Gauge,
 }
 
 impl Permits {
@@ -132,7 +200,10 @@ impl Permits {
                 (n < self.max).then_some(n + 1)
             })
             .ok()
-            .map(|_| PermitGuard(Arc::clone(self)))
+            .map(|_| {
+                self.gauge.inc();
+                PermitGuard(Arc::clone(self))
+            })
     }
 }
 
@@ -141,6 +212,7 @@ struct PermitGuard(Arc<Permits>);
 impl Drop for PermitGuard {
     fn drop(&mut self) {
         self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.0.gauge.dec();
     }
 }
 
@@ -169,6 +241,7 @@ struct Shared {
     shutdown: AtomicBool,
     permits: Arc<Permits>,
     counters: Counters,
+    telemetry: Registry,
     batch: Mutex<BatchState>,
     batch_cv: Condvar,
 }
@@ -221,21 +294,46 @@ impl CloudServer {
         service: CloudService,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        CloudServer::bind_with_telemetry(addr, service, config, Registry::new())
+    }
+
+    /// [`CloudServer::bind`] with a caller-supplied telemetry [`Registry`].
+    ///
+    /// The server registers its `cloud_*` instruments in `registry` and
+    /// instruments the service's search engine through it, so one registry
+    /// carries transport, search, and (if the caller shares it with an
+    /// [`emap_core::EdgeFleet`]) fleet metrics. Pass
+    /// [`Registry::disabled`] to strip latency timing from the hot path:
+    /// counters stay live ([`CloudServer::stats`] needs them) but no
+    /// clock is read per request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with_telemetry(
+        addr: impl ToSocketAddrs,
+        service: CloudService,
+        config: ServerConfig,
+        registry: Registry,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        let service = service.with_telemetry(&registry);
         let workers = config.workers.max(1);
         let pending = config.pending_sessions.max(1);
         let shared = Arc::new(Shared {
             permits: Arc::new(Permits {
                 inflight: AtomicUsize::new(0),
                 max: config.max_inflight_searches.max(1),
+                gauge: registry.gauge("cloud_inflight"),
             }),
             service,
             config,
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters: Counters::register(&registry),
+            telemetry: registry,
             batch: Mutex::new(BatchState::default()),
             batch_cv: Condvar::new(),
         });
@@ -276,6 +374,14 @@ impl CloudServer {
         self.shared.counters.snapshot()
     }
 
+    /// The telemetry registry this server records into — the one passed to
+    /// [`CloudServer::bind_with_telemetry`], or a fresh enabled registry
+    /// for [`CloudServer::bind`].
+    #[must_use]
+    pub fn telemetry(&self) -> &Registry {
+        &self.shared.telemetry
+    }
+
     /// Stops accepting, drains in-flight requests, and joins all threads.
     ///
     /// Sessions parked between requests are closed; a request already being
@@ -313,22 +419,27 @@ impl Drop for CloudServer {
 /// How long the acceptor and idle sessions sleep between shutdown checks.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 
+/// Writes one frame, folding the bytes it put on the wire into the
+/// bytes-out counter.
+fn write_counted<W: Write>(counters: &Counters, w: &mut W, msg: &Message) -> Result<(), WireError> {
+    let n = write_frame(w, msg)?;
+    counters.bytes_out.add(n as u64);
+    Ok(())
+}
+
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((conn, _peer)) => {
-                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                shared.counters.connections.inc();
                 match tx.try_send(conn) {
                     Ok(()) => {}
                     Err(TrySendError::Full(mut conn)) => {
                         // No worker slot and the wait queue is full: tell
                         // the client to back off rather than park it.
-                        shared
-                            .counters
-                            .busy_rejections
-                            .fetch_add(1, Ordering::Relaxed);
+                        shared.counters.busy_rejections.inc();
                         let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
-                        let _ = write_frame(&mut conn, &Message::Busy);
+                        let _ = write_counted(&shared.counters, &mut conn, &Message::Busy);
                     }
                     Err(TrySendError::Disconnected(_)) => return,
                 }
@@ -353,7 +464,8 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
             Ok(mut conn) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
-                    let _ = write_frame(
+                    let _ = write_counted(
+                        &shared.counters,
                         &mut conn,
                         &Message::ErrorReply {
                             code: error_code::SHUTTING_DOWN,
@@ -397,6 +509,21 @@ impl<R: Read> Read for Prepend<'_, R> {
     }
 }
 
+/// [`Read`] adapter folding every byte it yields into a counter — one
+/// relaxed add per `read` call, not per byte.
+struct CountBytes<'a, R> {
+    inner: R,
+    counter: &'a Counter,
+}
+
+impl<R: Read> Read for CountBytes<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.counter.add(n as u64);
+        Ok(n)
+    }
+}
+
 fn serve_connection(shared: &Shared, mut conn: TcpStream) {
     if conn
         .set_write_timeout(Some(shared.config.write_timeout))
@@ -433,20 +560,21 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
         {
             return;
         }
-        let mut reader = Prepend {
-            first: Some(first),
-            inner: &mut conn,
+        let mut reader = CountBytes {
+            inner: Prepend {
+                first: Some(first),
+                inner: &mut conn,
+            },
+            counter: &shared.counters.bytes_in,
         };
         let msg = match read_frame(&mut reader, shared.config.max_payload) {
             Ok(msg) => msg,
             Err(e) => {
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.protocol_errors.inc();
                 // Best effort: name the violation, then drop the framing —
                 // after a malformed frame the stream cannot be resynced.
-                let _ = write_frame(
+                let _ = write_counted(
+                    &shared.counters,
                     &mut conn,
                     &Message::ErrorReply {
                         code: error_code::BAD_REQUEST,
@@ -464,7 +592,7 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
             }
         };
         let (reply, close) = handle_request(shared, msg);
-        if write_frame(&mut conn, &reply).is_err() || close {
+        if write_counted(&shared.counters, &mut conn, &reply).is_err() || close {
             return;
         }
     }
@@ -472,33 +600,38 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
 
 /// Computes the reply for one decoded request. The bool asks the session
 /// loop to close the connection after sending it.
+///
+/// Wraps [`handle_request_inner`] with the per-frame-type telemetry:
+/// arrival count plus a scoped handling-latency timer (inert when the
+/// registry is disabled).
 fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
+    let timer = shared.counters.request(&msg).map(|m| {
+        m.count.inc();
+        m.latency.start_timer()
+    });
+    let out = handle_request_inner(shared, msg);
+    drop(timer);
+    out
+}
+
+fn handle_request_inner(shared: &Shared, msg: Message) -> (Message, bool) {
     match msg {
         Message::SearchRequest { second } => {
             let Some(_permit) = shared.permits.try_acquire() else {
-                shared
-                    .counters
-                    .busy_rejections
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.busy_rejections.inc();
                 return (Message::Busy, false);
             };
-            shared.counters.searches.fetch_add(1, Ordering::Relaxed);
+            shared.counters.searches.inc();
             (search_reply(shared, &second), false)
         }
         Message::SearchBatchRequest { seconds } => {
             // One permit covers the whole batch: it is one sweep's worth
             // of store work, regardless of how many queries ride it.
             let Some(_permit) = shared.permits.try_acquire() else {
-                shared
-                    .counters
-                    .busy_rejections
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.busy_rejections.inc();
                 return (Message::Busy, false);
             };
-            shared
-                .counters
-                .searches
-                .fetch_add(seconds.len() as u64, Ordering::Relaxed);
+            shared.counters.searches.add(seconds.len() as u64);
             (batch_reply(shared, &seconds), false)
         }
         Message::Ingest {
@@ -511,8 +644,8 @@ fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
             match emap_mdb::SignalSet::new(samples, class, provenance) {
                 Ok(set) => {
                     shared.service.ingest(set);
-                    shared.counters.ingested.fetch_add(1, Ordering::Relaxed);
-                    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.ingested.inc();
+                    shared.counters.served.inc();
                     (
                         Message::IngestAck {
                             total_sets: shared.service.mdb().len() as u64,
@@ -530,10 +663,26 @@ fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
             }
         }
         Message::Ping => {
-            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            shared.counters.served.inc();
             (
                 Message::Pong {
                     total_sets: shared.service.mdb().len() as u64,
+                },
+                false,
+            )
+        }
+        Message::StatsRequest => {
+            shared.counters.served.inc();
+            (stats_reply(shared), false)
+        }
+        Message::HealthRequest => {
+            shared.counters.served.inc();
+            (
+                Message::HealthResponse {
+                    uptime_seconds: shared.telemetry.uptime_seconds(),
+                    in_flight: shared.permits.inflight.load(Ordering::Acquire) as u64,
+                    store_sets: shared.service.mdb().len() as u64,
+                    ingested: shared.counters.ingested.get(),
                 },
                 false,
             )
@@ -545,11 +694,10 @@ fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
         | Message::IngestAck { .. }
         | Message::Pong { .. }
         | Message::Busy
-        | Message::ErrorReply { .. } => {
-            shared
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
+        | Message::ErrorReply { .. }
+        | Message::StatsResponse { .. }
+        | Message::HealthResponse { .. } => {
+            shared.counters.protocol_errors.inc();
             (
                 Message::ErrorReply {
                     code: error_code::BAD_REQUEST,
@@ -558,6 +706,38 @@ fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
                 true,
             )
         }
+    }
+}
+
+/// Builds a [`Message::StatsResponse`] from the registry's current
+/// snapshot. Histograms travel as summaries; percentiles are rounded to
+/// whole nanoseconds. The entry count is clipped to the wire cap — with
+/// the fixed instrument set this codebase registers, the snapshot stays
+/// far below it.
+fn stats_reply(shared: &Shared) -> Message {
+    let metrics = shared
+        .telemetry
+        .snapshot()
+        .into_iter()
+        .take(MAX_STATS_METRICS)
+        .map(|m| StatsMetric {
+            name: m.name,
+            value: match m.value {
+                MetricValue::Counter(v) => StatsValue::Counter(v),
+                MetricValue::Gauge(v) => StatsValue::Gauge(v),
+                MetricValue::Histogram(h) => StatsValue::Summary {
+                    count: h.count(),
+                    sum_nanos: h.sum_nanos(),
+                    p50_nanos: h.p50() as u64,
+                    p90_nanos: h.p90() as u64,
+                    p99_nanos: h.p99() as u64,
+                },
+            },
+        })
+        .collect();
+    Message::StatsResponse {
+        uptime_seconds: shared.telemetry.uptime_seconds(),
+        metrics,
     }
 }
 
@@ -607,12 +787,9 @@ fn batched_search(shared: &Shared, query: Query) -> Result<CorrelationSet, Searc
         let drained: Vec<PendingSearch> = state.pending.drain(..take).collect();
         drop(state);
 
-        shared.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+        shared.counters.sweeps.inc();
         if drained.len() > 1 {
-            shared
-                .counters
-                .coalesced
-                .fetch_add(drained.len() as u64 - 1, Ordering::Relaxed);
+            shared.counters.coalesced.add(drained.len() as u64 - 1);
         }
         let (queries, senders): (Vec<Query>, Vec<_>) = drained.into_iter().unzip();
         match shared.service.search_batch(&queries) {
@@ -682,7 +859,7 @@ fn search_reply(shared: &Shared, second: &[f32]) -> Message {
     let slices = shared.service.mdb().with_read(|mdb| materialize(mdb, &set));
     match slices {
         Ok(slices) => {
-            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            shared.counters.served.inc();
             Message::SearchResponse {
                 work: set.work(),
                 slices,
@@ -708,12 +885,9 @@ fn batch_reply(shared: &Shared, seconds: &[Vec<f32>]) -> Message {
             }
         }
     };
-    shared.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+    shared.counters.sweeps.inc();
     if queries.len() > 1 {
-        shared
-            .counters
-            .coalesced
-            .fetch_add(queries.len() as u64 - 1, Ordering::Relaxed);
+        shared.counters.coalesced.add(queries.len() as u64 - 1);
     }
     let sets = match shared.service.search_batch(&queries) {
         Ok(sets) => sets,
@@ -766,7 +940,7 @@ fn batch_reply(shared: &Shared, seconds: &[Vec<f32>]) -> Message {
         });
     match assembled {
         Ok((slices, results)) => {
-            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            shared.counters.served.inc();
             Message::SearchBatchResponse { slices, results }
         }
         Err(e) => Message::ErrorReply {

@@ -10,8 +10,49 @@
 
 use emap_edge::{EdgeTracker, StepReport};
 use emap_search::Query;
+use emap_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::{CloudEndpoint, CloudService, EmapError};
+
+/// Cached instrument handles for the fleet's per-tick metrics.
+///
+/// Written once per tick from the [`StepReport`]s the trackers already
+/// produce — the tracking loops themselves are untouched, so an
+/// instrumented fleet makes exactly the decisions a bare one makes.
+#[derive(Debug, Clone)]
+struct FleetTelemetry {
+    ticks: Counter,
+    windows_evaluated: Counter,
+    windows_pruned: Counter,
+    refreshes: Counter,
+    degraded_sessions: Counter,
+    tracked_signals: Gauge,
+    sessions: Gauge,
+    tick_latency: Histogram,
+}
+
+impl FleetTelemetry {
+    fn register(registry: &Registry) -> Self {
+        FleetTelemetry {
+            ticks: registry.counter("fleet_ticks_total"),
+            windows_evaluated: registry.counter("fleet_windows_evaluated_total"),
+            windows_pruned: registry.counter("fleet_windows_pruned_total"),
+            refreshes: registry.counter("fleet_refreshes_total"),
+            degraded_sessions: registry.counter("fleet_degraded_sessions_total"),
+            tracked_signals: registry.gauge("fleet_tracked_signals"),
+            sessions: registry.gauge("fleet_sessions"),
+            tick_latency: registry.histogram("fleet_tick_nanos"),
+        }
+    }
+
+    fn record_tick(&self, tick: &FleetTick) {
+        self.ticks.inc();
+        self.windows_evaluated.add(tick.windows_evaluated());
+        self.windows_pruned.add(tick.windows_pruned());
+        self.tracked_signals
+            .set(tick.reports.iter().map(|r| r.tracked as i64).sum());
+    }
+}
 
 /// One patient's tracking session within an [`EdgeFleet`].
 #[derive(Debug, Clone)]
@@ -126,6 +167,7 @@ impl FleetTick {
 pub struct EdgeFleet {
     sessions: Vec<FleetSession>,
     workers: usize,
+    telemetry: Option<FleetTelemetry>,
 }
 
 impl EdgeFleet {
@@ -136,7 +178,18 @@ impl EdgeFleet {
         EdgeFleet {
             sessions: Vec::new(),
             workers: workers.max(1),
+            telemetry: None,
         }
+    }
+
+    /// Attaches fleet telemetry: per-tick latency, windows evaluated and
+    /// pruned by the area bound, tracked-set size, refreshed and degraded
+    /// session counts, all recorded into `registry` (names prefixed
+    /// `fleet_`). Tracking decisions are unchanged.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = Some(FleetTelemetry::register(registry));
+        self
     }
 
     /// Adds a patient session and returns its index.
@@ -194,6 +247,10 @@ impl EdgeFleet {
                 degraded: Vec::new(),
             });
         }
+        let timer = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.tick_latency.start_timer());
         let chunk = self.sessions.len().div_ceil(self.workers);
         let results: Vec<Result<StepReport, emap_edge::EdgeError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -219,11 +276,17 @@ impl EdgeFleet {
         for r in results {
             reports.push(r.map_err(EmapError::Edge)?);
         }
-        Ok(FleetTick {
+        let tick = FleetTick {
             reports,
             refreshed: Vec::new(),
             degraded: Vec::new(),
-        })
+        };
+        if let Some(t) = &self.telemetry {
+            drop(timer);
+            t.sessions.set(self.sessions.len() as i64);
+            t.record_tick(&tick);
+        }
+        Ok(tick)
     }
 
     /// [`EdgeFleet::tick`], then a cloud re-call for every session whose
@@ -298,6 +361,14 @@ impl EdgeFleet {
                 Err(e) if e.is_transport() => tick.degraded.push(i),
                 Err(e) => return Err(e),
             }
+        }
+        if let Some(t) = &self.telemetry {
+            t.refreshes.add(tick.refreshed.len() as u64);
+            t.degraded_sessions.add(tick.degraded.len() as u64);
+            // The refresh just replaced correlation sets, so the gauge set
+            // at step time is stale — re-read the live tracker sizes.
+            t.tracked_signals
+                .set(self.sessions.iter().map(|s| s.tracker.len() as i64).sum());
         }
         Ok(tick)
     }
@@ -551,6 +622,49 @@ mod tests {
         let inputs: Vec<&[f32]> = vec![&second];
         let err = fleet.serve_with(&BrokenCloud, &inputs).unwrap_err();
         assert!(matches!(err, EmapError::Search(_)));
+    }
+
+    #[test]
+    fn instrumented_fleet_matches_bare_fleet_and_counts() {
+        let (cloud, factory) = cloud();
+        let streams: Vec<Vec<f32>> = (0..3)
+            .map(|i| patient_seconds(&factory, &format!("p{i}")))
+            .collect();
+
+        let registry = Registry::new();
+        let mut bare = EdgeFleet::new(2);
+        for i in 0..3 {
+            bare.add_session(format!("p{i}"), EdgeTracker::new(EdgeConfig::default()));
+        }
+        let mut instrumented = bare.clone().with_telemetry(&registry);
+
+        let mut ticks = 0u64;
+        for second in 4..7 {
+            let inputs: Vec<&[f32]> = streams
+                .iter()
+                .map(|s| &s[second * 256..(second + 1) * 256])
+                .collect();
+            let ta = bare.serve(&cloud, &inputs).unwrap();
+            let tb = instrumented.serve(&cloud, &inputs).unwrap();
+            assert_eq!(ta, tb, "telemetry changed a decision at {second}");
+            ticks += 1;
+        }
+
+        assert_eq!(registry.counter("fleet_ticks_total").get(), ticks);
+        assert_eq!(registry.gauge("fleet_sessions").get(), 3);
+        assert!(registry.counter("fleet_refreshes_total").get() >= 3);
+        assert_eq!(registry.counter("fleet_degraded_sessions_total").get(), 0);
+        assert!(registry.counter("fleet_windows_evaluated_total").get() > 0);
+        let tracked: i64 = instrumented
+            .sessions()
+            .iter()
+            .map(|s| s.tracker().len() as i64)
+            .sum();
+        assert_eq!(registry.gauge("fleet_tracked_signals").get(), tracked);
+        assert_eq!(
+            registry.histogram("fleet_tick_nanos").snapshot().count(),
+            ticks
+        );
     }
 
     #[test]

@@ -112,6 +112,19 @@ impl CloudService {
         &self.mdb
     }
 
+    /// Attaches sweep telemetry to the search engine: every search this
+    /// service runs — single, batched, or via [`CloudEndpoint`] — records
+    /// its sweep latency and scan totals into `registry` (names prefixed
+    /// `search_`). Results are unchanged; see
+    /// [`emap_search::SweepTelemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &emap_telemetry::Registry) -> Self {
+        self.search = self
+            .search
+            .with_telemetry(emap_search::SweepTelemetry::register(registry));
+        self
+    }
+
     /// Serves one search request against the current store contents.
     ///
     /// # Errors

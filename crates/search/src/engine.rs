@@ -41,7 +41,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use emap_mdb::{Mdb, SetId, SignalSet};
 
-use crate::{CorrelationSet, Query, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable};
+use crate::{
+    CorrelationSet, Query, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable,
+    SweepTelemetry,
+};
 
 /// The per-(query, host) scan strategy — the "score" stage of the engine.
 ///
@@ -293,13 +296,28 @@ struct QueryState {
 pub struct BatchExecutor {
     kernel: ScanKernel,
     config: SearchConfig,
+    telemetry: Option<SweepTelemetry>,
 }
 
 impl BatchExecutor {
     /// Creates an executor scanning with `kernel` under `config`.
     #[must_use]
     pub fn new(kernel: ScanKernel, config: SearchConfig) -> Self {
-        BatchExecutor { kernel, config }
+        BatchExecutor {
+            kernel,
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches sweep telemetry: per-sweep latency plus hosts-scanned /
+    /// windows-evaluated / skip-jump totals, recorded once per sweep after
+    /// the select stage. The scan loops are untouched, so an instrumented
+    /// executor returns bitwise-identical results.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: SweepTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The active kernel.
@@ -334,6 +352,22 @@ impl BatchExecutor {
     ///
     /// The first [`SearchError`] any scan raises.
     pub fn sweep(
+        &self,
+        queries: &[Query],
+        plan: &ScanPlan<'_>,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        let timer = self.telemetry.as_ref().map(SweepTelemetry::start_sweep);
+        let out = self.sweep_inner(queries, plan)?;
+        if let Some(t) = &self.telemetry {
+            drop(timer);
+            t.record_sweep(&self.kernel, &out);
+        }
+        Ok(out)
+    }
+
+    /// The sweep body, shared by the instrumented entry points so each
+    /// records exactly once.
+    fn sweep_inner(
         &self,
         queries: &[Query],
         plan: &ScanPlan<'_>,
@@ -397,6 +431,7 @@ impl BatchExecutor {
         if workers <= 1 || plan.partitions() <= 1 {
             return self.sweep(queries, plan);
         }
+        let timer = self.telemetry.as_ref().map(SweepTelemetry::start_sweep);
         let limit = self.budget().unwrap_or(u64::MAX);
         let spent: Vec<AtomicU64> = (0..queries.len()).map(|_| AtomicU64::new(0)).collect();
         let next = AtomicUsize::new(0);
@@ -442,7 +477,12 @@ impl BatchExecutor {
                 into.work.merge(from.work);
             }
         }
-        Ok(self.select(merged))
+        let out = self.select(merged);
+        if let Some(t) = &self.telemetry {
+            drop(timer);
+            t.record_sweep(&self.kernel, &out);
+        }
+        Ok(out)
     }
 
     /// Scans one host chunk for the whole batch, charging each query's

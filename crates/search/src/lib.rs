@@ -54,6 +54,7 @@ mod query;
 mod result;
 mod skip;
 mod sliding;
+mod telemetry;
 mod two_stage;
 
 pub use config::SearchConfig;
@@ -65,6 +66,7 @@ pub use query::Query;
 pub use result::{CorrelationSet, SearchHit, SearchWork};
 pub use skip::SkipTable;
 pub use sliding::{skip_for_omega, SlidingSearch};
+pub use telemetry::SweepTelemetry;
 pub use two_stage::TwoStageSearch;
 
 use emap_mdb::Mdb;

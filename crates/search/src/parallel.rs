@@ -61,6 +61,14 @@ impl ParallelSearch {
         self.workers
     }
 
+    /// Attaches sweep telemetry to the underlying [`BatchExecutor`]
+    /// (see [`BatchExecutor::with_telemetry`]); results are unchanged.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: crate::SweepTelemetry) -> Self {
+        self.engine = self.engine.with_telemetry(telemetry);
+        self
+    }
+
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &SearchConfig {

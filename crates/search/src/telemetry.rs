@@ -1,0 +1,143 @@
+//! Sweep-level telemetry: what the engine did, not what it decided.
+//!
+//! The instruments here are written exactly once per sweep, after the
+//! select stage, from the [`SearchWork`] counters the engine already
+//! maintains — the scan loops themselves are untouched, so an instrumented
+//! executor is bitwise-identical to a bare one (the crate's equivalence
+//! proptests run against both configurations unchanged).
+
+use emap_telemetry::{Counter, Histogram, Registry, Timer};
+
+use crate::{CorrelationSet, ScanKernel};
+
+/// Cached handles for the engine's sweep metrics.
+///
+/// Built once via [`SweepTelemetry::register`] and attached to a
+/// [`crate::BatchExecutor`] with
+/// [`crate::BatchExecutor::with_telemetry`]; recording is a handful of
+/// relaxed atomic adds per *sweep* (not per window), plus one clock pair
+/// for the latency histogram when the registry is enabled.
+#[derive(Debug, Clone)]
+pub struct SweepTelemetry {
+    sweeps: Counter,
+    queries: Counter,
+    hosts_scanned: Counter,
+    windows_evaluated: Counter,
+    skip_jumps: Counter,
+    matches: Counter,
+    truncated_queries: Counter,
+    latency: Histogram,
+}
+
+impl SweepTelemetry {
+    /// Registers (or re-attaches to) the sweep instruments in `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        SweepTelemetry {
+            sweeps: registry.counter("search_sweeps_total"),
+            queries: registry.counter("search_queries_total"),
+            hosts_scanned: registry.counter("search_hosts_scanned_total"),
+            windows_evaluated: registry.counter("search_windows_evaluated_total"),
+            skip_jumps: registry.counter("search_skip_jumps_total"),
+            matches: registry.counter("search_matches_total"),
+            truncated_queries: registry.counter("search_truncated_queries_total"),
+            latency: registry.histogram("search_sweep_nanos"),
+        }
+    }
+
+    /// Starts the per-sweep latency timer (inert on a disabled registry).
+    pub(crate) fn start_sweep(&self) -> Timer {
+        self.latency.start_timer()
+    }
+
+    /// Charges one finished sweep from its per-query results.
+    ///
+    /// `windows evaluated` is the number of correlation evaluations; for
+    /// the [`ScanKernel::Sliding`] kernel every evaluated window is
+    /// followed by exactly one skip-law jump (`β += α^(ω−1)`), so the jump
+    /// count equals the evaluation count — other kernels advance by fixed
+    /// stride (in full or in part) and report no jumps.
+    pub(crate) fn record_sweep(&self, kernel: &ScanKernel, results: &[CorrelationSet]) {
+        self.sweeps.inc();
+        self.queries.add(results.len() as u64);
+        let mut hosts = 0u64;
+        let mut windows = 0u64;
+        let mut matches = 0u64;
+        let mut truncated = 0u64;
+        for set in results {
+            let work = set.work();
+            hosts += work.sets_scanned;
+            windows += work.correlations;
+            matches += work.matches;
+            truncated += u64::from(work.truncated);
+        }
+        self.hosts_scanned.add(hosts);
+        self.windows_evaluated.add(windows);
+        if matches!(kernel, ScanKernel::Sliding(_)) {
+            self.skip_jumps.add(windows);
+        }
+        self.matches.add(matches);
+        self.truncated_queries.add(truncated);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SearchHit, SearchWork};
+    use emap_mdb::SetId;
+
+    #[test]
+    fn record_aggregates_work_counters() {
+        let registry = Registry::new();
+        let t = SweepTelemetry::register(&registry);
+        let sets: Vec<CorrelationSet> = (0..3)
+            .map(|i| {
+                CorrelationSet::from_candidates(
+                    vec![SearchHit {
+                        set_id: SetId(i),
+                        omega: 0.9,
+                        beta: 0,
+                    }],
+                    10,
+                    SearchWork {
+                        correlations: 100,
+                        sets_scanned: 5,
+                        matches: 1,
+                        truncated: i == 2,
+                    },
+                )
+            })
+            .collect();
+        t.record_sweep(&ScanKernel::sliding(0.004), &sets);
+        assert_eq!(registry.counter("search_sweeps_total").get(), 1);
+        assert_eq!(registry.counter("search_queries_total").get(), 3);
+        assert_eq!(registry.counter("search_hosts_scanned_total").get(), 15);
+        assert_eq!(
+            registry.counter("search_windows_evaluated_total").get(),
+            300
+        );
+        assert_eq!(registry.counter("search_skip_jumps_total").get(), 300);
+        assert_eq!(registry.counter("search_matches_total").get(), 3);
+        assert_eq!(registry.counter("search_truncated_queries_total").get(), 1);
+    }
+
+    #[test]
+    fn only_the_sliding_kernel_reports_jumps() {
+        let registry = Registry::new();
+        let t = SweepTelemetry::register(&registry);
+        let sets = vec![CorrelationSet::from_candidates(
+            Vec::new(),
+            10,
+            SearchWork {
+                correlations: 50,
+                sets_scanned: 2,
+                matches: 0,
+                truncated: false,
+            },
+        )];
+        t.record_sweep(&ScanKernel::exhaustive(), &sets);
+        assert_eq!(registry.counter("search_skip_jumps_total").get(), 0);
+        assert_eq!(registry.counter("search_windows_evaluated_total").get(), 50);
+    }
+}

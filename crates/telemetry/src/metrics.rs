@@ -1,0 +1,430 @@
+//! The three instrument primitives and the scoped timer.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of log-scale histogram buckets.
+///
+/// Bucket `i` holds observations `v` (in nanoseconds) with
+/// `floor(log2(v)) == i`, i.e. `v ∈ [2^i, 2^(i+1))`; zero lands in bucket 0
+/// and everything at or above `2^47` ns (~39 hours) saturates into the last
+/// bucket. 48 buckets therefore span sub-nanosecond ticks to wall-clock
+/// hours, which covers every latency this codebase can produce.
+pub const BUCKETS: usize = 48;
+
+/// A monotonically increasing event count.
+///
+/// Cloning shares the underlying atomic; increments from any number of
+/// threads are a single relaxed `fetch_add`.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero, detached from any registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, in-flight requests, set size).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero, detached from any registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// `false` for histograms handed out by a disabled registry: `observe`
+    /// returns immediately and timers never read the clock.
+    enabled: bool,
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of all observed values in nanoseconds. A u64 of nanoseconds
+    /// wraps after ~584 years of accumulated latency, so no saturation
+    /// handling is needed.
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket log-scale latency histogram over nanosecond observations.
+///
+/// Each observation is two relaxed `fetch_add`s (bucket + sum); the bucket
+/// index is `ilog2` of the value, so there is no search and no float math
+/// on the record path. Percentiles are computed at snapshot time by
+/// linear interpolation inside the covering power-of-two bucket, which
+/// bounds the relative error of any quantile by the bucket width (< 2×,
+/// typically far less — see `DESIGN.md` §13).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh enabled histogram, detached from any registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::with_enabled(true)
+    }
+
+    /// An inert histogram: `observe` is a branch-and-return and timers
+    /// skip the clock read entirely.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Histogram::with_enabled(false)
+    }
+
+    pub(crate) fn with_enabled(enabled: bool) -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                enabled,
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Whether observations are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.core.enabled
+    }
+
+    /// Records a single observation of `nanos`.
+    pub fn observe(&self, nanos: u64) {
+        if !self.core.enabled {
+            return;
+        }
+        self.core.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`Duration`].
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a scoped timer that records the elapsed time into this
+    /// histogram when dropped. On a disabled histogram the returned timer
+    /// is inert and **no clock is read** — the whole call is a branch.
+    #[must_use]
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            hist: self.clone(),
+            start: self.core.enabled.then(Instant::now),
+        }
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    ///
+    /// The snapshot's `count` is derived by summing the bucket loads, so
+    /// successive snapshots are monotone even while writers are racing.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.core.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum_nanos: self.core.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Scoped timer returned by [`Histogram::start_timer`].
+///
+/// Records the elapsed wall time into the histogram when dropped; call
+/// [`Timer::stop`] to record early at a precise point. A timer from a
+/// disabled histogram holds no start instant and records nothing.
+#[derive(Debug)]
+#[must_use = "a timer records on drop; binding it to `_` drops it immediately"]
+pub struct Timer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Stops the timer now, recording the elapsed time.
+    pub fn stop(self) {
+        drop(self);
+    }
+
+    /// Discards the timer without recording anything.
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.observe_duration(start.elapsed());
+        }
+    }
+}
+
+fn bucket_index(nanos: u64) -> usize {
+    (nanos.max(1).ilog2() as usize).min(BUCKETS - 1)
+}
+
+/// An immutable point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    count: u64,
+    sum_nanos: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Rebuilds a snapshot from previously exported parts (e.g. decoded
+    /// from the wire). `count` is recomputed from the buckets.
+    #[must_use]
+    pub fn from_parts(sum_nanos: u64, buckets: [u64; BUCKETS]) -> Self {
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum_nanos,
+            buckets,
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations in nanoseconds.
+    #[must_use]
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos
+    }
+
+    /// The raw per-bucket counts (bucket `i` covers `[2^i, 2^(i+1))` ns).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, by linear
+    /// interpolation within the covering bucket. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += n;
+            if (cum as f64) >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = 1u64 << (i + 1).min(63);
+                let frac = (rank - prev) / n as f64;
+                return lo as f64 + (hi - lo) as f64 * frac;
+            }
+        }
+        // Unreachable when count == Σ buckets, but stay total.
+        (1u64 << (BUCKETS - 1)) as f64
+    }
+
+    /// Median estimate in nanoseconds.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate in nanoseconds.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate in nanoseconds.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 43, "clones share the cell");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        g.add(10);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = Histogram::new();
+        // 90 fast observations around 1 µs, 10 slow around 1 ms.
+        for _ in 0..90 {
+            h.observe(1_000);
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum_nanos(), 90 * 1_000 + 10 * 1_000_000);
+        // p50 must land in the 1 µs bucket [2^9, 2^10), p99 in the 1 ms
+        // bucket [2^19, 2^20).
+        assert!(s.p50() >= 512.0 && s.p50() < 1024.0, "p50 = {}", s.p50());
+        assert!(
+            s.p99() >= 524_288.0 && s.p99() < 1_048_576.0,
+            "p99 = {}",
+            s.p99()
+        );
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn timer_records_once() {
+        let h = Histogram::new();
+        h.start_timer().stop();
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.snapshot().count(), 2);
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let h = Histogram::disabled();
+        h.observe(123);
+        let t = h.start_timer();
+        assert!(!h.is_enabled());
+        t.stop();
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn discarded_timer_records_nothing() {
+        let h = Histogram::new();
+        h.start_timer().discard();
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_parts() {
+        let h = Histogram::new();
+        for v in [3, 900, 70_000, 5_000_000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let rebuilt = HistogramSnapshot::from_parts(s.sum_nanos(), *s.buckets());
+        assert_eq!(rebuilt, s);
+    }
+}

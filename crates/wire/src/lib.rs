@@ -51,5 +51,6 @@ pub use frame::{
     VERSION,
 };
 pub use message::{
-    error_code, BatchHit, BatchSearchResult, BatchSlice, Message, MAX_BATCH_QUERIES,
+    error_code, BatchHit, BatchSearchResult, BatchSlice, Message, StatsMetric, StatsValue,
+    MAX_BATCH_QUERIES, MAX_STATS_METRICS,
 };

@@ -6,6 +6,8 @@
 //! | edge → cloud | [`Message::SearchBatchRequest`] | [`Message::SearchBatchResponse`] / [`Message::Busy`] / [`Message::ErrorReply`] |
 //! | edge → cloud | [`Message::Ingest`] | [`Message::IngestAck`] / [`Message::Busy`] / [`Message::ErrorReply`] |
 //! | edge → cloud | [`Message::Ping`] | [`Message::Pong`] |
+//! | edge → cloud | [`Message::StatsRequest`] | [`Message::StatsResponse`] |
+//! | edge → cloud | [`Message::HealthRequest`] | [`Message::HealthResponse`] |
 //!
 //! A [`Message::SearchResponse`] carries the full download of the paper's
 //! cloud→edge arrow: every hit ships its 1000-sample MDB slice plus the
@@ -56,6 +58,46 @@ pub mod error_code {
 /// the default payload cap; with the usual hit overlap the slice table
 /// keeps real frames far smaller.
 pub const MAX_BATCH_QUERIES: usize = 64;
+
+/// Cap on metric entries per [`Message::StatsResponse`], enforced at
+/// decode. A server registry holds a few dozen instruments; the cap only
+/// bounds the allocation a malicious frame can demand.
+pub const MAX_STATS_METRICS: usize = 512;
+
+/// One named metric reading inside a [`Message::StatsResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsMetric {
+    /// The registered metric name (e.g. `cloud_sweeps_total`).
+    pub name: String,
+    /// The reading at snapshot time.
+    pub value: StatsValue,
+}
+
+/// The value part of a [`StatsMetric`], mirroring the three telemetry
+/// instrument kinds. Histograms travel as pre-computed summaries — count,
+/// sum, and the three headline percentiles in whole nanoseconds — rather
+/// than raw buckets, so the frame stays small and the client needs no
+/// knowledge of the server's bucket layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsValue {
+    /// A monotone event total.
+    Counter(u64),
+    /// An instantaneous signed level.
+    Gauge(i64),
+    /// A latency-histogram summary (nanosecond units).
+    Summary {
+        /// Number of observations.
+        count: u64,
+        /// Sum of all observations in nanoseconds.
+        sum_nanos: u64,
+        /// Median estimate in nanoseconds.
+        p50_nanos: u64,
+        /// 90th-percentile estimate in nanoseconds.
+        p90_nanos: u64,
+        /// 99th-percentile estimate in nanoseconds.
+        p99_nanos: u64,
+    },
+}
 
 /// One distinct slice in a batch response's slice table: shipped once per
 /// frame however many queries (and hits) reference it.
@@ -194,6 +236,33 @@ pub enum Message {
         /// Human-readable description.
         detail: String,
     },
+    /// Asks the server for a full telemetry snapshot (protocol version 2).
+    StatsRequest,
+    /// The server's registry snapshot: every instrument's current reading,
+    /// sorted by name (protocol version 2, validated decode — entry cap
+    /// and kind bytes are enforced like the batch frames).
+    StatsResponse {
+        /// Whole seconds since the server started.
+        uptime_seconds: u64,
+        /// One entry per registered instrument; at most
+        /// [`MAX_STATS_METRICS`] entries.
+        metrics: Vec<StatsMetric>,
+    },
+    /// Extended health probe (protocol version 2). [`Message::Ping`] stays
+    /// the wire-compatible v1 probe; this pair adds live figures.
+    HealthRequest,
+    /// Extended health answer: live uptime, load, and store figures pulled
+    /// from the server's telemetry registry (protocol version 2).
+    HealthResponse {
+        /// Whole seconds since the server started.
+        uptime_seconds: u64,
+        /// Requests currently holding an in-flight permit.
+        in_flight: u64,
+        /// Signal-set slices currently hosted by the MDB store.
+        store_sets: u64,
+        /// Slices ingested over the wire since the server started.
+        ingested: u64,
+    },
 }
 
 impl Message {
@@ -211,6 +280,10 @@ impl Message {
             Message::ErrorReply { .. } => 0x08,
             Message::SearchBatchRequest { .. } => 0x09,
             Message::SearchBatchResponse { .. } => 0x0a,
+            Message::StatsRequest => 0x0b,
+            Message::StatsResponse { .. } => 0x0c,
+            Message::HealthRequest => 0x0d,
+            Message::HealthResponse { .. } => 0x0e,
         }
     }
 
@@ -247,7 +320,9 @@ impl Message {
                 w.put_u64(*total_sets);
                 w.into_bytes()
             }
-            Message::Ping | Message::Busy => Vec::new(),
+            Message::Ping | Message::Busy | Message::StatsRequest | Message::HealthRequest => {
+                Vec::new()
+            }
             Message::ErrorReply { code, detail } => {
                 let mut w = PayloadWriter::with_capacity(8 + detail.len());
                 w.put_u16(*code);
@@ -282,6 +357,55 @@ impl Message {
                         w.put_u64(hit.beta as u64);
                     }
                 }
+                w.into_bytes()
+            }
+            Message::StatsResponse {
+                uptime_seconds,
+                metrics,
+            } => {
+                let mut w = PayloadWriter::with_capacity(16 + metrics.len() * 72);
+                w.put_u64(*uptime_seconds);
+                w.put_u32(metrics.len() as u32);
+                for m in metrics {
+                    w.put_str(&m.name);
+                    match m.value {
+                        StatsValue::Counter(v) => {
+                            w.put_u8(0);
+                            w.put_u64(v);
+                        }
+                        StatsValue::Gauge(v) => {
+                            w.put_u8(1);
+                            w.put_u64(v as u64);
+                        }
+                        StatsValue::Summary {
+                            count,
+                            sum_nanos,
+                            p50_nanos,
+                            p90_nanos,
+                            p99_nanos,
+                        } => {
+                            w.put_u8(2);
+                            w.put_u64(count);
+                            w.put_u64(sum_nanos);
+                            w.put_u64(p50_nanos);
+                            w.put_u64(p90_nanos);
+                            w.put_u64(p99_nanos);
+                        }
+                    }
+                }
+                w.into_bytes()
+            }
+            Message::HealthResponse {
+                uptime_seconds,
+                in_flight,
+                store_sets,
+                ingested,
+            } => {
+                let mut w = PayloadWriter::with_capacity(32);
+                w.put_u64(*uptime_seconds);
+                w.put_u64(*in_flight);
+                w.put_u64(*store_sets);
+                w.put_u64(*ingested);
                 w.into_bytes()
             }
         }
@@ -397,6 +521,50 @@ impl Message {
                 }
                 Message::SearchBatchResponse { slices, results }
             }
+            0x0b => Message::StatsRequest,
+            0x0c => {
+                let uptime_seconds = r.get_u64("stats.uptime")?;
+                let n = r.get_u32("stats metric count")? as usize;
+                if n > MAX_STATS_METRICS {
+                    return Err(WireError::BadPayload {
+                        detail: format!(
+                            "stats response with {n} metrics exceeds the cap of {MAX_STATS_METRICS}"
+                        ),
+                    });
+                }
+                let mut metrics = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.get_str("metric.name")?;
+                    let value = match r.get_u8("metric.kind")? {
+                        0 => StatsValue::Counter(r.get_u64("metric.counter")?),
+                        1 => StatsValue::Gauge(r.get_u64("metric.gauge")? as i64),
+                        2 => StatsValue::Summary {
+                            count: r.get_u64("metric.count")?,
+                            sum_nanos: r.get_u64("metric.sum")?,
+                            p50_nanos: r.get_u64("metric.p50")?,
+                            p90_nanos: r.get_u64("metric.p90")?,
+                            p99_nanos: r.get_u64("metric.p99")?,
+                        },
+                        kind => {
+                            return Err(WireError::BadPayload {
+                                detail: format!("unknown metric kind byte {kind:#04x}"),
+                            })
+                        }
+                    };
+                    metrics.push(StatsMetric { name, value });
+                }
+                Message::StatsResponse {
+                    uptime_seconds,
+                    metrics,
+                }
+            }
+            0x0d => Message::HealthRequest,
+            0x0e => Message::HealthResponse {
+                uptime_seconds: r.get_u64("health.uptime")?,
+                in_flight: r.get_u64("health.in_flight")?,
+                store_sets: r.get_u64("health.store_sets")?,
+                ingested: r.get_u64("health.ingested")?,
+            },
             found => return Err(WireError::UnknownType { found }),
         };
         r.finish()?;
@@ -565,10 +733,91 @@ mod tests {
 
     #[test]
     fn type_bytes_are_distinct() {
-        let bytes = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a];
+        let bytes = [
+            0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+        ];
         let mut sorted = bytes.to_vec();
         sorted.dedup();
         assert_eq!(sorted.len(), bytes.len());
+    }
+
+    #[test]
+    fn stats_and_health_round_trip() {
+        let messages = vec![
+            Message::StatsRequest,
+            Message::StatsResponse {
+                uptime_seconds: 0,
+                metrics: vec![],
+            },
+            Message::StatsResponse {
+                uptime_seconds: 3600,
+                metrics: vec![
+                    StatsMetric {
+                        name: "cloud_served_total".into(),
+                        value: StatsValue::Counter(42),
+                    },
+                    StatsMetric {
+                        name: "cloud_inflight".into(),
+                        value: StatsValue::Gauge(-3),
+                    },
+                    StatsMetric {
+                        name: "cloud_search_request_nanos".into(),
+                        value: StatsValue::Summary {
+                            count: 100,
+                            sum_nanos: 5_000_000,
+                            p50_nanos: 40_000,
+                            p90_nanos: 90_000,
+                            p99_nanos: 400_000,
+                        },
+                    },
+                ],
+            },
+            Message::HealthRequest,
+            Message::HealthResponse {
+                uptime_seconds: 77,
+                in_flight: 4,
+                store_sets: 96,
+                ingested: 12,
+            },
+        ];
+        for msg in &messages {
+            assert_eq!(&roundtrip(msg), msg, "{:#04x}", msg.type_byte());
+        }
+    }
+
+    #[test]
+    fn oversized_stats_response_rejected_at_decode() {
+        let metric = StatsMetric {
+            name: "m".into(),
+            value: StatsValue::Counter(1),
+        };
+        let over = Message::StatsResponse {
+            uptime_seconds: 1,
+            metrics: vec![metric.clone(); MAX_STATS_METRICS + 1],
+        };
+        assert!(matches!(
+            Message::decode_payload(0x0c, &over.encode_payload()),
+            Err(WireError::BadPayload { .. })
+        ));
+        let at_cap = Message::StatsResponse {
+            uptime_seconds: 1,
+            metrics: vec![metric; MAX_STATS_METRICS],
+        };
+        assert!(Message::decode_payload(0x0c, &at_cap.encode_payload()).is_ok());
+    }
+
+    #[test]
+    fn unknown_metric_kind_byte_rejected() {
+        let mut w = crate::codec::PayloadWriter::with_capacity(32);
+        w.put_u64(10); // uptime
+        w.put_u32(1); // one metric
+        w.put_str("bad_kind");
+        w.put_u8(9); // kinds are 0/1/2
+        w.put_u64(5);
+        assert!(matches!(
+            Message::decode_payload(0x0c, &w.into_bytes()),
+            Err(WireError::BadPayload { .. })
+        ));
     }
 
     #[test]

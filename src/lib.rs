@@ -18,6 +18,7 @@
 //! | [`core`] | `emap-core` | the assembled pipeline, timeline, evaluation |
 //! | [`wire`] | `emap-wire` | versioned CRC-framed binary wire protocol |
 //! | [`cloud`] | `emap-cloud` | TCP cloud server + fault-tolerant edge client |
+//! | [`telemetry`] | `emap-telemetry` | lock-free runtime metrics: counters, gauges, latency histograms |
 //!
 //! # Quickstart
 //!
@@ -64,6 +65,7 @@ pub use emap_edge as edge;
 pub use emap_mdb as mdb;
 pub use emap_net as net;
 pub use emap_search as search;
+pub use emap_telemetry as telemetry;
 pub use emap_wire as wire;
 
 /// The most commonly used types, re-exported flat.

@@ -5,16 +5,21 @@
 //! Reported series:
 //! - per-offset throughput of the naive vs kernel correlator (offsets/sec)
 //! - end-to-end single-query latency of the exhaustive / sliding / parallel
-//!   searches
+//!   searches, linear and envelope-indexed, with the indexed sweep's prune
+//!   fraction and bound-evaluation counts
+//! - an indexed-vs-linear scaling curve over three corpus sizes
 //! - multi-query batch throughput of the work-stealing batch path
 //!
-//! `EMAP_BENCH_QUICK=1` shrinks the workload.
+//! `EMAP_BENCH_QUICK=1` (or the `--quick` flag) shrinks the workload; the
+//! process exits nonzero if the indexed sweep pruned nothing, so CI can use
+//! a quick run as a smoke test that the index is actually engaged.
 
 use std::time::{Duration, Instant};
 
 use emap_bench::{banner, build_mdb, fmt_duration, input_factory, quick_mode, scaled};
 use emap_datasets::SignalClass;
 use emap_dsp::kernel::KernelCorrelator;
+use emap_mdb::Mdb;
 use emap_search::{ExhaustiveSearch, ParallelSearch, Query, Search, SearchConfig, SlidingSearch};
 
 /// Times `f` over `reps` repetitions and returns the mean wall time.
@@ -26,7 +31,101 @@ fn time_mean(reps: usize, mut f: impl FnMut()) -> Duration {
     started.elapsed() / reps.max(1) as u32
 }
 
+/// Accumulated index counters over a set of searches.
+#[derive(Default)]
+struct IndexStats {
+    scanned: u64,
+    pruned: u64,
+    bounds: u64,
+}
+
+impl IndexStats {
+    fn add(&mut self, work: emap_search::SearchWork) {
+        self.scanned += work.sets_scanned;
+        self.pruned += work.hosts_pruned;
+        self.bounds += work.bound_evaluations;
+    }
+
+    fn prune_fraction(&self) -> f64 {
+        let hosts = self.scanned + self.pruned;
+        if hosts == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / hosts as f64
+        }
+    }
+}
+
+/// One point of the indexed-vs-linear scaling curve (exhaustive kernel —
+/// the one the within-host group skipping applies to).
+struct ScalePoint {
+    sets: usize,
+    linear_us: f64,
+    indexed_us: f64,
+    prune_fraction: f64,
+}
+
+fn scaling_point(scale: usize, queries: &[Query], reps: usize) -> ScalePoint {
+    let mdb = build_mdb(scale);
+    let cfg = SearchConfig::paper();
+    let linear = ExhaustiveSearch::new(cfg).with_index(false);
+    let indexed = ExhaustiveSearch::new(cfg);
+    let linear_t = time_mean(reps, || {
+        for q in queries {
+            linear.search(q, &mdb).expect("search succeeds");
+        }
+    }) / queries.len() as u32;
+    let indexed_t = time_mean(reps, || {
+        for q in queries {
+            indexed.search(q, &mdb).expect("search succeeds");
+        }
+    }) / queries.len() as u32;
+    let mut stats = IndexStats::default();
+    for q in queries {
+        stats.add(indexed.search(q, &mdb).expect("search succeeds").work());
+    }
+    println!(
+        "  {:>5} sets: linear {:>10}, indexed {:>10} ({:.2}x), prune {:.1}%",
+        mdb.len(),
+        fmt_duration(linear_t),
+        fmt_duration(indexed_t),
+        linear_t.as_secs_f64() / indexed_t.as_secs_f64().max(1e-12),
+        stats.prune_fraction() * 100.0
+    );
+    ScalePoint {
+        sets: mdb.len(),
+        linear_us: linear_t.as_secs_f64() * 1e6,
+        indexed_us: indexed_t.as_secs_f64() * 1e6,
+        prune_fraction: stats.prune_fraction(),
+    }
+}
+
+/// Measures one algorithm's single-query latency, linear then indexed, and
+/// folds the indexed work counters into `stats`.
+fn algo_pair(
+    linear: &dyn Search,
+    indexed: &dyn Search,
+    query: &Query,
+    mdb: &Mdb,
+    reps: usize,
+    stats: &mut IndexStats,
+) -> (Duration, Duration) {
+    let linear_t = time_mean(reps, || {
+        linear.search(query, mdb).expect("search succeeds");
+    });
+    let indexed_t = time_mean(reps, || {
+        indexed.search(query, mdb).expect("search succeeds");
+    });
+    stats.add(indexed.search(query, mdb).expect("search succeeds").work());
+    (linear_t, indexed_t)
+}
+
 fn main() {
+    // `--quick` is a CLI alias for EMAP_BENCH_QUICK=1 so CI smoke steps
+    // need no env plumbing.
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("EMAP_BENCH_QUICK", "1");
+    }
     banner(
         "BENCH_search — kernel and search-stack performance trajectory",
         "cloud search must keep up with real-time re-calls (§V-B, Fig. 7)",
@@ -82,31 +181,65 @@ fn main() {
         1.0 / speedup
     );
 
-    // --- End-to-end single-query latency. --------------------------------
+    // --- End-to-end single-query latency, linear vs indexed. -------------
     let cfg = SearchConfig::paper();
-    let exhaustive_t = time_mean(reps, || {
-        ExhaustiveSearch::new(cfg)
-            .search(query, &mdb)
-            .expect("search succeeds");
-    });
-    let sliding_t = time_mean(reps, || {
-        SlidingSearch::new(cfg)
-            .search(query, &mdb)
-            .expect("search succeeds");
-    });
     let workers = std::thread::available_parallelism()
         .map_or(4, usize::from)
         .min(8);
-    let parallel = ParallelSearch::new(cfg, workers);
-    let parallel_t = time_mean(reps, || {
-        parallel.search(query, &mdb).expect("search succeeds");
-    });
-    println!(
-        "search latency: exhaustive {}, algorithm1 {}, parallel×{workers} {}",
-        fmt_duration(exhaustive_t),
-        fmt_duration(sliding_t),
-        fmt_duration(parallel_t)
+    let mut index_stats = IndexStats::default();
+    let (exhaustive_t, exhaustive_ix_t) = algo_pair(
+        &ExhaustiveSearch::new(cfg).with_index(false),
+        &ExhaustiveSearch::new(cfg),
+        query,
+        &mdb,
+        reps,
+        &mut index_stats,
     );
+    let (sliding_t, sliding_ix_t) = algo_pair(
+        &SlidingSearch::new(cfg).with_index(false),
+        &SlidingSearch::new(cfg),
+        query,
+        &mdb,
+        reps,
+        &mut index_stats,
+    );
+    let parallel = ParallelSearch::new(cfg, workers);
+    let (parallel_t, parallel_ix_t) = algo_pair(
+        &ParallelSearch::new(cfg, workers).with_index(false),
+        &parallel,
+        query,
+        &mdb,
+        reps,
+        &mut index_stats,
+    );
+    println!("search latency (linear → envelope-indexed):");
+    for (name, lin, ix) in [
+        ("exhaustive", exhaustive_t, exhaustive_ix_t),
+        ("algorithm1", sliding_t, sliding_ix_t),
+        ("parallel", parallel_t, parallel_ix_t),
+    ] {
+        println!(
+            "  {name:>10}: {:>10} → {:>10} ({:.2}x)",
+            fmt_duration(lin),
+            fmt_duration(ix),
+            lin.as_secs_f64() / ix.as_secs_f64().max(1e-12)
+        );
+    }
+    println!(
+        "index: prune fraction {:.1}%, {} bound evaluations over {} hosts",
+        index_stats.prune_fraction() * 100.0,
+        index_stats.bounds,
+        index_stats.scanned + index_stats.pruned
+    );
+
+    // --- Indexed-vs-linear scaling curve (exhaustive kernel). ------------
+    println!("\nscaling curve (per-query exhaustive latency):");
+    let curve_scales: &[usize] = if quick_mode() { &[1] } else { &[1, 4, 8] };
+    let curve_queries = &queries[..queries.len().min(4)];
+    let curve: Vec<ScalePoint> = curve_scales
+        .iter()
+        .map(|&s| scaling_point(s, curve_queries, reps.min(3)))
+        .collect();
 
     // --- Batch throughput (the work-stealing path). ----------------------
     let batch_t = time_mean(reps, || {
@@ -116,15 +249,31 @@ fn main() {
     });
     let batch_qps = queries.len() as f64 / batch_t.as_secs_f64();
     println!(
-        "batch: {} queries in {} ({batch_qps:.1} queries/s)",
+        "\nbatch: {} queries in {} ({batch_qps:.1} queries/s)",
         queries.len(),
         fmt_duration(batch_t)
     );
 
     // Hand-formatted JSON keeps this bin free of serialization deps; the
-    // keys form the stable contract future runs diff against.
+    // keys form the stable contract future runs diff against. The
+    // `search_latency_us` block keeps its historical meaning (linear
+    // scans); the `indexed` block and `scaling` curve are the envelope
+    // index's own series.
+    let scaling_json: Vec<String> = curve
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"sets\": {}, \"exhaustive_linear_us\": {:.1}, \"exhaustive_indexed_us\": {:.1}, \"speedup\": {:.3}, \"prune_fraction\": {:.4} }}",
+                p.sets,
+                p.linear_us,
+                p.indexed_us,
+                p.linear_us / p.indexed_us.max(1e-9),
+                p.prune_fraction
+            )
+        })
+        .collect();
     let report = format!(
-        "{{\n  \"bench\": \"BENCH_search\",\n  \"quick_mode\": {},\n  \"corpus_sets\": {},\n  \"queries\": {},\n  \"workers\": {},\n  \"per_offset\": {{\n    \"offsets_measured\": {},\n    \"naive_offsets_per_sec\": {:.1},\n    \"kernel_offsets_per_sec\": {:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"search_latency_us\": {{\n    \"exhaustive\": {:.1},\n    \"algorithm1_sliding\": {:.1},\n    \"algorithm1_parallel\": {:.1}\n  }},\n  \"batch\": {{\n    \"queries\": {},\n    \"wall_us\": {:.1},\n    \"queries_per_sec\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"BENCH_search\",\n  \"quick_mode\": {},\n  \"corpus_sets\": {},\n  \"queries\": {},\n  \"workers\": {},\n  \"per_offset\": {{\n    \"offsets_measured\": {},\n    \"naive_offsets_per_sec\": {:.1},\n    \"kernel_offsets_per_sec\": {:.1},\n    \"kernel_speedup\": {:.3}\n  }},\n  \"search_latency_us\": {{\n    \"exhaustive\": {:.1},\n    \"algorithm1_sliding\": {:.1},\n    \"algorithm1_parallel\": {:.1}\n  }},\n  \"indexed\": {{\n    \"latency_us\": {{\n      \"exhaustive\": {:.1},\n      \"algorithm1_sliding\": {:.1},\n      \"algorithm1_parallel\": {:.1}\n    }},\n    \"speedup\": {{\n      \"exhaustive\": {:.3},\n      \"algorithm1_sliding\": {:.3},\n      \"algorithm1_parallel\": {:.3}\n    }},\n    \"prune_fraction\": {:.4},\n    \"hosts_pruned\": {},\n    \"bound_evaluations\": {}\n  }},\n  \"scaling\": [\n{}\n  ],\n  \"batch\": {{\n    \"queries\": {},\n    \"wall_us\": {:.1},\n    \"queries_per_sec\": {:.1}\n  }}\n}}\n",
         quick_mode(),
         mdb.len(),
         queries.len(),
@@ -136,6 +285,16 @@ fn main() {
         exhaustive_t.as_secs_f64() * 1e6,
         sliding_t.as_secs_f64() * 1e6,
         parallel_t.as_secs_f64() * 1e6,
+        exhaustive_ix_t.as_secs_f64() * 1e6,
+        sliding_ix_t.as_secs_f64() * 1e6,
+        parallel_ix_t.as_secs_f64() * 1e6,
+        exhaustive_t.as_secs_f64() / exhaustive_ix_t.as_secs_f64().max(1e-12),
+        sliding_t.as_secs_f64() / sliding_ix_t.as_secs_f64().max(1e-12),
+        parallel_t.as_secs_f64() / parallel_ix_t.as_secs_f64().max(1e-12),
+        index_stats.prune_fraction(),
+        index_stats.pruned,
+        index_stats.bounds,
+        scaling_json.join(",\n"),
         queries.len(),
         batch_t.as_secs_f64() * 1e6,
         batch_qps,
@@ -144,4 +303,11 @@ fn main() {
     let path = "results/BENCH_search.json";
     std::fs::write(path, report).expect("write BENCH_search.json");
     println!("\nwrote {path}");
+
+    // Smoke contract: an indexed sweep that pruned nothing means the index
+    // is disengaged — fail the run so CI notices.
+    if index_stats.pruned == 0 {
+        eprintln!("FAIL: indexed sweeps pruned zero hosts");
+        std::process::exit(1);
+    }
 }

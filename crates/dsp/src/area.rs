@@ -6,16 +6,25 @@
 //! second. The naive scan touches every sample of every window. This module
 //! rejects most windows without touching any sample at all:
 //!
-//! - **An O(1) admissible lower bound, two legs.** For any offset `β`, the
+//! - **An admissible lower bound, four legs.** For any offset `β`, the
 //!   triangle inequality gives
 //!   `Σ |x_i − y_{β+i}|  ≥  |Σ (x_i − y_{β+i})|  =  |Σx − Σy[β..β+w]|`,
 //!   and with the per-host prefix sums of [`HostStats`] the right-hand side
 //!   costs two subtractions. The sum leg is blind on bandpassed EEG (every
-//!   window sums to ≈0), so a second leg covers it: with `d = x − y[β..]`,
+//!   window sums to ≈0 — the reason early `perf_tracking` runs reported a
+//!   0.0 prune fraction), so three more legs cover it. Two **blockwise sum
+//!   legs** partition the window into blocks of [`AREA_SUM_BLOCK_COARSE`]
+//!   and [`AREA_SUM_BLOCK_FINE`] samples and apply the same triangle
+//!   inequality per block: `Σ |d_i| ≥ Σ_j |Σ_{i∈block j} d_i|`. Zero-mean
+//!   signals cancel over a whole window but not over a 64- or 8-sample
+//!   block, so misaligned oscillatory content now produces bounds on the
+//!   scale of the area itself, at `w/64 + w/8` prefix lookups. An **energy
+//!   leg** covers what block sums still miss: with `d = x − y[β..]`,
 //!   `Σ |d_i| = ‖d‖₁ ≥ ‖d‖₂ ≥ |‖x‖₂ − ‖y[β..]‖₂|` (norm monotonicity, then
 //!   the reverse triangle inequality), and the window norm is O(1) from the
-//!   prefix *energies*. The larger leg wins; a whole offset is skipped when
-//!   its bound already exceeds the best area found so far.
+//!   prefix *energies*. The largest leg wins; a whole offset is skipped when
+//!   its bound already exceeds the best area found so far (the legs are
+//!   evaluated cheapest-first, stopping at the first one that prunes).
 //! - **A multi-accumulator sum with block-level early exit.** Offsets that
 //!   survive the bound run an 8-lane `|x − y|` accumulation
 //!   ([`abs_diff_sum`]); the terms are non-negative, so the running total is
@@ -64,6 +73,25 @@ use crate::DspError;
 /// total is compared against the cutoff only at block boundaries, keeping
 /// the check cost negligible next to the accumulation itself.
 pub const AREA_BLOCK: usize = 32;
+
+/// Block length of the coarse blockwise sum leg of
+/// [`BoundedAreaScan::lower_bound`] — cheap (4 prefix lookups at the
+/// tracker's 256-sample window) and already sensitive to misaligned
+/// oscillations slower than ~2 cycles per window.
+pub const AREA_SUM_BLOCK_COARSE: usize = 64;
+
+/// Block length of the fine blockwise sum leg — 8 samples spans at most a
+/// quarter cycle of the EMAP passband (11–40 Hz at 256 Hz), so in-band
+/// content no longer cancels within a block and the leg tracks the true
+/// area closely on bandpassed EEG.
+pub const AREA_SUM_BLOCK_FINE: usize = 8;
+
+/// Relative slack, in units of the combined query/host sum scale, deducted
+/// from every blockwise-leg term so prefix-difference rounding can never
+/// push a computed bound above the true area. Prefix sums carry ≲`n·ε`
+/// (≈1e-13) relative error at MDB slice lengths; 1e-9 is a >1000× safety
+/// factor.
+const BLOCK_SLACK_REL: f64 = 1e-9;
 
 /// Tally of how [`BoundedAreaScan::best_in_range`] spent its offsets:
 /// `scored` windows had samples touched (possibly abandoned mid-window by
@@ -179,10 +207,28 @@ pub struct BoundedAreaScan {
     qsum: f64,
     /// `‖x‖₂` over the input window, for the energy leg of the bound.
     qnorm: f64,
+    /// Per-block `Σx` at [`AREA_SUM_BLOCK_COARSE`] granularity (the last
+    /// block may be partial), hoisted out of the coarse blockwise leg.
+    qblocks_coarse: Vec<f64>,
+    /// Per-block `Σx` at [`AREA_SUM_BLOCK_FINE`] granularity.
+    qblocks_fine: Vec<f64>,
+    /// Largest `|prefix sum|` of the query — its half of the rounding scale
+    /// the blockwise legs certify against.
+    qsum_scale: f64,
+}
+
+/// Per-block sums of `input` at granularity `block` (trailing partial block
+/// included), plus the largest absolute prefix sum for slack certification.
+fn block_sums(input: &[f32], block: usize) -> Vec<f64> {
+    input
+        .chunks(block)
+        .map(|c| c.iter().map(|&x| f64::from(x)).sum())
+        .collect()
 }
 
 impl BoundedAreaScan {
-    /// Stores the input window and precomputes its sum and L2 norm.
+    /// Stores the input window and precomputes its sum, L2 norm, and
+    /// per-block sums for the blockwise bound legs.
     ///
     /// # Errors
     ///
@@ -193,10 +239,19 @@ impl BoundedAreaScan {
         }
         let qsum = input.iter().map(|&x| f64::from(x)).sum();
         let qenergy: f64 = input.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        let mut qsum_scale = 0.0f64;
+        let mut acc = 0.0f64;
+        for &x in input {
+            acc += f64::from(x);
+            qsum_scale = qsum_scale.max(acc.abs());
+        }
         Ok(BoundedAreaScan {
             query: input.to_vec(),
             qsum,
             qnorm: qenergy.sqrt(),
+            qblocks_coarse: block_sums(input, AREA_SUM_BLOCK_COARSE),
+            qblocks_fine: block_sums(input, AREA_SUM_BLOCK_FINE),
+            qsum_scale,
         })
     }
 
@@ -212,15 +267,17 @@ impl BoundedAreaScan {
         self.qsum
     }
 
-    /// The O(1) lower bound on the area at `offset`: the larger of the sum
-    /// leg `|Σx − Σy[offset..offset+w]|` and the energy leg
-    /// `|‖x‖₂ − ‖y[offset..offset+w]‖₂|`.
+    /// The lower bound on the area at `offset`: the largest of the sum leg
+    /// `|Σx − Σy[offset..offset+w]|`, the energy leg
+    /// `|‖x‖₂ − ‖y[offset..offset+w]‖₂|`, and the two blockwise sum legs
+    /// `Σ_j |Σ_block x − Σ_block y|` at [`AREA_SUM_BLOCK_COARSE`] and
+    /// [`AREA_SUM_BLOCK_FINE`] granularity.
     ///
-    /// The energy leg is *certified*: the prefix-difference window energy
-    /// carries cancellation error, so it is padded by a slack covering the
-    /// worst-case rounding of the prefix tables before the norm gap is
-    /// taken. The returned value therefore never exceeds the true area,
-    /// in floating point and not just on paper.
+    /// Every leg is *certified*: prefix-difference window sums and energies
+    /// carry cancellation error, so each is padded by a slack covering the
+    /// worst-case rounding of the prefix tables before it contributes. The
+    /// returned value therefore never exceeds the true area, in floating
+    /// point and not just on paper.
     ///
     /// # Panics
     ///
@@ -236,7 +293,52 @@ impl BoundedAreaScan {
         let slack = stats.window_energy(0, stats.len()) * 1e-9 + 1e-12;
         let below = self.qnorm - (ew + slack).max(0.0).sqrt();
         let above = (ew - slack).max(0.0).sqrt() - self.qnorm;
-        sum_gap.max(below.max(above))
+        sum_gap
+            .max(below.max(above))
+            .max(self.block_leg(stats, offset, AREA_SUM_BLOCK_COARSE, &self.qblocks_coarse))
+            .max(self.block_leg(stats, offset, AREA_SUM_BLOCK_FINE, &self.qblocks_fine))
+    }
+
+    /// One blockwise sum leg: `Σ_j max(0, |Σ_block x − Σ_block y| − slack)`
+    /// over blocks of `block` samples. Each term is an admissible lower
+    /// bound on that block's `Σ |d_i|` by the triangle inequality, and the
+    /// per-block slack absorbs the rounding of both prefix-difference sums,
+    /// so the leg as a whole never exceeds the true area.
+    fn block_leg(&self, stats: &HostStats, offset: usize, block: usize, qblocks: &[f64]) -> f64 {
+        let w = self.query.len();
+        let slack = (stats.sum_scale() + self.qsum_scale) * BLOCK_SLACK_REL + 1e-12;
+        let mut acc = 0.0f64;
+        for (j, &qb) in qblocks.iter().enumerate() {
+            let start = j * block;
+            let len = block.min(w - start);
+            let gap = (qb - stats.window_sum(offset + start, len)).abs();
+            acc += (gap - slack).max(0.0);
+        }
+        acc
+    }
+
+    /// Whether any bound leg certifies the area at `offset` strictly
+    /// exceeds `cutoff`, evaluating the legs cheapest-first so most pruned
+    /// offsets never pay for the fine blockwise leg. Equivalent to
+    /// `self.lower_bound(stats, offset) > cutoff` (every leg is admissible,
+    /// so any one firing is enough).
+    fn bound_exceeds(&self, stats: &HostStats, offset: usize, cutoff: f64) -> bool {
+        let w = self.query.len();
+        let sum_gap = (self.qsum - stats.window_sum(offset, w)).abs();
+        if sum_gap > cutoff {
+            return true;
+        }
+        let ew = stats.window_energy(offset, w);
+        let slack = stats.window_energy(0, stats.len()) * 1e-9 + 1e-12;
+        let below = self.qnorm - (ew + slack).max(0.0).sqrt();
+        let above = (ew - slack).max(0.0).sqrt() - self.qnorm;
+        if below.max(above) > cutoff {
+            return true;
+        }
+        if self.block_leg(stats, offset, AREA_SUM_BLOCK_COARSE, &self.qblocks_coarse) > cutoff {
+            return true;
+        }
+        self.block_leg(stats, offset, AREA_SUM_BLOCK_FINE, &self.qblocks_fine) > cutoff
     }
 
     /// The exact area between curves at `offset`, via [`abs_diff_sum`].
@@ -337,7 +439,7 @@ impl BoundedAreaScan {
         let mut best = (lo, f64::INFINITY);
         for beta in lo..=hi {
             let cutoff = threshold.min(best.1);
-            if self.lower_bound(stats, beta) > cutoff {
+            if self.bound_exceeds(stats, beta, cutoff) {
                 counters.pruned += 1;
                 continue;
             }
@@ -551,6 +653,92 @@ mod tests {
             naive_best_area(&input, &host, 0, 10),
             Err(DspError::WindowOutOfBounds { .. })
         ));
+    }
+
+    /// Zero-mean oscillatory content like the bandpassed EEG the tracker
+    /// actually scans: whole-window sums cancel, block sums must not.
+    fn bandpassed_like(n: usize, phase: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32;
+                (t * 0.45 + phase).sin() * 30.0 + (t * 0.83 + phase * 2.0).sin() * 12.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_legs_stay_admissible_on_zero_mean_content() {
+        let host = bandpassed_like(1000, 0.0);
+        let stats = HostStats::new(&host);
+        for phase in [0.3f32, 1.1, 2.9] {
+            let input = bandpassed_like(256, phase);
+            let scan = BoundedAreaScan::new(&input).unwrap();
+            for beta in 0..=host.len() - input.len() {
+                let bound = scan.lower_bound(&stats, beta);
+                let area = scan.area_at(&host, beta).unwrap();
+                assert!(
+                    bound <= area,
+                    "phase {phase}, β = {beta}: bound {bound} > area {area}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_legs_are_admissible_with_partial_trailing_blocks() {
+        // Window lengths that are not multiples of either block size.
+        let host = bandpassed_like(700, 0.7);
+        let stats = HostStats::new(&host);
+        for w in [5usize, 9, 63, 65, 100, 250] {
+            let input = bandpassed_like(w, 1.9);
+            let scan = BoundedAreaScan::new(&input).unwrap();
+            for beta in (0..=host.len() - w).step_by(13) {
+                let bound = scan.lower_bound(&stats, beta);
+                let area = scan.area_at(&host, beta).unwrap();
+                assert!(bound <= area, "w = {w}, β = {beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_fires_on_zero_mean_content_under_retention_threshold() {
+        // Regression for the dormant δ_A bound: before the blockwise legs,
+        // `kernel_windows_pruned` stayed at 0 on bandpassed corpora because
+        // both the whole-window sum (≈0 − ≈0) and the energy gap (similar
+        // RMS everywhere) sat far below the tracker's retention threshold.
+        let host = bandpassed_like(1000, 0.0);
+        let input = bandpassed_like(256, 2.2); // misaligned, same amplitude
+        let scan = BoundedAreaScan::new(&input).unwrap();
+        let stats = HostStats::new(&host);
+        let mut counters = ScanCounters::default();
+        // δ_A from EdgeConfig::default() — areas on this content sit in the
+        // thousands, and the blockwise legs must now certify that.
+        let (_, area) = scan
+            .best_below(&host, &stats, 0, 744, 3800.0, &mut counters)
+            .unwrap();
+        assert!(
+            counters.pruned > counters.scored,
+            "blockwise legs should reject most offsets outright: {counters:?} (best {area})"
+        );
+        assert_eq!(counters.total(), 745);
+    }
+
+    #[test]
+    fn cascaded_prune_check_matches_the_full_bound() {
+        let host = bandpassed_like(800, 0.4);
+        let input = bandpassed_like(256, 1.3);
+        let scan = BoundedAreaScan::new(&input).unwrap();
+        let stats = HostStats::new(&host);
+        for beta in (0..=host.len() - input.len()).step_by(7) {
+            let bound = scan.lower_bound(&stats, beta);
+            for cutoff in [bound * 0.5, bound, bound * 1.5, 3800.0] {
+                assert_eq!(
+                    scan.bound_exceeds(&stats, beta, cutoff),
+                    bound > cutoff,
+                    "β = {beta}, cutoff {cutoff}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -221,6 +221,16 @@ impl HostStats {
         let row = &self.maxs[k];
         row[offset].max(row[offset + w - (1usize << k)])
     }
+
+    /// Largest `|prefix sum|` over the host — the scale on which every
+    /// [`HostStats::window_sum`] carries rounding error. Bound kernels that
+    /// certify admissibility in floating point (e.g.
+    /// [`crate::area::BoundedAreaScan::lower_bound`]) derive their slack
+    /// from this.
+    #[must_use]
+    pub fn sum_scale(&self) -> f64 {
+        self.sum_scale
+    }
 }
 
 /// Sparse-table level for a window of length `w`: `⌊log₂ w⌋`.

@@ -62,6 +62,7 @@ pub mod kernel;
 pub mod quality;
 pub mod resample;
 pub mod similarity;
+pub mod spectra;
 pub mod spectrum;
 pub mod stats;
 pub mod window;

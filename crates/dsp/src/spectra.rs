@@ -1,0 +1,784 @@
+//! Multi-resolution spectral envelopes: O(1) admissible upper bounds on the
+//! best range-correlation `ω` any window of a host can achieve against a
+//! query.
+//!
+//! The cloud search scores `ω(q, β) = q̂ · v̂(β)` at hundreds of offsets `β`
+//! per host, where `q̂` is the min–max normalized, unit-energy query and
+//! `v(β) = w(β) − lo(β)·𝟙` is the host window minus its minimum (see
+//! [`crate::similarity::RangeCorrelator`]). Even the O(1)-statistics kernel
+//! pays one dot product per offset, so search cost grows linearly with the
+//! store. This module precomputes, **once per host**, enough spectral
+//! structure to bound the *best achievable* `ω` over whole offset ranges —
+//! letting a top-K search skip entire hosts whose bound cannot beat the
+//! running K-th best (a UCR-suite-style cascade, in the same certified-bound
+//! family as the area legs of [`crate::area`]; DESIGN.md §14).
+//!
+//! # The bound
+//!
+//! For a window length `w`, write the DFT `V_k(β) = Σ_i v_i(β) e^{-j2πki/w}`.
+//! Parseval gives `‖v‖² = (1/w)·(|V_0|² + 2·Σ_{0<k<w/2}|V_k|² + |V_{w/2}|²)`,
+//! so the *normalized magnitude coefficients*
+//!
+//! ```text
+//! a_k = c_k·|Q_k| / (√w·‖q̂‖),   b_k(β) = c_k·|V_k(β)| / (√w·‖v(β)‖)
+//! ```
+//!
+//! (`c_0 = 1`, `c_k = √2` otherwise) are unit vectors: `Σ_k a_k² = 1`.
+//! Expanding the correlation in the frequency domain and bounding each term
+//! by its magnitude (`Re(Q_k·V̄_k) ≤ |Q_k||V_k|`, with bin 0 *exact* because
+//! both `q̂` and `v` are non-negative so `Q_0, V_0 ≥ 0`):
+//!
+//! ```text
+//! ω(β) ≤ Σ_{k ≤ K} a_k·b_k(β) + a_res·ρ(β)
+//! ```
+//!
+//! where only the `K+1` lowest bins are kept explicitly (the EMAP bandpass
+//! confines content below ~48 cycles/window) and the tails
+//! `a_res = √(1 − Σa_k²)`, `ρ(β) = √(1 − Σb_k(β)²)` absorb everything above
+//! `K` by Cauchy–Schwarz. Subtracting `lo·𝟙` changes only bin 0, so all
+//! `b_k, k ≥ 1` come from a sliding DFT of the raw samples, and
+//! `V_0(β) = Σw − w·lo ≥ 0` comes from prefix sums.
+//!
+//! The per-offset coefficients are then collapsed into **per-group
+//! envelopes** at two resolutions ([`COARSE_GROUP`] and [`FINE_GROUP`]
+//! offsets per group): each group stores the per-bin maxima
+//! `B_k(g) = max_{β∈g} b_k(β)` and `ρ(g) = max_{β∈g} ρ(β)`, so
+//!
+//! ```text
+//! max_{β∈g} ω(β) ≤ Σ_k a_k·B_k(g) + a_res·ρ(g)
+//! ```
+//!
+//! and the host bound is the maximum over groups — an O(groups·bins)
+//! evaluation, independent of the host length. Magnitudes are phase-blind,
+//! which is exactly why the group maxima stay tight: shifting a window
+//! rotates the phases of its DFT but barely moves the magnitudes, so the
+//! heavily-overlapping windows of a fine group have near-identical `b`
+//! vectors. Envelopes are stored as `f32` rounded **toward +∞**, so the
+//! narrowing never shrinks a bound below its `f64` value.
+//!
+//! # Admissibility in floating point
+//!
+//! Offsets whose window is constant (`span ≤ 0`) have `ω = 0.0` exactly (the
+//! kernel short-circuits) and contribute nothing to the envelopes. Offsets
+//! where the centered-energy identity `Σw² − 2·lo·Σw + w·lo²` is numerically
+//! hazardous — the same guard as
+//! [`crate::kernel::KernelCorrelator::correlation_at`] — or whose statistics
+//! are non-finite mark their groups *wild*: the group bound becomes 1.0 and
+//! the host is simply never pruned via that group. Everything else carries
+//! relative error ≲1e-9 from prefix/sliding-DFT rounding, and the final
+//! bound is padded with [`BOUND_MARGIN`] (1e-6) before use — a >100×
+//! safety factor over every rounding path, including the kernel's own
+//! scalar-fallback discrepancies. A bound of exactly `0.0` is produced only
+//! when every offset is degenerate (all `ω` exactly 0), so the zero bound is
+//! admissible without margin.
+//!
+//! # Example
+//!
+//! ```
+//! use emap_dsp::spectra::{HostSpectra, QuerySpectrum};
+//! use emap_dsp::kernel::{HostStats, KernelCorrelator};
+//!
+//! # fn main() -> Result<(), emap_dsp::DspError> {
+//! let host: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.29).sin() * 20.0).collect();
+//! let query = host[300..556].to_vec(); // embedded verbatim at β = 300
+//!
+//! let spectra = HostSpectra::new(&host, query.len());
+//! let qs = QuerySpectrum::new(&query)?;
+//! // The bound dominates the true best correlation (which is ~1 here).
+//! assert!(spectra.fine_bound(&qs) > 0.999);
+//!
+//! // And it dominates ω at every offset, not just the best one.
+//! let kc = KernelCorrelator::new(&query)?;
+//! let stats = HostStats::new(&host);
+//! let bound = spectra.coarse_bound(&qs);
+//! for beta in (0..=744).step_by(31) {
+//!     assert!(kc.correlation_at(&host, &stats, beta)? <= bound);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::f64::consts::{PI, SQRT_2};
+
+use crate::similarity::RangeCorrelator;
+use crate::DspError;
+
+/// Highest DFT bin kept explicitly (inclusive). The EMAP bandpass passes
+/// 11–40 Hz at 256 Hz, i.e. bins 11–40 of a 256-sample window; 42 leaves
+/// margin for filter roll-off, and everything above is absorbed by the
+/// Cauchy–Schwarz residual term (measured: raising the cap to 100 does not
+/// tighten the bound on bandpassed corpora).
+pub const SPECTRA_BINS: usize = 42;
+
+/// Offsets per fine-resolution envelope group. Adjacent windows overlap by
+/// `w − 1` samples, so their magnitude spectra nearly coincide and the
+/// pairwise maxima stay tight; widening the groups trades bound tightness
+/// for memory (8-offset groups cost ~5 points of host prune fraction on the
+/// bench corpus).
+pub const FINE_GROUP: usize = 2;
+
+/// Offsets per coarse-resolution envelope group — the cheap first cascade
+/// stage evaluated for every host of a sweep.
+pub const COARSE_GROUP: usize = 64;
+
+/// Safety margin added to every nonzero bound, covering all floating-point
+/// discrepancies between the bound arithmetic and the kernel's `ω` (both
+/// ≲1e-9; see the module docs).
+pub const BOUND_MARGIN: f64 = 1e-6;
+
+/// Sliding-DFT re-anchor interval: accumulated recurrence rounding is reset
+/// by a direct evaluation every this many offsets.
+const ANCHOR_INTERVAL: usize = 64;
+
+/// Relative cancellation guard for the centered window energy — the same
+/// threshold [`crate::kernel`] uses to abandon the prefix-sum identity.
+const NORM_GUARD: f64 = 1e-4;
+
+/// Slack added under the square root of the residual terms so rounding in
+/// `Σ b_k²` can never shrink the tail below its true value.
+const TAIL_SLACK: f64 = 1e-9;
+
+/// Sentinel stored in a wild group's DC slot: `a_0 ≥ 1/√w` for every
+/// non-degenerate query, so the group bound saturates past 1.0 and clamps.
+const WILD: f64 = 1e6;
+
+/// `e^{-j2πm/w}` for `m = 0..w`, as `(re, im)` pairs.
+fn twiddles(w: usize) -> Vec<(f64, f64)> {
+    (0..w)
+        .map(|m| {
+            let phi = -2.0 * PI * m as f64 / w as f64;
+            (phi.cos(), phi.sin())
+        })
+        .collect()
+}
+
+/// Per-offset window minima and maxima for every length-`w` window of
+/// `host`, via monotone deques (O(n) total — offsets here are consecutive,
+/// unlike the arbitrary-offset RMQ of [`crate::kernel::HostStats`]).
+fn sliding_extrema(host: &[f32], w: usize) -> (Vec<f32>, Vec<f32>) {
+    let offsets = host.len() + 1 - w;
+    let mut mins = Vec::with_capacity(offsets);
+    let mut maxs = Vec::with_capacity(offsets);
+    let mut dq_min: VecDeque<usize> = VecDeque::new();
+    let mut dq_max: VecDeque<usize> = VecDeque::new();
+    for i in 0..host.len() {
+        while dq_min.back().is_some_and(|&j| host[j] >= host[i]) {
+            dq_min.pop_back();
+        }
+        dq_min.push_back(i);
+        while dq_max.back().is_some_and(|&j| host[j] <= host[i]) {
+            dq_max.pop_back();
+        }
+        dq_max.push_back(i);
+        if i + 1 >= w {
+            let beta = i + 1 - w;
+            if *dq_min.front().expect("deque holds current index") < beta {
+                dq_min.pop_front();
+            }
+            if *dq_max.front().expect("deque holds current index") < beta {
+                dq_max.pop_front();
+            }
+            mins.push(host[*dq_min.front().expect("nonempty window")]);
+            maxs.push(host[*dq_max.front().expect("nonempty window")]);
+        }
+    }
+    (mins, maxs)
+}
+
+/// Number of explicit bins for a window of length `w`: every kept bin `k`
+/// satisfies `1 ≤ k < w/2` (strictly inside the spectrum, so `c_k = √2`
+/// uniformly), capped at [`SPECTRA_BINS`].
+fn bins_for(w: usize) -> usize {
+    SPECTRA_BINS.min(w.saturating_sub(1) / 2)
+}
+
+/// The query-side half of the envelope bound: normalized magnitude
+/// coefficients `a_k` of the min–max normalized, unit-energy query, plus the
+/// Cauchy–Schwarz residual `a_res`.
+///
+/// Build it once per query (one direct DFT over the kept bins) and evaluate
+/// against any number of [`HostSpectra`].
+#[derive(Debug, Clone)]
+pub struct QuerySpectrum {
+    window: usize,
+    /// `a_k` for `k = 0..=bins`.
+    mags: Vec<f64>,
+    /// `a_res`: upper bound on the L2 mass above the kept bins.
+    residual: f64,
+    /// Degenerate (zero-energy) normalized query: every bound is 1.0.
+    degenerate: bool,
+}
+
+impl QuerySpectrum {
+    /// Builds the spectrum of a **raw** query window, normalizing it exactly
+    /// like [`RangeCorrelator::new`] first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptySignal`] if the query is empty.
+    pub fn new(query: &[f32]) -> Result<Self, DspError> {
+        Ok(Self::from_normalized(
+            RangeCorrelator::new(query)?.normalized_query(),
+        ))
+    }
+
+    /// Builds the spectrum from an **already normalized** query (the exact
+    /// samples [`RangeCorrelator::normalized_query`] holds), guaranteeing
+    /// the bound refers to the same `q̂` the kernel correlates with.
+    #[must_use]
+    pub fn from_normalized(normalized: &[f32]) -> Self {
+        let w = normalized.len();
+        let energy: f64 = normalized
+            .iter()
+            .map(|&q| f64::from(q) * f64::from(q))
+            .sum();
+        if w == 0 || !energy.is_finite() || energy.sqrt() <= f64::EPSILON {
+            return QuerySpectrum {
+                window: w,
+                mags: Vec::new(),
+                residual: 0.0,
+                degenerate: true,
+            };
+        }
+        let kb = bins_for(w);
+        let norm = energy.sqrt();
+        let scale = 1.0 / ((w as f64).sqrt() * norm);
+        let twid = twiddles(w);
+        let mut mags = Vec::with_capacity(kb + 1);
+        let qsum: f64 = normalized.iter().map(|&q| f64::from(q)).sum();
+        // Bin 0: q̂ is non-negative, so Q_0 = Σq̂ ≥ 0 is the magnitude.
+        mags.push(qsum.max(0.0) * scale);
+        for k in 1..=kb {
+            let (mut re, mut im) = (0.0f64, 0.0f64);
+            for (i, &q) in normalized.iter().enumerate() {
+                let (tr, ti) = twid[(k * i) % w];
+                let qf = f64::from(q);
+                re += qf * tr;
+                im += qf * ti;
+            }
+            mags.push(SQRT_2 * (re * re + im * im).sqrt() * scale);
+        }
+        let sumsq: f64 = mags.iter().map(|a| a * a).sum();
+        let residual = ((1.0 - sumsq).max(0.0) + TAIL_SLACK).sqrt();
+        QuerySpectrum {
+            window: w,
+            mags,
+            residual,
+            degenerate: false,
+        }
+    }
+
+    /// Window length the spectrum was built for.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Whether the normalized query was degenerate (constant raw window):
+    /// every bound evaluates to the unprunable 1.0.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
+    }
+}
+
+/// The host-side half of the envelope bound: per-group spectral envelopes at
+/// two resolutions, built once per host (the mega-database prewarms one per
+/// signal-set, like the [`crate::kernel::HostStats`] tables).
+///
+/// Memory: `(⌈offsets/64⌉ + ⌈offsets/2⌉) × (bins + 2)` f32 values — about
+/// 66 KiB for a 1000-sample host at the default parameters, reported
+/// exactly by [`HostSpectra::memory_bytes`].
+#[derive(Debug, Clone)]
+pub struct HostSpectra {
+    window: usize,
+    /// Values per group: `bins + 1` magnitude maxima plus the residual.
+    stride: usize,
+    offsets: usize,
+    /// Flattened coarse groups: `[B_0, …, B_kb, ρ]` × groups, each value
+    /// rounded toward +∞ when narrowed to f32.
+    coarse: Vec<f32>,
+    /// Flattened fine groups, same layout.
+    fine: Vec<f32>,
+}
+
+impl HostSpectra {
+    /// Builds the envelopes for every length-`window` window of `host`.
+    ///
+    /// A host shorter than the window has no windows at all: the envelopes
+    /// are empty and every bound is exactly `0.0` (no offset can produce a
+    /// hit, so skipping such a host is always sound).
+    #[must_use]
+    pub fn new(host: &[f32], window: usize) -> Self {
+        let kb = bins_for(window);
+        let stride = kb + 2;
+        if window == 0 || host.len() < window {
+            return HostSpectra {
+                window,
+                stride,
+                offsets: 0,
+                coarse: Vec::new(),
+                fine: Vec::new(),
+            };
+        }
+        let w = window;
+        let wf = w as f64;
+        let offsets = host.len() - w + 1;
+        let n_fine = offsets.div_ceil(FINE_GROUP);
+        let n_coarse = offsets.div_ceil(COARSE_GROUP);
+        let mut fine = vec![0.0f64; n_fine * stride];
+        let mut coarse = vec![0.0f64; n_coarse * stride];
+        let mut fine_wild = vec![false; n_fine];
+        let mut coarse_wild = vec![false; n_coarse];
+
+        // Prefix tables (the same construction as HostStats, kept local so
+        // the module stands alone).
+        let mut prefix_sum = Vec::with_capacity(host.len() + 1);
+        let mut prefix_energy = Vec::with_capacity(host.len() + 1);
+        prefix_sum.push(0.0f64);
+        prefix_energy.push(0.0f64);
+        let (mut s_acc, mut e_acc) = (0.0f64, 0.0f64);
+        let mut sum_scale = 0.0f64;
+        for &x in host {
+            let xf = f64::from(x);
+            s_acc += xf;
+            e_acc += xf * xf;
+            prefix_sum.push(s_acc);
+            prefix_energy.push(e_acc);
+            sum_scale = sum_scale.max(s_acc.abs());
+        }
+        let energy_scale = e_acc;
+
+        let (los, his) = sliding_extrema(host, w);
+        let twid = twiddles(w);
+        // Rotation factors e^{+j2πk/w} for the sliding recurrence
+        // V_k(β+1) = (V_k(β) − x[β] + x[β+w]) · e^{+j2πk/w}.
+        let rot: Vec<(f64, f64)> = (0..=kb).map(|k| (twid[k].0, -twid[k].1)).collect();
+        let mut re = vec![0.0f64; kb + 1];
+        let mut im = vec![0.0f64; kb + 1];
+        let mut bmag = vec![0.0f64; kb + 1];
+
+        for beta in 0..offsets {
+            if beta % ANCHOR_INTERVAL == 0 {
+                for k in 1..=kb {
+                    let (mut r, mut i2) = (0.0f64, 0.0f64);
+                    for i in 0..w {
+                        let (tr, ti) = twid[(k * i) % w];
+                        let xf = f64::from(host[beta + i]);
+                        r += xf * tr;
+                        i2 += xf * ti;
+                    }
+                    re[k] = r;
+                    im[k] = i2;
+                }
+            }
+
+            let gf = beta / FINE_GROUP;
+            let gc = beta / COARSE_GROUP;
+            let lof = f64::from(los[beta]);
+            let span = f64::from(his[beta]) - lof;
+            let s = prefix_sum[beta + w] - prefix_sum[beta];
+            let e = prefix_energy[beta + w] - prefix_energy[beta];
+
+            let degenerate = span <= 0.0; // constant window ⇒ ω = 0.0 exactly
+            let finite = span.is_finite() && s.is_finite() && e.is_finite();
+            if !finite {
+                fine_wild[gf] = true;
+                coarse_wild[gc] = true;
+            } else if !degenerate {
+                let norm_sq = e - 2.0 * lof * s + wf * lof * lof;
+                let scale = e
+                    .abs()
+                    .max((2.0 * lof * s).abs())
+                    .max(wf * lof * lof)
+                    .max(energy_scale + 2.0 * lof.abs() * sum_scale);
+                // `!(a > b)` so NaN also lands on the conservative path.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(norm_sq > NORM_GUARD * scale) {
+                    // Same hazard the kernel detects: the prefix identity
+                    // cancelled. The kernel falls back to an exact scalar ω;
+                    // we cannot bound it from prefix data, so the group
+                    // becomes unprunable.
+                    fine_wild[gf] = true;
+                    coarse_wild[gc] = true;
+                } else {
+                    let inv = 1.0 / ((wf).sqrt() * norm_sq.sqrt());
+                    let b0 = (s - wf * lof).max(0.0) * inv;
+                    bmag[0] = b0;
+                    let mut sumsq = b0 * b0;
+                    for k in 1..=kb {
+                        let bk = SQRT_2 * (re[k] * re[k] + im[k] * im[k]).sqrt() * inv;
+                        bmag[k] = bk;
+                        sumsq += bk * bk;
+                    }
+                    let rho = ((1.0 - sumsq).max(0.0) + TAIL_SLACK).sqrt();
+                    let f = &mut fine[gf * stride..(gf + 1) * stride];
+                    let c = &mut coarse[gc * stride..(gc + 1) * stride];
+                    for k in 0..=kb {
+                        f[k] = f[k].max(bmag[k]);
+                        c[k] = c[k].max(bmag[k]);
+                    }
+                    f[kb + 1] = f[kb + 1].max(rho);
+                    c[kb + 1] = c[kb + 1].max(rho);
+                }
+            }
+
+            if beta + 1 < offsets && (beta + 1) % ANCHOR_INTERVAL != 0 {
+                let delta = f64::from(host[beta + w]) - f64::from(host[beta]);
+                for k in 1..=kb {
+                    let r = re[k] + delta;
+                    let i2 = im[k];
+                    re[k] = r * rot[k].0 - i2 * rot[k].1;
+                    im[k] = r * rot[k].1 + i2 * rot[k].0;
+                }
+            }
+        }
+
+        for (g, wild) in fine_wild.iter().enumerate() {
+            if *wild {
+                mark_wild(&mut fine[g * stride..(g + 1) * stride]);
+            }
+        }
+        for (g, wild) in coarse_wild.iter().enumerate() {
+            if *wild {
+                mark_wild(&mut coarse[g * stride..(g + 1) * stride]);
+            }
+        }
+
+        HostSpectra {
+            window,
+            stride,
+            offsets,
+            coarse: coarse.iter().map(|&v| round_up_f32(v)).collect(),
+            fine: fine.iter().map(|&v| round_up_f32(v)).collect(),
+        }
+    }
+
+    /// Window length the envelopes were built for.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of window offsets the envelopes cover (0 for a host shorter
+    /// than the window).
+    #[must_use]
+    pub fn offsets(&self) -> usize {
+        self.offsets
+    }
+
+    /// Exact heap footprint of the envelope tables in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        (self.coarse.len() + self.fine.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// The coarse-resolution admissible bound: `max_β ω(q, β) ≤` this, for
+    /// every offset `β` of the host. O(⌈offsets/[`COARSE_GROUP`]⌉ · bins).
+    ///
+    /// Returns `1.0` (unprunable) for a degenerate query or a window-length
+    /// mismatch, and exactly `0.0` when no offset can score above zero.
+    #[must_use]
+    pub fn coarse_bound(&self, query: &QuerySpectrum) -> f64 {
+        self.bound_over(&self.coarse, query)
+    }
+
+    /// The fine-resolution admissible bound — tighter than (never above)
+    /// [`HostSpectra::coarse_bound`], at O(⌈offsets/[`FINE_GROUP`]⌉ · bins)
+    /// per evaluation. Same guarantees.
+    #[must_use]
+    pub fn fine_bound(&self, query: &QuerySpectrum) -> f64 {
+        self.bound_over(&self.fine, query)
+    }
+
+    /// Number of fine-resolution envelope groups (`⌈offsets/FINE_GROUP⌉`).
+    #[must_use]
+    pub fn fine_groups(&self) -> usize {
+        self.fine.len() / self.stride
+    }
+
+    /// The offsets covered by fine group `group`, for mapping a surviving
+    /// group back to the windows a scan must still evaluate.
+    #[must_use]
+    pub fn fine_group_offsets(&self, group: usize) -> std::ops::Range<usize> {
+        let start = group * FINE_GROUP;
+        start..((start + FINE_GROUP).min(self.offsets))
+    }
+
+    /// The admissible bound for one fine group: `ω(q, β) ≤` this for every
+    /// `β` in [`HostSpectra::fine_group_offsets`]`(group)`. The maximum over
+    /// all groups equals [`HostSpectra::fine_bound`] exactly, so a caller
+    /// that needs both the host-level decision and the per-group skip list
+    /// pays for the fine pass once.
+    ///
+    /// Returns `1.0` for a degenerate query or a window-length mismatch
+    /// (same unprunable fallback as the host-level bounds).
+    #[must_use]
+    pub fn fine_group_bound(&self, group: usize, query: &QuerySpectrum) -> f64 {
+        if query.degenerate || query.window != self.window {
+            return 1.0;
+        }
+        finish_bound(group_dot(
+            &self.fine[group * self.stride..(group + 1) * self.stride],
+            query,
+        ))
+    }
+
+    fn bound_over(&self, groups: &[f32], query: &QuerySpectrum) -> f64 {
+        if query.degenerate || query.window != self.window {
+            return 1.0;
+        }
+        if self.offsets == 0 {
+            return 0.0;
+        }
+        debug_assert_eq!(query.mags.len() + 1, self.stride);
+        let mut best = 0.0f64;
+        for g in groups.chunks_exact(self.stride) {
+            best = best.max(group_dot(g, query));
+        }
+        finish_bound(best)
+    }
+}
+
+/// The raw envelope dot product `Σ a_k·B_k + a_res·ρ` for one group.
+fn group_dot(group: &[f32], query: &QuerySpectrum) -> f64 {
+    let mut acc = 0.0f64;
+    for (a, &b) in query.mags.iter().zip(group) {
+        acc += a * f64::from(b);
+    }
+    acc + query.residual * f64::from(group[group.len() - 1])
+}
+
+/// Applies the safety margin and the `[0, 1]` clamp to a raw envelope dot
+/// product. A raw value of exactly `0.0` only arises from all-degenerate
+/// (constant-window) content whose `ω` is exactly `0.0`, so no margin is
+/// needed there.
+fn finish_bound(raw: f64) -> f64 {
+    if raw == 0.0 {
+        0.0
+    } else {
+        (raw + BOUND_MARGIN).min(1.0)
+    }
+}
+
+/// Overwrites one group's envelope so any non-degenerate query's bound
+/// saturates to 1.0 (`a_0 ≥ 1/√w` because `Σq̂ ≥ ‖q̂‖` for non-negative
+/// `q̂`, so `a_0 · WILD ≫ 1`).
+fn mark_wild(group: &mut [f64]) {
+    group.fill(0.0);
+    group[0] = WILD;
+}
+
+/// Narrows to the smallest `f32` that is ≥ `v` (envelope values are always
+/// non-negative and finite), so f32 storage never undercuts the f64 bound.
+fn round_up_f32(v: f64) -> f32 {
+    let f = v as f32;
+    if f.is_finite() && f64::from(f) < v {
+        f32::from_bits(f.to_bits() + 1)
+    } else {
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{HostStats, KernelCorrelator};
+
+    fn eeg_like(n: usize, seed: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32;
+                (t * 0.29 + seed).sin() * 14.0
+                    + (t * 0.61 + seed * 2.0).sin() * 6.0
+                    + (t * 0.097 + seed * 3.0).cos() * 3.0
+            })
+            .collect()
+    }
+
+    fn max_omega(query: &[f32], host: &[f32]) -> f64 {
+        let kc = KernelCorrelator::new(query).unwrap();
+        let stats = HostStats::new(host);
+        (0..=host.len() - query.len())
+            .map(|beta| kc.correlation_at(host, &stats, beta).unwrap())
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn bounds_dominate_every_offset_on_realistic_content() {
+        let host = eeg_like(1000, 0.0);
+        for seed in [0.5f32, 1.7, 4.2] {
+            let query = eeg_like(256, seed);
+            let qs = QuerySpectrum::new(&query).unwrap();
+            let spectra = HostSpectra::new(&host, 256);
+            let best = max_omega(&query, &host);
+            assert!(
+                spectra.fine_bound(&qs) >= best,
+                "seed {seed}: fine {} < best {best}",
+                spectra.fine_bound(&qs)
+            );
+            assert!(
+                spectra.coarse_bound(&qs) >= spectra.fine_bound(&qs) - 1e-12,
+                "seed {seed}: coarse below fine"
+            );
+        }
+    }
+
+    #[test]
+    fn embedded_match_pushes_the_bound_to_one() {
+        let host = eeg_like(1000, 2.0);
+        let query = host[417..673].to_vec();
+        let qs = QuerySpectrum::new(&query).unwrap();
+        let spectra = HostSpectra::new(&host, 256);
+        assert!(spectra.fine_bound(&qs) > 0.999);
+        assert!(spectra.coarse_bound(&qs) > 0.999);
+    }
+
+    #[test]
+    fn short_host_bounds_are_zero() {
+        let host = eeg_like(100, 0.0);
+        let query = eeg_like(256, 1.0);
+        let qs = QuerySpectrum::new(&query).unwrap();
+        let spectra = HostSpectra::new(&host, 256);
+        assert_eq!(spectra.offsets(), 0);
+        assert_eq!(spectra.fine_bound(&qs), 0.0);
+        assert_eq!(spectra.coarse_bound(&qs), 0.0);
+    }
+
+    #[test]
+    fn flat_host_bounds_are_exactly_zero() {
+        let host = vec![3.25f32; 1000];
+        let query = eeg_like(256, 1.0);
+        let qs = QuerySpectrum::new(&query).unwrap();
+        let spectra = HostSpectra::new(&host, 256);
+        // Every window is constant ⇒ ω = 0.0 exactly at every offset, and
+        // the bound certifies it without a margin.
+        assert_eq!(spectra.fine_bound(&qs), 0.0);
+        assert_eq!(spectra.coarse_bound(&qs), 0.0);
+    }
+
+    #[test]
+    fn degenerate_query_is_unprunable() {
+        let qs = QuerySpectrum::new(&vec![5.0f32; 256]).unwrap();
+        assert!(qs.is_degenerate());
+        let spectra = HostSpectra::new(&eeg_like(1000, 0.0), 256);
+        assert_eq!(spectra.fine_bound(&qs), 1.0);
+        assert_eq!(spectra.coarse_bound(&qs), 1.0);
+    }
+
+    #[test]
+    fn window_mismatch_is_unprunable() {
+        let qs = QuerySpectrum::new(&eeg_like(128, 0.0)).unwrap();
+        let spectra = HostSpectra::new(&eeg_like(1000, 0.0), 256);
+        assert_eq!(spectra.fine_bound(&qs), 1.0);
+    }
+
+    #[test]
+    fn hazardous_hosts_stay_admissible_via_wild_groups() {
+        // Amplitude 1e-3 around a baseline of 5: the centered-energy
+        // identity cancels (the kernel's scalar-fallback regime), so the
+        // bound must refuse to prune rather than risk underestimating.
+        let host: Vec<f32> = (0..1000)
+            .map(|i| 5.0 + ((i as f32) * 0.37).sin() * 1e-3)
+            .collect();
+        let query = eeg_like(256, 0.3);
+        let qs = QuerySpectrum::new(&query).unwrap();
+        let spectra = HostSpectra::new(&host, 256);
+        let best = max_omega(&query, &host);
+        assert!(spectra.fine_bound(&qs) >= best);
+        assert!(spectra.coarse_bound(&qs) >= best);
+    }
+
+    #[test]
+    fn non_finite_samples_poison_conservatively() {
+        let mut host = eeg_like(1000, 0.0);
+        host[500] = f32::NAN;
+        let query = eeg_like(256, 1.0);
+        let qs = QuerySpectrum::new(&query).unwrap();
+        let spectra = HostSpectra::new(&host, 256);
+        // Offsets before the NaN are still bounded normally; offsets
+        // touching it go wild. Either way the host bound is ≥ any finite ω.
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+        let bound = spectra.fine_bound(&qs);
+        for beta in 0..=200 {
+            let omega = kc.correlation_at(&host, &stats, beta).unwrap();
+            assert!(omega <= bound, "β = {beta}");
+        }
+    }
+
+    #[test]
+    fn small_and_odd_windows_stay_admissible() {
+        let host = eeg_like(80, 0.0);
+        for w in [1usize, 2, 3, 7, 8, 15, 16, 17, 31, 63, 64, 65] {
+            let query = eeg_like(w, 0.9);
+            let qs = QuerySpectrum::new(&query).unwrap();
+            let spectra = HostSpectra::new(&host, w);
+            if qs.is_degenerate() {
+                continue;
+            }
+            let best = max_omega(&query, &host);
+            assert!(
+                spectra.fine_bound(&qs) >= best,
+                "w = {w}: {} < {best}",
+                spectra.fine_bound(&qs)
+            );
+        }
+    }
+
+    #[test]
+    fn fine_group_bounds_tile_the_host_and_max_to_the_fine_bound() {
+        let host = eeg_like(1000, 0.7);
+        let query = eeg_like(256, 1.3);
+        let qs = QuerySpectrum::new(&query).unwrap();
+        let spectra = HostSpectra::new(&host, 256);
+        let kc = KernelCorrelator::new(&query).unwrap();
+        let stats = HostStats::new(&host);
+
+        let mut covered = 0usize;
+        let mut max_group = 0.0f64;
+        for g in 0..spectra.fine_groups() {
+            let range = spectra.fine_group_offsets(g);
+            assert_eq!(range.start, covered, "group {g} not contiguous");
+            covered = range.end;
+            let bound = spectra.fine_group_bound(g, &qs);
+            max_group = max_group.max(bound);
+            // Per-group admissibility: the group bound dominates every ω
+            // at the offsets it covers.
+            for beta in range {
+                let omega = kc.correlation_at(&host, &stats, beta).unwrap();
+                assert!(omega <= bound, "group {g}, β = {beta}");
+            }
+        }
+        assert_eq!(covered, spectra.offsets());
+        assert_eq!(max_group, spectra.fine_bound(&qs));
+    }
+
+    #[test]
+    fn fine_group_bound_mismatch_and_degenerate_query_are_unprunable() {
+        let spectra = HostSpectra::new(&eeg_like(1000, 0.0), 256);
+        let flat = QuerySpectrum::new(&vec![5.0f32; 256]).unwrap();
+        assert_eq!(spectra.fine_group_bound(0, &flat), 1.0);
+        let short = QuerySpectrum::new(&eeg_like(128, 0.0)).unwrap();
+        assert_eq!(spectra.fine_group_bound(0, &short), 1.0);
+    }
+
+    #[test]
+    fn memory_footprint_is_reported() {
+        let spectra = HostSpectra::new(&eeg_like(1000, 0.0), 256);
+        let groups = 745usize.div_ceil(FINE_GROUP) + 745usize.div_ceil(COARSE_GROUP);
+        assert_eq!(spectra.memory_bytes(), groups * (SPECTRA_BINS + 2) * 4);
+        assert_eq!(HostSpectra::new(&[], 256).memory_bytes(), 0);
+    }
+
+    #[test]
+    fn query_spectrum_shapes() {
+        let qs = QuerySpectrum::new(&eeg_like(256, 0.2)).unwrap();
+        assert_eq!(qs.window(), 256);
+        assert!(!qs.is_degenerate());
+        assert!(QuerySpectrum::new(&[]).is_err());
+        let empty = QuerySpectrum::from_normalized(&[]);
+        assert!(empty.is_degenerate());
+    }
+}

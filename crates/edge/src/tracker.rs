@@ -872,16 +872,21 @@ mod tests {
         let host = rhythm(0.37, 0.0, SIGNAL_SET_LEN);
         let input = host[256..512].to_vec();
         let mdb = mdb_with(vec![(SignalClass::Seizure, host)]);
+        // Compare offsets *considered* (scored + bound-pruned): the bound
+        // may reject almost every offset of the full scan for free, but the
+        // windowed scan must not even consider most of them.
         let full = {
             let mut tr = EdgeTracker::new(area_config(1e12));
             tr.load(&correlation_set(&[0]), &mdb).unwrap();
-            tr.step(&input).unwrap().windows_evaluated
+            let r = tr.step(&input).unwrap();
+            r.windows_evaluated + r.windows_pruned
         };
         let windowed = {
             let cfg = area_config(1e12).with_search_window(32).unwrap();
             let mut tr = EdgeTracker::new(cfg);
             tr.load(&correlation_set(&[0]), &mdb).unwrap();
-            tr.step(&input).unwrap().windows_evaluated
+            let r = tr.step(&input).unwrap();
+            r.windows_evaluated + r.windows_pruned
         };
         assert!(windowed * 5 < full, "windowed {windowed} vs full {full}");
     }
@@ -1168,6 +1173,50 @@ mod tests {
                 assert_eq!(betas_k, betas_s, "{cfg:?} s{second}");
             }
         }
+    }
+
+    #[test]
+    fn tracking_prunes_on_three_regime_bandpassed_corpus() {
+        // Regression for the dormant δ_A bound: with only the whole-window
+        // sum and energy legs, `kernel_windows_pruned` stayed at 0 on
+        // bandpassed corpora (zero-mean windows make the sum leg vanish and
+        // similar RMS makes the energy gap tiny), so `BENCH_tracking.json`
+        // reported a 0.0 prune fraction. The blockwise sum legs of
+        // `BoundedAreaScan` must keep the bound live on realistic
+        // three-regime content under the default retention threshold.
+        use emap_datasets::RecordingFactory;
+        let factory = RecordingFactory::new(42);
+        let filter = emap_dsp::emap_bandpass();
+        let regimes = [
+            SignalClass::Normal,
+            SignalClass::Seizure,
+            SignalClass::Stroke,
+        ];
+        let sets = regimes
+            .iter()
+            .enumerate()
+            .map(|(i, &class)| {
+                let id = format!("regime/{i}");
+                let rec = match class {
+                    SignalClass::Normal => factory.normal_recording(&id, 6.0),
+                    c => factory.anomaly_recording(c, &id, 6.0),
+                };
+                let filtered = filter.filter(rec.channels()[0].samples());
+                (class, filtered[..SIGNAL_SET_LEN].to_vec())
+            })
+            .collect();
+        let mdb = mdb_with(sets);
+        let mut tr = EdgeTracker::new(EdgeConfig::default());
+        tr.load(&correlation_set(&[0, 1, 2]), &mdb).unwrap();
+
+        let input_rec = factory.anomaly_recording(SignalClass::Seizure, "input", 6.0);
+        let input = filter.filter(input_rec.channels()[0].samples());
+        let report = tr.step(&input[512..768]).unwrap();
+        assert!(report.windows_evaluated > 0, "{report:?}");
+        assert!(
+            report.windows_pruned > 0,
+            "δ_A bound went dormant again on bandpassed content: {report:?}"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@ use std::sync::{Arc, OnceLock};
 
 use emap_datasets::SignalClass;
 use emap_dsp::kernel::HostStats;
+use emap_dsp::spectra::HostSpectra;
 use serde::{Deserialize, Serialize};
 
 use crate::{MdbError, SIGNAL_SET_LEN};
@@ -154,11 +155,18 @@ pub struct SignalSet {
     /// compact and stats are rebuilt on load.
     #[serde(skip)]
     stats: OnceLock<Arc<HostStats>>,
+    /// Lazily built (and [`crate::Mdb`]-prewarmed) multi-resolution spectral
+    /// envelopes for the search index's admissible host bounds, with the
+    /// same lifecycle as `stats`: derived from the immutable `samples`,
+    /// shared by `Arc`, skipped by serde and rebuilt on load.
+    #[serde(skip)]
+    spectra: OnceLock<Arc<HostSpectra>>,
 }
 
 impl PartialEq for SignalSet {
     fn eq(&self, other: &Self) -> bool {
-        // `stats` is derived from `samples`, so it carries no identity.
+        // `stats` and `spectra` are derived from `samples`, so they carry
+        // no identity.
         self.samples == other.samples
             && self.class == other.class
             && self.provenance == other.provenance
@@ -185,8 +193,14 @@ impl SignalSet {
             class,
             provenance,
             stats: OnceLock::new(),
+            spectra: OnceLock::new(),
         })
     }
+
+    /// The window length (in samples) every [`SignalSet::spectra`] table is
+    /// built for: the cloud search correlates one-second queries at the
+    /// 256 Hz base rate.
+    pub const SPECTRA_WINDOW: usize = emap_dsp::SAMPLES_PER_SECOND;
 
     /// The slice samples (always [`SIGNAL_SET_LEN`] of them).
     #[must_use]
@@ -245,6 +259,33 @@ impl SignalSet {
     #[must_use]
     pub fn stats_ready(&self) -> bool {
         self.stats.get().is_some()
+    }
+
+    /// The multi-resolution spectral envelopes for this slice at
+    /// [`SignalSet::SPECTRA_WINDOW`], built on first access and cached for
+    /// the set's lifetime. [`crate::Mdb`] prewarms this alongside `stats`
+    /// so indexed sweeps never pay the build cost on the hot path.
+    #[must_use]
+    pub fn spectra(&self) -> &HostSpectra {
+        self.spectra_arc_ref()
+    }
+
+    /// The spectral envelopes behind their shared handle, for consumers
+    /// that keep them alive past a borrow of the set.
+    #[must_use]
+    pub fn spectra_arc(&self) -> Arc<HostSpectra> {
+        Arc::clone(self.spectra_arc_ref())
+    }
+
+    fn spectra_arc_ref(&self) -> &Arc<HostSpectra> {
+        self.spectra
+            .get_or_init(|| Arc::new(HostSpectra::new(&self.samples, Self::SPECTRA_WINDOW)))
+    }
+
+    /// Whether the spectral envelopes have already been built.
+    #[must_use]
+    pub fn spectra_ready(&self) -> bool {
+        self.spectra.get().is_some()
     }
 }
 
@@ -337,8 +378,28 @@ mod tests {
         let a = SignalSet::new(samples.clone(), SignalClass::Normal, prov()).unwrap();
         let b = SignalSet::new(samples, SignalClass::Normal, prov()).unwrap();
         let _ = a.stats();
+        let _ = a.spectra();
         assert_eq!(a, b);
         assert!(a.stats_ready());
+        assert!(a.spectra_ready());
         assert!(!b.stats_ready());
+        assert!(!b.spectra_ready());
+    }
+
+    #[test]
+    fn spectra_are_lazy_cached_and_shared() {
+        let samples: Vec<f32> = (0..1000)
+            .map(|i| ((i as f32) * 0.13).sin() * 10.0)
+            .collect();
+        let set = SignalSet::new(samples, SignalClass::Normal, prov()).unwrap();
+        assert!(!set.spectra_ready());
+        let spectra = set.spectra();
+        assert_eq!(spectra.window(), SignalSet::SPECTRA_WINDOW);
+        assert_eq!(spectra.offsets(), 1000 - SignalSet::SPECTRA_WINDOW + 1);
+        assert!(set.spectra_ready());
+        let a = set.spectra_arc();
+        let b = set.spectra_arc();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.memory_bytes() > 0);
     }
 }

@@ -46,12 +46,12 @@ impl Mdb {
     }
 
     /// Creates a store from pre-built signal-sets, prewarming each set's
-    /// O(1)-statistics tables so the first search never pays the build
-    /// cost.
+    /// O(1)-statistics tables and spectral envelopes so the first search
+    /// never pays the build cost.
     #[must_use]
     pub fn from_sets(sets: Vec<SignalSet>) -> Self {
         for set in &sets {
-            let _ = set.stats();
+            prewarm(set);
         }
         Mdb { sets }
     }
@@ -69,11 +69,11 @@ impl Mdb {
     }
 
     /// Appends a signal-set, returning its new id. The set's
-    /// O(1)-statistics tables are built here (the store is append-only, so
-    /// the one-time cost is amortized across every query that ever scans
-    /// the set).
+    /// O(1)-statistics tables and spectral envelopes are built here (the
+    /// store is append-only, so the one-time cost is amortized across every
+    /// query that ever scans the set).
     pub fn insert(&mut self, set: SignalSet) -> SetId {
-        let _ = set.stats();
+        prewarm(&set);
         self.sets.push(set);
         SetId(self.sets.len() as u64 - 1)
     }
@@ -212,10 +212,17 @@ impl FromIterator<SignalSet> for Mdb {
 impl Extend<SignalSet> for Mdb {
     fn extend<I: IntoIterator<Item = SignalSet>>(&mut self, iter: I) {
         for set in iter {
-            let _ = set.stats();
+            prewarm(&set);
             self.sets.push(set);
         }
     }
+}
+
+/// Builds every derived per-set table (O(1)-statistics and spectral
+/// envelopes) so no search path ever pays the construction cost.
+fn prewarm(set: &SignalSet) {
+    let _ = set.stats();
+    let _ = set.spectra();
 }
 
 /// Thread-safe handle over an [`Mdb`], for the cloud service scenario where
@@ -395,24 +402,26 @@ mod tests {
     fn stats_prewarmed_on_every_construction_path() {
         let fresh = || set(SignalClass::Normal, "a", 7);
         assert!(!fresh().stats_ready());
+        assert!(!fresh().spectra_ready());
+        let warm = |s: &SignalSet| s.stats_ready() && s.spectra_ready();
 
         let mut mdb = Mdb::new();
         let id = mdb.insert(fresh());
-        assert!(mdb.get(id).unwrap().stats_ready());
+        assert!(warm(mdb.get(id).unwrap()));
 
         let built = Mdb::from_sets(vec![fresh(), fresh()]);
-        assert!(built.iter().all(SignalSet::stats_ready));
+        assert!(built.iter().all(warm));
 
         let collected: Mdb = (0..2).map(|_| fresh()).collect();
-        assert!(collected.iter().all(SignalSet::stats_ready));
+        assert!(collected.iter().all(warm));
 
         let mut extended = Mdb::new();
         extended.extend(std::iter::once(fresh()));
-        assert!(extended.iter().all(SignalSet::stats_ready));
+        assert!(extended.iter().all(warm));
 
-        // Clones (and therefore `filtered` sub-corpora) carry warm stats.
+        // Clones (and therefore `filtered` sub-corpora) carry warm tables.
         let filtered = built.filtered(|_| true);
-        assert!(filtered.iter().all(SignalSet::stats_ready));
+        assert!(filtered.iter().all(warm));
     }
 
     #[test]

@@ -36,15 +36,48 @@
 //!   the remaining hosts of the sweep;
 //! - the kernel scan of one `(query, host)` pair is the same code the
 //!   sequential algorithms ran, moved here verbatim.
+//!
+//! # The indexed sweep
+//!
+//! [`BatchExecutor::sweep_indexed`] replaces the linear host walk with a
+//! best-bound-first sweep over the mega-database's precomputed envelope
+//! index (`emap_dsp::spectra`, prewarmed per signal-set like the prefix
+//! statistics): hosts are ranked by an O(1)-per-host admissible upper bound
+//! on the best `ω` they can produce, a running top-K floor
+//! ([`crate::index`]) rises as candidates accumulate, hosts whose bound
+//! falls below the floor (or `δ`) are skipped without touching their
+//! samples, and the sweep terminates outright once the best remaining
+//! bound cannot displace the floor. Because the bound is admissible and
+//! the prune test strict, the returned hits are **identical to the
+//! unindexed sweep, tie order included** — only the work changes
+//! ([`SearchWork::hosts_pruned`], [`SearchWork::bound_evaluations`]).
+//!
+//! Determinism across execution shapes is kept wave-synchronous: hosts are
+//! processed in fixed-size waves against a floor snapshot taken at the
+//! wave boundary, so [`BatchExecutor::sweep_indexed_parallel`] makes
+//! exactly the same prune decisions as the sequential indexed sweep no
+//! matter how workers interleave, and per-host candidate runs are
+//! reassembled in set-id order before selection. Work budgets
+//! ([`SearchConfig::max_correlations`]) are inherently order-dependent, so
+//! a budgeted sweep falls back to the linear path unchanged.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use emap_mdb::{Mdb, SetId, SignalSet};
 
+use crate::index::{QueryIndex, TopKFloor};
 use crate::{
     CorrelationSet, Query, SearchConfig, SearchError, SearchHit, SearchWork, SkipTable,
     SweepTelemetry,
 };
+
+/// Hosts per wave of the indexed sweep: the floor snapshot is refreshed at
+/// every wave boundary, so a smaller wave prunes more aggressively while a
+/// larger one exposes more parallel scan work per barrier. 64 hosts ≈ a few
+/// milliseconds of scan work — enough to feed a worker pool, small enough
+/// that the floor stays fresh.
+const INDEX_WAVE: usize = 64;
 
 /// The per-(query, host) scan strategy — the "score" stage of the engine.
 ///
@@ -547,6 +580,340 @@ impl BatchExecutor {
         let mut out = self.sweep(std::slice::from_ref(query), plan)?;
         Ok(out.pop().expect("sweep returns one result per query"))
     }
+
+    /// Runs the best-bound-first indexed sweep for each query (see the
+    /// module docs): identical hits to [`BatchExecutor::sweep`], typically
+    /// a fraction of the scan work. Queries are served independently — the
+    /// index already spares most of the memory traffic the shared linear
+    /// sweep amortizes, and per-query host ordering is what makes the
+    /// early exit possible.
+    ///
+    /// Falls back to the linear sweep when the active kernel enforces a
+    /// work budget (budget truncation is defined in set-id scan order).
+    ///
+    /// # Errors
+    ///
+    /// The first [`SearchError`] any scan raises.
+    pub fn sweep_indexed(
+        &self,
+        queries: &[Query],
+        plan: &ScanPlan<'_>,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        if self.budget().is_some() {
+            return self.sweep(queries, plan);
+        }
+        let timer = self.telemetry.as_ref().map(SweepTelemetry::start_sweep);
+        let states = queries
+            .iter()
+            .map(|q| self.indexed_state(q, plan, 1))
+            .collect::<Result<Vec<QueryState>, SearchError>>()?;
+        let out = self.select(states);
+        if let Some(t) = &self.telemetry {
+            drop(timer);
+            t.record_sweep(&self.kernel, &out);
+        }
+        Ok(out)
+    }
+
+    /// [`BatchExecutor::sweep_indexed`] with each wave's surviving hosts
+    /// scanned by up to `workers` threads. Prune decisions bind to floor
+    /// snapshots taken at wave boundaries, so the result — hits *and* work
+    /// counters — is bitwise identical to the sequential indexed sweep for
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SearchError`] any worker raises.
+    pub fn sweep_indexed_parallel(
+        &self,
+        queries: &[Query],
+        plan: &ScanPlan<'_>,
+        workers: usize,
+    ) -> Result<Vec<CorrelationSet>, SearchError> {
+        if self.budget().is_some() {
+            return self.sweep_parallel(queries, plan, workers);
+        }
+        let workers = workers.max(1);
+        let timer = self.telemetry.as_ref().map(SweepTelemetry::start_sweep);
+        let states = queries
+            .iter()
+            .map(|q| self.indexed_state(q, plan, workers))
+            .collect::<Result<Vec<QueryState>, SearchError>>()?;
+        let out = self.select(states);
+        if let Some(t) = &self.telemetry {
+            drop(timer);
+            t.record_sweep(&self.kernel, &out);
+        }
+        Ok(out)
+    }
+
+    /// [`BatchExecutor::sweep_indexed`] for exactly one query.
+    pub(crate) fn sweep_one_indexed(
+        &self,
+        query: &Query,
+        plan: &ScanPlan<'_>,
+    ) -> Result<CorrelationSet, SearchError> {
+        let mut out = self.sweep_indexed(std::slice::from_ref(query), plan)?;
+        Ok(out.pop().expect("sweep returns one result per query"))
+    }
+
+    /// The indexed sweep body for one query: rank by coarse bound, then
+    /// wave-by-wave prune → fine-refine → scan, with the floor snapshot
+    /// frozen per wave so sequential and parallel execution take identical
+    /// decisions.
+    fn indexed_state(
+        &self,
+        query: &Query,
+        plan: &ScanPlan<'_>,
+        workers: usize,
+    ) -> Result<QueryState, SearchError> {
+        let hosts: Vec<(SetId, &SignalSet)> = plan
+            .chunks()
+            .iter()
+            .flat_map(|&(start, sets)| {
+                sets.iter()
+                    .enumerate()
+                    .map(move |(i, set)| (SetId(start.0 + i as u64), set))
+            })
+            .collect();
+        let mut work = SearchWork::default();
+        if hosts.is_empty() {
+            return Ok(QueryState::default());
+        }
+        let index = QueryIndex::new(query);
+
+        // Rank hosts best-coarse-bound-first; ties resolve to the lower
+        // set id so the order — and everything downstream — is
+        // deterministic.
+        let mut order: Vec<(f64, usize)> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, (_, set))| (index.coarse_bound(set), i))
+            .collect();
+        work.bound_evaluations += hosts.len() as u64;
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let delta = self.config.delta();
+        let mut floor = TopKFloor::new(self.config.top_k());
+        // Per-host candidate runs, reassembled in set-id order afterwards
+        // so the stable top-K sort sees exactly the unindexed candidate
+        // order (minus candidates the bound proved irrelevant).
+        let mut runs: Vec<(usize, Vec<SearchHit>)> = Vec::new();
+        let mut pos = 0usize;
+        while pos < order.len() {
+            let wave = &order[pos..(pos + INDEX_WAVE).min(order.len())];
+            let snapshot = floor.floor();
+            // A host is prunable when no window of it can clear `δ` or
+            // displace (even tie into) the current top-K.
+            let below = |bound: f64| bound <= delta || snapshot.is_some_and(|f| bound < f);
+
+            // The wave's first host carries the best remaining coarse
+            // bound: if even that is prunable, so is everything after it —
+            // the sweep terminates.
+            if below(wave[0].0) {
+                work.hosts_pruned += (order.len() - pos) as u64;
+                break;
+            }
+
+            let mut survivors: Vec<(usize, Option<Vec<Range<usize>>>)> = Vec::new();
+            for &(coarse, idx) in wave {
+                if below(coarse) {
+                    work.hosts_pruned += 1;
+                    continue;
+                }
+                // Fine refinement: one pass over the host's fine envelope
+                // groups. For the exhaustive kernel the same pass doubles
+                // as the per-group skip list — only offsets inside groups
+                // that can still matter get scanned. Trajectory-dependent
+                // kernels (sliding, two-stage) must see the host whole, so
+                // they only use the host-level maximum.
+                work.bound_evaluations += 1;
+                let spectra = hosts[idx].1.spectra();
+                match &self.kernel {
+                    ScanKernel::Exhaustive => {
+                        let mut ranges: Vec<Range<usize>> = Vec::new();
+                        for g in 0..spectra.fine_groups() {
+                            if below(spectra.fine_group_bound(g, index.spectrum())) {
+                                continue;
+                            }
+                            let r = spectra.fine_group_offsets(g);
+                            match ranges.last_mut() {
+                                Some(last) if last.end == r.start => last.end = r.end,
+                                _ => ranges.push(r),
+                            }
+                        }
+                        if ranges.is_empty() {
+                            // Every group is prunable ⇔ the host-level
+                            // fine bound is prunable.
+                            work.hosts_pruned += 1;
+                        } else {
+                            survivors.push((idx, Some(ranges)));
+                        }
+                    }
+                    _ => {
+                        if below(spectra.fine_bound(index.spectrum())) {
+                            work.hosts_pruned += 1;
+                        } else {
+                            survivors.push((idx, None));
+                        }
+                    }
+                }
+            }
+
+            for (idx, candidates, scan_work) in
+                self.scan_survivors(query, &hosts, &survivors, workers)?
+            {
+                work.merge(scan_work);
+                for hit in &candidates {
+                    floor.push(hit.omega);
+                }
+                runs.push((idx, candidates));
+            }
+            pos += wave.len();
+        }
+
+        runs.sort_unstable_by_key(|&(idx, _)| idx);
+        let mut candidates = Vec::new();
+        for (_, mut run) in runs {
+            candidates.append(&mut run);
+        }
+        Ok(QueryState {
+            candidates,
+            work,
+            exhausted: false,
+        })
+    }
+
+    /// Scans one wave's surviving hosts, sequentially or via a worker
+    /// pool. Each host's candidates stay tagged with its id-order position;
+    /// scan order within the wave cannot influence the result (runs are
+    /// re-sorted by host before selection, counters are commutative sums).
+    fn scan_survivors(
+        &self,
+        query: &Query,
+        hosts: &[(SetId, &SignalSet)],
+        survivors: &[(usize, Option<Vec<Range<usize>>>)],
+        workers: usize,
+    ) -> Result<Vec<(usize, Vec<SearchHit>, SearchWork)>, SearchError> {
+        let scan_one = |survivor: &(usize, Option<Vec<Range<usize>>>)| {
+            let (idx, ranges) = survivor;
+            let (id, set) = hosts[*idx];
+            let mut candidates = Vec::new();
+            let mut work = SearchWork::default();
+            match ranges {
+                Some(ranges) => scan_exhaustive_ranges(
+                    query,
+                    &self.config,
+                    id,
+                    set,
+                    ranges,
+                    &mut candidates,
+                    &mut work,
+                )?,
+                None => self.kernel.scan_set(
+                    query,
+                    &self.config,
+                    id,
+                    set,
+                    &mut candidates,
+                    &mut work,
+                )?,
+            }
+            Ok((*idx, candidates, work))
+        };
+
+        let workers = workers.min(survivors.len());
+        if workers <= 1 {
+            return survivors.iter().map(scan_one).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        type Tagged = (usize, Vec<SearchHit>, SearchWork);
+        let results: Vec<Result<Vec<Tagged>, SearchError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, scan_one) = (&next, &scan_one);
+                    scope.spawn(move |_| {
+                        let mut done = Vec::new();
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            if t >= survivors.len() {
+                                break;
+                            }
+                            done.push(scan_one(&survivors[t])?);
+                        }
+                        Ok(done)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("indexed sweep worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope panicked");
+
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        out.sort_unstable_by_key(|&(idx, _, _)| idx);
+        Ok(out)
+    }
+}
+
+/// The exhaustive kernel's scan confined to the offset ranges whose fine
+/// envelope groups survived the bound test. Identical candidate logic to
+/// [`ScanKernel::scan_set`]; with per-set dedup the pushed best may differ
+/// from the whole-host best only when both fall below the wave's floor —
+/// in which case neither can reach the final top-K.
+fn scan_exhaustive_ranges(
+    query: &Query,
+    config: &SearchConfig,
+    id: SetId,
+    set: &SignalSet,
+    ranges: &[Range<usize>],
+    candidates: &mut Vec<SearchHit>,
+    work: &mut SearchWork,
+) -> Result<(), SearchError> {
+    let kernel = query.kernel();
+    let host = set.samples();
+    let stats = set.stats();
+    let window = kernel.window_len();
+    work.sets_scanned += 1;
+    if host.len() < window {
+        return Ok(());
+    }
+    let last = host.len() - window;
+    let mut best: Option<SearchHit> = None;
+    for range in ranges {
+        for beta in range.clone() {
+            if beta > last {
+                break;
+            }
+            let omega = kernel.correlation_at(host, stats, beta)?;
+            work.correlations += 1;
+            if omega > config.delta() {
+                work.matches += 1;
+                let hit = SearchHit {
+                    set_id: id,
+                    omega,
+                    beta,
+                };
+                if config.dedup_per_set() {
+                    if best.is_none_or(|b| omega > b.omega) {
+                        best = Some(hit);
+                    }
+                } else {
+                    candidates.push(hit);
+                }
+            }
+        }
+    }
+    if let Some(b) = best {
+        candidates.push(b);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -656,6 +1023,66 @@ mod tests {
         let out = exec.sweep(&queries(1), &ScanPlan::build(&mdb, 1)).unwrap();
         assert!(!out[0].work().truncated);
         assert_eq!(out[0].work().sets_scanned, mdb.len() as u64);
+    }
+
+    #[test]
+    fn telemetry_counters_partition_the_plan() {
+        // Satellite invariant for the indexed sweeps: every host of the
+        // plan lands in exactly one of `search_hosts_scanned_total` /
+        // `search_hosts_pruned_total`, per query, for every kernel — and
+        // the parallel sweep charges the registry identically to the
+        // sequential one.
+        let mdb = mdb();
+        let queries = queries(2);
+        let per_sweep = (mdb.len() * queries.len()) as u64;
+        for kernel in [
+            ScanKernel::exhaustive(),
+            ScanKernel::sliding(0.004),
+            ScanKernel::two_stage(0.004, 32, -0.05),
+        ] {
+            let registry = emap_telemetry::Registry::new();
+            let exec = BatchExecutor::new(kernel, SearchConfig::paper())
+                .with_telemetry(SweepTelemetry::register(&registry));
+            exec.sweep_indexed(&queries, &ScanPlan::build(&mdb, 1))
+                .unwrap();
+            let scanned = registry.counter("search_hosts_scanned_total").get();
+            let pruned = registry.counter("search_hosts_pruned_total").get();
+            assert_eq!(
+                scanned + pruned,
+                per_sweep,
+                "scanned {scanned} + pruned {pruned} != plan hosts x queries"
+            );
+            // At least one coarse evaluation per host per query.
+            assert!(registry.counter("search_bound_evaluations_total").get() >= per_sweep);
+        }
+        let sequential = emap_telemetry::Registry::new();
+        let parallel = emap_telemetry::Registry::new();
+        let kernel = ScanKernel::sliding(0.004);
+        BatchExecutor::new(kernel.clone(), SearchConfig::paper())
+            .with_telemetry(SweepTelemetry::register(&sequential))
+            .sweep_indexed(&queries, &ScanPlan::build(&mdb, 1))
+            .unwrap();
+        BatchExecutor::new(kernel, SearchConfig::paper())
+            .with_telemetry(SweepTelemetry::register(&parallel))
+            .sweep_indexed_parallel(&queries, &ScanPlan::build(&mdb, 16), 4)
+            .unwrap();
+        for name in [
+            "search_hosts_scanned_total",
+            "search_hosts_pruned_total",
+            "search_bound_evaluations_total",
+            "search_windows_evaluated_total",
+        ] {
+            assert_eq!(
+                sequential.counter(name).get(),
+                parallel.counter(name).get(),
+                "{name} diverged between sequential and parallel sweeps"
+            );
+        }
+        assert_eq!(
+            parallel.counter("search_hosts_scanned_total").get()
+                + parallel.counter("search_hosts_pruned_total").get(),
+            per_sweep
+        );
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   followed by dense refinement around promising offsets.
 //! - [`CorrelationSet`] — the result `T`: hits `W = [S, ω, β]` plus the work
 //!   counters that feed the timing model of Fig. 7.
+//! - [`QueryIndex`] — beyond the paper: precomputed spectral envelopes give
+//!   an O(1) admissible upper bound on any host's best `ω`, letting every
+//!   algorithm visit hosts best-bound-first and skip those that cannot enter
+//!   the current top-K (DESIGN.md §14). On by default; `with_index(false)`
+//!   restores the raw linear sweep, bitwise-identical hits either way.
 //!
 //! # Example
 //!
@@ -49,6 +54,7 @@ mod config;
 mod engine;
 mod error;
 mod exhaustive;
+mod index;
 mod parallel;
 mod query;
 mod result;
@@ -61,6 +67,7 @@ pub use config::SearchConfig;
 pub use engine::{BatchExecutor, ScanKernel, ScanPlan};
 pub use error::SearchError;
 pub use exhaustive::ExhaustiveSearch;
+pub use index::QueryIndex;
 pub use parallel::ParallelSearch;
 pub use query::Query;
 pub use result::{CorrelationSet, SearchHit, SearchWork};

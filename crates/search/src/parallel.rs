@@ -43,6 +43,7 @@ const TASKS_PER_WORKER: usize = 4;
 pub struct ParallelSearch {
     engine: BatchExecutor,
     workers: usize,
+    indexed: bool,
 }
 
 impl ParallelSearch {
@@ -52,7 +53,18 @@ impl ParallelSearch {
         ParallelSearch {
             engine: BatchExecutor::new(ScanKernel::sliding(config.alpha()), config),
             workers: workers.max(1),
+            indexed: true,
         }
+    }
+
+    /// Enables or disables the envelope index (on by default; see
+    /// [`BatchExecutor::sweep_indexed_parallel`]). Hits are identical
+    /// either way; only the work counters move. A configured work budget
+    /// falls back to the linear sweep automatically.
+    #[must_use]
+    pub fn with_index(mut self, indexed: bool) -> Self {
+        self.indexed = indexed;
+        self
     }
 
     /// Number of worker threads.
@@ -100,16 +112,17 @@ impl Search for ParallelSearch {
         queries: &[Query],
         mdb: &Mdb,
     ) -> Result<Vec<CorrelationSet>, SearchError> {
-        self.engine
-            .sweep_parallel(queries, &self.plan(mdb), self.workers)
+        let plan = self.plan(mdb);
+        if self.indexed {
+            self.engine
+                .sweep_indexed_parallel(queries, &plan, self.workers)
+        } else {
+            self.engine.sweep_parallel(queries, &plan, self.workers)
+        }
     }
 
     fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
-        let mut out = self.engine.sweep_parallel(
-            std::slice::from_ref(query),
-            &self.plan(mdb),
-            self.workers,
-        )?;
+        let mut out = self.search_batch(std::slice::from_ref(query), mdb)?;
         Ok(out.pop().expect("one result per query"))
     }
 }

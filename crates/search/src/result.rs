@@ -28,6 +28,17 @@ pub struct SearchWork {
     /// Whether the search stopped early because it hit the configured
     /// work budget ([`crate::SearchConfig::max_correlations`]).
     pub truncated: bool,
+    /// Number of signal-sets skipped entirely because their envelope bound
+    /// certified they cannot contribute to the top-K (the indexed sweep's
+    /// host-level prune). Always `0` on the unindexed paths; on an indexed
+    /// sweep `sets_scanned + hosts_pruned` equals the plan's host count.
+    #[serde(default)]
+    pub hosts_pruned: u64,
+    /// Number of envelope bound evaluations charged by the indexed sweep —
+    /// one per host-level coarse bound and one per host-level fine pass
+    /// (a fine pass covers all of a host's fine groups).
+    #[serde(default)]
+    pub bound_evaluations: u64,
 }
 
 impl SearchWork {
@@ -37,6 +48,8 @@ impl SearchWork {
         self.sets_scanned += other.sets_scanned;
         self.matches += other.matches;
         self.truncated |= other.truncated;
+        self.hosts_pruned += other.hosts_pruned;
+        self.bound_evaluations += other.bound_evaluations;
     }
 }
 
@@ -189,17 +202,23 @@ mod tests {
             sets_scanned: 2,
             matches: 1,
             truncated: false,
+            hosts_pruned: 3,
+            bound_evaluations: 7,
         };
         a.merge(SearchWork {
             correlations: 5,
             sets_scanned: 1,
             matches: 4,
             truncated: true,
+            hosts_pruned: 2,
+            bound_evaluations: 4,
         });
         assert_eq!(a.correlations, 15);
         assert_eq!(a.sets_scanned, 3);
         assert_eq!(a.matches, 5);
         assert!(a.truncated);
+        assert_eq!(a.hosts_pruned, 5);
+        assert_eq!(a.bound_evaluations, 11);
     }
 
     #[test]

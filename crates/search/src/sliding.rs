@@ -42,6 +42,13 @@ pub fn skip_for_omega(omega: f64, alpha: f64) -> usize {
 /// per-query skip state and per-query budgets, and is bitwise identical to
 /// per-query [`Search::search`].
 ///
+/// By default the sweep runs against the store's envelope index
+/// ([`BatchExecutor::sweep_indexed`]): hosts whose bound certifies they
+/// cannot reach the top-K are skipped whole, hits unchanged. A configured
+/// [`SearchConfig::max_correlations`] budget automatically falls back to
+/// the linear sweep (budget truncation is defined in scan order);
+/// [`SlidingSearch::with_index`] disables the index outright.
+///
 /// # Example
 ///
 /// ```
@@ -53,6 +60,7 @@ pub fn skip_for_omega(omega: f64, alpha: f64) -> usize {
 #[derive(Debug, Clone)]
 pub struct SlidingSearch {
     engine: BatchExecutor,
+    indexed: bool,
 }
 
 impl SlidingSearch {
@@ -61,7 +69,16 @@ impl SlidingSearch {
     pub fn new(config: SearchConfig) -> Self {
         SlidingSearch {
             engine: BatchExecutor::new(ScanKernel::sliding(config.alpha()), config),
+            indexed: true,
         }
+    }
+
+    /// Enables or disables the envelope index (on by default). Hits are
+    /// identical either way; only the work counters move.
+    #[must_use]
+    pub fn with_index(mut self, indexed: bool) -> Self {
+        self.indexed = indexed;
+        self
     }
 
     /// The active configuration.
@@ -77,7 +94,12 @@ impl Search for SlidingSearch {
     }
 
     fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
-        self.engine.sweep_one(query, &ScanPlan::build(mdb, 1))
+        let plan = ScanPlan::build(mdb, 1);
+        if self.indexed {
+            self.engine.sweep_one_indexed(query, &plan)
+        } else {
+            self.engine.sweep_one(query, &plan)
+        }
     }
 
     /// One shared sweep over the store for the whole batch. Bitwise
@@ -88,7 +110,12 @@ impl Search for SlidingSearch {
         queries: &[Query],
         mdb: &Mdb,
     ) -> Result<Vec<CorrelationSet>, SearchError> {
-        self.engine.sweep(queries, &ScanPlan::build(mdb, 1))
+        let plan = ScanPlan::build(mdb, 1);
+        if self.indexed {
+            self.engine.sweep_indexed(queries, &plan)
+        } else {
+            self.engine.sweep(queries, &plan)
+        }
     }
 }
 
@@ -176,7 +203,9 @@ mod tests {
             .unwrap(),
         );
         let q = Query::new(&query).unwrap();
+        // Kernel-level work claims compare the raw scans, index off.
         let ex = ExhaustiveSearch::new(SearchConfig::paper())
+            .with_index(false)
             .search(&q, &mdb)
             .unwrap();
         assert_eq!(ex.hits()[0].beta, 400);
@@ -185,6 +214,7 @@ mod tests {
         // the embedding depends on the skip trajectory — both outcomes are
         // legal, the invariant is the work reduction.
         let sl = SlidingSearch::new(SearchConfig::paper())
+            .with_index(false)
             .search(&q, &mdb)
             .unwrap();
         assert!(sl.work().correlations < ex.work().correlations);
@@ -220,10 +250,13 @@ mod tests {
         let filtered = emap_dsp::emap_bandpass().filter(&raw);
         let query = Query::new(&filtered).unwrap();
 
+        // Kernel-level work claims compare the raw scans, index off.
         let ex = ExhaustiveSearch::new(SearchConfig::paper())
+            .with_index(false)
             .search(&query, &mdb)
             .unwrap();
         let sl = SlidingSearch::new(SearchConfig::paper())
+            .with_index(false)
             .search(&query, &mdb)
             .unwrap();
 
@@ -341,5 +374,37 @@ mod tests {
             .search(&Query::new(&query).unwrap(), &Mdb::new())
             .unwrap();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn indexed_matches_unindexed_hits_exactly() {
+        let factory = RecordingFactory::new(41);
+        let mut b = MdbBuilder::new();
+        for i in 0..4 {
+            b.add_recording("d", &factory.normal_recording(&format!("n{i}"), 24.0))
+                .unwrap();
+            b.add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("s{i}"), 24.0),
+            )
+            .unwrap();
+        }
+        let mdb = b.build();
+        let rec = factory.anomaly_recording(SignalClass::Seizure, "s1", 24.0);
+        let filtered = emap_dsp::emap_bandpass().filter(rec.channels()[0].samples());
+        let query = Query::new(&filtered[2000..2256]).unwrap();
+
+        let indexed = SlidingSearch::new(SearchConfig::paper())
+            .search(&query, &mdb)
+            .unwrap();
+        let linear = SlidingSearch::new(SearchConfig::paper())
+            .with_index(false)
+            .search(&query, &mdb)
+            .unwrap();
+        assert_eq!(indexed.hits(), linear.hits());
+        assert_eq!(
+            indexed.work().sets_scanned + indexed.work().hosts_pruned,
+            mdb.len() as u64
+        );
     }
 }

@@ -22,6 +22,8 @@ pub struct SweepTelemetry {
     sweeps: Counter,
     queries: Counter,
     hosts_scanned: Counter,
+    hosts_pruned: Counter,
+    bound_evaluations: Counter,
     windows_evaluated: Counter,
     skip_jumps: Counter,
     matches: Counter,
@@ -37,6 +39,8 @@ impl SweepTelemetry {
             sweeps: registry.counter("search_sweeps_total"),
             queries: registry.counter("search_queries_total"),
             hosts_scanned: registry.counter("search_hosts_scanned_total"),
+            hosts_pruned: registry.counter("search_hosts_pruned_total"),
+            bound_evaluations: registry.counter("search_bound_evaluations_total"),
             windows_evaluated: registry.counter("search_windows_evaluated_total"),
             skip_jumps: registry.counter("search_skip_jumps_total"),
             matches: registry.counter("search_matches_total"),
@@ -61,17 +65,23 @@ impl SweepTelemetry {
         self.sweeps.inc();
         self.queries.add(results.len() as u64);
         let mut hosts = 0u64;
+        let mut pruned = 0u64;
+        let mut bounds = 0u64;
         let mut windows = 0u64;
         let mut matches = 0u64;
         let mut truncated = 0u64;
         for set in results {
             let work = set.work();
             hosts += work.sets_scanned;
+            pruned += work.hosts_pruned;
+            bounds += work.bound_evaluations;
             windows += work.correlations;
             matches += work.matches;
             truncated += u64::from(work.truncated);
         }
         self.hosts_scanned.add(hosts);
+        self.hosts_pruned.add(pruned);
+        self.bound_evaluations.add(bounds);
         self.windows_evaluated.add(windows);
         if matches!(kernel, ScanKernel::Sliding(_)) {
             self.skip_jumps.add(windows);
@@ -105,6 +115,8 @@ mod tests {
                         sets_scanned: 5,
                         matches: 1,
                         truncated: i == 2,
+                        hosts_pruned: 9,
+                        bound_evaluations: 14,
                     },
                 )
             })
@@ -113,6 +125,8 @@ mod tests {
         assert_eq!(registry.counter("search_sweeps_total").get(), 1);
         assert_eq!(registry.counter("search_queries_total").get(), 3);
         assert_eq!(registry.counter("search_hosts_scanned_total").get(), 15);
+        assert_eq!(registry.counter("search_hosts_pruned_total").get(), 27);
+        assert_eq!(registry.counter("search_bound_evaluations_total").get(), 42);
         assert_eq!(
             registry.counter("search_windows_evaluated_total").get(),
             300
@@ -134,6 +148,8 @@ mod tests {
                 sets_scanned: 2,
                 matches: 0,
                 truncated: false,
+                hosts_pruned: 0,
+                bound_evaluations: 0,
             },
         )];
         t.record_sweep(&ScanKernel::exhaustive(), &sets);

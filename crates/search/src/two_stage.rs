@@ -35,6 +35,7 @@ pub struct TwoStageSearch {
     engine: BatchExecutor,
     coarse_stride: usize,
     prescreen_margin: f64,
+    indexed: bool,
 }
 
 impl TwoStageSearch {
@@ -61,7 +62,16 @@ impl TwoStageSearch {
             ),
             coarse_stride,
             prescreen_margin,
+            indexed: true,
         }
+    }
+
+    /// Enables or disables the envelope index (on by default). Hits are
+    /// identical either way; only the work counters move.
+    #[must_use]
+    pub fn with_index(mut self, indexed: bool) -> Self {
+        self.indexed = indexed;
+        self
     }
 
     /// Overrides the coarse stride.
@@ -76,11 +86,9 @@ impl TwoStageSearch {
                 value: 0.0,
             });
         }
-        Ok(Self::build(
-            *self.engine.config(),
-            stride,
-            self.prescreen_margin,
-        ))
+        let mut next = Self::build(*self.engine.config(), stride, self.prescreen_margin);
+        next.indexed = self.indexed;
+        Ok(next)
     }
 
     /// Overrides the prescreen margin (stage-1 threshold is `δ − margin`;
@@ -98,11 +106,9 @@ impl TwoStageSearch {
                 value: margin,
             });
         }
-        Ok(Self::build(
-            *self.engine.config(),
-            self.coarse_stride,
-            margin,
-        ))
+        let mut next = Self::build(*self.engine.config(), self.coarse_stride, margin);
+        next.indexed = self.indexed;
+        Ok(next)
     }
 
     /// The stage-1 stride.
@@ -124,7 +130,12 @@ impl Search for TwoStageSearch {
     }
 
     fn search(&self, query: &Query, mdb: &Mdb) -> Result<CorrelationSet, SearchError> {
-        self.engine.sweep_one(query, &ScanPlan::build(mdb, 1))
+        let plan = ScanPlan::build(mdb, 1);
+        if self.indexed {
+            self.engine.sweep_one_indexed(query, &plan)
+        } else {
+            self.engine.sweep_one(query, &plan)
+        }
     }
 
     /// One shared sweep over the store for the whole batch (per-query
@@ -135,7 +146,12 @@ impl Search for TwoStageSearch {
         queries: &[Query],
         mdb: &Mdb,
     ) -> Result<Vec<CorrelationSet>, SearchError> {
-        self.engine.sweep(queries, &ScanPlan::build(mdb, 1))
+        let plan = ScanPlan::build(mdb, 1);
+        if self.indexed {
+            self.engine.sweep_indexed(queries, &plan)
+        } else {
+            self.engine.sweep(queries, &plan)
+        }
     }
 }
 
@@ -210,10 +226,13 @@ mod tests {
     #[test]
     fn does_less_work_than_algorithm1() {
         let (mdb, query) = setup();
+        // Kernel-level work claims compare the raw scans, index off.
         let two = TwoStageSearch::new(SearchConfig::paper())
+            .with_index(false)
             .search(&query, &mdb)
             .expect("search succeeds");
         let one = SlidingSearch::new(SearchConfig::paper())
+            .with_index(false)
             .search(&query, &mdb)
             .expect("search succeeds");
         assert!(

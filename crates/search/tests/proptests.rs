@@ -102,15 +102,21 @@ proptest! {
     }
 
     /// The exhaustive search dominates: its best hit is at least as good as
-    /// any other algorithm's best hit, and its work is an upper bound.
+    /// any other algorithm's best hit, and its work is an upper bound. A
+    /// raw-kernel work claim, so the envelope index is off — indexed, the
+    /// exhaustive kernel skips pruned offset groups and its correlation
+    /// count is no longer an upper bound on anything.
     #[test]
     fn exhaustive_dominates(mdb in arb_mdb(4), query in arb_signal(256)) {
         let cfg = SearchConfig::paper();
         let q = Query::new(&query).expect("window length 256");
-        let ex = ExhaustiveSearch::new(cfg).search(&q, &mdb).expect("search");
+        let ex = ExhaustiveSearch::new(cfg)
+            .with_index(false)
+            .search(&q, &mdb)
+            .expect("search");
         for other in [
-            Box::new(SlidingSearch::new(cfg)) as Box<dyn Search>,
-            Box::new(TwoStageSearch::new(cfg)),
+            Box::new(SlidingSearch::new(cfg).with_index(false)) as Box<dyn Search>,
+            Box::new(TwoStageSearch::new(cfg).with_index(false)),
         ] {
             let t = other.search(&q, &mdb).expect("search");
             prop_assert!(t.work().correlations <= ex.work().correlations);
@@ -191,6 +197,99 @@ proptest! {
             let single = sliding.search(q, &mdb).expect("search succeeds");
             prop_assert_eq!(&single, b);
             prop_assert_eq!(single.work().truncated, b.work().truncated);
+        }
+    }
+
+    /// The tentpole equality: for every algorithm, single and batched, the
+    /// envelope-indexed sweep returns **bitwise identical** hits to the
+    /// linear sweep — same `ω`, same `β`, same tie order. The index may
+    /// only move the work counters.
+    #[test]
+    fn indexed_search_is_bitwise_equal_to_linear(
+        mdb in arb_mdb(8),
+        queries in prop::collection::vec(arb_signal(256), 1..=4),
+        cfg in arb_config(),
+    ) {
+        let qs: Vec<Query> = queries
+            .iter()
+            .map(|s| Query::new(s).expect("window length 256"))
+            .collect();
+        let pairs: [(Box<dyn Search>, Box<dyn Search>); 4] = [
+            (
+                Box::new(ExhaustiveSearch::new(cfg)),
+                Box::new(ExhaustiveSearch::new(cfg).with_index(false)),
+            ),
+            (
+                Box::new(SlidingSearch::new(cfg)),
+                Box::new(SlidingSearch::new(cfg).with_index(false)),
+            ),
+            (
+                Box::new(TwoStageSearch::new(cfg)),
+                Box::new(TwoStageSearch::new(cfg).with_index(false)),
+            ),
+            (
+                Box::new(ParallelSearch::new(cfg, 3)),
+                Box::new(ParallelSearch::new(cfg, 3).with_index(false)),
+            ),
+        ];
+        for (indexed, linear) in &pairs {
+            for q in &qs {
+                let with = indexed.search(q, &mdb).expect("search succeeds");
+                let without = linear.search(q, &mdb).expect("search succeeds");
+                prop_assert_eq!(
+                    with.hits(),
+                    without.hits(),
+                    "{}: indexed hits diverged from linear",
+                    indexed.name()
+                );
+            }
+            let with = indexed.search_batch(&qs, &mdb).expect("batch succeeds");
+            let without = linear.search_batch(&qs, &mdb).expect("batch succeeds");
+            for (w, wo) in with.iter().zip(&without) {
+                prop_assert_eq!(
+                    w.hits(),
+                    wo.hits(),
+                    "{}: indexed batch hits diverged from linear",
+                    indexed.name()
+                );
+            }
+        }
+    }
+
+    /// Counter consistency on indexed sweeps: every host of the plan is
+    /// either scanned or pruned — never both, never neither — sequentially
+    /// and across parallel workers, and every pruning decision is backed by
+    /// bound evaluations.
+    #[test]
+    fn indexed_counters_partition_the_plan(
+        mdb in arb_mdb(8),
+        query in arb_signal(256),
+        cfg in arb_config(),
+        workers in 1usize..5,
+    ) {
+        let q = Query::new(&query).expect("window length 256");
+        let hosts = mdb.len() as u64;
+        for search in [
+            Box::new(ExhaustiveSearch::new(cfg)) as Box<dyn Search>,
+            Box::new(SlidingSearch::new(cfg)),
+            Box::new(TwoStageSearch::new(cfg)),
+            Box::new(ParallelSearch::new(cfg, workers)),
+        ] {
+            let t = search.search(&q, &mdb).expect("search succeeds");
+            let work = t.work();
+            prop_assert_eq!(
+                work.sets_scanned + work.hosts_pruned,
+                hosts,
+                "{}: scanned {} + pruned {} != plan hosts {}",
+                search.name(),
+                work.sets_scanned,
+                work.hosts_pruned,
+                hosts
+            );
+            // One coarse evaluation per host, plus one fine pass per
+            // surviving host at most.
+            prop_assert!(work.bound_evaluations >= hosts, "{}", search.name());
+            prop_assert!(work.bound_evaluations <= 2 * hosts, "{}", search.name());
         }
     }
 

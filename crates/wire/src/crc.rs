@@ -34,8 +34,17 @@ const fn build_table() -> [u32; 256] {
 /// zlib convention).
 #[must_use]
 pub fn crc32(data: &[u8]) -> u32 {
+    crc32_pair(data, &[])
+}
+
+/// CRC-32 over the logical concatenation `head ‖ tail`, without copying —
+/// the frame layer checksums its header prefix and the payload as one
+/// stream so a flipped type byte cannot transmute a message into another
+/// valid one.
+#[must_use]
+pub fn crc32_pair(head: &[u8], tail: &[u8]) -> u32 {
     let mut crc = !0u32;
-    for &byte in data {
+    for &byte in head.iter().chain(tail) {
         crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xff) as usize];
     }
     !crc
@@ -59,5 +68,16 @@ mod tests {
         let mut corrupted = b"correlation set payload".to_vec();
         corrupted[5] ^= 0x01;
         assert_ne!(crc32(&corrupted), base);
+    }
+
+    #[test]
+    fn pair_matches_concatenation() {
+        let head = b"header bytes";
+        let tail = b"payload bytes";
+        let mut joined = head.to_vec();
+        joined.extend_from_slice(tail);
+        assert_eq!(crc32_pair(head, tail), crc32(&joined));
+        assert_eq!(crc32_pair(head, &[]), crc32(head));
+        assert_eq!(crc32_pair(&[], tail), crc32(tail));
     }
 }

@@ -3,40 +3,45 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "EMW1"
-//! 4       1     protocol version (currently 2; ≥ MIN_VERSION accepted)
+//! 4       1     protocol version (currently 3; ≥ MIN_VERSION accepted)
 //! 5       1     message type byte
 //! 6       2     reserved (written 0, ignored on read)
 //! 8       4     payload length, u32 LE
-//! 12      4     CRC-32 (IEEE) of the payload, u32 LE
+//! 12      4     CRC-32 (IEEE) of header bytes 0..12 + payload, u32 LE
 //! 16      len   payload
 //! ```
 //!
 //! Version 2 added the batch search messages
 //! ([`crate::Message::SearchBatchRequest`] /
-//! [`crate::Message::SearchBatchResponse`]) as new type bytes; every
-//! version-1 message encodes identically under version 2, so frames from
-//! version-1 peers still decode ([`MIN_VERSION`] is 1).
+//! [`crate::Message::SearchBatchResponse`]) as new type bytes. Version 3
+//! extended the search-response work counters (`hosts_pruned`,
+//! `bound_evaluations`) — a payload shape change, so older frames no
+//! longer decode and [`MIN_VERSION`] moved up with it — and widened the
+//! CRC to cover the header prefix: previously a link flip in the
+//! unprotected type byte could transmute a message into a *different
+//! valid* one (`IngestAck` ↔ `Pong` share a payload shape).
 //!
 //! The length field is validated against a caller-supplied cap *before*
 //! any payload allocation, so a corrupt or hostile length can neither
 //! panic nor exhaust memory; the CRC is validated before the payload is
-//! parsed, so a flipped link bit surfaces as [`WireError::BadCrc`].
+//! parsed, so a flipped link bit — header prefix or payload — surfaces as
+//! [`WireError::BadCrc`].
 
 use std::io::{Read, Write};
 
-use crate::crc::crc32;
+use crate::crc::crc32_pair;
 use crate::{Message, WireError};
 
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"EMW1";
 
 /// The protocol version this build speaks (and writes into every frame).
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
-/// The oldest protocol version this build still accepts. Version 1 frames
-/// carry only message types that are bit-identical under version 2, so
-/// they decode unchanged.
-pub const MIN_VERSION: u8 = 1;
+/// The oldest protocol version this build still accepts. Version 3
+/// changed both the search-response payload shape and the CRC coverage,
+/// so older frames are rejected with a typed error instead of misparsed.
+pub const MIN_VERSION: u8 = 3;
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 16;
@@ -57,7 +62,8 @@ pub fn frame_bytes(msg: &Message) -> Vec<u8> {
     frame.push(msg.type_byte());
     frame.extend_from_slice(&[0, 0]);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let crc = crc32_pair(&frame[..12], &payload);
+    frame.extend_from_slice(&crc.to_le_bytes());
     frame.extend_from_slice(&payload);
     frame
 }
@@ -92,7 +98,7 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> Result<Message, Wir
 
     let mut payload = vec![0u8; declared_len];
     r.read_exact(&mut payload)?;
-    let computed = crc32(&payload);
+    let computed = crc32_pair(&header[..12], &payload);
     if computed != declared_crc {
         return Err(WireError::BadCrc {
             declared: declared_crc,
@@ -179,7 +185,7 @@ mod tests {
 
     #[test]
     fn version_mismatch_rejected() {
-        for bad in [0u8, VERSION + 1, 0x7f] {
+        for bad in [0u8, 1, 2, VERSION + 1, 0x7f] {
             let mut frame = ping_frame();
             frame[4] = bad;
             assert!(
@@ -193,23 +199,29 @@ mod tests {
     }
 
     #[test]
-    fn version_1_frames_still_decode() {
-        // A version-1 peer sends the same bytes with the old version byte;
-        // every pre-batch message must decode unchanged.
-        for msg in [
-            Message::Ping,
-            Message::Pong { total_sets: 7 },
-            Message::SearchRequest {
-                second: vec![0.5; 256],
-            },
-        ] {
-            let mut frame = frame_bytes(&msg);
-            frame[4] = MIN_VERSION;
-            assert_eq!(
-                read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD).unwrap(),
-                msg
-            );
-        }
+    fn current_version_is_the_floor() {
+        // Version 3 changed the search-response payload shape, so there is
+        // no cross-version compatibility window: only v3 frames decode.
+        assert_eq!(MIN_VERSION, VERSION);
+        let frame = frame_bytes(&Message::Ping);
+        assert_eq!(frame[4], VERSION);
+        assert_eq!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD).unwrap(),
+            Message::Ping
+        );
+    }
+
+    #[test]
+    fn corrupt_type_byte_fails_crc() {
+        // IngestAck and Pong share a payload shape and differ by one type
+        // bit; the header-covering CRC keeps a link flip from transmuting
+        // one into the other.
+        let mut frame = frame_bytes(&Message::Pong { total_sets: 9 });
+        frame[5] ^= 0x02;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadCrc { .. })
+        ));
     }
 
     #[test]
@@ -246,14 +258,17 @@ mod tests {
     }
 
     #[test]
-    fn reserved_bytes_are_ignored_on_read() {
+    fn reserved_bytes_are_crc_covered() {
+        // The parser never reads the reserved bytes, but the CRC covers
+        // them: a frame mutated in transit is rejected wholesale rather
+        // than trusted piecemeal.
         let mut frame = ping_frame();
         frame[6] = 0xaa;
         frame[7] = 0x55;
-        assert_eq!(
-            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD).unwrap(),
-            Message::Ping
-        );
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadCrc { .. })
+        ));
     }
 
     #[test]

@@ -572,12 +572,14 @@ impl Message {
     }
 }
 
-/// Writes the four work counters shared by every search-result encoding.
+/// Writes the work counters shared by every search-result encoding.
 fn encode_work(w: &mut PayloadWriter, work: &SearchWork) {
     w.put_u64(work.correlations);
     w.put_u64(work.sets_scanned);
     w.put_u64(work.matches);
     w.put_u8(u8::from(work.truncated));
+    w.put_u64(work.hosts_pruned);
+    w.put_u64(work.bound_evaluations);
 }
 
 /// Reads the work counters written by [`encode_work`].
@@ -587,6 +589,8 @@ fn decode_work(r: &mut PayloadReader<'_>) -> Result<SearchWork, WireError> {
         sets_scanned: r.get_u64("work.sets_scanned")?,
         matches: r.get_u64("work.matches")?,
         truncated: r.get_u8("work.truncated")? != 0,
+        hosts_pruned: r.get_u64("work.hosts_pruned")?,
+        bound_evaluations: r.get_u64("work.bound_evaluations")?,
     })
 }
 
@@ -661,6 +665,8 @@ mod tests {
                     sets_scanned: 60,
                     matches: 7,
                     truncated: true,
+                    hosts_pruned: 41,
+                    bound_evaluations: 160,
                 },
                 slices: vec![SliceDownload {
                     set_id: SetId(41),
@@ -709,6 +715,8 @@ mod tests {
                             sets_scanned: 4,
                             matches: q,
                             truncated: q == 1,
+                            hosts_pruned: q * 3,
+                            bound_evaluations: q * 5,
                         },
                         hits: vec![
                             BatchHit {

@@ -55,17 +55,36 @@ fn arb_message() -> impl Strategy<Value = Message> {
         prop::collection::vec(-100.0f32..100.0, 256)
             .prop_map(|second| Message::SearchRequest { second }),
         (
-            (0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20, any::<bool>()),
+            (
+                0u64..1 << 40,
+                0u64..1 << 20,
+                0u64..1 << 20,
+                any::<bool>(),
+                0u64..1 << 20,
+                0u64..1 << 21,
+            ),
             prop::collection::vec(arb_slice(), 0..4),
         )
             .prop_map(
-                |((correlations, sets_scanned, matches, truncated), slices)| {
+                |(
+                    (
+                        correlations,
+                        sets_scanned,
+                        matches,
+                        truncated,
+                        hosts_pruned,
+                        bound_evaluations,
+                    ),
+                    slices,
+                )| {
                     Message::SearchResponse {
                         work: SearchWork {
                             correlations,
                             sets_scanned,
                             matches,
                             truncated,
+                            hosts_pruned,
+                            bound_evaluations,
                         },
                         slices,
                     }
@@ -111,24 +130,31 @@ proptest! {
         prop_assert!(read_frame(&mut &bytes[..cut], DEFAULT_MAX_PAYLOAD).is_err());
     }
 
-    /// Flipping any single bit of a frame either still decodes to a valid
-    /// message (flips inside the reserved bytes) or yields a typed error;
-    /// flips inside the payload are always caught by the CRC.
+    /// Flipping any single bit of a frame yields a typed error — the CRC
+    /// covers the header prefix (version, type, reserved, length) as well
+    /// as the payload, so no flip anywhere can decode, and in particular a
+    /// type-byte flip cannot transmute a message into a different valid
+    /// one. Flips the header validators don't claim first are always
+    /// caught as [`WireError::BadCrc`].
     #[test]
-    fn any_bit_flip_is_caught_or_harmless(msg in arb_message(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+    fn any_bit_flip_is_caught(msg in arb_message(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
         let mut bytes = frame_bytes(&msg);
         let i = pos.index(bytes.len());
         bytes[i] ^= 1 << bit;
         match read_frame(&mut &bytes[..], DEFAULT_MAX_PAYLOAD) {
-            // Reserved header bytes (6..8) are the only mutable region that
-            // must decode unchanged.
             Ok(back) => {
-                prop_assert!((6..8).contains(&i));
-                prop_assert_eq!(back, msg);
+                return Err(TestCaseError::fail(format!(
+                    "flip at byte {i} bit {bit} decoded to {back:?}"
+                )));
             }
             Err(e) => {
-                if i >= emap_wire::HEADER_LEN {
-                    prop_assert!(matches!(e, WireError::BadCrc { .. }));
+                // Type and reserved bytes, the CRC field itself, and the
+                // payload have exactly one failure mode.
+                if (5..8).contains(&i) || (12..16).contains(&i) || i >= emap_wire::HEADER_LEN {
+                    prop_assert!(
+                        matches!(e, WireError::BadCrc { .. }),
+                        "byte {i} bit {bit}: {e}"
+                    );
                 }
             }
         }

@@ -3,10 +3,102 @@
 //! (a) upload time (µs) for 20–400 samples — 256 samples must take ≲ 1 ms
 //!     on 4G-class links;
 //! (b) download time (ms) for 20–400 signal-sets — 100 signals must take
-//!     ≲ 200 ms.
+//!     ≲ 200 ms;
+//! (c) the same link model priced with *measured* wire frames: the v3 f32
+//!     full refresh, the v4 16-bit quantized full refresh, and a v4
+//!     steady-state delta refresh (top-100 membership unchanged).
+//!
+//! Section (c) is the wire-diet re-run: Fig. 4b assumes 16-bit samples,
+//! but the v3 transport shipped f32 — twice the modeled bytes — which
+//! pushed HSPA-class links past the 200 ms budget in practice. The v4
+//! quantized frames restore the figure's assumption on the real wire, and
+//! the delta steady state shrinks a refresh far enough that sub-Mbit
+//! links clear the budget.
+
+use std::time::Duration;
 
 use emap_bench::banner;
+use emap_datasets::SignalClass;
+use emap_edge::SliceDownload;
+use emap_mdb::{SetId, SIGNAL_SET_LEN};
 use emap_net::CommTech;
+use emap_search::SearchWork;
+use emap_wire::{
+    frame_bytes, frame_bytes_versioned, DeltaHit, DeltaSearchResult, Message, QuantizedSlice,
+    MIN_VERSION,
+};
+
+const TOP_K: usize = 100;
+const REALTIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Encoded frame sizes for one top-100 refresh under each transport mode,
+/// measured by building and framing the actual wire messages.
+fn refresh_frame_bytes() -> [(&'static str, u64); 3] {
+    // Integer-valued samples: native 16-bit EEG, the quantizer's exact path.
+    let samples: Vec<f32> = (0..SIGNAL_SET_LEN)
+        .map(|i| (i as f32 % 977.0) - 488.0)
+        .collect();
+
+    let full32 = Message::SearchResponse {
+        work: SearchWork::default(),
+        slices: (0..TOP_K)
+            .map(|i| SliceDownload {
+                set_id: SetId(i as u64),
+                omega: 0.9,
+                beta: i,
+                class: SignalClass::Seizure,
+                samples: samples.clone(),
+            })
+            .collect(),
+    };
+
+    let quantized: Vec<QuantizedSlice> = (0..TOP_K)
+        .map(|i| QuantizedSlice::quantize(SetId(i as u64), SignalClass::Seizure, &samples))
+        .collect();
+    assert!(quantized.iter().all(QuantizedSlice::is_exact));
+    let full16 = Message::SearchDeltaResponse {
+        slices: quantized,
+        result: DeltaSearchResult {
+            work: SearchWork::default(),
+            hits: (0..TOP_K)
+                .map(|i| DeltaHit::New {
+                    slice: i as u16,
+                    omega: 0.9,
+                    beta: i,
+                })
+                .collect(),
+            evicted: Vec::new(),
+        },
+    };
+
+    // Steady state: the whole top-100 is retained, nothing ships.
+    let delta_steady = Message::SearchDeltaResponse {
+        slices: Vec::new(),
+        result: DeltaSearchResult {
+            work: SearchWork::default(),
+            hits: (0..TOP_K)
+                .map(|i| DeltaHit::Known {
+                    set_id: SetId(i as u64),
+                    omega: 0.9,
+                    beta: i,
+                })
+                .collect(),
+            evicted: Vec::new(),
+        },
+    };
+
+    [
+        (
+            "f32 full (v3)",
+            frame_bytes_versioned(&full32, MIN_VERSION).len() as u64,
+        ),
+        ("i16 full (v4)", frame_bytes(&full16).len() as u64),
+        (
+            "i16 delta steady (v4)",
+            frame_bytes(&delta_steady).len() as u64,
+        ),
+    ]
+}
 
 fn main() {
     banner(
@@ -57,6 +149,41 @@ fn main() {
             t.label(),
             up_ok,
             down_ok
+        );
+    }
+
+    let modes = refresh_frame_bytes();
+    println!("\n(c) wire diet — measured frames for one top-100 refresh, download time (ms)");
+    print!("{:>22}{:>10}", "mode", "bytes");
+    for t in CommTech::ALL {
+        print!("{:>10}", t.label());
+    }
+    println!();
+    for (name, bytes) in modes {
+        print!("{name:>22}{bytes:>10}");
+        for t in CommTech::ALL {
+            print!("{:>10.2}", t.download_time_bytes(bytes).as_secs_f64() * 1e3);
+        }
+        println!();
+    }
+
+    println!("\nreal-time viability (refresh download < 200 ms) by transport mode:");
+    for (name, bytes) in modes {
+        let viable: Vec<&str> = CommTech::ALL
+            .iter()
+            .filter(|t| t.download_time_bytes(bytes) < REALTIME_BUDGET)
+            .map(|t| t.label())
+            .collect();
+        let need = CommTech::Hspa.required_downlink_mbps(bytes, REALTIME_BUDGET);
+        println!(
+            "  {:<22} needs >= {:6.2} Mbit/s down; viable: {}",
+            name,
+            need,
+            if viable.len() == CommTech::ALL.len() {
+                "all six".to_string()
+            } else {
+                viable.join(", ")
+            }
         );
     }
 }

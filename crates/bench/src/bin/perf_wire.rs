@@ -1,0 +1,348 @@
+//! Wire-diet harness: measures what a fleet refresh actually costs on
+//! the downlink under the three transport generations — v3 f32 full
+//! refresh, v4 16-bit quantized full refresh, and v4 quantized *delta*
+//! refresh — and emits `results/BENCH_wire.json` with bytes/refresh and
+//! bytes/session-hour at fleet scale.
+//!
+//! The store is integer-valued (native 16-bit EEG, so quantization is
+//! exact) and built from overlapping windows of each session's own
+//! stream: every query matches ~12 sets exactly, and consecutive
+//! refreshes shift membership by one set — the stable-top-K steady state
+//! the delta path is designed for (PAPER.md §1, ISSUE 7).
+//!
+//! `EMAP_BENCH_QUICK=1` or `--quick` shrinks the workload; in either
+//! mode the run *fails* unless quantization alone halves the refresh
+//! bytes and the delta path cuts steady-state refresh bytes ≥ 5×.
+
+use std::time::Duration;
+
+use emap_bench::{banner, fmt_duration, quick_mode};
+use emap_cloud::{CloudServer, RefreshMode, RemoteCloud, RemoteCloudConfig, ServerConfig};
+use emap_core::{CloudEndpoint, CloudService};
+use emap_datasets::SignalClass;
+use emap_edge::{EdgeConfig, EdgeTracker};
+use emap_mdb::{Mdb, Provenance, SignalSet, SIGNAL_SET_LEN};
+use emap_search::{Query, SearchConfig};
+use emap_wire::{frame_bytes, DeltaQuery, Message};
+
+/// Window stride between stored sets, and the per-refresh query advance:
+/// each refresh drops one set from the top-K and admits one.
+const STRIDE: usize = 64;
+/// Per-session stream length — enough that every measured round's query
+/// is fully covered by 12 stored windows.
+const REGION: usize = 2560;
+/// First query offset within a session's stream.
+const BASE: usize = 768;
+/// The paper's refresh cadence: a cloud re-search roughly every five
+/// 1 Hz iterations, so 720 refreshes per session-hour.
+const REFRESHES_PER_HOUR: f64 = 3600.0 / 5.0;
+
+fn integer_stream(seed: u64, len: usize) -> Vec<f32> {
+    let mut x = seed.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3);
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((x >> 33) % 4001) as f32 - 2000.0
+        })
+        .collect()
+}
+
+/// One stream per session; the store holds every 64-stride 1000-sample
+/// window of every stream.
+fn build(sessions: usize) -> (Vec<Vec<f32>>, CloudService) {
+    let classes = SignalClass::ALL;
+    let streams: Vec<Vec<f32>> = (0..sessions)
+        .map(|k| integer_stream(k as u64 + 1, REGION))
+        .collect();
+    let mut mdb = Mdb::new();
+    for (k, stream) in streams.iter().enumerate() {
+        for (i, o) in (0..=REGION - SIGNAL_SET_LEN).step_by(STRIDE).enumerate() {
+            mdb.insert(
+                SignalSet::new(
+                    stream[o..o + SIGNAL_SET_LEN].to_vec(),
+                    classes[(k + i) % classes.len()],
+                    Provenance {
+                        dataset_id: "wire-diet".into(),
+                        recording_id: format!("s{k}"),
+                        channel: "c0".into(),
+                        offset: o as u64,
+                    },
+                )
+                .expect("window length"),
+            );
+        }
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(8);
+    (
+        streams,
+        CloudService::new(SearchConfig::paper(), mdb.into_shared(), workers),
+    )
+}
+
+fn bind(service: &CloudService) -> CloudServer {
+    CloudServer::bind(
+        "127.0.0.1:0",
+        service.clone(),
+        ServerConfig {
+            workers: 8,
+            pending_sessions: 64,
+            max_inflight_searches: 64,
+            write_timeout: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn client(addr: &str, refresh: RefreshMode) -> RemoteCloud {
+    RemoteCloud::new(
+        addr,
+        RemoteCloudConfig {
+            attempts: 10,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+            // A 64-query shared sweep over the 1600-set store can
+            // legitimately exceed the default 5 s deadline on a loaded
+            // machine.
+            read_timeout: Duration::from_secs(60),
+            refresh,
+            ..RemoteCloudConfig::default()
+        },
+    )
+}
+
+/// One fleet tick: every session's query for `round` through one batched
+/// refresh.
+fn refresh_round(
+    client: &RemoteCloud,
+    streams: &[Vec<f32>],
+    trackers: &mut [EdgeTracker],
+    round: usize,
+) {
+    let o = BASE + STRIDE * round;
+    let queries: Vec<Query> = streams
+        .iter()
+        .map(|s| Query::new(&s[o..o + 256]).expect("query length"))
+        .collect();
+    let mut refs: Vec<&mut EdgeTracker> = trackers.iter_mut().collect();
+    for outcome in client.refresh_batch(&queries, &mut refs) {
+        outcome.expect("refresh under load");
+    }
+}
+
+/// Downlink bytes the server shipped for batch refreshes so far:
+/// (whole frames, slice payload share).
+fn batch_bytes(probe: &RemoteCloud) -> (u64, u64) {
+    let stats = probe.stats().expect("stats");
+    (
+        stats.counter("cloud_bytes_out_batch").unwrap_or(0),
+        stats.counter("cloud_bytes_out_slice").unwrap_or(0),
+    )
+}
+
+struct Point {
+    sessions: usize,
+    rounds: usize,
+    hits_per_query: usize,
+    /// Downlink bytes per single-session refresh, by mode.
+    full32: f64,
+    full16: f64,
+    delta_cold: f64,
+    delta_steady: f64,
+    /// Uplink bytes per session of one steady-state batched request.
+    request_full32: f64,
+    request_delta: f64,
+    /// Slice payload bytes per refresh by mode — the pure quantization
+    /// cut, free of framing overhead.
+    slice_full32: f64,
+    slice_full16: f64,
+}
+
+fn measure(sessions: usize, rounds: usize) -> Point {
+    let (streams, service) = build(sessions);
+    let per_refresh = |bytes: u64, n_rounds: usize| bytes as f64 / (n_rounds * sessions) as f64;
+
+    // v3: every refresh ships every hit's full f32 slice.
+    let server = bind(&service);
+    let addr = server.local_addr().to_string();
+    let c32 = client(&addr, RefreshMode::Full32);
+    let mut trackers: Vec<EdgeTracker> = (0..sessions)
+        .map(|_| EdgeTracker::new(EdgeConfig::default()))
+        .collect();
+    for r in 0..rounds {
+        refresh_round(&c32, &streams, &mut trackers, r);
+    }
+    let (frame_bytes_32, slice_bytes_32) = batch_bytes(&c32);
+    let full32 = per_refresh(frame_bytes_32, rounds);
+    let slice_full32 = per_refresh(slice_bytes_32, rounds);
+    let hits_per_query = trackers.iter().map(EdgeTracker::len).sum::<usize>() / sessions;
+    let o = BASE + STRIDE * (rounds - 1);
+    let request_full32 = frame_bytes(&Message::SearchBatchRequest {
+        seconds: streams.iter().map(|s| s[o..o + 256].to_vec()).collect(),
+    })
+    .len() as f64
+        / sessions as f64;
+    server.shutdown();
+
+    // v4 quantized, no deltas: a fresh connection per round defeats the
+    // per-connection dedup, isolating the 16-bit cut.
+    let server = bind(&service);
+    let addr = server.local_addr().to_string();
+    let mut trackers: Vec<EdgeTracker> = (0..sessions)
+        .map(|_| EdgeTracker::new(EdgeConfig::default()))
+        .collect();
+    for r in 0..rounds {
+        refresh_round(
+            &client(&addr, RefreshMode::Full16),
+            &streams,
+            &mut trackers,
+            r,
+        );
+    }
+    let (frame_bytes_16, slice_bytes_16) = batch_bytes(&client(&addr, RefreshMode::Full32));
+    let full16 = per_refresh(frame_bytes_16, rounds);
+    let slice_full16 = per_refresh(slice_bytes_16, rounds);
+    server.shutdown();
+
+    // v4 delta: one connection for the whole session, membership
+    // declared, slices ship only on first sight.
+    let server = bind(&service);
+    let addr = server.local_addr().to_string();
+    let cd = client(&addr, RefreshMode::Delta);
+    let mut trackers: Vec<EdgeTracker> = (0..sessions)
+        .map(|_| EdgeTracker::new(EdgeConfig::default()))
+        .collect();
+    refresh_round(&cd, &streams, &mut trackers, 0);
+    let (cold_bytes, _) = batch_bytes(&cd);
+    for r in 1..rounds {
+        refresh_round(&cd, &streams, &mut trackers, r);
+    }
+    let delta_cold = per_refresh(cold_bytes, 1);
+    let delta_steady = per_refresh(batch_bytes(&cd).0 - cold_bytes, rounds - 1);
+    let request_delta = frame_bytes(&Message::SearchBatchDeltaRequest {
+        queries: streams
+            .iter()
+            .zip(&trackers)
+            .map(|(s, t)| DeltaQuery {
+                second: s[o..o + 256].to_vec(),
+                tracked: t.tracked_ids(),
+            })
+            .collect(),
+    })
+    .len() as f64
+        / sessions as f64;
+    server.shutdown();
+
+    Point {
+        sessions,
+        rounds,
+        hits_per_query,
+        full32,
+        full16,
+        delta_cold,
+        delta_steady,
+        request_full32,
+        request_delta,
+        slice_full32,
+        slice_full16,
+    }
+}
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    banner(
+        "BENCH_wire — downlink cost of a fleet refresh across wire generations",
+        "16-bit quantized slices + delta refresh vs the f32 full-refresh baseline",
+    );
+    let session_points: &[usize] = if quick { &[4, 8] } else { &[16, 64] };
+    let rounds = if quick { 5 } else { 9 };
+
+    let started = std::time::Instant::now();
+    let mut points = Vec::new();
+    for &sessions in session_points {
+        let p = measure(sessions, rounds);
+        println!(
+            "{:>2} sessions ({} hits/query): f32-full {:>9.0} B/refresh, i16-full {:>9.0} B \
+             ({:.2}x), i16-delta steady {:>7.0} B ({:.1}x), cold {:>9.0} B",
+            p.sessions,
+            p.hits_per_query,
+            p.full32,
+            p.full16,
+            p.full32 / p.full16,
+            p.delta_steady,
+            p.full32 / p.delta_steady,
+            p.delta_cold,
+        );
+        println!(
+            "             session-hour: f32-full {:.2} MB, i16-delta {:.3} MB \
+             (uplink {:.0} → {:.0} B/refresh)",
+            p.full32 * REFRESHES_PER_HOUR / 1e6,
+            p.delta_steady * REFRESHES_PER_HOUR / 1e6,
+            p.request_full32,
+            p.request_delta,
+        );
+        points.push(p);
+    }
+    println!("total {}", fmt_duration(started.elapsed()));
+
+    let mut load = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            load.push_str(",\n");
+        }
+        load.push_str(&format!(
+            "    {{\n      \"sessions\": {},\n      \"rounds\": {},\n      \"hits_per_query\": {},\n      \"full32_bytes_per_refresh\": {:.1},\n      \"full16_bytes_per_refresh\": {:.1},\n      \"delta_cold_bytes_per_refresh\": {:.1},\n      \"delta_steady_bytes_per_refresh\": {:.1},\n      \"request_full32_bytes_per_refresh\": {:.1},\n      \"request_delta_bytes_per_refresh\": {:.1},\n      \"quantization_frame_ratio\": {:.3},\n      \"quantization_slice_ratio\": {:.3},\n      \"delta_steady_ratio\": {:.3},\n      \"full32_bytes_per_session_hour\": {:.0},\n      \"delta_bytes_per_session_hour\": {:.0}\n    }}",
+            p.sessions,
+            p.rounds,
+            p.hits_per_query,
+            p.full32,
+            p.full16,
+            p.delta_cold,
+            p.delta_steady,
+            p.request_full32,
+            p.request_delta,
+            p.full32 / p.full16,
+            p.slice_full32 / p.slice_full16,
+            p.full32 / p.delta_steady,
+            p.full32 * REFRESHES_PER_HOUR,
+            p.delta_steady * REFRESHES_PER_HOUR,
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"BENCH_wire\",\n  \"quick_mode\": {},\n  \"refresh_cadence_s\": 5,\n  \"window_stride_samples\": {},\n  \"load\": [\n{}\n  ]\n}}\n",
+        quick, STRIDE, load,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_wire.json";
+    std::fs::write(path, report).expect("write BENCH_wire.json");
+    println!("wrote {path}");
+
+    // The wire diet's guardrails: quantization alone must halve the
+    // slice payload exactly (and come within framing overhead of halving
+    // whole frames), and steady-state deltas must cut the downlink ≥ 5×.
+    for p in &points {
+        assert!(
+            p.slice_full32 / p.slice_full16 >= 2.0,
+            "{} sessions: slice payload cut only {:.3}x (need ≥ 2x)",
+            p.sessions,
+            p.slice_full32 / p.slice_full16
+        );
+        assert!(
+            p.full32 / p.full16 >= 1.95,
+            "{} sessions: whole-frame quantization cut only {:.2}x (need ≥ 1.95x)",
+            p.sessions,
+            p.full32 / p.full16
+        );
+        assert!(
+            p.full32 / p.delta_steady >= 5.0,
+            "{} sessions: delta steady-state cut only {:.2}x (need ≥ 5x)",
+            p.sessions,
+            p.full32 / p.delta_steady
+        );
+    }
+    println!("guardrails: quantization ≥ 2x and delta steady-state ≥ 5x hold");
+}

@@ -446,6 +446,38 @@ fn stats<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
         }
         .map_err(runtime)?;
     }
+
+    // Wire-diet summary: derive the live compression ratio from the
+    // delta-refresh counters. The f32 baseline is what every refreshed
+    // hit would have cost shipped in full on the v3 wire; the actual
+    // figure is the sample bytes that really left the server.
+    let counter = |name: &str| {
+        stats.metrics.iter().find_map(|m| match m.value {
+            StatsValue::Counter(v) if m.name == name => Some(v),
+            _ => None,
+        })
+    };
+    let shipped = counter("wire_delta_shipped_total").unwrap_or(0);
+    let retained = counter("wire_delta_retained_total").unwrap_or(0);
+    let evicted = counter("wire_delta_evicted_total").unwrap_or(0);
+    let slice_bytes = counter("cloud_bytes_out_slice").unwrap_or(0);
+    if shipped + retained > 0 {
+        let f32_equiv = (shipped + retained) * (emap_mdb::SIGNAL_SET_LEN as u64) * 4;
+        let ratio = f32_equiv as f64 / slice_bytes.max(1) as f64;
+        writeln!(
+            out,
+            "wire diet: {} hits refreshed ({} shipped, {} retained, {} evicted); \
+             {} slice bytes sent vs {} f32-equivalent — {:.1}x compression",
+            shipped + retained,
+            shipped,
+            retained,
+            evicted,
+            slice_bytes,
+            f32_equiv,
+            ratio
+        )
+        .map_err(runtime)?;
+    }
     Ok(())
 }
 
@@ -690,6 +722,14 @@ mod tests {
         assert!(out.contains("P_A:"), "{out}");
         assert!(out.contains("degraded ticks:"), "{out}");
         assert!(out.contains("verdict:"), "{out}");
+
+        // The monitor refreshed over the v4 delta path, so the second
+        // stats snapshot derives a live wire-diet compression line from
+        // the shipped/retained counters.
+        let out = run(&format!("stats --addr {addr}")).unwrap();
+        assert!(out.contains("wire_delta_shipped_total"), "{out}");
+        assert!(out.contains("wire diet:"), "{out}");
+        assert!(out.contains("x compression"), "{out}");
 
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("listening on"), "{served}");

@@ -3,21 +3,50 @@
 //! same [`CloudEndpoint`] seam the in-process service implements — the
 //! tracking code cannot tell which one it is talking to.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
 use emap_core::{CloudEndpoint, EmapError};
-use emap_edge::{EdgeTracker, SharedDownload, SharedSlice, SliceDownload};
-use emap_mdb::Provenance;
+use emap_edge::{EdgeTracker, SharedDownload, SharedSlice, SliceDownload, TrackedSignal};
+use emap_mdb::{Provenance, SetId};
 use emap_search::{Query, SearchWork};
 use emap_wire::{
-    error_code, frame_bytes, read_frame, BatchHit, Message, StatsMetric, WireError,
-    DEFAULT_MAX_PAYLOAD, MAX_BATCH_QUERIES,
+    error_code, frame_bytes_versioned, read_frame, BatchHit, DeltaQuery, Message, QuantizedSlice,
+    StatsMetric, WireError, DEFAULT_MAX_PAYLOAD, MAX_BATCH_QUERIES, MAX_TRACKED_IDS, MIN_VERSION,
+    VERSION,
 };
+
+use crate::delta::apply_delta;
+
+/// How [`RemoteCloud`] moves slice data when acting as a
+/// [`CloudEndpoint`].
+///
+/// All three modes produce byte-identical *tracking decisions* when the
+/// store holds native 16-bit EEG (integer-valued samples quantize
+/// exactly); they differ only in what travels. `Full32` is also exact
+/// for arbitrary float stores and is what protocol-v3 peers speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshMode {
+    /// Protocol v3: every refresh ships every hit's slice as f32 — the
+    /// pre-wire-diet behavior, bit-exact for any store.
+    Full32,
+    /// Protocol v4 without membership tracking: every hit still resolves
+    /// to a slice each refresh, but samples travel 16-bit quantized and
+    /// a connection never re-ships a slice it already delivered.
+    Full16,
+    /// Protocol v4 with membership tracking: requests declare the
+    /// tracked set, responses carry membership changes only — new hits
+    /// ship quantized slices, retained hits are bare references,
+    /// evictions are IDs. Falls back to a full refresh on any cache
+    /// mismatch and to `Full32` against v3-only peers.
+    #[default]
+    Delta,
+}
 
 /// Tuning knobs for [`RemoteCloud`].
 #[derive(Debug, Clone)]
@@ -38,6 +67,9 @@ pub struct RemoteCloudConfig {
     pub backoff_cap: Duration,
     /// Largest response payload accepted.
     pub max_payload: usize,
+    /// How [`CloudEndpoint`] refreshes move slice data (see
+    /// [`RefreshMode`]).
+    pub refresh: RefreshMode,
 }
 
 impl Default for RemoteCloudConfig {
@@ -50,6 +82,7 @@ impl Default for RemoteCloudConfig {
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_millis(400),
             max_payload: DEFAULT_MAX_PAYLOAD,
+            refresh: RefreshMode::default(),
         }
     }
 }
@@ -79,6 +112,16 @@ pub enum ClientError {
         /// The reply actually received, rendered.
         got: String,
     },
+    /// The peer only speaks an older protocol version than this request
+    /// requires. The caller should fall back to the equivalent
+    /// older-protocol exchange; requests the negotiated version *can*
+    /// carry keep working transparently.
+    Downgraded {
+        /// Minimum protocol version the request needs.
+        required: u8,
+        /// Version the peer negotiated down to.
+        negotiated: u8,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -92,6 +135,15 @@ impl fmt::Display for ClientError {
             }
             ClientError::Unexpected { got } => {
                 write!(f, "cloud sent an unexpected reply: {got}")
+            }
+            ClientError::Downgraded {
+                required,
+                negotiated,
+            } => {
+                write!(
+                    f,
+                    "request needs wire protocol v{required} but the peer negotiated v{negotiated}"
+                )
             }
         }
     }
@@ -249,6 +301,16 @@ pub struct RemoteCloud {
     conn: Mutex<Option<TcpStream>>,
     /// xorshift state for backoff jitter — deterministic, no clock seed.
     jitter: AtomicU64,
+    /// Wire protocol version to stamp on outgoing frames. Starts at
+    /// [`VERSION`]; drops to [`MIN_VERSION`] the first time a peer
+    /// rejects our framing as too new, and stays there for the life of
+    /// this client.
+    protocol: AtomicU8,
+    /// Slices the *current connection* has delivered on the delta path,
+    /// mirroring the server's per-connection delivered set. Cleared on
+    /// every (re)connect — both sides forget together, which is what
+    /// keeps `Known` references resolvable.
+    cache: Mutex<HashMap<SetId, SharedSlice>>,
 }
 
 impl fmt::Debug for RemoteCloud {
@@ -276,7 +338,17 @@ impl RemoteCloud {
             config,
             conn: Mutex::new(None),
             jitter: AtomicU64::new(seed),
+            protocol: AtomicU8::new(VERSION),
+            cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The wire protocol version this client currently stamps on frames:
+    /// [`VERSION`] until a peer rejects it as too new, [`MIN_VERSION`]
+    /// afterwards.
+    #[must_use]
+    pub fn protocol_version(&self) -> u8 {
+        self.protocol.load(Ordering::Acquire)
     }
 
     /// The server address this client targets.
@@ -444,14 +516,29 @@ impl RemoteCloud {
     }
 
     /// One request/response exchange with retries.
+    ///
+    /// Frames are stamped with the currently negotiated protocol version.
+    /// A peer that rejects the framing as too new answers with a typed
+    /// `BAD_REQUEST` naming the unsupported version; that downgrades this
+    /// client to [`MIN_VERSION`] and the exchange retries at the floor —
+    /// unless the message type itself requires the newer version, in
+    /// which case [`ClientError::Downgraded`] tells the caller to use
+    /// the older-protocol equivalent instead.
     fn request(&self, msg: &Message) -> Result<Message, ClientError> {
-        let frame = frame_bytes(msg);
         let attempts = self.config.attempts.max(1);
         let mut last = String::new();
         for attempt in 0..attempts {
             if attempt > 0 {
                 std::thread::sleep(self.backoff(attempt));
             }
+            let version = self.protocol.load(Ordering::Acquire);
+            if msg.min_version() > version {
+                return Err(ClientError::Downgraded {
+                    required: msg.min_version(),
+                    negotiated: version,
+                });
+            }
+            let frame = frame_bytes_versioned(msg, version);
             match self.try_once(&frame) {
                 Ok(Message::Busy) => {
                     // Typed backpressure: retryable, with backoff.
@@ -465,6 +552,19 @@ impl RemoteCloud {
                     // The server is going away; treat like unreachable so
                     // callers degrade instead of erroring.
                     last = format!("server shutting down: {detail}");
+                    self.disconnect();
+                }
+                Ok(Message::ErrorReply { code, detail })
+                    if code == error_code::BAD_REQUEST
+                        && version > MIN_VERSION
+                        && detail.contains("unsupported wire protocol version") =>
+                {
+                    // An older peer cannot read our framing. Remember its
+                    // ceiling for the life of this client and retry the
+                    // exchange at the floor version (the peer closed the
+                    // connection after the malformed frame).
+                    self.protocol.store(MIN_VERSION, Ordering::Release);
+                    last = format!("peer rejected v{version} framing: {detail}");
                     self.disconnect();
                 }
                 Ok(Message::ErrorReply { code, detail }) => {
@@ -486,6 +586,13 @@ impl RemoteCloud {
         let mut guard = self.conn.lock().expect("client connection lock poisoned");
         if guard.is_none() {
             *guard = Some(self.connect()?);
+            // A fresh connection means a fresh server-side delivered set:
+            // forget in lockstep or stale `Known` references would
+            // resolve against slices the new connection never shipped.
+            self.cache
+                .lock()
+                .expect("delta cache lock poisoned")
+                .clear();
         }
         let conn = guard.as_mut().expect("connection just installed");
         conn.write_all(frame)?;
@@ -508,8 +615,145 @@ impl RemoteCloud {
         Err(last)
     }
 
-    fn disconnect(&self) {
+    /// Drops the pooled connection and forgets every slice delivered on
+    /// it. The server's per-connection delivery history dies with the
+    /// socket, so the edge-side cache must die with it too — both sides
+    /// forget together, and the next delta refresh starts cold.
+    pub fn disconnect(&self) {
         *self.conn.lock().expect("client connection lock poisoned") = None;
+        self.cache
+            .lock()
+            .expect("delta cache lock poisoned")
+            .clear();
+    }
+
+    /// Runs a v4 delta search: ships the second plus the declared
+    /// tracked IDs, returns the quantized slice table and the membership
+    /// delta. Lower-level than the [`CloudEndpoint`] path — no cache, no
+    /// fallback; the caller resolves references itself.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the server is unreachable or misbehaves —
+    /// including [`ClientError::Downgraded`] against a v3-only peer.
+    pub fn search_delta(
+        &self,
+        second: &[f32],
+        tracked: Vec<SetId>,
+    ) -> Result<(Vec<QuantizedSlice>, emap_wire::DeltaSearchResult), ClientError> {
+        let msg = Message::SearchDeltaRequest {
+            second: second.to_vec(),
+            tracked: clamp_tracked(tracked),
+        };
+        match self.request(&msg)? {
+            Message::SearchDeltaResponse { slices, result } => Ok((slices, result)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One delta refresh attempt for a single session: request, decode
+    /// the table, resolve every hit against the connection cache and the
+    /// tracker's own slices, and install. Stages everything before
+    /// touching the tracker, so a failed attempt leaves it untouched.
+    fn delta_refresh_one(
+        &self,
+        query: &Query,
+        tracked: Vec<SetId>,
+        tracker: &mut EdgeTracker,
+    ) -> Result<(), DeltaSetback> {
+        let (slices, result) = match self.search_delta(query.samples(), tracked) {
+            Ok(reply) => reply,
+            Err(ClientError::Downgraded { .. }) => return Err(DeltaSetback::Downgraded),
+            Err(e) => return Err(DeltaSetback::Failed(e)),
+        };
+        let table = decode_table(slices).map_err(DeltaSetback::Failed)?;
+        let downloads = {
+            let cache = self.cache.lock().expect("delta cache lock poisoned");
+            apply_delta(&table, &result.hits, |id| {
+                cache
+                    .get(&id)
+                    .cloned()
+                    .or_else(|| slice_from_tracker(tracker, id))
+            })
+        };
+        let Some(downloads) = downloads else {
+            return Err(DeltaSetback::CacheMiss);
+        };
+        self.remember(&table);
+        tracker.load_shared(downloads);
+        Ok(())
+    }
+
+    /// One delta refresh attempt for a whole fleet tick. All-or-nothing
+    /// like the full batch path: every query's downloads are staged
+    /// before any tracker is touched.
+    fn delta_refresh_batch(
+        &self,
+        queries: &[Query],
+        tracked: &[Vec<SetId>],
+        trackers: &mut [&mut EdgeTracker],
+    ) -> Result<(), DeltaSetback> {
+        let mut staged: Vec<Vec<SharedDownload>> = Vec::with_capacity(queries.len());
+        for (chunk_idx, chunk) in queries.chunks(MAX_BATCH_QUERIES).enumerate() {
+            let base = chunk_idx * MAX_BATCH_QUERIES;
+            let msg = Message::SearchBatchDeltaRequest {
+                queries: chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| DeltaQuery {
+                        second: q.samples().to_vec(),
+                        tracked: clamp_tracked(tracked[base + i].clone()),
+                    })
+                    .collect(),
+            };
+            let (slices, results) = match self.request(&msg) {
+                Ok(Message::SearchBatchDeltaResponse { slices, results }) => (slices, results),
+                Ok(other) => return Err(DeltaSetback::Failed(unexpected(&other))),
+                Err(ClientError::Downgraded { .. }) => return Err(DeltaSetback::Downgraded),
+                Err(e) => return Err(DeltaSetback::Failed(e)),
+            };
+            if results.len() != chunk.len() {
+                return Err(DeltaSetback::Failed(ClientError::Unexpected {
+                    got: format!(
+                        "delta batch response with {} results for {} queries",
+                        results.len(),
+                        chunk.len()
+                    ),
+                }));
+            }
+            let table = decode_table(slices).map_err(DeltaSetback::Failed)?;
+            {
+                let cache = self.cache.lock().expect("delta cache lock poisoned");
+                for (i, result) in results.iter().enumerate() {
+                    let tracker: &EdgeTracker = trackers[base + i];
+                    let downloads = apply_delta(&table, &result.hits, |id| {
+                        cache
+                            .get(&id)
+                            .cloned()
+                            .or_else(|| slice_from_tracker(tracker, id))
+                    });
+                    match downloads {
+                        Some(d) => staged.push(d),
+                        None => return Err(DeltaSetback::CacheMiss),
+                    }
+                }
+            }
+            self.remember(&table);
+        }
+        for (tracker, downloads) in trackers.iter_mut().zip(staged) {
+            tracker.load_shared(downloads);
+        }
+        Ok(())
+    }
+
+    /// Folds a decoded slice table into the connection cache —
+    /// mirroring the server extending its delivered set for the same
+    /// frame.
+    fn remember(&self, table: &[SharedSlice]) {
+        let mut cache = self.cache.lock().expect("delta cache lock poisoned");
+        for s in table {
+            cache.insert(s.set_id(), s.clone());
+        }
     }
 
     /// Capped exponential backoff with ±25% deterministic jitter.
@@ -530,6 +774,50 @@ impl RemoteCloud {
     }
 }
 
+/// Why one delta refresh attempt did not complete.
+enum DeltaSetback {
+    /// The peer only speaks v3: use the full f32 path.
+    Downgraded,
+    /// A `Known` reference was locally unresolvable: reconnect (both
+    /// sides forget) and retry with nothing declared, shipping in full.
+    CacheMiss,
+    /// Hard transport or remote failure — no point retrying here.
+    Failed(ClientError),
+}
+
+/// Caps a declared tracked list at the wire limit. Declaring less is
+/// always safe: undeclared sets just ship (or resolve via the
+/// connection's delivered history) instead of travelling as references.
+fn clamp_tracked(mut tracked: Vec<SetId>) -> Vec<SetId> {
+    tracked.truncate(MAX_TRACKED_IDS);
+    tracked
+}
+
+/// Dequantizes a frame's slice table into shared slices, building each
+/// slice's statistics tables exactly once for the whole tick.
+fn decode_table(slices: Vec<QuantizedSlice>) -> Result<Vec<SharedSlice>, ClientError> {
+    slices
+        .into_iter()
+        .map(|q| {
+            SharedSlice::new(q.set_id, q.class, q.dequantize()).map_err(|e| {
+                ClientError::Unexpected {
+                    got: format!("bad slice in delta response: {e}"),
+                }
+            })
+        })
+        .collect()
+}
+
+/// Resolves a `Known` reference against the session's currently tracked
+/// slices — a refcount bump on data the edge already holds.
+fn slice_from_tracker(tracker: &EdgeTracker, id: SetId) -> Option<SharedSlice> {
+    tracker
+        .tracked()
+        .iter()
+        .find(|w| w.set_id == id)
+        .map(TrackedSignal::to_shared_slice)
+}
+
 fn unexpected(got: &Message) -> ClientError {
     ClientError::Unexpected {
         got: format!("{got:?}")
@@ -541,23 +829,96 @@ fn unexpected(got: &Message) -> ClientError {
     }
 }
 
-impl CloudEndpoint for RemoteCloud {
-    /// Remote refresh: ship the query second, install the downloaded
-    /// slices. Decision-equal to the in-process
-    /// [`emap_core::CloudService`] endpoint against the same store: floats
-    /// travel as bit patterns and the tracker rebuilds identical state
-    /// from the slices.
-    ///
-    /// Every [`ClientError`] maps to [`EmapError::Transport`]: from the
-    /// edge's point of view a misbehaving cloud and an absent cloud call
-    /// for the same response — keep tracking locally and retry later.
-    fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError> {
+impl RemoteCloud {
+    /// The protocol-v3 refresh: ship the second, download every hit's
+    /// slice as f32, install.
+    fn refresh_full(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError> {
         let (_work, slices) = self
             .search(query.samples())
             .map_err(|e| EmapError::Transport {
                 detail: e.to_string(),
             })?;
         tracker.load_remote(slices).map_err(EmapError::Edge)
+    }
+
+    /// The protocol-v3 batched refresh: one f32 slice table for the
+    /// whole tick, installed per tracker as refcount bumps.
+    fn refresh_batch_full(
+        &self,
+        queries: &[Query],
+        trackers: &mut [&mut EdgeTracker],
+    ) -> Vec<Result<(), EmapError>> {
+        let seconds: Vec<&[f32]> = queries.iter().map(Query::samples).collect();
+        match self.search_batch(&seconds) {
+            Ok(batch) => trackers
+                .iter_mut()
+                .enumerate()
+                .map(|(i, tracker)| {
+                    tracker.load_shared(batch.shared(i));
+                    Ok(())
+                })
+                .collect(),
+            Err(e) => {
+                let detail = e.to_string();
+                queries
+                    .iter()
+                    .map(|_| {
+                        Err(EmapError::Transport {
+                            detail: detail.clone(),
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl CloudEndpoint for RemoteCloud {
+    /// Remote refresh: ship the query second, install the downloaded
+    /// slices. Decision-equal to the in-process
+    /// [`emap_core::CloudService`] endpoint against the same store: on
+    /// [`RefreshMode::Full32`] floats travel as bit patterns, and on the
+    /// v4 modes a native 16-bit store quantizes exactly, so the tracker
+    /// rebuilds identical state either way.
+    ///
+    /// On the delta path an unresolvable reference triggers one
+    /// reconnect-and-ship-everything retry, and a v3-only peer drops the
+    /// exchange to the full f32 path — degradation, never divergence.
+    ///
+    /// Every [`ClientError`] maps to [`EmapError::Transport`]: from the
+    /// edge's point of view a misbehaving cloud and an absent cloud call
+    /// for the same response — keep tracking locally and retry later.
+    fn refresh(&self, query: &Query, tracker: &mut EdgeTracker) -> Result<(), EmapError> {
+        let mode = self.config.refresh;
+        if mode == RefreshMode::Full32 {
+            return self.refresh_full(query, tracker);
+        }
+        let tracked = match mode {
+            RefreshMode::Delta => tracker.tracked_ids(),
+            _ => Vec::new(),
+        };
+        match self.delta_refresh_one(query, tracked, tracker) {
+            Ok(()) => Ok(()),
+            Err(DeltaSetback::Downgraded) => self.refresh_full(query, tracker),
+            Err(DeltaSetback::Failed(e)) => Err(EmapError::Transport {
+                detail: e.to_string(),
+            }),
+            Err(DeltaSetback::CacheMiss) => {
+                // Reconnect so both sides forget, then declare nothing:
+                // every hit ships and nothing needs resolving.
+                self.disconnect();
+                match self.delta_refresh_one(query, Vec::new(), tracker) {
+                    Ok(()) => Ok(()),
+                    Err(DeltaSetback::Downgraded) => self.refresh_full(query, tracker),
+                    Err(DeltaSetback::CacheMiss) => Err(EmapError::Transport {
+                        detail: "delta refresh unresolvable after a full retry".into(),
+                    }),
+                    Err(DeltaSetback::Failed(e)) => Err(EmapError::Transport {
+                        detail: e.to_string(),
+                    }),
+                }
+            }
+        }
     }
 
     /// Batched remote refresh: every session's second travels in one
@@ -582,26 +943,43 @@ impl CloudEndpoint for RemoteCloud {
             trackers.len(),
             "one tracker per query required"
         );
-        let seconds: Vec<&[f32]> = queries.iter().map(Query::samples).collect();
-        match self.search_batch(&seconds) {
-            Ok(batch) => trackers
-                .iter_mut()
-                .enumerate()
-                .map(|(i, tracker)| {
-                    tracker.load_shared(batch.shared(i));
-                    Ok(())
-                })
-                .collect(),
-            Err(e) => {
-                let detail = e.to_string();
-                queries
-                    .iter()
-                    .map(|_| {
-                        Err(EmapError::Transport {
-                            detail: detail.clone(),
-                        })
+        let mode = self.config.refresh;
+        if mode == RefreshMode::Full32 {
+            return self.refresh_batch_full(queries, trackers);
+        }
+        let all_ok = |n: usize| (0..n).map(|_| Ok(())).collect::<Vec<_>>();
+        let all_err = |n: usize, detail: String| {
+            (0..n)
+                .map(|_| {
+                    Err(EmapError::Transport {
+                        detail: detail.clone(),
                     })
-                    .collect()
+                })
+                .collect::<Vec<_>>()
+        };
+        let tracked: Vec<Vec<SetId>> = trackers
+            .iter()
+            .map(|t| match mode {
+                RefreshMode::Delta => t.tracked_ids(),
+                _ => Vec::new(),
+            })
+            .collect();
+        match self.delta_refresh_batch(queries, &tracked, trackers) {
+            Ok(()) => all_ok(queries.len()),
+            Err(DeltaSetback::Downgraded) => self.refresh_batch_full(queries, trackers),
+            Err(DeltaSetback::Failed(e)) => all_err(queries.len(), e.to_string()),
+            Err(DeltaSetback::CacheMiss) => {
+                self.disconnect();
+                let empty: Vec<Vec<SetId>> = vec![Vec::new(); queries.len()];
+                match self.delta_refresh_batch(queries, &empty, trackers) {
+                    Ok(()) => all_ok(queries.len()),
+                    Err(DeltaSetback::Downgraded) => self.refresh_batch_full(queries, trackers),
+                    Err(DeltaSetback::CacheMiss) => all_err(
+                        queries.len(),
+                        "delta refresh unresolvable after a full retry".into(),
+                    ),
+                    Err(DeltaSetback::Failed(e)) => all_err(queries.len(), e.to_string()),
+                }
             }
         }
     }

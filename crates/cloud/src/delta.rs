@@ -1,0 +1,296 @@
+//! Delta-refresh planning and application — the pure core of the v4
+//! wire diet, socket-free so the equivalence proptests can drive it
+//! directly.
+//!
+//! At the paper's refresh cadence most of a session's top-K membership
+//! is stable from one cloud call to the next, so re-shipping every hit's
+//! 1000-sample slice wastes almost all of the downlink. A delta refresh
+//! splits the response into three parts:
+//!
+//! * **new hits** — sets the edge has never held on this connection:
+//!   their slices travel (16-bit quantized) in the frame's table and the
+//!   hit references the table by index,
+//! * **retained hits** — sets the edge already holds (declared tracked,
+//!   or delivered earlier on this connection): the hit travels as a bare
+//!   set-ID reference with fresh `ω`/`β`, no samples,
+//! * **evictions** — declared-tracked sets absent from the new top-K:
+//!   just their IDs, so the edge (and telemetry) can see churn.
+//!
+//! The server side is [`DeltaPlanner`]; the edge side is [`apply_delta`].
+//! Both are pure over their inputs: the planner never touches the store
+//! (the caller fetches and quantizes the table it asks for) and the
+//! applier resolves references through a caller-supplied lookup. The
+//! invariant the proptests pin: *plan → apply → load_shared* yields the
+//! same tracked state as shipping every slice in full, whenever the
+//! lookup is coherent — and `apply_delta` returns `None` (never a wrong
+//! answer) when it is not.
+
+use std::collections::{HashMap, HashSet};
+
+use emap_edge::{SharedDownload, SharedSlice};
+use emap_mdb::SetId;
+use emap_search::{SearchHit, SearchWork};
+use emap_wire::{DeltaHit, DeltaSearchResult};
+
+/// Plans delta responses for one frame: decides, hit by hit, whether a
+/// slice must travel or a reference suffices, and builds the frame's
+/// deduplicated slice table.
+///
+/// One planner serves one frame. For a batch frame, call
+/// [`DeltaPlanner::plan`] once per query — the table is shared across
+/// the whole frame, so a slice two queries both need still travels once.
+/// After encoding, fold [`DeltaPlanner::shipped_ids`] into the
+/// connection's delivered set: those (and only those) slices are now on
+/// the edge's side of the wire.
+#[derive(Debug)]
+pub struct DeltaPlanner<'a> {
+    /// Sets already shipped to this connection in earlier frames.
+    delivered: &'a HashSet<SetId>,
+    /// Frame-local table membership: set → table index.
+    index: HashMap<SetId, u16>,
+    /// Table entries in ship order.
+    table: Vec<SetId>,
+}
+
+impl<'a> DeltaPlanner<'a> {
+    /// Starts planning a frame against what this connection already
+    /// holds.
+    #[must_use]
+    pub fn new(delivered: &'a HashSet<SetId>) -> Self {
+        DeltaPlanner {
+            delivered,
+            index: HashMap::new(),
+            table: Vec::new(),
+        }
+    }
+
+    /// Plans one query's delta: `hits` is the fresh top-K, `tracked` the
+    /// membership the edge declared for this session.
+    ///
+    /// A hit becomes a reference when the edge can resolve it — the set
+    /// is declared tracked, was delivered earlier on this connection, or
+    /// is already in this frame's table. Everything else is appended to
+    /// the table and referenced by index. Evictions are the declared
+    /// IDs the new top-K no longer contains.
+    pub fn plan(
+        &mut self,
+        hits: &[SearchHit],
+        tracked: &[SetId],
+        work: SearchWork,
+    ) -> DeltaSearchResult {
+        let tracked_set: HashSet<SetId> = tracked.iter().copied().collect();
+        let hit_ids: HashSet<SetId> = hits.iter().map(|h| h.set_id).collect();
+        let out = hits
+            .iter()
+            .map(|h| {
+                if let Some(&slice) = self.index.get(&h.set_id) {
+                    // Already travelling in this frame's table.
+                    DeltaHit::New {
+                        slice,
+                        omega: h.omega,
+                        beta: h.beta,
+                    }
+                } else if tracked_set.contains(&h.set_id) || self.delivered.contains(&h.set_id) {
+                    DeltaHit::Known {
+                        set_id: h.set_id,
+                        omega: h.omega,
+                        beta: h.beta,
+                    }
+                } else {
+                    let slice = u16::try_from(self.table.len()).expect("table fits in u16");
+                    self.index.insert(h.set_id, slice);
+                    self.table.push(h.set_id);
+                    DeltaHit::New {
+                        slice,
+                        omega: h.omega,
+                        beta: h.beta,
+                    }
+                }
+            })
+            .collect();
+        DeltaSearchResult {
+            work,
+            hits: out,
+            evicted: tracked
+                .iter()
+                .copied()
+                .filter(|id| !hit_ids.contains(id))
+                .collect(),
+        }
+    }
+
+    /// The sets whose slices this frame ships, in table order. The
+    /// caller fetches, quantizes, and encodes these — and adds them to
+    /// the connection's delivered set once the frame is written.
+    #[must_use]
+    pub fn shipped_ids(&self) -> &[SetId] {
+        &self.table
+    }
+}
+
+/// Resolves one query's delta hits into full shared downloads on the
+/// edge: table references take the frame's freshly decoded slices,
+/// `Known` references resolve through `have` (the connection's slice
+/// cache plus the session's currently tracked slices).
+///
+/// Returns `None` when a `Known` reference cannot be resolved — the
+/// edge's cache and the server's delivered set have diverged (restarted
+/// peer, pruned cache). That is the signal to fall back to a full
+/// refresh; a delta must never guess.
+///
+/// Out-of-range table indices cannot occur on decoded frames (the wire
+/// layer validates them against the table length), but a defensive
+/// `None` is returned rather than panicking.
+#[must_use]
+pub fn apply_delta<F>(
+    table: &[SharedSlice],
+    hits: &[DeltaHit],
+    mut have: F,
+) -> Option<Vec<SharedDownload>>
+where
+    F: FnMut(SetId) -> Option<SharedSlice>,
+{
+    hits.iter()
+        .map(|hit| match *hit {
+            DeltaHit::New { slice, omega, beta } => {
+                table.get(usize::from(slice)).map(|s| SharedDownload {
+                    omega,
+                    beta,
+                    slice: s.clone(),
+                })
+            }
+            DeltaHit::Known {
+                set_id,
+                omega,
+                beta,
+            } => have(set_id).map(|slice| SharedDownload { omega, beta, slice }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emap_datasets::SignalClass;
+    use emap_mdb::SIGNAL_SET_LEN;
+
+    fn hit(id: u64) -> SearchHit {
+        SearchHit {
+            set_id: SetId(id),
+            omega: 0.5 + id as f64 / 100.0,
+            beta: id as usize,
+        }
+    }
+
+    fn slice(id: u64) -> SharedSlice {
+        SharedSlice::new(
+            SetId(id),
+            SignalClass::Normal,
+            vec![id as f32; SIGNAL_SET_LEN],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_contact_ships_everything() {
+        let delivered = HashSet::new();
+        let mut planner = DeltaPlanner::new(&delivered);
+        let result = planner.plan(&[hit(1), hit(2)], &[], SearchWork::default());
+        assert_eq!(planner.shipped_ids(), &[SetId(1), SetId(2)]);
+        assert!(result
+            .hits
+            .iter()
+            .all(|h| matches!(h, DeltaHit::New { .. })));
+        assert!(result.evicted.is_empty());
+    }
+
+    #[test]
+    fn stable_membership_ships_nothing() {
+        let delivered = HashSet::new();
+        let mut planner = DeltaPlanner::new(&delivered);
+        let tracked = [SetId(1), SetId(2)];
+        let result = planner.plan(&[hit(1), hit(2)], &tracked, SearchWork::default());
+        assert!(planner.shipped_ids().is_empty());
+        assert!(result
+            .hits
+            .iter()
+            .all(|h| matches!(h, DeltaHit::Known { .. })));
+        assert!(result.evicted.is_empty());
+    }
+
+    #[test]
+    fn churn_ships_only_the_newcomer_and_names_the_evicted() {
+        let delivered = HashSet::new();
+        let mut planner = DeltaPlanner::new(&delivered);
+        let tracked = [SetId(1), SetId(2)];
+        let result = planner.plan(&[hit(1), hit(3)], &tracked, SearchWork::default());
+        assert_eq!(planner.shipped_ids(), &[SetId(3)]);
+        assert_eq!(result.evicted, vec![SetId(2)]);
+        assert!(matches!(result.hits[0], DeltaHit::Known { set_id, .. } if set_id == SetId(1)));
+        assert!(matches!(result.hits[1], DeltaHit::New { slice: 0, .. }));
+    }
+
+    #[test]
+    fn connection_history_counts_as_known() {
+        let delivered: HashSet<SetId> = [SetId(7)].into_iter().collect();
+        let mut planner = DeltaPlanner::new(&delivered);
+        // Not tracked, but delivered earlier on this connection: a
+        // reference suffices, the slice does not travel again.
+        let result = planner.plan(&[hit(7)], &[], SearchWork::default());
+        assert!(planner.shipped_ids().is_empty());
+        assert!(matches!(result.hits[0], DeltaHit::Known { set_id, .. } if set_id == SetId(7)));
+    }
+
+    #[test]
+    fn batch_table_is_shared_across_queries() {
+        let delivered = HashSet::new();
+        let mut planner = DeltaPlanner::new(&delivered);
+        let a = planner.plan(&[hit(5)], &[], SearchWork::default());
+        let b = planner.plan(&[hit(5)], &[], SearchWork::default());
+        // Query 2 references the entry query 1 put in the table.
+        assert_eq!(planner.shipped_ids(), &[SetId(5)]);
+        assert!(matches!(a.hits[0], DeltaHit::New { slice: 0, .. }));
+        assert!(matches!(b.hits[0], DeltaHit::New { slice: 0, .. }));
+    }
+
+    #[test]
+    fn apply_resolves_new_from_table_and_known_from_cache() {
+        let table = vec![slice(3)];
+        let cache: HashMap<SetId, SharedSlice> = [(SetId(1), slice(1))].into_iter().collect();
+        let hits = vec![
+            DeltaHit::Known {
+                set_id: SetId(1),
+                omega: 0.9,
+                beta: 4,
+            },
+            DeltaHit::New {
+                slice: 0,
+                omega: 0.8,
+                beta: 8,
+            },
+        ];
+        let out = apply_delta(&table, &hits, |id| cache.get(&id).cloned()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].slice.set_id(), SetId(1));
+        assert_eq!((out[0].omega, out[0].beta), (0.9, 4));
+        assert_eq!(out[1].slice.set_id(), SetId(3));
+        // Table resolution is a refcount bump on the decoded slice.
+        assert!(std::ptr::eq(out[1].slice.samples(), table[0].samples()));
+    }
+
+    #[test]
+    fn apply_refuses_unresolvable_references() {
+        let hits = vec![DeltaHit::Known {
+            set_id: SetId(9),
+            omega: 0.9,
+            beta: 0,
+        }];
+        assert!(apply_delta(&[], &hits, |_| None).is_none());
+        let out_of_range = vec![DeltaHit::New {
+            slice: 4,
+            omega: 0.9,
+            beta: 0,
+        }];
+        assert!(apply_delta(&[], &out_of_range, |_| None).is_none());
+    }
+}

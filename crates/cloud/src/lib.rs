@@ -39,9 +39,12 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod delta;
 mod server;
 
 pub use client::{
-    BatchDownload, ClientError, CloudHealth, CloudStats, RemoteCloud, RemoteCloudConfig,
+    BatchDownload, ClientError, CloudHealth, CloudStats, RefreshMode, RemoteCloud,
+    RemoteCloudConfig,
 };
+pub use delta::{apply_delta, DeltaPlanner};
 pub use server::{CloudServer, ServerConfig, ServerStats};

@@ -6,7 +6,7 @@
 //! the answers an in-process caller would. The transport layer adds only
 //! what a network needs: deadlines, backpressure, and a graceful way down.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -21,9 +21,12 @@ use emap_mdb::SetId;
 use emap_search::{CorrelationSet, Query, SearchError};
 use emap_telemetry::{Counter, Gauge, Histogram, MetricValue, Registry};
 use emap_wire::{
-    error_code, read_frame, write_frame, BatchHit, BatchSearchResult, BatchSlice, Message,
-    StatsMetric, StatsValue, WireError, DEFAULT_MAX_PAYLOAD, MAX_STATS_METRICS,
+    error_code, read_frame_versioned, write_frame_versioned, BatchHit, BatchSearchResult,
+    BatchSlice, DeltaHit, DeltaQuery, DeltaSearchResult, Message, QuantizedSlice, StatsMetric,
+    StatsValue, WireError, DEFAULT_MAX_PAYLOAD, MAX_STATS_METRICS, MIN_VERSION,
 };
+
+use crate::delta::DeltaPlanner;
 
 /// Tuning knobs for [`CloudServer`].
 #[derive(Debug, Clone)]
@@ -132,6 +135,12 @@ struct Counters {
     coalesced: Counter,
     bytes_in: Counter,
     bytes_out: Counter,
+    bytes_out_search: Counter,
+    bytes_out_batch: Counter,
+    bytes_out_slice: Counter,
+    delta_retained: Counter,
+    delta_shipped: Counter,
+    delta_evicted: Counter,
     requests: [RequestMetrics; REQUEST_KIND_NAMES.len()],
 }
 
@@ -148,6 +157,12 @@ impl Counters {
             coalesced: registry.counter("cloud_coalesced_total"),
             bytes_in: registry.counter("cloud_bytes_in_total"),
             bytes_out: registry.counter("cloud_bytes_out_total"),
+            bytes_out_search: registry.counter("cloud_bytes_out_search"),
+            bytes_out_batch: registry.counter("cloud_bytes_out_batch"),
+            bytes_out_slice: registry.counter("cloud_bytes_out_slice"),
+            delta_retained: registry.counter("wire_delta_retained_total"),
+            delta_shipped: registry.counter("wire_delta_shipped_total"),
+            delta_evicted: registry.counter("wire_delta_evicted_total"),
             requests: std::array::from_fn(|i| RequestMetrics {
                 count: registry.counter(&format!("cloud_request_{}_total", REQUEST_KIND_NAMES[i])),
                 latency: registry
@@ -160,8 +175,15 @@ impl Counters {
     /// types a client may not send.
     fn request(&self, msg: &Message) -> Option<&RequestMetrics> {
         let kind = match msg {
-            Message::SearchRequest { .. } => RequestKind::Search,
-            Message::SearchBatchRequest { .. } => RequestKind::Batch,
+            // Delta requests are searches/batches on the wire-diet path;
+            // they share the kind counters so the per-type telemetry
+            // reflects what the server *did*, not which frame asked.
+            Message::SearchRequest { .. } | Message::SearchDeltaRequest { .. } => {
+                RequestKind::Search
+            }
+            Message::SearchBatchRequest { .. } | Message::SearchBatchDeltaRequest { .. } => {
+                RequestKind::Batch
+            }
             Message::Ingest { .. } => RequestKind::Ingest,
             Message::Ping => RequestKind::Ping,
             Message::StatsRequest => RequestKind::Stats,
@@ -419,12 +441,37 @@ impl Drop for CloudServer {
 /// How long the acceptor and idle sessions sleep between shutdown checks.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 
-/// Writes one frame, folding the bytes it put on the wire into the
-/// bytes-out counter.
-fn write_counted<W: Write>(counters: &Counters, w: &mut W, msg: &Message) -> Result<(), WireError> {
-    let n = write_frame(w, msg)?;
+/// Writes one frame stamped with `version`, folding the bytes it put on
+/// the wire into the bytes-out counter.
+///
+/// The server always answers in the version the request arrived in, so
+/// v3 peers keep working untouched; unsolicited sends (acceptor `Busy`,
+/// shutdown notices, malformed-frame errors) have no request to echo and
+/// are stamped [`MIN_VERSION`], which every supported peer can read.
+fn write_counted<W: Write>(
+    counters: &Counters,
+    w: &mut W,
+    msg: &Message,
+    version: u8,
+) -> Result<usize, WireError> {
+    let n = write_frame_versioned(w, msg, version)?;
     counters.bytes_out.add(n as u64);
-    Ok(())
+    Ok(n)
+}
+
+/// Sample-payload bytes a response carries: 4 bytes per f32 sample on
+/// the v3 full path, 2 per i16 sample on the v4 quantized path. Feeds
+/// `cloud_bytes_out_slice`, so `emap stats` can show how much of the
+/// downlink is slice data versus framing.
+fn slice_payload_bytes(msg: &Message) -> u64 {
+    let (f32_slices, i16_slices) = match msg {
+        Message::SearchResponse { slices, .. } => (slices.len(), 0),
+        Message::SearchBatchResponse { slices, .. } => (slices.len(), 0),
+        Message::SearchDeltaResponse { slices, .. }
+        | Message::SearchBatchDeltaResponse { slices, .. } => (0, slices.len()),
+        _ => (0, 0),
+    };
+    (f32_slices * emap_mdb::SIGNAL_SET_LEN * 4 + i16_slices * emap_mdb::SIGNAL_SET_LEN * 2) as u64
 }
 
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
@@ -439,7 +486,8 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
                         // the client to back off rather than park it.
                         shared.counters.busy_rejections.inc();
                         let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
-                        let _ = write_counted(&shared.counters, &mut conn, &Message::Busy);
+                        let _ =
+                            write_counted(&shared.counters, &mut conn, &Message::Busy, MIN_VERSION);
                     }
                     Err(TrySendError::Disconnected(_)) => return,
                 }
@@ -471,6 +519,7 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
                             code: error_code::SHUTTING_DOWN,
                             detail: "server shutting down".into(),
                         },
+                        MIN_VERSION,
                     );
                     continue;
                 }
@@ -531,6 +580,13 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
     {
         return;
     }
+    // Sets whose slices this connection has already received on the delta
+    // path. A `Known` reference is only ever sent for a set the peer
+    // declared tracked or that appears here — and entries are added only
+    // when a slice actually went out in a frame's table, so the set
+    // mirrors what the peer can resolve. Dies with the connection, which
+    // is exactly when the client drops its cache too.
+    let mut delivered: HashSet<SetId> = HashSet::new();
     loop {
         // Idle probe: wait for the first byte of the next frame under a
         // short deadline so the session notices shutdown promptly, without
@@ -567,8 +623,8 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
             },
             counter: &shared.counters.bytes_in,
         };
-        let msg = match read_frame(&mut reader, shared.config.max_payload) {
-            Ok(msg) => msg,
+        let (version, msg) = match read_frame_versioned(&mut reader, shared.config.max_payload) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 shared.counters.protocol_errors.inc();
                 // Best effort: name the violation, then drop the framing —
@@ -580,6 +636,7 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
                         code: error_code::BAD_REQUEST,
                         detail: format!("malformed frame: {e}"),
                     },
+                    MIN_VERSION,
                 );
                 // Closing with unread bytes still queued would turn the
                 // close into an RST, racing the reply out of the peer's
@@ -591,9 +648,26 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
                 return;
             }
         };
-        let (reply, close) = handle_request(shared, msg);
-        if write_counted(&shared.counters, &mut conn, &reply).is_err() || close {
-            return;
+        let (reply, close) = handle_request(shared, msg, &mut delivered);
+        match write_counted(&shared.counters, &mut conn, &reply, version) {
+            Ok(n) => {
+                let c = &shared.counters;
+                match &reply {
+                    Message::SearchResponse { .. } | Message::SearchDeltaResponse { .. } => {
+                        c.bytes_out_search.add(n as u64);
+                    }
+                    Message::SearchBatchResponse { .. }
+                    | Message::SearchBatchDeltaResponse { .. } => {
+                        c.bytes_out_batch.add(n as u64);
+                    }
+                    _ => {}
+                }
+                c.bytes_out_slice.add(slice_payload_bytes(&reply));
+                if close {
+                    return;
+                }
+            }
+            Err(_) => return,
         }
     }
 }
@@ -604,17 +678,25 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
 /// Wraps [`handle_request_inner`] with the per-frame-type telemetry:
 /// arrival count plus a scoped handling-latency timer (inert when the
 /// registry is disabled).
-fn handle_request(shared: &Shared, msg: Message) -> (Message, bool) {
+fn handle_request(
+    shared: &Shared,
+    msg: Message,
+    delivered: &mut HashSet<SetId>,
+) -> (Message, bool) {
     let timer = shared.counters.request(&msg).map(|m| {
         m.count.inc();
         m.latency.start_timer()
     });
-    let out = handle_request_inner(shared, msg);
+    let out = handle_request_inner(shared, msg, delivered);
     drop(timer);
     out
 }
 
-fn handle_request_inner(shared: &Shared, msg: Message) -> (Message, bool) {
+fn handle_request_inner(
+    shared: &Shared,
+    msg: Message,
+    delivered: &mut HashSet<SetId>,
+) -> (Message, bool) {
     match msg {
         Message::SearchRequest { second } => {
             let Some(_permit) = shared.permits.try_acquire() else {
@@ -633,6 +715,25 @@ fn handle_request_inner(shared: &Shared, msg: Message) -> (Message, bool) {
             };
             shared.counters.searches.add(seconds.len() as u64);
             (batch_reply(shared, &seconds), false)
+        }
+        Message::SearchDeltaRequest { second, tracked } => {
+            let Some(_permit) = shared.permits.try_acquire() else {
+                shared.counters.busy_rejections.inc();
+                return (Message::Busy, false);
+            };
+            shared.counters.searches.inc();
+            (
+                delta_search_reply(shared, &second, &tracked, delivered),
+                false,
+            )
+        }
+        Message::SearchBatchDeltaRequest { queries } => {
+            let Some(_permit) = shared.permits.try_acquire() else {
+                shared.counters.busy_rejections.inc();
+                return (Message::Busy, false);
+            };
+            shared.counters.searches.add(queries.len() as u64);
+            (delta_batch_reply(shared, queries, delivered), false)
         }
         Message::Ingest {
             class,
@@ -691,6 +792,8 @@ fn handle_request_inner(shared: &Shared, msg: Message) -> (Message, bool) {
         // protocol violation; answer once, then close.
         Message::SearchResponse { .. }
         | Message::SearchBatchResponse { .. }
+        | Message::SearchDeltaResponse { .. }
+        | Message::SearchBatchDeltaResponse { .. }
         | Message::IngestAck { .. }
         | Message::Pong { .. }
         | Message::Busy
@@ -950,12 +1053,157 @@ fn batch_reply(shared: &Shared, seconds: &[Vec<f32>]) -> Message {
     }
 }
 
+/// Quantizes the slices a [`DeltaPlanner`] decided to ship, in table
+/// order, under an already-held store read guard.
+fn quantized_table(
+    mdb: &emap_mdb::Mdb,
+    shipped: &[SetId],
+) -> Result<Vec<QuantizedSlice>, emap_mdb::MdbError> {
+    shipped
+        .iter()
+        .map(|&id| {
+            let s = mdb.try_get(id)?;
+            Ok(QuantizedSlice::quantize(id, s.class(), s.samples()))
+        })
+        .collect()
+}
+
+/// Folds one delta result into the wire-diet telemetry: retained hits
+/// (references instead of slices) and evictions. Shipped slices are
+/// counted per frame table, not per result — a batch frame ships each
+/// distinct slice once however many queries hit it.
+fn note_delta_result(counters: &Counters, result: &DeltaSearchResult) {
+    let retained = result
+        .hits
+        .iter()
+        .filter(|h| matches!(h, DeltaHit::Known { .. }))
+        .count();
+    counters.delta_retained.add(retained as u64);
+    counters.delta_evicted.add(result.evicted.len() as u64);
+}
+
+/// Serves a [`Message::SearchDeltaRequest`]: the same search as
+/// [`search_reply`] (sharing the micro-batcher, so delta and legacy
+/// singles coalesce into the same sweeps), answered as membership
+/// changes — only slices this connection has never received travel, as
+/// 16-bit quantized samples.
+fn delta_search_reply(
+    shared: &Shared,
+    second: &[f32],
+    tracked: &[SetId],
+    delivered: &mut HashSet<SetId>,
+) -> Message {
+    let query = match Query::new(second) {
+        Ok(q) => q,
+        Err(e) => {
+            return Message::ErrorReply {
+                code: error_code::BAD_REQUEST,
+                detail: e.to_string(),
+            }
+        }
+    };
+    let set = match batched_search(shared, query) {
+        Ok(set) => set,
+        Err(e) => {
+            return Message::ErrorReply {
+                code: error_code::INTERNAL,
+                detail: e.to_string(),
+            }
+        }
+    };
+    let assembled: Result<_, emap_mdb::MdbError> = shared.service.mdb().with_read(|mdb| {
+        let mut planner = DeltaPlanner::new(delivered);
+        let result = planner.plan(set.hits(), tracked, set.work());
+        let slices = quantized_table(mdb, planner.shipped_ids())?;
+        Ok((slices, result, planner.shipped_ids().to_vec()))
+    });
+    match assembled {
+        Ok((slices, result, shipped)) => {
+            shared.counters.delta_shipped.add(shipped.len() as u64);
+            note_delta_result(&shared.counters, &result);
+            delivered.extend(shipped);
+            shared.counters.served.inc();
+            Message::SearchDeltaResponse { slices, result }
+        }
+        Err(e) => Message::ErrorReply {
+            code: error_code::INTERNAL,
+            detail: e.to_string(),
+        },
+    }
+}
+
+/// Serves a [`Message::SearchBatchDeltaRequest`]: one shared sweep for
+/// the whole fleet tick (exactly like [`batch_reply`]), answered with
+/// one frame-wide quantized slice table holding only the sets *no*
+/// session on this connection has yet received.
+fn delta_batch_reply(
+    shared: &Shared,
+    queries_in: Vec<DeltaQuery>,
+    delivered: &mut HashSet<SetId>,
+) -> Message {
+    let mut queries = Vec::with_capacity(queries_in.len());
+    let mut tracked_lists = Vec::with_capacity(queries_in.len());
+    for q in queries_in {
+        match Query::new(&q.second) {
+            Ok(query) => {
+                queries.push(query);
+                tracked_lists.push(q.tracked);
+            }
+            Err(e) => {
+                return Message::ErrorReply {
+                    code: error_code::BAD_REQUEST,
+                    detail: e.to_string(),
+                }
+            }
+        }
+    }
+    shared.counters.sweeps.inc();
+    if queries.len() > 1 {
+        shared.counters.coalesced.add(queries.len() as u64 - 1);
+    }
+    let sets = match shared.service.search_batch(&queries) {
+        Ok(sets) => sets,
+        Err(e) => {
+            return Message::ErrorReply {
+                code: error_code::INTERNAL,
+                detail: e.to_string(),
+            }
+        }
+    };
+    let assembled: Result<_, emap_mdb::MdbError> = shared.service.mdb().with_read(|mdb| {
+        let mut planner = DeltaPlanner::new(delivered);
+        let results: Vec<DeltaSearchResult> = sets
+            .iter()
+            .zip(&tracked_lists)
+            .map(|(set, tracked)| planner.plan(set.hits(), tracked, set.work()))
+            .collect();
+        let slices = quantized_table(mdb, planner.shipped_ids())?;
+        Ok((slices, results, planner.shipped_ids().to_vec()))
+    });
+    match assembled {
+        Ok((slices, results, shipped)) => {
+            shared.counters.delta_shipped.add(shipped.len() as u64);
+            for result in &results {
+                note_delta_result(&shared.counters, result);
+            }
+            delivered.extend(shipped);
+            shared.counters.served.inc();
+            Message::SearchBatchDeltaResponse { slices, results }
+        }
+        Err(e) => Message::ErrorReply {
+            code: error_code::INTERNAL,
+            detail: e.to_string(),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use emap_datasets::RecordingFactory;
     use emap_mdb::MdbBuilder;
     use emap_search::SearchConfig;
+    use emap_wire::{read_frame, write_frame};
     use std::io::Write;
 
     fn service() -> (CloudService, Vec<f32>) {

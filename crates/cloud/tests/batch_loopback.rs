@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 
-use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
+use emap_cloud::{CloudServer, RefreshMode, RemoteCloud, RemoteCloudConfig, ServerConfig};
 use emap_core::{CloudEndpoint, CloudService, EdgeFleet, EmapError};
 use emap_datasets::{RecordingFactory, SignalClass};
 use emap_edge::{EdgeConfig, EdgeTracker};
@@ -61,9 +61,14 @@ fn batched_fleet_is_decision_equal_over_tcp() {
     let (service, factory) = seeded_service(2);
     let server = CloudServer::bind("127.0.0.1:0", service.clone(), ServerConfig::default())
         .expect("bind loopback");
+    // Bit-equality over bandpassed float streams needs the preserved v3
+    // f32 full-refresh path; the quantized delta path has its own suite.
     let client = RemoteCloud::new(
         server.local_addr().to_string(),
-        RemoteCloudConfig::default(),
+        RemoteCloudConfig {
+            refresh: RefreshMode::Full32,
+            ..RemoteCloudConfig::default()
+        },
     );
 
     let streams: Vec<Vec<f32>> = (0..3)

@@ -1,0 +1,352 @@
+//! Loopback tests for the v4 wire diet: delta refreshes over real
+//! sockets must stay decision-equal to the in-process pipeline, slices
+//! must never re-ship on a connection, and version negotiation must keep
+//! v3-only peers working in both directions.
+//!
+//! The store here is integer-valued (native 16-bit EEG), so quantization
+//! is exact and equality is bitwise. Sets are overlapping windows of the
+//! session streams themselves: each second's query is an exact
+//! subsequence of ~3 sets, so top-K membership churns by one set per
+//! second — the delta path's steady state.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use emap_cloud::{
+    ClientError, CloudServer, RefreshMode, RemoteCloud, RemoteCloudConfig, ServerConfig,
+};
+use emap_core::{CloudService, EdgeFleet};
+use emap_datasets::SignalClass;
+use emap_edge::{EdgeConfig, EdgeTracker, SliceDownload};
+use emap_mdb::{Mdb, Provenance, SetId, SignalSet, SIGNAL_SET_LEN};
+use emap_search::{SearchConfig, SearchWork};
+use emap_wire::{
+    error_code, read_frame_versioned, write_frame_versioned, DeltaHit, Message,
+    DEFAULT_MAX_PAYLOAD, MIN_VERSION, VERSION,
+};
+
+/// Deterministic integer-valued "EEG": every sample is a whole number in
+/// the native 16-bit range, so the quantized path is exact.
+fn integer_stream(seed: u64, len: usize) -> Vec<f32> {
+    let mut x = seed.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3);
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((x >> 33) % 4001) as f32 - 2000.0
+        })
+        .collect()
+}
+
+const CLASSES: [SignalClass; 4] = [
+    SignalClass::Normal,
+    SignalClass::Seizure,
+    SignalClass::Encephalopathy,
+    SignalClass::Stroke,
+];
+
+/// A store of overlapping 1000-sample windows of each stream, stepped by
+/// one second: querying second `s` of stream `k` matches sets `s-2..=s`
+/// of that stream exactly (ω = 1), so membership shifts by one set per
+/// second.
+fn integer_service(streams: &[Vec<f32>], workers: usize) -> CloudService {
+    let mut mdb = Mdb::new();
+    for (k, stream) in streams.iter().enumerate() {
+        for i in 0..(stream.len() - SIGNAL_SET_LEN) / 256 + 1 {
+            mdb.insert(
+                SignalSet::new(
+                    stream[i * 256..i * 256 + SIGNAL_SET_LEN].to_vec(),
+                    CLASSES[(k + i) % CLASSES.len()],
+                    Provenance {
+                        dataset_id: "wire-diet".into(),
+                        recording_id: format!("s{k}"),
+                        channel: "c0".into(),
+                        offset: i as u64 * 256,
+                    },
+                )
+                .expect("window length"),
+            );
+        }
+    }
+    CloudService::new(SearchConfig::paper(), mdb.into_shared(), workers)
+}
+
+fn client_with(addr: &str, refresh: RefreshMode) -> RemoteCloud {
+    RemoteCloud::new(
+        addr,
+        RemoteCloudConfig {
+            connect_timeout: Duration::from_millis(200),
+            attempts: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(20),
+            refresh,
+            ..RemoteCloudConfig::default()
+        },
+    )
+}
+
+/// The tentpole guarantee, rebased onto the diet: a fleet refreshed with
+/// quantized deltas over TCP makes bit-identical decisions to one
+/// refreshed in process with full f32 slices — while the server's
+/// telemetry shows slices being retained instead of re-shipped.
+#[test]
+fn delta_fleet_is_decision_equal_to_in_process() {
+    let streams: Vec<Vec<f32>> = (0..2).map(|k| integer_stream(k + 1, 4096)).collect();
+    let service = integer_service(&streams, 2);
+    let server = CloudServer::bind("127.0.0.1:0", service.clone(), ServerConfig::default())
+        .expect("bind loopback");
+    let client = client_with(&server.local_addr().to_string(), RefreshMode::Delta);
+
+    let mut local = EdgeFleet::new(2);
+    let mut remote = EdgeFleet::new(2);
+    for k in 0..streams.len() {
+        local.add_session(format!("p{k}"), EdgeTracker::new(EdgeConfig::default()));
+        remote.add_session(format!("p{k}"), EdgeTracker::new(EdgeConfig::default()));
+    }
+
+    let mut refreshes = 0;
+    for second in 4..10 {
+        let inputs: Vec<&[f32]> = streams
+            .iter()
+            .map(|s| &s[second * 256..(second + 1) * 256])
+            .collect();
+        let tl = local.serve_with(&service, &inputs).expect("local serve");
+        let tr = remote.serve_with(&client, &inputs).expect("remote serve");
+        assert_eq!(tl, tr, "tick diverged at second {second}");
+        assert!(tr.degraded.is_empty());
+        refreshes += tr.refreshed.len();
+        for (sl, sr) in local.sessions().iter().zip(remote.sessions()) {
+            assert_eq!(
+                sl.tracker().tracked(),
+                sr.tracker().tracked(),
+                "tracked state diverged at second {second}"
+            );
+        }
+    }
+    assert!(refreshes >= streams.len(), "no cloud refresh ever happened");
+    assert_eq!(client.protocol_version(), VERSION, "no downgrade expected");
+
+    // The diet must actually have engaged: with H = 25 > |top-K| every
+    // second re-searches, and stable membership rides as references.
+    let stats = client.stats().expect("stats over loopback");
+    let shipped = stats.counter("wire_delta_shipped_total").unwrap_or(0);
+    let retained = stats.counter("wire_delta_retained_total").unwrap_or(0);
+    assert!(shipped > 0, "no slice ever travelled");
+    assert!(
+        retained > shipped,
+        "steady state must be reference-dominated"
+    );
+    assert!(stats.counter("cloud_bytes_out_slice").unwrap_or(0) > 0);
+    server.shutdown();
+}
+
+/// `Full16` keeps quantization but refreshes whole: still bit-equal on a
+/// native 16-bit store, no tracked-set declarations on the wire.
+#[test]
+fn full16_fleet_is_decision_equal_to_in_process() {
+    let streams: Vec<Vec<f32>> = vec![integer_stream(9, 3072)];
+    let service = integer_service(&streams, 2);
+    let server = CloudServer::bind("127.0.0.1:0", service.clone(), ServerConfig::default())
+        .expect("bind loopback");
+    let client = client_with(&server.local_addr().to_string(), RefreshMode::Full16);
+
+    let mut local = EdgeFleet::new(1);
+    let mut remote = EdgeFleet::new(1);
+    local.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+    remote.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+
+    for second in 4..8 {
+        let inputs: Vec<&[f32]> = vec![&streams[0][second * 256..(second + 1) * 256]];
+        let tl = local.serve_with(&service, &inputs).expect("local serve");
+        let tr = remote.serve_with(&client, &inputs).expect("remote serve");
+        assert_eq!(tl, tr, "tick diverged at second {second}");
+        assert_eq!(
+            local.sessions()[0].tracker().tracked(),
+            remote.sessions()[0].tracker().tracked(),
+            "tracked state diverged at second {second}"
+        );
+    }
+    server.shutdown();
+}
+
+/// Cross-round dedup: a slice delivered once on a connection never
+/// travels again — the second identical query gets references only.
+#[test]
+fn connection_never_reships_a_delivered_slice() {
+    let streams: Vec<Vec<f32>> = vec![integer_stream(5, 3072)];
+    let service = integer_service(&streams, 2);
+    let server =
+        CloudServer::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind loopback");
+    let client = client_with(&server.local_addr().to_string(), RefreshMode::Delta);
+    let window = &streams[0][1024..1280];
+
+    let (table1, result1) = client
+        .search_delta(window, Vec::new())
+        .expect("first search");
+    assert!(!table1.is_empty(), "first contact must ship slices");
+    assert_eq!(table1.len(), result1.hits.len());
+    assert!(result1
+        .hits
+        .iter()
+        .all(|h| matches!(h, DeltaHit::New { .. })));
+    assert!(table1.iter().all(emap_wire::QuantizedSlice::is_exact));
+
+    // Same query, same connection, still no tracked declaration: the
+    // server's delivery history alone must suppress every slice.
+    let (table2, result2) = client
+        .search_delta(window, Vec::new())
+        .expect("second search");
+    assert!(table2.is_empty(), "re-shipped {} slices", table2.len());
+    assert_eq!(result2.hits.len(), result1.hits.len());
+    assert!(result2
+        .hits
+        .iter()
+        .all(|h| matches!(h, DeltaHit::Known { .. })));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.counter("wire_delta_shipped_total"),
+        Some(table1.len() as u64)
+    );
+    assert_eq!(
+        stats.counter("wire_delta_retained_total"),
+        Some(result2.hits.len() as u64)
+    );
+
+    // A fresh connection starts cold: the slices travel again, because
+    // the delivery history died with the socket.
+    client.disconnect();
+    let (table3, _) = client
+        .search_delta(window, Vec::new())
+        .expect("reconnect search");
+    assert_eq!(table3.len(), table1.len(), "fresh connection must re-ship");
+    server.shutdown();
+}
+
+/// A v3 peer talking to a v4 server gets v3 answers: the server replies
+/// in the version of the request frame.
+#[test]
+fn server_answers_v3_framed_requests_in_v3() {
+    let streams: Vec<Vec<f32>> = vec![integer_stream(3, 2048)];
+    let service = integer_service(&streams, 1);
+    let server =
+        CloudServer::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind loopback");
+
+    let mut sock = TcpStream::connect(server.local_addr()).expect("connect");
+    write_frame_versioned(&mut sock, &Message::Ping, MIN_VERSION).expect("send v3 ping");
+    let (version, reply) =
+        read_frame_versioned(&mut sock, DEFAULT_MAX_PAYLOAD).expect("read v3 reply");
+    assert_eq!(
+        version, MIN_VERSION,
+        "reply must be framed in the peer's v3"
+    );
+    assert!(matches!(reply, Message::Pong { .. }));
+
+    // The same connection speaking v4 gets v4 back.
+    write_frame_versioned(&mut sock, &Message::Ping, VERSION).expect("send v4 ping");
+    let (version, reply) =
+        read_frame_versioned(&mut sock, DEFAULT_MAX_PAYLOAD).expect("read v4 reply");
+    assert_eq!(version, VERSION);
+    assert!(matches!(reply, Message::Pong { .. }));
+    server.shutdown();
+}
+
+/// A hand-rolled v3-only server: rejects any v4 frame the way an old
+/// build's frame layer does, answers v3 probes and searches normally.
+fn spawn_v3_only_server() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut sock) = stream else { continue };
+            loop {
+                let reply = match read_frame_versioned(&mut sock, DEFAULT_MAX_PAYLOAD) {
+                    Ok((v, _)) if v > MIN_VERSION => Message::ErrorReply {
+                        code: error_code::BAD_REQUEST,
+                        detail: format!(
+                            "malformed frame: unsupported wire protocol version {v}, \
+                             this build supports 1..={MIN_VERSION}"
+                        ),
+                    },
+                    Ok((_, Message::Ping)) => Message::Pong { total_sets: 7 },
+                    Ok((_, Message::SearchRequest { .. })) => Message::SearchResponse {
+                        work: SearchWork::default(),
+                        slices: vec![SliceDownload {
+                            set_id: SetId(0),
+                            omega: 0.9,
+                            beta: 128,
+                            class: SignalClass::Seizure,
+                            samples: (0..SIGNAL_SET_LEN).map(|i| (i % 100) as f32).collect(),
+                        }],
+                    },
+                    Ok((_, Message::SearchBatchRequest { seconds })) => {
+                        Message::SearchBatchResponse {
+                            slices: vec![emap_wire::BatchSlice {
+                                set_id: SetId(0),
+                                class: SignalClass::Seizure,
+                                samples: (0..SIGNAL_SET_LEN).map(|i| (i % 100) as f32).collect(),
+                            }],
+                            results: seconds
+                                .iter()
+                                .map(|_| emap_wire::BatchSearchResult {
+                                    work: SearchWork::default(),
+                                    hits: vec![emap_wire::BatchHit {
+                                        slice: 0,
+                                        omega: 0.9,
+                                        beta: 128,
+                                    }],
+                                })
+                                .collect(),
+                        }
+                    }
+                    Ok(_) => Message::ErrorReply {
+                        code: error_code::BAD_REQUEST,
+                        detail: "unexpected message".into(),
+                    },
+                    Err(_) => break,
+                };
+                if write_frame_versioned(&mut sock, &reply, MIN_VERSION).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    addr
+}
+
+/// The negotiation fallback, end to end: against a v3-only peer the
+/// client downgrades permanently, v4-only calls surface
+/// [`ClientError::Downgraded`], and a fleet refresh silently falls back
+/// to the f32 full-refresh path instead of failing.
+#[test]
+fn client_downgrades_and_falls_back_against_v3_only_peer() {
+    let addr = spawn_v3_only_server();
+    let client = client_with(&addr.to_string(), RefreshMode::Delta);
+
+    // First contact opens at v4, eats the rejection, lands on v3.
+    assert_eq!(client.ping().expect("ping after downgrade"), 7);
+    assert_eq!(client.protocol_version(), MIN_VERSION);
+
+    // v4-only surface now refuses loudly rather than framing illegally.
+    match client.search_delta(&vec![0.0; 256], Vec::new()) {
+        Err(ClientError::Downgraded {
+            required: 4,
+            negotiated: 3,
+        }) => {}
+        other => panic!("expected Downgraded, got {other:?}"),
+    }
+
+    // The fleet seam degrades gracefully: delta refresh detects the
+    // downgrade and reruns the refresh over the v3 full path.
+    let mut fleet = EdgeFleet::new(1);
+    fleet.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+    let window: Vec<f32> = (0..256).map(|i| (i % 100) as f32).collect();
+    let tick = fleet
+        .serve_with(&client, &[&window])
+        .expect("serve via fallback");
+    assert!(tick.degraded.is_empty(), "fallback must not degrade");
+    assert_eq!(tick.refreshed, vec![0]);
+    assert_eq!(fleet.sessions()[0].tracker().len(), 1);
+    assert_eq!(fleet.sessions()[0].tracker().tracked()[0].set_id, SetId(0));
+}

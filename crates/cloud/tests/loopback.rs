@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
+use emap_cloud::{CloudServer, RefreshMode, RemoteCloud, RemoteCloudConfig, ServerConfig};
 use emap_core::{CloudService, EdgeFleet};
 use emap_datasets::{RecordingFactory, SignalClass};
 use emap_edge::{EdgeConfig, EdgeTracker};
@@ -47,6 +47,9 @@ fn fast_client(addr: &str) -> RemoteCloud {
             attempts: 2,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(20),
+            // These tests pin the preserved v3 f32 full-refresh path;
+            // the quantized delta path has its own loopback suite.
+            refresh: RefreshMode::Full32,
             ..RemoteCloudConfig::default()
         },
     )

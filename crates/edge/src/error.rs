@@ -19,8 +19,12 @@ pub enum EdgeError {
     /// A correlation-set hit references a signal-set missing from the MDB.
     MissingSet(emap_mdb::MdbError),
     /// A downloaded slice does not hold exactly
-    /// [`emap_mdb::SIGNAL_SET_LEN`] samples.
+    /// [`emap_mdb::SIGNAL_SET_LEN`] samples. Carries the offending
+    /// signal-set's ID so degraded-mode logs can name the host — the
+    /// batch `materialize` path used to drop it.
     BadSliceLength {
+        /// Which signal-set shipped the malformed slice.
+        set_id: emap_mdb::SetId,
         /// The supplied length.
         got: usize,
     },
@@ -38,9 +42,10 @@ impl fmt::Display for EdgeError {
                 write!(f, "edge parameter `{parameter}` has invalid value {value}")
             }
             EdgeError::MissingSet(e) => write!(f, "correlation set references missing data: {e}"),
-            EdgeError::BadSliceLength { got } => write!(
+            EdgeError::BadSliceLength { set_id, got } => write!(
                 f,
-                "downloaded slice must hold {} samples, got {got}",
+                "downloaded slice for signal-set {} must hold {} samples, got {got}",
+                set_id.0,
                 emap_mdb::SIGNAL_SET_LEN
             ),
             EdgeError::Dsp(e) => write!(f, "dsp failure: {e}"),
@@ -83,7 +88,10 @@ mod tests {
                 value: -1.0,
             },
             EdgeError::MissingSet(emap_mdb::MdbError::UnknownSet { id: 5 }),
-            EdgeError::BadSliceLength { got: 999 },
+            EdgeError::BadSliceLength {
+                set_id: emap_mdb::SetId(7),
+                got: 999,
+            },
             EdgeError::Dsp(emap_dsp::DspError::EmptySignal),
         ];
         for e in errs {

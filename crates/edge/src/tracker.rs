@@ -70,6 +70,20 @@ impl TrackedSignal {
     pub fn stats(&self) -> &HostStats {
         &self.stats
     }
+
+    /// Re-wraps this signal's slice as a [`SharedSlice`] — two refcount
+    /// bumps, no sample copy, no statistics rebuild. A delta refresh
+    /// carries retained hits as bare references; the edge resolves them
+    /// against slices it already tracks via this.
+    #[must_use]
+    pub fn to_shared_slice(&self) -> SharedSlice {
+        SharedSlice {
+            set_id: self.set_id,
+            class: self.class,
+            samples: self.samples.clone(),
+            stats: Arc::clone(&self.stats),
+        }
+    }
 }
 
 /// The outcome of one tracking iteration.
@@ -146,7 +160,10 @@ impl SharedSlice {
     /// exactly [`emap_mdb::SIGNAL_SET_LEN`] samples.
     pub fn new(set_id: SetId, class: SignalClass, samples: Vec<f32>) -> Result<Self, EdgeError> {
         if samples.len() != emap_mdb::SIGNAL_SET_LEN {
-            return Err(EdgeError::BadSliceLength { got: samples.len() });
+            return Err(EdgeError::BadSliceLength {
+                set_id,
+                got: samples.len(),
+            });
         }
         let samples = SharedSamples::new(samples);
         let stats = Arc::new(HostStats::new(&samples));
@@ -270,6 +287,7 @@ impl EdgeTracker {
             .find(|s| s.samples.len() != emap_mdb::SIGNAL_SET_LEN)
         {
             return Err(EdgeError::BadSliceLength {
+                set_id: bad.set_id,
                 got: bad.samples.len(),
             });
         }
@@ -324,6 +342,13 @@ impl EdgeTracker {
     #[must_use]
     pub fn tracked(&self) -> &[TrackedSignal] {
         &self.tracked
+    }
+
+    /// The set IDs currently tracked, in tracked order — the membership
+    /// list a delta-refresh request declares to the cloud.
+    #[must_use]
+    pub fn tracked_ids(&self) -> Vec<SetId> {
+        self.tracked.iter().map(|w| w.set_id).collect()
     }
 
     /// Number of tracked signals, `N(F)`.
@@ -1100,7 +1125,10 @@ mod tests {
     fn shared_slice_rejects_short_samples() {
         assert!(matches!(
             SharedSlice::new(SetId(0), SignalClass::Normal, vec![0.0; 999]),
-            Err(EdgeError::BadSliceLength { got: 999 })
+            Err(EdgeError::BadSliceLength {
+                set_id: SetId(0),
+                got: 999,
+            })
         ));
     }
 
@@ -1118,9 +1146,14 @@ mod tests {
             class: SignalClass::Normal,
             samples: vec![0.0; 999],
         }];
+        // The error names the offending signal-set, not just the length —
+        // degraded-mode logs need to say *which* host shipped short.
         assert!(matches!(
             tr.load_remote(bad),
-            Err(EdgeError::BadSliceLength { got: 999 })
+            Err(EdgeError::BadSliceLength {
+                set_id: SetId(9),
+                got: 999,
+            })
         ));
         // The failed load left the previous session untouched.
         assert_eq!(tr.len(), 1);

@@ -97,6 +97,34 @@ impl CommTech {
         Duration::from_nanos((us * 1e3).round() as u64)
     }
 
+    /// Time to download an arbitrary `bytes`-sized payload (cloud → edge).
+    ///
+    /// [`CommTech::download_time`] models the paper's idealised Fig. 4b
+    /// payload (16-bit samples plus `[S, ω, β]` metadata); this variant
+    /// takes measured wire-frame sizes instead, so the same link model can
+    /// price the v3 f32 transport, the v4 quantized transport, and a
+    /// steady-state delta refresh as they actually travel.
+    #[must_use]
+    pub fn download_time_bytes(self, bytes: u64) -> Duration {
+        let bits = bytes * 8;
+        let us = self.setup_us() + bits as f64 / self.downlink_mbps();
+        Duration::from_nanos((us * 1e3).round() as u64)
+    }
+
+    /// The minimum downlink goodput (Mbit/s) that delivers `bytes` within
+    /// `budget` — the viability threshold a link class must clear for a
+    /// given transport mode. Returns `f64::INFINITY` when the budget is
+    /// unmeetable at any rate (i.e. it does not even cover this
+    /// technology's setup latency).
+    #[must_use]
+    pub fn required_downlink_mbps(self, bytes: u64, budget: Duration) -> f64 {
+        let budget_us = budget.as_secs_f64() * 1e6 - self.setup_us();
+        if budget_us <= 0.0 {
+            return f64::INFINITY;
+        }
+        (bytes * 8) as f64 / budget_us
+    }
+
     /// Short display label matching the figure legend.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -182,6 +210,39 @@ mod tests {
             t > Duration::from_micros(1500) && t < Duration::from_micros(3500),
             "{t:?}"
         );
+    }
+
+    /// `download_time_bytes` agrees with the Fig. 4b model when handed the
+    /// exact bit count that model computes.
+    #[test]
+    fn byte_model_matches_signal_model_on_same_payload() {
+        for tech in CommTech::ALL {
+            let signals = 100u64;
+            let bits = signals * (SAMPLES_PER_SIGNAL * BITS_PER_SAMPLE + SIGNAL_METADATA_BITS);
+            assert_eq!(bits % 8, 0);
+            let a = tech.download_time(signals);
+            let b = tech.download_time_bytes(bits / 8);
+            let diff = a.abs_diff(b);
+            assert!(diff < Duration::from_micros(1), "{tech}: {a:?} vs {b:?}");
+        }
+    }
+
+    /// A link at exactly the required rate lands on the budget; anything
+    /// slower misses it.
+    #[test]
+    fn required_rate_is_the_viability_threshold() {
+        let tech = CommTech::Hspa;
+        let bytes = 400_000u64;
+        let budget = Duration::from_millis(200);
+        let need = tech.required_downlink_mbps(bytes, budget);
+        assert!(need > 0.0 && need.is_finite());
+        // At the threshold rate the transfer takes exactly the budget.
+        let us_at_need = tech.setup_us() + (bytes * 8) as f64 / need;
+        assert!((us_at_need - budget.as_secs_f64() * 1e6).abs() < 1.0);
+        // A budget smaller than the setup latency is unmeetable.
+        assert!(tech
+            .required_downlink_mbps(1, Duration::from_micros(1))
+            .is_infinite());
     }
 
     #[test]

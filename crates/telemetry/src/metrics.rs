@@ -164,7 +164,6 @@ impl Histogram {
     /// Starts a scoped timer that records the elapsed time into this
     /// histogram when dropped. On a disabled histogram the returned timer
     /// is inert and **no clock is read** — the whole call is a branch.
-    #[must_use]
     pub fn start_timer(&self) -> Timer {
         Timer {
             hist: self.clone(),

@@ -188,6 +188,10 @@ pub struct MetricSnapshot {
 }
 
 /// The value part of a [`MetricSnapshot`].
+// Snapshots are built once per stats request and iterated, never stored
+// in bulk — the histogram payload is the point, so boxing it would only
+// add a pointer chase.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum MetricValue {
     /// A monotone event total.

@@ -73,7 +73,41 @@ impl PayloadWriter {
             self.buf.extend_from_slice(&s.to_le_bytes());
         }
     }
+
+    /// Appends an `f32` as its IEEE-754 bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` as an LEB128 varint (1 byte for values < 128, at
+    /// most [`MAX_VARINT_LEN`] bytes). Signal-set IDs are small sequential
+    /// integers in practice, so this is the 1–2-byte encoding the wire-v4
+    /// frames use wherever an ID travels per hit.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends raw `i16` sample words with **no** count prefix — wire-v4
+    /// quantized slices have a protocol-fixed length, so the count would
+    /// be dead weight on every table entry.
+    pub fn put_i16_samples(&mut self, samples: &[i16]) {
+        self.buf.reserve(samples.len() * 2);
+        for &s in samples {
+            self.buf.extend_from_slice(&s.to_le_bytes());
+        }
+    }
 }
+
+/// Longest accepted LEB128 varint (a full `u64` needs ten 7-bit groups).
+pub const MAX_VARINT_LEN: usize = 10;
 
 /// Consumes little-endian fields from a payload slice.
 #[derive(Debug)]
@@ -207,6 +241,56 @@ impl<'a> PayloadReader<'a> {
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
+
+    /// Reads an `f32` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall.
+    pub fn get_f32(&mut self, what: &str) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads an LEB128 varint written by [`PayloadWriter::put_varint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall, on a varint longer
+    /// than [`MAX_VARINT_LEN`] bytes, or on one that overflows `u64`.
+    pub fn get_varint(&mut self, what: &str) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for i in 0..MAX_VARINT_LEN {
+            let byte = self.get_u8(what)?;
+            let group = u64::from(byte & 0x7f);
+            // The tenth group may only carry the single remaining bit.
+            if i == MAX_VARINT_LEN - 1 && group > 1 {
+                return Err(WireError::BadPayload {
+                    detail: format!("varint field {what} overflows u64"),
+                });
+            }
+            v |= group << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::BadPayload {
+            detail: format!("varint field {what} exceeds {MAX_VARINT_LEN} bytes"),
+        })
+    }
+
+    /// Reads exactly `expected` raw `i16` sample words (no count prefix),
+    /// mirroring [`PayloadWriter::put_i16_samples`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall.
+    pub fn get_i16_samples(&mut self, expected: usize, what: &str) -> Result<Vec<i16>, WireError> {
+        let bytes = self.take(expected * 2, what)?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +365,80 @@ mod tests {
         let mut r = PayloadReader::new(&bytes);
         assert!(matches!(
             r.get_f32_slice(5, "samples"),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn varint_roundtrip_across_group_boundaries() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ];
+        let mut w = PayloadWriter::default();
+        for &v in &values {
+            w.put_varint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_varint("v").unwrap(), v);
+        }
+        r.finish().unwrap();
+        // Small IDs really are one byte — the wire-v4 size math counts on it.
+        let mut w = PayloadWriter::default();
+        w.put_varint(42);
+        assert_eq!(w.into_bytes().len(), 1);
+    }
+
+    #[test]
+    fn overlong_and_overflowing_varints_rejected() {
+        // Eleven continuation bytes can never be a valid u64 varint.
+        let mut r = PayloadReader::new(&[0x80; 11]);
+        assert!(matches!(
+            r.get_varint("v"),
+            Err(WireError::BadPayload { .. })
+        ));
+        // Ten bytes whose top group carries more than u64's last bit.
+        let mut overflow = vec![0xff; 9];
+        overflow.push(0x02);
+        let mut r = PayloadReader::new(&overflow);
+        assert!(matches!(
+            r.get_varint("v"),
+            Err(WireError::BadPayload { .. })
+        ));
+        // Truncated mid-varint is a shortfall, not a panic.
+        let mut r = PayloadReader::new(&[0x80]);
+        assert!(matches!(
+            r.get_varint("v"),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn f32_scalar_and_i16_samples_roundtrip() {
+        let mut w = PayloadWriter::default();
+        w.put_f32(-3.5);
+        w.put_i16_samples(&[i16::MIN, -1, 0, 1, i16::MAX]);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 4 + 5 * 2);
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.get_f32("s").unwrap(), -3.5);
+        assert_eq!(
+            r.get_i16_samples(5, "q").unwrap(),
+            vec![i16::MIN, -1, 0, 1, i16::MAX]
+        );
+        r.finish().unwrap();
+        // A shortfall is typed.
+        let mut r = PayloadReader::new(&[0, 1, 2]);
+        assert!(matches!(
+            r.get_i16_samples(2, "q"),
             Err(WireError::BadPayload { .. })
         ));
     }

@@ -12,6 +12,8 @@
 //!
 //! * [`codec`] — little-endian field (de)serialization that returns typed
 //!   errors on any shortfall,
+//! * [`quant`] — the 16-bit quantized slice transport the v4 wire-diet
+//!   frames ship samples in (bit-exact for native 16-bit EEG),
 //! * [`Message`] — the typed messages and their payload encodings,
 //! * [`frame`] — the `magic + version + type + length + crc32` frame
 //!   header, with a hard payload cap enforced before allocation,
@@ -44,13 +46,15 @@ pub mod crc;
 mod error;
 pub mod frame;
 mod message;
+pub mod quant;
 
 pub use error::WireError;
 pub use frame::{
-    frame_bytes, read_frame, write_frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, MIN_VERSION,
-    VERSION,
+    frame_bytes, frame_bytes_versioned, read_frame, read_frame_versioned, write_frame,
+    write_frame_versioned, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, MIN_VERSION, VERSION,
 };
 pub use message::{
-    error_code, BatchHit, BatchSearchResult, BatchSlice, Message, StatsMetric, StatsValue,
-    MAX_BATCH_QUERIES, MAX_STATS_METRICS,
+    error_code, BatchHit, BatchSearchResult, BatchSlice, DeltaHit, DeltaQuery, DeltaSearchResult,
+    Message, StatsMetric, StatsValue, MAX_BATCH_QUERIES, MAX_STATS_METRICS, MAX_TRACKED_IDS,
 };
+pub use quant::QuantizedSlice;

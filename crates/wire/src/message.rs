@@ -39,6 +39,7 @@ use emap_mdb::{class_from_label, Provenance, SetId, SIGNAL_SET_LEN};
 use emap_search::SearchWork;
 
 use crate::codec::{PayloadReader, PayloadWriter};
+use crate::quant::{class_code, class_from_code, QuantizedSlice};
 use crate::WireError;
 
 /// Application error codes carried by [`Message::ErrorReply`].
@@ -63,6 +64,11 @@ pub const MAX_BATCH_QUERIES: usize = 64;
 /// decode. A server registry holds a few dozen instruments; the cap only
 /// bounds the allocation a malicious frame can demand.
 pub const MAX_STATS_METRICS: usize = 512;
+
+/// Cap on tracked-ID declarations per delta query (and on evictions per
+/// delta result), enforced at decode. An edge tracker holds at most the
+/// paper's top-K ≈ 100 sets; the cap only bounds hostile allocations.
+pub const MAX_TRACKED_IDS: usize = 1024;
 
 /// One named metric reading inside a [`Message::StatsResponse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -171,6 +177,76 @@ impl BatchSearchResult {
     }
 }
 
+/// One query of a [`Message::SearchBatchDeltaRequest`] (protocol
+/// version 4): the second to search plus the signal-set IDs this session
+/// already holds, so the server can answer with membership changes only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaQuery {
+    /// The query window `I_N`, exactly [`SAMPLES_PER_SECOND`] samples.
+    pub second: Vec<f32>,
+    /// Signal-sets the session's tracker currently holds; at most
+    /// [`MAX_TRACKED_IDS`] entries.
+    pub tracked: Vec<SetId>,
+}
+
+/// One hit of a delta search result (protocol version 4).
+///
+/// Hits arrive in descending-ω order exactly like a full refresh; only
+/// the *slice bytes* are elided for sets the edge already holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaHit {
+    /// A set the edge does not hold yet: its slice travels in the
+    /// response's quantized table.
+    New {
+        /// Index into the response's slice table. Decode rejects indices
+        /// outside the table; encode packs this into 15 bits, so a table
+        /// holds at most `0x7fff` entries (a 64-query batch of top-100
+        /// hits needs ≤ 6400).
+        slice: u16,
+        /// The correlation the search reported for this query.
+        omega: f64,
+        /// Best-match offset for this query (< [`SIGNAL_SET_LEN`], so it
+        /// travels as a `u16`).
+        beta: usize,
+    },
+    /// A set the edge already holds — declared tracked by the query or
+    /// delivered earlier on this connection. No slice bytes travel; the
+    /// edge re-tags its existing copy with the fresh `ω`/`β`.
+    Known {
+        /// Which signal-set to retain.
+        set_id: SetId,
+        /// The correlation the search reported for this query.
+        omega: f64,
+        /// Best-match offset for this query (< [`SIGNAL_SET_LEN`]).
+        beta: usize,
+    },
+}
+
+impl DeltaHit {
+    /// The per-query correlation, whichever kind of hit this is.
+    #[must_use]
+    pub fn omega(&self) -> f64 {
+        match *self {
+            DeltaHit::New { omega, .. } | DeltaHit::Known { omega, .. } => omega,
+        }
+    }
+}
+
+/// One query's outcome within a delta response (protocol version 4): the
+/// full top-K membership as [`DeltaHit`]s plus the explicit evictions —
+/// declared-tracked sets that fell out of the top-K this refresh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaSearchResult {
+    /// Work counters of this query's share of the sweep.
+    pub work: SearchWork,
+    /// The hits in descending-ω order; `New` hits reference the
+    /// response's quantized slice table.
+    pub hits: Vec<DeltaHit>,
+    /// Declared-tracked sets absent from `hits`; at most
+    /// [`MAX_TRACKED_IDS`] entries.
+    pub evicted: Vec<SetId>,
+}
+
 /// One message of the EMAP wire protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -263,6 +339,43 @@ pub enum Message {
         /// Slices ingested over the wire since the server started.
         ingested: u64,
     },
+    /// One second to search, plus the sets this session already tracks
+    /// (protocol version 4). An empty `tracked` list asks for a full —
+    /// but still quantized — refresh.
+    SearchDeltaRequest {
+        /// The query window `I_N`, exactly [`SAMPLES_PER_SECOND`] samples.
+        second: Vec<f32>,
+        /// Signal-sets the tracker currently holds; at most
+        /// [`MAX_TRACKED_IDS`] entries.
+        tracked: Vec<SetId>,
+    },
+    /// The delta answer to a [`Message::SearchDeltaRequest`] (protocol
+    /// version 4): only slices the edge lacks travel, quantized to 16
+    /// bits; retained hits are ID references, evictions are IDs.
+    SearchDeltaResponse {
+        /// Quantized slices for the `New` hits — each distinct slice at
+        /// most once per connection (see the server's delivery state).
+        slices: Vec<QuantizedSlice>,
+        /// The query's work counters, hits, and evictions.
+        result: DeltaSearchResult,
+    },
+    /// Several sessions' delta queries in one shared sweep (protocol
+    /// version 4) — the batched form of [`Message::SearchDeltaRequest`].
+    SearchBatchDeltaRequest {
+        /// One delta query per session; at most [`MAX_BATCH_QUERIES`]
+        /// entries.
+        queries: Vec<DeltaQuery>,
+    },
+    /// One result per batched delta query, in query order (protocol
+    /// version 4). The quantized slice table is shared across queries
+    /// *and* across rounds: a slice already delivered on this connection
+    /// never ships again.
+    SearchBatchDeltaResponse {
+        /// The distinct quantized slices any query's `New` hits need.
+        slices: Vec<QuantizedSlice>,
+        /// Per-query work counters, hits, and evictions.
+        results: Vec<DeltaSearchResult>,
+    },
 }
 
 impl Message {
@@ -284,6 +397,25 @@ impl Message {
             Message::StatsResponse { .. } => 0x0c,
             Message::HealthRequest => 0x0d,
             Message::HealthResponse { .. } => 0x0e,
+            Message::SearchDeltaRequest { .. } => 0x0f,
+            Message::SearchDeltaResponse { .. } => 0x10,
+            Message::SearchBatchDeltaRequest { .. } => 0x11,
+            Message::SearchBatchDeltaResponse { .. } => 0x12,
+        }
+    }
+
+    /// The oldest protocol version whose frames may carry this message.
+    /// The frame layer rejects a message stamped with an older version,
+    /// so a reply framed at the requester's version is always one the
+    /// requester can decode.
+    #[must_use]
+    pub fn min_version(&self) -> u8 {
+        match self {
+            Message::SearchDeltaRequest { .. }
+            | Message::SearchDeltaResponse { .. }
+            | Message::SearchBatchDeltaRequest { .. }
+            | Message::SearchBatchDeltaResponse { .. } => 4,
+            _ => crate::frame::MIN_VERSION,
         }
     }
 
@@ -406,6 +538,41 @@ impl Message {
                 w.put_u64(*in_flight);
                 w.put_u64(*store_sets);
                 w.put_u64(*ingested);
+                w.into_bytes()
+            }
+            Message::SearchDeltaRequest { second, tracked } => {
+                let mut w = PayloadWriter::with_capacity(8 + second.len() * 4 + tracked.len() * 2);
+                w.put_f32_slice(second);
+                encode_set_ids(&mut w, tracked);
+                w.into_bytes()
+            }
+            Message::SearchDeltaResponse { slices, result } => {
+                let mut w = PayloadWriter::with_capacity(
+                    64 + slices.len() * (8 + 2 * SIGNAL_SET_LEN) + result.hits.len() * 16,
+                );
+                encode_quantized_table(&mut w, slices);
+                encode_delta_result(&mut w, result);
+                w.into_bytes()
+            }
+            Message::SearchBatchDeltaRequest { queries } => {
+                let mut w =
+                    PayloadWriter::with_capacity(4 + queries.len() * (8 + SAMPLES_PER_SECOND * 4));
+                w.put_u16(queries.len() as u16);
+                for query in queries {
+                    w.put_f32_slice(&query.second);
+                    encode_set_ids(&mut w, &query.tracked);
+                }
+                w.into_bytes()
+            }
+            Message::SearchBatchDeltaResponse { slices, results } => {
+                let mut w = PayloadWriter::with_capacity(
+                    8 + slices.len() * (8 + 2 * SIGNAL_SET_LEN) + results.len() * 64,
+                );
+                encode_quantized_table(&mut w, slices);
+                w.put_u16(results.len() as u16);
+                for result in results {
+                    encode_delta_result(&mut w, result);
+                }
                 w.into_bytes()
             }
         }
@@ -565,11 +732,221 @@ impl Message {
                 store_sets: r.get_u64("health.store_sets")?,
                 ingested: r.get_u64("health.ingested")?,
             },
+            0x0f => {
+                let second = r.get_f32_slice(SAMPLES_PER_SECOND, "delta query second")?;
+                let tracked = decode_set_ids(&mut r, "delta.tracked")?;
+                Message::SearchDeltaRequest { second, tracked }
+            }
+            0x10 => {
+                let slices = decode_quantized_table(&mut r)?;
+                let result = decode_delta_result(&mut r, slices.len())?;
+                Message::SearchDeltaResponse { slices, result }
+            }
+            0x11 => {
+                let n = r.get_u16("delta batch query count")? as usize;
+                if n > MAX_BATCH_QUERIES {
+                    return Err(WireError::BadPayload {
+                        detail: format!(
+                            "delta batch of {n} queries exceeds the cap of {MAX_BATCH_QUERIES}"
+                        ),
+                    });
+                }
+                let mut queries = Vec::new();
+                for _ in 0..n {
+                    let second = r.get_f32_slice(SAMPLES_PER_SECOND, "delta batch second")?;
+                    let tracked = decode_set_ids(&mut r, "delta batch tracked")?;
+                    queries.push(DeltaQuery { second, tracked });
+                }
+                Message::SearchBatchDeltaRequest { queries }
+            }
+            0x12 => {
+                let slices = decode_quantized_table(&mut r)?;
+                let n = r.get_u16("delta batch result count")? as usize;
+                if n > MAX_BATCH_QUERIES {
+                    return Err(WireError::BadPayload {
+                        detail: format!(
+                            "delta batch of {n} results exceeds the cap of {MAX_BATCH_QUERIES}"
+                        ),
+                    });
+                }
+                let mut results = Vec::new();
+                for _ in 0..n {
+                    results.push(decode_delta_result(&mut r, slices.len())?);
+                }
+                Message::SearchBatchDeltaResponse { slices, results }
+            }
             found => return Err(WireError::UnknownType { found }),
         };
         r.finish()?;
         Ok(msg)
     }
+}
+
+/// The `u16` hit-reference bit marking a [`DeltaHit::New`] (low 15 bits
+/// are the table index); a clear bit introduces a [`DeltaHit::Known`]
+/// whose set ID follows as a varint.
+const NEW_HIT_BIT: u16 = 0x8000;
+
+/// Writes a tracked/evicted set-ID list: `u16` count + varint IDs. The
+/// [`MAX_TRACKED_IDS`] cap is enforced at decode (so oversized lists are
+/// testable), not here.
+fn encode_set_ids(w: &mut PayloadWriter, ids: &[SetId]) {
+    w.put_u16(ids.len() as u16);
+    for id in ids {
+        w.put_varint(id.0);
+    }
+}
+
+/// Reads a set-ID list written by [`encode_set_ids`], enforcing
+/// [`MAX_TRACKED_IDS`].
+fn decode_set_ids(r: &mut PayloadReader<'_>, what: &str) -> Result<Vec<SetId>, WireError> {
+    let n = r.get_u16(what)? as usize;
+    if n > MAX_TRACKED_IDS {
+        return Err(WireError::BadPayload {
+            detail: format!("{what} declares {n} IDs (cap {MAX_TRACKED_IDS})"),
+        });
+    }
+    let mut ids = Vec::new();
+    for _ in 0..n {
+        ids.push(SetId(r.get_varint(what)?));
+    }
+    Ok(ids)
+}
+
+/// Writes a quantized slice table: `u16` count, then per entry a varint
+/// set ID, a flags byte (class code + scaled bit), `scale`/`offset` only
+/// on the scaled path, and the raw `i16` sample words.
+fn encode_quantized_table(w: &mut PayloadWriter, slices: &[QuantizedSlice]) {
+    debug_assert!(
+        slices.len() <= NEW_HIT_BIT as usize,
+        "quantized table exceeds the 15-bit hit index space"
+    );
+    w.put_u16(slices.len() as u16);
+    for s in slices {
+        w.put_varint(s.set_id.0);
+        let scaled = !s.is_exact();
+        w.put_u8(class_code(s.class) | u8::from(scaled) << 2);
+        if scaled {
+            w.put_f32(s.scale);
+            w.put_f32(s.offset);
+        }
+        w.put_i16_samples(&s.q);
+    }
+}
+
+/// Reads a quantized slice table written by [`encode_quantized_table`].
+fn decode_quantized_table(r: &mut PayloadReader<'_>) -> Result<Vec<QuantizedSlice>, WireError> {
+    let n = r.get_u16("quantized table size")? as usize;
+    let mut slices = Vec::new();
+    for _ in 0..n {
+        let set_id = SetId(r.get_varint("table.set_id")?);
+        let flags = r.get_u8("table.flags")?;
+        if flags & !0x07 != 0 {
+            return Err(WireError::BadPayload {
+                detail: format!("quantized slice flags {flags:#04x} set reserved bits"),
+            });
+        }
+        let class = class_from_code(flags & 0x03).ok_or_else(|| WireError::BadPayload {
+            detail: format!("unknown class code {}", flags & 0x03),
+        })?;
+        let (scale, offset) = if flags & 0x04 != 0 {
+            (r.get_f32("table.scale")?, r.get_f32("table.offset")?)
+        } else {
+            (1.0, -32768.0)
+        };
+        let q = r.get_i16_samples(SIGNAL_SET_LEN, "table.samples")?;
+        slices.push(QuantizedSlice {
+            set_id,
+            class,
+            scale,
+            offset,
+            q,
+        });
+    }
+    Ok(slices)
+}
+
+/// Writes one delta search result (work + hits + evictions).
+fn encode_delta_result(w: &mut PayloadWriter, result: &DeltaSearchResult) {
+    encode_work(w, &result.work);
+    w.put_u16(result.hits.len() as u16);
+    for hit in &result.hits {
+        match *hit {
+            DeltaHit::New { slice, omega, beta } => {
+                debug_assert!(slice < NEW_HIT_BIT, "table index exceeds 15 bits");
+                w.put_u16(NEW_HIT_BIT | slice);
+                w.put_f64(omega);
+                debug_assert!(
+                    beta < usize::from(u16::MAX),
+                    "beta exceeds the u16 wire field"
+                );
+                w.put_u16(beta as u16);
+            }
+            DeltaHit::Known {
+                set_id,
+                omega,
+                beta,
+            } => {
+                w.put_u16(0);
+                w.put_varint(set_id.0);
+                w.put_f64(omega);
+                debug_assert!(
+                    beta < usize::from(u16::MAX),
+                    "beta exceeds the u16 wire field"
+                );
+                w.put_u16(beta as u16);
+            }
+        }
+    }
+    encode_set_ids(w, &result.evicted);
+}
+
+/// Reads one delta search result written by [`encode_delta_result`],
+/// validating every `New` hit's table index against `table_len`.
+fn decode_delta_result(
+    r: &mut PayloadReader<'_>,
+    table_len: usize,
+) -> Result<DeltaSearchResult, WireError> {
+    let work = decode_work(r)?;
+    let n_hits = r.get_u16("delta hit count")?;
+    let mut hits = Vec::new();
+    for _ in 0..n_hits {
+        let hit_ref = r.get_u16("hit.ref")?;
+        let hit = if hit_ref & NEW_HIT_BIT != 0 {
+            let slice = hit_ref & !NEW_HIT_BIT;
+            if usize::from(slice) >= table_len {
+                return Err(WireError::BadPayload {
+                    detail: format!(
+                        "hit references slice {slice} outside the {table_len}-entry table"
+                    ),
+                });
+            }
+            let omega = r.get_f64("hit.omega")?;
+            let beta = usize::from(r.get_u16("hit.beta")?);
+            DeltaHit::New { slice, omega, beta }
+        } else {
+            if hit_ref != 0 {
+                return Err(WireError::BadPayload {
+                    detail: format!("known-hit reference {hit_ref:#06x} sets reserved bits"),
+                });
+            }
+            let set_id = SetId(r.get_varint("hit.set_id")?);
+            let omega = r.get_f64("hit.omega")?;
+            let beta = usize::from(r.get_u16("hit.beta")?);
+            DeltaHit::Known {
+                set_id,
+                omega,
+                beta,
+            }
+        };
+        hits.push(hit);
+    }
+    let evicted = decode_set_ids(r, "delta evicted")?;
+    Ok(DeltaSearchResult {
+        work,
+        hits,
+        evicted,
+    })
 }
 
 /// Writes the work counters shared by every search-result encoding.
@@ -743,6 +1120,7 @@ mod tests {
     fn type_bytes_are_distinct() {
         let bytes = [
             0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+            0x0f, 0x10, 0x11, 0x12,
         ];
         let mut sorted = bytes.to_vec();
         sorted.dedup();
@@ -990,6 +1368,273 @@ mod tests {
             Message::decode_payload(0x09, &msg.encode_payload()),
             Err(WireError::BadPayload { .. })
         ));
+    }
+
+    fn exact_slice(set: u64) -> QuantizedSlice {
+        QuantizedSlice::quantize(
+            SetId(set),
+            SignalClass::Seizure,
+            &(0..1000)
+                .map(|i| ((i as i64 * 37 + set as i64 * 11) % 4001 - 2000) as f32)
+                .collect::<Vec<f32>>(),
+        )
+    }
+
+    fn scaled_slice(set: u64) -> QuantizedSlice {
+        QuantizedSlice::quantize(
+            SetId(set),
+            SignalClass::Normal,
+            &(0..1000)
+                .map(|i| (i as f32 * 0.13 + set as f32).sin() * 250.5)
+                .collect::<Vec<f32>>(),
+        )
+    }
+
+    fn delta_result(table_len: u16) -> DeltaSearchResult {
+        DeltaSearchResult {
+            work: SearchWork {
+                correlations: 9000,
+                sets_scanned: 64,
+                matches: 5,
+                truncated: false,
+                hosts_pruned: 12,
+                bound_evaluations: 99,
+            },
+            hits: (0..table_len)
+                .map(|i| DeltaHit::New {
+                    slice: i,
+                    omega: 0.99 - f64::from(i) * 0.01,
+                    beta: usize::from(i) * 7 % SIGNAL_SET_LEN,
+                })
+                .chain([
+                    DeltaHit::Known {
+                        set_id: SetId(300),
+                        omega: 0.5,
+                        beta: 977,
+                    },
+                    DeltaHit::Known {
+                        set_id: SetId(1),
+                        omega: 0.25,
+                        beta: 0,
+                    },
+                ])
+                .collect(),
+            evicted: vec![SetId(400), SetId(12)],
+        }
+    }
+
+    #[test]
+    fn delta_messages_round_trip() {
+        let messages = vec![
+            Message::SearchDeltaRequest {
+                second: (0..256).map(|i| (i as f32 * 0.21).cos()).collect(),
+                tracked: vec![SetId(3), SetId(128), SetId(u64::MAX)],
+            },
+            Message::SearchDeltaRequest {
+                second: vec![0.0; 256],
+                tracked: vec![],
+            },
+            Message::SearchDeltaResponse {
+                slices: vec![exact_slice(1), scaled_slice(2)],
+                result: delta_result(2),
+            },
+            Message::SearchBatchDeltaRequest {
+                queries: (0..3)
+                    .map(|q| DeltaQuery {
+                        second: (0..256)
+                            .map(|i| ((q * 256 + i) as f32 * 0.07).sin())
+                            .collect(),
+                        tracked: (0..q as u64).map(SetId).collect(),
+                    })
+                    .collect(),
+            },
+            Message::SearchBatchDeltaRequest { queries: vec![] },
+            Message::SearchBatchDeltaResponse {
+                slices: vec![scaled_slice(9), exact_slice(10), exact_slice(11)],
+                results: vec![delta_result(3), delta_result(0)],
+            },
+            Message::SearchBatchDeltaResponse {
+                slices: vec![],
+                results: vec![],
+            },
+        ];
+        for msg in &messages {
+            assert_eq!(&roundtrip(msg), msg, "{:#04x}", msg.type_byte());
+        }
+    }
+
+    #[test]
+    fn quantized_response_is_less_than_half_the_f32_frame() {
+        // The tentpole cut: a top-100 exact-path delta response must beat
+        // 2× against the v3 f32 full response for the same hits.
+        let slices: Vec<QuantizedSlice> = (0..100).map(exact_slice).collect();
+        let full: Vec<SliceDownload> = slices
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SliceDownload {
+                set_id: s.set_id,
+                omega: 0.99 - i as f64 * 0.001,
+                beta: i * 9 % SIGNAL_SET_LEN,
+                class: s.class,
+                samples: s.dequantize(),
+            })
+            .collect();
+        let hits = full
+            .iter()
+            .enumerate()
+            .map(|(i, s)| DeltaHit::New {
+                slice: i as u16,
+                omega: s.omega,
+                beta: s.beta,
+            })
+            .collect();
+        let work = SearchWork::default();
+        let v3 = Message::SearchResponse { work, slices: full }.encode_payload();
+        let v4 = Message::SearchDeltaResponse {
+            slices,
+            result: DeltaSearchResult {
+                work,
+                hits,
+                evicted: vec![],
+            },
+        }
+        .encode_payload();
+        assert!(
+            v4.len() * 2 < v3.len(),
+            "quantization did not halve the frame: {} B quantized vs {} B f32",
+            v4.len(),
+            v3.len()
+        );
+    }
+
+    #[test]
+    fn delta_hit_referencing_missing_table_entry_rejected() {
+        // Hand-built payload: empty quantized table, one New hit at index 0.
+        let mut w = crate::codec::PayloadWriter::with_capacity(64);
+        w.put_u16(0); // empty table
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u8(0);
+        w.put_u64(0);
+        w.put_u64(0); // work counters
+        w.put_u16(1); // one hit
+        w.put_u16(NEW_HIT_BIT); // New, slice index 0 — out of table
+        w.put_f64(0.9);
+        w.put_u16(3);
+        w.put_u16(0); // no evictions
+        assert!(matches!(
+            Message::decode_payload(0x10, &w.into_bytes()),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn known_hit_with_reserved_bits_rejected() {
+        let mut w = crate::codec::PayloadWriter::with_capacity(64);
+        w.put_u16(0); // empty table
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u8(0);
+        w.put_u64(0);
+        w.put_u64(0); // work counters
+        w.put_u16(1); // one hit
+        w.put_u16(0x0005); // Known marker must be exactly zero
+        assert!(matches!(
+            Message::decode_payload(0x10, &w.into_bytes()),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_flags_reserved_bits_rejected() {
+        // All four 2-bit class codes are assigned, so the only illegal
+        // flag bytes are ones with reserved bits set.
+        for flags in [0x08u8, 0x10, 0x80, 0xff] {
+            let mut w = crate::codec::PayloadWriter::with_capacity(16);
+            w.put_u16(1); // one table entry
+            w.put_varint(5);
+            w.put_u8(flags);
+            let result = Message::decode_payload(0x10, &w.into_bytes());
+            assert!(result.is_err(), "flags {flags:#04x} must not decode");
+        }
+    }
+
+    #[test]
+    fn oversized_tracked_list_rejected_at_decode() {
+        let over = Message::SearchDeltaRequest {
+            second: vec![0.0; 256],
+            tracked: (0..=MAX_TRACKED_IDS as u64).map(SetId).collect(),
+        };
+        assert!(matches!(
+            Message::decode_payload(0x0f, &over.encode_payload()),
+            Err(WireError::BadPayload { .. })
+        ));
+        let at_cap = Message::SearchDeltaRequest {
+            second: vec![0.0; 256],
+            tracked: (0..MAX_TRACKED_IDS as u64).map(SetId).collect(),
+        };
+        assert!(Message::decode_payload(0x0f, &at_cap.encode_payload()).is_ok());
+    }
+
+    #[test]
+    fn oversized_delta_batch_rejected_at_decode() {
+        let query = DeltaQuery {
+            second: vec![0.0; 256],
+            tracked: vec![],
+        };
+        let over = Message::SearchBatchDeltaRequest {
+            queries: vec![query.clone(); MAX_BATCH_QUERIES + 1],
+        };
+        assert!(matches!(
+            Message::decode_payload(0x11, &over.encode_payload()),
+            Err(WireError::BadPayload { .. })
+        ));
+        let at_cap = Message::SearchBatchDeltaRequest {
+            queries: vec![query; MAX_BATCH_QUERIES],
+        };
+        assert!(Message::decode_payload(0x11, &at_cap.encode_payload()).is_ok());
+    }
+
+    #[test]
+    fn truncated_delta_response_rejected_at_every_cut() {
+        let msg = Message::SearchDeltaResponse {
+            slices: vec![exact_slice(3), scaled_slice(4)],
+            result: delta_result(2),
+        };
+        let payload = msg.encode_payload();
+        for cut in 0..payload.len() {
+            assert!(
+                Message::decode_payload(0x10, &payload[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn min_version_gates_only_delta_frames() {
+        assert_eq!(Message::Ping.min_version(), crate::frame::MIN_VERSION);
+        assert_eq!(
+            Message::SearchBatchRequest { seconds: vec![] }.min_version(),
+            crate::frame::MIN_VERSION
+        );
+        assert_eq!(
+            Message::SearchDeltaRequest {
+                second: vec![0.0; 256],
+                tracked: vec![],
+            }
+            .min_version(),
+            4
+        );
+        assert_eq!(
+            Message::SearchBatchDeltaResponse {
+                slices: vec![],
+                results: vec![],
+            }
+            .min_version(),
+            4
+        );
     }
 
     #[test]

@@ -6,7 +6,10 @@ use emap_datasets::SignalClass;
 use emap_edge::SliceDownload;
 use emap_mdb::{Provenance, SetId, SIGNAL_SET_LEN};
 use emap_search::SearchWork;
-use emap_wire::{frame_bytes, read_frame, Message, WireError, DEFAULT_MAX_PAYLOAD};
+use emap_wire::{
+    frame_bytes, read_frame, DeltaHit, DeltaQuery, DeltaSearchResult, Message, QuantizedSlice,
+    WireError, DEFAULT_MAX_PAYLOAD,
+};
 use proptest::prelude::*;
 
 fn arb_class() -> impl Strategy<Value = SignalClass> {
@@ -48,6 +51,112 @@ fn arb_slice() -> impl Strategy<Value = SliceDownload> {
             class,
             samples,
         })
+}
+
+/// Arbitrary finite sample vectors: mixed magnitudes, including slices
+/// that happen to sit on the native 16-bit grid.
+fn arb_samples() -> impl Strategy<Value = Vec<f32>> {
+    prop_oneof![
+        prop::collection::vec(-500.0f32..500.0, SIGNAL_SET_LEN),
+        prop::collection::vec(-32768i32..32768, SIGNAL_SET_LEN)
+            .prop_map(|v| v.into_iter().map(|x| x as f32).collect()),
+        prop::collection::vec(-1.0e6f32..1.0e6, SIGNAL_SET_LEN),
+    ]
+}
+
+fn arb_quantized_slice() -> impl Strategy<Value = QuantizedSlice> {
+    (0u64..1 << 48, arb_class(), arb_samples())
+        .prop_map(|(id, class, samples)| QuantizedSlice::quantize(SetId(id), class, &samples))
+}
+
+fn arb_work() -> impl Strategy<Value = SearchWork> {
+    (
+        0u64..1 << 40,
+        0u64..1 << 20,
+        0u64..1 << 20,
+        any::<bool>(),
+        0u64..1 << 20,
+        0u64..1 << 21,
+    )
+        .prop_map(
+            |(correlations, sets_scanned, matches, truncated, hosts_pruned, bound_evaluations)| {
+                SearchWork {
+                    correlations,
+                    sets_scanned,
+                    matches,
+                    truncated,
+                    hosts_pruned,
+                    bound_evaluations,
+                }
+            },
+        )
+}
+
+/// A delta result whose `New` hits stay inside a `table_len`-entry table.
+fn arb_delta_result(table_len: usize) -> impl Strategy<Value = DeltaSearchResult> {
+    let hit = (
+        any::<bool>(),
+        0..table_len.max(1) as u16,
+        0u64..1 << 48,
+        -1.0f64..=1.0,
+        0usize..SIGNAL_SET_LEN,
+    )
+        .prop_map(move |(known, slice, id, omega, beta)| {
+            if known || table_len == 0 {
+                DeltaHit::Known {
+                    set_id: SetId(id),
+                    omega,
+                    beta,
+                }
+            } else {
+                DeltaHit::New { slice, omega, beta }
+            }
+        });
+    (
+        arb_work(),
+        prop::collection::vec(hit, 0..6),
+        prop::collection::vec((0u64..1 << 48).prop_map(SetId), 0..4),
+    )
+        .prop_map(|(work, hits, evicted)| DeltaSearchResult {
+            work,
+            hits,
+            evicted,
+        })
+}
+
+fn arb_delta_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            prop::collection::vec(-100.0f32..100.0, 256),
+            prop::collection::vec((0u64..1 << 48).prop_map(SetId), 0..8),
+        )
+            .prop_map(|(second, tracked)| Message::SearchDeltaRequest { second, tracked }),
+        prop::collection::vec(arb_quantized_slice(), 0..3).prop_flat_map(|slices| {
+            let n = slices.len();
+            arb_delta_result(n).prop_map(move |result| Message::SearchDeltaResponse {
+                slices: slices.clone(),
+                result,
+            })
+        }),
+        prop::collection::vec(
+            (
+                prop::collection::vec(-100.0f32..100.0, 256),
+                prop::collection::vec((0u64..1 << 48).prop_map(SetId), 0..4),
+            )
+                .prop_map(|(second, tracked)| DeltaQuery { second, tracked }),
+            0..3
+        )
+        .prop_map(|queries| Message::SearchBatchDeltaRequest { queries }),
+        prop::collection::vec(arb_quantized_slice(), 0..3).prop_flat_map(|slices| {
+            let n = slices.len();
+            prop::collection::vec(arb_delta_result(n), 0..3).prop_map(move |results| {
+                Message::SearchBatchDeltaResponse {
+                    slices: slices.clone(),
+                    results,
+                }
+            })
+        }),
+    ]
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -106,6 +215,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
         Just(Message::Busy),
         (any::<u16>(), "[ -~]{0,64}")
             .prop_map(|(code, detail)| Message::ErrorReply { code, detail }),
+        arb_delta_message(),
     ]
 }
 
@@ -175,5 +285,104 @@ proptest! {
         payload in prop::collection::vec(any::<u8>(), 0..512),
     ) {
         let _ = Message::decode_payload(type_byte, &payload);
+    }
+
+    /// The tentpole error pin: quantize → wire roundtrip → dequantize
+    /// reconstructs every finite sample within the slice's own declared
+    /// [`QuantizedSlice::error_bound`].
+    #[test]
+    fn quantization_error_stays_within_declared_bound(
+        id in 0u64..1 << 48,
+        class in arb_class(),
+        samples in arb_samples(),
+    ) {
+        let quantized = QuantizedSlice::quantize(SetId(id), class, &samples);
+        let msg = Message::SearchDeltaResponse {
+            slices: vec![quantized],
+            result: DeltaSearchResult {
+                work: SearchWork::default(),
+                hits: vec![],
+                evicted: vec![],
+            },
+        };
+        let bytes = frame_bytes(&msg);
+        let back = read_frame(&mut &bytes[..], DEFAULT_MAX_PAYLOAD).unwrap();
+        let Message::SearchDeltaResponse { slices, .. } = back else {
+            return Err(TestCaseError::fail("wrong message type back"));
+        };
+        let bound = slices[0].error_bound();
+        for (orig, decoded) in samples.iter().zip(slices[0].dequantize()) {
+            let err = (f64::from(*orig) - f64::from(decoded)).abs();
+            prop_assert!(
+                err <= bound,
+                "sample {orig} decoded to {decoded}: error {err} exceeds bound {bound}"
+            );
+        }
+    }
+
+    /// Native 16-bit samples (finite integers in the i16 range) take the
+    /// bit-exact path: the wire roundtrip is the identity on the samples.
+    #[test]
+    fn native_16bit_slices_roundtrip_bit_exactly(
+        id in 0u64..1 << 48,
+        class in arb_class(),
+        raw in prop::collection::vec(-32768i32..32768, SIGNAL_SET_LEN),
+    ) {
+        let samples: Vec<f32> = raw.into_iter().map(|x| x as f32).collect();
+        let quantized = QuantizedSlice::quantize(SetId(id), class, &samples);
+        prop_assert!(quantized.is_exact());
+        let msg = Message::SearchDeltaResponse {
+            slices: vec![quantized],
+            result: DeltaSearchResult {
+                work: SearchWork::default(),
+                hits: vec![],
+                evicted: vec![],
+            },
+        };
+        let bytes = frame_bytes(&msg);
+        let back = read_frame(&mut &bytes[..], DEFAULT_MAX_PAYLOAD).unwrap();
+        let Message::SearchDeltaResponse { slices, .. } = back else {
+            return Err(TestCaseError::fail("wrong message type back"));
+        };
+        prop_assert_eq!(slices[0].dequantize(), samples);
+    }
+
+    /// Truncating a delta response anywhere inside its quantized slice
+    /// table (or after it) yields a typed error, never a panic.
+    #[test]
+    fn truncated_quantized_table_never_panics(
+        slices in prop::collection::vec(arb_quantized_slice(), 1..3),
+        frac in 0.0f64..1.0,
+    ) {
+        let n = slices.len();
+        let msg = Message::SearchDeltaResponse {
+            slices,
+            result: arb_delta_result_value(n),
+        };
+        let payload = msg.encode_payload();
+        let cut = ((payload.len() as f64) * frac) as usize;
+        prop_assume!(cut < payload.len());
+        prop_assert!(Message::decode_payload(0x10, &payload[..cut]).is_err());
+    }
+}
+
+/// A deterministic [`DeltaSearchResult`] for the truncation proptest —
+/// the interesting structure lives in the slice table being cut.
+fn arb_delta_result_value(table_len: usize) -> DeltaSearchResult {
+    DeltaSearchResult {
+        work: SearchWork::default(),
+        hits: (0..table_len as u16)
+            .map(|i| DeltaHit::New {
+                slice: i,
+                omega: 0.9,
+                beta: 11,
+            })
+            .chain([DeltaHit::Known {
+                set_id: SetId(77),
+                omega: 0.4,
+                beta: 3,
+            }])
+            .collect(),
+        evicted: vec![SetId(5)],
     }
 }

@@ -12,12 +12,12 @@
 
 use std::time::{Duration, Instant};
 
-use emap_bench::{banner, build_mdb, fmt_duration, input_factory, quick_mode, scaled};
+use emap_bench::{
+    banner, batch_mdb, build_mdb, fmt_duration, input_factory, query_seconds, quick_mode, scaled,
+};
 use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
 use emap_core::{CloudEndpoint, CloudService};
-use emap_datasets::{RecordingFactory, SignalClass};
 use emap_edge::{EdgeConfig, EdgeTracker};
-use emap_mdb::{Mdb, MdbBuilder};
 use emap_search::{Query, SearchConfig};
 use emap_telemetry::Registry;
 use emap_wire::{frame_bytes, Message};
@@ -90,26 +90,6 @@ struct BatchPoint {
     requests: usize,
     per_request_wall: Duration,
     batched_wall: Duration,
-}
-
-/// The fleet-scale corpus for BENCH_batch: a purpose-built store kept
-/// small enough that transport and materialization — the costs batching
-/// attacks — are a visible share of each refresh, as in the paper's
-/// per-hospital deployments.
-fn batch_mdb(factory: &RecordingFactory, recordings: usize, secs: f64) -> Mdb {
-    let mut builder = MdbBuilder::new();
-    for i in 0..recordings {
-        builder
-            .add_recording("d", &factory.normal_recording(&format!("bn{i}"), secs))
-            .expect("normal recording");
-        builder
-            .add_recording(
-                "d",
-                &factory.anomaly_recording(SignalClass::Seizure, &format!("bs{i}"), secs),
-            )
-            .expect("seizure recording");
-    }
-    builder.build()
 }
 
 /// Per-request mode: every session thread owns an [`EdgeTracker`] and
@@ -191,13 +171,7 @@ fn main() {
     println!("server: {addr}, {corpus_sets} signal-sets, {workers} search workers");
 
     let factory = input_factory();
-    let seconds: Vec<Vec<f32>> = (0..8)
-        .map(|i| {
-            emap_bench::query_for(&factory, SignalClass::ALL[i % 4], i, 6.0)
-                .samples()
-                .to_vec()
-        })
-        .collect();
+    let seconds = query_seconds(&factory, 8, 6.0);
 
     // --- Wire cost of one search exchange. ------------------------------
     let probe = RemoteCloud::new(addr.clone(), RemoteCloudConfig::default());
@@ -278,9 +252,9 @@ fn main() {
         "BENCH_batch — shared-sweep batching vs per-request fleet refresh",
         "one fleet tick as one SearchBatchRequest against its per-request equivalent",
     );
-    let batch_mdb = batch_mdb(&factory, scaled(8, 2), 24.0);
-    let batch_corpus_sets = batch_mdb.len();
-    let service = CloudService::new(SearchConfig::paper(), batch_mdb.into_shared(), workers);
+    let corpus = batch_mdb(&factory, scaled(8, 2), 24.0);
+    let batch_corpus_sets = corpus.len();
+    let service = CloudService::new(SearchConfig::paper(), corpus.into_shared(), workers);
     let batch_server = CloudServer::bind(
         "127.0.0.1:0",
         service,
@@ -299,13 +273,7 @@ fn main() {
     // One distinct patient second per session slot, so no query in a tick
     // duplicates another and slice sharing comes only from genuinely
     // overlapping hit sets.
-    let seconds: Vec<Vec<f32>> = (0..16)
-        .map(|i| {
-            emap_bench::query_for(&factory, SignalClass::ALL[i % 4], i, 6.0)
-                .samples()
-                .to_vec()
-        })
-        .collect();
+    let seconds = query_seconds(&factory, 16, 6.0);
 
     let rounds = scaled(12, 2);
     let mut batch_points = Vec::new();
@@ -377,7 +345,7 @@ fn main() {
         "BENCH_telemetry — instrumented vs stripped registry overhead",
         "identical batched load; the difference is pure instrumentation cost",
     );
-    let tel_mdb = crate::batch_mdb(&factory, scaled(8, 2), 24.0);
+    let tel_mdb = batch_mdb(&factory, scaled(8, 2), 24.0);
     let tel_corpus_sets = tel_mdb.len();
     let tel_service = CloudService::new(SearchConfig::paper(), tel_mdb.into_shared(), workers);
     let tel_config = ServerConfig {

@@ -16,7 +16,7 @@
 
 use std::time::Duration;
 
-use emap_bench::{banner, fmt_duration, quick_mode};
+use emap_bench::{banner, fmt_duration, integer_stream, quick_mode};
 use emap_cloud::{CloudServer, RefreshMode, RemoteCloud, RemoteCloudConfig, ServerConfig};
 use emap_core::{CloudEndpoint, CloudService};
 use emap_datasets::SignalClass;
@@ -36,18 +36,6 @@ const BASE: usize = 768;
 /// The paper's refresh cadence: a cloud re-search roughly every five
 /// 1 Hz iterations, so 720 refreshes per session-hour.
 const REFRESHES_PER_HOUR: f64 = 3600.0 / 5.0;
-
-fn integer_stream(seed: u64, len: usize) -> Vec<f32> {
-    let mut x = seed.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3);
-    (0..len)
-        .map(|_| {
-            x = x
-                .wrapping_mul(6_364_136_223_846_793_005)
-                .wrapping_add(1_442_695_040_888_963_407);
-            ((x >> 33) % 4001) as f32 - 2000.0
-        })
-        .collect()
-}
 
 /// One stream per session; the store holds every 64-stride 1000-sample
 /// window of every stream.

@@ -1,0 +1,224 @@
+//! In-process cluster loopback: coordinator + N shards × R replicas on
+//! `127.0.0.1`, with kill/restart hooks for failover tests and benches.
+
+use std::io;
+use std::time::Duration;
+
+use emap_cloud::{CloudServer, RemoteCloudConfig, ServerConfig};
+use emap_core::CloudService;
+use emap_mdb::{Mdb, SharedMdb};
+use emap_search::SearchConfig;
+use emap_telemetry::Registry;
+
+use crate::{Coordinator, CoordinatorConfig, Placement, ShardSpec};
+
+/// One replica process-equivalent: its server (absent while killed) and
+/// the store it keeps across restarts.
+struct ReplicaSlot {
+    server: Option<CloudServer>,
+    mdb: SharedMdb,
+}
+
+/// A whole cluster in one process: every shard replica is a real
+/// [`CloudServer`] on a loopback socket, fronted by a real
+/// [`Coordinator`] — tests and benches drive the same wire path a
+/// deployed cluster would, minus the network.
+///
+/// # Example
+///
+/// ```no_run
+/// use emap_cluster::{LoopbackCluster, Placement};
+/// use emap_mdb::Mdb;
+///
+/// let mdb = Mdb::new();
+/// let cluster = LoopbackCluster::launch(&mdb, Placement::hash(2), 2).unwrap();
+/// let addr = cluster.addr();
+/// // point a RemoteCloud or an `emap monitor --cloud` at `addr` …
+/// cluster.shutdown();
+/// ```
+pub struct LoopbackCluster {
+    coordinator: Option<Coordinator>,
+    replicas: Vec<Vec<ReplicaSlot>>,
+    search: SearchConfig,
+    server_config: ServerConfig,
+}
+
+impl std::fmt::Debug for LoopbackCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackCluster")
+            .field("shards", &self.replicas.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Upstream client settings tuned for loopback: fast connect failure and
+/// a small retry budget, so replica failover in tests takes milliseconds
+/// rather than the WAN-calibrated default backoff.
+#[must_use]
+pub fn loopback_upstream() -> RemoteCloudConfig {
+    RemoteCloudConfig {
+        connect_timeout: Duration::from_millis(200),
+        attempts: 2,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(20),
+        ..RemoteCloudConfig::default()
+    }
+}
+
+impl LoopbackCluster {
+    /// Partitions `mdb` under `placement`, boots `replicas` replicas per
+    /// shard plus the coordinator, paper search settings throughout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any bind failure.
+    pub fn launch(mdb: &Mdb, placement: Placement, replicas: usize) -> io::Result<Self> {
+        let config = CoordinatorConfig {
+            upstream: loopback_upstream(),
+            ..CoordinatorConfig::default()
+        };
+        LoopbackCluster::launch_with(
+            mdb,
+            placement,
+            replicas,
+            SearchConfig::paper(),
+            ServerConfig::default(),
+            config,
+            Registry::new(),
+        )
+    }
+
+    /// [`LoopbackCluster::launch`] with every knob exposed: the shards'
+    /// search and server configuration, the coordinator configuration,
+    /// and the registry the coordinator's `cluster_*` instruments land
+    /// in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any bind failure.
+    pub fn launch_with(
+        mdb: &Mdb,
+        placement: Placement,
+        replicas: usize,
+        search: SearchConfig,
+        server_config: ServerConfig,
+        config: CoordinatorConfig,
+        registry: Registry,
+    ) -> io::Result<Self> {
+        let replicas = replicas.max(1);
+        let mut slots: Vec<Vec<ReplicaSlot>> = Vec::new();
+        let mut specs = Vec::new();
+        let mut maps = Vec::new();
+        for (partition, map) in placement.partition(mdb) {
+            let mut shard_slots = Vec::with_capacity(replicas);
+            let mut addrs = Vec::with_capacity(replicas);
+            for _ in 0..replicas {
+                let shared = partition.clone().into_shared();
+                let service = CloudService::new(search, shared.clone(), server_config.workers);
+                let server = CloudServer::bind("127.0.0.1:0", service, server_config.clone())?;
+                addrs.push(server.local_addr().to_string());
+                shard_slots.push(ReplicaSlot {
+                    server: Some(server),
+                    mdb: shared,
+                });
+            }
+            slots.push(shard_slots);
+            specs.push(ShardSpec { replicas: addrs });
+            maps.push(map);
+        }
+        let coordinator = Coordinator::bind_with_telemetry(
+            "127.0.0.1:0",
+            specs,
+            maps,
+            placement,
+            config,
+            registry,
+        )?;
+        Ok(LoopbackCluster {
+            coordinator: Some(coordinator),
+            replicas: slots,
+            search,
+            server_config,
+        })
+    }
+
+    /// The coordinator's downstream address — what an edge connects to.
+    #[must_use]
+    pub fn addr(&self) -> String {
+        self.coordinator().local_addr().to_string()
+    }
+
+    /// The running coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`LoopbackCluster::shutdown`] (the handle is gone).
+    #[must_use]
+    pub fn coordinator(&self) -> &Coordinator {
+        self.coordinator
+            .as_ref()
+            .expect("coordinator already shut down")
+    }
+
+    /// One replica's direct address, bypassing the coordinator. `None`
+    /// while the replica is killed.
+    #[must_use]
+    pub fn replica_addr(&self, shard: usize, replica: usize) -> Option<String> {
+        self.replicas[shard][replica]
+            .server
+            .as_ref()
+            .map(|s| s.local_addr().to_string())
+    }
+
+    /// Kills one replica: its server shuts down and its port closes, so
+    /// the coordinator's next call to it fails over. The replica's store
+    /// survives for [`LoopbackCluster::restart_replica`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard`/`replica` is out of range.
+    pub fn kill_replica(&mut self, shard: usize, replica: usize) {
+        if let Some(server) = self.replicas[shard][replica].server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Restarts a killed replica on a fresh port over its surviving
+    /// store and re-registers it with the coordinator, which replays any
+    /// ingests the replica missed before its next search. No-op if the
+    /// replica is already running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard`/`replica` is out of range.
+    pub fn restart_replica(&mut self, shard: usize, replica: usize) -> io::Result<()> {
+        if self.replicas[shard][replica].server.is_some() {
+            return Ok(());
+        }
+        let mdb = self.replicas[shard][replica].mdb.clone();
+        let service = CloudService::new(self.search, mdb, self.server_config.workers);
+        let server = CloudServer::bind("127.0.0.1:0", service, self.server_config.clone())?;
+        let addr = server.local_addr().to_string();
+        self.replicas[shard][replica].server = Some(server);
+        self.coordinator().rejoin_replica(shard, replica, addr);
+        Ok(())
+    }
+
+    /// Stops the coordinator, then every running replica.
+    pub fn shutdown(mut self) {
+        if let Some(c) = self.coordinator.take() {
+            c.shutdown();
+        }
+        for shard in &mut self.replicas {
+            for slot in shard {
+                if let Some(server) = slot.server.take() {
+                    server.shutdown();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Shard placement: which shard owns which signal-set.
+//!
+//! Placement must be a pure function of durable identifiers — the
+//! coordinator, the partition builder, and any operator re-deriving a
+//! shard's corpus offline all have to agree, across restarts, with no
+//! shared state. Both strategies therefore hash only the set's global ID
+//! (and, for the class-aware variant, its class label), never anything
+//! positional like "the least-loaded shard right now".
+
+use emap_datasets::SignalClass;
+use emap_mdb::{Mdb, SetId};
+
+/// How signal-sets map onto shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlacementKind {
+    /// Uniform spread: stable 64-bit hash of the global set ID. Every
+    /// shard hosts a statistically even slice of every class, so every
+    /// query fans out to all shards and each does `1/N` of the work.
+    SetHash,
+    /// Class colocation: all sets of one class land on the shard named
+    /// by hashing the class label. Class-restricted sweeps then touch a
+    /// single shard, at the cost of unbalanced shard sizes when the
+    /// corpus is class-skewed.
+    ClassHash,
+}
+
+/// A deterministic assignment of signal-sets to `shards` shard servers.
+///
+/// # Example
+///
+/// ```
+/// use emap_cluster::Placement;
+/// use emap_datasets::SignalClass;
+/// use emap_mdb::SetId;
+///
+/// let p = Placement::hash(4);
+/// // Stable across calls and processes:
+/// assert_eq!(
+///     p.shard_of(SetId(7), SignalClass::Normal),
+///     p.shard_of(SetId(7), SignalClass::Normal),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    shards: usize,
+    kind: PlacementKind,
+}
+
+impl Placement {
+    /// Uniform placement over `shards` shards by stable hash of the
+    /// global set ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn hash(shards: usize) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        Placement {
+            shards,
+            kind: PlacementKind::SetHash,
+        }
+    }
+
+    /// Class-aware placement: every set of a class colocates on the
+    /// shard named by hashing the class label, so class-restricted
+    /// sweeps hit exactly one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn class_aware(shards: usize) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        Placement {
+            shards,
+            kind: PlacementKind::ClassHash,
+        }
+    }
+
+    /// Number of shards this placement spreads over.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns a set, given its global ID and class.
+    #[must_use]
+    pub fn shard_of(&self, id: SetId, class: SignalClass) -> usize {
+        let key = match self.kind {
+            PlacementKind::SetHash => id.0,
+            PlacementKind::ClassHash => u64::from(emap_wire::quant::class_code(class)),
+        };
+        (splitmix64(key) % self.shards as u64) as usize
+    }
+
+    /// Partitions a store into one sub-corpus per shard, routing every
+    /// set through [`Placement::shard_of`]. Returns, per shard, the
+    /// shard's [`Mdb`] (local IDs dense from 0, prewarmed tables kept)
+    /// and its local→global ID map — the coordinator needs the map to
+    /// translate shard hits back into the union store's ID space.
+    #[must_use]
+    pub fn partition(&self, mdb: &Mdb) -> Vec<(Mdb, Vec<SetId>)> {
+        mdb.partition_by(self.shards, |id, set| self.shard_of(id, set.class()))
+    }
+}
+
+/// SplitMix64 finalizer — a well-mixed, dependency-free 64-bit hash with
+/// a fixed constant set, so placement never drifts across builds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_hash_spreads_and_stays_stable() {
+        let p = Placement::hash(4);
+        let mut counts = [0usize; 4];
+        for id in 0..1000 {
+            let s = p.shard_of(SetId(id), SignalClass::Normal);
+            assert_eq!(s, p.shard_of(SetId(id), SignalClass::Seizure));
+            counts[s] += 1;
+        }
+        // Uniform-ish: no shard is empty or hoards more than half.
+        assert!(counts.iter().all(|&c| c > 100 && c < 500), "{counts:?}");
+    }
+
+    #[test]
+    fn class_hash_colocates_a_class() {
+        let p = Placement::class_aware(4);
+        let home = p.shard_of(SetId(0), SignalClass::Seizure);
+        for id in 1..100 {
+            assert_eq!(p.shard_of(SetId(id), SignalClass::Seizure), home);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = Placement::hash(0);
+    }
+}

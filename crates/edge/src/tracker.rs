@@ -1,4 +1,4 @@
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use emap_datasets::SignalClass;
 use emap_dsp::area::{BoundedAreaScan, ScanCounters};
@@ -81,7 +81,7 @@ impl TrackedSignal {
             set_id: self.set_id,
             class: self.class,
             samples: self.samples.clone(),
-            stats: Arc::clone(&self.stats),
+            stats: Arc::new(OnceLock::from(Arc::clone(&self.stats))),
         }
     }
 }
@@ -134,25 +134,28 @@ pub struct SliceDownload {
 }
 
 /// One downloaded slice prepared for sharing: the samples behind a shared
-/// handle and the statistics tables built exactly once.
+/// handle and the statistics tables built at most once, lazily.
 ///
 /// This is the batched counterpart of [`SliceDownload`]'s owned samples.
-/// A batch response ships each distinct slice once; converting it into a
-/// `SharedSlice` pays the statistics build once, and every tracker that
-/// hits the same slice then loads it for two refcount bumps via
-/// [`EdgeTracker::load_shared`] — with byte-identical tracking state to
-/// [`EdgeTracker::load_remote`] on an owned copy, because the tables are a
-/// pure function of the samples.
+/// A batch response ships each distinct slice once; the statistics build
+/// is deferred until the first tracker actually loads the slice (via
+/// [`EdgeTracker::load_shared`]), and every clone shares the one build —
+/// so paths that only relay slices onward (a cluster coordinator
+/// re-encoding shard responses) never pay for tables nobody reads. The
+/// tracking state stays byte-identical to [`EdgeTracker::load_remote`] on
+/// an owned copy, because the tables are a pure function of the samples.
 #[derive(Debug, Clone)]
 pub struct SharedSlice {
     set_id: SetId,
     class: SignalClass,
     samples: SharedSamples,
-    stats: Arc<HostStats>,
+    stats: Arc<OnceLock<Arc<HostStats>>>,
 }
 
 impl SharedSlice {
-    /// Wraps downloaded samples, building the per-slice statistics tables.
+    /// Wraps downloaded samples. The per-slice statistics tables are not
+    /// built here — they materialize on the first [`SharedSlice::stats_arc`]
+    /// call and are shared by every clone.
     ///
     /// # Errors
     ///
@@ -165,14 +168,22 @@ impl SharedSlice {
                 got: samples.len(),
             });
         }
-        let samples = SharedSamples::new(samples);
-        let stats = Arc::new(HostStats::new(&samples));
         Ok(SharedSlice {
             set_id,
             class,
-            samples,
-            stats,
+            samples: SharedSamples::new(samples),
+            stats: Arc::new(OnceLock::new()),
         })
+    }
+
+    /// The cached O(1)-statistics tables, built on first use. Clones made
+    /// before the first call share the build with their siblings.
+    #[must_use]
+    pub fn stats_arc(&self) -> Arc<HostStats> {
+        Arc::clone(
+            self.stats
+                .get_or_init(|| Arc::new(HostStats::new(&self.samples))),
+        )
     }
 
     /// Which signal-set this is.
@@ -326,14 +337,17 @@ impl EdgeTracker {
     pub fn load_shared(&mut self, hits: Vec<SharedDownload>) {
         self.tracked = hits
             .into_iter()
-            .map(|h| TrackedSignal {
-                set_id: h.slice.set_id,
-                omega: h.omega,
-                beta: h.beta,
-                last_score: 0.0,
-                class: h.slice.class,
-                samples: h.slice.samples,
-                stats: h.slice.stats,
+            .map(|h| {
+                let stats = h.slice.stats_arc();
+                TrackedSignal {
+                    set_id: h.slice.set_id,
+                    omega: h.omega,
+                    beta: h.beta,
+                    last_score: 0.0,
+                    class: h.slice.class,
+                    samples: h.slice.samples,
+                    stats,
+                }
             })
             .collect();
     }

@@ -39,6 +39,12 @@ pub struct SearchWork {
     /// (a fine pass covers all of a host's fine groups).
     #[serde(default)]
     pub bound_evaluations: u64,
+    /// Whether the result covers only part of the corpus. A single store
+    /// never sets this; a cluster coordinator sets it when every replica
+    /// of at least one shard was unreachable and the merged top-K is a
+    /// degraded, partial-coverage answer.
+    #[serde(default)]
+    pub partial: bool,
 }
 
 impl SearchWork {
@@ -50,6 +56,7 @@ impl SearchWork {
         self.truncated |= other.truncated;
         self.hosts_pruned += other.hosts_pruned;
         self.bound_evaluations += other.bound_evaluations;
+        self.partial |= other.partial;
     }
 }
 
@@ -204,6 +211,7 @@ mod tests {
             truncated: false,
             hosts_pruned: 3,
             bound_evaluations: 7,
+            partial: false,
         };
         a.merge(SearchWork {
             correlations: 5,
@@ -212,6 +220,7 @@ mod tests {
             truncated: true,
             hosts_pruned: 2,
             bound_evaluations: 4,
+            partial: true,
         });
         assert_eq!(a.correlations, 15);
         assert_eq!(a.sets_scanned, 3);
@@ -219,6 +228,7 @@ mod tests {
         assert!(a.truncated);
         assert_eq!(a.hosts_pruned, 5);
         assert_eq!(a.bound_evaluations, 11);
+        assert!(a.partial);
     }
 
     #[test]

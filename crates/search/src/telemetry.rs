@@ -117,6 +117,7 @@ mod tests {
                         truncated: i == 2,
                         hosts_pruned: 9,
                         bound_evaluations: 14,
+                        partial: false,
                     },
                 )
             })
@@ -150,6 +151,7 @@ mod tests {
                 truncated: false,
                 hosts_pruned: 0,
                 bound_evaluations: 0,
+                partial: false,
             },
         )];
         t.record_sweep(&ScanKernel::exhaustive(), &sets);

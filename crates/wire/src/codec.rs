@@ -66,11 +66,16 @@ impl PayloadWriter {
     }
 
     /// Appends a length-prefixed `f32` slice (`u32` count + bit patterns).
+    ///
+    /// Writes through a pre-sized window instead of growing byte-by-byte:
+    /// slice tables put hundreds of kilobytes through this per response,
+    /// and the fixed-size chunk copies vectorize.
     pub fn put_f32_slice(&mut self, samples: &[f32]) {
         self.put_u32(samples.len() as u32);
-        self.buf.reserve(samples.len() * 4);
-        for &s in samples {
-            self.buf.extend_from_slice(&s.to_le_bytes());
+        let start = self.buf.len();
+        self.buf.resize(start + samples.len() * 4, 0);
+        for (dst, s) in self.buf[start..].chunks_exact_mut(4).zip(samples) {
+            dst.copy_from_slice(&s.to_le_bytes());
         }
     }
 
@@ -99,9 +104,10 @@ impl PayloadWriter {
     /// quantized slices have a protocol-fixed length, so the count would
     /// be dead weight on every table entry.
     pub fn put_i16_samples(&mut self, samples: &[i16]) {
-        self.buf.reserve(samples.len() * 2);
-        for &s in samples {
-            self.buf.extend_from_slice(&s.to_le_bytes());
+        let start = self.buf.len();
+        self.buf.resize(start + samples.len() * 2, 0);
+        for (dst, s) in self.buf[start..].chunks_exact_mut(2).zip(samples) {
+            dst.copy_from_slice(&s.to_le_bytes());
         }
     }
 }

@@ -7,11 +7,16 @@
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xedb8_8320;
 
-/// 256-entry lookup table, built at compile time.
-static TABLE: [u32; 256] = build_table();
+/// Slicing-by-16 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table; `TABLES[j]` advances a byte through `j`
+/// further zero bytes, letting the hot loop fold sixteen input bytes per
+/// iteration with four independent table chains — slice tables put
+/// hundreds of kilobytes through the checksum per response, so the byte
+/// loop was a visible share of every frame encode *and* decode.
+static TABLES: [[u32; 256]; 16] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -24,10 +29,46 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = tables[0][i];
+        let mut j = 1;
+        while j < 16 {
+            crc = (crc >> 8) ^ tables[0][(crc & 0xff) as usize];
+            tables[j][i] = crc;
+            j += 1;
+        }
+        i += 1;
+    }
+    tables
+}
+
+/// Folds one little-endian word through tables `base + 3 ..= base + 0`.
+#[inline(always)]
+fn fold_word(word: u32, base: usize) -> u32 {
+    TABLES[base + 3][(word & 0xff) as usize]
+        ^ TABLES[base + 2][((word >> 8) & 0xff) as usize]
+        ^ TABLES[base + 1][((word >> 16) & 0xff) as usize]
+        ^ TABLES[base][(word >> 24) as usize]
+}
+
+/// Folds `data` into a raw (pre-inversion) CRC state.
+fn update(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(16);
+    for c in &mut chunks {
+        let w0 = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let w1 = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        let w2 = u32::from_le_bytes([c[8], c[9], c[10], c[11]]);
+        let w3 = u32::from_le_bytes([c[12], c[13], c[14], c[15]]);
+        crc = fold_word(w0, 12) ^ fold_word(w1, 8) ^ fold_word(w2, 4) ^ fold_word(w3, 0);
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    crc
 }
 
 /// CRC-32 of `data` (initial value `!0`, final xor `!0` — the standard
@@ -43,11 +84,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// valid one.
 #[must_use]
 pub fn crc32_pair(head: &[u8], tail: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &byte in head.iter().chain(tail) {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xff) as usize];
-    }
-    !crc
+    !update(update(!0, head), tail)
 }
 
 #[cfg(test)]

@@ -949,25 +949,46 @@ fn decode_delta_result(
     })
 }
 
-/// Writes the work counters shared by every search-result encoding.
+/// Bit 0 of the work flags byte: the search stopped at its work budget.
+const WORK_FLAG_TRUNCATED: u8 = 0x01;
+/// Bit 1 of the work flags byte: the result covers only part of the
+/// corpus (a cluster coordinator answered with at least one shard down).
+const WORK_FLAG_PARTIAL: u8 = 0x02;
+
+/// Writes the work counters shared by every search-result encoding. The
+/// byte that historically carried `truncated` alone is a flags byte:
+/// bit 0 is `truncated`, bit 1 is `partial` — so pre-cluster payloads
+/// decode unchanged and the payload size never moved.
 fn encode_work(w: &mut PayloadWriter, work: &SearchWork) {
     w.put_u64(work.correlations);
     w.put_u64(work.sets_scanned);
     w.put_u64(work.matches);
-    w.put_u8(u8::from(work.truncated));
+    let mut flags = 0u8;
+    if work.truncated {
+        flags |= WORK_FLAG_TRUNCATED;
+    }
+    if work.partial {
+        flags |= WORK_FLAG_PARTIAL;
+    }
+    w.put_u8(flags);
     w.put_u64(work.hosts_pruned);
     w.put_u64(work.bound_evaluations);
 }
 
 /// Reads the work counters written by [`encode_work`].
 fn decode_work(r: &mut PayloadReader<'_>) -> Result<SearchWork, WireError> {
+    let correlations = r.get_u64("work.correlations")?;
+    let sets_scanned = r.get_u64("work.sets_scanned")?;
+    let matches = r.get_u64("work.matches")?;
+    let flags = r.get_u8("work.flags")?;
     Ok(SearchWork {
-        correlations: r.get_u64("work.correlations")?,
-        sets_scanned: r.get_u64("work.sets_scanned")?,
-        matches: r.get_u64("work.matches")?,
-        truncated: r.get_u8("work.truncated")? != 0,
+        correlations,
+        sets_scanned,
+        matches,
+        truncated: flags & WORK_FLAG_TRUNCATED != 0,
         hosts_pruned: r.get_u64("work.hosts_pruned")?,
         bound_evaluations: r.get_u64("work.bound_evaluations")?,
+        partial: flags & WORK_FLAG_PARTIAL != 0,
     })
 }
 
@@ -1044,6 +1065,7 @@ mod tests {
                     truncated: true,
                     hosts_pruned: 41,
                     bound_evaluations: 160,
+                    partial: false,
                 },
                 slices: vec![SliceDownload {
                     set_id: SetId(41),
@@ -1094,6 +1116,7 @@ mod tests {
                             truncated: q == 1,
                             hosts_pruned: q * 3,
                             bound_evaluations: q * 5,
+                            partial: q == 2,
                         },
                         hits: vec![
                             BatchHit {
@@ -1399,6 +1422,7 @@ mod tests {
                 truncated: false,
                 hosts_pruned: 12,
                 bound_evaluations: 99,
+                partial: true,
             },
             hits: (0..table_len)
                 .map(|i| DeltaHit::New {

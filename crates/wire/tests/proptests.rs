@@ -77,9 +77,18 @@ fn arb_work() -> impl Strategy<Value = SearchWork> {
         any::<bool>(),
         0u64..1 << 20,
         0u64..1 << 21,
+        any::<bool>(),
     )
         .prop_map(
-            |(correlations, sets_scanned, matches, truncated, hosts_pruned, bound_evaluations)| {
+            |(
+                correlations,
+                sets_scanned,
+                matches,
+                truncated,
+                hosts_pruned,
+                bound_evaluations,
+                partial,
+            )| {
                 SearchWork {
                     correlations,
                     sets_scanned,
@@ -87,6 +96,7 @@ fn arb_work() -> impl Strategy<Value = SearchWork> {
                     truncated,
                     hosts_pruned,
                     bound_evaluations,
+                    partial,
                 }
             },
         )
@@ -163,42 +173,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         prop::collection::vec(-100.0f32..100.0, 256)
             .prop_map(|second| Message::SearchRequest { second }),
-        (
-            (
-                0u64..1 << 40,
-                0u64..1 << 20,
-                0u64..1 << 20,
-                any::<bool>(),
-                0u64..1 << 20,
-                0u64..1 << 21,
-            ),
-            prop::collection::vec(arb_slice(), 0..4),
-        )
-            .prop_map(
-                |(
-                    (
-                        correlations,
-                        sets_scanned,
-                        matches,
-                        truncated,
-                        hosts_pruned,
-                        bound_evaluations,
-                    ),
-                    slices,
-                )| {
-                    Message::SearchResponse {
-                        work: SearchWork {
-                            correlations,
-                            sets_scanned,
-                            matches,
-                            truncated,
-                            hosts_pruned,
-                            bound_evaluations,
-                        },
-                        slices,
-                    }
-                }
-            ),
+        (arb_work(), prop::collection::vec(arb_slice(), 0..4))
+            .prop_map(|(work, slices)| Message::SearchResponse { work, slices }),
         (
             arb_class(),
             arb_provenance(),

@@ -40,6 +40,7 @@
 
 mod client;
 pub mod delta;
+mod reactor;
 mod server;
 
 pub use client::{
@@ -47,4 +48,4 @@ pub use client::{
     RemoteCloudConfig,
 };
 pub use delta::{apply_delta, DeltaPlanner};
-pub use server::{CloudServer, ServerConfig, ServerStats};
+pub use server::{CloudServer, ServerConfig, ServerCore, ServerStats};

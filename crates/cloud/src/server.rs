@@ -28,14 +28,67 @@ use emap_wire::{
 
 use crate::delta::DeltaPlanner;
 
+/// Which IO core drives a [`CloudServer`]'s connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerCore {
+    /// Pick via the `EMAP_SERVER_CORE` environment variable (`"threaded"`
+    /// or `"reactor"`), defaulting to [`ServerCore::Reactor`]. Lets a
+    /// whole test suite be re-run against either core without code
+    /// changes.
+    #[default]
+    Auto,
+    /// The legacy core: one accept thread, a bounded hand-off queue, and
+    /// a fixed pool of workers each *owning* one connection at a time.
+    /// Session capacity is `workers + pending_sessions`.
+    Threaded,
+    /// The readiness-driven core: one event-loop thread multiplexes
+    /// every connection over epoll (or `poll(2)`), and the same fixed
+    /// worker pool runs only the compute of dispatched requests. Session
+    /// capacity is [`ServerConfig::max_sessions`] (by default mirroring
+    /// the threaded `workers + pending_sessions`); idle sessions cost a
+    /// slab slot, not a thread.
+    Reactor,
+}
+
+impl ServerCore {
+    /// Resolves [`ServerCore::Auto`] against `EMAP_SERVER_CORE`.
+    pub(crate) fn resolve(self) -> ServerCore {
+        match self {
+            ServerCore::Auto => match std::env::var("EMAP_SERVER_CORE").as_deref() {
+                Ok("threaded") => ServerCore::Threaded,
+                _ => ServerCore::Reactor,
+            },
+            picked => picked,
+        }
+    }
+}
+
 /// Tuning knobs for [`CloudServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads, each owning one connection at a time.
+    /// Which IO core serves connections; see [`ServerCore`].
+    pub core: ServerCore,
+    /// Worker threads. Under [`ServerCore::Threaded`] each owns one
+    /// connection at a time; under [`ServerCore::Reactor`] they run only
+    /// the compute of dispatched requests.
     pub workers: usize,
     /// Accepted connections that may wait for a free worker before the
-    /// server answers new arrivals with [`Message::Busy`].
+    /// server answers new arrivals with [`Message::Busy`]
+    /// ([`ServerCore::Threaded`] only).
     pub pending_sessions: usize,
+    /// Most connections the reactor core holds open at once; arrivals
+    /// beyond this are answered [`Message::Busy`] and closed
+    /// ([`ServerCore::Reactor`] only). `0` (the default) derives the
+    /// ceiling from the threaded core's structural capacity,
+    /// `workers + pending_sessions`, so a config tuned for the legacy
+    /// core sheds load at exactly the same session count on either core;
+    /// set it explicitly (e.g. `10_240`) to let the reactor hold far
+    /// more sessions than the pool ever could.
+    pub max_sessions: usize,
+    /// How long the reactor core lets a connection sit with no frame in
+    /// progress before evicting it ([`ServerCore::Reactor`] only — the
+    /// threaded core parks idle sessions on their owning worker forever).
+    pub idle_timeout: Duration,
     /// Searches allowed in flight across all connections; requests beyond
     /// this get [`Message::Busy`] instead of queueing unboundedly.
     pub max_inflight_searches: usize,
@@ -58,13 +111,30 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            core: ServerCore::Auto,
             workers: 4,
             pending_sessions: 16,
+            max_sessions: 0,
+            idle_timeout: Duration::from_secs(60),
             max_inflight_searches: 8,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_payload: DEFAULT_MAX_PAYLOAD,
             max_batch: 8,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Effective reactor session ceiling: [`ServerConfig::max_sessions`]
+    /// when set, else the threaded core's structural capacity
+    /// `workers + pending_sessions` — decision-equivalent shedding for
+    /// configs written against the legacy core.
+    pub(crate) fn session_capacity(&self) -> usize {
+        if self.max_sessions > 0 {
+            self.max_sessions
+        } else {
+            self.workers.saturating_add(self.pending_sessions).max(1)
         }
     }
 }
@@ -113,9 +183,17 @@ const REQUEST_KIND_NAMES: [&str; 6] = ["search", "batch", "ingest", "ping", "sta
 
 /// Per-request-kind telemetry: arrivals and handling latency.
 #[derive(Debug)]
-struct RequestMetrics {
+pub(crate) struct RequestMetrics {
     count: Counter,
     latency: Histogram,
+}
+
+impl RequestMetrics {
+    /// Records one arrival and returns the scoped latency timer for it.
+    pub(crate) fn observe(&self) -> emap_telemetry::Timer {
+        self.count.inc();
+        self.latency.start_timer()
+    }
 }
 
 /// Registry-backed counter handles, looked up once at bind time so the
@@ -124,20 +202,20 @@ struct RequestMetrics {
 /// [`ServerStats`] figures and the wire-exposed telemetry snapshot can
 /// never disagree.
 #[derive(Debug)]
-struct Counters {
-    connections: Counter,
+pub(crate) struct Counters {
+    pub(crate) connections: Counter,
     served: Counter,
     searches: Counter,
-    busy_rejections: Counter,
+    pub(crate) busy_rejections: Counter,
     ingested: Counter,
-    protocol_errors: Counter,
+    pub(crate) protocol_errors: Counter,
     sweeps: Counter,
     coalesced: Counter,
-    bytes_in: Counter,
-    bytes_out: Counter,
-    bytes_out_search: Counter,
-    bytes_out_batch: Counter,
-    bytes_out_slice: Counter,
+    pub(crate) bytes_in: Counter,
+    pub(crate) bytes_out: Counter,
+    pub(crate) bytes_out_search: Counter,
+    pub(crate) bytes_out_batch: Counter,
+    pub(crate) bytes_out_slice: Counter,
     delta_retained: Counter,
     delta_shipped: Counter,
     delta_evicted: Counter,
@@ -173,7 +251,7 @@ impl Counters {
 
     /// The per-kind telemetry for a client request, or `None` for message
     /// types a client may not send.
-    fn request(&self, msg: &Message) -> Option<&RequestMetrics> {
+    pub(crate) fn request(&self, msg: &Message) -> Option<&RequestMetrics> {
         let kind = match msg {
             // Delta requests are searches/batches on the wire-diet path;
             // they share the kind counters so the per-type telemetry
@@ -209,7 +287,7 @@ impl Counters {
 
 /// A counting permit for globally bounded in-flight searches. The gauge
 /// mirrors `inflight` into the telemetry registry.
-struct Permits {
+pub(crate) struct Permits {
     inflight: AtomicUsize,
     max: usize,
     gauge: Gauge,
@@ -229,7 +307,7 @@ impl Permits {
     }
 }
 
-struct PermitGuard(Arc<Permits>);
+pub(crate) struct PermitGuard(Arc<Permits>);
 
 impl Drop for PermitGuard {
     fn drop(&mut self) {
@@ -256,30 +334,42 @@ struct BatchState {
     sweeping: bool,
 }
 
-/// Everything the accept loop and the workers share.
-struct Shared {
+/// Everything the IO core (accept loop + workers, or reactor loop +
+/// workers) shares.
+pub(crate) struct Shared {
     service: CloudService,
-    config: ServerConfig,
-    shutdown: AtomicBool,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
     permits: Arc<Permits>,
-    counters: Counters,
-    telemetry: Registry,
+    pub(crate) counters: Counters,
+    pub(crate) telemetry: Registry,
     batch: Mutex<BatchState>,
     batch_cv: Condvar,
 }
 
-/// A threaded TCP server exposing a [`CloudService`] over the
-/// [`emap_wire`] protocol.
+/// A TCP server exposing a [`CloudService`] over the [`emap_wire`]
+/// protocol, on one of two IO cores (see [`ServerCore`]).
 ///
-/// Architecture: one accept thread hands connections to a bounded queue; a
-/// fixed pool of workers each serves one connection at a time, answering
-/// pipelined requests in order. When the queue is full the acceptor
-/// answers [`Message::Busy`] and closes — clients treat that as a
-/// retryable condition, so overload degrades into backoff instead of
-/// unbounded queueing. [`CloudServer::shutdown`] stops accepting, lets
-/// every in-flight request finish and flush, then joins all threads.
+/// **Threaded core**: one accept thread hands connections to a bounded
+/// queue; a fixed pool of workers each serves one connection at a time,
+/// answering pipelined requests in order. When the queue is full the
+/// acceptor answers [`Message::Busy`] and closes — clients treat that as
+/// a retryable condition, so overload degrades into backoff instead of
+/// unbounded queueing.
 ///
-/// Single-query searches from different connections that land in the
+/// **Reactor core** (default): one event-loop thread multiplexes every
+/// connection nonblockingly — frame reassembly, response flushing, and
+/// idle/read/write deadlines all happen on the loop — and the same
+/// worker pool runs only the compute of dispatched requests. Replies are
+/// bitwise identical to the threaded core's; what changes is the cost of
+/// an idle session (a slab slot instead of a parked thread) and how high
+/// the session ceiling can go ([`ServerConfig::max_sessions`], which
+/// defaults to mirroring the legacy `workers + pending_sessions`
+/// capacity). See `DESIGN.md` §17.
+///
+/// Under either core, [`CloudServer::shutdown`] stops accepting, lets
+/// every in-flight request finish and flush, then joins all threads; and
+/// single-query searches from different connections that land in the
 /// same scheduling window are **micro-batched**: they queue briefly, one
 /// worker sweeps the store once for up to [`ServerConfig::max_batch`] of
 /// them, and each connection gets exactly the reply it would have gotten
@@ -289,15 +379,48 @@ struct Shared {
 pub struct CloudServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    core: CoreHandle,
+}
+
+/// The running threads of whichever core [`CloudServer`] started.
+enum CoreHandle {
+    Threaded {
+        accept_handle: Option<JoinHandle<()>>,
+        worker_handles: Vec<JoinHandle<()>>,
+    },
+    Reactor(crate::reactor::ReactorHandle),
+}
+
+impl CoreHandle {
+    fn join(&mut self) {
+        match self {
+            CoreHandle::Threaded {
+                accept_handle,
+                worker_handles,
+            } => {
+                if let Some(h) = accept_handle.take() {
+                    let _ = h.join();
+                }
+                for h in worker_handles.drain(..) {
+                    let _ = h.join();
+                }
+            }
+            CoreHandle::Reactor(handle) => handle.join(),
+        }
+    }
 }
 
 impl std::fmt::Debug for CloudServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CloudServer")
             .field("local_addr", &self.local_addr)
-            .field("workers", &self.worker_handles.len())
+            .field(
+                "core",
+                &match self.core {
+                    CoreHandle::Threaded { .. } => "threaded",
+                    CoreHandle::Reactor(_) => "reactor",
+                },
+            )
             .finish_non_exhaustive()
     }
 }
@@ -360,27 +483,38 @@ impl CloudServer {
             batch_cv: Condvar::new(),
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(pending);
-        let rx = Arc::new(Mutex::new(rx));
+        let core = match shared.config.core.resolve() {
+            ServerCore::Reactor | ServerCore::Auto => {
+                CoreHandle::Reactor(crate::reactor::spawn(Arc::clone(&shared), listener)?)
+            }
+            ServerCore::Threaded => {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(pending);
+                let rx = Arc::new(Mutex::new(rx));
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&shared, &rx))
-            })
-            .collect();
+                let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+                    .map(|_| {
+                        let shared = Arc::clone(&shared);
+                        let rx = Arc::clone(&rx);
+                        std::thread::spawn(move || worker_loop(&shared, &rx))
+                    })
+                    .collect();
 
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+                let accept_handle = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+                };
+
+                CoreHandle::Threaded {
+                    accept_handle: Some(accept_handle),
+                    worker_handles,
+                }
+            }
         };
 
         Ok(CloudServer {
             shared,
             local_addr,
-            accept_handle: Some(accept_handle),
-            worker_handles,
+            core,
         })
     }
 
@@ -412,29 +546,24 @@ impl CloudServer {
     /// [`error_code::SHUTTING_DOWN`].
     pub fn shutdown(mut self) -> ServerStats {
         self.begin_shutdown();
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
-        }
-        for h in self.worker_handles.drain(..) {
-            let _ = h.join();
-        }
+        self.core.join();
         self.shared.counters.snapshot()
     }
 
     fn begin_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let CoreHandle::Reactor(handle) = &self.core {
+            // The loop may be parked in the poller with no timers armed;
+            // only a wakeup makes it notice the flag.
+            handle.wake();
+        }
     }
 }
 
 impl Drop for CloudServer {
     fn drop(&mut self) {
         self.begin_shutdown();
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
-        }
-        for h in self.worker_handles.drain(..) {
-            let _ = h.join();
-        }
+        self.core.join();
     }
 }
 
@@ -463,7 +592,7 @@ fn write_counted<W: Write>(
 /// the v3 full path, 2 per i16 sample on the v4 quantized path. Feeds
 /// `cloud_bytes_out_slice`, so `emap stats` can show how much of the
 /// downlink is slice data versus framing.
-fn slice_payload_bytes(msg: &Message) -> u64 {
+pub(crate) fn slice_payload_bytes(msg: &Message) -> u64 {
     let (f32_slices, i16_slices) = match msg {
         Message::SearchResponse { slices, .. } => (slices.len(), 0),
         Message::SearchBatchResponse { slices, .. } => (slices.len(), 0),
@@ -672,22 +801,76 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
     }
 }
 
+/// The admission verdict for one decoded request: either it may run —
+/// holding a search permit if it is a search — or the server is at its
+/// in-flight bound and the reply is [`Message::Busy`].
+pub(crate) enum Admission {
+    /// Run the request; the guard (for searches) releases on drop.
+    Granted(Option<PermitGuard>),
+    /// No permit free; `busy_rejections` has been counted.
+    Busy,
+}
+
+/// Applies the in-flight search bound to one request, *before* any work
+/// is queued or executed. Non-search messages are always granted.
+///
+/// Both cores share this: the threaded core calls it at the top of
+/// [`handle_request`]; the reactor core calls it at dispatch time on the
+/// loop thread, so a saturated worker pool answers `Busy` immediately
+/// instead of growing an unbounded job queue. The `searches` counter is
+/// incremented here, on grant — exactly where the legacy per-arm code
+/// incremented it — so both cores count identically.
+pub(crate) fn admit(shared: &Shared, msg: &Message) -> Admission {
+    let weight = match msg {
+        Message::SearchRequest { .. } | Message::SearchDeltaRequest { .. } => 1,
+        // One permit covers a whole batch: it is one sweep's worth of
+        // store work, regardless of how many queries ride it.
+        Message::SearchBatchRequest { seconds } => seconds.len() as u64,
+        Message::SearchBatchDeltaRequest { queries } => queries.len() as u64,
+        _ => return Admission::Granted(None),
+    };
+    match shared.permits.try_acquire() {
+        Some(permit) => {
+            shared.counters.searches.add(weight);
+            Admission::Granted(Some(permit))
+        }
+        None => {
+            shared.counters.busy_rejections.inc();
+            Admission::Busy
+        }
+    }
+}
+
 /// Computes the reply for one decoded request. The bool asks the session
 /// loop to close the connection after sending it.
 ///
-/// Wraps [`handle_request_inner`] with the per-frame-type telemetry:
-/// arrival count plus a scoped handling-latency timer (inert when the
-/// registry is disabled).
-fn handle_request(
+/// Wraps admission plus [`handle_request_inner`] with the per-frame-type
+/// telemetry: arrival count plus a scoped handling-latency timer (inert
+/// when the registry is disabled).
+pub(crate) fn handle_request(
     shared: &Shared,
     msg: Message,
     delivered: &mut HashSet<SetId>,
 ) -> (Message, bool) {
-    let timer = shared.counters.request(&msg).map(|m| {
-        m.count.inc();
-        m.latency.start_timer()
-    });
-    let out = handle_request_inner(shared, msg, delivered);
+    let timer = shared.counters.request(&msg).map(RequestMetrics::observe);
+    let out = match admit(shared, &msg) {
+        Admission::Busy => (Message::Busy, false),
+        Admission::Granted(permit) => handle_request_inner(shared, msg, delivered, permit),
+    };
+    drop(timer);
+    out
+}
+
+/// Serves an already-admitted request: the reactor core's workers enter
+/// here with the permit the loop thread acquired at dispatch.
+pub(crate) fn handle_admitted(
+    shared: &Shared,
+    msg: Message,
+    delivered: &mut HashSet<SetId>,
+    permit: Option<PermitGuard>,
+) -> (Message, bool) {
+    let timer = shared.counters.request(&msg).map(RequestMetrics::observe);
+    let out = handle_request_inner(shared, msg, delivered, permit);
     drop(timer);
     out
 }
@@ -696,43 +879,16 @@ fn handle_request_inner(
     shared: &Shared,
     msg: Message,
     delivered: &mut HashSet<SetId>,
+    _permit: Option<PermitGuard>,
 ) -> (Message, bool) {
     match msg {
-        Message::SearchRequest { second } => {
-            let Some(_permit) = shared.permits.try_acquire() else {
-                shared.counters.busy_rejections.inc();
-                return (Message::Busy, false);
-            };
-            shared.counters.searches.inc();
-            (search_reply(shared, &second), false)
-        }
-        Message::SearchBatchRequest { seconds } => {
-            // One permit covers the whole batch: it is one sweep's worth
-            // of store work, regardless of how many queries ride it.
-            let Some(_permit) = shared.permits.try_acquire() else {
-                shared.counters.busy_rejections.inc();
-                return (Message::Busy, false);
-            };
-            shared.counters.searches.add(seconds.len() as u64);
-            (batch_reply(shared, &seconds), false)
-        }
-        Message::SearchDeltaRequest { second, tracked } => {
-            let Some(_permit) = shared.permits.try_acquire() else {
-                shared.counters.busy_rejections.inc();
-                return (Message::Busy, false);
-            };
-            shared.counters.searches.inc();
-            (
-                delta_search_reply(shared, &second, &tracked, delivered),
-                false,
-            )
-        }
+        Message::SearchRequest { second } => (search_reply(shared, &second), false),
+        Message::SearchBatchRequest { seconds } => (batch_reply(shared, &seconds), false),
+        Message::SearchDeltaRequest { second, tracked } => (
+            delta_search_reply(shared, &second, &tracked, delivered),
+            false,
+        ),
         Message::SearchBatchDeltaRequest { queries } => {
-            let Some(_permit) = shared.permits.try_acquire() else {
-                shared.counters.busy_rejections.inc();
-                return (Message::Busy, false);
-            };
-            shared.counters.searches.add(queries.len() as u64);
             (delta_batch_reply(shared, queries, delivered), false)
         }
         Message::Ingest {
@@ -1229,6 +1385,7 @@ mod tests {
             write_timeout: Duration::from_secs(2),
             max_payload: DEFAULT_MAX_PAYLOAD,
             max_batch: 8,
+            ..ServerConfig::default()
         }
     }
 

@@ -4,12 +4,16 @@
 //! An edge cannot tell a [`Coordinator`] from a single
 //! [`emap_cloud::CloudServer`]: the same requests go in, and — for every
 //! query the whole cluster can cover — the bitwise-identical responses
-//! come out. Internally each request fans out over persistent
-//! [`RemoteCloud`] connections to every shard, per-shard top-K answers
-//! are merged into an exact global top-K (same `ω` comparator, same tie
-//! order as a single-store sweep, see `DESIGN.md` §16), and ingest is
-//! routed to the owning shard's replicas with a journal that re-syncs
-//! replicas that were down when the write happened.
+//! come out. Internally each search multiplexes one upstream leg per
+//! shard on a single [`emap_reactor::Poller`] owned by the connection
+//! thread (no scoped thread per shard — wide fan-out costs file
+//! descriptors, not spawns), falling back per shard to a blocking
+//! replica walk over persistent [`RemoteCloud`] connections when a leg
+//! fails; per-shard top-K answers are merged into an exact global top-K
+//! (same `ω` comparator, same tie order as a single-store sweep, see
+//! `DESIGN.md` §16), and ingest is routed to the owning shard's replicas
+//! with a journal that re-syncs replicas that were down when the write
+//! happened.
 //!
 //! Failover is replica-order retry: every shard has ≥1 replicas, the
 //! coordinator prefers the replica that answered last, and walks the
@@ -20,8 +24,9 @@
 //! ([`SearchWork::partial`]) so edges know the top-K may under-cover.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -31,12 +36,13 @@ use emap_cloud::{DeltaPlanner, RemoteCloud, RemoteCloudConfig};
 use emap_datasets::SignalClass;
 use emap_edge::SliceDownload;
 use emap_mdb::{Provenance, SetId};
+use emap_reactor::{Event, Interest, Poller, Token};
 use emap_search::{SearchHit, SearchWork};
 use emap_telemetry::{Counter, Gauge, Histogram, MetricValue, Registry};
 use emap_wire::{
     error_code, read_frame_versioned, write_frame_versioned, BatchHit, BatchSearchResult,
-    BatchSlice, Message, QuantizedSlice, StatsMetric, StatsValue, WireError, DEFAULT_MAX_PAYLOAD,
-    MAX_STATS_METRICS, MIN_VERSION,
+    BatchSlice, FrameAssembler, Message, QuantizedSlice, StatsMetric, StatsValue, WireError,
+    DEFAULT_MAX_PAYLOAD, MAX_STATS_METRICS, MIN_VERSION,
 };
 
 use crate::Placement;
@@ -389,8 +395,19 @@ impl<R: Read> Read for Prepend<'_, R> {
 
 /// One connection's upstream clients: `[shard][replica]`, built lazily
 /// and rebuilt when a replica's generation moves (rejoin after restart).
+/// `mux` additionally caches one raw nonblocking socket per shard for
+/// the multiplexed fan-out fast path (see [`mux_scatter`]).
 struct ConnClients {
     slots: Vec<Vec<Option<(u64, RemoteCloud)>>>,
+    mux: Vec<Option<MuxCached>>,
+}
+
+/// A kept-alive upstream socket for one shard's fan-out leg, valid only
+/// while the replica it points at keeps its index and generation.
+struct MuxCached {
+    replica: usize,
+    generation: u64,
+    stream: TcpStream,
 }
 
 impl ConnClients {
@@ -401,6 +418,7 @@ impl ConnClients {
                 .iter()
                 .map(|s| s.replicas.iter().map(|_| None).collect())
                 .collect(),
+            mux: shared.shards.iter().map(|_| None).collect(),
         }
     }
 }
@@ -640,24 +658,20 @@ fn scatter(
     if seconds.is_empty() {
         return Some(Vec::new());
     }
-    // Shard 0 runs on the connection thread itself; only the remaining
-    // shards cost a spawn. A one-shard cluster therefore fans out with
-    // no thread traffic at all.
-    let (first_slots, rest_slots) = clients
-        .slots
-        .split_first_mut()
-        .expect("placement guarantees at least one shard");
-    let per_shard: Vec<Option<ShardAnswers>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = rest_slots
-            .iter_mut()
-            .enumerate()
-            .map(|(i, slots)| scope.spawn(move || shard_call(shared, i + 1, slots, seconds)))
-            .collect();
-        let first = shard_call(shared, 0, first_slots, seconds);
-        std::iter::once(first)
-            .chain(handles.into_iter().map(|h| h.join().unwrap_or_default()))
-            .collect()
-    });
+    // Fast path: every shard's preferred replica is driven concurrently
+    // from this one thread, multiplexed on a single readiness poller —
+    // wide fan-out costs file descriptors, not thread spawns. A leg that
+    // fails for any reason (connect, write, decode, an incoherent ID) is
+    // retried the slow way below.
+    let mut per_shard = mux_scatter(shared, clients, seconds);
+    // Slow path, per failed shard only: the blocking replica walk, which
+    // owns failover (preferred hand-off), journal re-sync of lagging
+    // replicas, and the client's capped-backoff retry budget.
+    for (k, answers) in per_shard.iter_mut().enumerate() {
+        if answers.is_none() {
+            *answers = shard_call(shared, k, &mut clients.slots[k], seconds);
+        }
+    }
     if per_shard.iter().all(Option::is_none) {
         return None;
     }
@@ -691,6 +705,251 @@ fn scatter(
         m.slices.truncate(shared.config.top_k);
     }
     Some(merged)
+}
+
+/// One in-flight leg of the multiplexed fan-out: the request bytes still
+/// to write, and the frame being reassembled from nonblocking reads.
+struct MuxLeg {
+    shard: usize,
+    stream: TcpStream,
+    asm: FrameAssembler,
+    out_pos: usize,
+    timer: emap_telemetry::Timer,
+}
+
+/// What one readiness step did to a leg.
+enum LegStep {
+    Continue,
+    Done(ShardAnswers),
+    Failed,
+}
+
+/// The fan-out fast path: one `SearchBatchRequest` to every shard's
+/// *preferred* replica, all legs multiplexed on a single
+/// [`emap_reactor::Poller`] owned by this connection thread — no scoped
+/// thread per shard. Each leg is journal-synced first (cheap no-op when
+/// the replica is caught up), then written and read nonblockingly with a
+/// per-leg [`FrameAssembler`]. Returns per-shard answers; `None` marks a
+/// leg the caller must retry via the blocking replica walk.
+fn mux_scatter(
+    shared: &Shared,
+    clients: &mut ConnClients,
+    seconds: &[&[f32]],
+) -> Vec<Option<ShardAnswers>> {
+    let n = shared.shards.len();
+    let mut answers: Vec<Option<ShardAnswers>> = (0..n).map(|_| None).collect();
+    // Encode once; every leg writes the same bytes. MIN_VERSION keeps the
+    // upstream exchange on the plain full-precision batch path — the
+    // coordinator re-encodes downstream per its edge's own version.
+    let mut request = Vec::new();
+    let msg = Message::SearchBatchRequest {
+        seconds: seconds.iter().map(|s| s.to_vec()).collect(),
+    };
+    if write_frame_versioned(&mut request, &msg, MIN_VERSION).is_err() {
+        return answers;
+    }
+    let Ok(mut poller) = Poller::new() else {
+        return answers;
+    };
+
+    let mut legs: Vec<Option<MuxLeg>> = (0..n)
+        .map(|k| mux_leg(shared, clients, k, &mut poller))
+        .collect();
+    let mut open = 0;
+    for leg in legs.iter_mut().flatten() {
+        // Edge-triggered registration reports an already-writable socket
+        // immediately, but eagerly pushing the request here saves that
+        // first wakeup on every leg.
+        open += 1;
+        while leg.out_pos < request.len() {
+            match (&leg.stream).write(&request[leg.out_pos..]) {
+                Ok(0) => break,
+                Ok(wrote) => leg.out_pos += wrote,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    let deadline = std::time::Instant::now() + shared.config.read_timeout;
+    let mut events = Vec::new();
+    while open > 0 {
+        let now = std::time::Instant::now();
+        let Some(remaining) = deadline
+            .checked_duration_since(now)
+            .filter(|d| !d.is_zero())
+        else {
+            break;
+        };
+        events.clear();
+        if poller.wait(&mut events, Some(remaining)).is_err() {
+            break;
+        }
+        for &ev in &events {
+            let k = usize::try_from(ev.token.0).unwrap_or(usize::MAX);
+            let Some(leg) = legs.get_mut(k).and_then(Option::as_mut) else {
+                continue;
+            };
+            let step = mux_step(shared, leg, &request, seconds.len(), ev);
+            if matches!(step, LegStep::Continue) {
+                continue;
+            }
+            let leg = legs[k].take().expect("leg just stepped");
+            open -= 1;
+            let _ = poller.deregister(leg.stream.as_raw_fd());
+            match step {
+                LegStep::Done(got) => {
+                    leg.timer.stop();
+                    set_shard_up(shared, leg.shard, true);
+                    // A drained, frame-aligned socket is good for the
+                    // next fan-out; anything else would desynchronize.
+                    if leg.asm.pending() == 0 && !leg.asm.is_poisoned() {
+                        let rt = &shared.shards[leg.shard];
+                        let r = rt.preferred.load(Ordering::Relaxed) % rt.replicas.len();
+                        clients.mux[leg.shard] = Some(MuxCached {
+                            replica: r,
+                            generation: rt.replicas[r].generation.load(Ordering::Acquire),
+                            stream: leg.stream,
+                        });
+                    }
+                    answers[leg.shard] = Some(got);
+                }
+                LegStep::Failed | LegStep::Continue => {
+                    leg.timer.discard();
+                    // Cached socket (if this was it) is already taken out
+                    // of `clients.mux`; dropping the leg closes it.
+                }
+            }
+        }
+    }
+    // Legs still open at the deadline: fail them over to the slow path.
+    for leg in legs.into_iter().flatten() {
+        leg.timer.discard();
+        let _ = poller.deregister(leg.stream.as_raw_fd());
+    }
+    answers
+}
+
+/// Builds shard `k`'s fan-out leg against its preferred replica: journal
+/// re-sync first, then a cached or fresh nonblocking socket registered
+/// with the poller. `None` sends the shard straight to the slow path.
+fn mux_leg(
+    shared: &Shared,
+    clients: &mut ConnClients,
+    k: usize,
+    poller: &mut Poller,
+) -> Option<MuxLeg> {
+    let rt = &shared.shards[k];
+    let r = rt.preferred.load(Ordering::Relaxed) % rt.replicas.len();
+    let state = &rt.replicas[r];
+    let client = client_for(shared, state, &mut clients.slots[k][r]);
+    if !ensure_synced(shared, k, state, client) {
+        return None;
+    }
+    let generation = state.generation.load(Ordering::Acquire);
+    let stream = match clients.mux[k].take() {
+        Some(c) if c.replica == r && c.generation == generation => c.stream,
+        _ => {
+            let addr = state
+                .addr
+                .lock()
+                .expect("replica addr lock poisoned")
+                .clone();
+            let sa = addr.to_socket_addrs().ok()?.next()?;
+            TcpStream::connect_timeout(&sa, shared.config.upstream.connect_timeout).ok()?
+        }
+    };
+    stream.set_nonblocking(true).ok()?;
+    poller
+        .register(stream.as_raw_fd(), Token(k as u64), Interest::BOTH)
+        .ok()?;
+    Some(MuxLeg {
+        shard: k,
+        stream,
+        asm: FrameAssembler::new(shared.config.upstream.max_payload),
+        out_pos: 0,
+        timer: rt.fanout.start_timer(),
+    })
+}
+
+/// Advances one leg on a readiness event: finish writing the request,
+/// then read until the response frame assembles. A reply that is not a
+/// coherent, translatable batch response fails the leg.
+fn mux_step(
+    shared: &Shared,
+    leg: &mut MuxLeg,
+    request: &[u8],
+    queries: usize,
+    ev: Event,
+) -> LegStep {
+    if ev.writable {
+        while leg.out_pos < request.len() {
+            match (&leg.stream).write(&request[leg.out_pos..]) {
+                Ok(0) => return LegStep::Failed,
+                Ok(wrote) => leg.out_pos += wrote,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return LegStep::Failed,
+            }
+        }
+    }
+    if ev.readable || ev.closed {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match (&leg.stream).read(&mut buf) {
+                // EOF mid-exchange: a reused socket the server has since
+                // closed, or a replica dying — either way the slow path
+                // owns the retry.
+                Ok(0) => return LegStep::Failed,
+                Ok(got) => leg.asm.feed(&buf[..got]),
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return LegStep::Failed,
+            }
+            match leg.asm.next_frame() {
+                Ok(None) => {}
+                Ok(Some((_version, Message::SearchBatchResponse { slices, results })))
+                    if results.len() == queries =>
+                {
+                    return match translate_answers(shared, leg.shard, &slices, &results) {
+                        Some(got) => LegStep::Done(got),
+                        None => LegStep::Failed,
+                    };
+                }
+                // Busy, an error reply, a short batch, or garbage: the
+                // blocking client's retry/backoff handles all of those.
+                Ok(Some(_)) | Err(_) => return LegStep::Failed,
+            }
+        }
+    }
+    if ev.closed && !ev.readable {
+        return LegStep::Failed;
+    }
+    LegStep::Continue
+}
+
+/// Translates one shard's decoded batch response to global IDs under the
+/// tables lock — the wire-level mirror of [`shard_call`]'s coherence
+/// check. `None` when the replica reports a local ID the coordinator
+/// never placed there (stale wiring: treat the leg as down).
+fn translate_answers(
+    shared: &Shared,
+    k: usize,
+    slices: &[BatchSlice],
+    results: &[BatchSearchResult],
+) -> Option<ShardAnswers> {
+    let tables = shared.tables.lock().expect("tables lock poisoned");
+    let map = &tables.shards[k].local_to_global;
+    let mut out = Vec::with_capacity(results.len());
+    for result in results {
+        let mut downloads = result.materialize(slices).ok()?;
+        for d in &mut downloads {
+            d.set_id = *map.get(d.set_id.0 as usize)?;
+        }
+        out.push((result.work, downloads));
+    }
+    Some(out)
 }
 
 /// One shard's leg of the fan-out: walk the replicas starting at the

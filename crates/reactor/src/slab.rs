@@ -1,0 +1,269 @@
+//! Dense, generation-tagged storage for per-connection state.
+//!
+//! The poller hands back a `u64` token per readiness event; the reactor
+//! must map it to connection state in O(1) *and* detect the classic
+//! recycled-slot hazard: connection A in slot 3 closes, connection B is
+//! accepted into slot 3, and a stale edge-triggered event for A arrives
+//! carrying token 3. A plain `Vec` index would route A's event to B.
+//!
+//! [`Slab`] therefore packs `slot | generation << 32` into every key it
+//! hands out and bumps the slot's generation on removal, so stale keys
+//! simply miss ([`Slab::get_mut`] returns `None`) instead of aliasing a
+//! newer connection. Free slots are chained through an in-place free
+//! list, so insertion never scans and memory stays proportional to the
+//! high-water mark of live connections.
+
+/// A key into a [`Slab`]: slot index in the low 32 bits, the slot's
+/// generation at insert time in the high 32. Designed to be carried
+/// verbatim inside poller tokens and timer-wheel keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key(u64);
+
+impl Key {
+    /// The raw packed value, for embedding in tokens and timer keys.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a key from a value produced by [`Key::as_u64`].
+    #[must_use]
+    pub fn from_u64(raw: u64) -> Key {
+        Key(raw)
+    }
+
+    fn slot(self) -> usize {
+        usize::try_from(self.0 & 0xffff_ffff).expect("32-bit slot index")
+    }
+
+    fn generation(self) -> u32 {
+        u32::try_from(self.0 >> 32).expect("32-bit generation")
+    }
+
+    fn pack(slot: usize, generation: u32) -> Key {
+        let slot32 = u32::try_from(slot).expect("slab slot fits 32 bits");
+        Key(u64::from(slot32) | u64::from(generation) << 32)
+    }
+}
+
+enum Slot<T> {
+    /// Free; holds the next free slot index (or `None` at list end).
+    Vacant {
+        next_free: Option<usize>,
+        generation: u32,
+    },
+    Occupied {
+        value: T,
+        generation: u32,
+    },
+}
+
+/// Generation-tagged dense storage; see the module docs.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: Option<usize>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value`, reusing a vacated slot when one exists, and
+    /// returns its generation-tagged key.
+    pub fn insert(&mut self, value: T) -> Key {
+        self.len += 1;
+        if let Some(idx) = self.free_head {
+            let generation = match self.slots[idx] {
+                Slot::Vacant {
+                    next_free,
+                    generation,
+                } => {
+                    self.free_head = next_free;
+                    generation
+                }
+                Slot::Occupied { .. } => unreachable!("free list points at an occupied slot"),
+            };
+            self.slots[idx] = Slot::Occupied { value, generation };
+            Key::pack(idx, generation)
+        } else {
+            let idx = self.slots.len();
+            self.slots.push(Slot::Occupied {
+                value,
+                generation: 0,
+            });
+            Key::pack(idx, 0)
+        }
+    }
+
+    /// Looks up a live entry. Stale keys — the slot was removed, and
+    /// possibly reused, since the key was issued — return `None`.
+    #[must_use]
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut T> {
+        match self.slots.get_mut(key.slot()) {
+            Some(Slot::Occupied { value, generation }) if *generation == key.generation() => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Shared-reference lookup with the same staleness contract as
+    /// [`Slab::get_mut`].
+    #[must_use]
+    pub fn get(&self, key: Key) -> Option<&T> {
+        match self.slots.get(key.slot()) {
+            Some(Slot::Occupied { value, generation }) if *generation == key.generation() => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the entry for `key`, bumping the slot's
+    /// generation so every outstanding copy of the key goes stale.
+    /// Stale keys return `None` (removal is idempotent).
+    pub fn remove(&mut self, key: Key) -> Option<T> {
+        let idx = key.slot();
+        match self.slots.get_mut(idx) {
+            Some(slot @ Slot::Occupied { .. }) => {
+                let Slot::Occupied { generation, .. } = *slot else {
+                    unreachable!()
+                };
+                if generation != key.generation() {
+                    return None;
+                }
+                let vacant = Slot::Vacant {
+                    next_free: self.free_head,
+                    generation: generation.wrapping_add(1),
+                };
+                let Slot::Occupied { value, .. } = std::mem::replace(slot, vacant) else {
+                    unreachable!()
+                };
+                self.free_head = Some(idx);
+                self.len -= 1;
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over every live `(key, value)` pair. Used by shutdown
+    /// and stats paths; O(capacity), not O(len).
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| match slot {
+                Slot::Occupied { value, generation } => Some((Key::pack(idx, *generation), value)),
+                Slot::Vacant { .. } => None,
+            })
+    }
+
+    /// Drains every live entry, leaving the slab empty.
+    pub fn drain_all(&mut self) -> Vec<(Key, T)> {
+        let keys: Vec<Key> = self.iter().map(|(k, _)| k).collect();
+        keys.into_iter()
+            .filter_map(|k| self.remove(k).map(|v| (k, v)))
+            .collect()
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(self.iter().map(|(k, v)| (k.as_u64(), v)))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get_mut(b), Some(&mut "b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn stale_keys_never_alias_a_reused_slot() {
+        let mut slab = Slab::new();
+        let old = slab.insert("old");
+        slab.remove(old).unwrap();
+        let new = slab.insert("new");
+        // Same slot, different generation.
+        assert_eq!(old.slot(), new.slot());
+        assert_eq!(slab.get(old), None, "stale key resolved to a new tenant");
+        assert_eq!(slab.remove(old), None);
+        assert_eq!(slab.get(new), Some(&"new"));
+    }
+
+    #[test]
+    fn keys_roundtrip_through_u64() {
+        let mut slab = Slab::new();
+        let k = slab.insert(123);
+        let packed = k.as_u64();
+        assert_eq!(slab.get(Key::from_u64(packed)), Some(&123));
+    }
+
+    #[test]
+    fn free_list_reuses_slots_lifo() {
+        let mut slab = Slab::new();
+        let keys: Vec<_> = (0..4).map(|i| slab.insert(i)).collect();
+        for k in &keys {
+            slab.remove(*k).unwrap();
+        }
+        for i in 0..4 {
+            slab.insert(100 + i);
+        }
+        // No growth beyond the original four slots.
+        assert_eq!(slab.slots.len(), 4);
+        assert_eq!(slab.len(), 4);
+    }
+
+    #[test]
+    fn drain_all_empties_and_invalidates() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.insert(2);
+        let mut drained: Vec<i32> = slab.drain_all().into_iter().map(|(_, v)| v).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2]);
+        assert!(slab.is_empty());
+        assert_eq!(slab.get(a), None);
+    }
+}

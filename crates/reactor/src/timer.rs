@@ -1,0 +1,236 @@
+//! A hashed timing wheel for per-connection deadlines.
+//!
+//! The reactor arms a deadline per connection per state (idle while
+//! `Reading` with nothing buffered, read while mid-frame, write while a
+//! reply is queued) — up to 10k+ live timers that are *almost always
+//! cancelled* (the frame arrives, the write drains) before they fire. A
+//! sorted structure pays O(log n) on every arm *and* every cancel; the
+//! wheel pays O(1) to arm and **nothing** to cancel:
+//!
+//! * **Arm** hashes the deadline's tick into one of `slots` buckets and
+//!   pushes `(deadline, key)`.
+//! * **Cancel is lazy.** [`TimerWheel`] has no cancel call at all. The
+//!   caller keeps the authoritative deadline (and a generation) in its
+//!   own connection state; when an entry fires it re-validates the key
+//!   and discards stale entries. Rearming is just arming again.
+//! * **Expiry** processes only the slots whose ticks have fully
+//!   elapsed, so entries fire at most one tick late — the wheel trades
+//!   that bounded imprecision (a 60 s idle timeout firing at 60.25 s)
+//!   for constant-time maintenance.
+//!
+//! Entries further out than one revolution (`tick × slots`) stay in
+//! their hashed slot and are simply retained, unfired, each time the
+//! cursor passes — the `deadline <= now` check on drain makes the wheel
+//! horizon a performance boundary, not a correctness one.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    deadline: Instant,
+    key: u64,
+}
+
+/// A hashed timing wheel; see the module docs for the contract.
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    origin: Instant,
+    /// Next tick index to process; all slots for ticks `< cursor` have
+    /// been drained of due entries.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel with the given tick granularity and slot count.
+    /// One revolution spans `tick × slots`; deadlines fire at most one
+    /// `tick` late.
+    ///
+    /// # Panics
+    ///
+    /// If `tick` is zero or `slots` is zero.
+    #[must_use]
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        assert!(tick > Duration::ZERO, "tick must be nonzero");
+        assert!(slots > 0, "wheel needs at least one slot");
+        TimerWheel {
+            tick,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            origin: Instant::now(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Live entries, including lazily-cancelled ones not yet swept.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are armed at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.origin);
+        u64::try_from(since.as_nanos() / self.tick.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Arms `key` to fire once `deadline` has elapsed (within one tick).
+    /// There is no cancel: callers validate the key on expiry and
+    /// discard entries that no longer match their live state.
+    pub fn arm(&mut self, deadline: Instant, key: u64) {
+        // Already-due deadlines land on the cursor so the next expiry
+        // pass fires them instead of waiting a revolution.
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let idx = usize::try_from(tick % self.slots.len() as u64).expect("slot index");
+        self.slots[idx].push(Entry { deadline, key });
+        self.len += 1;
+    }
+
+    /// Drains every entry whose deadline has elapsed by `now` into
+    /// `out`, in no particular order. Fired keys may be stale — the
+    /// caller re-validates each against its own state.
+    pub fn expired(&mut self, now: Instant, out: &mut Vec<u64>) {
+        // Process a slot only when its whole tick has elapsed: every
+        // current-revolution entry in it is then due by construction,
+        // and far-revolution entries are filtered by the deadline check.
+        let target = self.tick_of(now);
+        let wheel = self.slots.len() as u64;
+        let revolutions_capped = target.saturating_sub(self.cursor).min(wheel);
+        for _ in 0..revolutions_capped {
+            let idx = usize::try_from(self.cursor % wheel).expect("slot index");
+            let len = &mut self.len;
+            self.slots[idx].retain(|e| {
+                if e.deadline <= now {
+                    out.push(e.key);
+                    *len -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.cursor += 1;
+        }
+        // After a full revolution every slot was checked against `now`;
+        // whatever remains is genuinely future, so skipping the cursor
+        // ahead drops no due entry.
+        self.cursor = self.cursor.max(target);
+    }
+
+    /// How long the event loop may sleep before the next entry *could*
+    /// fire: until the first **occupied** slot ahead of the cursor
+    /// finishes elapsing, or `None` when the wheel is empty (sleep
+    /// indefinitely). An idle server with one 60 s deadline therefore
+    /// sleeps ~60 s, not one tick — far-revolution entries may cut the
+    /// sleep short by a revolution, which costs a wakeup, never a
+    /// missed deadline.
+    #[must_use]
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let wheel = self.slots.len() as u64;
+        let occupied_ahead = (0..wheel)
+            .find(|d| {
+                let idx = usize::try_from((self.cursor + d) % wheel).expect("slot index");
+                !self.slots[idx].is_empty()
+            })
+            .expect("len > 0 implies an occupied slot");
+        // Slot `cursor + d` drains once its tick has fully elapsed: the
+        // remainder of the current tick plus `d` whole ticks.
+        let since = now.saturating_duration_since(self.origin);
+        let tick = self.tick.as_nanos();
+        let remainder = tick - since.as_nanos() % tick;
+        let nanos = remainder + u128::from(occupied_ahead) * tick;
+        Some(Duration::from_nanos(
+            u64::try_from(nanos).unwrap_or(u64::MAX),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_within_one_tick_of_the_deadline() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 16);
+        let now = Instant::now();
+        wheel.arm(now + Duration::from_millis(25), 42);
+
+        let mut fired = Vec::new();
+        wheel.expired(now + Duration::from_millis(24), &mut fired);
+        assert!(fired.is_empty(), "fired before the deadline");
+
+        wheel.expired(now + Duration::from_millis(45), &mut fired);
+        assert_eq!(fired, vec![42]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn entries_beyond_one_revolution_survive_passes() {
+        // 4 slots x 10ms = 40ms horizon; an 85ms deadline wraps twice.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 4);
+        let now = Instant::now();
+        wheel.arm(now + Duration::from_millis(85), 9);
+
+        let mut fired = Vec::new();
+        wheel.expired(now + Duration::from_millis(50), &mut fired);
+        assert!(fired.is_empty());
+        assert_eq!(wheel.len(), 1);
+
+        wheel.expired(now + Duration::from_millis(120), &mut fired);
+        assert_eq!(fired, vec![9]);
+    }
+
+    #[test]
+    fn already_due_deadlines_fire_on_the_next_pass() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let now = Instant::now();
+        let mut fired = Vec::new();
+        // Advance the cursor first, then arm something in the past.
+        wheel.expired(now + Duration::from_millis(100), &mut fired);
+        wheel.arm(now, 7);
+        wheel.expired(now + Duration::from_millis(150), &mut fired);
+        assert_eq!(fired, vec![7]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_occupancy() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let now = Instant::now();
+        assert_eq!(wheel.next_timeout(now), None);
+        wheel.arm(now + Duration::from_millis(30), 1);
+        let t = wheel
+            .next_timeout(now)
+            .expect("armed wheel suggests a wakeup");
+        // Must sleep toward the armed deadline (within wheel slop), and
+        // never past the point where the entry's slot drains.
+        assert!(t <= Duration::from_millis(40), "overslept: {t:?}");
+        assert!(t >= Duration::from_millis(20), "woke far too early: {t:?}");
+        let mut fired = Vec::new();
+        wheel.expired(now + Duration::from_millis(60), &mut fired);
+        assert_eq!(wheel.next_timeout(now), None);
+    }
+
+    #[test]
+    fn large_time_jumps_fire_everything_due() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 4);
+        let now = Instant::now();
+        for key in 0..32 {
+            wheel.arm(now + Duration::from_millis(key), key);
+        }
+        // Jump far past every deadline and far past many revolutions.
+        let mut fired = Vec::new();
+        wheel.expired(now + Duration::from_secs(10), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, (0..32).collect::<Vec<_>>());
+        assert!(wheel.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-thread wakeup for the event loop.
+//!
+//! Worker threads finish a sweep and must hand the response back to the
+//! loop thread, which may be parked inside `epoll_wait`. The classic
+//! self-pipe trick solves it without any new syscall surface: a
+//! nonblocking `socketpair(2)` (via [`std::os::unix::net::UnixStream`],
+//! so this module needs no `unsafe` at all) whose read end is
+//! registered on the poller under a reserved token. A worker writes one
+//! byte; the loop wakes, [drains][WakeReceiver::drain] the pipe, and
+//! collects completions from its queue.
+//!
+//! Coalescing is deliberate: if five workers wake the loop before it
+//! runs, the pipe holds up to five bytes but one drain clears them all
+//! and one completion sweep handles all five results. A full pipe
+//! (`WouldBlock` on write) therefore means a wakeup is *already*
+//! pending, and the write is safely dropped.
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+/// The sending half: cheap to clone, one per worker thread.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Wakes the loop thread. Never blocks: a full pipe already
+    /// guarantees a pending wakeup, so the byte is dropped.
+    pub fn wake(&self) {
+        match (&*self.tx).write(&[1u8]) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            // The receiver is gone (loop shutting down) or the pipe
+            // broke; either way there is nobody left to wake.
+            Err(_) => {}
+        }
+    }
+}
+
+/// The receiving half, owned by the loop thread and registered on its
+/// poller.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: UnixStream,
+}
+
+impl WakeReceiver {
+    /// The fd to register on the poller (readable interest).
+    #[must_use]
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Drains every pending wakeup byte, coalescing bursts into one
+    /// notification. Call whenever the wake fd reports readable.
+    pub fn drain(&mut self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match self.rx.read(&mut sink) {
+                Ok(0) => return, // all senders dropped
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Creates a connected waker pair, both ends nonblocking.
+///
+/// # Errors
+///
+/// The `socketpair(2)` failure, as an [`io::Error`].
+pub fn wake_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, WakeReceiver { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Interest, Poller, Token};
+    use std::time::Duration;
+
+    const WAKE_TOKEN: Token = Token(u64::MAX);
+
+    #[test]
+    fn wake_unblocks_a_waiting_poller() {
+        let (waker, mut receiver) = wake_pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(receiver.fd(), WAKE_TOKEN, Interest::READABLE)
+            .unwrap();
+
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+
+        let mut events: Vec<Event> = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == WAKE_TOKEN && e.readable));
+        receiver.drain();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn burst_wakes_coalesce_into_one_drain() {
+        let (waker, mut receiver) = wake_pair().unwrap();
+        for _ in 0..1000 {
+            waker.wake(); // must never block, even with nobody draining
+        }
+        receiver.drain();
+        // After the drain the pipe is empty: a poller would sleep again.
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(receiver.fd(), WAKE_TOKEN, Interest::READABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_pipe() {
+        let (waker, mut receiver) = wake_pair().unwrap();
+        let clone = waker.clone();
+        drop(waker);
+        clone.wake();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(receiver.fd(), WAKE_TOKEN, Interest::READABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == WAKE_TOKEN));
+        receiver.drain();
+    }
+}

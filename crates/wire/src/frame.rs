@@ -143,6 +143,12 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> Result<Message, Wir
 /// stamped version is rejected: a v3 frame cannot smuggle v4-only types
 /// past a version check.
 ///
+/// Built on [`crate::FrameAssembler`], so the blocking client path and
+/// the nonblocking server event loop validate and decode identically.
+/// The assembler's byte accounting keeps this an *exact* read: the
+/// header, then precisely the declared payload — bytes of a pipelined
+/// successor frame are never consumed.
+///
 /// # Errors
 ///
 /// As [`read_frame`].
@@ -150,37 +156,24 @@ pub fn read_frame_versioned<R: Read>(
     r: &mut R,
     max_payload: usize,
 ) -> Result<(u8, Message), WireError> {
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
-    let declared_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
-    let declared_crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
-    check_header(&header, declared_len, max_payload)?;
-
-    let mut payload = vec![0u8; declared_len];
-    r.read_exact(&mut payload)?;
-    let computed = crc32_pair(&header[..12], &payload);
-    if computed != declared_crc {
-        return Err(WireError::BadCrc {
-            declared: declared_crc,
-            computed,
-        });
+    let mut asm = crate::FrameAssembler::new(max_payload);
+    let mut chunk = Vec::new();
+    loop {
+        if let Some(frame) = asm.next_frame()? {
+            return Ok(frame);
+        }
+        let need = asm.needed();
+        debug_assert!(need > 0, "no frame, no error, but nothing needed");
+        // One exact read per assembler request: the 16-byte header, then
+        // the complete declared payload in a single call.
+        chunk.resize(need, 0);
+        r.read_exact(&mut chunk)?;
+        asm.feed(&chunk);
     }
-    let version = header[4];
-    let msg = Message::decode_payload(header[5], &payload)?;
-    if msg.min_version() > version {
-        return Err(WireError::BadPayload {
-            detail: format!(
-                "message type {:#04x} requires protocol version {}, framed as v{version}",
-                header[5],
-                msg.min_version()
-            ),
-        });
-    }
-    Ok((version, msg))
 }
 
 /// Validates everything the header states before any payload I/O.
-fn check_header(
+pub(crate) fn check_header(
     header: &[u8; HEADER_LEN],
     len: usize,
     max_payload: usize,

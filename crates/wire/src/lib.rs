@@ -12,6 +12,9 @@
 //!
 //! * [`codec`] — little-endian field (de)serialization that returns typed
 //!   errors on any shortfall,
+//! * [`assembler`] — incremental frame reassembly ([`FrameAssembler`]):
+//!   feed bytes as a nonblocking socket yields them, drain complete
+//!   validated messages; the blocking reader is built on it,
 //! * [`quant`] — the 16-bit quantized slice transport the v4 wire-diet
 //!   frames ship samples in (bit-exact for native 16-bit EEG),
 //! * [`Message`] — the typed messages and their payload encodings,
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assembler;
 pub mod codec;
 pub mod crc;
 mod error;
@@ -48,6 +52,7 @@ pub mod frame;
 mod message;
 pub mod quant;
 
+pub use assembler::FrameAssembler;
 pub use error::WireError;
 pub use frame::{
     frame_bytes, frame_bytes_versioned, read_frame, read_frame_versioned, write_frame,

@@ -1,0 +1,370 @@
+//! Long-horizon soak of the streaming ingest lifecycle: a gated,
+//! capacity-bounded cloud serving a quality-gated edge fleet for 24
+//! simulated patient-hours of continuous tracking and live ingest, with
+//! injected artifact seconds on both paths and one cloud kill/restart at
+//! half-time. Emits `results/BENCH_soak.json`.
+//!
+//! What must hold over the horizon (ISSUE 10):
+//!
+//! * **Flat memory** — the store is capacity-bounded (live ingest
+//!   replaces, never grows), the quarantine trail is a bounded ring, and
+//!   per-connection delivery state is bounded by the slot space, so RSS
+//!   after the first simulated hour must not creep.
+//! * **Flat refresh latency** — the per-tick serve cost (tracking plus
+//!   any cloud refresh) in the last hour must look like the first hour:
+//!   no drift from store churn, generation bumps, or delta-table growth.
+//! * **Flat tracking accuracy** — the fleet's mean `P_A` on clean normal
+//!   EEG must not wander as the corpus rolls over, because artifact
+//!   seconds are masked out of `P_A` on the edge and artifact slices are
+//!   quarantined out of the sweep on the cloud.
+//!
+//! `EMAP_BENCH_QUICK=1` or `--quick` shrinks the horizon to 2 simulated
+//! hours and *fails* unless memory stayed flat and the cloud gate
+//! rejected a nonzero number of artifact slices.
+
+use std::time::{Duration, Instant};
+
+use emap_bench::{banner, fmt_duration, quick_mode};
+use emap_cloud::{ClientError, CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
+use emap_core::{CloudService, EdgeFleet, IngestPolicy};
+use emap_datasets::{RecordingFactory, SignalClass};
+use emap_edge::{EdgeConfig, EdgeTracker};
+use emap_mdb::{MdbBuilder, Provenance, SIGNAL_SET_LEN};
+use emap_quality::QualityGate;
+use emap_search::SearchConfig;
+use emap_wire::error_code;
+
+/// Process resident set size in KiB, from `/proc/self/status`.
+fn rss_kib() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("VmRSS line")
+}
+
+fn p99(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[(sorted.len() - 1) * 99 / 100]
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+fn soak_client(addr: &str) -> RemoteCloud {
+    RemoteCloud::new(
+        addr,
+        RemoteCloudConfig {
+            connect_timeout: Duration::from_millis(200),
+            attempts: 2,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            ..RemoteCloudConfig::default()
+        },
+    )
+}
+
+/// An amplifier slamming between the rails: saturation archetype.
+fn rail_square() -> Vec<f32> {
+    (0..256)
+        .map(|i| if (i / 64) % 2 == 0 { 500.0 } else { -500.0 })
+        .collect()
+}
+
+/// A dropped electrode: flatline archetype.
+fn flat_second() -> Vec<f32> {
+    vec![0.0; 256]
+}
+
+/// Electrode pops: sparse huge impulses over a quiet baseline.
+fn spike_second() -> Vec<f32> {
+    (0..256)
+        .map(|i| {
+            if i % 32 == 7 {
+                if (i / 32) % 2 == 0 {
+                    450.0
+                } else {
+                    -450.0
+                }
+            } else {
+                2.0 * ((i as f32) * 0.7).sin()
+            }
+        })
+        .collect()
+}
+
+/// The clean looping input second for patient `p` at `tick`: 60 usable
+/// seconds per patient past the filter warm-up, with a per-patient phase
+/// offset so refreshes desynchronize across the fleet.
+fn second_of(streams: &[Vec<f32>], p: usize, tick: usize) -> &[f32] {
+    let s = 4 + (tick + p * 13) % 60;
+    &streams[p][s * 256..(s + 1) * 256]
+}
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    banner(
+        "BENCH_soak — 24-hour streaming ingest lifecycle soak",
+        "bounded live ingest + artifact gating hold RSS, refresh latency, and P_A flat across patient-days (ISSUE 10)",
+    );
+    let sim_hours: usize = if quick { 2 } else { 24 };
+    let patients: usize = if quick { 2 } else { 4 };
+    let ticks = sim_hours * 3600;
+    let restart_tick = ticks / 2;
+
+    // Corpus: the usual mixed normal/seizure batch store; live ingest is
+    // capacity-bounded at its seed size, so the footprint is fixed from
+    // the first second.
+    let factory = RecordingFactory::new(42);
+    let mut builder = MdbBuilder::new();
+    for i in 0..4 {
+        builder
+            .add_recording("d", &factory.normal_recording(&format!("sn{i}"), 24.0))
+            .expect("normal recording");
+        builder
+            .add_recording(
+                "d",
+                &factory.anomaly_recording(SignalClass::Seizure, &format!("ss{i}"), 24.0),
+            )
+            .expect("seizure recording");
+    }
+    let mdb = builder.build();
+    let capacity = mdb.len();
+    let shared = mdb.into_shared();
+    let service =
+        CloudService::new(SearchConfig::paper(), shared, 2).with_ingest_policy(IngestPolicy {
+            gate: Some(QualityGate::default()),
+            capacity: Some(capacity),
+        });
+    let server_config = ServerConfig::default();
+    let mut server = CloudServer::bind("127.0.0.1:0", service.clone(), server_config.clone())
+        .expect("bind soak server");
+    let mut client = soak_client(&server.local_addr().to_string());
+
+    // The fleet: gated edge sessions over looping clean patient streams.
+    let mut fleet = EdgeFleet::new(2).with_quality_gate(QualityGate::default());
+    let streams: Vec<Vec<f32>> = (0..patients)
+        .map(|p| {
+            let rec = factory.normal_recording(&format!("patient-{p}"), 64.0);
+            emap_dsp::emap_bandpass().filter(rec.channels()[0].samples())
+        })
+        .collect();
+    for p in 0..patients {
+        fleet.add_session(
+            format!("patient-{p}"),
+            EdgeTracker::new(EdgeConfig::default()),
+        );
+    }
+    // The live-ingest feed: clean slices cut from a separate recording,
+    // poisoned with a flatline slice every 89th second.
+    let feed = {
+        let rec = factory.normal_recording("ingest-feed", 64.0);
+        emap_dsp::emap_bandpass().filter(rec.channels()[0].samples())
+    };
+    let feed_slices = (feed.len() - 1024 - SIGNAL_SET_LEN) / 256;
+    let flat_slice = vec![0.0f32; SIGNAL_SET_LEN];
+    let rail = rail_square();
+    let flat = flat_second();
+    let spikes = spike_second();
+
+    println!(
+        "{sim_hours} simulated hours, {patients} patients, {capacity}-set bounded store, restart at hour {}",
+        restart_tick / 3600
+    );
+
+    let mut bucket_latencies: Vec<Vec<f64>> = vec![Vec::new(); sim_hours];
+    let mut bucket_pa: Vec<Vec<f64>> = vec![Vec::new(); sim_hours];
+    let mut masked_seconds = 0u64;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut outage_skips = 0u64;
+    let mut degraded_ticks = 0u64;
+    let mut rss_checkpoint = 0u64;
+
+    let started = Instant::now();
+    for tick in 0..ticks {
+        let hour = tick / 3600;
+
+        // One cloud kill/restart at half-time: the store (and its
+        // lifecycle state) survives; connections and their delivery
+        // history die and re-form.
+        if tick == restart_tick {
+            server.shutdown();
+            server = CloudServer::bind("127.0.0.1:0", service.clone(), server_config.clone())
+                .expect("rebind soak server");
+            client = soak_client(&server.local_addr().to_string());
+            println!("hour {hour}: cloud killed and restarted (store retained)");
+        }
+
+        // Edge inputs: mostly clean seconds, with scheduled artifacts.
+        let mut inputs: Vec<&[f32]> = (0..patients)
+            .map(|p| second_of(&streams, p, tick))
+            .collect();
+        for (p, input) in inputs.iter_mut().enumerate() {
+            match (tick + p * 41) % 601 {
+                97 => *input = &rail,
+                293 => *input = &flat,
+                449 => *input = &spikes,
+                _ => {}
+            }
+        }
+
+        let t0 = Instant::now();
+        let tick_result = fleet.serve_with(&client, &inputs).expect("soak tick");
+        let elapsed = t0.elapsed().as_secs_f64();
+        bucket_latencies[hour].push(elapsed);
+        masked_seconds += tick_result.artifacts.len() as u64;
+        if !tick_result.degraded.is_empty() {
+            degraded_ticks += 1;
+        }
+        if tick_result.artifacts.is_empty() {
+            bucket_pa[hour].push(tick_result.mean_probability());
+        }
+
+        // Live ingest: one slice per simulated second.
+        let slice = if tick % 89 == 13 {
+            flat_slice.clone()
+        } else {
+            let i = 1024 + (tick % feed_slices) * 256;
+            feed[i..i + SIGNAL_SET_LEN].to_vec()
+        };
+        match client.ingest(
+            SignalClass::Normal,
+            Provenance {
+                dataset_id: "soak-live".into(),
+                recording_id: "feed".into(),
+                channel: "c0".into(),
+                offset: tick as u64 * 256,
+            },
+            slice,
+        ) {
+            Ok(total) => {
+                accepted += 1;
+                assert!(
+                    total as usize <= capacity,
+                    "bounded store grew past capacity at tick {tick}"
+                );
+            }
+            Err(ClientError::Remote { code, .. }) if code == error_code::REJECTED_ARTIFACT => {
+                rejected += 1;
+            }
+            Err(ClientError::Unreachable { .. }) => outage_skips += 1,
+            Err(e) => panic!("soak ingest failed at tick {tick}: {e}"),
+        }
+
+        if tick + 1 == 3600 {
+            // Steady state reached: everything bounded is at its bound.
+            rss_checkpoint = rss_kib();
+        }
+    }
+    let wall = started.elapsed();
+    let rss_final = rss_kib();
+    let rss_growth = rss_final.saturating_sub(rss_checkpoint);
+    let evictions = service.mdb().with_read(emap_mdb::Mdb::replacements);
+    let store_len = service.mdb().with_read(emap_mdb::Mdb::len);
+    let quarantined = service.quarantined().len();
+    server.shutdown();
+
+    println!(
+        "\n{} simulated seconds in {} wall ({:.0}x real time)",
+        ticks,
+        fmt_duration(wall),
+        ticks as f64 / wall.as_secs_f64(),
+    );
+    println!(
+        "ingest: {accepted} accepted, {rejected} rejected, {evictions} evictions, store {store_len}/{capacity}, quarantine trail {quarantined}"
+    );
+    println!(
+        "edge: {masked_seconds} artifact seconds masked, {degraded_ticks} degraded ticks, {outage_skips} outage skips"
+    );
+    for hour in [0, sim_hours - 1] {
+        println!(
+            "hour {hour}: serve p99 {}, mean {}, mean P_A {:.4}",
+            fmt_duration(Duration::from_secs_f64(p99(&bucket_latencies[hour]))),
+            fmt_duration(Duration::from_secs_f64(mean(&bucket_latencies[hour]))),
+            mean(&bucket_pa[hour]),
+        );
+    }
+    println!("rss: {rss_checkpoint} KiB after hour 1, {rss_final} KiB at end (+{rss_growth} KiB)");
+
+    // --- Report ---------------------------------------------------------
+    let mut hours_json = String::new();
+    for hour in 0..sim_hours {
+        if hour > 0 {
+            hours_json.push_str(",\n");
+        }
+        hours_json.push_str(&format!(
+            "    {{\n      \"hour\": {},\n      \"serve_p99_us\": {:.1},\n      \"serve_mean_us\": {:.1},\n      \"mean_pa\": {:.4}\n    }}",
+            hour,
+            p99(&bucket_latencies[hour]) * 1e6,
+            mean(&bucket_latencies[hour]) * 1e6,
+            mean(&bucket_pa[hour]),
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"BENCH_soak\",\n  \"quick_mode\": {},\n  \"sim_hours\": {},\n  \"patients\": {},\n  \"corpus_sets\": {},\n  \"note\": \"gated capacity-bounded live ingest under a gated edge fleet, one cloud kill/restart at half-time; RSS checkpoint taken after hour 1 so bounded structures are at their bound before flatness is judged\",\n  \"restart_at_hour\": {},\n  \"ingest\": {{\n    \"accepted\": {},\n    \"rejected_artifacts\": {},\n    \"evictions\": {},\n    \"outage_skips\": {},\n    \"quarantine_trail\": {}\n  }},\n  \"edge\": {{\n    \"artifact_seconds_masked\": {},\n    \"degraded_ticks\": {}\n  }},\n  \"rss\": {{\n    \"after_hour1_kib\": {},\n    \"final_kib\": {},\n    \"growth_kib\": {}\n  }},\n  \"hours\": [\n{}\n  ]\n}}\n",
+        quick,
+        sim_hours,
+        patients,
+        capacity,
+        restart_tick / 3600,
+        accepted,
+        rejected,
+        evictions,
+        outage_skips,
+        quarantined,
+        masked_seconds,
+        degraded_ticks,
+        rss_checkpoint,
+        rss_final,
+        rss_growth,
+        hours_json,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_soak.json";
+    std::fs::write(path, report).expect("write BENCH_soak.json");
+    println!("\nwrote {path}");
+
+    // --- Guardrails -----------------------------------------------------
+    // Always: memory flat from the hour-1 checkpoint (32 MiB of allocator
+    // noise allowed), the cloud gate actually rejected artifacts, the
+    // edge gate actually masked seconds, and the bounded store neither
+    // grew nor stopped evicting.
+    assert!(
+        rss_growth < 32 * 1024,
+        "RSS grew {rss_growth} KiB after the hour-1 checkpoint — the lifecycle is not flat"
+    );
+    assert!(rejected > 0, "the cloud gate never rejected an artifact");
+    assert!(masked_seconds > 0, "the edge gate never masked a second");
+    assert!(evictions > 0, "bounded ingest never evicted");
+    assert_eq!(store_len, capacity, "store drifted off its capacity bound");
+    if !quick {
+        // The full soak additionally pins latency and accuracy flatness
+        // between the first and last simulated hour.
+        let (p99_first, p99_last) = (
+            p99(&bucket_latencies[0]),
+            p99(&bucket_latencies[sim_hours - 1]),
+        );
+        assert!(
+            p99_last <= p99_first * 3.0 + 2e-3,
+            "serve p99 drifted: hour 0 {} -> hour {} {}",
+            fmt_duration(Duration::from_secs_f64(p99_first)),
+            sim_hours - 1,
+            fmt_duration(Duration::from_secs_f64(p99_last)),
+        );
+        let (pa_first, pa_last) = (mean(&bucket_pa[0]), mean(&bucket_pa[sim_hours - 1]));
+        assert!(
+            (pa_last - pa_first).abs() <= 0.2,
+            "mean P_A drifted: hour 0 {pa_first:.4} -> hour {} {pa_last:.4}",
+            sim_hours - 1,
+        );
+    }
+    println!("guardrails: memory flat, gates active, store bounded — hold");
+}

@@ -8,7 +8,8 @@ use std::path::Path;
 use emap_cloud::{CloudServer, RemoteCloud, RemoteCloudConfig, ServerConfig};
 use emap_cluster::{Coordinator, CoordinatorConfig, Placement, ShardSpec};
 use emap_core::{
-    seconds_of, Acquisition, CloudService, EdgeFleet, EmapConfig, EmapPipeline, SessionReport,
+    seconds_of, Acquisition, CloudService, EdgeFleet, EmapConfig, EmapPipeline, IngestPolicy,
+    SessionReport,
 };
 use emap_datasets::{export, registry::standard_registry};
 use emap_edf::Recording;
@@ -73,7 +74,9 @@ pub fn dispatch<W: Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliError
         "serve" => serve(
             Args::parse(
                 rest,
-                &["addr", "mdb", "registry", "seed", "workers", "seconds"],
+                &[
+                    "addr", "mdb", "registry", "seed", "workers", "seconds", "gate", "capacity",
+                ],
             )?,
             out,
         ),
@@ -369,7 +372,21 @@ fn serve<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
     };
 
     let total = mdb.len();
-    let service = CloudService::new(EmapConfig::default().search(), mdb.into_shared(), workers);
+    let gate = args.get_or("gate", false, "true or false")?;
+    let capacity: Option<usize> = match args.get("capacity") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| ArgsError::BadValue {
+            option: "capacity".into(),
+            value: v.into(),
+            expected: "an integer set count",
+        })?),
+    };
+    let policy = IngestPolicy {
+        gate: gate.then(emap_quality::QualityGate::default),
+        capacity,
+    };
+    let service = CloudService::new(EmapConfig::default().search(), mdb.into_shared(), workers)
+        .with_ingest_policy(policy);
     let server_config = ServerConfig {
         workers,
         ..ServerConfig::default()
@@ -377,8 +394,13 @@ fn serve<W: Write>(args: Args, out: &mut W) -> Result<(), CliError> {
     let server = CloudServer::bind(addr, service, server_config).map_err(runtime)?;
     writeln!(
         out,
-        "listening on {} ({total} signal-sets, {workers} workers)",
-        server.local_addr()
+        "listening on {} ({total} signal-sets, {workers} workers{}{})",
+        server.local_addr(),
+        if gate { ", quality gate on" } else { "" },
+        match capacity {
+            Some(c) => format!(", capacity {c}"),
+            None => String::new(),
+        },
     )
     .map_err(runtime)?;
 
@@ -1046,5 +1068,84 @@ mod tests {
         assert!(served.contains("listening on"), "{served}");
         assert!(served.contains("served"), "{served}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gated_bounded_serve_rejects_artifacts_and_exposes_lifecycle_counters() {
+        // A per-process port away from the other serve tests' ranges.
+        let port = 15000 + (std::process::id() % 5000) as u16;
+        let addr = format!("127.0.0.1:{port}");
+        let server_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            run(&format!(
+                "serve --addr {server_addr} --registry 1 --seed 7 --workers 2 \
+                 --seconds 6 --gate true --capacity 40"
+            ))
+        });
+        let mut pong = Err(CliError::Runtime("never pinged".into()));
+        for _ in 0..60 {
+            pong = run(&format!("ping --addr {addr}"));
+            if pong.is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        let pong = pong.unwrap();
+        let hosted: u64 = pong
+            .strip_prefix("pong: ")
+            .and_then(|l| l.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .expect("ping reports the store size");
+
+        let client = RemoteCloud::new(&addr, RemoteCloudConfig::default());
+        let provenance = |offset| emap_mdb::Provenance {
+            dataset_id: "cli-live".into(),
+            recording_id: "r".into(),
+            channel: "c0".into(),
+            offset,
+        };
+        // A flatline slice bounces off the gate with the typed code…
+        let err = client
+            .ingest(
+                emap_datasets::SignalClass::Normal,
+                provenance(0),
+                vec![0.0; emap_mdb::SIGNAL_SET_LEN],
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                emap_cloud::ClientError::Remote {
+                    code: emap_wire::error_code::REJECTED_ARTIFACT,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // …while a clean slice lands, and the capacity bound (under the
+        // registry store's size) means it lands by replacement: the
+        // store does not grow.
+        let clean: Vec<f32> = (0..emap_mdb::SIGNAL_SET_LEN)
+            .map(|i| {
+                let t = i as f32 / 256.0;
+                30.0 * (2.0 * std::f32::consts::PI * 13.0 * t).sin()
+                    + 20.0 * (2.0 * std::f32::consts::PI * 29.0 * t).sin()
+            })
+            .collect();
+        let total = client
+            .ingest(emap_datasets::SignalClass::Normal, provenance(1), clean)
+            .unwrap();
+        assert_eq!(total, hosted, "bounded ingest must replace, not grow");
+
+        let out = run(&format!("stats --addr {addr}")).unwrap();
+        assert!(out.contains("ingest_rejected_total 1"), "{out}");
+        assert!(out.contains("quality_artifact_total 1"), "{out}");
+        assert!(out.contains("ingest_accepted_total 1"), "{out}");
+        assert!(out.contains("quality_clean_total 1"), "{out}");
+        assert!(out.contains("ingest_evicted_total 1"), "{out}");
+
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("quality gate on"), "{served}");
+        assert!(served.contains("capacity 40"), "{served}");
     }
 }

@@ -46,8 +46,13 @@ USAGE:
       edge keeps tracking in degraded mode if the cloud drops out).
   emap serve     --addr HOST:PORT (--mdb FILE | --registry SCALE)
                  [--seed N] [--workers N] [--seconds N]
+                 [--gate true] [--capacity N]
       Serve a mega-database over TCP for remote monitors; with
       --seconds the server exits after that long (for scripting).
+      --gate rejects artifact slices at ingest (typed error, slice
+      quarantined); --capacity bounds the store — live ingest past
+      the bound evicts class-aware and bumps the slot generation.
+      Watch ingest_*/quality_* counters with `emap stats`.
   emap shard serve   --addr HOST:PORT --mdb FILE --partition K/N
                      [--class-aware true] [--workers N] [--seconds N]
       Serve one shard of a cluster: the K-th of N placement partitions

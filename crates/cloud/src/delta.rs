@@ -16,14 +16,24 @@
 //! * **evictions** — declared-tracked sets absent from the new top-K:
 //!   just their IDs, so the edge (and telemetry) can see churn.
 //!
+//! With a capacity-bounded live store, a set id no longer names
+//! immutable samples: an in-place replacement reuses the slot for new
+//! data. The connection state is therefore generation-aware —
+//! [`Delivered`] remembers *which generation* of each slot it shipped,
+//! and the planner re-ships (as `New`) any hit whose slot has been
+//! replaced since, instead of emitting a stale `Known` reference that
+//! would resolve against outdated edge cache. Declared-tracked ids are
+//! trusted only for generation-0 slots (never replaced ⇒ whatever the
+//! edge holds is current); anything else travels in full.
+//!
 //! The server side is [`DeltaPlanner`]; the edge side is [`apply_delta`].
 //! Both are pure over their inputs: the planner never touches the store
-//! (the caller fetches and quantizes the table it asks for) and the
-//! applier resolves references through a caller-supplied lookup. The
-//! invariant the proptests pin: *plan → apply → load_shared* yields the
-//! same tracked state as shipping every slice in full, whenever the
-//! lookup is coherent — and `apply_delta` returns `None` (never a wrong
-//! answer) when it is not.
+//! (the caller supplies a slot-generation lookup and fetches/quantizes
+//! the table it asks for) and the applier resolves references through a
+//! caller-supplied lookup. The invariant the proptests pin: *plan →
+//! apply → load_shared* yields the same tracked state as shipping every
+//! slice in full, whenever the lookup is coherent — and `apply_delta`
+//! returns `None` (never a wrong answer) when it is not.
 
 use std::collections::{HashMap, HashSet};
 
@@ -32,6 +42,61 @@ use emap_mdb::SetId;
 use emap_search::{SearchHit, SearchWork};
 use emap_wire::{DeltaHit, DeltaSearchResult};
 
+/// Generation-aware per-connection delivery state: which slot
+/// generation of each set id this connection has already shipped.
+///
+/// An entry `(id, g)` means: the edge side of this connection holds the
+/// samples slot `id` carried at generation `g`. The reference is valid
+/// only while the slot still carries generation `g`; after an in-place
+/// replacement the entry is stale and the planner ships fresh samples
+/// (overwriting the entry on commit).
+#[derive(Debug, Clone, Default)]
+pub struct Delivered {
+    map: HashMap<SetId, u64>,
+}
+
+impl Delivered {
+    /// Empty state (a fresh connection).
+    #[must_use]
+    pub fn new() -> Self {
+        Delivered::default()
+    }
+
+    /// Whether this connection holds `id` *at* the store's current
+    /// generation for that slot — i.e. whether a bare reference is
+    /// still resolvable to the right samples.
+    #[must_use]
+    pub fn holds_current(&self, id: SetId, current_generation: u64) -> bool {
+        self.map.get(&id) == Some(&current_generation)
+    }
+
+    /// Records one shipped slice. Call only after the frame carrying it
+    /// is on the wire.
+    pub fn record(&mut self, id: SetId, generation: u64) {
+        self.map.insert(id, generation);
+    }
+
+    /// Records a whole frame's shipped slices (see
+    /// [`DeltaPlanner::shipped`]).
+    pub fn record_all(&mut self, shipped: impl IntoIterator<Item = (SetId, u64)>) {
+        for (id, generation) in shipped {
+            self.record(id, generation);
+        }
+    }
+
+    /// Number of distinct sets this connection holds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been delivered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Plans delta responses for one frame: decides, hit by hit, whether a
 /// slice must travel or a reference suffices, and builds the frame's
 /// deduplicated slice table.
@@ -39,39 +104,60 @@ use emap_wire::{DeltaHit, DeltaSearchResult};
 /// One planner serves one frame. For a batch frame, call
 /// [`DeltaPlanner::plan`] once per query — the table is shared across
 /// the whole frame, so a slice two queries both need still travels once.
-/// After encoding, fold [`DeltaPlanner::shipped_ids`] into the
-/// connection's delivered set: those (and only those) slices are now on
-/// the edge's side of the wire.
-#[derive(Debug)]
+/// After encoding, fold [`DeltaPlanner::shipped`] into the connection's
+/// [`Delivered`] state: those (and only those) slices are now on the
+/// edge's side of the wire, at the recorded generations.
+///
+/// `generation_of` is the store's slot-generation lookup at plan time
+/// (`Mdb::slot_generation`, collapsed to 0 for append-only stores): the
+/// planner compares it against [`Delivered`] to refuse stale
+/// references.
 pub struct DeltaPlanner<'a> {
     /// Sets already shipped to this connection in earlier frames.
-    delivered: &'a HashSet<SetId>,
+    delivered: &'a Delivered,
+    /// Current slot generation per set id.
+    generation_of: &'a dyn Fn(SetId) -> u64,
     /// Frame-local table membership: set → table index.
     index: HashMap<SetId, u16>,
-    /// Table entries in ship order.
-    table: Vec<SetId>,
+    /// Table entries in ship order, with the generation they carry.
+    table: Vec<(SetId, u64)>,
+    /// Table ids alone, for the fetch-and-quantize pass.
+    table_ids: Vec<SetId>,
+}
+
+impl std::fmt::Debug for DeltaPlanner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaPlanner")
+            .field("delivered", self.delivered)
+            .field("table", &self.table)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> DeltaPlanner<'a> {
     /// Starts planning a frame against what this connection already
-    /// holds.
+    /// holds and the store's current slot generations.
     #[must_use]
-    pub fn new(delivered: &'a HashSet<SetId>) -> Self {
+    pub fn new(delivered: &'a Delivered, generation_of: &'a dyn Fn(SetId) -> u64) -> Self {
         DeltaPlanner {
             delivered,
+            generation_of,
             index: HashMap::new(),
             table: Vec::new(),
+            table_ids: Vec::new(),
         }
     }
 
     /// Plans one query's delta: `hits` is the fresh top-K, `tracked` the
     /// membership the edge declared for this session.
     ///
-    /// A hit becomes a reference when the edge can resolve it — the set
-    /// is declared tracked, was delivered earlier on this connection, or
-    /// is already in this frame's table. Everything else is appended to
-    /// the table and referenced by index. Evictions are the declared
-    /// IDs the new top-K no longer contains.
+    /// A hit becomes a reference when the edge demonstrably holds the
+    /// *current* samples — delivered earlier on this connection at the
+    /// slot's present generation, declared tracked while the slot is
+    /// still at generation 0, or already in this frame's table.
+    /// Everything else (including hits whose slot was replaced since
+    /// delivery) is appended to the table and ships in full. Evictions
+    /// are the declared IDs the new top-K no longer contains.
     pub fn plan(
         &mut self,
         hits: &[SearchHit],
@@ -85,12 +171,16 @@ impl<'a> DeltaPlanner<'a> {
             .map(|h| {
                 if let Some(&slice) = self.index.get(&h.set_id) {
                     // Already travelling in this frame's table.
-                    DeltaHit::New {
+                    return DeltaHit::New {
                         slice,
                         omega: h.omega,
                         beta: h.beta,
-                    }
-                } else if tracked_set.contains(&h.set_id) || self.delivered.contains(&h.set_id) {
+                    };
+                }
+                let generation = (self.generation_of)(h.set_id);
+                let resolvable = self.delivered.holds_current(h.set_id, generation)
+                    || (generation == 0 && tracked_set.contains(&h.set_id));
+                if resolvable {
                     DeltaHit::Known {
                         set_id: h.set_id,
                         omega: h.omega,
@@ -99,7 +189,8 @@ impl<'a> DeltaPlanner<'a> {
                 } else {
                     let slice = u16::try_from(self.table.len()).expect("table fits in u16");
                     self.index.insert(h.set_id, slice);
-                    self.table.push(h.set_id);
+                    self.table.push((h.set_id, generation));
+                    self.table_ids.push(h.set_id);
                     DeltaHit::New {
                         slice,
                         omega: h.omega,
@@ -120,10 +211,16 @@ impl<'a> DeltaPlanner<'a> {
     }
 
     /// The sets whose slices this frame ships, in table order. The
-    /// caller fetches, quantizes, and encodes these — and adds them to
-    /// the connection's delivered set once the frame is written.
+    /// caller fetches, quantizes, and encodes these.
     #[must_use]
     pub fn shipped_ids(&self) -> &[SetId] {
+        &self.table_ids
+    }
+
+    /// The shipped sets with the generations they carry — fold into the
+    /// connection's [`Delivered`] once the frame is written.
+    #[must_use]
+    pub fn shipped(&self) -> &[(SetId, u64)] {
         &self.table
     }
 }
@@ -191,12 +288,18 @@ mod tests {
         .unwrap()
     }
 
+    /// Gen lookup for an append-only store: every slot at 0.
+    fn gen0(_: SetId) -> u64 {
+        0
+    }
+
     #[test]
     fn first_contact_ships_everything() {
-        let delivered = HashSet::new();
-        let mut planner = DeltaPlanner::new(&delivered);
+        let delivered = Delivered::new();
+        let mut planner = DeltaPlanner::new(&delivered, &gen0);
         let result = planner.plan(&[hit(1), hit(2)], &[], SearchWork::default());
         assert_eq!(planner.shipped_ids(), &[SetId(1), SetId(2)]);
+        assert_eq!(planner.shipped(), &[(SetId(1), 0), (SetId(2), 0)]);
         assert!(result
             .hits
             .iter()
@@ -206,8 +309,8 @@ mod tests {
 
     #[test]
     fn stable_membership_ships_nothing() {
-        let delivered = HashSet::new();
-        let mut planner = DeltaPlanner::new(&delivered);
+        let delivered = Delivered::new();
+        let mut planner = DeltaPlanner::new(&delivered, &gen0);
         let tracked = [SetId(1), SetId(2)];
         let result = planner.plan(&[hit(1), hit(2)], &tracked, SearchWork::default());
         assert!(planner.shipped_ids().is_empty());
@@ -220,8 +323,8 @@ mod tests {
 
     #[test]
     fn churn_ships_only_the_newcomer_and_names_the_evicted() {
-        let delivered = HashSet::new();
-        let mut planner = DeltaPlanner::new(&delivered);
+        let delivered = Delivered::new();
+        let mut planner = DeltaPlanner::new(&delivered, &gen0);
         let tracked = [SetId(1), SetId(2)];
         let result = planner.plan(&[hit(1), hit(3)], &tracked, SearchWork::default());
         assert_eq!(planner.shipped_ids(), &[SetId(3)]);
@@ -232,8 +335,9 @@ mod tests {
 
     #[test]
     fn connection_history_counts_as_known() {
-        let delivered: HashSet<SetId> = [SetId(7)].into_iter().collect();
-        let mut planner = DeltaPlanner::new(&delivered);
+        let mut delivered = Delivered::new();
+        delivered.record(SetId(7), 0);
+        let mut planner = DeltaPlanner::new(&delivered, &gen0);
         // Not tracked, but delivered earlier on this connection: a
         // reference suffices, the slice does not travel again.
         let result = planner.plan(&[hit(7)], &[], SearchWork::default());
@@ -242,9 +346,59 @@ mod tests {
     }
 
     #[test]
+    fn replaced_slot_invalidates_the_delivered_reference() {
+        let mut delivered = Delivered::new();
+        delivered.record(SetId(7), 0);
+        // The slot was replaced since: generation moved to 1.
+        let gen = |id: SetId| u64::from(id == SetId(7));
+        let mut planner = DeltaPlanner::new(&delivered, &gen);
+        let result = planner.plan(&[hit(7)], &[], SearchWork::default());
+        // Stale reference refused: fresh samples travel, at the new
+        // generation.
+        assert!(matches!(result.hits[0], DeltaHit::New { slice: 0, .. }));
+        assert_eq!(planner.shipped(), &[(SetId(7), 1)]);
+    }
+
+    #[test]
+    fn tracked_claims_are_not_trusted_on_replaced_slots() {
+        let delivered = Delivered::new();
+        let gen = |id: SetId| u64::from(id == SetId(3)) * 5;
+        let mut planner = DeltaPlanner::new(&delivered, &gen);
+        let tracked = [SetId(3), SetId(4)];
+        let result = planner.plan(&[hit(3), hit(4)], &tracked, SearchWork::default());
+        // Slot 3 was replaced under the edge: its tracked copy may be
+        // any older generation, so samples travel. Slot 4 never moved:
+        // the claim is safe.
+        assert!(matches!(result.hits[0], DeltaHit::New { slice: 0, .. }));
+        assert!(matches!(result.hits[1], DeltaHit::Known { set_id, .. } if set_id == SetId(4)));
+        assert_eq!(planner.shipped(), &[(SetId(3), 5)]);
+    }
+
+    #[test]
+    fn recommit_at_new_generation_restores_references() {
+        let mut delivered = Delivered::new();
+        delivered.record(SetId(7), 0);
+        let gen = |_: SetId| 1u64;
+        // Frame 1: stale → re-ship, then commit at generation 1.
+        let shipped = {
+            let mut planner = DeltaPlanner::new(&delivered, &gen);
+            planner.plan(&[hit(7)], &[], SearchWork::default());
+            planner.shipped().to_vec()
+        };
+        delivered.record_all(shipped);
+        assert!(delivered.holds_current(SetId(7), 1));
+        assert_eq!(delivered.len(), 1);
+        // Frame 2: the reference is valid again.
+        let mut planner = DeltaPlanner::new(&delivered, &gen);
+        let result = planner.plan(&[hit(7)], &[], SearchWork::default());
+        assert!(matches!(result.hits[0], DeltaHit::Known { .. }));
+        assert!(planner.shipped_ids().is_empty());
+    }
+
+    #[test]
     fn batch_table_is_shared_across_queries() {
-        let delivered = HashSet::new();
-        let mut planner = DeltaPlanner::new(&delivered);
+        let delivered = Delivered::new();
+        let mut planner = DeltaPlanner::new(&delivered, &gen0);
         let a = planner.plan(&[hit(5)], &[], SearchWork::default());
         let b = planner.plan(&[hit(5)], &[], SearchWork::default());
         // Query 2 references the entry query 1 put in the table.

@@ -47,5 +47,5 @@ pub use client::{
     BatchDownload, ClientError, CloudHealth, CloudStats, RefreshMode, RemoteCloud,
     RemoteCloudConfig,
 };
-pub use delta::{apply_delta, DeltaPlanner};
+pub use delta::{apply_delta, Delivered, DeltaPlanner};
 pub use server::{CloudServer, ServerConfig, ServerCore, ServerStats};

@@ -45,7 +45,6 @@
 //! channel plus a socketpair [`Waker`], so the loop never blocks
 //! anywhere but the poller.
 
-use std::collections::HashSet;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -55,13 +54,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use emap_mdb::SetId;
 use emap_reactor::{
     wake_pair, Event, Interest, Key, Poller, Slab, TimerWheel, Token, WakeReceiver, Waker,
 };
 use emap_telemetry::{Counter, Gauge};
 use emap_wire::{error_code, write_frame_versioned, FrameAssembler, Message, MIN_VERSION};
 
+use crate::delta::Delivered;
 use crate::server::{admit, handle_admitted, slice_payload_bytes, Admission, PermitGuard, Shared};
 
 /// Poller token for the listening socket.
@@ -170,7 +169,7 @@ struct Conn {
     read_ready: bool,
     /// The v4 delta-dedup state; `None` exactly while it travels inside
     /// a dispatched job.
-    delivered: Option<HashSet<SetId>>,
+    delivered: Option<Delivered>,
     /// Last observed socket progress, the base for every deadline.
     last_activity: Instant,
     /// Earliest armed wheel entry for this connection, if any.
@@ -191,7 +190,7 @@ impl Conn {
             // at ADD time, but starting latched costs one WouldBlock
             // and removes any reliance on that.
             read_ready: true,
-            delivered: Some(HashSet::new()),
+            delivered: Some(Delivered::new()),
             last_activity: now,
             timer_deadline: None,
         }
@@ -203,7 +202,7 @@ struct Job {
     key: u64,
     version: u8,
     msg: Message,
-    delivered: HashSet<SetId>,
+    delivered: Delivered,
     permit: Option<PermitGuard>,
 }
 
@@ -214,7 +213,7 @@ struct Completion {
     /// and the connection must close unanswered.
     bytes: Vec<u8>,
     close: bool,
-    delivered: HashSet<SetId>,
+    delivered: Delivered,
 }
 
 /// Starts the reactor: one loop thread plus `config.workers` compute

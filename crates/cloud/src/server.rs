@@ -6,7 +6,7 @@
 //! the answers an in-process caller would. The transport layer adds only
 //! what a network needs: deadlines, backpressure, and a graceful way down.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -26,7 +26,7 @@ use emap_wire::{
     StatsValue, WireError, DEFAULT_MAX_PAYLOAD, MAX_STATS_METRICS, MIN_VERSION,
 };
 
-use crate::delta::DeltaPlanner;
+use crate::delta::{Delivered, DeltaPlanner};
 
 /// Which IO core drives a [`CloudServer`]'s connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -219,6 +219,15 @@ pub(crate) struct Counters {
     delta_retained: Counter,
     delta_shipped: Counter,
     delta_evicted: Counter,
+    /// Live-ingest lifecycle: slices stored (appended or replacing),
+    /// in-place evictions performed, and gate rejections.
+    ingest_accepted: Counter,
+    ingest_evicted: Counter,
+    ingest_rejected: Counter,
+    /// Quality-gate verdicts on the ingest path (only moves when the
+    /// service has a gate configured).
+    quality_clean: Counter,
+    quality_artifact: Counter,
     requests: [RequestMetrics; REQUEST_KIND_NAMES.len()],
 }
 
@@ -241,6 +250,11 @@ impl Counters {
             delta_retained: registry.counter("wire_delta_retained_total"),
             delta_shipped: registry.counter("wire_delta_shipped_total"),
             delta_evicted: registry.counter("wire_delta_evicted_total"),
+            ingest_accepted: registry.counter("ingest_accepted_total"),
+            ingest_evicted: registry.counter("ingest_evicted_total"),
+            ingest_rejected: registry.counter("ingest_rejected_total"),
+            quality_clean: registry.counter("quality_clean_total"),
+            quality_artifact: registry.counter("quality_artifact_total"),
             requests: std::array::from_fn(|i| RequestMetrics {
                 count: registry.counter(&format!("cloud_request_{}_total", REQUEST_KIND_NAMES[i])),
                 latency: registry
@@ -710,12 +724,14 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
         return;
     }
     // Sets whose slices this connection has already received on the delta
-    // path. A `Known` reference is only ever sent for a set the peer
-    // declared tracked or that appears here — and entries are added only
-    // when a slice actually went out in a frame's table, so the set
-    // mirrors what the peer can resolve. Dies with the connection, which
-    // is exactly when the client drops its cache too.
-    let mut delivered: HashSet<SetId> = HashSet::new();
+    // path, with the slot generation each was delivered at. A `Known`
+    // reference is only ever sent for a set the peer can demonstrably
+    // resolve to the *current* samples — entries are added only when a
+    // slice actually went out in a frame's table, and a slot replaced by
+    // live ingest no longer matches its recorded generation, so stale
+    // references never travel. Dies with the connection, which is exactly
+    // when the client drops its cache too.
+    let mut delivered = Delivered::new();
     loop {
         // Idle probe: wait for the first byte of the next frame under a
         // short deadline so the session notices shutdown promptly, without
@@ -850,7 +866,7 @@ pub(crate) fn admit(shared: &Shared, msg: &Message) -> Admission {
 pub(crate) fn handle_request(
     shared: &Shared,
     msg: Message,
-    delivered: &mut HashSet<SetId>,
+    delivered: &mut Delivered,
 ) -> (Message, bool) {
     let timer = shared.counters.request(&msg).map(RequestMetrics::observe);
     let out = match admit(shared, &msg) {
@@ -866,7 +882,7 @@ pub(crate) fn handle_request(
 pub(crate) fn handle_admitted(
     shared: &Shared,
     msg: Message,
-    delivered: &mut HashSet<SetId>,
+    delivered: &mut Delivered,
     permit: Option<PermitGuard>,
 ) -> (Message, bool) {
     let timer = shared.counters.request(&msg).map(RequestMetrics::observe);
@@ -878,7 +894,7 @@ pub(crate) fn handle_admitted(
 fn handle_request_inner(
     shared: &Shared,
     msg: Message,
-    delivered: &mut HashSet<SetId>,
+    delivered: &mut Delivered,
     _permit: Option<PermitGuard>,
 ) -> (Message, bool) {
     match msg {
@@ -896,20 +912,45 @@ fn handle_request_inner(
             provenance,
             samples,
         } => {
-            // Frame decode already pinned the slice length, so this
-            // constructor cannot fail on length; map defensively anyway.
+            // The wire layer accepts any sample count (bounded only by
+            // the allocation cap): the server is the validator. A
+            // wrong-length vector earns a typed error and the
+            // connection stays usable — the store never grows a
+            // malformed set.
             match emap_mdb::SignalSet::new(samples, class, provenance) {
-                Ok(set) => {
-                    shared.service.ingest(set);
-                    shared.counters.ingested.inc();
-                    shared.counters.served.inc();
-                    (
-                        Message::IngestAck {
-                            total_sets: shared.service.mdb().len() as u64,
-                        },
-                        false,
-                    )
-                }
+                Ok(set) => match shared.service.ingest_live(set) {
+                    emap_core::IngestOutcome::Stored(landed) => {
+                        shared.counters.ingested.inc();
+                        shared.counters.ingest_accepted.inc();
+                        if shared.service.ingest_policy().gate.is_some() {
+                            shared.counters.quality_clean.inc();
+                        }
+                        if matches!(landed, emap_mdb::LiveInsert::Replaced { .. }) {
+                            shared.counters.ingest_evicted.inc();
+                        }
+                        shared.counters.served.inc();
+                        (
+                            Message::IngestAck {
+                                total_sets: shared.service.mdb().len() as u64,
+                            },
+                            false,
+                        )
+                    }
+                    emap_core::IngestOutcome::Rejected(kind) => {
+                        shared.counters.ingest_rejected.inc();
+                        shared.counters.quality_artifact.inc();
+                        (
+                            Message::ErrorReply {
+                                code: error_code::REJECTED_ARTIFACT,
+                                detail: format!(
+                                    "quality gate rejected slice: {} artifact",
+                                    kind.label()
+                                ),
+                            },
+                            false,
+                        )
+                    }
+                },
                 Err(e) => (
                     Message::ErrorReply {
                         code: error_code::BAD_REQUEST,
@@ -1247,7 +1288,7 @@ fn delta_search_reply(
     shared: &Shared,
     second: &[f32],
     tracked: &[SetId],
-    delivered: &mut HashSet<SetId>,
+    delivered: &mut Delivered,
 ) -> Message {
     let query = match Query::new(second) {
         Ok(q) => q,
@@ -1268,16 +1309,17 @@ fn delta_search_reply(
         }
     };
     let assembled: Result<_, emap_mdb::MdbError> = shared.service.mdb().with_read(|mdb| {
-        let mut planner = DeltaPlanner::new(delivered);
+        let generation_of = |id: SetId| mdb.slot_generation(id).unwrap_or(0);
+        let mut planner = DeltaPlanner::new(delivered, &generation_of);
         let result = planner.plan(set.hits(), tracked, set.work());
         let slices = quantized_table(mdb, planner.shipped_ids())?;
-        Ok((slices, result, planner.shipped_ids().to_vec()))
+        Ok((slices, result, planner.shipped().to_vec()))
     });
     match assembled {
         Ok((slices, result, shipped)) => {
             shared.counters.delta_shipped.add(shipped.len() as u64);
             note_delta_result(&shared.counters, &result);
-            delivered.extend(shipped);
+            delivered.record_all(shipped);
             shared.counters.served.inc();
             Message::SearchDeltaResponse { slices, result }
         }
@@ -1295,7 +1337,7 @@ fn delta_search_reply(
 fn delta_batch_reply(
     shared: &Shared,
     queries_in: Vec<DeltaQuery>,
-    delivered: &mut HashSet<SetId>,
+    delivered: &mut Delivered,
 ) -> Message {
     let mut queries = Vec::with_capacity(queries_in.len());
     let mut tracked_lists = Vec::with_capacity(queries_in.len());
@@ -1327,14 +1369,15 @@ fn delta_batch_reply(
         }
     };
     let assembled: Result<_, emap_mdb::MdbError> = shared.service.mdb().with_read(|mdb| {
-        let mut planner = DeltaPlanner::new(delivered);
+        let generation_of = |id: SetId| mdb.slot_generation(id).unwrap_or(0);
+        let mut planner = DeltaPlanner::new(delivered, &generation_of);
         let results: Vec<DeltaSearchResult> = sets
             .iter()
             .zip(&tracked_lists)
             .map(|(set, tracked)| planner.plan(set.hits(), tracked, set.work()))
             .collect();
         let slices = quantized_table(mdb, planner.shipped_ids())?;
-        Ok((slices, results, planner.shipped_ids().to_vec()))
+        Ok((slices, results, planner.shipped().to_vec()))
     });
     match assembled {
         Ok((slices, results, shipped)) => {
@@ -1342,7 +1385,7 @@ fn delta_batch_reply(
             for result in &results {
                 note_delta_result(&shared.counters, result);
             }
-            delivered.extend(shipped);
+            delivered.record_all(shipped);
             shared.counters.served.inc();
             Message::SearchBatchDeltaResponse { slices, results }
         }

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use emap_cloud::{apply_delta, DeltaPlanner};
+use emap_cloud::{apply_delta, Delivered, DeltaPlanner};
 use emap_datasets::SignalClass;
 use emap_edge::{EdgeConfig, EdgeTracker, SharedDownload, SharedSlice};
 use emap_mdb::{SetId, SIGNAL_SET_LEN};
@@ -86,8 +86,10 @@ proptest! {
         let mut full = EdgeTracker::new(EdgeConfig::default());
         let mut delta = EdgeTracker::new(EdgeConfig::default());
         // Connection state: what the server believes it shipped, and the
-        // decoded slices the edge kept from earlier frames.
-        let mut delivered: HashSet<SetId> = HashSet::new();
+        // decoded slices the edge kept from earlier frames. The universe
+        // is immutable here, so every slot stays at generation 0.
+        let generation_of = |_: SetId| 0u64;
+        let mut delivered = Delivered::new();
         let mut cache: HashMap<SetId, SharedSlice> = HashMap::new();
 
         for round in &rounds {
@@ -116,7 +118,7 @@ proptest! {
             // connection history, quantize only what must travel, then
             // resolve references through cache + currently tracked.
             let tracked = delta.tracked_ids();
-            let mut planner = DeltaPlanner::new(&delivered);
+            let mut planner = DeltaPlanner::new(&delivered, &generation_of);
             let result = planner.plan(&hits, &tracked, SearchWork::default());
             let table: Vec<SharedSlice> = planner
                 .shipped_ids()
@@ -132,7 +134,7 @@ proptest! {
             // Every shipped slice is a fresh hit; nothing re-ships.
             for id in planner.shipped_ids() {
                 prop_assert!(hits.iter().any(|h| h.set_id == *id));
-                prop_assert!(!delivered.contains(id) && !tracked.contains(id));
+                prop_assert!(!delivered.holds_current(*id, 0) && !tracked.contains(id));
             }
             // Evictions are exactly the declared sets the top-K dropped.
             let hit_ids: HashSet<SetId> = hits.iter().map(|h| h.set_id).collect();
@@ -154,9 +156,9 @@ proptest! {
             };
             let downloads = apply_delta(&table, &result.hits, have)
                 .expect("coherent cache: every reference resolves");
-            let shipped: Vec<SetId> = planner.shipped_ids().to_vec();
+            let shipped: Vec<(SetId, u64)> = planner.shipped().to_vec();
             drop(planner);
-            delivered.extend(shipped);
+            delivered.record_all(shipped);
             for s in &table {
                 cache.insert(s.set_id(), s.clone());
             }
@@ -183,8 +185,10 @@ proptest! {
         omega in 0.0f64..1.0,
     ) {
         let slices = universe(&patterns);
-        let delivered: HashSet<SetId> = slices.iter().map(|s| s.set_id()).collect();
-        let mut planner = DeltaPlanner::new(&delivered);
+        let generation_of = |_: SetId| 0u64;
+        let mut delivered = Delivered::new();
+        delivered.record_all(slices.iter().map(|s| (s.set_id(), 0)));
+        let mut planner = DeltaPlanner::new(&delivered, &generation_of);
         let hits: Vec<SearchHit> = slices
             .iter()
             .map(|s| SearchHit { set_id: s.set_id(), omega, beta: 0 })

@@ -23,7 +23,7 @@
 //! answer and the merged result carries the wire's partial-coverage flag
 //! ([`SearchWork::partial`]) so edges know the top-K may under-cover.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use emap_cloud::{DeltaPlanner, RemoteCloud, RemoteCloudConfig};
+use emap_cloud::{Delivered, DeltaPlanner, RemoteCloud, RemoteCloudConfig};
 use emap_datasets::SignalClass;
 use emap_edge::SliceDownload;
 use emap_mdb::{Provenance, SetId};
@@ -453,8 +453,10 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
     }
     let mut clients = ConnClients::new(shared);
     // Global-ID slices this connection has delivered on the delta path —
-    // the same per-connection contract a single CloudServer keeps.
-    let mut delivered: HashSet<SetId> = HashSet::new();
+    // the same per-connection contract a single CloudServer keeps. The
+    // coordinator's union view is append-only (global IDs are never
+    // reused), so every delivery is recorded at generation 0.
+    let mut delivered = Delivered::new();
 
     loop {
         // Idle probe: wait for the next request's first byte in short
@@ -505,7 +507,7 @@ fn serve_connection(shared: &Shared, mut conn: TcpStream) {
         }
         // Only after the frame is on the wire do the shipped slices count
         // as delivered — mirror of the single-server delta contract.
-        delivered.extend(shipped);
+        delivered.record_all(shipped.into_iter().map(|id| (id, 0)));
         if close {
             return;
         }
@@ -534,7 +536,7 @@ type ShardAnswers = Vec<(SearchWork, Vec<SliceDownload>)>;
 fn handle_request(
     shared: &Shared,
     clients: &mut ConnClients,
-    delivered: &HashSet<SetId>,
+    delivered: &Delivered,
     msg: Message,
 ) -> (Message, Vec<SetId>, bool) {
     match msg {
@@ -1135,14 +1137,16 @@ fn batch_response(merged: Vec<MergedQuery>) -> Message {
 /// reference/ship decisions it would against one store. Returns the
 /// quantized frame table, per-query results, and the shipped global IDs.
 fn plan_deltas(
-    delivered: &HashSet<SetId>,
+    delivered: &Delivered,
     queries: Vec<(MergedQuery, Vec<SetId>)>,
 ) -> (
     Vec<QuantizedSlice>,
     Vec<emap_wire::DeltaSearchResult>,
     Vec<SetId>,
 ) {
-    let mut planner = DeltaPlanner::new(delivered);
+    // Append-only union view: every slot is forever at generation 0.
+    let generation_of = |_: SetId| 0u64;
+    let mut planner = DeltaPlanner::new(delivered, &generation_of);
     let mut slice_info: HashMap<SetId, (SignalClass, Vec<f32>)> = HashMap::new();
     let mut results = Vec::with_capacity(queries.len());
     for (m, tracked) in queries {

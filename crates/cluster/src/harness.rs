@@ -5,7 +5,7 @@ use std::io;
 use std::time::Duration;
 
 use emap_cloud::{CloudServer, RemoteCloudConfig, ServerConfig};
-use emap_core::CloudService;
+use emap_core::{CloudService, IngestPolicy};
 use emap_mdb::{Mdb, SharedMdb};
 use emap_search::SearchConfig;
 use emap_telemetry::Registry;
@@ -41,6 +41,7 @@ pub struct LoopbackCluster {
     replicas: Vec<Vec<ReplicaSlot>>,
     search: SearchConfig,
     server_config: ServerConfig,
+    policy: IngestPolicy,
 }
 
 impl std::fmt::Debug for LoopbackCluster {
@@ -105,6 +106,38 @@ impl LoopbackCluster {
         config: CoordinatorConfig,
         registry: Registry,
     ) -> io::Result<Self> {
+        LoopbackCluster::launch_with_policy(
+            mdb,
+            placement,
+            replicas,
+            search,
+            server_config,
+            config,
+            registry,
+            IngestPolicy::default(),
+        )
+    }
+
+    /// [`LoopbackCluster::launch_with`] plus a per-replica ingest policy:
+    /// every shard replica runs its [`CloudService`] with `policy`, so the
+    /// cluster can be exercised with capacity-bounded (and/or quality
+    /// gated) live ingest. Restarted replicas keep the policy — journal
+    /// replay goes through the same bounded path the live ingest took.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any bind failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_with_policy(
+        mdb: &Mdb,
+        placement: Placement,
+        replicas: usize,
+        search: SearchConfig,
+        server_config: ServerConfig,
+        config: CoordinatorConfig,
+        registry: Registry,
+        policy: IngestPolicy,
+    ) -> io::Result<Self> {
         let replicas = replicas.max(1);
         let mut slots: Vec<Vec<ReplicaSlot>> = Vec::new();
         let mut specs = Vec::new();
@@ -114,7 +147,8 @@ impl LoopbackCluster {
             let mut addrs = Vec::with_capacity(replicas);
             for _ in 0..replicas {
                 let shared = partition.clone().into_shared();
-                let service = CloudService::new(search, shared.clone(), server_config.workers);
+                let service = CloudService::new(search, shared.clone(), server_config.workers)
+                    .with_ingest_policy(policy);
                 let server = CloudServer::bind("127.0.0.1:0", service, server_config.clone())?;
                 addrs.push(server.local_addr().to_string());
                 shard_slots.push(ReplicaSlot {
@@ -139,6 +173,7 @@ impl LoopbackCluster {
             replicas: slots,
             search,
             server_config,
+            policy,
         })
     }
 
@@ -168,6 +203,18 @@ impl LoopbackCluster {
             .server
             .as_ref()
             .map(|s| s.local_addr().to_string())
+    }
+
+    /// Direct read access to one replica's store, for coherence
+    /// assertions (e.g. that a replayed replica converged bitwise on its
+    /// sibling). The handle stays valid across kill/restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard`/`replica` is out of range.
+    #[must_use]
+    pub fn replica_store(&self, shard: usize, replica: usize) -> &SharedMdb {
+        &self.replicas[shard][replica].mdb
     }
 
     /// Kills one replica: its server shuts down and its port closes, so
@@ -200,7 +247,8 @@ impl LoopbackCluster {
             return Ok(());
         }
         let mdb = self.replicas[shard][replica].mdb.clone();
-        let service = CloudService::new(self.search, mdb, self.server_config.workers);
+        let service = CloudService::new(self.search, mdb, self.server_config.workers)
+            .with_ingest_policy(self.policy);
         let server = CloudServer::bind("127.0.0.1:0", service, self.server_config.clone())?;
         let addr = server.local_addr().to_string();
         self.replicas[shard][replica].server = Some(server);

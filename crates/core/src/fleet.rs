@@ -9,6 +9,7 @@
 //! for every session whose tracked set fell below `H`.
 
 use emap_edge::{EdgeTracker, StepReport};
+use emap_quality::{ArtifactKind, QualityGate};
 use emap_search::Query;
 use emap_telemetry::{Counter, Gauge, Histogram, Registry};
 
@@ -26,6 +27,7 @@ struct FleetTelemetry {
     windows_pruned: Counter,
     refreshes: Counter,
     degraded_sessions: Counter,
+    artifact_seconds: Counter,
     tracked_signals: Gauge,
     sessions: Gauge,
     tick_latency: Histogram,
@@ -39,6 +41,7 @@ impl FleetTelemetry {
             windows_pruned: registry.counter("fleet_windows_pruned_total"),
             refreshes: registry.counter("fleet_refreshes_total"),
             degraded_sessions: registry.counter("fleet_degraded_sessions_total"),
+            artifact_seconds: registry.counter("fleet_artifact_seconds_total"),
             tracked_signals: registry.gauge("fleet_tracked_signals"),
             sessions: registry.gauge("fleet_sessions"),
             tick_latency: registry.histogram("fleet_tick_nanos"),
@@ -49,6 +52,7 @@ impl FleetTelemetry {
         self.ticks.inc();
         self.windows_evaluated.add(tick.windows_evaluated());
         self.windows_pruned.add(tick.windows_pruned());
+        self.artifact_seconds.add(tick.artifacts.len() as u64);
         self.tracked_signals
             .set(tick.reports.iter().map(|r| r.tracked as i64).sum());
     }
@@ -95,6 +99,12 @@ pub struct FleetTick {
     /// set until a later refresh succeeds. Only [`EdgeFleet::serve_with`]
     /// fills this; an in-process cloud never degrades.
     pub degraded: Vec<usize>,
+    /// Sessions whose input second the fleet's quality gate classified as
+    /// artifact this tick, with the archetype: their trackers were frozen
+    /// (no scan, no pruning, `P_A` untouched, no cloud call) rather than
+    /// fed the contaminated second. Empty unless the fleet was built with
+    /// [`EdgeFleet::with_quality_gate`]. Ascending by session index.
+    pub artifacts: Vec<(usize, ArtifactKind)>,
 }
 
 impl FleetTick {
@@ -168,6 +178,7 @@ pub struct EdgeFleet {
     sessions: Vec<FleetSession>,
     workers: usize,
     telemetry: Option<FleetTelemetry>,
+    gate: Option<QualityGate>,
 }
 
 impl EdgeFleet {
@@ -179,7 +190,27 @@ impl EdgeFleet {
             sessions: Vec::new(),
             workers: workers.max(1),
             telemetry: None,
+            gate: None,
         }
+    }
+
+    /// Attaches a per-second signal-quality gate: every input second is
+    /// classified *before* tracking, and artifact seconds (flatline,
+    /// saturation, spike trains, drift) are masked — the session's report
+    /// for that tick comes from [`EdgeTracker::masked_report`], so `P_A`
+    /// is never updated from contaminated signal and the second is never
+    /// sent cloudward as a query. Flagged sessions land in
+    /// [`FleetTick::artifacts`].
+    #[must_use]
+    pub fn with_quality_gate(mut self, gate: QualityGate) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// The fleet's quality gate, when one is attached.
+    #[must_use]
+    pub fn quality_gate(&self) -> Option<&QualityGate> {
+        self.gate.as_ref()
     }
 
     /// Attaches fleet telemetry: per-tick latency, windows evaluated and
@@ -245,6 +276,7 @@ impl EdgeFleet {
                 reports: Vec::new(),
                 refreshed: Vec::new(),
                 degraded: Vec::new(),
+                artifacts: Vec::new(),
             });
         }
         let timer = self
@@ -252,7 +284,12 @@ impl EdgeFleet {
             .as_ref()
             .map(|t| t.tick_latency.start_timer());
         let chunk = self.sessions.len().div_ceil(self.workers);
-        let results: Vec<Result<StepReport, emap_edge::EdgeError>> = std::thread::scope(|scope| {
+        let gate = self.gate;
+        type Outcome = (
+            Result<StepReport, emap_edge::EdgeError>,
+            Option<ArtifactKind>,
+        );
+        let results: Vec<Outcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .sessions
                 .chunks_mut(chunk)
@@ -262,7 +299,18 @@ impl EdgeFleet {
                         sessions
                             .iter_mut()
                             .zip(windows)
-                            .map(|(s, input)| s.tracker.step(input))
+                            .map(|(s, input)| {
+                                // The gate sees only well-formed seconds:
+                                // length errors must surface exactly as
+                                // they would ungated.
+                                let kind = gate
+                                    .filter(|_| input.len() == emap_dsp::SAMPLES_PER_SECOND)
+                                    .and_then(|g| g.assess_second(input).artifact());
+                                match kind {
+                                    Some(k) => (Ok(s.tracker.masked_report()), Some(k)),
+                                    None => (s.tracker.step(input), None),
+                                }
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -273,13 +321,18 @@ impl EdgeFleet {
                 .collect()
         });
         let mut reports = Vec::with_capacity(results.len());
-        for r in results {
+        let mut artifacts = Vec::new();
+        for (i, (r, kind)) in results.into_iter().enumerate() {
             reports.push(r.map_err(EmapError::Edge)?);
+            if let Some(k) = kind {
+                artifacts.push((i, k));
+            }
         }
         let tick = FleetTick {
             reports,
             refreshed: Vec::new(),
             degraded: Vec::new(),
+            artifacts,
         };
         if let Some(t) = &self.telemetry {
             drop(timer);
@@ -665,6 +718,86 @@ mod tests {
             registry.histogram("fleet_tick_nanos").snapshot().count(),
             ticks
         );
+    }
+
+    #[test]
+    fn gated_fleet_masks_artifact_seconds() {
+        let (cloud, factory) = cloud();
+        let stream = patient_seconds(&factory, "p0");
+
+        let mut fleet = EdgeFleet::new(2).with_quality_gate(emap_quality::QualityGate::default());
+        assert!(fleet.quality_gate().is_some());
+        fleet.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+        fleet.add_session("p1", EdgeTracker::new(EdgeConfig::default()));
+
+        // Load both sessions from clean signal first.
+        let clean: Vec<&[f32]> = vec![&stream[1024..1280], &stream[1280..1536]];
+        let tick = fleet.serve(&cloud, &clean).unwrap();
+        assert!(tick.artifacts.is_empty(), "clean EEG must pass the gate");
+        assert_eq!(tick.refreshed, vec![0, 1]);
+
+        // Session 1 gets a saturated second (amplifier slamming between
+        // the rails); session 0 stays clean.
+        let railed: Vec<f32> = (0..256)
+            .map(|i| if (i / 64) % 2 == 0 { 500.0 } else { -500.0 })
+            .collect();
+        let before: Vec<_> = fleet.sessions()[1].tracker().tracked().to_vec();
+        let p_before = fleet.sessions()[1].tracker().probability();
+        let mixed: Vec<&[f32]> = vec![&stream[1536..1792], &railed];
+        let tick2 = fleet.serve(&cloud, &mixed).unwrap();
+
+        assert_eq!(tick2.artifacts.len(), 1);
+        let (idx, kind) = tick2.artifacts[0];
+        assert_eq!(idx, 1);
+        assert_eq!(kind, emap_quality::ArtifactKind::Saturation);
+        // The masked session is frozen: nothing pruned, P_A untouched,
+        // no cloud call, and the tracked set byte-identical.
+        let masked = &tick2.reports[1];
+        assert_eq!(masked.removed, 0);
+        assert_eq!(masked.windows_evaluated, 0);
+        assert!(!masked.needs_cloud_call);
+        assert_eq!(masked.probability, p_before);
+        assert_eq!(fleet.sessions()[1].tracker().tracked(), &before[..]);
+        // The clean session stepped normally.
+        assert!(tick2.reports[0].windows_evaluated > 0);
+    }
+
+    #[test]
+    fn gate_masks_even_a_below_h_session() {
+        // An empty (below-H) session fed an artifact second must NOT call
+        // the cloud with it — the refresh waits for clean signal.
+        let (cloud, factory) = cloud();
+        let stream = patient_seconds(&factory, "p0");
+        let mut fleet = EdgeFleet::new(1).with_quality_gate(emap_quality::QualityGate::default());
+        fleet.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+
+        let flat = vec![0.0f32; 256];
+        let inputs: Vec<&[f32]> = vec![&flat];
+        let tick = fleet.serve(&cloud, &inputs).unwrap();
+        assert_eq!(
+            tick.artifacts,
+            vec![(0, emap_quality::ArtifactKind::Flatline)]
+        );
+        assert!(tick.refreshed.is_empty());
+        assert!(fleet.sessions()[0].tracker().is_empty());
+
+        // Clean signal arrives: the deferred refresh happens now.
+        let inputs2: Vec<&[f32]> = vec![&stream[1024..1280]];
+        let tick2 = fleet.serve(&cloud, &inputs2).unwrap();
+        assert!(tick2.artifacts.is_empty());
+        assert_eq!(tick2.refreshed, vec![0]);
+        assert!(!fleet.sessions()[0].tracker().is_empty());
+    }
+
+    #[test]
+    fn ungated_fleet_reports_no_artifacts() {
+        let mut fleet = EdgeFleet::new(2);
+        assert!(fleet.quality_gate().is_none());
+        fleet.add_session("p0", EdgeTracker::new(EdgeConfig::default()));
+        let railed = vec![500.0f32; 256];
+        let inputs: Vec<&[f32]> = vec![&railed];
+        let tick = fleet.tick(&inputs).unwrap();
+        assert!(tick.artifacts.is_empty());
     }
 
     #[test]

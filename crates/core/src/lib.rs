@@ -64,4 +64,4 @@ pub use fleet::{EdgeFleet, FleetSession, FleetTick};
 pub use monitor::{MonitorEvent, StreamingMonitor};
 pub use pipeline::{EmapPipeline, IterationOutcome, RunTrace};
 pub use report::SessionReport;
-pub use service::{CloudEndpoint, CloudService};
+pub use service::{CloudEndpoint, CloudService, IngestOutcome, IngestPolicy, Quarantined};

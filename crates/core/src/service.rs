@@ -9,11 +9,71 @@
 //! ([`CloudService::search_batch`]), so memory traffic is amortized across
 //! the in-flight queries.
 
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use emap_datasets::SignalClass;
 use emap_edge::EdgeTracker;
-use emap_mdb::{SharedMdb, SignalSet};
+use emap_mdb::{LiveInsert, Provenance, SharedMdb, SignalSet};
+use emap_quality::{ArtifactKind, QualityGate, Verdict};
 use emap_search::{CorrelationSet, ParallelSearch, Query, Search, SearchConfig, SearchError};
 
 use crate::EmapError;
+
+/// Most quarantine records kept for audit; older ones roll off.
+const QUARANTINE_DEPTH: usize = 256;
+
+/// Live-ingest policy for a [`CloudService`]: what the store accepts
+/// and how it ages.
+///
+/// The default policy is the frozen-corpus behaviour the rest of the
+/// repo was built on — no gate, no bound, every ingest appends.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestPolicy {
+    /// When set, every ingested slice is assessed second by second
+    /// ([`QualityGate::assess_slice`]) and artifact slices are
+    /// quarantined instead of stored — they never enter a sweep.
+    pub gate: Option<QualityGate>,
+    /// When set, the store is capacity-bounded: at the bound, live
+    /// ingest replaces the class-aware eviction victim in place
+    /// ([`emap_mdb::Mdb::insert_bounded`]) instead of growing.
+    pub capacity: Option<usize>,
+}
+
+impl IngestPolicy {
+    /// Gate with default thresholds, bounded at `capacity` sets — the
+    /// recommended live-deployment policy.
+    #[must_use]
+    pub fn gated(capacity: usize) -> Self {
+        IngestPolicy {
+            gate: Some(QualityGate::default()),
+            capacity: Some(capacity),
+        }
+    }
+}
+
+/// What [`CloudService::ingest_live`] did with a slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The slice passed the gate (or no gate is set) and is now in the
+    /// store.
+    Stored(LiveInsert),
+    /// The quality gate refused the slice; it was quarantined and no
+    /// sweep will ever see it.
+    Rejected(ArtifactKind),
+}
+
+/// Audit record of a quarantined slice (the samples are dropped — the
+/// point of the gate is that artifact data never takes up residence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Why the gate refused it.
+    pub kind: ArtifactKind,
+    /// The label it arrived with.
+    pub class: SignalClass,
+    /// Where it claimed to come from.
+    pub provenance: Provenance,
+}
 
 /// Anything an edge session can ask for a fresh correlation set: the
 /// in-process [`CloudService`] or a remote server reached over a transport
@@ -93,6 +153,9 @@ pub trait CloudEndpoint {
 pub struct CloudService {
     mdb: SharedMdb,
     search: ParallelSearch,
+    policy: IngestPolicy,
+    /// Rolling audit of gate rejections, shared across clones.
+    quarantine: Arc<Mutex<VecDeque<Quarantined>>>,
 }
 
 impl CloudService {
@@ -103,7 +166,22 @@ impl CloudService {
         CloudService {
             mdb,
             search: ParallelSearch::new(config, workers),
+            policy: IngestPolicy::default(),
+            quarantine: Arc::new(Mutex::new(VecDeque::new())),
         }
+    }
+
+    /// Sets the live-ingest policy (builder style).
+    #[must_use]
+    pub fn with_ingest_policy(mut self, policy: IngestPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active live-ingest policy.
+    #[must_use]
+    pub fn ingest_policy(&self) -> &IngestPolicy {
+        &self.policy
     }
 
     /// The shared mega-database handle.
@@ -149,9 +227,53 @@ impl CloudService {
     }
 
     /// Ingests a new signal-set while searches keep running (the paper's
-    /// "Insertion" arrow in Fig. 3).
+    /// "Insertion" arrow in Fig. 3), applying the live-ingest policy and
+    /// ignoring the outcome. Under the default policy this is a plain
+    /// append; gated or bounded deployments should prefer
+    /// [`CloudService::ingest_live`] and look at the result.
     pub fn ingest(&self, set: SignalSet) {
-        self.mdb.insert(set);
+        let _ = self.ingest_live(set);
+    }
+
+    /// Live ingest under the configured [`IngestPolicy`]: the gate
+    /// assesses the slice second by second (rejections are quarantined,
+    /// never stored), then the set lands either by append or — at the
+    /// capacity bound — by in-place class-aware replacement. The gate
+    /// and the slice's statistics/spectra prewarm both run on the
+    /// calling thread *before* the store's write lock is taken, so
+    /// concurrent searches never stall behind an ingest.
+    pub fn ingest_live(&self, set: SignalSet) -> IngestOutcome {
+        if let Some(gate) = &self.policy.gate {
+            if let Verdict::Artifact(kind) = gate.assess_slice(set.samples()) {
+                let mut q = self.quarantine.lock().expect("quarantine lock poisoned");
+                if q.len() == QUARANTINE_DEPTH {
+                    q.pop_front();
+                }
+                q.push_back(Quarantined {
+                    kind,
+                    class: set.class(),
+                    provenance: set.provenance().clone(),
+                });
+                return IngestOutcome::Rejected(kind);
+            }
+        }
+        let landed = match self.policy.capacity {
+            Some(capacity) => self.mdb.ingest_bounded(set, capacity),
+            None => LiveInsert::Appended(self.mdb.insert(set)),
+        };
+        IngestOutcome::Stored(landed)
+    }
+
+    /// Snapshot of the quarantine audit trail (most recent last; the
+    /// trail is bounded, older records roll off).
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<Quarantined> {
+        self.quarantine
+            .lock()
+            .expect("quarantine lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
     }
 }
 
@@ -313,6 +435,106 @@ mod tests {
             .unwrap(),
         );
         assert_eq!(clone.mdb().len(), before + 1);
+    }
+
+    fn artifact_set(kind: &str) -> SignalSet {
+        let samples: Vec<f32> = match kind {
+            "flat" => vec![0.0; emap_mdb::SIGNAL_SET_LEN],
+            _ => (0..emap_mdb::SIGNAL_SET_LEN)
+                .map(|n| if (n / 20) % 2 == 0 { 500.0 } else { -500.0 })
+                .collect(),
+        };
+        SignalSet::new(
+            samples,
+            SignalClass::Normal,
+            Provenance {
+                dataset_id: "live".into(),
+                recording_id: format!("art-{kind}"),
+                channel: "c".into(),
+                offset: 0,
+            },
+        )
+        .unwrap()
+    }
+
+    fn plausible_set(i: u64) -> SignalSet {
+        let samples: Vec<f32> = (0..emap_mdb::SIGNAL_SET_LEN)
+            .map(|n| {
+                let t = n as f64 / 256.0;
+                ((std::f64::consts::TAU * 13.0 * t).sin() * 25.0
+                    + (std::f64::consts::TAU * 29.0 * t + i as f64).sin() * 10.0)
+                    as f32
+            })
+            .collect();
+        SignalSet::new(
+            samples,
+            SignalClass::Normal,
+            Provenance {
+                dataset_id: "live".into(),
+                recording_id: format!("ok{i}"),
+                channel: "c".into(),
+                offset: i,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gated_ingest_quarantines_artifacts() {
+        let (service, _) = service();
+        let service = service.with_ingest_policy(IngestPolicy {
+            gate: Some(emap_quality::QualityGate::default()),
+            capacity: None,
+        });
+        let before = service.mdb().len();
+        assert!(matches!(
+            service.ingest_live(plausible_set(0)),
+            IngestOutcome::Stored(LiveInsert::Appended(_))
+        ));
+        assert_eq!(
+            service.ingest_live(artifact_set("flat")),
+            IngestOutcome::Rejected(emap_quality::ArtifactKind::Flatline)
+        );
+        assert_eq!(
+            service.ingest_live(artifact_set("sat")),
+            IngestOutcome::Rejected(emap_quality::ArtifactKind::Saturation)
+        );
+        // Rejected sets never entered the store…
+        assert_eq!(service.mdb().len(), before + 1);
+        // …but left an audit trail, shared across clones.
+        let q = service.clone().quarantined();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].kind, emap_quality::ArtifactKind::Flatline);
+        assert_eq!(q[0].provenance.recording_id, "art-flat");
+    }
+
+    #[test]
+    fn bounded_ingest_replaces_instead_of_growing() {
+        let (service, _) = service();
+        let cap = service.mdb().len(); // already at capacity
+        let service = service.with_ingest_policy(IngestPolicy {
+            gate: None,
+            capacity: Some(cap),
+        });
+        let out = service.ingest_live(plausible_set(1));
+        assert!(matches!(
+            out,
+            IngestOutcome::Stored(LiveInsert::Replaced { .. })
+        ));
+        assert_eq!(service.mdb().len(), cap);
+    }
+
+    #[test]
+    fn default_policy_is_the_frozen_corpus_behaviour() {
+        let (service, _) = service();
+        let before = service.mdb().len();
+        // Even a flatline lands: no gate by default.
+        assert!(matches!(
+            service.ingest_live(artifact_set("flat")),
+            IngestOutcome::Stored(LiveInsert::Appended(_))
+        ));
+        assert_eq!(service.mdb().len(), before + 1);
+        assert!(service.quarantined().is_empty());
     }
 
     #[test]

@@ -383,6 +383,20 @@ impl EdgeTracker {
         probability_of(&self.tracked)
     }
 
+    /// The report for a *masked* second: one the caller's signal-quality
+    /// gate classified as artifact and therefore withheld from tracking.
+    /// The session is frozen in place — no windows move, nothing is
+    /// pruned, `P_A` reflects the unchanged tracked set — and
+    /// `needs_cloud_call` is forced `false` even below `H`, because an
+    /// artifact second would poison a cloud query just as it would
+    /// poison the local scan. The refresh waits for clean signal.
+    #[must_use]
+    pub fn masked_report(&self) -> StepReport {
+        let mut report = self.report(self.tracked.len(), ScanCounters::default());
+        report.needs_cloud_call = false;
+        report
+    }
+
     /// Serializes the tracked set (slices included) so a wearable can
     /// persist its session across restarts without a fresh cloud call.
     #[must_use]

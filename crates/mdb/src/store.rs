@@ -21,13 +21,65 @@ pub struct MdbStats {
     pub per_dataset: Vec<(String, usize)>,
 }
 
+/// Outcome of a capacity-bounded live insert ([`Mdb::insert_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveInsert {
+    /// The store had headroom; the set landed in a fresh slot.
+    Appended(SetId),
+    /// The store was full; the set replaced the eviction victim
+    /// in place. `generation` is the victim slot's new per-slot
+    /// generation (≥ 1), which delta-dedup layers use to detect that
+    /// a previously delivered id no longer names the same samples.
+    Replaced {
+        /// The reused slot id.
+        id: SetId,
+        /// The slot's generation after this replacement.
+        generation: u64,
+        /// Class of the set that was evicted.
+        evicted_class: SignalClass,
+    },
+}
+
+impl LiveInsert {
+    /// The slot the set landed in, either way.
+    #[must_use]
+    pub fn id(self) -> SetId {
+        match self {
+            LiveInsert::Appended(id) | LiveInsert::Replaced { id, .. } => id,
+        }
+    }
+}
+
+/// Per-slot lifecycle metadata: how many times the slot has been
+/// reused, and when (logically) its current occupant arrived.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotMeta {
+    /// 0 = the slot still holds its first occupant; each in-place
+    /// replacement increments it.
+    generation: u64,
+    /// Store-wide insertion sequence of the current occupant — the
+    /// age order the eviction policy consults.
+    seq: u64,
+}
+
 /// The mega-database store: a dense, indexable collection of
 /// [`SignalSet`]s.
 ///
-/// The store is append-only (the paper's pipeline only ever inserts) and is
-/// `Sync`, so the parallel cloud search can scan `&Mdb` from many threads.
-/// For the serving scenario where the pipeline keeps ingesting while
-/// searches run, wrap it in a [`SharedMdb`].
+/// The store is dense — `SetId` doubles as the index — and `Sync`, so
+/// the parallel cloud search can scan `&Mdb` from many threads. Batch
+/// construction is append-only (the paper's pipeline only ever
+/// inserts); live serving additionally supports capacity-bounded
+/// ingest via [`Mdb::insert_bounded`], which at capacity reuses a slot
+/// *in place* (the store stays dense, ids stay stable for searches)
+/// and advances that slot's generation counter so connection-level
+/// caches can detect the change. For the serving scenario where the
+/// pipeline keeps ingesting while searches run, wrap it in a
+/// [`SharedMdb`].
+///
+/// Lifecycle metadata (generations, insertion order) is runtime state:
+/// snapshots persist only the sets, and a reloaded store starts at
+/// generation 0 — coherent, because connection caches do not survive a
+/// server restart either.
 ///
 /// # Example
 ///
@@ -36,6 +88,12 @@ pub struct MdbStats {
 #[derive(Debug, Clone, Default)]
 pub struct Mdb {
     sets: Vec<SignalSet>,
+    meta: Vec<SlotMeta>,
+    /// Next insertion sequence number.
+    next_seq: u64,
+    /// Total in-place replacements ever performed (the store
+    /// generation; exposed for telemetry and replay checks).
+    replacements: u64,
 }
 
 impl Mdb {
@@ -50,10 +108,11 @@ impl Mdb {
     /// never pays the build cost.
     #[must_use]
     pub fn from_sets(sets: Vec<SignalSet>) -> Self {
-        for set in &sets {
-            prewarm(set);
+        let mut mdb = Mdb::new();
+        for set in sets {
+            mdb.insert(set);
         }
-        Mdb { sets }
+        mdb
     }
 
     /// Number of signal-sets.
@@ -74,8 +133,93 @@ impl Mdb {
     /// query that ever scans the set).
     pub fn insert(&mut self, set: SignalSet) -> SetId {
         prewarm(&set);
+        self.push_prewarmed(set)
+    }
+
+    /// Appends an already-prewarmed set (see [`prewarm`]); the internal
+    /// primitive every construction path funnels through so slot
+    /// metadata never desynchronizes from the dense set vector.
+    fn push_prewarmed(&mut self, set: SignalSet) -> SetId {
         self.sets.push(set);
+        self.meta.push(SlotMeta {
+            generation: 0,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
         SetId(self.sets.len() as u64 - 1)
+    }
+
+    /// Inserts under a capacity bound: below `capacity` this is
+    /// [`Mdb::insert`]; at capacity the class-aware eviction policy
+    /// picks a victim slot and the set replaces it in place. The
+    /// policy — evict the oldest member of the most-populated class,
+    /// population ties broken toward the class holding the older
+    /// oldest member — keeps minority classes (the anomalies searches
+    /// exist to find) resident while churning the bulk class, and is
+    /// fully deterministic, so replaying the same ingest journal into
+    /// an empty store always reproduces the same slots, generations,
+    /// and search results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a store that can hold nothing can
+    /// not accept an insert.
+    pub fn insert_bounded(&mut self, set: SignalSet, capacity: usize) -> LiveInsert {
+        assert!(capacity > 0, "capacity must be at least 1");
+        if self.sets.len() < capacity {
+            return LiveInsert::Appended(self.insert(set));
+        }
+        prewarm(&set);
+        let victim = self.eviction_victim();
+        let evicted_class = self.sets[victim].class();
+        self.sets[victim] = set;
+        self.meta[victim].generation += 1;
+        self.meta[victim].seq = self.next_seq;
+        self.next_seq += 1;
+        self.replacements += 1;
+        LiveInsert::Replaced {
+            id: SetId(victim as u64),
+            generation: self.meta[victim].generation,
+            evicted_class,
+        }
+    }
+
+    /// The slot the eviction policy would reuse next. The store must be
+    /// non-empty.
+    fn eviction_victim(&self) -> usize {
+        // Per-class (population, oldest seq, oldest slot), one scan.
+        let mut classes: Vec<(SignalClass, usize, u64, usize)> = Vec::new();
+        for (i, (set, meta)) in self.sets.iter().zip(&self.meta).enumerate() {
+            match classes.iter_mut().find(|(c, ..)| *c == set.class()) {
+                Some((_, n, seq, slot)) => {
+                    *n += 1;
+                    if meta.seq < *seq {
+                        *seq = meta.seq;
+                        *slot = i;
+                    }
+                }
+                None => classes.push((set.class(), 1, meta.seq, i)),
+            }
+        }
+        classes
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
+            .map(|&(_, _, _, slot)| slot)
+            .expect("eviction requires a non-empty store")
+    }
+
+    /// The per-slot replacement generation: `Some(0)` for a slot still
+    /// holding its first occupant, incremented on every in-place
+    /// replacement, `None` for ids the store has never assigned.
+    #[must_use]
+    pub fn slot_generation(&self, id: SetId) -> Option<u64> {
+        self.meta.get(id.0 as usize).map(|m| m.generation)
+    }
+
+    /// Total in-place replacements performed over the store's lifetime.
+    #[must_use]
+    pub fn replacements(&self) -> u64 {
+        self.replacements
     }
 
     /// Looks up a signal-set by id.
@@ -142,9 +286,12 @@ impl Mdb {
     /// used for ablations that search class- or dataset-restricted corpora.
     #[must_use]
     pub fn filtered(&self, keep: impl Fn(&SignalSet) -> bool) -> Mdb {
-        Mdb {
-            sets: self.sets.iter().filter(|s| keep(s)).cloned().collect(),
+        let mut out = Mdb::new();
+        for set in self.sets.iter().filter(|s| keep(s)) {
+            // Clones carry warm tables; no rebuild happens here.
+            out.push_prewarmed(set.clone());
         }
+        out
     }
 
     /// Partitions the store into `n` shard stores, routing each set
@@ -167,7 +314,7 @@ impl Mdb {
         let mut shards: Vec<(Mdb, Vec<SetId>)> = (0..n).map(|_| (Mdb::new(), Vec::new())).collect();
         for (id, set) in self.iter_with_ids() {
             let (shard, map) = &mut shards[assign(id, set) % n];
-            shard.sets.push(set.clone());
+            shard.push_prewarmed(set.clone());
             map.push(id);
         }
         shards
@@ -238,8 +385,7 @@ impl FromIterator<SignalSet> for Mdb {
 impl Extend<SignalSet> for Mdb {
     fn extend<I: IntoIterator<Item = SignalSet>>(&mut self, iter: I) {
         for set in iter {
-            prewarm(&set);
-            self.sets.push(set);
+            self.insert(set);
         }
     }
 }
@@ -281,9 +427,26 @@ impl SharedMdb {
         self.inner.read().is_empty()
     }
 
-    /// Appends a signal-set.
+    /// Appends a signal-set. The set's statistics tables and spectral
+    /// envelopes are built *before* the write lock is taken (the
+    /// `OnceLock` caches in [`SignalSet`] make prewarming idempotent),
+    /// so concurrent searches are never blocked behind a table build.
     pub fn insert(&self, set: SignalSet) -> SetId {
+        prewarm(&set);
         self.inner.write().insert(set)
+    }
+
+    /// Capacity-bounded live ingest: [`Mdb::insert_bounded`], with the
+    /// prewarm cost paid on the calling (request) thread outside the
+    /// write lock. This is the cloud's `IngestRequest` path — the lock
+    /// is held only for the O(len) victim scan and an O(1) swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn ingest_bounded(&self, set: SignalSet, capacity: usize) -> LiveInsert {
+        prewarm(&set);
+        self.inner.write().insert_bounded(set, capacity)
     }
 
     /// Runs `f` with read access to the store (used by searches).
@@ -476,6 +639,139 @@ mod tests {
         let shards = mdb.partition_by(2, |id, _| 100 + id.0 as usize);
         let total: usize = shards.iter().map(|(s, _)| s.len()).sum();
         assert_eq!(total, mdb.len());
+    }
+
+    #[test]
+    fn bounded_insert_appends_until_capacity() {
+        let mut mdb = Mdb::new();
+        for i in 0..3 {
+            let out = mdb.insert_bounded(set(SignalClass::Normal, "a", i), 3);
+            assert_eq!(out, LiveInsert::Appended(SetId(i)));
+            assert_eq!(out.id(), SetId(i));
+        }
+        assert_eq!(mdb.len(), 3);
+        assert_eq!(mdb.replacements(), 0);
+        assert_eq!(mdb.slot_generation(SetId(0)), Some(0));
+        assert_eq!(mdb.slot_generation(SetId(3)), None);
+    }
+
+    #[test]
+    fn bounded_insert_replaces_in_place_at_capacity() {
+        let mut mdb = Mdb::new();
+        for i in 0..3 {
+            mdb.insert_bounded(set(SignalClass::Normal, "a", i), 3);
+        }
+        // Full: the oldest normal (slot 0) is the victim.
+        let out = mdb.insert_bounded(set(SignalClass::Seizure, "b", 99), 3);
+        assert_eq!(
+            out,
+            LiveInsert::Replaced {
+                id: SetId(0),
+                generation: 1,
+                evicted_class: SignalClass::Normal,
+            }
+        );
+        assert_eq!(mdb.len(), 3, "store stays dense at capacity");
+        assert_eq!(mdb.get(SetId(0)).unwrap().class(), SignalClass::Seizure);
+        assert!(mdb.get(SetId(0)).unwrap().stats_ready());
+        assert_eq!(mdb.slot_generation(SetId(0)), Some(1));
+        assert_eq!(mdb.slot_generation(SetId(1)), Some(0));
+        assert_eq!(mdb.replacements(), 1);
+    }
+
+    #[test]
+    fn eviction_is_class_aware() {
+        let mut mdb = Mdb::new();
+        // 3 normals (majority), 1 seizure.
+        mdb.insert_bounded(set(SignalClass::Seizure, "a", 0), 4);
+        for i in 1..4 {
+            mdb.insert_bounded(set(SignalClass::Normal, "a", i), 4);
+        }
+        // The minority seizure at slot 0 is spared; the oldest normal
+        // (slot 1) goes.
+        let out = mdb.insert_bounded(set(SignalClass::Normal, "b", 50), 4);
+        assert_eq!(out.id(), SetId(1));
+        assert_eq!(mdb.get(SetId(0)).unwrap().class(), SignalClass::Seizure);
+        // Next eviction: slot 2 is now the oldest normal.
+        let out = mdb.insert_bounded(set(SignalClass::Normal, "b", 51), 4);
+        assert_eq!(out.id(), SetId(2));
+    }
+
+    #[test]
+    fn eviction_population_ties_prefer_the_older_class() {
+        let mut mdb = Mdb::new();
+        mdb.insert_bounded(set(SignalClass::Stroke, "a", 0), 2);
+        mdb.insert_bounded(set(SignalClass::Normal, "a", 1), 2);
+        // 1–1 population tie: the class whose member is older (stroke,
+        // seq 0) loses its oldest member.
+        let out = mdb.insert_bounded(set(SignalClass::Normal, "b", 9), 2);
+        assert_eq!(out.id(), SetId(0));
+    }
+
+    #[test]
+    fn replay_of_the_same_journal_is_deterministic() {
+        let journal: Vec<SignalSet> = (0..12)
+            .map(|i| {
+                let class = match i % 3 {
+                    0 => SignalClass::Normal,
+                    1 => SignalClass::Seizure,
+                    _ => SignalClass::Stroke,
+                };
+                set(class, "j", i)
+            })
+            .collect();
+        let replay = || {
+            let mut mdb = Mdb::new();
+            for entry in journal.clone() {
+                mdb.insert_bounded(entry, 5);
+            }
+            mdb
+        };
+        let (a, b) = (replay(), replay());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.replacements(), b.replacements());
+        for (id, s) in a.iter_with_ids() {
+            assert_eq!(b.get(id).unwrap(), s);
+            assert_eq!(a.slot_generation(id), b.slot_generation(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        Mdb::new().insert_bounded(set(SignalClass::Normal, "a", 0), 0);
+    }
+
+    #[test]
+    fn shared_bounded_ingest_prewarms_and_replaces() {
+        let shared = Mdb::new().into_shared();
+        for i in 0..2 {
+            shared.ingest_bounded(set(SignalClass::Normal, "a", i), 2);
+        }
+        let out = shared.ingest_bounded(set(SignalClass::Normal, "a", 7), 2);
+        assert!(matches!(out, LiveInsert::Replaced { id: SetId(0), .. }));
+        assert_eq!(shared.len(), 2);
+        shared.with_read(|m| {
+            assert!(m.iter().all(|s| s.stats_ready() && s.spectra_ready()));
+            assert_eq!(m.slot_generation(SetId(0)), Some(1));
+        });
+    }
+
+    #[test]
+    fn snapshot_round_trip_resets_lifecycle_state() {
+        let mut mdb = Mdb::new();
+        for i in 0..3 {
+            mdb.insert_bounded(set(SignalClass::Normal, "a", i), 2);
+        }
+        assert_eq!(mdb.replacements(), 1);
+        let mut buf = Vec::new();
+        mdb.write_snapshot(&mut buf).unwrap();
+        let back = Mdb::read_snapshot(&buf[..]).unwrap();
+        assert_eq!(back.len(), mdb.len());
+        assert_eq!(back.replacements(), 0);
+        assert!(back
+            .iter_with_ids()
+            .all(|(id, _)| back.slot_generation(id) == Some(0)));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Time-domain features over one acquisition second.
+//!
+//! All four features are computable in one or two passes over the
+//! window with O(1) state — the budget of a microcontroller on the
+//! wearable, and cheap enough to run per ingest on the cloud.
+
+/// Features of one window (normally `emap_dsp::SAMPLES_PER_SECOND`
+/// samples; any non-empty window works, e.g. the 232-sample tail of a
+/// 1000-sample signal-set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondFeatures {
+    /// Mean absolute first difference, `Σ|x[i+1]−x[i]| / (N−1)` — the
+    /// classic EEG line-length feature, high for busy signals.
+    pub line_length: f64,
+    /// Un-normalized path length `Σ|x[i+1]−x[i]|` (total variation).
+    pub total_variation: f64,
+    /// Sign changes of the mean-removed signal: slow drift produces
+    /// almost none, in-band EEG (≥ 11 Hz) at least ~22 per second.
+    pub zero_crossings: usize,
+    /// Peak-to-peak swing `max − min` in physical units (µV).
+    pub amplitude_range: f64,
+    /// Crest factor of the mean-removed signal, `peak / RMS` — a cheap
+    /// kurtosis proxy: ≈3–4.5 for Gaussian-like EEG, ≈1 for rail-pinned
+    /// square-ish saturation, ≫5 when isolated spikes dominate. Zero
+    /// for a perfectly flat window.
+    pub crest_factor: f64,
+    /// Whether every sample is finite; NaN/∞ windows are acquisition
+    /// faults and the other features are not meaningful.
+    pub finite: bool,
+}
+
+/// Extracts the features of one window. An empty window reads as a
+/// flat one: all-zero features.
+#[must_use]
+pub fn extract(window: &[f32]) -> SecondFeatures {
+    let mut out = SecondFeatures {
+        line_length: 0.0,
+        total_variation: 0.0,
+        zero_crossings: 0,
+        amplitude_range: 0.0,
+        crest_factor: 0.0,
+        finite: true,
+    };
+    if window.is_empty() {
+        return out;
+    }
+    if window.iter().any(|v| !v.is_finite()) {
+        out.finite = false;
+        return out;
+    }
+
+    let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0f64);
+    for &v in window {
+        let v = f64::from(v);
+        lo = lo.min(v);
+        hi = hi.max(v);
+        sum += v;
+    }
+    out.amplitude_range = hi - lo;
+    let mean = sum / window.len() as f64;
+
+    let mut tv = 0.0f64;
+    for pair in window.windows(2) {
+        tv += (f64::from(pair[1]) - f64::from(pair[0])).abs();
+    }
+    out.total_variation = tv;
+    if window.len() > 1 {
+        out.line_length = tv / (window.len() - 1) as f64;
+    }
+
+    let (mut peak, mut energy, mut crossings) = (0.0f64, 0.0f64, 0usize);
+    let mut prev = f64::from(window[0]) - mean;
+    for &v in window {
+        let c = f64::from(v) - mean;
+        peak = peak.max(c.abs());
+        energy += c * c;
+        if c * prev < 0.0 {
+            crossings += 1;
+        }
+        if c != 0.0 {
+            prev = c;
+        }
+    }
+    out.zero_crossings = crossings;
+    let rms = (energy / window.len() as f64).sqrt();
+    if rms > 0.0 {
+        out.crest_factor = peak / rms;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq_hz: f64, amp: f64) -> Vec<f32> {
+        (0..256)
+            .map(|n| (std::f64::consts::TAU * freq_hz * n as f64 / 256.0).sin() as f32 * amp as f32)
+            .collect()
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let f = extract(&[]);
+        assert_eq!(f.line_length, 0.0);
+        assert_eq!(f.zero_crossings, 0);
+        assert_eq!(f.amplitude_range, 0.0);
+        assert_eq!(f.crest_factor, 0.0);
+        assert!(f.finite);
+    }
+
+    #[test]
+    fn non_finite_flagged() {
+        let mut w = vec![1.0f32; 256];
+        w[100] = f32::NAN;
+        assert!(!extract(&w).finite);
+        w[100] = f32::INFINITY;
+        assert!(!extract(&w).finite);
+    }
+
+    #[test]
+    fn flat_window_features() {
+        let f = extract(&[7.0; 256]);
+        assert_eq!(f.line_length, 0.0);
+        assert_eq!(f.total_variation, 0.0);
+        assert_eq!(f.zero_crossings, 0);
+        assert_eq!(f.amplitude_range, 0.0);
+        assert_eq!(f.crest_factor, 0.0);
+    }
+
+    #[test]
+    fn line_length_of_a_ramp_is_the_step() {
+        // x[n] = 2n: every first difference is 2.
+        let ramp: Vec<f32> = (0..256).map(|n| 2.0 * n as f32).collect();
+        let f = extract(&ramp);
+        assert!((f.line_length - 2.0).abs() < 1e-9, "{}", f.line_length);
+        assert!((f.total_variation - 510.0).abs() < 1e-6);
+        assert!((f.amplitude_range - 510.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_crossings_track_frequency() {
+        // A k-Hz sine over one second crosses its mean 2k times.
+        for k in [1usize, 5, 10, 20] {
+            let f = extract(&sine(k as f64, 50.0));
+            let got = f.zero_crossings as i64;
+            assert!((got - 2 * k as i64).abs() <= 1, "{k} Hz: {got} crossings");
+        }
+    }
+
+    #[test]
+    fn crossings_ignore_dc_offset() {
+        let mut s = sine(10.0, 50.0);
+        for v in &mut s {
+            *v += 300.0;
+        }
+        let f = extract(&s);
+        assert!(
+            (f.zero_crossings as i64 - 20).abs() <= 1,
+            "{}",
+            f.zero_crossings
+        );
+    }
+
+    #[test]
+    fn crest_factor_of_a_sine_is_sqrt2() {
+        let f = extract(&sine(8.0, 100.0));
+        assert!(
+            (f.crest_factor - std::f64::consts::SQRT_2).abs() < 0.05,
+            "{}",
+            f.crest_factor
+        );
+    }
+
+    #[test]
+    fn crest_factor_spikes_on_impulses() {
+        let mut w = vec![0.5f32; 256];
+        w[40] = 400.0;
+        w[200] = -400.0;
+        let f = extract(&w);
+        assert!(f.crest_factor > 8.0, "{}", f.crest_factor);
+    }
+
+    #[test]
+    fn crest_factor_low_for_square_wave() {
+        let square: Vec<f32> = (0..256)
+            .map(|n| if (n / 16) % 2 == 0 { 500.0 } else { -500.0 })
+            .collect();
+        let f = extract(&square);
+        assert!((f.crest_factor - 1.0).abs() < 0.05, "{}", f.crest_factor);
+    }
+
+    #[test]
+    fn total_variation_matches_abs_diff_sum() {
+        let w = sine(13.0, 37.0);
+        let expect: f64 = w
+            .windows(2)
+            .map(|p| (f64::from(p[1]) - f64::from(p[0])).abs())
+            .sum();
+        let f = extract(&w);
+        assert!((f.total_variation - expect).abs() < 1e-9);
+    }
+}

@@ -248,6 +248,32 @@ impl<'a> PayloadReader<'a> {
             .collect())
     }
 
+    /// Reads a length-prefixed `f32` slice of *any* declared count up to
+    /// `cap` — for fields whose length the application layer validates
+    /// (e.g. ingest samples, where a wrong-length vector must reach the
+    /// server so it can answer with a typed error instead of the decoder
+    /// killing the frame). The cap only bounds the allocation a hostile
+    /// length prefix can demand; `take` still verifies the bytes are
+    /// actually present before allocating the vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadPayload`] on shortfall or a count above
+    /// `cap`.
+    pub fn get_f32_slice_capped(&mut self, cap: usize, what: &str) -> Result<Vec<f32>, WireError> {
+        let n = self.get_u32(what)? as usize;
+        if n > cap {
+            return Err(WireError::BadPayload {
+                detail: format!("{what} declares {n} samples (cap {cap})"),
+            });
+        }
+        let bytes = self.take(n * 4, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
     /// Reads an `f32` bit pattern.
     ///
     /// # Errors

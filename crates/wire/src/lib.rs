@@ -60,6 +60,7 @@ pub use frame::{
 };
 pub use message::{
     error_code, BatchHit, BatchSearchResult, BatchSlice, DeltaHit, DeltaQuery, DeltaSearchResult,
-    Message, StatsMetric, StatsValue, MAX_BATCH_QUERIES, MAX_STATS_METRICS, MAX_TRACKED_IDS,
+    Message, StatsMetric, StatsValue, MAX_BATCH_QUERIES, MAX_INGEST_SAMPLES, MAX_STATS_METRICS,
+    MAX_TRACKED_IDS,
 };
 pub use quant::QuantizedSlice;

@@ -50,7 +50,18 @@ pub mod error_code {
     pub const INTERNAL: u16 = 2;
     /// The server is shutting down and no longer accepts work.
     pub const SHUTTING_DOWN: u16 = 3;
+    /// The ingest quality gate classified the slice as an artifact; it
+    /// was quarantined, not stored. The detail names the archetype.
+    pub const REJECTED_ARTIFACT: u16 = 4;
 }
+
+/// Cap on samples per [`Message::Ingest`] accepted at decode: the wire
+/// layer deliberately does *not* pin the exact [`SIGNAL_SET_LEN`] —
+/// length validation is the server's job, so a wrong-length vector
+/// travels and earns a typed [`Message::ErrorReply`] instead of a dead
+/// connection. The cap (4× a signal-set) only bounds the allocation a
+/// hostile length prefix can demand.
+pub const MAX_INGEST_SAMPLES: usize = SIGNAL_SET_LEN * 4;
 
 /// Cap on queries per [`Message::SearchBatchRequest`], enforced at decode.
 ///
@@ -268,7 +279,10 @@ pub enum Message {
         class: emap_datasets::SignalClass,
         /// Where the slice came from.
         provenance: Provenance,
-        /// Exactly [`SIGNAL_SET_LEN`] samples.
+        /// Nominally [`SIGNAL_SET_LEN`] samples. The decoder accepts any
+        /// count up to [`MAX_INGEST_SAMPLES`]; the *server* validates the
+        /// exact length so a malformed sender gets a typed error reply
+        /// rather than a closed connection.
         samples: Vec<f32>,
     },
     /// Ingest acknowledged; reports the store size after insertion.
@@ -605,7 +619,7 @@ impl Message {
                     channel: r.get_str("ingest.channel")?,
                     offset: r.get_u64("ingest.offset")?,
                 };
-                let samples = r.get_f32_slice(SIGNAL_SET_LEN, "ingest.samples")?;
+                let samples = r.get_f32_slice_capped(MAX_INGEST_SAMPLES, "ingest.samples")?;
                 Message::Ingest {
                     class,
                     provenance,

@@ -68,7 +68,7 @@ fn whole_frame_decode(mut bytes: &[u8]) -> Vec<Message> {
 }
 
 fn encode_stream(msgs: &[Message]) -> Vec<u8> {
-    msgs.iter().flat_map(|m| frame_bytes(m)).collect()
+    msgs.iter().flat_map(frame_bytes).collect()
 }
 
 proptest! {
@@ -233,7 +233,7 @@ proptest! {
         victim in any::<prop::sample::Index>(),
         bit in 0u8..8,
     ) {
-        let frames: Vec<Vec<u8>> = msgs.iter().map(|m| frame_bytes(m)).collect();
+        let frames: Vec<Vec<u8>> = msgs.iter().map(frame_bytes).collect();
         let victim = victim.index(frames.len().saturating_sub(1)).min(frames.len() - 2);
         let mut bytes = Vec::new();
         for (i, f) in frames.iter().enumerate() {
